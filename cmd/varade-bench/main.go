@@ -1,0 +1,320 @@
+// Command varade-bench regenerates every table and figure of the paper's
+// evaluation (§4) on the simulated testbed:
+//
+//	varade-bench -exp table1            # channel schema (Table 1)
+//	varade-bench -exp figure1           # VARADE architecture summary (Fig. 1)
+//	varade-bench -exp table2            # full 6-detector × 2-board comparison
+//	varade-bench -exp figure3           # Hz vs AUC scatter series (Fig. 3)
+//	varade-bench -exp accuracy          # six-detector AUC table only
+//	varade-bench -exp ablation-score    # variance vs residual scoring
+//	varade-bench -exp ablation-augment  # disturbance augmentation on/off
+//	varade-bench -exp ablation-kl       # KL-weight sweep
+//	varade-bench -exp ablation-window   # window-size sweep
+//	varade-bench -exp ablation-width    # feature-map width sweep
+//
+// -scale paper uses the exact §3.1/§3.3 architectures for the inference-
+// cost columns (slow on one core); -scale small uses the reduced configs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"varade"
+	"varade/internal/core"
+	"varade/internal/detect"
+	"varade/internal/edge"
+	"varade/internal/eval"
+)
+
+func main() {
+	exp := flag.String("exp", "table2", "experiment: table1|figure1|table2|figure3|accuracy|ablation-score|ablation-augment|ablation-kl|ablation-window|ablation-width")
+	scaleFlag := flag.String("scale", "small", "architecture scale for timing: small|paper")
+	seed := flag.Uint64("seed", 42, "experiment seed")
+	flag.Parse()
+
+	scale := varade.ScaleSmall
+	if *scaleFlag == "paper" {
+		scale = varade.ScalePaper
+	}
+
+	var err error
+	switch *exp {
+	case "table1":
+		err = table1()
+	case "figure1":
+		err = figure1(scale)
+	case "table2":
+		err = table2(scale, *seed)
+	case "figure3":
+		err = figure3(scale, *seed)
+	case "accuracy":
+		err = accuracy(*seed)
+	case "ablation-score":
+		err = ablationScore(*seed)
+	case "ablation-augment":
+		err = ablationAugment(*seed)
+	case "ablation-kl":
+		err = ablationKL(*seed)
+	case "ablation-window":
+		err = ablationWindow(*seed)
+	case "ablation-width":
+		err = ablationWidth(*seed)
+	default:
+		err = fmt.Errorf("unknown experiment %q", *exp)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "varade-bench:", err)
+		os.Exit(1)
+	}
+}
+
+// table1 prints the 86-channel schema of the robot stream.
+func table1() error {
+	fmt.Println("Table 1: channel description of the simulated testbed stream")
+	fmt.Printf("%-24s %-8s %s\n", "Channel name", "Unit", "Description")
+	fmt.Println(strings.Repeat("-", 64))
+	for _, ch := range varade.Channels() {
+		fmt.Printf("%-24s %-8s %s\n", ch.Name, ch.Unit, ch.Description)
+	}
+	fmt.Printf("\n%d channels total\n", len(varade.Channels()))
+	return nil
+}
+
+// figure1 prints the VARADE architecture layer table.
+func figure1(scale varade.Scale) error {
+	cfg := varade.PaperConfig(varade.NumChannels)
+	if scale == varade.ScaleSmall {
+		cfg = varade.EdgeConfig(varade.NumChannels)
+	}
+	m, err := varade.New(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 1: VARADE architecture")
+	m.Summary(os.Stdout)
+	return nil
+}
+
+// table2 regenerates the full comparison of Table 2.
+func table2(scale varade.Scale, seed uint64) error {
+	fmt.Println("Table 2: detectors on the two simulated edge boards")
+	fmt.Println("(accuracy from the small-scale training run; Hz/power from measured")
+	fmt.Println(" Go inference cost mapped through the board profiles — see DESIGN.md)")
+	idle, rows, err := varade.Table2(scale, seed)
+	if err != nil {
+		return err
+	}
+	for i := range idle {
+		fmt.Printf("\n=== %s ===\n", idle[i].Board)
+		edge.WriteTable(os.Stdout, idle[i], rows[i])
+	}
+	return nil
+}
+
+// figure3 emits the (Hz, AUC, power) scatter series of Figure 3.
+func figure3(scale varade.Scale, seed uint64) error {
+	fmt.Println("Figure 3: inference frequency vs accuracy (marker size = power)")
+	_, rows, err := varade.Table2(scale, seed)
+	if err != nil {
+		return err
+	}
+	var all []varade.BoardReport
+	for _, r := range rows {
+		all = append(all, r...)
+	}
+	edge.WriteScatter(os.Stdout, all)
+	return nil
+}
+
+// accuracy prints the six-detector AUC comparison.
+func accuracy(seed uint64) error {
+	ds, sub, err := accuracyDataset(seed)
+	if err != nil {
+		return err
+	}
+	_ = ds
+	dets, err := varade.BuildDetectors(len(varade.InterestingChannels()), varade.ScaleSmall)
+	if err != nil {
+		return err
+	}
+	acc, err := varade.RunAccuracy(dets, sub)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-18s %9s %9s %9s\n", "Model", "AUC", "AUC(adj)", "fit s")
+	fmt.Println(strings.Repeat("-", 48))
+	for _, a := range acc {
+		fmt.Printf("%-18s %9.3f %9.3f %9.1f\n", a.Name, a.AUCROC, a.AUCAdjusted, a.FitSec)
+	}
+	return nil
+}
+
+func accuracyDataset(seed uint64) (*varade.Dataset, *varade.Dataset, error) {
+	cfg := varade.SmallDatasetConfig()
+	cfg.Sim.Seed = seed
+	ds, err := varade.GenerateDataset(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	idx := varade.InterestingChannels()
+	sub := &varade.Dataset{
+		Train:  varade.SelectChannels(ds.Train, idx),
+		Test:   varade.SelectChannels(ds.Test, idx),
+		Labels: ds.Labels,
+		Events: ds.Events,
+		Rate:   ds.Rate,
+	}
+	return ds, sub, nil
+}
+
+// ablationScore compares the paper's variance score against the
+// conventional residual score on the same trained network (§3.1's
+// motivating observation).
+func ablationScore(seed uint64) error {
+	_, sub, err := accuracyDataset(seed)
+	if err != nil {
+		return err
+	}
+	c := sub.Train.Dim(1)
+	m, err := core.New(core.EdgeConfig(c))
+	if err != nil {
+		return err
+	}
+	if err := m.Fit(sub.Train); err != nil {
+		return err
+	}
+	vs := detect.ScoreSeries(m, sub.Test)
+	rs := detect.ScoreSeries(&core.ResidualScorer{Model: m}, sub.Test)
+
+	fmt.Println("Ablation: anomaly score definition on the same trained VARADE net")
+	fmt.Printf("%-22s %9s %9s\n", "Score", "AUC", "AUC(adj)")
+	fmt.Println(strings.Repeat("-", 42))
+	fmt.Printf("%-22s %9.3f %9.3f\n", "predicted variance", eval.AUCROC(vs, sub.Labels), eval.AUCROCAdjusted(vs, sub.Labels))
+	fmt.Printf("%-22s %9.3f %9.3f\n", "residual ‖y−μ‖", eval.AUCROC(rs, sub.Labels), eval.AUCROCAdjusted(rs, sub.Labels))
+	return nil
+}
+
+// ablationAugment isolates the disturbance augmentation of
+// core.TrainConfig (DESIGN.md §1b item 2): the same architecture trained
+// with and without suffix disturbances, scored by its variance.
+func ablationAugment(seed uint64) error {
+	_, sub, err := accuracyDataset(seed)
+	if err != nil {
+		return err
+	}
+	c := sub.Train.Dim(1)
+	fmt.Println("Ablation: disturbance augmentation (variance score)")
+	fmt.Printf("%-28s %9s %9s\n", "Training", "AUC", "AUC(adj)")
+	fmt.Println(strings.Repeat("-", 48))
+	for _, p := range []struct {
+		name string
+		prob float64
+	}{
+		{"plain ELBO (no augmentation)", 0},
+		{"augmented (prob 0.25)", 0.25},
+		{"augmented (prob 0.5)", 0.5},
+	} {
+		m, err := core.New(core.EdgeConfig(c))
+		if err != nil {
+			return err
+		}
+		tc := core.DefaultTrainConfig()
+		tc.AugmentProb = p.prob
+		if err := m.FitWindows(sub.Train, tc); err != nil {
+			return err
+		}
+		s := detect.ScoreSeries(m, sub.Test)
+		fmt.Printf("%-28s %9.3f %9.3f\n", p.name,
+			eval.AUCROC(s, sub.Labels), eval.AUCROCAdjusted(s, sub.Labels))
+	}
+	return nil
+}
+
+// ablationKL sweeps the KL weight λ of Eq. 7.
+func ablationKL(seed uint64) error {
+	_, sub, err := accuracyDataset(seed)
+	if err != nil {
+		return err
+	}
+	c := sub.Train.Dim(1)
+	fmt.Println("Ablation: KL weight λ (Eq. 7)")
+	fmt.Printf("%8s %9s %9s\n", "λ", "AUC", "AUC(adj)")
+	fmt.Println(strings.Repeat("-", 28))
+	for _, kl := range []float64{0, 0.01, 0.05, 0.1, 0.3, 1.0} {
+		cfg := core.EdgeConfig(c)
+		cfg.KLWeight = kl
+		m, err := core.New(cfg)
+		if err != nil {
+			return err
+		}
+		if err := m.Fit(sub.Train); err != nil {
+			return err
+		}
+		s := detect.ScoreSeries(m, sub.Test)
+		fmt.Printf("%8.2f %9.3f %9.3f\n", kl, eval.AUCROC(s, sub.Labels), eval.AUCROCAdjusted(s, sub.Labels))
+	}
+	return nil
+}
+
+// ablationWindow sweeps the context length T (and with it the number of
+// conv layers), reporting accuracy and measured inference cost — the §3.1
+// compactness/latency trade-off.
+func ablationWindow(seed uint64) error {
+	_, sub, err := accuracyDataset(seed)
+	if err != nil {
+		return err
+	}
+	c := sub.Train.Dim(1)
+	fmt.Println("Ablation: window size T (layers = log2 T − 1)")
+	fmt.Printf("%6s %7s %10s %9s %9s %12s\n", "T", "layers", "params", "AUC", "AUC(adj)", "µs/inf")
+	fmt.Println(strings.Repeat("-", 60))
+	for _, w := range []int{8, 16, 32, 64, 128} {
+		cfg := core.EdgeConfig(c)
+		cfg.Window = w
+		m, err := core.New(cfg)
+		if err != nil {
+			return err
+		}
+		if err := m.Fit(sub.Train); err != nil {
+			return err
+		}
+		s := detect.ScoreSeries(m, sub.Test)
+		sec := edge.MeasureSecPerInf(m, sub.Test, 50)
+		fmt.Printf("%6d %7d %10d %9.3f %9.3f %12.0f\n",
+			w, cfg.NumLayers(), m.NumParams(),
+			eval.AUCROC(s, sub.Labels), eval.AUCROCAdjusted(s, sub.Labels), sec*1e6)
+	}
+	return nil
+}
+
+// ablationWidth sweeps the feature-map width.
+func ablationWidth(seed uint64) error {
+	_, sub, err := accuracyDataset(seed)
+	if err != nil {
+		return err
+	}
+	c := sub.Train.Dim(1)
+	fmt.Println("Ablation: base feature maps (doubled every 2 layers)")
+	fmt.Printf("%6s %10s %9s %9s %12s\n", "maps", "params", "AUC", "AUC(adj)", "µs/inf")
+	fmt.Println(strings.Repeat("-", 52))
+	for _, maps := range []int{4, 8, 16, 32} {
+		cfg := core.EdgeConfig(c)
+		cfg.BaseMaps = maps
+		m, err := core.New(cfg)
+		if err != nil {
+			return err
+		}
+		if err := m.Fit(sub.Train); err != nil {
+			return err
+		}
+		s := detect.ScoreSeries(m, sub.Test)
+		sec := edge.MeasureSecPerInf(m, sub.Test, 50)
+		fmt.Printf("%6d %10d %9.3f %9.3f %12.0f\n",
+			maps, m.NumParams(),
+			eval.AUCROC(s, sub.Labels), eval.AUCROCAdjusted(s, sub.Labels), sec*1e6)
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+// Command varade-detect scores a live sample stream with a trained VARADE
+// model. Samples arrive as CSV lines on stdin or from a TCP sample server
+// (see cmd/varade-train and internal/stream); one "index,score,alert" line
+// is emitted per scored sample.
+//
+//	varade-detect -model model.vnn -channels 17 < stream.csv
+//	varade-detect -model model.vnn -channels 17 -addr 127.0.0.1:7777
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"varade"
+	"varade/internal/stream"
+)
+
+func main() {
+	modelPath := flag.String("model", "varade-model.vnn", "weights produced by varade-train")
+	channels := flag.Int("channels", 0, "stream channel count (required)")
+	window := flag.Int("window", 32, "context window T the model was trained with")
+	maps := flag.Int("maps", 16, "base feature maps the model was trained with")
+	kl := flag.Float64("kl", 0.1, "KL weight the model was trained with")
+	addr := flag.String("addr", "", "TCP sample server to connect to (default: read stdin)")
+	threshold := flag.Float64("threshold", 0, "alert threshold; 0 prints raw scores only")
+	flag.Parse()
+
+	if *channels <= 0 {
+		log.Fatal("varade-detect: -channels is required")
+	}
+	cfg := varade.Config{Window: *window, Channels: *channels, BaseMaps: *maps, KLWeight: *kl, Seed: 1}
+	model, err := varade.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := model.Load(*modelPath); err != nil {
+		log.Fatal(err)
+	}
+
+	runner := varade.NewRunner(model, *channels)
+	emit := func(s varade.StreamScore) {
+		if *threshold > 0 {
+			fmt.Printf("%d,%.6g,%v\n", s.Index, s.Value, s.Value > *threshold)
+		} else {
+			fmt.Printf("%d,%.6g\n", s.Index, s.Value)
+		}
+	}
+
+	if *addr != "" {
+		if err := stream.DialAndScore(*addr, *channels, runner, emit); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	err = stream.ReadSamples(os.Stdin, *channels, func(sample []float64) bool {
+		if s, ok := runner.Push(sample); ok {
+			emit(s)
+		}
+		return true
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,130 @@
+// Command varade-sim generates the simulated testbed dataset and writes it
+// as CSV — the reproduction's counterpart of the paper's public RoAD
+// recording. It emits a normalised training stream, a test stream with
+// injected collisions, and the ground-truth labels.
+//
+//	varade-sim -dir data/                        # small protocol
+//	varade-sim -dir data/ -protocol paper        # 390 min train, 125 events
+//	varade-sim -dir data/ -raw                   # skip normalisation
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"varade"
+	"varade/internal/robot"
+	"varade/internal/stream"
+	"varade/internal/tensor"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "output directory")
+	protocol := flag.String("protocol", "small", "dataset protocol: small|paper")
+	seed := flag.Uint64("seed", 42, "simulation seed")
+	subset := flag.Bool("subset", false, "emit only the compact channel subset")
+	flag.Parse()
+
+	var cfg varade.DatasetConfig
+	switch *protocol {
+	case "small":
+		cfg = varade.SmallDatasetConfig()
+	case "paper":
+		cfg = varade.PaperDatasetConfig()
+	default:
+		log.Fatalf("varade-sim: unknown protocol %q", *protocol)
+	}
+	cfg.Sim.Seed = *seed
+
+	fmt.Printf("generating %s protocol (train %.0fs, test %.0fs, %d collisions)…\n",
+		*protocol, cfg.TrainSeconds, cfg.TestSeconds, cfg.Collisions)
+	ds, err := varade.GenerateDataset(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, test := ds.Train, ds.Test
+	if *subset {
+		idx := varade.InterestingChannels()
+		train = varade.SelectChannels(train, idx)
+		test = varade.SelectChannels(test, idx)
+	}
+
+	if err := writeCSV(filepath.Join(*dir, "train.csv"), train); err != nil {
+		log.Fatal(err)
+	}
+	if err := writeCSV(filepath.Join(*dir, "test.csv"), test); err != nil {
+		log.Fatal(err)
+	}
+	if err := writeLabels(filepath.Join(*dir, "labels.csv"), ds.Labels); err != nil {
+		log.Fatal(err)
+	}
+	if err := writeEvents(filepath.Join(*dir, "events.csv"), ds.Events, ds.Rate); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote train.csv (%d×%d), test.csv (%d×%d), labels.csv, events.csv to %s\n",
+		train.Dim(0), train.Dim(1), test.Dim(0), test.Dim(1), *dir)
+}
+
+func writeCSV(path string, series *tensor.Tensor) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	for i := 0; i < series.Dim(0); i++ {
+		if _, err := w.WriteString(stream.EncodeSample(series.Row(i).Data()) + "\n"); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeLabels(path string, labels []bool) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	for _, l := range labels {
+		v := "0"
+		if l {
+			v = "1"
+		}
+		if _, err := w.WriteString(v + "\n"); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeEvents(path string, events []robot.CollisionEvent, rate float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	fmt.Fprintln(w, "start_sample,end_sample,start_seconds,duration_seconds,joints")
+	for _, e := range events {
+		fmt.Fprintf(w, "%d,%d,%.2f,%.2f,%v\n",
+			e.Start, e.End, float64(e.Start)/rate, float64(e.End-e.Start)/rate, e.Joints)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,109 @@
+// Command varade-train generates a training run of the simulated testbed
+// (or reads one from a CSV file), trains a VARADE model and saves the
+// weights plus the normalisation statistics needed at inference time.
+//
+//	varade-train -out model.vnn                     # simulated stream
+//	varade-train -in stream.csv -out model.vnn      # your own data
+//
+// The CSV input is one sample per line, comma-separated floats, already
+// normalised; the channel count is inferred from the first line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"varade"
+	"varade/internal/stream"
+	"varade/internal/tensor"
+)
+
+func main() {
+	in := flag.String("in", "", "CSV stream to train on (default: simulate the robot testbed)")
+	out := flag.String("out", "varade-model.vnn", "weights output path")
+	window := flag.Int("window", 32, "context window T (power of two)")
+	maps := flag.Int("maps", 16, "base feature maps")
+	kl := flag.Float64("kl", 0.1, "KL weight λ")
+	epochs := flag.Int("epochs", 20, "training epochs")
+	lr := flag.Float64("lr", 1e-3, "Adam learning rate")
+	seconds := flag.Float64("seconds", 600, "simulated training duration (when -in is empty)")
+	seed := flag.Uint64("seed", 42, "seed for simulation and training")
+	subset := flag.Bool("subset", true, "use the compact channel subset for simulated data")
+	flag.Parse()
+
+	series, err := loadOrSimulate(*in, *seconds, *seed, *subset)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := varade.Config{
+		Window:   *window,
+		Channels: series.Dim(1),
+		BaseMaps: *maps,
+		KLWeight: *kl,
+		Seed:     *seed,
+	}
+	model, err := varade.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tc := varade.DefaultTrainConfig()
+	tc.Epochs = *epochs
+	tc.LR = *lr
+	tc.Logf = func(format string, args ...any) {
+		fmt.Printf(format+"\n", args...)
+	}
+	fmt.Printf("VARADE T=%d C=%d maps=%d λ=%g — %d parameters, %d training samples\n",
+		cfg.Window, cfg.Channels, cfg.BaseMaps, cfg.KLWeight, model.NumParams(), series.Dim(0))
+	if err := model.FitWindows(series, tc); err != nil {
+		log.Fatal(err)
+	}
+	if err := model.Save(*out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("saved weights to %s\n", *out)
+}
+
+func loadOrSimulate(path string, seconds float64, seed uint64, subset bool) (*varade.Tensor, error) {
+	if path == "" {
+		cfg := varade.SmallDatasetConfig()
+		cfg.Sim.Seed = seed
+		cfg.TrainSeconds = seconds
+		cfg.TestSeconds = 1 // unused
+		cfg.Collisions = 1
+		ds, err := varade.GenerateDataset(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if subset {
+			return varade.SelectChannels(ds.Train, varade.InterestingChannels()), nil
+		}
+		return ds.Train, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rows [][]float64
+	err = stream.ReadSamples(f, 0, func(sample []float64) bool {
+		rows = append(rows, sample)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("no samples in %s", path)
+	}
+	c := len(rows[0])
+	t := tensor.New(len(rows), c)
+	for i, r := range rows {
+		if len(r) != c {
+			return nil, fmt.Errorf("row %d has %d fields, want %d", i, len(r), c)
+		}
+		copy(t.Row(i).Data(), r)
+	}
+	return t, nil
+}

@@ -1,0 +1,172 @@
+package varade
+
+import (
+	"testing"
+
+	"varade/internal/edge"
+)
+
+func TestBuildDetectorsSmall(t *testing.T) {
+	dets, err := BuildDetectors(5, ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) != 6 {
+		t.Fatalf("%d detectors, want 6", len(dets))
+	}
+	// Table 2 order and kinds.
+	want := []struct {
+		name string
+		kind edge.Kind
+	}{
+		{"AR-LSTM", edge.KindNeural},
+		{"GBRF", edge.KindForest},
+		{"AE", edge.KindNeural},
+		{"kNN", edge.KindSearch},
+		{"Isolation Forest", edge.KindForest},
+		{"VARADE", edge.KindNeural},
+	}
+	for i, w := range want {
+		if dets[i].Detector.Name() != w.name {
+			t.Errorf("slot %d is %q, want %q", i, dets[i].Detector.Name(), w.name)
+		}
+		if dets[i].Kind != w.kind {
+			t.Errorf("%s has kind %d, want %d", w.name, dets[i].Kind, w.kind)
+		}
+	}
+	// Neural models must report real parameter memory.
+	for _, nd := range dets {
+		if nd.Kind == edge.KindNeural && nd.ModelBytes <= 0 {
+			t.Errorf("%s reports no model bytes", nd.Detector.Name())
+		}
+	}
+}
+
+func TestBuildDetectorsPaperScaleArchitecture(t *testing.T) {
+	dets, err := BuildDetectors(NumChannels, ScalePaper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nd := range dets {
+		if nd.Detector.Name() == "VARADE" {
+			// Paper scale: T=512 context.
+			if nd.Detector.WindowSize() != 512 {
+				t.Fatalf("paper VARADE window %d, want 512", nd.Detector.WindowSize())
+			}
+		}
+		if nd.Detector.Name() == "AR-LSTM" {
+			if nd.Detector.WindowSize() != 513 { // context 512 + observed point
+				t.Fatalf("paper AR-LSTM window %d, want 513", nd.Detector.WindowSize())
+			}
+		}
+	}
+}
+
+func TestBuildDetectorsRejectsUnknownScale(t *testing.T) {
+	if _, err := BuildDetectors(4, Scale(99)); err == nil {
+		t.Fatal("expected error for unknown scale")
+	}
+}
+
+func TestMeasureWorkloadsAttachesAUC(t *testing.T) {
+	cfg := SmallDatasetConfig()
+	cfg.TrainSeconds, cfg.TestSeconds, cfg.Collisions = 60, 40, 2
+	ds, err := GenerateDataset(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := InterestingChannels()
+	sub := SelectChannels(ds.Test, idx)
+	dets, err := BuildDetectors(len(idx), ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the instant detectors need a fit for this smoke test.
+	var quick []NamedDetector
+	for _, nd := range dets {
+		if nd.Kind != edge.KindNeural {
+			if err := nd.Detector.Fit(SelectChannels(ds.Train, idx)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if nd.Detector.Name() == "kNN" || nd.Detector.Name() == "VARADE" {
+			quick = append(quick, nd)
+		}
+	}
+	loads := MeasureWorkloads(quick, sub, 3, map[string]float64{"kNN": 0.7, "VARADE": 0.85})
+	if len(loads) != 2 {
+		t.Fatalf("%d workloads, want 2", len(loads))
+	}
+	for _, w := range loads {
+		if w.HostSecPerInf <= 0 {
+			t.Errorf("%s measured non-positive cost", w.Name)
+		}
+	}
+	if loads[1].AUCROC != 0.85 {
+		t.Errorf("VARADE AUC not attached: %g", loads[1].AUCROC)
+	}
+}
+
+func TestDatasetFacadeRoundTrip(t *testing.T) {
+	cfg := SmallDatasetConfig()
+	cfg.TrainSeconds, cfg.TestSeconds, cfg.Collisions = 60, 40, 3
+	ds, err := GenerateDataset(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Train.Dim(1) != NumChannels {
+		t.Fatalf("train width %d, want %d", ds.Train.Dim(1), NumChannels)
+	}
+	if len(Channels()) != NumChannels {
+		t.Fatalf("schema has %d channels", len(Channels()))
+	}
+	if len(ds.Events) != 3 {
+		t.Fatalf("%d events, want 3", len(ds.Events))
+	}
+}
+
+func TestRunnerFacade(t *testing.T) {
+	cfg := SmallDatasetConfig()
+	cfg.TrainSeconds, cfg.TestSeconds, cfg.Collisions = 80, 40, 2
+	ds, err := GenerateDataset(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := InterestingChannels()
+	train := SelectChannels(ds.Train, idx)
+	test := SelectChannels(ds.Test, idx)
+
+	m, err := New(EdgeConfig(len(idx)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := DefaultTrainConfig()
+	tc.Epochs = 1
+	m.SetTrainConfig(tc)
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(m, len(idx))
+	scored := 0
+	for i := 0; i < test.Dim(0); i++ {
+		if _, ok := r.Push(test.Row(i).Data()); ok {
+			scored++
+		}
+	}
+	want := test.Dim(0) - m.WindowSize() + 1
+	if scored != want {
+		t.Fatalf("runner produced %d scores, want %d", scored, want)
+	}
+
+	// Streaming scores must agree with batch ScoreSeries on the steady
+	// state (identical windows → identical detector input).
+	batch := ScoreSeries(m, test)
+	r2 := NewRunner(m, len(idx))
+	for i := 0; i < test.Dim(0); i++ {
+		if s, ok := r2.Push(test.Row(i).Data()); ok {
+			if diff := s.Value - batch[s.Index]; diff > 1e-12 || diff < -1e-12 {
+				t.Fatalf("stream score %g != batch score %g at %d", s.Value, batch[s.Index], s.Index)
+			}
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package ae
+
+import (
+	"math"
+	"testing"
+
+	"varade/internal/detect"
+	"varade/internal/nn"
+	"varade/internal/tensor"
+)
+
+func sineSeries(n, c int, seed uint64) *tensor.Tensor {
+	rng := tensor.NewRNG(seed)
+	s := tensor.New(n, c)
+	for j := 0; j < c; j++ {
+		f := rng.Uniform(0.03, 0.07)
+		p := rng.Uniform(0, 6)
+		for i := 0; i < n; i++ {
+			s.Set2(math.Sin(2*math.Pi*f*float64(i)+p)+0.01*rng.NormFloat64(), i, j)
+		}
+	}
+	return s
+}
+
+func smallConfig(c int) Config {
+	return Config{Window: 16, Channels: c, BaseMaps: 6, Seed: 1,
+		Epochs: 10, Batch: 16, LR: 3e-3, Stride: 2, ClipNorm: 5}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Window: 10, Channels: 1, BaseMaps: 2}); err == nil {
+		t.Fatal("window must be a multiple of 4")
+	}
+	if _, err := New(Config{Window: 16, Channels: 0, BaseMaps: 2}); err == nil {
+		t.Fatal("channels must be positive")
+	}
+	if _, err := New(smallConfig(2)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSixResBlocks(t *testing.T) {
+	// §3.3 requires exactly 6 ResNet blocks.
+	m, err := New(smallConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := 0
+	for _, l := range m.net.Layers {
+		if _, ok := l.(*nn.ResBlock1D); ok {
+			blocks++
+		}
+	}
+	if blocks != 6 {
+		t.Fatalf("%d residual blocks, want 6", blocks)
+	}
+}
+
+func TestReconstructionShapePreserved(t *testing.T) {
+	m, err := New(smallConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	win := tensor.RandNormal(tensor.NewRNG(1), 0, 1, 16, 3)
+	recon := m.Reconstruct(win)
+	if recon.Dim(1) != 3 || recon.Dim(2) != 16 {
+		t.Fatalf("reconstruction shape %v", recon.Shape())
+	}
+}
+
+func TestFitReducesReconstructionError(t *testing.T) {
+	cfg := smallConfig(2)
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := sineSeries(400, 2, 2)
+	win := series.SliceRows(100, 116)
+	before := m.Score(win)
+	if err := m.Fit(series); err != nil {
+		t.Fatal(err)
+	}
+	after := m.Score(win)
+	if after >= before {
+		t.Fatalf("reconstruction error did not improve: %g → %g", before, after)
+	}
+}
+
+func TestScoreSeparatesBurst(t *testing.T) {
+	cfg := smallConfig(1)
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := sineSeries(600, 1, 3)
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	test := sineSeries(200, 1, 4)
+	rng := tensor.NewRNG(5)
+	for i := 100; i < 115; i++ {
+		test.Set2(test.At2(i, 0)+rng.Uniform(-1.2, 1.2), i, 0)
+	}
+	scores := detect.ScoreSeries(m, test)
+	normal, anom := 0.0, 0.0
+	nN, nA := 0, 0
+	for i := 20; i < 200; i++ {
+		if i >= 100 && i < 120 {
+			anom += scores[i]
+			nA++
+		} else {
+			normal += scores[i]
+			nN++
+		}
+	}
+	if anom/float64(nA) <= normal/float64(nN) {
+		t.Fatalf("burst not separated: %g vs %g", anom/float64(nA), normal/float64(nN))
+	}
+}
+
+func TestDetectorInterface(t *testing.T) {
+	m, err := New(smallConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d detect.Detector = m
+	if d.Name() != "AE" || d.WindowSize() != 16 {
+		t.Fatalf("Name=%q WindowSize=%d", d.Name(), d.WindowSize())
+	}
+}
+
+func TestFitRejectsBadInput(t *testing.T) {
+	m, _ := New(smallConfig(2))
+	if err := m.Fit(tensor.New(100, 3)); err == nil {
+		t.Fatal("expected channel mismatch error")
+	}
+	if err := m.Fit(tensor.New(10, 2)); err == nil {
+		t.Fatal("expected too-short error")
+	}
+}

@@ -1,0 +1,151 @@
+package arlstm
+
+import (
+	"math"
+	"testing"
+
+	"varade/internal/detect"
+	"varade/internal/tensor"
+)
+
+func sineSeries(n, c int, seed uint64) *tensor.Tensor {
+	rng := tensor.NewRNG(seed)
+	s := tensor.New(n, c)
+	for j := 0; j < c; j++ {
+		f := rng.Uniform(0.03, 0.07)
+		p := rng.Uniform(0, 6)
+		for i := 0; i < n; i++ {
+			s.Set2(math.Sin(2*math.Pi*f*float64(i)+p)+0.01*rng.NormFloat64(), i, j)
+		}
+	}
+	return s
+}
+
+func smallConfig(c int) Config {
+	return Config{Window: 8, Channels: c, Layers: 2, Hidden: 12, Seed: 1,
+		Epochs: 8, Batch: 16, LR: 5e-3, Stride: 2, ClipNorm: 5}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("expected error for zero config")
+	}
+	if _, err := New(smallConfig(2)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaperConfigArchitecture(t *testing.T) {
+	cfg := PaperConfig(86)
+	if cfg.Layers != 5 || cfg.Hidden != 256 || cfg.Window != 512 {
+		t.Fatalf("paper config %+v does not match §3.3", cfg)
+	}
+	if cfg.LR != 1e-5 {
+		t.Fatalf("paper LR %g want 1e-5 (§3.4)", cfg.LR)
+	}
+}
+
+func TestDetectorInterface(t *testing.T) {
+	m, err := New(smallConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d detect.Detector = m
+	if d.Name() != "AR-LSTM" {
+		t.Fatalf("name %q", d.Name())
+	}
+	if d.WindowSize() != 9 { // context 8 + observed point
+		t.Fatalf("window %d want 9", d.WindowSize())
+	}
+}
+
+func TestFitImprovesForecast(t *testing.T) {
+	cfg := smallConfig(1)
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := sineSeries(300, 1, 2)
+	meanErr := func() float64 {
+		total := 0.0
+		n := 0
+		for start := 100; start+9 < 290; start += 7 {
+			pred := m.Predict(series.SliceRows(start, start+8))[0]
+			total += math.Abs(pred - series.At2(start+8, 0))
+			n++
+		}
+		return total / float64(n)
+	}
+	before := meanErr()
+	if err := m.Fit(series); err != nil {
+		t.Fatal(err)
+	}
+	after := meanErr()
+	if after >= before {
+		t.Fatalf("forecast error did not improve: %g → %g", before, after)
+	}
+	if after > 0.25 {
+		t.Fatalf("trained forecast error %g too large", after)
+	}
+}
+
+func TestScoreIsResidualNorm(t *testing.T) {
+	m, err := New(smallConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	win := tensor.RandNormal(tensor.NewRNG(3), 0, 1, 9, 2)
+	pred := m.Predict(win.SliceRows(0, 8))
+	want := 0.0
+	for j := 0; j < 2; j++ {
+		d := win.At2(8, j) - pred[j]
+		want += d * d
+	}
+	want = math.Sqrt(want)
+	if got := m.Score(win); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("score %g want %g", got, want)
+	}
+}
+
+func TestScoreSeparatesBurst(t *testing.T) {
+	cfg := smallConfig(1)
+	cfg.Epochs = 12
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := sineSeries(600, 1, 4)
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	test := sineSeries(200, 1, 5)
+	rng := tensor.NewRNG(6)
+	for i := 100; i < 112; i++ {
+		test.Set2(test.At2(i, 0)+rng.Uniform(-1, 1), i, 0)
+	}
+	scores := detect.ScoreSeries(m, test)
+	normal, anom := 0.0, 0.0
+	nN, nA := 0, 0
+	for i := 10; i < 200; i++ {
+		if i >= 100 && i < 113 {
+			anom += scores[i]
+			nA++
+		} else {
+			normal += scores[i]
+			nN++
+		}
+	}
+	if anom/float64(nA) <= normal/float64(nN) {
+		t.Fatalf("burst not separated: %g vs %g", anom/float64(nA), normal/float64(nN))
+	}
+}
+
+func TestFitRejectsBadInput(t *testing.T) {
+	m, _ := New(smallConfig(2))
+	if err := m.Fit(tensor.New(100, 3)); err == nil {
+		t.Fatal("expected channel mismatch error")
+	}
+	if err := m.Fit(tensor.New(5, 2)); err == nil {
+		t.Fatal("expected too-short error")
+	}
+}

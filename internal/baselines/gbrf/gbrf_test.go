@@ -1,0 +1,216 @@
+package gbrf
+
+import (
+	"math"
+	"testing"
+
+	"varade/internal/detect"
+	"varade/internal/tensor"
+)
+
+func TestTreeFitsStepFunction(t *testing.T) {
+	// y = 1 when x₀ > 0.5 else 0 — one split suffices.
+	n := 200
+	x := tensor.New(n, 2)
+	y := make([]float64, n)
+	rng := tensor.NewRNG(1)
+	idx := make([]int, n)
+	for i := 0; i < n; i++ {
+		x.Set2(rng.Float64(), i, 0)
+		x.Set2(rng.Float64(), i, 1)
+		if x.At2(i, 0) > 0.5 {
+			y[i] = 1
+		}
+		idx[i] = i
+	}
+	tree := buildTree(x, y, idx, TreeConfig{MaxDepth: 2, MinSamplesLeaf: 2}, rng)
+	errs := 0
+	for i := 0; i < n; i++ {
+		if math.Abs(tree.Predict(x.Row(i).Data())-y[i]) > 0.2 {
+			errs++
+		}
+	}
+	if errs > n/20 {
+		t.Fatalf("%d/%d errors on a separable step function", errs, n)
+	}
+}
+
+func TestTreeRespectsMaxDepth(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	n := 300
+	x := tensor.RandNormal(rng, 0, 1, n, 3)
+	y := make([]float64, n)
+	idx := make([]int, n)
+	for i := range y {
+		y[i] = rng.NormFloat64()
+		idx[i] = i
+	}
+	tree := buildTree(x, y, idx, TreeConfig{MaxDepth: 2, MinSamplesLeaf: 1}, rng)
+	// Depth-2 tree has at most 1 + 2 + 4 = 7 nodes.
+	if tree.NumNodes() > 7 {
+		t.Fatalf("%d nodes exceeds depth-2 bound", tree.NumNodes())
+	}
+}
+
+func TestTreeConstantTargetIsLeaf(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	n := 50
+	x := tensor.RandNormal(rng, 0, 1, n, 2)
+	y := make([]float64, n)
+	idx := make([]int, n)
+	for i := range y {
+		y[i] = 3.5
+		idx[i] = i
+	}
+	tree := buildTree(x, y, idx, TreeConfig{MaxDepth: 4, MinSamplesLeaf: 1}, rng)
+	if tree.NumNodes() != 1 {
+		t.Fatalf("constant target grew %d nodes", tree.NumNodes())
+	}
+	if tree.Predict(x.Row(0).Data()) != 3.5 {
+		t.Fatal("leaf must predict the mean")
+	}
+}
+
+func sineSeries(n, c int, seed uint64) *tensor.Tensor {
+	rng := tensor.NewRNG(seed)
+	s := tensor.New(n, c)
+	for j := 0; j < c; j++ {
+		f := rng.Uniform(0.02, 0.06)
+		p := rng.Uniform(0, 6)
+		for i := 0; i < n; i++ {
+			s.Set2(math.Sin(2*math.Pi*f*float64(i)+p)+0.01*rng.NormFloat64(), i, j)
+		}
+	}
+	return s
+}
+
+func TestBoostingReducesResidualWithRounds(t *testing.T) {
+	series := sineSeries(500, 1, 4)
+	errFor := func(trees int) float64 {
+		cfg := PaperConfig(1)
+		cfg.Trees = trees
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Fit(series); err != nil {
+			t.Fatal(err)
+		}
+		total := 0.0
+		n := 0
+		for start := 5; start+5 < 490; start += 3 {
+			pred := m.Predict(series.SliceRows(start, start+4))[0]
+			total += math.Abs(pred - series.At2(start+4, 0))
+			n++
+		}
+		return total / float64(n)
+	}
+	e1, e30 := errFor(1), errFor(30)
+	if e30 >= e1 {
+		t.Fatalf("30 rounds (%.4f) not better than 1 round (%.4f)", e30, e1)
+	}
+}
+
+func TestPaperConfigMatchesSection33(t *testing.T) {
+	cfg := PaperConfig(3)
+	if cfg.Trees != 30 {
+		t.Fatalf("paper uses 30 trees, config has %d", cfg.Trees)
+	}
+}
+
+func TestDetectorInterface(t *testing.T) {
+	m, err := New(PaperConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d detect.Detector = m
+	if d.Name() != "GBRF" || d.WindowSize() != 5 {
+		t.Fatalf("Name=%q WindowSize=%d", d.Name(), d.WindowSize())
+	}
+}
+
+func TestScoreIsResidualNorm(t *testing.T) {
+	m, err := New(PaperConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := sineSeries(300, 2, 5)
+	if err := m.Fit(series); err != nil {
+		t.Fatal(err)
+	}
+	win := series.SliceRows(50, 55)
+	pred := m.Predict(win.SliceRows(0, 4))
+	want := 0.0
+	for j := 0; j < 2; j++ {
+		d := win.At2(4, j) - pred[j]
+		want += d * d
+	}
+	want = math.Sqrt(want)
+	if got := m.Score(win); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("score %g want %g", got, want)
+	}
+}
+
+func TestScoreSeparatesBurst(t *testing.T) {
+	m, err := New(PaperConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := sineSeries(800, 1, 6)
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	test := sineSeries(300, 1, 7)
+	rng := tensor.NewRNG(8)
+	for i := 150; i < 165; i++ {
+		test.Set2(test.At2(i, 0)+rng.Uniform(-1, 1), i, 0)
+	}
+	scores := detect.ScoreSeries(m, test)
+	normal, anom := 0.0, 0.0
+	nN, nA := 0, 0
+	for i := 10; i < 300; i++ {
+		if i >= 150 && i < 167 {
+			anom += scores[i]
+			nA++
+		} else {
+			normal += scores[i]
+			nN++
+		}
+	}
+	if anom/float64(nA) <= normal/float64(nN) {
+		t.Fatalf("burst not separated: %g vs %g", anom/float64(nA), normal/float64(nN))
+	}
+}
+
+func TestMaxFeaturesSubsampling(t *testing.T) {
+	cfg := EdgeConfig(2)
+	if cfg.Tree.MaxFeatures == 0 {
+		t.Fatal("edge config must subsample features")
+	}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(sineSeries(300, 2, 9)); err != nil {
+		t.Fatal(err)
+	}
+	if m.TotalNodes() == 0 {
+		t.Fatal("no trees grown")
+	}
+}
+
+func TestFitRejectsBadInput(t *testing.T) {
+	m, _ := New(PaperConfig(2))
+	if err := m.Fit(tensor.New(100, 3)); err == nil {
+		t.Fatal("expected channel mismatch error")
+	}
+	if err := m.Fit(tensor.New(3, 2)); err == nil {
+		t.Fatal("expected too-short error")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("expected error for zero config")
+	}
+}

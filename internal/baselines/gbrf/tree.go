@@ -1,0 +1,162 @@
+package gbrf
+
+import (
+	"sort"
+
+	"varade/internal/tensor"
+)
+
+// TreeConfig controls CART regression tree growth.
+type TreeConfig struct {
+	// MaxDepth bounds tree height; a depth-d tree has at most 2^d leaves.
+	MaxDepth int
+	// MinSamplesLeaf is the minimum sample count in each child of a split.
+	MinSamplesLeaf int
+	// MaxFeatures is the number of candidate features examined per node;
+	// 0 means all features.
+	MaxFeatures int
+}
+
+// node is a tree node in the flat nodes slice; leaves have left == -1.
+type node struct {
+	feature   int
+	threshold float64
+	left      int
+	right     int
+	value     float64
+}
+
+// Tree is a CART regression tree grown with the mean-squared-error
+// criterion and recursive binary splitting, following the reference
+// implementation cited by the paper ([9], §3.3).
+type Tree struct {
+	nodes []node
+}
+
+// buildTree fits a regression tree to (x, y) restricted to the sample
+// index set idx. x has shape (n, f).
+func buildTree(x *tensor.Tensor, y []float64, idx []int, cfg TreeConfig, rng *tensor.RNG) *Tree {
+	t := &Tree{}
+	t.grow(x, y, idx, 0, cfg, rng)
+	return t
+}
+
+func mean(y []float64, idx []int) float64 {
+	s := 0.0
+	for _, i := range idx {
+		s += y[i]
+	}
+	return s / float64(len(idx))
+}
+
+// grow appends the subtree for idx and returns its node index.
+func (t *Tree) grow(x *tensor.Tensor, y []float64, idx []int, depth int, cfg TreeConfig, rng *tensor.RNG) int {
+	id := len(t.nodes)
+	t.nodes = append(t.nodes, node{left: -1, right: -1, value: mean(y, idx)})
+	if depth >= cfg.MaxDepth || len(idx) < 2*cfg.MinSamplesLeaf {
+		return id
+	}
+	feat, thr, ok := bestSplit(x, y, idx, cfg, rng)
+	if !ok {
+		return id
+	}
+	var left, right []int
+	for _, i := range idx {
+		if x.At2(i, feat) <= thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < cfg.MinSamplesLeaf || len(right) < cfg.MinSamplesLeaf {
+		return id
+	}
+	t.nodes[id].feature = feat
+	t.nodes[id].threshold = thr
+	l := t.grow(x, y, left, depth+1, cfg, rng)
+	r := t.grow(x, y, right, depth+1, cfg, rng)
+	t.nodes[id].left = l
+	t.nodes[id].right = r
+	return id
+}
+
+// bestSplit scans candidate features with an exact sorted sweep and returns
+// the split minimising the weighted child variance (equivalently maximising
+// MSE reduction).
+func bestSplit(x *tensor.Tensor, y []float64, idx []int, cfg TreeConfig, rng *tensor.RNG) (feat int, thr float64, ok bool) {
+	f := x.Dim(1)
+	features := make([]int, f)
+	for i := range features {
+		features[i] = i
+	}
+	if cfg.MaxFeatures > 0 && cfg.MaxFeatures < f {
+		// Partial Fisher–Yates: the first MaxFeatures entries become a
+		// uniform random subset.
+		for i := 0; i < cfg.MaxFeatures; i++ {
+			j := i + rng.Intn(f-i)
+			features[i], features[j] = features[j], features[i]
+		}
+		features = features[:cfg.MaxFeatures]
+	}
+
+	n := len(idx)
+	totalSum, totalSq := 0.0, 0.0
+	for _, i := range idx {
+		totalSum += y[i]
+		totalSq += y[i] * y[i]
+	}
+	parentSSE := totalSq - totalSum*totalSum/float64(n)
+	best := parentSSE - 1e-12
+	ok = false
+
+	order := make([]int, n)
+	for _, ft := range features {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return x.At2(order[a], ft) < x.At2(order[b], ft) })
+		leftSum, leftSq := 0.0, 0.0
+		for pos := 0; pos < n-1; pos++ {
+			yi := y[order[pos]]
+			leftSum += yi
+			leftSq += yi * yi
+			nl := pos + 1
+			nr := n - nl
+			if nl < cfg.MinSamplesLeaf || nr < cfg.MinSamplesLeaf {
+				continue
+			}
+			v0 := x.At2(order[pos], ft)
+			v1 := x.At2(order[pos+1], ft)
+			if v0 == v1 {
+				continue // cannot split between equal values
+			}
+			rightSum := totalSum - leftSum
+			rightSq := totalSq - leftSq
+			sse := (leftSq - leftSum*leftSum/float64(nl)) + (rightSq - rightSum*rightSum/float64(nr))
+			if sse < best {
+				best = sse
+				feat = ft
+				thr = (v0 + v1) / 2
+				ok = true
+			}
+		}
+	}
+	return feat, thr, ok
+}
+
+// Predict evaluates the tree on one feature row.
+func (t *Tree) Predict(row []float64) float64 {
+	i := 0
+	for {
+		nd := t.nodes[i]
+		if nd.left < 0 {
+			return nd.value
+		}
+		if row[nd.feature] <= nd.threshold {
+			i = nd.left
+		} else {
+			i = nd.right
+		}
+	}
+}
+
+// NumNodes returns the number of nodes in the tree.
+func (t *Tree) NumNodes() int { return len(t.nodes) }

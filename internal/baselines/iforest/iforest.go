@@ -1,0 +1,237 @@
+// Package iforest implements the Isolation Forest baseline of §3.3,
+// following Liu, Ting & Zhou [15]: an ensemble of 100 isolation trees built
+// on subsamples of the training data. The anomaly score of a point is
+// s(x) = 2^(−E[h(x)]/c(ψ)) where h is the path length to isolation and
+// c(ψ) the average path length of an unsuccessful BST search. As in the
+// reference, a contamination fraction (the paper uses 0.1) converts scores
+// to a decision threshold.
+package iforest
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"varade/internal/tensor"
+)
+
+// Config describes an isolation forest.
+type Config struct {
+	// Trees is the ensemble size (paper: 100).
+	Trees int
+	// SubsampleSize ψ is the per-tree sample count (reference default 256).
+	SubsampleSize int
+	// Contamination is the assumed outlier fraction used by Threshold
+	// (paper: 0.1, as recommended by [15]).
+	Contamination float64
+	// Seed drives subsampling and split selection.
+	Seed uint64
+}
+
+// PaperConfig returns the paper's setting: 100 trees, contamination 0.1.
+func PaperConfig() Config {
+	return Config{Trees: 100, SubsampleSize: 256, Contamination: 0.1, Seed: 1}
+}
+
+type node struct {
+	feature   int
+	threshold float64
+	left      int // -1 for leaf
+	right     int
+	size      int // leaf: number of training points isolated here
+}
+
+type tree struct {
+	nodes []node
+}
+
+// Model is the Isolation Forest detector. It implements detect.Detector.
+type Model struct {
+	cfg       Config
+	trees     []tree
+	c         float64 // normaliser c(ψ)
+	threshold float64 // score threshold from contamination
+	dim       int
+}
+
+// New returns an untrained isolation forest.
+func New(cfg Config) (*Model, error) {
+	if cfg.Trees <= 0 || cfg.SubsampleSize <= 1 {
+		return nil, fmt.Errorf("iforest: invalid config %+v", cfg)
+	}
+	if cfg.Contamination < 0 || cfg.Contamination >= 1 {
+		return nil, fmt.Errorf("iforest: contamination %g outside [0,1)", cfg.Contamination)
+	}
+	return &Model{cfg: cfg}, nil
+}
+
+// Config returns the model configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// Name implements detect.Detector.
+func (m *Model) Name() string { return "Isolation Forest" }
+
+// WindowSize implements detect.Detector: the forest scores single points.
+func (m *Model) WindowSize() int { return 1 }
+
+// avgPathLength is c(n), the average path length of unsuccessful searches
+// in a binary search tree of n nodes (Eq. 1 of [15]).
+func avgPathLength(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	fn := float64(n)
+	h := math.Log(fn-1) + 0.5772156649015329 // harmonic number approximation
+	return 2*h - 2*(fn-1)/fn
+}
+
+// Fit grows the ensemble and calibrates the contamination threshold on the
+// training scores.
+func (m *Model) Fit(series *tensor.Tensor) error {
+	if series.Dims() != 2 {
+		return fmt.Errorf("iforest: Fit series shape %v, want (T,C)", series.Shape())
+	}
+	n, c := series.Dim(0), series.Dim(1)
+	if n < 2 {
+		return fmt.Errorf("iforest: need at least 2 training points, got %d", n)
+	}
+	m.dim = c
+	psi := m.cfg.SubsampleSize
+	if psi > n {
+		psi = n
+	}
+	m.c = avgPathLength(psi)
+	maxDepth := int(math.Ceil(math.Log2(float64(psi))))
+	rng := tensor.NewRNG(m.cfg.Seed)
+	data := series.Data()
+
+	m.trees = make([]tree, m.cfg.Trees)
+	for ti := range m.trees {
+		idx := make([]int, psi)
+		for i := range idx {
+			idx[i] = rng.Intn(n)
+		}
+		var tr tree
+		growIso(&tr, data, c, idx, 0, maxDepth, rng)
+		m.trees[ti] = tr
+	}
+
+	// Calibrate: the contamination quantile of training scores becomes the
+	// decision threshold.
+	if m.cfg.Contamination > 0 {
+		scores := make([]float64, n)
+		for i := 0; i < n; i++ {
+			scores[i] = m.scorePoint(data[i*c : (i+1)*c])
+		}
+		sort.Float64s(scores)
+		k := int(float64(n) * (1 - m.cfg.Contamination))
+		if k >= n {
+			k = n - 1
+		}
+		m.threshold = scores[k]
+	}
+	return nil
+}
+
+// growIso appends the subtree for idx and returns its node id.
+func growIso(t *tree, data []float64, dim int, idx []int, depth, maxDepth int, rng *tensor.RNG) int {
+	id := len(t.nodes)
+	t.nodes = append(t.nodes, node{left: -1, right: -1, size: len(idx)})
+	if depth >= maxDepth || len(idx) <= 1 {
+		return id
+	}
+	// Pick a random feature with spread; give up after dim attempts (all
+	// remaining values identical).
+	var feat int
+	var lo, hi float64
+	found := false
+	for attempt := 0; attempt < dim; attempt++ {
+		feat = rng.Intn(dim)
+		lo, hi = math.Inf(1), math.Inf(-1)
+		for _, i := range idx {
+			v := data[i*dim+feat]
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if hi > lo {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return id
+	}
+	thr := rng.Uniform(lo, hi)
+	var left, right []int
+	for _, i := range idx {
+		if data[i*dim+feat] < thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		return id
+	}
+	t.nodes[id].feature = feat
+	t.nodes[id].threshold = thr
+	l := growIso(t, data, dim, left, depth+1, maxDepth, rng)
+	r := growIso(t, data, dim, right, depth+1, maxDepth, rng)
+	t.nodes[id].left = l
+	t.nodes[id].right = r
+	return id
+}
+
+// pathLength returns h(x) for one tree, adding c(size) at external nodes as
+// in [15].
+func (t *tree) pathLength(row []float64) float64 {
+	id, depth := 0, 0
+	for {
+		nd := t.nodes[id]
+		if nd.left < 0 {
+			return float64(depth) + avgPathLength(nd.size)
+		}
+		if row[nd.feature] < nd.threshold {
+			id = nd.left
+		} else {
+			id = nd.right
+		}
+		depth++
+	}
+}
+
+func (m *Model) scorePoint(row []float64) float64 {
+	sum := 0.0
+	for i := range m.trees {
+		sum += m.trees[i].pathLength(row)
+	}
+	mean := sum / float64(len(m.trees))
+	if m.c == 0 {
+		return 0.5
+	}
+	return math.Pow(2, -mean/m.c)
+}
+
+// Score implements detect.Detector for a (1, C) window: the isolation
+// score in (0, 1), higher for easier-to-isolate (more anomalous) points.
+func (m *Model) Score(window *tensor.Tensor) float64 {
+	if m.trees == nil {
+		panic("iforest: Score before Fit")
+	}
+	if window.Dims() != 2 || window.Dim(0) != 1 || window.Dim(1) != m.dim {
+		panic(fmt.Sprintf("iforest: window shape %v, want (1,%d)", window.Shape(), m.dim))
+	}
+	return m.scorePoint(window.Row(0).Data())
+}
+
+// Threshold returns the decision threshold calibrated from the
+// contamination fraction during Fit.
+func (m *Model) Threshold() float64 { return m.threshold }
+
+// IsAnomaly reports whether a single point scores above the calibrated
+// threshold.
+func (m *Model) IsAnomaly(row []float64) bool { return m.scorePoint(row) > m.threshold }

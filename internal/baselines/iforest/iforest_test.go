@@ -1,0 +1,144 @@
+package iforest
+
+import (
+	"math"
+	"testing"
+
+	"varade/internal/detect"
+	"varade/internal/tensor"
+)
+
+func clusterWithOutliers(n, dim int, seed uint64) *tensor.Tensor {
+	rng := tensor.NewRNG(seed)
+	return tensor.RandNormal(rng, 0, 0.5, n, dim)
+}
+
+func TestAvgPathLength(t *testing.T) {
+	if avgPathLength(1) != 0 || avgPathLength(0) != 0 {
+		t.Fatal("c(n≤1) must be 0")
+	}
+	// c(2) = 2·H(1) − 2·(1/2) = 2·0.577… − 1 ≈ 0.154? No: H(1)=ln(1)+γ=γ.
+	// Sanity: c is increasing and c(256) ≈ 10.24 (the reference value).
+	if c := avgPathLength(256); math.Abs(c-10.24) > 0.3 {
+		t.Fatalf("c(256)=%g want ≈10.24", c)
+	}
+	if avgPathLength(100) >= avgPathLength(1000) {
+		t.Fatal("c must be increasing")
+	}
+}
+
+func TestOutlierScoresAboveInliers(t *testing.T) {
+	m, err := New(PaperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(clusterWithOutliers(600, 3, 1)); err != nil {
+		t.Fatal(err)
+	}
+	inlier := m.scorePoint([]float64{0, 0, 0})
+	outlier := m.scorePoint([]float64{6, -6, 6})
+	if outlier <= inlier {
+		t.Fatalf("outlier %g not above inlier %g", outlier, inlier)
+	}
+	if outlier < 0.6 {
+		t.Fatalf("distinct outlier should score >0.6, got %g", outlier)
+	}
+	if inlier > 0.6 {
+		t.Fatalf("cluster centre should score <0.6, got %g", inlier)
+	}
+}
+
+func TestScoresAreProbabilisticRange(t *testing.T) {
+	m, err := New(PaperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := clusterWithOutliers(300, 2, 2)
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(3)
+	for i := 0; i < 200; i++ {
+		s := m.scorePoint([]float64{rng.NormFloat64() * 3, rng.NormFloat64() * 3})
+		if s <= 0 || s >= 1 {
+			t.Fatalf("score %g outside (0,1)", s)
+		}
+	}
+}
+
+func TestContaminationThreshold(t *testing.T) {
+	cfg := PaperConfig()
+	cfg.Contamination = 0.1
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := clusterWithOutliers(1000, 2, 4)
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	// Roughly 10% of the training points must exceed the threshold.
+	over := 0
+	for i := 0; i < 1000; i++ {
+		if m.IsAnomaly(train.Row(i).Data()) {
+			over++
+		}
+	}
+	if over < 50 || over > 150 {
+		t.Fatalf("%d/1000 training points above threshold, want ≈100", over)
+	}
+}
+
+func TestDetectorInterface(t *testing.T) {
+	m, err := New(PaperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d detect.Detector = m
+	if d.Name() != "Isolation Forest" || d.WindowSize() != 1 {
+		t.Fatalf("Name=%q WindowSize=%d", d.Name(), d.WindowSize())
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	train := clusterWithOutliers(200, 2, 5)
+	mk := func() float64 {
+		m, _ := New(PaperConfig())
+		if err := m.Fit(train); err != nil {
+			t.Fatal(err)
+		}
+		return m.scorePoint([]float64{2, 2})
+	}
+	if mk() != mk() {
+		t.Fatal("same seed must give identical forests")
+	}
+}
+
+func TestPaperConfigMatchesSection33(t *testing.T) {
+	cfg := PaperConfig()
+	if cfg.Trees != 100 {
+		t.Fatalf("paper uses 100 trees, config has %d", cfg.Trees)
+	}
+	if cfg.Contamination != 0.1 {
+		t.Fatalf("paper uses contamination 0.1, config has %g", cfg.Contamination)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Trees: 0, SubsampleSize: 10}); err == nil {
+		t.Fatal("expected error for zero trees")
+	}
+	if _, err := New(Config{Trees: 10, SubsampleSize: 10, Contamination: 1.5}); err == nil {
+		t.Fatal("expected error for contamination ≥ 1")
+	}
+}
+
+func TestScoreBeforeFitPanics(t *testing.T) {
+	m, _ := New(PaperConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Score(tensor.New(1, 2))
+}

@@ -1,0 +1,109 @@
+package knn
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// kdTree is an exact k-d tree over row-major points, splitting on the
+// dimension of greatest spread at each node with median pivots.
+type kdTree struct {
+	data  []float64
+	dim   int
+	nodes []kdNode
+	root  int
+}
+
+type kdNode struct {
+	point int // row index into data
+	axis  int
+	left  int // -1 for none
+	right int
+}
+
+func buildKDTree(data []float64, n, dim int) *kdTree {
+	t := &kdTree{data: data, dim: dim}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	t.root = t.build(idx)
+	return t
+}
+
+// build constructs the subtree over idx and returns its node index
+// (-1 when idx is empty).
+func (t *kdTree) build(idx []int) int {
+	if len(idx) == 0 {
+		return -1
+	}
+	axis := t.widestAxis(idx)
+	sort.Slice(idx, func(a, b int) bool {
+		return t.data[idx[a]*t.dim+axis] < t.data[idx[b]*t.dim+axis]
+	})
+	mid := len(idx) / 2
+	id := len(t.nodes)
+	t.nodes = append(t.nodes, kdNode{point: idx[mid], axis: axis, left: -1, right: -1})
+	l := t.build(idx[:mid])
+	r := t.build(idx[mid+1:])
+	t.nodes[id].left = l
+	t.nodes[id].right = r
+	return id
+}
+
+func (t *kdTree) widestAxis(idx []int) int {
+	bestAxis, bestSpread := 0, -1.0
+	for a := 0; a < t.dim; a++ {
+		lo, hi := t.data[idx[0]*t.dim+a], t.data[idx[0]*t.dim+a]
+		for _, i := range idx[1:] {
+			v := t.data[i*t.dim+a]
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if hi-lo > bestSpread {
+			bestSpread, bestAxis = hi-lo, a
+		}
+	}
+	return bestAxis
+}
+
+// kNearest returns the squared distance to the k-th nearest point.
+func (t *kdTree) kNearest(q []float64, k int) float64 {
+	h := make(maxHeap, 0, k+1)
+	t.search(t.root, q, k, &h)
+	return h[0]
+}
+
+func (t *kdTree) search(id int, q []float64, k int, h *maxHeap) {
+	if id < 0 {
+		return
+	}
+	nd := t.nodes[id]
+	row := t.data[nd.point*t.dim : (nd.point+1)*t.dim]
+	d := 0.0
+	for j, v := range row {
+		diff := v - q[j]
+		d += diff * diff
+	}
+	if len(*h) < k {
+		heap.Push(h, d)
+	} else if d < (*h)[0] {
+		(*h)[0] = d
+		heap.Fix(h, 0)
+	}
+	delta := q[nd.axis] - row[nd.axis]
+	near, far := nd.left, nd.right
+	if delta > 0 {
+		near, far = far, near
+	}
+	t.search(near, q, k, h)
+	// Visit the far side only if the splitting plane can still hold a
+	// closer neighbour than the current k-th.
+	if len(*h) < k || delta*delta < (*h)[0] {
+		t.search(far, q, k, h)
+	}
+}

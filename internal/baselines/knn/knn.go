@@ -1,0 +1,165 @@
+// Package knn implements the k-nearest-neighbour outlier baseline of §3.3:
+// the anomaly score of a point is its distance to its k-th nearest training
+// neighbour (maximum distance among the k neighbours, k=5), following
+// Goldstein & Uchida [6].
+//
+// Two exact backends are provided: a brute-force linear scan (the right
+// choice for the 86-dimensional robot stream, where space partitioning
+// degenerates) and a KD-tree that accelerates low-dimensional data. Both
+// return identical scores; a property test asserts so.
+package knn
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"varade/internal/tensor"
+)
+
+// Backend selects the neighbour-search implementation.
+type Backend int
+
+const (
+	// BruteForce scans every training point.
+	BruteForce Backend = iota
+	// KDTree searches a k-d tree with exact pruning.
+	KDTree
+)
+
+// Config describes the kNN detector.
+type Config struct {
+	// K is the neighbour count (paper: 5, max-distance score).
+	K int
+	// MaxSamples caps the retained training set; 0 keeps everything.
+	// Subsampling keeps edge inference tractable: the paper observes kNN is
+	// the slowest detector precisely because it scans the training set.
+	MaxSamples int
+	// Backend selects the search structure.
+	Backend Backend
+	// Seed drives the training subsample.
+	Seed uint64
+}
+
+// PaperConfig returns k=5 with max-distance scoring.
+func PaperConfig() Config { return Config{K: 5, MaxSamples: 4096, Backend: BruteForce, Seed: 1} }
+
+// Model is the kNN detector. It implements detect.Detector.
+type Model struct {
+	cfg  Config
+	dim  int
+	data []float64 // (n, dim) row-major training points
+	n    int
+	tree *kdTree
+}
+
+// New returns an untrained kNN detector.
+func New(cfg Config) (*Model, error) {
+	if cfg.K <= 0 {
+		return nil, fmt.Errorf("knn: K must be positive, got %d", cfg.K)
+	}
+	if cfg.MaxSamples < 0 {
+		return nil, fmt.Errorf("knn: MaxSamples must be non-negative, got %d", cfg.MaxSamples)
+	}
+	return &Model{cfg: cfg}, nil
+}
+
+// Config returns the model configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// Name implements detect.Detector.
+func (m *Model) Name() string { return "kNN" }
+
+// WindowSize implements detect.Detector: kNN scores single points.
+func (m *Model) WindowSize() int { return 1 }
+
+// Fit stores (a subsample of) the training points.
+func (m *Model) Fit(series *tensor.Tensor) error {
+	if series.Dims() != 2 {
+		return fmt.Errorf("knn: Fit series shape %v, want (T,C)", series.Shape())
+	}
+	t, c := series.Dim(0), series.Dim(1)
+	if t <= m.cfg.K {
+		return fmt.Errorf("knn: %d training points for k=%d", t, m.cfg.K)
+	}
+	m.dim = c
+	keep := t
+	if m.cfg.MaxSamples > 0 && m.cfg.MaxSamples < t {
+		keep = m.cfg.MaxSamples
+	}
+	m.n = keep
+	m.data = make([]float64, keep*c)
+	sd := series.Data()
+	if keep == t {
+		copy(m.data, sd)
+	} else {
+		rng := tensor.NewRNG(m.cfg.Seed)
+		perm := rng.Perm(t)
+		for i := 0; i < keep; i++ {
+			copy(m.data[i*c:(i+1)*c], sd[perm[i]*c:(perm[i]+1)*c])
+		}
+	}
+	if m.cfg.Backend == KDTree {
+		m.tree = buildKDTree(m.data, m.n, m.dim)
+	}
+	return nil
+}
+
+// KthNearestDistance returns the distance from q to its k-th nearest
+// training point (the paper's max-distance score).
+func (m *Model) KthNearestDistance(q []float64) float64 {
+	if m.data == nil {
+		panic("knn: query before Fit")
+	}
+	if len(q) != m.dim {
+		panic(fmt.Sprintf("knn: query dim %d, want %d", len(q), m.dim))
+	}
+	k := m.cfg.K
+	if k > m.n {
+		k = m.n
+	}
+	var worst float64
+	if m.cfg.Backend == KDTree {
+		worst = m.tree.kNearest(q, k)
+	} else {
+		worst = bruteKNearest(m.data, m.n, m.dim, q, k)
+	}
+	return math.Sqrt(worst)
+}
+
+// Score implements detect.Detector for a (1, C) window.
+func (m *Model) Score(window *tensor.Tensor) float64 {
+	if window.Dims() != 2 || window.Dim(0) != 1 {
+		panic(fmt.Sprintf("knn: window shape %v, want (1,C)", window.Shape()))
+	}
+	return m.KthNearestDistance(window.Row(0).Data())
+}
+
+// maxHeap keeps the k smallest squared distances seen so far, with the
+// current k-th (largest retained) on top.
+type maxHeap []float64
+
+func (h maxHeap) Len() int           { return len(h) }
+func (h maxHeap) Less(i, j int) bool { return h[i] > h[j] }
+func (h maxHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *maxHeap) Push(x any)        { *h = append(*h, x.(float64)) }
+func (h *maxHeap) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+
+func bruteKNearest(data []float64, n, dim int, q []float64, k int) float64 {
+	h := make(maxHeap, 0, k+1)
+	for i := 0; i < n; i++ {
+		row := data[i*dim : (i+1)*dim]
+		d := 0.0
+		for j, v := range row {
+			diff := v - q[j]
+			d += diff * diff
+		}
+		if len(h) < k {
+			heap.Push(&h, d)
+		} else if d < h[0] {
+			h[0] = d
+			heap.Fix(&h, 0)
+		}
+	}
+	return h[0]
+}

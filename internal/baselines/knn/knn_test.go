@@ -1,0 +1,139 @@
+package knn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"varade/internal/detect"
+	"varade/internal/tensor"
+)
+
+func clusteredData(n, dim int, seed uint64) *tensor.Tensor {
+	rng := tensor.NewRNG(seed)
+	return tensor.RandNormal(rng, 0, 1, n, dim)
+}
+
+func TestKthNearestKnownGeometry(t *testing.T) {
+	// Points at 0, 1, 2, 3 on a line; k=2 from query 0 → distance 1 is
+	// 1st, distance 2 is 2nd.
+	m, err := New(Config{K: 2, Backend: BruteForce})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := tensor.FromSlice([]float64{0, 1, 2, 3}, 4, 1)
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if d := m.KthNearestDistance([]float64{0}); d != 1 {
+		t.Fatalf("k=2 distance from member point %g want 1 (self at 0, next at 1)", d)
+	}
+	if d := m.KthNearestDistance([]float64{10}); d != 8 {
+		t.Fatalf("k=2 distance %g want 8", d)
+	}
+}
+
+func TestOutlierScoresHigherThanInlier(t *testing.T) {
+	m, err := New(PaperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(clusteredData(500, 4, 1)); err != nil {
+		t.Fatal(err)
+	}
+	inlier := m.KthNearestDistance([]float64{0, 0, 0, 0})
+	outlier := m.KthNearestDistance([]float64{8, 8, 8, 8})
+	if outlier <= inlier*3 {
+		t.Fatalf("outlier %g not clearly above inlier %g", outlier, inlier)
+	}
+}
+
+// Property: KD-tree and brute force return identical k-th distances.
+func TestKDTreeMatchesBruteForce(t *testing.T) {
+	f := func(seed uint64) bool {
+		n, dim := 120, 3
+		train := clusteredData(n, dim, seed%1000+1)
+		brute, _ := New(Config{K: 5, Backend: BruteForce})
+		kd, _ := New(Config{K: 5, Backend: KDTree})
+		if err := brute.Fit(train); err != nil {
+			return false
+		}
+		if err := kd.Fit(train); err != nil {
+			return false
+		}
+		rng := tensor.NewRNG(seed%997 + 3)
+		for q := 0; q < 20; q++ {
+			query := []float64{rng.NormFloat64() * 2, rng.NormFloat64() * 2, rng.NormFloat64() * 2}
+			a := brute.KthNearestDistance(query)
+			b := kd.KthNearestDistance(query)
+			if math.Abs(a-b) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubsamplingCapsTrainingSet(t *testing.T) {
+	m, err := New(Config{K: 3, MaxSamples: 50, Backend: BruteForce, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(clusteredData(1000, 2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if m.n != 50 {
+		t.Fatalf("retained %d points want 50", m.n)
+	}
+}
+
+func TestDetectorInterface(t *testing.T) {
+	m, err := New(PaperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d detect.Detector = m
+	if d.Name() != "kNN" || d.WindowSize() != 1 {
+		t.Fatalf("Name=%q WindowSize=%d", d.Name(), d.WindowSize())
+	}
+	if err := m.Fit(clusteredData(100, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	w := tensor.FromSlice([]float64{0, 0}, 1, 2)
+	if s := d.Score(w); s < 0 {
+		t.Fatalf("negative distance %g", s)
+	}
+}
+
+func TestKLargerThanTrainingSet(t *testing.T) {
+	m, err := New(Config{K: 10, Backend: BruteForce})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fit rejects fewer points than k.
+	if err := m.Fit(clusteredData(5, 2, 4)); err == nil {
+		t.Fatal("expected error when training set smaller than k")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{K: 0}); err == nil {
+		t.Fatal("expected error for k=0")
+	}
+	if _, err := New(Config{K: 1, MaxSamples: -1}); err == nil {
+		t.Fatal("expected error for negative MaxSamples")
+	}
+}
+
+func TestQueryBeforeFitPanics(t *testing.T) {
+	m, _ := New(PaperConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.KthNearestDistance([]float64{1})
+}

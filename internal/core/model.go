@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"varade/internal/nn"
+	"varade/internal/tensor"
+)
+
+// Model is a VARADE network. It implements detect.Detector once fitted.
+type Model struct {
+	cfg   Config
+	trunk *nn.Sequential // conv/ReLU cascade
+	flat  *nn.Flatten
+	head  *nn.Dense    // linear projection to (μ, logσ²)
+	train *TrainConfig // optional override for Fit; nil uses defaults
+}
+
+// New builds an untrained VARADE model from cfg.
+func New(cfg Config) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := tensor.NewRNG(cfg.Seed)
+	maps := cfg.LayerMaps()
+	trunk := nn.NewSequential()
+	inC := cfg.Channels
+	for _, outC := range maps {
+		trunk.Add(nn.NewConv1D(inC, outC, 2, 2, 0, rng))
+		trunk.Add(nn.NewReLU())
+		inC = outC
+	}
+	// After NumLayers halvings the time dimension is 2, so the projection
+	// sees 2·lastMaps features and emits mean and log-variance per channel.
+	head := nn.NewDense(2*maps[len(maps)-1], 2*cfg.Channels, rng)
+	return &Model{cfg: cfg, trunk: trunk, flat: nn.NewFlatten(), head: head}, nil
+}
+
+// Config returns the model's architecture description.
+func (m *Model) Config() Config { return m.cfg }
+
+// Params returns all trainable parameters.
+func (m *Model) Params() []*nn.Param {
+	return append(m.trunk.Params(), m.head.Params()...)
+}
+
+// NumParams returns the total scalar parameter count.
+func (m *Model) NumParams() int { return nn.NumParams(m.Params()) }
+
+// Forward predicts the distribution of the next time step for a batch of
+// channel-major windows x of shape (N, C, W), returning the mean and
+// log-variance, each of shape (N, C).
+func (m *Model) Forward(x *tensor.Tensor) (mu, logVar *tensor.Tensor) {
+	if x.Dims() != 3 || x.Dim(1) != m.cfg.Channels || x.Dim(2) != m.cfg.Window {
+		panic(fmt.Sprintf("core: Forward shape %v, want (N,%d,%d)", x.Shape(), m.cfg.Channels, m.cfg.Window))
+	}
+	out := m.head.Forward(m.flat.Forward(m.trunk.Forward(x)))
+	n, c := out.Dim(0), m.cfg.Channels
+	mu = tensor.New(n, c)
+	logVar = tensor.New(n, c)
+	od, md, ld := out.Data(), mu.Data(), logVar.Data()
+	for i := 0; i < n; i++ {
+		copy(md[i*c:(i+1)*c], od[i*2*c:i*2*c+c])
+		copy(ld[i*c:(i+1)*c], od[i*2*c+c:(i+1)*2*c])
+	}
+	return mu, logVar
+}
+
+// Backward propagates gradients with respect to mean and log-variance
+// (each (N, C)) through the network, accumulating parameter gradients.
+func (m *Model) Backward(dMu, dLogVar *tensor.Tensor) {
+	n, c := dMu.Dim(0), m.cfg.Channels
+	grad := tensor.New(n, 2*c)
+	gd, md, ld := grad.Data(), dMu.Data(), dLogVar.Data()
+	for i := 0; i < n; i++ {
+		copy(gd[i*2*c:i*2*c+c], md[i*c:(i+1)*c])
+		copy(gd[i*2*c+c:(i+1)*2*c], ld[i*c:(i+1)*c])
+	}
+	m.trunk.Backward(m.flat.Backward(m.head.Backward(grad)))
+}
+
+// Loss computes the full ELBO-derived objective of Eq. (7),
+// L = L_recon + λ·D_KL, for predictions against target (N, C), and the
+// gradients with respect to mu and logVar.
+func (m *Model) Loss(mu, logVar, target *tensor.Tensor) (loss float64, dMu, dLogVar *tensor.Tensor) {
+	nll, dMuN, dLvN := nn.GaussianNLL(mu, logVar, target)
+	kl, dMuK, dLvK := nn.GaussianKL(mu, logVar)
+	dMu = tensor.AXPY(m.cfg.KLWeight, dMuK, dMuN)
+	dLogVar = tensor.AXPY(m.cfg.KLWeight, dLvK, dLvN)
+	return nll + m.cfg.KLWeight*kl, dMu, dLogVar
+}
+
+// Name implements detect.Detector.
+func (m *Model) Name() string { return "VARADE" }
+
+// WindowSize implements detect.Detector: VARADE consumes exactly its
+// context window and scores the point that follows it.
+func (m *Model) WindowSize() int { return m.cfg.Window }
+
+// Score implements detect.Detector. The window is time-major (W, C); the
+// score is the mean predicted variance over channels — §3.2: "the variance
+// is directly used as an anomaly score" (the mean prediction is discarded).
+func (m *Model) Score(window *tensor.Tensor) float64 {
+	_, logVar := m.Forward(windowToInput(window, m.cfg.Channels, m.cfg.Window))
+	s := 0.0
+	for _, lv := range logVar.Data() {
+		s += math.Exp(lv)
+	}
+	return s / float64(logVar.Len())
+}
+
+// Predict returns the per-channel mean and variance forecast for a single
+// time-major window (W, C).
+func (m *Model) Predict(window *tensor.Tensor) (mean, variance []float64) {
+	mu, logVar := m.Forward(windowToInput(window, m.cfg.Channels, m.cfg.Window))
+	mean = append([]float64(nil), mu.Data()...)
+	variance = make([]float64, logVar.Len())
+	for i, lv := range logVar.Data() {
+		variance[i] = math.Exp(lv)
+	}
+	return mean, variance
+}
+
+// windowToInput converts one time-major window (W, C) to the (1, C, W)
+// channel-major layout the convolutions consume.
+func windowToInput(window *tensor.Tensor, c, w int) *tensor.Tensor {
+	if window.Dims() != 2 || window.Dim(0) != w || window.Dim(1) != c {
+		panic(fmt.Sprintf("core: window shape %v, want (%d,%d)", window.Shape(), w, c))
+	}
+	x := tensor.New(1, c, w)
+	wd, xd := window.Data(), x.Data()
+	for t := 0; t < w; t++ {
+		for ch := 0; ch < c; ch++ {
+			xd[ch*w+t] = wd[t*c+ch]
+		}
+	}
+	return x
+}
+
+// Summary renders the architecture as a table: one row per layer with
+// output shape and parameter count, mirroring Fig. 1 of the paper.
+func (m *Model) Summary(w io.Writer) {
+	maps := m.cfg.LayerMaps()
+	fmt.Fprintf(w, "VARADE  T=%d  C=%d  λ=%g  (%d parameters)\n",
+		m.cfg.Window, m.cfg.Channels, m.cfg.KLWeight, m.NumParams())
+	fmt.Fprintf(w, "%-22s %-18s %s\n", "layer", "output shape", "params")
+	fmt.Fprintf(w, "%s\n", strings.Repeat("-", 52))
+	length := m.cfg.Window
+	inC := m.cfg.Channels
+	for i, outC := range maps {
+		length /= 2
+		p := outC*inC*2 + outC
+		fmt.Fprintf(w, "conv1d_%-2d k=2 s=2      (%d, %d)%*s %d\n", i+1, outC, length,
+			14-len(fmt.Sprintf("(%d, %d)", outC, length)), "", p)
+		inC = outC
+	}
+	last := maps[len(maps)-1]
+	fmt.Fprintf(w, "%-22s %-18s %d\n", "linear → (μ, logσ²)",
+		fmt.Sprintf("(2, %d)", m.cfg.Channels), (2*last)*(2*m.cfg.Channels)+2*m.cfg.Channels)
+}
+
+// Save writes the model weights to path.
+func (m *Model) Save(path string) error { return nn.SaveFile(path, m.Params()) }
+
+// Load reads weights from path into the model (architecture must match).
+func (m *Model) Load(path string) error { return nn.LoadFile(path, m.Params()) }

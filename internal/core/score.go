@@ -1,0 +1,47 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"varade/internal/tensor"
+)
+
+// ResidualScorer wraps a trained VARADE model but scores windows with the
+// conventional forecasting criterion — the Euclidean norm between forecast
+// mean and observed value — instead of the predicted variance. It exists
+// for the paper's central ablation: §3.1 observes that edge-sized
+// autoregressive models forecast too poorly for residual scores to work,
+// which motivates the variational variance score.
+//
+// Its window is one step longer than the model's: the first Window rows
+// form the forecasting context and the last row is the observed next point.
+type ResidualScorer struct {
+	Model *Model
+}
+
+// Name implements detect.Detector.
+func (r *ResidualScorer) Name() string { return "VARADE-residual" }
+
+// WindowSize implements detect.Detector (context + observed point).
+func (r *ResidualScorer) WindowSize() int { return r.Model.cfg.Window + 1 }
+
+// Fit trains the underlying model.
+func (r *ResidualScorer) Fit(series *tensor.Tensor) error { return r.Model.Fit(series) }
+
+// Score returns ‖observed − μ‖₂ for the window's final row.
+func (r *ResidualScorer) Score(window *tensor.Tensor) float64 {
+	w := r.Model.cfg.Window
+	c := r.Model.cfg.Channels
+	if window.Dims() != 2 || window.Dim(0) != w+1 || window.Dim(1) != c {
+		panic(fmt.Sprintf("core: ResidualScorer window %v, want (%d,%d)", window.Shape(), w+1, c))
+	}
+	mean, _ := r.Model.Predict(window.SliceRows(0, w))
+	obs := window.Row(w).Data()
+	s := 0.0
+	for i, m := range mean {
+		d := obs[i] - m
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+
+	"varade/internal/tensor"
+)
+
+func TestCorruptContextsLeavesCleanSamplesUntouched(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	x := tensor.RandNormal(rng, 0, 1, 8, 3, 16)
+	y := tensor.RandNormal(rng, 0, 1, 8, 3)
+	xc, yc := x.Clone(), y.Clone()
+	corruptContexts(xc, yc, 0, 1, tensor.NewRNG(2)) // prob 0: no-op
+	if !tensor.Equal(x, xc, 0) || !tensor.Equal(y, yc, 0) {
+		t.Fatal("prob=0 must not modify the batch")
+	}
+}
+
+func TestCorruptContextsOnlyTouchesSuffix(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	n, c, w := 16, 2, 16
+	x := tensor.RandNormal(rng, 0, 1, n, c, w)
+	orig := x.Clone()
+	y := tensor.RandNormal(rng, 0, 1, n, c)
+	corruptContexts(x, y, 1, 0.5, tensor.NewRNG(4))
+	// The corruption segment is at most w/2+1 long and always suffix-
+	// anchored, so the first w/2−1 steps of every channel are untouched
+	// (the swap shape grafts only suffix positions of the donor too).
+	limit := w - (w/2 + 1)
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			for ts := 0; ts < limit; ts++ {
+				if x.At3(i, ch, ts) != orig.At3(i, ch, ts) {
+					t.Fatalf("sample %d ch %d t=%d modified outside the suffix", i, ch, ts)
+				}
+			}
+		}
+	}
+}
+
+func TestCorruptContextsModifiesSomething(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	x := tensor.RandNormal(rng, 0, 1, 32, 2, 16)
+	y := tensor.RandNormal(rng, 0, 1, 32, 2)
+	xc, yc := x.Clone(), y.Clone()
+	corruptContexts(xc, yc, 1, 0.5, tensor.NewRNG(6))
+	if tensor.Equal(x, xc, 0) {
+		t.Fatal("prob=1 must modify contexts")
+	}
+	if tensor.Equal(y, yc, 0) {
+		t.Fatal("prob=1 must disturb targets")
+	}
+}
+
+func TestCorruptContextsDeterministic(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	x := tensor.RandNormal(rng, 0, 1, 8, 2, 16)
+	y := tensor.RandNormal(rng, 0, 1, 8, 2)
+	x1, y1 := x.Clone(), y.Clone()
+	x2, y2 := x.Clone(), y.Clone()
+	corruptContexts(x1, y1, 0.5, 1, tensor.NewRNG(9))
+	corruptContexts(x2, y2, 0.5, 1, tensor.NewRNG(9))
+	if !tensor.Equal(x1, x2, 0) || !tensor.Equal(y1, y2, 0) {
+		t.Fatal("equal RNG seeds must corrupt identically")
+	}
+}
+
+// TestAugmentationRaisesVarianceOnDisturbedSuffix asserts the mechanism
+// the augmentation exists for: after training with disturbances, a window
+// whose suffix carries an unpredictable transient must receive a higher
+// predicted variance than the clean window.
+func TestAugmentationRaisesVarianceOnDisturbedSuffix(t *testing.T) {
+	series := syntheticSeries(1500, 2, 11)
+	cfg := Config{Window: 32, Channels: 2, BaseMaps: 16, KLWeight: 0.1, Seed: 1}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := DefaultTrainConfig()
+	tc.Epochs = 15
+	tc.Stride = 2
+	if err := m.FitWindows(series, tc); err != nil {
+		t.Fatal(err)
+	}
+	meanVar := func(win *tensor.Tensor) float64 {
+		_, v := m.Predict(win)
+		s := 0.0
+		for _, x := range v {
+			s += x
+		}
+		return s / float64(len(v))
+	}
+	// Average over several windows to wash out per-window variation.
+	probe := tensor.NewRNG(12)
+	cleanSum, badSum := 0.0, 0.0
+	n := 0
+	for start := 100; start+32 < 1400; start += 90 {
+		win := series.SliceRows(start, start+32).Clone()
+		cleanSum += meanVar(win)
+		bad := win.Clone()
+		for ts := 24; ts < 32; ts++ {
+			for ch := 0; ch < 2; ch++ {
+				bad.Set2(bad.At2(ts, ch)+probe.Uniform(-0.8, 0.8), ts, ch)
+			}
+		}
+		badSum += meanVar(bad)
+		n++
+	}
+	if badSum <= cleanSum {
+		t.Fatalf("disturbed suffixes must raise mean variance: clean %.5f disturbed %.5f",
+			cleanSum/float64(n), badSum/float64(n))
+	}
+}

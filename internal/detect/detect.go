@@ -1,0 +1,98 @@
+// Package detect defines the common interface that VARADE and every
+// baseline detector implement, plus helpers to score whole series with a
+// sliding window. The evaluation harness, edge profiler and streaming
+// runtime all operate on this interface so each of the six algorithms in
+// the paper's Table 2 is exercised by exactly the same code path.
+package detect
+
+import (
+	"fmt"
+
+	"varade/internal/tensor"
+)
+
+// Detector is an anomaly detector over multivariate time series.
+//
+// Series and windows are time-major: a series has shape (T, C) and a window
+// has shape (W, C) where W = WindowSize(). Score returns an anomaly score
+// for the point following (forecasters) or covered by (reconstruction and
+// outlier detectors) the window; higher means more anomalous.
+type Detector interface {
+	// Name identifies the detector in reports (e.g. "VARADE", "AR-LSTM").
+	Name() string
+	// WindowSize is the number of consecutive time steps Score consumes.
+	WindowSize() int
+	// Fit trains the detector on an anomaly-free series of shape (T, C).
+	Fit(series *tensor.Tensor) error
+	// Score returns the anomaly score for one window of shape (W, C).
+	Score(window *tensor.Tensor) float64
+}
+
+// ScoreSeries slides the detector over series (shape (T, C)) and returns
+// one score per time step. The score for step i uses the window ending AT
+// i inclusive — rows [i−W+1, i+1) — matching the streaming Runner, which
+// scores each sample as it arrives: the evidence for "is point i
+// anomalous" includes point i itself. The first W−1 steps, for which no
+// full window exists yet, receive the first computed score so the output
+// aligns 1:1 with the input and with ground-truth labels.
+func ScoreSeries(d Detector, series *tensor.Tensor) []float64 {
+	if series.Dims() != 2 {
+		panic(fmt.Sprintf("detect: ScoreSeries needs a (T,C) series, got %v", series.Shape()))
+	}
+	t := series.Dim(0)
+	w := d.WindowSize()
+	if t <= w {
+		panic(fmt.Sprintf("detect: series length %d not longer than window %d", t, w))
+	}
+	scores := make([]float64, t)
+	for i := w - 1; i < t; i++ {
+		scores[i] = d.Score(series.SliceRows(i-w+1, i+1))
+	}
+	for i := 0; i < w-1; i++ {
+		scores[i] = scores[w-1]
+	}
+	return scores
+}
+
+// Windows extracts all (window, next-point) training pairs from a series of
+// shape (T, C) with the given stride: inputs (N, W, C) and targets (N, C),
+// where target i is the point immediately after window i. Forecasting
+// detectors (VARADE, AR-LSTM, GBRF) train on these pairs.
+func Windows(series *tensor.Tensor, window, stride int) (inputs, targets *tensor.Tensor) {
+	if series.Dims() != 2 {
+		panic(fmt.Sprintf("detect: Windows needs a (T,C) series, got %v", series.Shape()))
+	}
+	t, c := series.Dim(0), series.Dim(1)
+	n := (t - window - 1 + stride) / stride
+	if t-window <= 0 || n <= 0 {
+		panic(fmt.Sprintf("detect: series length %d too short for window %d", t, window))
+	}
+	inputs = tensor.New(n, window, c)
+	targets = tensor.New(n, c)
+	sd, id, td := series.Data(), inputs.Data(), targets.Data()
+	for i := 0; i < n; i++ {
+		start := i * stride
+		copy(id[i*window*c:(i+1)*window*c], sd[start*c:(start+window)*c])
+		copy(td[i*c:(i+1)*c], sd[(start+window)*c:(start+window+1)*c])
+	}
+	return inputs, targets
+}
+
+// ToChannelMajor converts a batch of time-major windows (N, W, C) into the
+// channel-major layout (N, C, W) consumed by 1-D convolutions.
+func ToChannelMajor(windows *tensor.Tensor) *tensor.Tensor {
+	if windows.Dims() != 3 {
+		panic(fmt.Sprintf("detect: ToChannelMajor needs (N,W,C), got %v", windows.Shape()))
+	}
+	n, w, c := windows.Dim(0), windows.Dim(1), windows.Dim(2)
+	out := tensor.New(n, c, w)
+	wd, od := windows.Data(), out.Data()
+	for i := 0; i < n; i++ {
+		for t := 0; t < w; t++ {
+			for ch := 0; ch < c; ch++ {
+				od[(i*c+ch)*w+t] = wd[(i*w+t)*c+ch]
+			}
+		}
+	}
+	return out
+}

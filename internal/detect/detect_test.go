@@ -1,0 +1,104 @@
+package detect
+
+import (
+	"testing"
+
+	"varade/internal/tensor"
+)
+
+// constDetector scores every window with the mean of its last row.
+type constDetector struct{ w int }
+
+func (d *constDetector) Name() string             { return "const" }
+func (d *constDetector) WindowSize() int          { return d.w }
+func (d *constDetector) Fit(*tensor.Tensor) error { return nil }
+func (d *constDetector) Score(win *tensor.Tensor) float64 {
+	return win.Row(win.Dim(0) - 1).Mean()
+}
+
+func TestScoreSeriesAlignment(t *testing.T) {
+	// Series whose value equals its time index on both channels.
+	n, c := 10, 2
+	series := tensor.New(n, c)
+	for i := 0; i < n; i++ {
+		series.Set2(float64(i), i, 0)
+		series.Set2(float64(i), i, 1)
+	}
+	d := &constDetector{w: 3}
+	scores := ScoreSeries(d, series)
+	if len(scores) != n {
+		t.Fatalf("got %d scores, want %d", len(scores), n)
+	}
+	// The window for step i ends AT i inclusive, so score[i] = i: the
+	// evidence for point i includes point i itself, as in the streaming
+	// Runner.
+	for i := 2; i < n; i++ {
+		if scores[i] != float64(i) {
+			t.Fatalf("scores[%d]=%g want %d", i, scores[i], i)
+		}
+	}
+	// Warm-up points inherit the first computed score.
+	for i := 0; i < 2; i++ {
+		if scores[i] != scores[2] {
+			t.Fatalf("warm-up scores[%d]=%g want %g", i, scores[i], scores[2])
+		}
+	}
+}
+
+func TestScoreSeriesShortSeriesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ScoreSeries(&constDetector{w: 5}, tensor.New(5, 1))
+}
+
+func TestWindowsPairing(t *testing.T) {
+	series := tensor.New(10, 1)
+	for i := 0; i < 10; i++ {
+		series.Set2(float64(i), i, 0)
+	}
+	wins, targets := Windows(series, 3, 1)
+	if wins.Dim(0) != targets.Dim(0) {
+		t.Fatal("window/target count mismatch")
+	}
+	for i := 0; i < wins.Dim(0); i++ {
+		// Window i covers rows [i, i+3); its target is row i+3.
+		if wins.At3(i, 0, 0) != float64(i) {
+			t.Fatalf("window %d starts at %g", i, wins.At3(i, 0, 0))
+		}
+		if targets.At2(i, 0) != float64(i+3) {
+			t.Fatalf("target %d = %g want %d", i, targets.At2(i, 0), i+3)
+		}
+	}
+}
+
+func TestWindowsStride(t *testing.T) {
+	series := tensor.New(20, 2)
+	wins, _ := Windows(series, 4, 3)
+	// Starts 0,3,6,9,12,15 all satisfy start+4 < 20 → at least 5 windows.
+	if wins.Dim(0) < 5 {
+		t.Fatalf("got %d windows", wins.Dim(0))
+	}
+}
+
+func TestToChannelMajor(t *testing.T) {
+	wins := tensor.New(1, 2, 3) // one window, 2 steps, 3 channels
+	for ti := 0; ti < 2; ti++ {
+		for c := 0; c < 3; c++ {
+			wins.Set3(float64(10*ti+c), 0, ti, c)
+		}
+	}
+	cm := ToChannelMajor(wins)
+	if cm.Dim(1) != 3 || cm.Dim(2) != 2 {
+		t.Fatalf("shape %v", cm.Shape())
+	}
+	for c := 0; c < 3; c++ {
+		for ti := 0; ti < 2; ti++ {
+			if cm.At3(0, c, ti) != float64(10*ti+c) {
+				t.Fatalf("cm[0,%d,%d]=%g", c, ti, cm.At3(0, c, ti))
+			}
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package edge
+
+import (
+	"strings"
+	"testing"
+
+	"varade/internal/tensor"
+)
+
+func neuralWorkload(sec float64) Workload {
+	return Workload{Name: "net", Kind: KindNeural, HostSecPerInf: sec,
+		ModelBytes: 40e6, WorkingSetBytes: 5e6, AUCROC: 0.84}
+}
+
+func TestIdleRowsMatchTable2(t *testing.T) {
+	x := XavierNX().IdleReport()
+	if x.CPUPct != 36.465 || x.GPUPct != 52.100 || x.PowerW != 5.851 {
+		t.Fatalf("Xavier idle row %+v does not match Table 2", x)
+	}
+	o := AGXOrin().IdleReport()
+	if o.CPUPct != 4.875 || o.GPUPct != 0 || o.PowerW != 7.522 {
+		t.Fatalf("Orin idle row %+v does not match Table 2", o)
+	}
+}
+
+func TestOrinFasterThanXavier(t *testing.T) {
+	w := neuralWorkload(0.05)
+	hx := XavierNX().Profile(w).HzInf
+	ho := AGXOrin().Profile(w).HzInf
+	if ho <= hx {
+		t.Fatalf("Orin (%g Hz) must outrun Xavier (%g Hz)", ho, hx)
+	}
+	// Table 2 shows roughly 2× across models; accept 1.5–3×.
+	if r := ho / hx; r < 1.5 || r > 3 {
+		t.Fatalf("Orin/Xavier ratio %g outside [1.5, 3]", r)
+	}
+}
+
+func TestPowerAboveIdle(t *testing.T) {
+	for _, p := range []Platform{XavierNX(), AGXOrin()} {
+		for _, k := range []Kind{KindNeural, KindForest, KindSearch} {
+			w := neuralWorkload(0.01)
+			w.Kind = k
+			r := p.Profile(w)
+			if r.PowerW <= p.IdlePowerW {
+				t.Fatalf("%s kind %d power %g not above idle %g", p.Name, k, r.PowerW, p.IdlePowerW)
+			}
+		}
+	}
+}
+
+func TestSearchPlacementPolicy(t *testing.T) {
+	w := neuralWorkload(0.05)
+	w.Kind = KindSearch
+	// Xavier offloads part of the search to the GPU; Orin keeps it on the
+	// CPU and shows idle GPU (§4.4 observation about the TF planner).
+	xr := XavierNX().Profile(w)
+	or := AGXOrin().Profile(w)
+	if or.GPUPct != AGXOrin().IdleGPUPct {
+		t.Fatalf("Orin search GPU %g should stay at idle %g", or.GPUPct, AGXOrin().IdleGPUPct)
+	}
+	if xr.GPUPct <= XavierNX().IdleGPUPct {
+		t.Fatal("Xavier search must touch the GPU")
+	}
+	// Search saturates CPUs on both boards.
+	if or.CPUPct < 85 || xr.CPUPct < 85 {
+		t.Fatalf("search CPU%% too low: Xavier %g Orin %g", xr.CPUPct, or.CPUPct)
+	}
+}
+
+func TestNeuralUsesGPURAM(t *testing.T) {
+	p := XavierNX()
+	neural := p.Profile(neuralWorkload(0.05))
+	forest := neuralWorkload(0.05)
+	forest.Kind = KindForest
+	fr := p.Profile(forest)
+	if neural.GPURAMMB <= p.IdleGPURAM {
+		t.Fatal("neural model must allocate GPU RAM")
+	}
+	if fr.GPURAMMB < p.IdleGPURAM {
+		t.Fatal("GPU RAM cannot drop below idle")
+	}
+}
+
+func TestHzInverseInHostTime(t *testing.T) {
+	p := AGXOrin()
+	fast := p.Profile(neuralWorkload(0.01)).HzInf
+	slow := p.Profile(neuralWorkload(0.1)).HzInf
+	if fast <= slow {
+		t.Fatal("cheaper workload must run at higher Hz")
+	}
+	ratio := fast / slow
+	if ratio < 9.9 || ratio > 10.1 {
+		t.Fatalf("Hz must scale inversely with cost, ratio %g want 10", ratio)
+	}
+}
+
+func TestAUCPassesThroughUnchanged(t *testing.T) {
+	w := neuralWorkload(0.05)
+	if got := XavierNX().Profile(w).AUCROC; got != w.AUCROC {
+		t.Fatalf("AUC %g modified by board model", got)
+	}
+}
+
+func TestCPUUtilisationCapped(t *testing.T) {
+	w := neuralWorkload(0.01)
+	w.Kind = KindSearch
+	r := XavierNX().Profile(w)
+	if r.CPUPct > 100 {
+		t.Fatalf("CPU %g%% exceeds 100", r.CPUPct)
+	}
+}
+
+type fixedDetector struct{ w int }
+
+func (d *fixedDetector) Name() string                 { return "fixed" }
+func (d *fixedDetector) WindowSize() int              { return d.w }
+func (d *fixedDetector) Fit(*tensor.Tensor) error     { return nil }
+func (d *fixedDetector) Score(*tensor.Tensor) float64 { return 1 }
+
+func TestMeasureSecPerInf(t *testing.T) {
+	series := tensor.New(100, 2)
+	sec := MeasureSecPerInf(&fixedDetector{w: 4}, series, 50)
+	if sec <= 0 || sec > 0.01 {
+		t.Fatalf("implausible measured cost %g s", sec)
+	}
+}
+
+func TestWriteTableLayout(t *testing.T) {
+	var sb strings.Builder
+	p := XavierNX()
+	WriteTable(&sb, p.IdleReport(), []Report{p.Profile(neuralWorkload(0.05))})
+	out := sb.String()
+	for _, want := range []string{"Idle", "net", "AUC", "Hz", "Power"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+	var sc strings.Builder
+	WriteScatter(&sc, []Report{p.Profile(neuralWorkload(0.05))})
+	if !strings.Contains(sc.String(), "Jetson Xavier NX") {
+		t.Fatal("scatter missing board name")
+	}
+}

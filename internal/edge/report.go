@@ -1,0 +1,58 @@
+package edge
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"varade/internal/detect"
+	"varade/internal/tensor"
+)
+
+// MeasureSecPerInf times detector.Score on real windows from series and
+// returns the mean wall-clock seconds per inference. It runs at least
+// minReps scores (cycling through the series) so fast detectors are timed
+// over enough work to be stable.
+func MeasureSecPerInf(d detect.Detector, series *tensor.Tensor, minReps int) float64 {
+	w := d.WindowSize()
+	t := series.Dim(0)
+	if t <= w {
+		panic(fmt.Sprintf("edge: series length %d too short for window %d", t, w))
+	}
+	if minReps < 1 {
+		minReps = 1
+	}
+	start := time.Now()
+	reps := 0
+	for reps < minReps {
+		for i := w; i < t && reps < minReps; i += w + 1 {
+			d.Score(series.SliceRows(i-w, i))
+			reps++
+		}
+	}
+	return time.Since(start).Seconds() / float64(reps)
+}
+
+// WriteTable renders reports in the layout of Table 2.
+func WriteTable(w io.Writer, idle Report, rows []Report) {
+	fmt.Fprintf(w, "%-18s %8s %8s %10s %12s %9s %8s %9s\n",
+		"Model", "CPU %", "GPU %", "RAM MB", "GPU RAM MB", "Power W", "AUC", "Hz")
+	fmt.Fprintln(w, strings.Repeat("-", 88))
+	fmt.Fprintf(w, "%-18s %8.3f %8.3f %10.3f %12.3f %9.3f %8s %9s\n",
+		idle.Model, idle.CPUPct, idle.GPUPct, idle.RAMMB, idle.GPURAMMB, idle.PowerW, ".", ".")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-18s %8.3f %8.3f %10.3f %12.3f %9.3f %8.3f %9.3f\n",
+			r.Model, r.CPUPct, r.GPUPct, r.RAMMB, r.GPURAMMB, r.PowerW, r.AUCROC, r.HzInf)
+	}
+}
+
+// WriteScatter renders reports as the (Hz, AUC, power) series plotted in
+// Figure 3 — one line per (board, model) point.
+func WriteScatter(w io.Writer, rows []Report) {
+	fmt.Fprintf(w, "%-18s %-18s %9s %8s %9s\n", "Board", "Model", "Hz", "AUC", "Power W")
+	fmt.Fprintln(w, strings.Repeat("-", 68))
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-18s %-18s %9.3f %8.3f %9.3f\n", r.Board, r.Model, r.HzInf, r.AUCROC, r.PowerW)
+	}
+}

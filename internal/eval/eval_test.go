@@ -1,0 +1,217 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"varade/internal/tensor"
+)
+
+func TestAUCPerfectDetector(t *testing.T) {
+	scores := []float64{0.1, 0.2, 0.3, 0.9, 0.8}
+	labels := []bool{false, false, false, true, true}
+	if auc := AUCROC(scores, labels); auc != 1 {
+		t.Fatalf("perfect AUC=%g", auc)
+	}
+}
+
+func TestAUCReversedDetector(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.7, 0.1, 0.2}
+	labels := []bool{false, false, false, true, true}
+	if auc := AUCROC(scores, labels); auc != 0 {
+		t.Fatalf("reversed AUC=%g", auc)
+	}
+}
+
+func TestAUCRandomScoresNearHalf(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	n := 20000
+	scores := make([]float64, n)
+	labels := make([]bool, n)
+	for i := range scores {
+		scores[i] = rng.Float64()
+		labels[i] = rng.Float64() < 0.3
+	}
+	if auc := AUCROC(scores, labels); math.Abs(auc-0.5) > 0.02 {
+		t.Fatalf("random AUC=%g", auc)
+	}
+}
+
+func TestAUCAllTiedIsHalf(t *testing.T) {
+	scores := []float64{1, 1, 1, 1}
+	labels := []bool{true, false, true, false}
+	if auc := AUCROC(scores, labels); auc != 0.5 {
+		t.Fatalf("tied AUC=%g want 0.5", auc)
+	}
+}
+
+func TestAUCNeedsBothClasses(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	AUCROC([]float64{1, 2}, []bool{true, true})
+}
+
+// Property: AUC is invariant under strictly monotone score transforms.
+func TestAUCMonotoneInvariance(t *testing.T) {
+	f := func(raw [10]float64, mask uint16) bool {
+		scores := raw[:]
+		labels := make([]bool, 10)
+		nPos := 0
+		for i := range labels {
+			labels[i] = mask&(1<<i) != 0
+			if labels[i] {
+				nPos++
+			}
+		}
+		if nPos == 0 || nPos == 10 {
+			return true // skip degenerate draws
+		}
+		for _, v := range scores {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 200 {
+				return true
+			}
+		}
+		a1 := AUCROC(scores, labels)
+		warped := make([]float64, len(scores))
+		for i, v := range scores {
+			warped[i] = math.Exp(v/100) + 3 // strictly increasing
+		}
+		a2 := AUCROC(warped, labels)
+		return math.Abs(a1-a2) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the rank-based AUC agrees with trapezoid integration of the
+// explicit ROC curve.
+func TestAUCAgreesWithCurveIntegration(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	for trial := 0; trial < 30; trial++ {
+		n := 50 + rng.Intn(100)
+		scores := make([]float64, n)
+		labels := make([]bool, n)
+		pos := 0
+		for i := range scores {
+			scores[i] = math.Round(rng.Float64()*20) / 20 // force ties
+			labels[i] = rng.Float64() < 0.4
+			if labels[i] {
+				pos++
+			}
+		}
+		if pos == 0 || pos == n {
+			continue
+		}
+		a1 := AUCROC(scores, labels)
+		a2 := AUCFromCurve(ROCCurve(scores, labels))
+		if math.Abs(a1-a2) > 1e-9 {
+			t.Fatalf("trial %d: rank AUC %g vs curve AUC %g", trial, a1, a2)
+		}
+	}
+}
+
+func TestROCCurveEndpoints(t *testing.T) {
+	scores := []float64{0.1, 0.5, 0.9, 0.3}
+	labels := []bool{false, true, true, false}
+	pts := ROCCurve(scores, labels)
+	first, last := pts[0], pts[len(pts)-1]
+	if first.FPR != 0 || first.TPR != 0 {
+		t.Fatalf("curve must start at origin, got (%g,%g)", first.FPR, first.TPR)
+	}
+	if last.FPR != 1 || last.TPR != 1 {
+		t.Fatalf("curve must end at (1,1), got (%g,%g)", last.FPR, last.TPR)
+	}
+	// Monotone non-decreasing in both axes.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].FPR < pts[i-1].FPR || pts[i].TPR < pts[i-1].TPR {
+			t.Fatal("ROC curve must be monotone")
+		}
+	}
+}
+
+func TestConfusionAndDerivedMetrics(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []bool{true, false, true, false}
+	c := Confuse(scores, labels, 0.5)
+	if c.TP != 1 || c.FP != 1 || c.FN != 1 || c.TN != 1 {
+		t.Fatalf("confusion %+v", c)
+	}
+	if c.Precision() != 0.5 || c.Recall() != 0.5 || c.F1() != 0.5 {
+		t.Fatalf("P/R/F1 %g %g %g", c.Precision(), c.Recall(), c.F1())
+	}
+}
+
+func TestConfusionEdgeCases(t *testing.T) {
+	var c Confusion
+	if c.Precision() != 0 || c.Recall() != 0 || c.F1() != 0 {
+		t.Fatal("empty confusion must yield zero metrics")
+	}
+}
+
+func TestBestF1FindsSeparator(t *testing.T) {
+	scores := []float64{0.1, 0.2, 0.3, 0.8, 0.9}
+	labels := []bool{false, false, false, true, true}
+	f1, thr := BestF1(scores, labels)
+	if f1 != 1 {
+		t.Fatalf("best F1 %g want 1", f1)
+	}
+	if thr < 0.3 || thr >= 0.8 {
+		t.Fatalf("threshold %g outside separating gap", thr)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if q := Quantile(xs, 0); q != 1 {
+		t.Fatalf("q0=%g", q)
+	}
+	if q := Quantile(xs, 1); q != 4 {
+		t.Fatalf("q1=%g", q)
+	}
+	if q := Quantile(xs, 0.5); math.Abs(q-2.5) > 1e-12 {
+		t.Fatalf("median=%g", q)
+	}
+}
+
+func TestEventsRoundTrip(t *testing.T) {
+	labels := []bool{false, true, true, false, false, true, false, true}
+	evs := EventsFromLabels(labels)
+	if len(evs) != 3 {
+		t.Fatalf("%d events want 3", len(evs))
+	}
+	if evs[0].Start != 1 || evs[0].End != 3 || evs[2].Start != 7 || evs[2].End != 8 {
+		t.Fatalf("events %+v", evs)
+	}
+	back := LabelsFromEvents(evs, len(labels))
+	for i := range labels {
+		if back[i] != labels[i] {
+			t.Fatal("labels round trip failed")
+		}
+	}
+}
+
+func TestPointAdjustPromotesWholeEvent(t *testing.T) {
+	scores := []float64{0, 0, 0.9, 0, 0, 0, 0}
+	labels := []bool{false, true, true, true, false, true, false}
+	adj := PointAdjust(scores, labels, 0.5)
+	// Event [1,4) has one hit → whole event marked; event [5,6) has none.
+	want := []bool{false, true, true, true, false, false, false}
+	for i := range want {
+		if adj[i] != want[i] {
+			t.Fatalf("adjusted[%d]=%v want %v", i, adj[i], want[i])
+		}
+	}
+}
+
+func TestEventRecall(t *testing.T) {
+	scores := []float64{0, 0.9, 0, 0, 0, 0}
+	labels := []bool{false, true, true, false, true, true}
+	if r := EventRecall(scores, labels, 0.5); r != 0.5 {
+		t.Fatalf("event recall %g want 0.5", r)
+	}
+}

@@ -1,0 +1,105 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Confusion holds thresholded binary-classification counts.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Confuse classifies score > threshold as anomalous and tallies against
+// labels.
+func Confuse(scores []float64, labels []bool, threshold float64) Confusion {
+	if len(scores) != len(labels) {
+		panic(fmt.Sprintf("eval: %d scores vs %d labels", len(scores), len(labels)))
+	}
+	var c Confusion
+	for i, s := range scores {
+		pred := s > threshold
+		switch {
+		case pred && labels[i]:
+			c.TP++
+		case pred && !labels[i]:
+			c.FP++
+		case !pred && labels[i]:
+			c.FN++
+		default:
+			c.TN++
+		}
+	}
+	return c
+}
+
+// Precision returns TP/(TP+FP), or 0 when nothing was predicted positive.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN), or 0 when there are no positives.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// BestF1 sweeps all distinct score thresholds and returns the best F1 and
+// the threshold achieving it.
+func BestF1(scores []float64, labels []bool) (f1, threshold float64) {
+	uniq := append([]float64(nil), scores...)
+	sort.Float64s(uniq)
+	uniq = dedup(uniq)
+	best, bestThr := 0.0, uniq[0]
+	for _, thr := range uniq {
+		if f := Confuse(scores, labels, thr).F1(); f > best {
+			best, bestThr = f, thr
+		}
+	}
+	return best, bestThr
+}
+
+func dedup(sorted []float64) []float64 {
+	out := sorted[:0]
+	for i, v := range sorted {
+		if i == 0 || v != sorted[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs by linear
+// interpolation on a sorted copy. Used to derive operating thresholds
+// (e.g. the 99th percentile of training scores).
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("eval: Quantile of empty slice")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("eval: quantile %g outside [0,1]", q))
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	pos := q * float64(len(s)-1)
+	lo := int(pos)
+	if lo == len(s)-1 {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}

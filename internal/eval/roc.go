@@ -1,0 +1,116 @@
+// Package eval implements the anomaly-detection evaluation used in §4.3:
+// ROC curves and the threshold-free AUC-ROC statistic, plus thresholded
+// precision/recall metrics and event-based evaluation for the collision
+// experiment.
+package eval
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ROCPoint is one (false-positive-rate, true-positive-rate) pair.
+type ROCPoint struct {
+	FPR, TPR  float64
+	Threshold float64
+}
+
+// AUCROC computes the area under the ROC curve for scores against binary
+// labels (true = anomalous). It uses the Mann–Whitney U statistic — the
+// probability a random anomalous point outscores a random normal one —
+// with midrank handling of ties, so it is exact and O(n log n).
+func AUCROC(scores []float64, labels []bool) float64 {
+	if len(scores) != len(labels) {
+		panic(fmt.Sprintf("eval: %d scores vs %d labels", len(scores), len(labels)))
+	}
+	n := len(scores)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+
+	var nPos, nNeg int
+	for _, l := range labels {
+		if l {
+			nPos++
+		} else {
+			nNeg++
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		panic("eval: AUCROC needs both positive and negative labels")
+	}
+
+	// Sum of midranks over positives.
+	rankSum := 0.0
+	for i := 0; i < n; {
+		j := i
+		for j < n && scores[idx[j]] == scores[idx[i]] {
+			j++
+		}
+		midrank := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			if labels[idx[k]] {
+				rankSum += midrank
+			}
+		}
+		i = j
+	}
+	u := rankSum - float64(nPos)*float64(nPos+1)/2
+	return u / (float64(nPos) * float64(nNeg))
+}
+
+// ROCCurve returns the ROC operating points for all distinct thresholds,
+// ordered from (0,0) to (1,1).
+func ROCCurve(scores []float64, labels []bool) []ROCPoint {
+	if len(scores) != len(labels) {
+		panic(fmt.Sprintf("eval: %d scores vs %d labels", len(scores), len(labels)))
+	}
+	n := len(scores)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	// Descending by score: lowering the threshold adds points one by one.
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+
+	var nPos, nNeg int
+	for _, l := range labels {
+		if l {
+			nPos++
+		} else {
+			nNeg++
+		}
+	}
+	pts := []ROCPoint{{FPR: 0, TPR: 0, Threshold: scores[idx[0]] + 1}}
+	tp, fp := 0, 0
+	for i := 0; i < n; {
+		j := i
+		for j < n && scores[idx[j]] == scores[idx[i]] {
+			if labels[idx[j]] {
+				tp++
+			} else {
+				fp++
+			}
+			j++
+		}
+		pts = append(pts, ROCPoint{
+			FPR:       float64(fp) / float64(nNeg),
+			TPR:       float64(tp) / float64(nPos),
+			Threshold: scores[idx[i]],
+		})
+		i = j
+	}
+	return pts
+}
+
+// AUCFromCurve integrates a ROC curve with the trapezoid rule; it agrees
+// with AUCROC and exists as an independent cross-check for tests.
+func AUCFromCurve(pts []ROCPoint) float64 {
+	area := 0.0
+	for i := 1; i < len(pts); i++ {
+		area += (pts[i].FPR - pts[i-1].FPR) * (pts[i].TPR + pts[i-1].TPR) / 2
+	}
+	return area
+}

@@ -1,0 +1,106 @@
+package nn
+
+import (
+	"math"
+
+	"varade/internal/tensor"
+)
+
+// ReLU is the rectified linear activation max(0, x).
+type ReLU struct {
+	mask []bool
+}
+
+// NewReLU returns a ReLU layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward zeroes negative elements.
+func (r *ReLU) Forward(x *tensor.Tensor) *tensor.Tensor {
+	xd := x.Data()
+	if cap(r.mask) < len(xd) {
+		r.mask = make([]bool, len(xd))
+	}
+	r.mask = r.mask[:len(xd)]
+	out := tensor.New(x.Shape()...)
+	od := out.Data()
+	for i, v := range xd {
+		if v > 0 {
+			od[i] = v
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+		}
+	}
+	return out
+}
+
+// Backward passes gradient only where the input was positive.
+func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(grad.Shape()...)
+	gd, od := grad.Data(), out.Data()
+	for i, m := range r.mask {
+		if m {
+			od[i] = gd[i]
+		}
+	}
+	return out
+}
+
+// Params returns nil.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Tanh is the hyperbolic tangent activation.
+type Tanh struct {
+	out *tensor.Tensor
+}
+
+// NewTanh returns a Tanh layer.
+func NewTanh() *Tanh { return &Tanh{} }
+
+// Forward applies tanh elementwise.
+func (t *Tanh) Forward(x *tensor.Tensor) *tensor.Tensor {
+	t.out = tensor.Apply(x, math.Tanh)
+	return t.out
+}
+
+// Backward multiplies by 1 - tanh².
+func (t *Tanh) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(grad.Shape()...)
+	gd, od, yd := grad.Data(), out.Data(), t.out.Data()
+	for i := range gd {
+		od[i] = gd[i] * (1 - yd[i]*yd[i])
+	}
+	return out
+}
+
+// Params returns nil.
+func (t *Tanh) Params() []*Param { return nil }
+
+// Sigmoid is the logistic activation 1/(1+e⁻ˣ).
+type Sigmoid struct {
+	out *tensor.Tensor
+}
+
+// NewSigmoid returns a Sigmoid layer.
+func NewSigmoid() *Sigmoid { return &Sigmoid{} }
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// Forward applies the logistic function elementwise.
+func (s *Sigmoid) Forward(x *tensor.Tensor) *tensor.Tensor {
+	s.out = tensor.Apply(x, sigmoid)
+	return s.out
+}
+
+// Backward multiplies by σ(1-σ).
+func (s *Sigmoid) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(grad.Shape()...)
+	gd, od, yd := grad.Data(), out.Data(), s.out.Data()
+	for i := range gd {
+		od[i] = gd[i] * yd[i] * (1 - yd[i])
+	}
+	return out
+}
+
+// Params returns nil.
+func (s *Sigmoid) Params() []*Param { return nil }

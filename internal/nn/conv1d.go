@@ -1,0 +1,255 @@
+package nn
+
+import (
+	"fmt"
+
+	"varade/internal/tensor"
+)
+
+// Conv1D is a 1-D convolution over (batch, channels, length) inputs.
+// VARADE uses kernel=2 stride=2 pad=0 so the time dimension halves per
+// layer (§3.1 of the paper); the implementation is general.
+//
+// Weight shape is (outC, inC, kernel); output length is
+// (L + 2*pad - kernel)/stride + 1.
+type Conv1D struct {
+	W, B                *Param
+	InC, OutC           int
+	Kernel, Stride, Pad int
+	in                  *tensor.Tensor
+}
+
+// NewConv1D returns a Conv1D with He-normal weights and zero bias.
+func NewConv1D(inC, outC, kernel, stride, pad int, rng *tensor.RNG) *Conv1D {
+	if kernel <= 0 || stride <= 0 || pad < 0 {
+		panic(fmt.Sprintf("nn: invalid Conv1D geometry k=%d s=%d p=%d", kernel, stride, pad))
+	}
+	return &Conv1D{
+		W:      newParam("conv1d.w", HeNormal(rng, outC, inC, kernel)),
+		B:      newParam("conv1d.b", tensor.New(outC)),
+		InC:    inC,
+		OutC:   outC,
+		Kernel: kernel,
+		Stride: stride,
+		Pad:    pad,
+	}
+}
+
+// OutLen returns the output length for an input of length l.
+func (c *Conv1D) OutLen(l int) int {
+	return (l+2*c.Pad-c.Kernel)/c.Stride + 1
+}
+
+// Forward computes the convolution.
+func (c *Conv1D) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if x.Dims() != 3 || x.Dim(1) != c.InC {
+		panic(fmt.Sprintf("nn: Conv1D forward shape %v, want (batch,%d,L)", x.Shape(), c.InC))
+	}
+	c.in = x
+	batch, l := x.Dim(0), x.Dim(2)
+	lo := c.OutLen(l)
+	if lo <= 0 {
+		panic(fmt.Sprintf("nn: Conv1D input length %d too short for k=%d s=%d p=%d", l, c.Kernel, c.Stride, c.Pad))
+	}
+	out := tensor.New(batch, c.OutC, lo)
+	xd, wd, bd, od := x.Data(), c.W.Value.Data(), c.B.Value.Data(), out.Data()
+	for b := 0; b < batch; b++ {
+		xb := xd[b*c.InC*l : (b+1)*c.InC*l]
+		ob := od[b*c.OutC*lo : (b+1)*c.OutC*lo]
+		for oc := 0; oc < c.OutC; oc++ {
+			orow := ob[oc*lo : (oc+1)*lo]
+			bias := bd[oc]
+			for t := 0; t < lo; t++ {
+				orow[t] = bias
+			}
+			for ic := 0; ic < c.InC; ic++ {
+				xrow := xb[ic*l : (ic+1)*l]
+				wrow := wd[(oc*c.InC+ic)*c.Kernel : (oc*c.InC+ic+1)*c.Kernel]
+				for kk := 0; kk < c.Kernel; kk++ {
+					wv := wrow[kk]
+					if wv == 0 {
+						continue
+					}
+					// Input position for output t: t*stride - pad + kk.
+					base := kk - c.Pad
+					for t := 0; t < lo; t++ {
+						p := t*c.Stride + base
+						if p >= 0 && p < l {
+							orow[t] += wv * xrow[p]
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward accumulates weight/bias gradients and returns the input gradient.
+func (c *Conv1D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	x := c.in
+	batch, l := x.Dim(0), x.Dim(2)
+	lo := grad.Dim(2)
+	dx := tensor.New(batch, c.InC, l)
+	xd, wd, gd := x.Data(), c.W.Value.Data(), grad.Data()
+	dwd, dbd, dxd := c.W.Grad.Data(), c.B.Grad.Data(), dx.Data()
+	for b := 0; b < batch; b++ {
+		xb := xd[b*c.InC*l : (b+1)*c.InC*l]
+		gb := gd[b*c.OutC*lo : (b+1)*c.OutC*lo]
+		dxb := dxd[b*c.InC*l : (b+1)*c.InC*l]
+		for oc := 0; oc < c.OutC; oc++ {
+			grow := gb[oc*lo : (oc+1)*lo]
+			for _, gv := range grow {
+				dbd[oc] += gv
+			}
+			for ic := 0; ic < c.InC; ic++ {
+				xrow := xb[ic*l : (ic+1)*l]
+				dxrow := dxb[ic*l : (ic+1)*l]
+				wrow := wd[(oc*c.InC+ic)*c.Kernel : (oc*c.InC+ic+1)*c.Kernel]
+				dwrow := dwd[(oc*c.InC+ic)*c.Kernel : (oc*c.InC+ic+1)*c.Kernel]
+				for kk := 0; kk < c.Kernel; kk++ {
+					base := kk - c.Pad
+					wv := wrow[kk]
+					dw := 0.0
+					for t, gv := range grow {
+						if gv == 0 {
+							continue
+						}
+						p := t*c.Stride + base
+						if p >= 0 && p < l {
+							dw += gv * xrow[p]
+							dxrow[p] += gv * wv
+						}
+					}
+					dwrow[kk] += dw
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Params returns the kernel weights and bias.
+func (c *Conv1D) Params() []*Param { return []*Param{c.W, c.B} }
+
+// ConvTranspose1D is the transpose (fractionally strided) convolution used
+// by the autoencoder decoder to double the time dimension (kernel=2,
+// stride=2 inverts the matching Conv1D geometry).
+//
+// For input length L the output length is (L-1)*stride + kernel - 2*pad.
+type ConvTranspose1D struct {
+	W, B                *Param // W shape (inC, outC, kernel)
+	InC, OutC           int
+	Kernel, Stride, Pad int
+	in                  *tensor.Tensor
+}
+
+// NewConvTranspose1D returns a ConvTranspose1D with He-normal weights.
+func NewConvTranspose1D(inC, outC, kernel, stride, pad int, rng *tensor.RNG) *ConvTranspose1D {
+	if kernel <= 0 || stride <= 0 || pad < 0 {
+		panic(fmt.Sprintf("nn: invalid ConvTranspose1D geometry k=%d s=%d p=%d", kernel, stride, pad))
+	}
+	return &ConvTranspose1D{
+		W:      newParam("convt1d.w", HeNormal(rng, inC, outC, kernel)),
+		B:      newParam("convt1d.b", tensor.New(outC)),
+		InC:    inC,
+		OutC:   outC,
+		Kernel: kernel,
+		Stride: stride,
+		Pad:    pad,
+	}
+}
+
+// OutLen returns the output length for an input of length l.
+func (c *ConvTranspose1D) OutLen(l int) int {
+	return (l-1)*c.Stride + c.Kernel - 2*c.Pad
+}
+
+// Forward scatters each input step into the (stride-spaced) output.
+func (c *ConvTranspose1D) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if x.Dims() != 3 || x.Dim(1) != c.InC {
+		panic(fmt.Sprintf("nn: ConvTranspose1D forward shape %v, want (batch,%d,L)", x.Shape(), c.InC))
+	}
+	c.in = x
+	batch, l := x.Dim(0), x.Dim(2)
+	lo := c.OutLen(l)
+	if lo <= 0 {
+		panic(fmt.Sprintf("nn: ConvTranspose1D input length %d invalid for k=%d s=%d p=%d", l, c.Kernel, c.Stride, c.Pad))
+	}
+	out := tensor.New(batch, c.OutC, lo)
+	xd, wd, bd, od := x.Data(), c.W.Value.Data(), c.B.Value.Data(), out.Data()
+	for b := 0; b < batch; b++ {
+		xb := xd[b*c.InC*l : (b+1)*c.InC*l]
+		ob := od[b*c.OutC*lo : (b+1)*c.OutC*lo]
+		for oc := 0; oc < c.OutC; oc++ {
+			orow := ob[oc*lo : (oc+1)*lo]
+			for t := range orow {
+				orow[t] = bd[oc]
+			}
+			for ic := 0; ic < c.InC; ic++ {
+				xrow := xb[ic*l : (ic+1)*l]
+				wrow := wd[(ic*c.OutC+oc)*c.Kernel : (ic*c.OutC+oc+1)*c.Kernel]
+				for kk := 0; kk < c.Kernel; kk++ {
+					wv := wrow[kk]
+					if wv == 0 {
+						continue
+					}
+					base := kk - c.Pad
+					for t, xv := range xrow {
+						p := t*c.Stride + base
+						if p >= 0 && p < lo {
+							orow[p] += wv * xv
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward accumulates gradients; it is the adjoint of Forward (a plain
+// convolution gathering from the output gradient).
+func (c *ConvTranspose1D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	x := c.in
+	batch, l := x.Dim(0), x.Dim(2)
+	lo := grad.Dim(2)
+	dx := tensor.New(batch, c.InC, l)
+	xd, wd, gd := x.Data(), c.W.Value.Data(), grad.Data()
+	dwd, dbd, dxd := c.W.Grad.Data(), c.B.Grad.Data(), dx.Data()
+	for b := 0; b < batch; b++ {
+		xb := xd[b*c.InC*l : (b+1)*c.InC*l]
+		gb := gd[b*c.OutC*lo : (b+1)*c.OutC*lo]
+		dxb := dxd[b*c.InC*l : (b+1)*c.InC*l]
+		for oc := 0; oc < c.OutC; oc++ {
+			grow := gb[oc*lo : (oc+1)*lo]
+			for _, gv := range grow {
+				dbd[oc] += gv
+			}
+			for ic := 0; ic < c.InC; ic++ {
+				xrow := xb[ic*l : (ic+1)*l]
+				dxrow := dxb[ic*l : (ic+1)*l]
+				wrow := wd[(ic*c.OutC+oc)*c.Kernel : (ic*c.OutC+oc+1)*c.Kernel]
+				dwrow := dwd[(ic*c.OutC+oc)*c.Kernel : (ic*c.OutC+oc+1)*c.Kernel]
+				for kk := 0; kk < c.Kernel; kk++ {
+					base := kk - c.Pad
+					wv := wrow[kk]
+					dw := 0.0
+					for t := 0; t < l; t++ {
+						p := t*c.Stride + base
+						if p >= 0 && p < lo {
+							gv := grow[p]
+							dw += gv * xrow[t]
+							dxrow[t] += gv * wv
+						}
+					}
+					dwrow[kk] += dw
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Params returns the kernel weights and bias.
+func (c *ConvTranspose1D) Params() []*Param { return []*Param{c.W, c.B} }

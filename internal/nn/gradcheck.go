@@ -1,0 +1,61 @@
+package nn
+
+import (
+	"math"
+
+	"varade/internal/tensor"
+)
+
+// NumericGradParam estimates dLoss/dParam by central finite differences.
+// loss must recompute the scalar loss from scratch (including the forward
+// pass) on every call. Used by the test suite to validate every layer's
+// analytic backward pass.
+func NumericGradParam(p *Param, loss func() float64, eps float64) *tensor.Tensor {
+	grad := tensor.New(p.Value.Shape()...)
+	data := p.Value.Data()
+	gd := grad.Data()
+	for i := range data {
+		orig := data[i]
+		data[i] = orig + eps
+		lp := loss()
+		data[i] = orig - eps
+		lm := loss()
+		data[i] = orig
+		gd[i] = (lp - lm) / (2 * eps)
+	}
+	return grad
+}
+
+// NumericGradInput estimates dLoss/dInput by central finite differences on
+// the input tensor x.
+func NumericGradInput(x *tensor.Tensor, loss func() float64, eps float64) *tensor.Tensor {
+	grad := tensor.New(x.Shape()...)
+	data := x.Data()
+	gd := grad.Data()
+	for i := range data {
+		orig := data[i]
+		data[i] = orig + eps
+		lp := loss()
+		data[i] = orig - eps
+		lm := loss()
+		data[i] = orig
+		gd[i] = (lp - lm) / (2 * eps)
+	}
+	return grad
+}
+
+// MaxRelDiff returns the largest elementwise relative difference between a
+// and b, using max(1, |a|, |b|) as denominator so tiny gradients compare
+// absolutely.
+func MaxRelDiff(a, b *tensor.Tensor) float64 {
+	ad, bd := a.Data(), b.Data()
+	worst := 0.0
+	for i := range ad {
+		den := math.Max(1, math.Max(math.Abs(ad[i]), math.Abs(bd[i])))
+		d := math.Abs(ad[i]-bd[i]) / den
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

@@ -1,0 +1,146 @@
+package nn
+
+import (
+	"testing"
+
+	"varade/internal/tensor"
+)
+
+// sumLoss is a trivial scalar loss (Σ y²/2) whose gradient is y itself —
+// convenient for driving Backward with a known output gradient.
+func sumLoss(y *tensor.Tensor) (float64, *tensor.Tensor) {
+	loss := 0.0
+	for _, v := range y.Data() {
+		loss += v * v / 2
+	}
+	return loss, y.Clone()
+}
+
+// checkLayerGradients validates a layer's analytic gradients (both
+// parameter and input) against central finite differences.
+func checkLayerGradients(t *testing.T, layer Layer, x *tensor.Tensor, tol float64) {
+	t.Helper()
+	forwardLoss := func() float64 {
+		l, _ := sumLoss(layer.Forward(x))
+		return l
+	}
+
+	// Analytic pass.
+	ZeroGrads(layer.Params())
+	y := layer.Forward(x)
+	_, gy := sumLoss(y)
+	dx := layer.Backward(gy)
+
+	for _, p := range layer.Params() {
+		num := NumericGradParam(p, forwardLoss, 1e-5)
+		if d := MaxRelDiff(p.Grad, num); d > tol {
+			t.Errorf("param %s: max rel grad error %.3e > %.1e", p.Name, d, tol)
+		}
+	}
+	numX := NumericGradInput(x, forwardLoss, 1e-5)
+	if d := MaxRelDiff(dx, numX); d > tol {
+		t.Errorf("input: max rel grad error %.3e > %.1e", d, tol)
+	}
+}
+
+func TestDenseGradients(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	layer := NewDense(4, 3, rng)
+	x := tensor.RandNormal(rng, 0, 1, 5, 4)
+	checkLayerGradients(t, layer, x, 1e-6)
+}
+
+func TestConv1DGradients(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	for _, geo := range []struct{ k, s, p int }{{2, 2, 0}, {3, 1, 1}, {1, 1, 0}, {3, 2, 1}} {
+		layer := NewConv1D(3, 4, geo.k, geo.s, geo.p, rng)
+		x := tensor.RandNormal(rng, 0, 1, 2, 3, 8)
+		checkLayerGradients(t, layer, x, 1e-6)
+	}
+}
+
+func TestConvTranspose1DGradients(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	for _, geo := range []struct{ k, s, p int }{{2, 2, 0}, {3, 1, 1}} {
+		layer := NewConvTranspose1D(3, 2, geo.k, geo.s, geo.p, rng)
+		x := tensor.RandNormal(rng, 0, 1, 2, 3, 6)
+		checkLayerGradients(t, layer, x, 1e-6)
+	}
+}
+
+func TestActivationGradients(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	for name, layer := range map[string]Layer{
+		"tanh":    NewTanh(),
+		"sigmoid": NewSigmoid(),
+	} {
+		x := tensor.RandNormal(rng, 0, 1, 3, 7)
+		t.Run(name, func(t *testing.T) { checkLayerGradients(t, layer, x, 1e-6) })
+	}
+	// ReLU checked away from the kink, where it is differentiable.
+	x := tensor.RandNormal(rng, 0, 1, 3, 7)
+	for i, v := range x.Data() {
+		if v > -0.01 && v < 0.01 {
+			x.Data()[i] = 0.5
+		}
+	}
+	checkLayerGradients(t, NewReLU(), x, 1e-6)
+}
+
+func TestResBlockGradients(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	t.Run("identity-shortcut", func(t *testing.T) {
+		layer := NewResBlock1D(3, 3, rng)
+		x := tensor.RandNormal(rng, 0, 1, 2, 3, 8)
+		checkLayerGradients(t, layer, x, 1e-5)
+	})
+	t.Run("projection-shortcut", func(t *testing.T) {
+		layer := NewResBlock1D(2, 4, rng)
+		x := tensor.RandNormal(rng, 0, 1, 2, 2, 8)
+		checkLayerGradients(t, layer, x, 1e-5)
+	})
+}
+
+func TestLSTMGradients(t *testing.T) {
+	rng := tensor.NewRNG(6)
+	t.Run("last-state", func(t *testing.T) {
+		layer := NewLSTM(3, 4, false, rng)
+		x := tensor.RandNormal(rng, 0, 1, 2, 5, 3)
+		checkLayerGradients(t, layer, x, 1e-5)
+	})
+	t.Run("sequences", func(t *testing.T) {
+		layer := NewLSTM(2, 3, true, rng)
+		x := tensor.RandNormal(rng, 0, 1, 2, 4, 2)
+		checkLayerGradients(t, layer, x, 1e-5)
+	})
+}
+
+func TestStackedLSTMGradients(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	net := NewSequential(
+		NewLSTM(2, 3, true, rng),
+		NewLSTM(3, 3, false, rng),
+		NewDense(3, 2, rng),
+	)
+	x := tensor.RandNormal(rng, 0, 1, 2, 4, 2)
+	checkLayerGradients(t, net, x, 1e-5)
+}
+
+func TestSequentialConvNetGradients(t *testing.T) {
+	rng := tensor.NewRNG(8)
+	net := NewSequential(
+		NewConv1D(2, 3, 2, 2, 0, rng),
+		NewReLU(),
+		NewConv1D(3, 4, 2, 2, 0, rng),
+		NewFlatten(),
+		NewDense(8, 3, rng),
+	)
+	x := tensor.RandNormal(rng, 0, 1, 2, 2, 8)
+	// Nudge values away from ReLU kinks for clean finite differences.
+	for i, v := range x.Data() {
+		if v > -0.02 && v < 0.02 {
+			x.Data()[i] = 0.3
+		}
+	}
+	checkLayerGradients(t, net, x, 1e-5)
+}

@@ -1,0 +1,44 @@
+package nn
+
+import (
+	"math"
+
+	"varade/internal/tensor"
+)
+
+// fanInOut derives fan-in and fan-out from a weight shape following the
+// convention used by this package: Dense (out, in), Conv1D (out, in, k),
+// ConvTranspose1D (in, out, k) — for initialisation the distinction between
+// the two conv layouts is immaterial, both use dims[1]*k and dims[0]*k.
+func fanInOut(shape []int) (fanIn, fanOut int) {
+	switch len(shape) {
+	case 1:
+		return shape[0], shape[0]
+	case 2:
+		return shape[1], shape[0]
+	case 3:
+		return shape[1] * shape[2], shape[0] * shape[2]
+	default:
+		n := 1
+		for _, d := range shape {
+			n *= d
+		}
+		return n, n
+	}
+}
+
+// HeNormal returns a weight tensor initialised from N(0, 2/fanIn), the
+// standard initialisation for ReLU networks.
+func HeNormal(rng *tensor.RNG, shape ...int) *tensor.Tensor {
+	fanIn, _ := fanInOut(shape)
+	std := math.Sqrt(2 / float64(fanIn))
+	return tensor.RandNormal(rng, 0, std, shape...)
+}
+
+// XavierUniform returns a weight tensor initialised uniformly in
+// ±sqrt(6/(fanIn+fanOut)), suited to tanh/sigmoid networks (the LSTM gates).
+func XavierUniform(rng *tensor.RNG, shape ...int) *tensor.Tensor {
+	fanIn, fanOut := fanInOut(shape)
+	lim := math.Sqrt(6 / float64(fanIn+fanOut))
+	return tensor.RandUniform(rng, -lim, lim, shape...)
+}

@@ -1,0 +1,115 @@
+// Package nn implements the neural-network substrate used by VARADE and the
+// neural baselines: layers with hand-rolled analytic backward passes,
+// losses, initialisers, optimizers and model serialization.
+//
+// Every Layer caches whatever it needs during Forward and consumes it in the
+// matching Backward call, so the usage pattern is strictly
+// Forward → Backward → optimizer Step. Layers are not safe for concurrent
+// use; clone models per goroutine if needed.
+package nn
+
+import (
+	"fmt"
+
+	"varade/internal/tensor"
+)
+
+// Param is a trainable tensor together with its gradient accumulator.
+type Param struct {
+	Name  string
+	Value *tensor.Tensor
+	Grad  *tensor.Tensor
+}
+
+func newParam(name string, v *tensor.Tensor) *Param {
+	return &Param{Name: name, Value: v, Grad: tensor.New(v.Shape()...)}
+}
+
+// Layer is a differentiable unit. Forward computes outputs from inputs and
+// caches intermediate state; Backward receives dLoss/dOutput and returns
+// dLoss/dInput, accumulating parameter gradients into Params().
+type Layer interface {
+	// Forward computes the layer output for x.
+	Forward(x *tensor.Tensor) *tensor.Tensor
+	// Backward propagates the output gradient and returns the input gradient.
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	// Params returns the layer's trainable parameters (possibly empty).
+	Params() []*Param
+}
+
+// Sequential chains layers, feeding each layer's output to the next.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential returns a container running the given layers in order.
+func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
+
+// Add appends a layer.
+func (s *Sequential) Add(l Layer) { s.Layers = append(s.Layers, l) }
+
+// Forward runs all layers in order.
+func (s *Sequential) Forward(x *tensor.Tensor) *tensor.Tensor {
+	for _, l := range s.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward runs all layers in reverse order.
+func (s *Sequential) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		grad = s.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params returns the concatenated parameters of all layers.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ZeroGrads clears the gradient accumulators of all given parameters.
+func ZeroGrads(ps []*Param) {
+	for _, p := range ps {
+		p.Grad.Zero()
+	}
+}
+
+// NumParams returns the total number of scalar parameters.
+func NumParams(ps []*Param) int {
+	n := 0
+	for _, p := range ps {
+		n += p.Value.Len()
+	}
+	return n
+}
+
+// Flatten reshapes (batch, d1, d2, …) inputs to (batch, d1*d2*…).
+type Flatten struct {
+	inShape []int
+}
+
+// NewFlatten returns a Flatten layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Forward flattens all dimensions after the batch dimension.
+func (f *Flatten) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if x.Dims() < 2 {
+		panic(fmt.Sprintf("nn: Flatten needs at least 2 dims, got %v", x.Shape()))
+	}
+	f.inShape = append(f.inShape[:0], x.Shape()...)
+	return x.Reshape(x.Dim(0), -1)
+}
+
+// Backward restores the cached input shape.
+func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return grad.Reshape(f.inShape...)
+}
+
+// Params returns nil: Flatten has no parameters.
+func (f *Flatten) Params() []*Param { return nil }

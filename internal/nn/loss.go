@@ -1,0 +1,67 @@
+package nn
+
+import (
+	"math"
+
+	"varade/internal/tensor"
+)
+
+// MSE returns the mean squared error between pred and target together with
+// the gradient dLoss/dPred. The mean is over all elements.
+func MSE(pred, target *tensor.Tensor) (float64, *tensor.Tensor) {
+	grad := tensor.Sub(pred, target)
+	n := float64(grad.Len())
+	loss := 0.0
+	gd := grad.Data()
+	for i, v := range gd {
+		loss += v * v
+		gd[i] = 2 * v / n
+	}
+	return loss / n, grad
+}
+
+// GaussianNLL computes the negative log-likelihood of target under
+// N(mu, exp(logVar)) averaged over all elements — Eq. (5) of the paper:
+//
+//	L = ½·(logσ² + (y-μ)²/σ²)
+//
+// It returns the loss and gradients with respect to mu and logVar.
+func GaussianNLL(mu, logVar, target *tensor.Tensor) (loss float64, dMu, dLogVar *tensor.Tensor) {
+	dMu = tensor.New(mu.Shape()...)
+	dLogVar = tensor.New(mu.Shape()...)
+	md, ld, td := mu.Data(), logVar.Data(), target.Data()
+	dm, dl := dMu.Data(), dLogVar.Data()
+	n := float64(mu.Len())
+	for i := range md {
+		diff := td[i] - md[i]
+		invVar := math.Exp(-ld[i])
+		sq := diff * diff * invVar
+		loss += 0.5 * (ld[i] + sq)
+		// d/dμ ½(y-μ)²/σ² = -(y-μ)/σ²
+		dm[i] = -diff * invVar / n
+		// d/dlogσ² [½logσ² + ½(y-μ)²e^{-logσ²}] = ½ - ½(y-μ)²/σ²
+		dl[i] = 0.5 * (1 - sq) / n
+	}
+	return loss / n, dMu, dLogVar
+}
+
+// GaussianKL computes the KL divergence between N(mu, exp(logVar)) and the
+// standard normal prior, averaged over all elements — Eq. (6) of the paper:
+//
+//	D = -½·(1 + logσ² - μ² - σ²)
+//
+// It returns the divergence and gradients with respect to mu and logVar.
+func GaussianKL(mu, logVar *tensor.Tensor) (div float64, dMu, dLogVar *tensor.Tensor) {
+	dMu = tensor.New(mu.Shape()...)
+	dLogVar = tensor.New(mu.Shape()...)
+	md, ld := mu.Data(), logVar.Data()
+	dm, dl := dMu.Data(), dLogVar.Data()
+	n := float64(mu.Len())
+	for i := range md {
+		v := math.Exp(ld[i])
+		div += -0.5 * (1 + ld[i] - md[i]*md[i] - v)
+		dm[i] = md[i] / n
+		dl[i] = 0.5 * (v - 1) / n
+	}
+	return div / n, dMu, dLogVar
+}

@@ -1,0 +1,191 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"varade/internal/tensor"
+)
+
+// LSTM is a single recurrent layer processing (batch, T, in) sequences with
+// full backpropagation through time. Gate pre-activations are computed for
+// the whole batch per time step as pre = x_t·Wxᵀ + h_{t-1}·Whᵀ + b with the
+// gate order (input, forget, cell candidate, output).
+//
+// When ReturnSequences is true the output is (batch, T, hidden); otherwise
+// it is the final hidden state (batch, hidden). The AR-LSTM baseline stacks
+// five of these with ReturnSequences=true on all but the last (§3.3).
+type LSTM struct {
+	Wx, Wh, B       *Param
+	In, Hidden      int
+	ReturnSequences bool
+
+	// Per-forward caches for BPTT.
+	xs              []*tensor.Tensor // input at each step (batch, in)
+	hs, cs          []*tensor.Tensor // states after each step (batch, hidden); index 0 is the initial state
+	gi, gf, gg, go_ []*tensor.Tensor
+	tanhC           []*tensor.Tensor
+	batch, steps    int
+}
+
+// NewLSTM returns an LSTM with Xavier-uniform weights and forget-gate bias
+// initialised to 1 (the standard trick to ease gradient flow early in
+// training).
+func NewLSTM(in, hidden int, returnSequences bool, rng *tensor.RNG) *LSTM {
+	b := tensor.New(4 * hidden)
+	for i := hidden; i < 2*hidden; i++ {
+		b.Data()[i] = 1
+	}
+	return &LSTM{
+		Wx:              newParam("lstm.wx", XavierUniform(rng, 4*hidden, in)),
+		Wh:              newParam("lstm.wh", XavierUniform(rng, 4*hidden, hidden)),
+		B:               newParam("lstm.b", b),
+		In:              in,
+		Hidden:          hidden,
+		ReturnSequences: returnSequences,
+	}
+}
+
+// Forward runs the recurrence over all time steps.
+func (l *LSTM) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if x.Dims() != 3 || x.Dim(2) != l.In {
+		panic(fmt.Sprintf("nn: LSTM forward shape %v, want (batch,T,%d)", x.Shape(), l.In))
+	}
+	batch, steps := x.Dim(0), x.Dim(1)
+	l.batch, l.steps = batch, steps
+	h := l.Hidden
+	l.xs = make([]*tensor.Tensor, steps)
+	l.hs = make([]*tensor.Tensor, steps+1)
+	l.cs = make([]*tensor.Tensor, steps+1)
+	l.gi = make([]*tensor.Tensor, steps)
+	l.gf = make([]*tensor.Tensor, steps)
+	l.gg = make([]*tensor.Tensor, steps)
+	l.go_ = make([]*tensor.Tensor, steps)
+	l.tanhC = make([]*tensor.Tensor, steps)
+	l.hs[0] = tensor.New(batch, h)
+	l.cs[0] = tensor.New(batch, h)
+
+	var seq *tensor.Tensor
+	if l.ReturnSequences {
+		seq = tensor.New(batch, steps, h)
+	}
+	bd := l.B.Value.Data()
+	for t := 0; t < steps; t++ {
+		// Gather x_t as a (batch, in) matrix.
+		xt := tensor.New(batch, l.In)
+		xd, sd := xt.Data(), x.Data()
+		for b := 0; b < batch; b++ {
+			copy(xd[b*l.In:(b+1)*l.In], sd[(b*steps+t)*l.In:(b*steps+t+1)*l.In])
+		}
+		l.xs[t] = xt
+
+		pre := tensor.MatMulTransB(xt, l.Wx.Value)
+		tensor.AddInPlace(pre, tensor.MatMulTransB(l.hs[t], l.Wh.Value))
+		pd := pre.Data()
+		gi := tensor.New(batch, h)
+		gf := tensor.New(batch, h)
+		gg := tensor.New(batch, h)
+		gor := tensor.New(batch, h)
+		ct := tensor.New(batch, h)
+		ht := tensor.New(batch, h)
+		tc := tensor.New(batch, h)
+		gid, gfd, ggd, god := gi.Data(), gf.Data(), gg.Data(), gor.Data()
+		ctd, htd, tcd := ct.Data(), ht.Data(), tc.Data()
+		cprev := l.cs[t].Data()
+		for b := 0; b < batch; b++ {
+			row := pd[b*4*h : (b+1)*4*h]
+			for j := 0; j < h; j++ {
+				i := sigmoid(row[j] + bd[j])
+				f := sigmoid(row[h+j] + bd[h+j])
+				g := math.Tanh(row[2*h+j] + bd[2*h+j])
+				o := sigmoid(row[3*h+j] + bd[3*h+j])
+				c := f*cprev[b*h+j] + i*g
+				th := math.Tanh(c)
+				gid[b*h+j], gfd[b*h+j], ggd[b*h+j], god[b*h+j] = i, f, g, o
+				ctd[b*h+j] = c
+				tcd[b*h+j] = th
+				htd[b*h+j] = o * th
+			}
+		}
+		l.gi[t], l.gf[t], l.gg[t], l.go_[t] = gi, gf, gg, gor
+		l.cs[t+1], l.hs[t+1], l.tanhC[t] = ct, ht, tc
+		if l.ReturnSequences {
+			qd := seq.Data()
+			for b := 0; b < batch; b++ {
+				copy(qd[(b*steps+t)*h:(b*steps+t+1)*h], htd[b*h:(b+1)*h])
+			}
+		}
+	}
+	if l.ReturnSequences {
+		return seq
+	}
+	return l.hs[steps].Clone()
+}
+
+// Backward backpropagates through time, accumulating weight gradients, and
+// returns the gradient with respect to the input sequence (batch, T, in).
+func (l *LSTM) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	batch, steps, h := l.batch, l.steps, l.Hidden
+	dx := tensor.New(batch, steps, l.In)
+	dh := tensor.New(batch, h)
+	dc := tensor.New(batch, h)
+	dhd, dcd := dh.Data(), dc.Data()
+	gd := grad.Data()
+	for t := steps - 1; t >= 0; t-- {
+		// Inject the output gradient for this step.
+		if l.ReturnSequences {
+			for b := 0; b < batch; b++ {
+				row := gd[(b*steps+t)*h : (b*steps+t+1)*h]
+				for j, v := range row {
+					dhd[b*h+j] += v
+				}
+			}
+		} else if t == steps-1 {
+			if grad.Dims() != 2 {
+				panic(fmt.Sprintf("nn: LSTM backward grad shape %v, want (batch,hidden)", grad.Shape()))
+			}
+			copy(dhd, gd)
+		}
+
+		gi, gf, gg, gor := l.gi[t].Data(), l.gf[t].Data(), l.gg[t].Data(), l.go_[t].Data()
+		tc := l.tanhC[t].Data()
+		cprev := l.cs[t].Data()
+		dpre := tensor.New(batch, 4*h)
+		dpd := dpre.Data()
+		bg := l.B.Grad.Data()
+		for b := 0; b < batch; b++ {
+			for j := 0; j < h; j++ {
+				k := b*h + j
+				i, f, g, o := gi[k], gf[k], gg[k], gor[k]
+				th := tc[k]
+				dht := dhd[k]
+				dct := dcd[k] + dht*o*(1-th*th)
+				di := dct * g * i * (1 - i)
+				df := dct * cprev[k] * f * (1 - f)
+				dg := dct * i * (1 - g*g)
+				do := dht * th * o * (1 - o)
+				row := dpd[b*4*h : (b+1)*4*h]
+				row[j], row[h+j], row[2*h+j], row[3*h+j] = di, df, dg, do
+				bg[j] += di
+				bg[h+j] += df
+				bg[2*h+j] += dg
+				bg[3*h+j] += do
+				dcd[k] = dct * f // carries to step t-1
+			}
+		}
+		tensor.AddInPlace(l.Wx.Grad, tensor.MatMulTransA(dpre, l.xs[t]))
+		tensor.AddInPlace(l.Wh.Grad, tensor.MatMulTransA(dpre, l.hs[t]))
+		dxt := tensor.MatMul(dpre, l.Wx.Value)
+		dxd := dx.Data()
+		xtd := dxt.Data()
+		for b := 0; b < batch; b++ {
+			copy(dxd[(b*steps+t)*l.In:(b*steps+t+1)*l.In], xtd[b*l.In:(b+1)*l.In])
+		}
+		dhPrev := tensor.MatMul(dpre, l.Wh.Value)
+		copy(dhd, dhPrev.Data())
+	}
+	return dx
+}
+
+// Params returns the input weights, recurrent weights and bias.
+func (l *LSTM) Params() []*Param { return []*Param{l.Wx, l.Wh, l.B} }

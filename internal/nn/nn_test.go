@@ -1,0 +1,294 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"varade/internal/tensor"
+)
+
+func TestMSEKnownValue(t *testing.T) {
+	pred := tensor.FromSlice([]float64{1, 2}, 1, 2)
+	target := tensor.FromSlice([]float64{0, 4}, 1, 2)
+	loss, grad := MSE(pred, target)
+	if math.Abs(loss-2.5) > 1e-12 { // (1 + 4)/2
+		t.Fatalf("MSE=%g want 2.5", loss)
+	}
+	// d/dpred mean((p-t)²) = 2(p-t)/n
+	if math.Abs(grad.At2(0, 0)-1) > 1e-12 || math.Abs(grad.At2(0, 1)+2) > 1e-12 {
+		t.Fatalf("grad=%v", grad.Data())
+	}
+}
+
+func TestGaussianNLLKnownValue(t *testing.T) {
+	// μ=0, logσ²=0 (σ²=1), y=2 → ½(0 + 4) = 2.
+	mu := tensor.FromSlice([]float64{0}, 1, 1)
+	lv := tensor.FromSlice([]float64{0}, 1, 1)
+	y := tensor.FromSlice([]float64{2}, 1, 1)
+	loss, dMu, dLv := GaussianNLL(mu, lv, y)
+	if math.Abs(loss-2) > 1e-12 {
+		t.Fatalf("NLL=%g want 2", loss)
+	}
+	if math.Abs(dMu.At2(0, 0)-(-2)) > 1e-12 { // -(y-μ)/σ²
+		t.Fatalf("dMu=%g want -2", dMu.At2(0, 0))
+	}
+	if math.Abs(dLv.At2(0, 0)-(0.5*(1-4))) > 1e-12 { // ½(1 - (y-μ)²/σ²)
+		t.Fatalf("dLv=%g want -1.5", dLv.At2(0, 0))
+	}
+}
+
+func TestGaussianNLLMinimisedAtTarget(t *testing.T) {
+	// For fixed variance, NLL is minimal when μ = y.
+	y := tensor.FromSlice([]float64{1.3}, 1, 1)
+	lv := tensor.FromSlice([]float64{0}, 1, 1)
+	at := func(m float64) float64 {
+		mu := tensor.FromSlice([]float64{m}, 1, 1)
+		l, _, _ := GaussianNLL(mu, lv, y)
+		return l
+	}
+	if !(at(1.3) < at(1.0) && at(1.3) < at(1.6)) {
+		t.Fatal("NLL not minimised at μ=y")
+	}
+}
+
+func TestGaussianKLZeroAtPrior(t *testing.T) {
+	mu := tensor.New(2, 3)
+	lv := tensor.New(2, 3)
+	d, dMu, dLv := GaussianKL(mu, lv)
+	if d != 0 {
+		t.Fatalf("KL at prior = %g want 0", d)
+	}
+	if dMu.Norm() != 0 || dLv.Norm() != 0 {
+		t.Fatal("KL gradient at prior must vanish")
+	}
+}
+
+func TestGaussianKLPositive(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	for i := 0; i < 50; i++ {
+		mu := tensor.RandNormal(rng, 0, 2, 1, 4)
+		lv := tensor.RandNormal(rng, 0, 1, 1, 4)
+		if d, _, _ := GaussianKL(mu, lv); d < 0 {
+			t.Fatalf("KL=%g must be non-negative", d)
+		}
+	}
+}
+
+// Numeric validation of both loss gradients.
+func TestLossGradientsNumeric(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	mu := tensor.RandNormal(rng, 0, 1, 2, 3)
+	lv := tensor.RandNormal(rng, 0, 0.5, 2, 3)
+	y := tensor.RandNormal(rng, 0, 1, 2, 3)
+
+	nllLoss := func() float64 { l, _, _ := GaussianNLL(mu, lv, y); return l }
+	_, dMu, dLv := GaussianNLL(mu, lv, y)
+	if d := MaxRelDiff(dMu, NumericGradInput(mu, nllLoss, 1e-6)); d > 1e-6 {
+		t.Errorf("NLL dMu error %.2e", d)
+	}
+	if d := MaxRelDiff(dLv, NumericGradInput(lv, nllLoss, 1e-6)); d > 1e-6 {
+		t.Errorf("NLL dLogVar error %.2e", d)
+	}
+
+	klLoss := func() float64 { l, _, _ := GaussianKL(mu, lv); return l }
+	_, dMuK, dLvK := GaussianKL(mu, lv)
+	if d := MaxRelDiff(dMuK, NumericGradInput(mu, klLoss, 1e-6)); d > 1e-6 {
+		t.Errorf("KL dMu error %.2e", d)
+	}
+	if d := MaxRelDiff(dLvK, NumericGradInput(lv, klLoss, 1e-6)); d > 1e-6 {
+		t.Errorf("KL dLogVar error %.2e", d)
+	}
+}
+
+// trainLinear fits y = 2x₀ - 3x₁ + 1 with the given optimizer and returns
+// the final MSE.
+func trainLinear(t *testing.T, opt Optimizer, steps int) float64 {
+	t.Helper()
+	rng := tensor.NewRNG(3)
+	layer := NewDense(2, 1, rng)
+	x := tensor.RandNormal(rng, 0, 1, 64, 2)
+	y := tensor.New(64, 1)
+	for i := 0; i < 64; i++ {
+		y.Set2(2*x.At2(i, 0)-3*x.At2(i, 1)+1, i, 0)
+	}
+	var loss float64
+	for s := 0; s < steps; s++ {
+		pred := layer.Forward(x)
+		var grad *tensor.Tensor
+		loss, grad = MSE(pred, y)
+		layer.Backward(grad)
+		opt.Step(layer.Params())
+	}
+	return loss
+}
+
+func TestSGDConverges(t *testing.T) {
+	if loss := trainLinear(t, NewSGD(0.1, 0.9), 200); loss > 1e-4 {
+		t.Fatalf("SGD final loss %g", loss)
+	}
+}
+
+func TestAdamConverges(t *testing.T) {
+	if loss := trainLinear(t, NewAdam(0.05), 300); loss > 1e-4 {
+		t.Fatalf("Adam final loss %g", loss)
+	}
+}
+
+func TestOptimizersClearGradients(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	layer := NewDense(2, 2, rng)
+	x := tensor.RandNormal(rng, 0, 1, 4, 2)
+	_, grad := MSE(layer.Forward(x), tensor.New(4, 2))
+	layer.Backward(grad)
+	NewAdam(0.01).Step(layer.Params())
+	for _, p := range layer.Params() {
+		if p.Grad.Norm() != 0 {
+			t.Fatalf("param %s gradient not cleared", p.Name)
+		}
+	}
+}
+
+func TestClipGradNorm(t *testing.T) {
+	p := newParam("w", tensor.New(4))
+	copy(p.Grad.Data(), []float64{3, 0, 4, 0}) // norm 5
+	pre := ClipGradNorm([]*Param{p}, 1)
+	if math.Abs(pre-5) > 1e-12 {
+		t.Fatalf("pre-clip norm %g want 5", pre)
+	}
+	if n := p.Grad.Norm(); math.Abs(n-1) > 1e-12 {
+		t.Fatalf("post-clip norm %g want 1", n)
+	}
+	// Below the threshold nothing changes.
+	copy(p.Grad.Data(), []float64{0.3, 0, 0.4, 0})
+	ClipGradNorm([]*Param{p}, 1)
+	if math.Abs(p.Grad.Norm()-0.5) > 1e-12 {
+		t.Fatal("clip must not rescale small gradients")
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	src := NewSequential(NewConv1D(2, 3, 2, 2, 0, rng), NewDense(4, 2, rng))
+	dst := NewSequential(NewConv1D(2, 3, 2, 2, 0, tensor.NewRNG(99)), NewDense(4, 2, tensor.NewRNG(99)))
+
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src.Params()); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadParams(&buf, dst.Params()); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range src.Params() {
+		if !tensor.Equal(p.Value, dst.Params()[i].Value, 0) {
+			t.Fatalf("param %d differs after round trip", i)
+		}
+	}
+}
+
+func TestLoadRejectsWrongArchitecture(t *testing.T) {
+	rng := tensor.NewRNG(6)
+	src := NewDense(3, 2, rng)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src.Params()); err != nil {
+		t.Fatal(err)
+	}
+	wrongShape := NewDense(4, 2, rng)
+	if err := LoadParams(bytes.NewReader(buf.Bytes()), wrongShape.Params()); err == nil {
+		t.Fatal("expected shape mismatch error")
+	}
+	wrongCount := NewSequential(NewDense(3, 2, rng), NewDense(2, 1, rng))
+	if err := LoadParams(bytes.NewReader(buf.Bytes()), wrongCount.Params()); err == nil {
+		t.Fatal("expected count mismatch error")
+	}
+}
+
+func TestLoadRejectsBadMagic(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	layer := NewDense(2, 2, rng)
+	if err := LoadParams(bytes.NewReader([]byte("NOPE....")), layer.Params()); err == nil {
+		t.Fatal("expected magic error")
+	}
+}
+
+func TestFlattenRoundTrip(t *testing.T) {
+	f := NewFlatten()
+	x := tensor.RandNormal(tensor.NewRNG(8), 0, 1, 2, 3, 4)
+	y := f.Forward(x)
+	if y.Dim(0) != 2 || y.Dim(1) != 12 {
+		t.Fatalf("Flatten shape %v", y.Shape())
+	}
+	back := f.Backward(y)
+	if back.Dim(2) != 4 {
+		t.Fatalf("Backward shape %v", back.Shape())
+	}
+}
+
+func TestHeNormalScale(t *testing.T) {
+	rng := tensor.NewRNG(9)
+	w := HeNormal(rng, 64, 100) // fanIn = 100 → std ≈ sqrt(0.02)
+	std := math.Sqrt(tensor.Dot(w, w) / float64(w.Len()))
+	want := math.Sqrt(2.0 / 100)
+	if math.Abs(std-want)/want > 0.1 {
+		t.Fatalf("He std %g want ≈%g", std, want)
+	}
+}
+
+func TestXavierUniformBounds(t *testing.T) {
+	rng := tensor.NewRNG(10)
+	w := XavierUniform(rng, 30, 50)
+	lim := math.Sqrt(6.0 / 80)
+	if w.Max() > lim || w.Min() < -lim {
+		t.Fatalf("Xavier out of ±%g", lim)
+	}
+}
+
+func TestLSTMForgetBiasInit(t *testing.T) {
+	l := NewLSTM(2, 4, false, tensor.NewRNG(11))
+	b := l.B.Value.Data()
+	for i := 4; i < 8; i++ {
+		if b[i] != 1 {
+			t.Fatal("forget-gate bias must initialise to 1")
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if b[i] != 0 {
+			t.Fatal("input-gate bias must initialise to 0")
+		}
+	}
+}
+
+func TestNumParams(t *testing.T) {
+	rng := tensor.NewRNG(12)
+	d := NewDense(3, 2, rng) // 6 weights + 2 bias
+	if n := NumParams(d.Params()); n != 8 {
+		t.Fatalf("NumParams=%d want 8", n)
+	}
+}
+
+func TestConv1DOutLen(t *testing.T) {
+	rng := tensor.NewRNG(13)
+	c := NewConv1D(1, 1, 2, 2, 0, rng)
+	for _, tc := range []struct{ in, want int }{{8, 4}, {9, 4}, {2, 1}} {
+		if got := c.OutLen(tc.in); got != tc.want {
+			t.Fatalf("OutLen(%d)=%d want %d", tc.in, got, tc.want)
+		}
+	}
+	ct := NewConvTranspose1D(1, 1, 2, 2, 0, rng)
+	if got := ct.OutLen(4); got != 8 {
+		t.Fatalf("transpose OutLen(4)=%d want 8", got)
+	}
+}
+
+// Conv ↔ ConvTranspose geometry inversion: for k=2 s=2 the transpose
+// exactly restores the conv's input length.
+func TestConvTransposeInvertsConvLength(t *testing.T) {
+	rng := tensor.NewRNG(14)
+	down := NewConv1D(3, 5, 2, 2, 0, rng)
+	up := NewConvTranspose1D(5, 3, 2, 2, 0, rng)
+	x := tensor.RandNormal(rng, 0, 1, 1, 3, 16)
+	y := up.Forward(down.Forward(x))
+	if y.Dim(2) != 16 || y.Dim(1) != 3 {
+		t.Fatalf("round-trip shape %v", y.Shape())
+	}
+}

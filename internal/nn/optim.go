@@ -1,0 +1,109 @@
+package nn
+
+import (
+	"math"
+
+	"varade/internal/tensor"
+)
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update to every parameter and clears its gradient.
+	Step(params []*Param)
+}
+
+// SGD is stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	vel      map[*Param]*tensor.Tensor
+}
+
+// NewSGD returns an SGD optimizer.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, vel: make(map[*Param]*tensor.Tensor)}
+}
+
+// Step applies v = m·v - lr·g; p += v, then zeroes the gradients.
+func (s *SGD) Step(params []*Param) {
+	for _, p := range params {
+		v := s.vel[p]
+		if v == nil {
+			v = tensor.New(p.Value.Shape()...)
+			s.vel[p] = v
+		}
+		vd, gd, pd := v.Data(), p.Grad.Data(), p.Value.Data()
+		for i := range vd {
+			vd[i] = s.Momentum*vd[i] - s.LR*gd[i]
+			pd[i] += vd[i]
+		}
+		p.Grad.Zero()
+	}
+}
+
+// Adam implements the Adam optimizer with bias correction. The paper trains
+// all neural models with Adam at a fixed 1e-5 learning rate (§3.4);
+// NewAdamPaper builds that exact configuration.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	t                     int
+	m, v                  map[*Param]*tensor.Tensor
+}
+
+// NewAdam returns an Adam optimizer with the given learning rate and the
+// customary β₁=0.9, β₂=0.999, ε=1e-8.
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: make(map[*Param]*tensor.Tensor),
+		v: make(map[*Param]*tensor.Tensor),
+	}
+}
+
+// NewAdamPaper returns Adam with the paper's fixed 1e-5 learning rate.
+func NewAdamPaper() *Adam { return NewAdam(1e-5) }
+
+// Step applies one Adam update and zeroes the gradients.
+func (a *Adam) Step(params []*Param) {
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		m, v := a.m[p], a.v[p]
+		if m == nil {
+			m = tensor.New(p.Value.Shape()...)
+			v = tensor.New(p.Value.Shape()...)
+			a.m[p], a.v[p] = m, v
+		}
+		md, vd, gd, pd := m.Data(), v.Data(), p.Grad.Data(), p.Value.Data()
+		for i := range md {
+			g := gd[i]
+			md[i] = a.Beta1*md[i] + (1-a.Beta1)*g
+			vd[i] = a.Beta2*vd[i] + (1-a.Beta2)*g*g
+			mh := md[i] / c1
+			vh := vd[i] / c2
+			pd[i] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+		}
+		p.Grad.Zero()
+	}
+}
+
+// ClipGradNorm rescales all gradients so their global L2 norm does not
+// exceed maxNorm, and returns the pre-clip norm. Used to stabilise LSTM
+// training.
+func ClipGradNorm(params []*Param, maxNorm float64) float64 {
+	total := 0.0
+	for _, p := range params {
+		for _, g := range p.Grad.Data() {
+			total += g * g
+		}
+	}
+	norm := math.Sqrt(total)
+	if norm > maxNorm && norm > 0 {
+		scale := maxNorm / norm
+		for _, p := range params {
+			tensor.ScaleInPlace(p.Grad, scale)
+		}
+	}
+	return norm
+}

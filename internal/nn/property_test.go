@@ -1,0 +1,147 @@
+package nn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"varade/internal/tensor"
+)
+
+// Property: Dense is linear — f(a·x) = a·f(x) − (a−1)·b for scalar a
+// (bias makes it affine, so we check f(x+y) − f(0) = (f(x)−f(0)) + (f(y)−f(0))).
+func TestDenseAffineProperty(t *testing.T) {
+	rng := tensor.NewRNG(21)
+	layer := NewDense(3, 2, rng)
+	f := func(xv [3]float64, yv [3]float64) bool {
+		x := tensor.FromSlice(append([]float64(nil), xv[:]...), 1, 3)
+		y := tensor.FromSlice(append([]float64(nil), yv[:]...), 1, 3)
+		for _, v := range append(xv[:], yv[:]...) {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e6 {
+				return true
+			}
+		}
+		zero := layer.Forward(tensor.New(1, 3)).Clone()
+		fx := tensor.Sub(layer.Forward(x).Clone(), zero)
+		fy := tensor.Sub(layer.Forward(y).Clone(), zero)
+		fxy := tensor.Sub(layer.Forward(tensor.Add(x, y)).Clone(), zero)
+		tol := 1e-9 * (1 + fx.Norm() + fy.Norm())
+		return tensor.Equal(fxy, tensor.Add(fx, fy), tol)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Conv1D is translation-covariant for stride 1: shifting the
+// input by one step shifts the valid part of the output by one step.
+func TestConv1DTranslationCovariance(t *testing.T) {
+	rng := tensor.NewRNG(22)
+	layer := NewConv1D(1, 2, 3, 1, 0, rng)
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed%1000 + 1)
+		l := 12
+		x := tensor.RandNormal(r, 0, 1, 1, 1, l)
+		shifted := tensor.New(1, 1, l)
+		copy(shifted.Data()[1:], x.Data()[:l-1])
+		y := layer.Forward(x).Clone()
+		ys := layer.Forward(shifted).Clone()
+		// ys[t] must equal y[t-1] for t ≥ 1 (first position sees the new
+		// sample and is excluded).
+		lo := y.Dim(2)
+		for c := 0; c < 2; c++ {
+			for ts := 1; ts < lo; ts++ {
+				if math.Abs(ys.At3(0, c, ts)-y.At3(0, c, ts-1)) > 1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ReLU output is idempotent (ReLU(ReLU(x)) == ReLU(x)) and
+// non-negative.
+func TestReLUIdempotent(t *testing.T) {
+	f := func(vals [16]float64) bool {
+		r1, r2 := NewReLU(), NewReLU()
+		x := tensor.FromSlice(append([]float64(nil), vals[:]...), 2, 8)
+		y := r1.Forward(x)
+		if y.Min() < 0 {
+			return false
+		}
+		return tensor.Equal(r2.Forward(y), y, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the Gaussian NLL at (μ=y, σ²=1) is the global minimum over μ
+// for fixed unit variance.
+func TestNLLMinimumProperty(t *testing.T) {
+	f := func(yv float64, dv float64) bool {
+		if math.IsNaN(yv) || math.IsInf(yv, 0) || math.Abs(yv) > 1e3 {
+			return true
+		}
+		if math.IsNaN(dv) || math.Abs(dv) > 1e3 {
+			return true
+		}
+		lv := tensor.FromSlice([]float64{0}, 1, 1)
+		y := tensor.FromSlice([]float64{yv}, 1, 1)
+		at := func(m float64) float64 {
+			mu := tensor.FromSlice([]float64{m}, 1, 1)
+			l, _, _ := GaussianNLL(mu, lv, y)
+			return l
+		}
+		return at(yv) <= at(yv+dv)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: KL(N(μ,σ²) ‖ N(0,1)) is non-negative and zero only at the
+// prior.
+func TestKLNonNegativityProperty(t *testing.T) {
+	f := func(muV, lvV float64) bool {
+		if math.IsNaN(muV) || math.IsInf(muV, 0) || math.Abs(muV) > 20 {
+			return true
+		}
+		if math.IsNaN(lvV) || math.Abs(lvV) > 10 {
+			return true
+		}
+		mu := tensor.FromSlice([]float64{muV}, 1, 1)
+		lv := tensor.FromSlice([]float64{lvV}, 1, 1)
+		d, _, _ := GaussianKL(mu, lv)
+		if d < -1e-12 {
+			return false
+		}
+		if muV == 0 && lvV == 0 {
+			return d == 0
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: optimizer steps with zero gradients leave parameters unchanged.
+func TestZeroGradientNoOp(t *testing.T) {
+	for name, opt := range map[string]Optimizer{
+		"sgd":  NewSGD(0.1, 0.9),
+		"adam": NewAdam(0.1),
+	} {
+		rng := tensor.NewRNG(23)
+		layer := NewDense(4, 4, rng)
+		before := layer.W.Value.Clone()
+		opt.Step(layer.Params())
+		if !tensor.Equal(layer.W.Value, before, 0) {
+			t.Errorf("%s: zero gradient changed the weights", name)
+		}
+	}
+}

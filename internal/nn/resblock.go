@@ -1,0 +1,67 @@
+package nn
+
+import (
+	"varade/internal/tensor"
+)
+
+// ResBlock1D is a pre-activation residual block for 1-D feature maps,
+// following He et al. [7] as used by the autoencoder baseline (§3.3):
+//
+//	y = conv2(ReLU(conv1(ReLU(x)))) + shortcut(x)
+//
+// Both convolutions are kernel-3 stride-1 same-padding; the shortcut is the
+// identity when channel counts match and a 1×1 convolution otherwise.
+type ResBlock1D struct {
+	conv1, conv2 *Conv1D
+	relu1, relu2 *ReLU
+	proj         *Conv1D // nil for identity shortcut
+	in           *tensor.Tensor
+}
+
+// NewResBlock1D returns a residual block mapping inC channels to outC.
+func NewResBlock1D(inC, outC int, rng *tensor.RNG) *ResBlock1D {
+	b := &ResBlock1D{
+		conv1: NewConv1D(inC, outC, 3, 1, 1, rng),
+		conv2: NewConv1D(outC, outC, 3, 1, 1, rng),
+		relu1: NewReLU(),
+		relu2: NewReLU(),
+	}
+	if inC != outC {
+		b.proj = NewConv1D(inC, outC, 1, 1, 0, rng)
+	}
+	return b
+}
+
+// Forward computes the residual mapping plus shortcut.
+func (b *ResBlock1D) Forward(x *tensor.Tensor) *tensor.Tensor {
+	b.in = x
+	y := b.relu1.Forward(x)
+	y = b.conv1.Forward(y)
+	y = b.relu2.Forward(y)
+	y = b.conv2.Forward(y)
+	if b.proj != nil {
+		return tensor.Add(y, b.proj.Forward(x))
+	}
+	return tensor.Add(y, x)
+}
+
+// Backward propagates through both the residual branch and the shortcut.
+func (b *ResBlock1D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dy := b.conv2.Backward(grad)
+	dy = b.relu2.Backward(dy)
+	dy = b.conv1.Backward(dy)
+	dy = b.relu1.Backward(dy)
+	if b.proj != nil {
+		return tensor.Add(dy, b.proj.Backward(grad))
+	}
+	return tensor.Add(dy, grad)
+}
+
+// Params returns the parameters of both convolutions and any projection.
+func (b *ResBlock1D) Params() []*Param {
+	ps := append(b.conv1.Params(), b.conv2.Params()...)
+	if b.proj != nil {
+		ps = append(ps, b.proj.Params()...)
+	}
+	return ps
+}

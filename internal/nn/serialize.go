@@ -1,0 +1,138 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Serialization format (little-endian):
+//
+//	magic "VNN1" | uint32 nParams | per param:
+//	  uint32 nameLen | name bytes | uint32 nDims | nDims×uint32 | float64 data
+//
+// Parameters are matched by position and validated by name and shape, so a
+// model must be reconstructed with the same architecture before loading.
+
+const magic = "VNN1"
+
+// SaveParams writes params to w in the library's binary format.
+func SaveParams(w io.Writer, params []*Param) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(params))); err != nil {
+		return err
+	}
+	for _, p := range params {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(p.Name))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(p.Name); err != nil {
+			return err
+		}
+		shape := p.Value.Shape()
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(shape))); err != nil {
+			return err
+		}
+		for _, d := range shape {
+			if err := binary.Write(bw, binary.LittleEndian, uint32(d)); err != nil {
+				return err
+			}
+		}
+		buf := make([]byte, 8)
+		for _, v := range p.Value.Data() {
+			binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
+			if _, err := bw.Write(buf); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadParams reads parameters from r into params, which must describe the
+// same architecture (same count, names and shapes, in order) as the writer.
+func LoadParams(r io.Reader, params []*Param) error {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return fmt.Errorf("nn: reading header: %w", err)
+	}
+	if string(head) != magic {
+		return fmt.Errorf("nn: bad magic %q", head)
+	}
+	var n uint32
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return err
+	}
+	if int(n) != len(params) {
+		return fmt.Errorf("nn: file has %d params, model has %d", n, len(params))
+	}
+	for _, p := range params {
+		var nameLen uint32
+		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+			return err
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return err
+		}
+		if string(name) != p.Name {
+			return fmt.Errorf("nn: param name mismatch: file %q, model %q", name, p.Name)
+		}
+		var nd uint32
+		if err := binary.Read(br, binary.LittleEndian, &nd); err != nil {
+			return err
+		}
+		shape := p.Value.Shape()
+		if int(nd) != len(shape) {
+			return fmt.Errorf("nn: param %q dims %d, model %d", p.Name, nd, len(shape))
+		}
+		for i := range shape {
+			var d uint32
+			if err := binary.Read(br, binary.LittleEndian, &d); err != nil {
+				return err
+			}
+			if int(d) != shape[i] {
+				return fmt.Errorf("nn: param %q dim %d is %d, model %d", p.Name, i, d, shape[i])
+			}
+		}
+		data := p.Value.Data()
+		buf := make([]byte, 8)
+		for i := range data {
+			if _, err := io.ReadFull(br, buf); err != nil {
+				return err
+			}
+			data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+		}
+	}
+	return nil
+}
+
+// SaveFile writes params to path, creating or truncating it.
+func SaveFile(path string, params []*Param) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := SaveParams(f, params); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads params from path into an already constructed model.
+func LoadFile(path string, params []*Param) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return LoadParams(f, params)
+}

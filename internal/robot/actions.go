@@ -1,0 +1,92 @@
+package robot
+
+import (
+	"math"
+
+	"varade/internal/tensor"
+)
+
+// NumActions is the machine-service count of the case study: the robot
+// supports 30 unique actions, executed cyclically during both the training
+// and the collision runs (§4.3).
+const NumActions = 30
+
+// Action is one repeatable machine service: a fixed joint-space trajectory
+// with a stable ID. The same ID always produces exactly the same motion,
+// which is what makes the normal behaviour learnable.
+type Action struct {
+	ID   int
+	traj *trajectory
+}
+
+// Duration returns the action's duration in seconds.
+func (a *Action) Duration() float64 { return a.traj.Duration() }
+
+// actionLibrary builds the deterministic 30-action library. Every action
+// is a 3–5 waypoint pick-and-place-style move whose geometry is derived
+// from the seed, so two simulators with equal seeds perform identical
+// motions.
+func actionLibrary(seed uint64) []*Action {
+	rng := tensor.NewRNG(seed)
+	lib := make([]*Action, NumActions)
+	for id := range lib {
+		nway := 3 + rng.Intn(3) // 3..5 waypoints
+		ways := make([][NumJoints]float64, nway)
+		// Home-ish start; subsequent waypoints wander within joint limits.
+		for j := 0; j < NumJoints; j++ {
+			ways[0][j] = rng.Uniform(-0.3, 0.3)
+		}
+		for w := 1; w < nway; w++ {
+			for j := 0; j < NumJoints; j++ {
+				limit := math.Pi * 0.8
+				step := rng.Uniform(-1.2, 1.2)
+				v := ways[w-1][j] + step
+				if v > limit {
+					v = limit
+				}
+				if v < -limit {
+					v = -limit
+				}
+				ways[w][j] = v
+			}
+		}
+		durs := make([]float64, nway-1)
+		for i := range durs {
+			durs[i] = rng.Uniform(1.5, 4.0) // seconds per segment
+		}
+		lib[id] = &Action{ID: id, traj: newTrajectory(ways, durs)}
+	}
+	return lib
+}
+
+// schedule cycles through all actions so that every service appears once
+// per cycle, in an order reshuffled each cycle — this realises §4.3's
+// "all the possible actions … distributed uniformly" while avoiding a
+// trivially periodic stream.
+type schedule struct {
+	lib   []*Action
+	rng   *tensor.RNG
+	order []int
+	pos   int
+}
+
+func newSchedule(lib []*Action, rng *tensor.RNG) *schedule {
+	s := &schedule{lib: lib, rng: rng}
+	s.reshuffle()
+	return s
+}
+
+func (s *schedule) reshuffle() {
+	s.order = s.rng.Perm(len(s.lib))
+	s.pos = 0
+}
+
+// next returns the next action in the cycle.
+func (s *schedule) next() *Action {
+	if s.pos >= len(s.order) {
+		s.reshuffle()
+	}
+	a := s.lib[s.order[s.pos]]
+	s.pos++
+	return a
+}

@@ -1,0 +1,198 @@
+package robot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"varade/internal/tensor"
+)
+
+// CollisionEvent is one injected collision: [Start, End) in samples, the
+// joints struck and the impact amplitude.
+type CollisionEvent struct {
+	Start, End int
+	Joints     []int
+	Amplitude  float64
+}
+
+// CollisionConfig parameterises the injector.
+type CollisionConfig struct {
+	// Count is the number of collisions (the paper's test run has 125).
+	Count int
+	// MinDur and MaxDur bound event durations in seconds.
+	MinDur, MaxDur float64
+	// Amplitude scales the impact transients. The default (1.0) keeps the
+	// disturbed values mostly inside the per-channel global ranges of the
+	// normal stream, so collisions are contextual — temporal-pattern —
+	// anomalies rather than trivial point outliers. This mirrors the real
+	// testbed, where a human brushing the arm produces accelerations of
+	// the same magnitude as normal motion but at the wrong time.
+	Amplitude float64
+	// Seed drives event placement and shape.
+	Seed uint64
+}
+
+// DefaultCollisionConfig mirrors the paper's test protocol scaled to the
+// given stream length: short (0.5–2 s) hand-robot contacts.
+func DefaultCollisionConfig(count int) CollisionConfig {
+	return CollisionConfig{Count: count, MinDur: 0.5, MaxDur: 2.0, Amplitude: 1.0, Seed: 7}
+}
+
+// InjectCollisions superimposes cfg.Count collision transients onto a raw
+// (unnormalised) series of shape (T, 86) in place, and returns the events
+// and per-sample labels. Events never overlap; placement fails only if the
+// series is too short to host them.
+//
+// A collision adds, to 1–3 adjacent joints, an exponentially decaying
+// oscillation on the accelerometer channels, an opposing jerk on the gyro
+// channels, a small orientation deflection, and a power surge while the
+// drives push against the obstacle.
+func InjectCollisions(series *tensor.Tensor, rate float64, cfg CollisionConfig) ([]CollisionEvent, []bool, error) {
+	if series.Dims() != 2 || series.Dim(1) != NumChannels {
+		return nil, nil, fmt.Errorf("robot: series shape %v, want (T,%d)", series.Shape(), NumChannels)
+	}
+	if cfg.Count <= 0 || cfg.MinDur <= 0 || cfg.MaxDur < cfg.MinDur {
+		return nil, nil, fmt.Errorf("robot: invalid collision config %+v", cfg)
+	}
+	t := series.Dim(0)
+	maxLen := int(cfg.MaxDur * rate)
+	if maxLen < 1 {
+		maxLen = 1
+	}
+	if cfg.Count*(maxLen+2) > t {
+		return nil, nil, fmt.Errorf("robot: %d collisions of up to %d samples do not fit in %d samples", cfg.Count, maxLen, t)
+	}
+	rng := tensor.NewRNG(cfg.Seed)
+
+	// The paper's operators interfere with the robot *during its movement*
+	// (§4.3), so candidate starts are gated on motion: the summed gyro
+	// magnitude at the start sample must exceed the stream's median.
+	motion := make([]float64, t)
+	for i := 0; i < t; i++ {
+		row := series.Row(i).Data()
+		s := 0.0
+		for j := 0; j < NumJoints; j++ {
+			base := 1 + j*PerJointChannels
+			s += math.Abs(row[base+CompGyroX]) + math.Abs(row[base+CompGyroY]) + math.Abs(row[base+CompGyroZ])
+		}
+		motion[i] = s
+	}
+	sorted := append([]float64(nil), motion...)
+	sort.Float64s(sorted)
+	motionGate := sorted[len(sorted)/2]
+
+	// Place non-overlapping events by sampling starts until disjoint.
+	events := make([]CollisionEvent, 0, cfg.Count)
+	occupied := make([]bool, t)
+	attempts := 0
+	for len(events) < cfg.Count {
+		dur := int(rng.Uniform(cfg.MinDur, cfg.MaxDur) * rate)
+		if dur < 1 {
+			dur = 1
+		}
+		start := rng.Intn(t - dur)
+		attempts++
+		// Relax the motion gate if placement stalls (pathological streams);
+		// collisions then land anywhere, preserving the non-overlap
+		// contract.
+		if motion[start] < motionGate && attempts < 50*cfg.Count {
+			continue
+		}
+		clear := true
+		for i := start; i < start+dur; i++ {
+			if occupied[i] {
+				clear = false
+				break
+			}
+		}
+		if !clear {
+			continue
+		}
+		for i := start; i < start+dur; i++ {
+			occupied[i] = true
+		}
+		j0 := rng.Intn(NumJoints)
+		joints := []int{j0}
+		for _, dj := range []int{1, 2} {
+			if j0+dj < NumJoints && rng.Float64() < 0.5 {
+				joints = append(joints, j0+dj)
+			}
+		}
+		events = append(events, CollisionEvent{
+			Start: start, End: start + dur,
+			Joints:    joints,
+			Amplitude: cfg.Amplitude * rng.Uniform(0.7, 1.4),
+		})
+	}
+	sort.Slice(events, func(a, b int) bool { return events[a].Start < events[b].Start })
+
+	labels := make([]bool, t)
+	for _, e := range events {
+		applyCollision(series, e, rate, rng)
+		for i := e.Start; i < e.End; i++ {
+			labels[i] = true
+		}
+	}
+	return events, labels, nil
+}
+
+// applyCollision perturbs the series in place for one event.
+func applyCollision(series *tensor.Tensor, e CollisionEvent, rate float64, rng *tensor.RNG) {
+	dur := e.End - e.Start
+	ringHz := rng.Uniform(0.8, 2.4) // effective post-aliasing ring frequency
+	decay := rng.Uniform(2.5, 5.0)  // 1/s
+	phase := rng.Uniform(0, 2*math.Pi)
+	for _, j := range e.Joints {
+		base := 1 + j*PerJointChannels
+		accAmp := 3.0 * e.Amplitude
+		gyroAmp := 18 * e.Amplitude
+		quatAmp := 0.02 * e.Amplitude
+		for i := 0; i < dur; i++ {
+			ts := float64(i) / rate
+			env := math.Exp(-decay * ts)
+			ring := math.Cos(2*math.Pi*ringHz*ts + phase)
+			row := series.Row(e.Start + i).Data()
+			// Broadband impact noise: the genuinely unpredictable part of
+			// a mechanical contact, on top of the structured ring-down.
+			jit := 1.2 * accAmp * env
+			row[base+CompAccX] += accAmp*env*ring + jit*rng.NormFloat64()
+			row[base+CompAccY] += jit * 0.6 * rng.NormFloat64()
+			row[base+CompAccZ] += jit * 0.4 * rng.NormFloat64()
+			gjit := 0.8 * gyroAmp * env
+			row[base+CompGyroX] += gjit * 0.4 * rng.NormFloat64()
+			row[base+CompGyroY] += gjit * rng.NormFloat64()
+			row[base+CompGyroZ] += gjit * 0.5 * rng.NormFloat64()
+			row[base+CompAccY] += accAmp * 0.6 * env * math.Sin(2*math.Pi*ringHz*ts+phase)
+			row[base+CompAccZ] += accAmp * 0.4 * env * ring
+			row[base+CompGyroX] += gyroAmp * 0.3 * env * ring
+			row[base+CompGyroY] += gyroAmp * env * math.Sin(2*math.Pi*ringHz*ts+phase+1.1)
+			row[base+CompGyroZ] += gyroAmp * 0.5 * env * ring
+			// Small orientation deflection, renormalised to keep the
+			// quaternion unit length.
+			row[base+CompQ2] += quatAmp * env
+			row[base+CompQ3] -= quatAmp * 0.5 * env
+			n := math.Sqrt(row[base+CompQ1]*row[base+CompQ1] + row[base+CompQ2]*row[base+CompQ2] +
+				row[base+CompQ3]*row[base+CompQ3] + row[base+CompQ4]*row[base+CompQ4])
+			if n > 0 {
+				row[base+CompQ1] /= n
+				row[base+CompQ2] /= n
+				row[base+CompQ3] /= n
+				row[base+CompQ4] /= n
+			}
+		}
+	}
+	// Drives push against the obstacle: sustained power surge with the
+	// meter's derived channels kept self-consistent.
+	pb := 1 + NumJoints*PerJointChannels
+	surge := 18 * e.Amplitude * float64(len(e.Joints))
+	for i := 0; i < dur; i++ {
+		ts := float64(i) / rate
+		env := math.Exp(-1.2 * ts)
+		row := series.Row(e.Start + i).Data()
+		dp := surge * env
+		row[pb+PwrPower] += dp
+		row[pb+PwrCurrent] += dp / (row[pb+PwrVoltage] * row[pb+PwrPowerFactor])
+		row[pb+PwrReactive] += dp * math.Tan(row[pb+PwrPhaseAngle]*math.Pi/180)
+	}
+}

@@ -1,0 +1,172 @@
+package robot
+
+import (
+	"fmt"
+
+	"varade/internal/tensor"
+)
+
+// Normalizer rescales each channel to [-1, 1] from per-channel training
+// minima and maxima, as §4.3 prescribes ("normalized in the range [-1, 1]
+// based on the minimum and maximum values of each sensor's data").
+type Normalizer struct {
+	Mins, Maxs *tensor.Tensor
+}
+
+// FitNormalizer computes per-channel min/max from a raw (T, C) series.
+func FitNormalizer(series *tensor.Tensor) *Normalizer {
+	mins, maxs := tensor.MinMaxAxis0(series)
+	return &Normalizer{Mins: mins, Maxs: maxs}
+}
+
+// Apply returns a normalised copy of series. Channels that were constant
+// in the training data map to 0. Test values outside the training range
+// extend beyond [-1, 1] — they are not clipped, exactly as a deployed
+// pipeline with frozen scaling would behave.
+func (n *Normalizer) Apply(series *tensor.Tensor) *tensor.Tensor {
+	if series.Dims() != 2 || series.Dim(1) != n.Mins.Len() {
+		panic(fmt.Sprintf("robot: normalise shape %v, want (T,%d)", series.Shape(), n.Mins.Len()))
+	}
+	t, c := series.Dim(0), series.Dim(1)
+	out := tensor.New(t, c)
+	sd, od := series.Data(), out.Data()
+	mins, maxs := n.Mins.Data(), n.Maxs.Data()
+	for i := 0; i < t; i++ {
+		for j := 0; j < c; j++ {
+			span := maxs[j] - mins[j]
+			if span == 0 {
+				od[i*c+j] = 0
+				continue
+			}
+			od[i*c+j] = 2*(sd[i*c+j]-mins[j])/span - 1
+		}
+	}
+	return out
+}
+
+// Dataset bundles a complete experiment: normalised train and test series,
+// collision ground truth and the fitted scaler.
+type Dataset struct {
+	Train  *tensor.Tensor // (Ttrain, 86), normalised, anomaly-free
+	Test   *tensor.Tensor // (Ttest, 86), normalised, with collisions
+	Labels []bool         // per-sample ground truth for Test
+	Events []CollisionEvent
+	Norm   *Normalizer
+	Rate   float64 // stream rate in Hz
+}
+
+// DatasetConfig describes how to generate a Dataset.
+type DatasetConfig struct {
+	Sim          SimConfig
+	TrainSeconds float64
+	TestSeconds  float64
+	Collisions   int
+	// CollisionCfg overrides DefaultCollisionConfig when Count > 0.
+	CollisionCfg CollisionConfig
+}
+
+// SmallDataset returns the scaled-down experiment used by tests and quick
+// examples: ~10 minutes of training data, 5 minutes of test data with 40
+// collisions at 10 Hz.
+func SmallDataset() DatasetConfig {
+	return DatasetConfig{
+		Sim:          DefaultSimConfig(),
+		TrainSeconds: 600,
+		TestSeconds:  300,
+		Collisions:   40,
+	}
+}
+
+// PaperDataset returns the full protocol of §4.3 — 390 minutes of training
+// data and an 82-minute collision run with 125 events — at the simulator's
+// decimated 10 Hz rate.
+func PaperDataset() DatasetConfig {
+	return DatasetConfig{
+		Sim:          DefaultSimConfig(),
+		TrainSeconds: 390 * 60,
+		TestSeconds:  82 * 60,
+		Collisions:   125,
+	}
+}
+
+// Generate produces the dataset: a training run recorded with one noise
+// realisation, a test run of the same plant with another, collisions
+// injected into the raw test stream, and both runs normalised by the
+// training scaler.
+func Generate(cfg DatasetConfig) (*Dataset, error) {
+	if cfg.TrainSeconds <= 0 || cfg.TestSeconds <= 0 {
+		return nil, fmt.Errorf("robot: durations must be positive: %+v", cfg)
+	}
+	trainCfg := cfg.Sim
+	if trainCfg.NoiseSeed == 0 {
+		trainCfg.NoiseSeed = trainCfg.Seed + 1000
+	}
+	testCfg := cfg.Sim
+	testCfg.NoiseSeed = trainCfg.NoiseSeed + 1
+	if testCfg.CalibDrift == 0 {
+		testCfg.CalibDrift = 0.5 // day-two recalibration gap (see SimConfig)
+	}
+
+	trainSim, err := NewSimulator(trainCfg)
+	if err != nil {
+		return nil, err
+	}
+	testSim, err := NewSimulator(testCfg)
+	if err != nil {
+		return nil, err
+	}
+	rawTrain := trainSim.RunSeconds(cfg.TrainSeconds)
+	rawTest := testSim.RunSeconds(cfg.TestSeconds)
+
+	colCfg := cfg.CollisionCfg
+	if colCfg.Count == 0 {
+		colCfg = DefaultCollisionConfig(cfg.Collisions)
+	}
+	events, labels, err := InjectCollisions(rawTest, cfg.Sim.SampleRate, colCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	norm := FitNormalizer(rawTrain)
+	return &Dataset{
+		Train:  norm.Apply(rawTrain),
+		Test:   norm.Apply(rawTest),
+		Labels: labels,
+		Events: events,
+		Norm:   norm,
+		Rate:   cfg.Sim.SampleRate,
+	}, nil
+}
+
+// SelectChannels returns a copy of series restricted to the given channel
+// indices — used to build reduced-width experiments that train quickly.
+func SelectChannels(series *tensor.Tensor, idx []int) *tensor.Tensor {
+	t := series.Dim(0)
+	out := tensor.New(t, len(idx))
+	for i := 0; i < t; i++ {
+		row := series.Row(i).Data()
+		orow := out.Row(i).Data()
+		for k, j := range idx {
+			orow[k] = row[j]
+		}
+	}
+	return out
+}
+
+// InterestingChannels returns a compact, information-dense channel subset
+// used by the fast accuracy experiments: the action ID (so context models
+// can condition on the executing service, as in the full 86-channel
+// stream), one accelerometer axis and one gyro axis per joint — so a
+// collision on any joint is visible — plus the power and current channels.
+func InterestingChannels() []int {
+	idx := make([]int, 0, 2*NumJoints+3)
+	idx = append(idx, 0) // action ID
+	for j := 0; j < NumJoints; j++ {
+		gyro := CompGyroZ // even joints rotate about Z
+		if j%2 == 1 {
+			gyro = CompGyroY
+		}
+		idx = append(idx, JointChannel(j, CompAccX), JointChannel(j, gyro))
+	}
+	return append(idx, PowerChannel(PwrPower), PowerChannel(PwrCurrent))
+}

@@ -1,0 +1,172 @@
+package robot
+
+import (
+	"math"
+
+	"varade/internal/tensor"
+)
+
+// quat is a unit quaternion (w, x, y, z) representing an orientation.
+type quat struct{ w, x, y, z float64 }
+
+var quatIdentity = quat{w: 1}
+
+// quatAxisAngle returns the rotation of angle radians about a unit axis.
+func quatAxisAngle(ax, ay, az, angle float64) quat {
+	h := angle / 2
+	s := math.Sin(h)
+	return quat{w: math.Cos(h), x: ax * s, y: ay * s, z: az * s}
+}
+
+// mul returns the Hamilton product a·b (apply b, then a).
+func (a quat) mul(b quat) quat {
+	return quat{
+		w: a.w*b.w - a.x*b.x - a.y*b.y - a.z*b.z,
+		x: a.w*b.x + a.x*b.w + a.y*b.z - a.z*b.y,
+		y: a.w*b.y - a.x*b.z + a.y*b.w + a.z*b.x,
+		z: a.w*b.z + a.x*b.y - a.y*b.x + a.z*b.w,
+	}
+}
+
+// rotateInv rotates vector v by the inverse of q (world → sensor frame).
+func (q quat) rotateInv(vx, vy, vz float64) (float64, float64, float64) {
+	// q⁻¹·v·q for unit q.
+	inv := quat{w: q.w, x: -q.x, y: -q.y, z: -q.z}
+	p := inv.mul(quat{x: vx, y: vy, z: vz}).mul(q)
+	return p.x, p.y, p.z
+}
+
+// norm returns the quaternion's Euclidean norm.
+func (q quat) norm() float64 {
+	return math.Sqrt(q.w*q.w + q.x*q.x + q.y*q.y + q.z*q.z)
+}
+
+// jointAxis returns the unit rotation axis of joint j in its parent frame.
+// The LBR iiwa alternates roll (Z) and pitch (Y) joints.
+func jointAxis(j int) (x, y, z float64) {
+	if j%2 == 0 {
+		return 0, 0, 1
+	}
+	return 0, 1, 0
+}
+
+// linkLength is the distance (m) from joint j to the IMU mounted on it.
+var linkLength = [NumJoints]float64{0.34, 0.19, 0.40, 0.19, 0.40, 0.13, 0.09}
+
+// linkMass approximates the mass (kg) moved by joint j — heavier near the
+// base. Drives both torque and temperature models.
+var linkMass = [NumJoints]float64{8.0, 6.5, 5.0, 3.8, 2.7, 1.8, 1.1}
+
+const gravity = 9.81
+
+// kalman is a scalar Kalman filter with a random-walk state model, the
+// same class of filter the DFRobot IMUs apply on-board before streaming
+// (§4.1). q is the process variance per step, r the measurement variance.
+type kalman struct {
+	x, p  float64
+	q, r  float64
+	ready bool
+}
+
+func newKalman(q, r float64) *kalman { return &kalman{q: q, r: r} }
+
+// step folds one measurement z into the state estimate and returns it.
+func (k *kalman) step(z float64) float64 {
+	if !k.ready {
+		k.x, k.p, k.ready = z, k.r, true
+		return k.x
+	}
+	k.p += k.q
+	gain := k.p / (k.p + k.r)
+	k.x += gain * (z - k.x)
+	k.p *= 1 - gain
+	return k.x
+}
+
+// imuState holds the per-joint sensor state: orientation filters are not
+// needed (quaternions are computed exactly) but acceleration and gyro
+// channels carry measurement noise smoothed by the on-board Kalman filter,
+// and temperature integrates frictive heating.
+type imuState struct {
+	accF  [3]*kalman
+	gyroF [3]*kalman
+	temp  float64
+}
+
+func newIMUState(ambient float64) *imuState {
+	s := &imuState{temp: ambient}
+	for i := 0; i < 3; i++ {
+		s.accF[i] = newKalman(1.0, 0.3)
+		s.gyroF[i] = newKalman(1.2, 0.5)
+	}
+	return s
+}
+
+// imuReading is one joint's 11 channels in Table 1 order.
+type imuReading struct {
+	acc  [3]float64
+	gyro [3]float64
+	q    quat
+	temp float64
+}
+
+// measureIMU produces joint j's reading given the cumulative orientation
+// orient of its link, the joint's kinematic state, ambient temperature and
+// the sample interval dt.
+func measureIMU(j int, st *imuState, orient quat, dqj, ddqj, ambient, dt float64, rng *tensor.RNG) imuReading {
+	var r imuReading
+	r.q = orient
+
+	ax, ay, az := jointAxis(j)
+	// Gravity expressed in the sensor frame is the dominant, smoothly
+	// varying accelerometer component.
+	gx, gy, gz := orient.rotateInv(0, 0, -gravity)
+	// Tangential (α·r) and centripetal (ω²·r) terms act orthogonally to
+	// the joint axis; distribute them over the two non-axis directions.
+	tang := ddqj * linkLength[j]
+	cent := dqj * dqj * linkLength[j]
+	acc := [3]float64{gx, gy, gz}
+	switch {
+	case az != 0: // Z joint: motion in XY plane
+		acc[0] += tang
+		acc[1] += cent
+	default: // Y joint: motion in XZ plane
+		acc[0] += tang
+		acc[2] += cent
+	}
+	// Vibration: structural noise grows with joint motion. Real robot IMUs
+	// are strongly heteroscedastic — gearbox and link vibration scale with
+	// speed and effort — and this is what a variational forecaster's
+	// variance head learns to track (see DESIGN.md). A collision's
+	// ring-down is precisely *unexpected* vibration energy.
+	vib := 0.12*math.Abs(dqj) + 0.4*math.Abs(ddqj)
+	accStd := 0.08 + 0.5*vib
+	gyroStd := 0.25 + 1.6*vib
+	for i := 0; i < 3; i++ {
+		noisy := acc[i] + rng.NormFloat64()*accStd
+		r.acc[i] = st.accF[i].step(noisy)
+	}
+
+	deg := dqj * 180 / math.Pi
+	gyro := [3]float64{ax * deg, ay * deg, az * deg}
+	for i := 0; i < 3; i++ {
+		noisy := gyro[i] + rng.NormFloat64()*gyroStd
+		r.gyro[i] = st.gyroF[i].step(noisy)
+	}
+
+	// Temperature: frictive heating proportional to joint effort, Newton
+	// cooling towards ambient, plus slow measurement noise.
+	heat := 0.004 * linkMass[j] * math.Abs(dqj*ddqj)
+	st.temp += dt * (heat - 0.002*(st.temp-ambient))
+	r.temp = st.temp + rng.NormFloat64()*0.02
+	return r
+}
+
+// jointTorque approximates joint j's torque: inertial, viscous and
+// gravity-load terms. qj is the joint angle.
+func jointTorque(j int, qj, dqj, ddqj float64) float64 {
+	inertia := linkMass[j] * linkLength[j] * linkLength[j]
+	viscous := 0.4 * linkMass[j]
+	gravLoad := linkMass[j] * gravity * linkLength[j] * 0.5
+	return inertia*ddqj + viscous*dqj + gravLoad*math.Cos(qj)
+}

@@ -1,0 +1,72 @@
+package robot
+
+import (
+	"math"
+
+	"varade/internal/tensor"
+)
+
+// powerMeter models the Eastron SDM230 single-phase meter monitoring the
+// robot and the industrial PC (§4.1). Electrical power follows the
+// mechanical load through a drive-efficiency model; current, power factor,
+// phase angle and reactive power are derived self-consistently; the energy
+// register integrates.
+type powerMeter struct {
+	idleWatts float64
+	energyKWh float64
+	mainsT    float64 // phase accumulator for slow mains wander
+}
+
+func newPowerMeter() *powerMeter {
+	return &powerMeter{idleWatts: 160}
+}
+
+// powerReading is the meter's 8 channels in stream order.
+type powerReading struct {
+	current   float64
+	frequency float64
+	phase     float64
+	power     float64
+	pf        float64
+	reactive  float64
+	voltage   float64
+	energy    float64
+}
+
+// measure converts mechanical power (W) into the meter's channels for one
+// sample interval dt.
+func (pm *powerMeter) measure(mechWatts, dt float64, rng *tensor.RNG) powerReading {
+	pm.mainsT += dt
+	const efficiency = 0.72
+	p := pm.idleWatts + mechWatts/efficiency + rng.NormFloat64()*6
+	if p < pm.idleWatts*0.8 {
+		p = pm.idleWatts * 0.8
+	}
+	voltage := 230 + 1.8*math.Sin(2*math.Pi*pm.mainsT/47) + rng.NormFloat64()*0.4
+	freq := 50 + rng.NormFloat64()*0.012
+	// Power factor improves slightly under load (drives run closer to
+	// rated conditions).
+	load := (p - pm.idleWatts) / 600
+	if load > 1 {
+		load = 1
+	}
+	pf := 0.80 + 0.12*load + rng.NormFloat64()*0.004
+	if pf > 0.99 {
+		pf = 0.99
+	}
+	phase := math.Acos(pf) * 180 / math.Pi
+	reactive := p * math.Tan(math.Acos(pf))
+	current := p / (voltage * pf)
+	pm.energyKWh += p * dt / 3.6e6
+
+	return powerReading{
+		current:   current,
+		frequency: freq,
+		phase:     phase,
+		power:     p,
+		pf:        pf,
+		reactive:  reactive,
+		voltage:   voltage,
+		energy:    pm.energyKWh,
+	}
+}

@@ -1,0 +1,434 @@
+package robot
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"varade/internal/tensor"
+)
+
+func TestChannelSchemaMatchesTable1(t *testing.T) {
+	chs := Channels()
+	if len(chs) != 86 {
+		t.Fatalf("%d channels, want 86 (Table 1)", len(chs))
+	}
+	if chs[0].Name != "action_id" {
+		t.Fatalf("channel 0 = %q", chs[0].Name)
+	}
+	// Spot-check joint block layout.
+	if chs[JointChannel(0, CompAccX)].Name != "sensor_id_0_AccX" {
+		t.Fatalf("joint 0 AccX = %q", chs[JointChannel(0, CompAccX)].Name)
+	}
+	if chs[JointChannel(6, CompTemp)].Name != "sensor_id_6_temp" {
+		t.Fatalf("joint 6 temp = %q", chs[JointChannel(6, CompTemp)].Name)
+	}
+	if chs[PowerChannel(PwrPower)].Name != "power" {
+		t.Fatalf("power channel = %q", chs[PowerChannel(PwrPower)].Name)
+	}
+	// Every IMU block carries the 11 components of Table 1.
+	for j := 0; j < NumJoints; j++ {
+		for _, comp := range []string{"AccX", "AccY", "AccZ", "GyroX", "GyroY", "GyroZ", "q1", "q2", "q3", "q4", "temp"} {
+			found := false
+			for _, c := range chs {
+				if strings.HasSuffix(c.Name, comp) && strings.Contains(c.Name, "_"+string(rune('0'+j))+"_") {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("joint %d missing component %s", j, comp)
+			}
+		}
+	}
+}
+
+func TestChannelIndexPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	JointChannel(7, 0)
+}
+
+func TestQuaternionAlgebra(t *testing.T) {
+	// 90° about Z then 90° about Z = 180° about Z.
+	q1 := quatAxisAngle(0, 0, 1, math.Pi/2)
+	q := q1.mul(q1)
+	want := quatAxisAngle(0, 0, 1, math.Pi)
+	if math.Abs(q.w-want.w) > 1e-12 || math.Abs(q.z-want.z) > 1e-12 {
+		t.Fatalf("q=%+v want %+v", q, want)
+	}
+	// Rotation preserves vector length.
+	x, y, z := q1.rotateInv(1, 2, 3)
+	if math.Abs(math.Sqrt(x*x+y*y+z*z)-math.Sqrt(14)) > 1e-12 {
+		t.Fatal("rotation must preserve norm")
+	}
+	// Gravity rotated by identity is unchanged.
+	gx, gy, gz := quatIdentity.rotateInv(0, 0, -9.81)
+	if gx != 0 || gy != 0 || gz != -9.81 {
+		t.Fatal("identity rotation changed the vector")
+	}
+}
+
+func TestQuinticBlendBoundaries(t *testing.T) {
+	s, ds, dds := quinticBlend(0, 2)
+	if s != 0 || ds != 0 || dds != 0 {
+		t.Fatal("blend must start at rest")
+	}
+	s, ds, dds = quinticBlend(1, 2)
+	if s != 1 || ds != 0 || dds != 0 {
+		t.Fatal("blend must end at rest")
+	}
+	// Midpoint: s=0.5 by symmetry, velocity positive.
+	s, ds, _ = quinticBlend(0.5, 2)
+	if math.Abs(s-0.5) > 1e-12 || ds <= 0 {
+		t.Fatalf("midpoint s=%g ds=%g", s, ds)
+	}
+}
+
+func TestTrajectoryContinuity(t *testing.T) {
+	ways := [][NumJoints]float64{{}, {1, -1, 0.5, 0, 0.2, -0.3, 0.1}, {0.5, 0, 0, 0, 0, 0, 0}}
+	tr := newTrajectory(ways, []float64{2, 3})
+	if tr.Duration() != 5 {
+		t.Fatalf("duration %g", tr.Duration())
+	}
+	// Angles are continuous across the segment boundary.
+	qa, _, _ := tr.eval(2 - 1e-9)
+	qb, _, _ := tr.eval(2 + 1e-9)
+	for j := 0; j < NumJoints; j++ {
+		if math.Abs(qa[j]-qb[j]) > 1e-6 {
+			t.Fatalf("joint %d jumps at boundary: %g vs %g", j, qa[j], qb[j])
+		}
+	}
+	// Evaluation clamps beyond the end.
+	qEnd, dqEnd, _ := tr.eval(99)
+	if qEnd[0] != 0.5 || dqEnd[0] != 0 {
+		t.Fatal("end state wrong")
+	}
+}
+
+func TestActionLibraryDeterminism(t *testing.T) {
+	a := actionLibrary(5)
+	b := actionLibrary(5)
+	c := actionLibrary(6)
+	if len(a) != NumActions {
+		t.Fatalf("%d actions want %d", len(a), NumActions)
+	}
+	for i := range a {
+		if a[i].Duration() != b[i].Duration() {
+			t.Fatal("same seed must give identical actions")
+		}
+	}
+	same := 0
+	for i := range a {
+		if a[i].Duration() == c[i].Duration() {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds must give different libraries")
+	}
+}
+
+func TestSimulatorStreamShape(t *testing.T) {
+	sim, err := NewSimulator(DefaultSimConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := sim.Run(500)
+	if series.Dim(0) != 500 || series.Dim(1) != NumChannels {
+		t.Fatalf("series shape %v", series.Shape())
+	}
+	// No NaNs or infinities anywhere.
+	for i, v := range series.Data() {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("invalid value at flat index %d", i)
+		}
+	}
+}
+
+func TestSimulatorDeterminism(t *testing.T) {
+	cfg := DefaultSimConfig()
+	s1, _ := NewSimulator(cfg)
+	s2, _ := NewSimulator(cfg)
+	a, b := s1.Run(200), s2.Run(200)
+	if !tensor.Equal(a, b, 0) {
+		t.Fatal("same config must reproduce the identical stream")
+	}
+}
+
+func TestNoiseSeedChangesNoiseNotActions(t *testing.T) {
+	cfg := DefaultSimConfig()
+	cfg.NoiseSeed = 111
+	s1, _ := NewSimulator(cfg)
+	cfg.NoiseSeed = 222
+	s2, _ := NewSimulator(cfg)
+	a, b := s1.Run(300), s2.Run(300)
+	if tensor.Equal(a, b, 0) {
+		t.Fatal("different noise seeds must differ")
+	}
+	// Identical Seed ⇒ identical action library geometry: both runs use
+	// actions with equal durations set.
+	l1, l2 := actionLibrary(cfg.Seed), actionLibrary(cfg.Seed)
+	for i := range l1 {
+		if l1[i].Duration() != l2[i].Duration() {
+			t.Fatal("geometry changed with noise seed")
+		}
+	}
+}
+
+func TestQuaternionChannelsStayUnit(t *testing.T) {
+	sim, _ := NewSimulator(DefaultSimConfig())
+	series := sim.Run(300)
+	for i := 0; i < 300; i += 17 {
+		row := series.Row(i).Data()
+		for j := 0; j < NumJoints; j++ {
+			base := 1 + j*PerJointChannels
+			n := 0.0
+			for c := CompQ1; c <= CompQ4; c++ {
+				n += row[base+c] * row[base+c]
+			}
+			if math.Abs(math.Sqrt(n)-1) > 1e-9 {
+				t.Fatalf("joint %d quaternion norm %g at sample %d", j, math.Sqrt(n), i)
+			}
+		}
+	}
+}
+
+func TestActionIDChannelInRange(t *testing.T) {
+	sim, _ := NewSimulator(DefaultSimConfig())
+	series := sim.Run(2000)
+	seen := map[int]bool{}
+	for i := 0; i < 2000; i++ {
+		id := int(series.At2(i, 0))
+		if id < 0 || id >= NumActions {
+			t.Fatalf("action id %d out of range", id)
+		}
+		seen[id] = true
+	}
+	if len(seen) < 5 {
+		t.Fatalf("only %d distinct actions in 2000 samples", len(seen))
+	}
+}
+
+func TestPowerChannelsPhysicallyConsistent(t *testing.T) {
+	sim, _ := NewSimulator(DefaultSimConfig())
+	series := sim.Run(1000)
+	pb := 1 + NumJoints*PerJointChannels
+	prevEnergy := -1.0
+	for i := 0; i < 1000; i++ {
+		row := series.Row(i).Data()
+		p, v, c, pf := row[pb+PwrPower], row[pb+PwrVoltage], row[pb+PwrCurrent], row[pb+PwrPowerFactor]
+		if p <= 0 || v < 200 || v > 260 || pf <= 0 || pf > 1 {
+			t.Fatalf("implausible electrics at %d: P=%g V=%g pf=%g", i, p, v, pf)
+		}
+		// P = V·I·pf must hold by construction.
+		if math.Abs(p-v*c*pf)/p > 1e-9 {
+			t.Fatalf("P≠VIcosφ at %d", i)
+		}
+		e := row[pb+PwrEnergy]
+		if e < prevEnergy {
+			t.Fatal("energy register must be monotone")
+		}
+		prevEnergy = e
+	}
+}
+
+func TestInjectCollisionsLabelsAndEvents(t *testing.T) {
+	sim, _ := NewSimulator(DefaultSimConfig())
+	series := sim.Run(3000)
+	cfg := DefaultCollisionConfig(25)
+	events, labels, err := InjectCollisions(series, 10, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 25 {
+		t.Fatalf("%d events want 25", len(events))
+	}
+	if len(labels) != 3000 {
+		t.Fatalf("%d labels", len(labels))
+	}
+	// Labels exactly cover event ranges, and events do not overlap.
+	covered := 0
+	for i, e := range events {
+		if e.End <= e.Start {
+			t.Fatalf("event %d empty", i)
+		}
+		if i > 0 && e.Start < events[i-1].End {
+			t.Fatalf("events %d and %d overlap", i-1, i)
+		}
+		covered += e.End - e.Start
+		for k := e.Start; k < e.End; k++ {
+			if !labels[k] {
+				t.Fatalf("label missing inside event %d", i)
+			}
+		}
+	}
+	total := 0
+	for _, l := range labels {
+		if l {
+			total++
+		}
+	}
+	if total != covered {
+		t.Fatalf("labelled %d points but events cover %d", total, covered)
+	}
+}
+
+func TestInjectCollisionsPerturbsSignal(t *testing.T) {
+	cfg := DefaultSimConfig()
+	s1, _ := NewSimulator(cfg)
+	clean := s1.Run(2000)
+	dirty := clean.Clone()
+	events, _, err := InjectCollisions(dirty, 10, DefaultCollisionConfig(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inside events the series differs; far outside it is identical.
+	e := events[0]
+	diff := 0.0
+	for i := e.Start; i < e.End; i++ {
+		for j := 0; j < NumChannels; j++ {
+			diff += math.Abs(dirty.At2(i, j) - clean.At2(i, j))
+		}
+	}
+	if diff == 0 {
+		t.Fatal("collision left the stream untouched")
+	}
+	inEvent := make([]bool, 2000)
+	for _, ev := range events {
+		for i := ev.Start; i < ev.End; i++ {
+			inEvent[i] = true
+		}
+	}
+	for i := 0; i < 2000; i++ {
+		if inEvent[i] {
+			continue
+		}
+		for j := 0; j < NumChannels; j++ {
+			if dirty.At2(i, j) != clean.At2(i, j) {
+				t.Fatalf("sample %d channel %d modified outside events", i, j)
+			}
+		}
+	}
+}
+
+func TestInjectCollisionsRejectsOverfill(t *testing.T) {
+	sim, _ := NewSimulator(DefaultSimConfig())
+	series := sim.Run(50)
+	if _, _, err := InjectCollisions(series, 10, DefaultCollisionConfig(100)); err == nil {
+		t.Fatal("expected error for too many collisions")
+	}
+}
+
+func TestNormalizerRange(t *testing.T) {
+	sim, _ := NewSimulator(DefaultSimConfig())
+	series := sim.Run(1000)
+	norm := FitNormalizer(series)
+	scaled := norm.Apply(series)
+	if scaled.Max() > 1+1e-12 || scaled.Min() < -1-1e-12 {
+		t.Fatalf("normalised range [%g, %g]", scaled.Min(), scaled.Max())
+	}
+	// Each non-constant channel touches both bounds.
+	mins, maxs := tensor.MinMaxAxis0(scaled)
+	for j := 0; j < NumChannels; j++ {
+		if norm.Maxs.At(j) == norm.Mins.At(j) {
+			continue
+		}
+		if math.Abs(mins.At(j)+1) > 1e-9 || math.Abs(maxs.At(j)-1) > 1e-9 {
+			t.Fatalf("channel %d spans [%g, %g]", j, mins.At(j), maxs.At(j))
+		}
+	}
+}
+
+func TestNormalizerConstantChannel(t *testing.T) {
+	series := tensor.New(10, 2)
+	for i := 0; i < 10; i++ {
+		series.Set2(5, i, 0)          // constant
+		series.Set2(float64(i), i, 1) // varying
+	}
+	norm := FitNormalizer(series)
+	scaled := norm.Apply(series)
+	for i := 0; i < 10; i++ {
+		if scaled.At2(i, 0) != 0 {
+			t.Fatal("constant channel must map to 0")
+		}
+	}
+}
+
+func TestGenerateDataset(t *testing.T) {
+	cfg := SmallDataset()
+	cfg.TrainSeconds = 120
+	cfg.TestSeconds = 80
+	cfg.Collisions = 5
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Train.Dim(1) != NumChannels || ds.Test.Dim(1) != NumChannels {
+		t.Fatal("dataset width wrong")
+	}
+	if len(ds.Labels) != ds.Test.Dim(0) {
+		t.Fatal("labels misaligned")
+	}
+	if len(ds.Events) != 5 {
+		t.Fatalf("%d events want 5", len(ds.Events))
+	}
+	if ds.Train.Max() > 1+1e-12 || ds.Train.Min() < -1-1e-12 {
+		t.Fatal("train split must lie in [-1,1]")
+	}
+}
+
+func TestSelectChannels(t *testing.T) {
+	series := tensor.New(4, 5)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 5; j++ {
+			series.Set2(float64(10*i+j), i, j)
+		}
+	}
+	sub := SelectChannels(series, []int{4, 0})
+	if sub.Dim(1) != 2 || sub.At2(2, 0) != 24 || sub.At2(2, 1) != 20 {
+		t.Fatalf("SelectChannels wrong: %v", sub.Data())
+	}
+	ic := InterestingChannels()
+	if len(ic) != 2*NumJoints+3 {
+		t.Fatalf("InterestingChannels returned %d channels, want %d", len(ic), 2*NumJoints+3)
+	}
+	if ic[0] != 0 {
+		t.Fatal("InterestingChannels must start with the action ID channel")
+	}
+	seen := map[int]bool{}
+	for _, j := range ic {
+		if j < 0 || j >= NumChannels || seen[j] {
+			t.Fatalf("invalid or duplicate channel index %d", j)
+		}
+		seen[j] = true
+	}
+}
+
+func TestKalmanReducesNoiseVariance(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	k := newKalman(0.01, 1.0)
+	varRaw, varFilt := 0.0, 0.0
+	n := 5000
+	for i := 0; i < n; i++ {
+		z := rng.NormFloat64() // true signal is 0
+		f := k.step(z)
+		varRaw += z * z
+		varFilt += f * f
+	}
+	if varFilt >= varRaw/2 {
+		t.Fatalf("Kalman filter did not reduce variance: raw %g filt %g", varRaw/float64(n), varFilt/float64(n))
+	}
+}
+
+func TestSimulatorRejectsBadConfig(t *testing.T) {
+	if _, err := NewSimulator(SimConfig{SampleRate: 0}); err == nil {
+		t.Fatal("expected error for zero rate")
+	}
+	if _, err := NewSimulator(SimConfig{SampleRate: 10, IdleGap: -1}); err == nil {
+		t.Fatal("expected error for negative idle gap")
+	}
+}

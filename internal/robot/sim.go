@@ -1,0 +1,191 @@
+package robot
+
+import (
+	"fmt"
+
+	"varade/internal/tensor"
+)
+
+// SimConfig parameterises the testbed simulator.
+type SimConfig struct {
+	// SampleRate is the stream rate in Hz. The physical IMUs emit at
+	// 200 Hz; the detectors in the paper consume 5–45 Hz, so experiments
+	// default to an intermediate decimated rate.
+	SampleRate float64
+	// Seed determines the action library geometry, schedule order and all
+	// sensor noise. Equal seeds yield identical streams.
+	Seed uint64
+	// NoiseSeed, when non-zero, decouples the noise/schedule realisation
+	// from the action geometry: train and test runs of the same plant use
+	// the same Seed (same 30 services) but different NoiseSeeds.
+	NoiseSeed uint64
+	// Ambient is the hall temperature in °C.
+	Ambient float64
+	// IdleGap is the pause between consecutive actions in seconds.
+	IdleGap float64
+	// CalibDrift scales run-to-run sensor recalibration offsets: each run
+	// draws small constant per-channel biases (IMU remount bias, ambient
+	// shift, mains level) from its noise seed. A deployed detector is
+	// trained on one run and tested on another, so drift is part of the
+	// realistic gap between them. 0 disables; 1 is a typical day-to-day
+	// recalibration.
+	CalibDrift float64
+}
+
+// DefaultSimConfig returns the configuration used by the experiments:
+// 10 Hz sampling, 22 °C ambient, 0.5 s between actions.
+func DefaultSimConfig() SimConfig {
+	return SimConfig{SampleRate: 10, Seed: 42, Ambient: 22, IdleGap: 0.5}
+}
+
+// Simulator produces the 86-channel stream of the instrumented KUKA arm.
+type Simulator struct {
+	cfg   SimConfig
+	sched *schedule
+	imus  [NumJoints]*imuState
+	meter *powerMeter
+	noise *tensor.RNG
+
+	action  *Action
+	actTime float64 // elapsed within current action (negative while idling)
+
+	// Per-run calibration offsets (see SimConfig.CalibDrift).
+	accBias   [NumJoints][3]float64
+	gyroBias  [NumJoints][3]float64
+	tempBias  [NumJoints]float64
+	voltBias  float64
+	powerBias float64
+}
+
+// NewSimulator builds a simulator. Action geometry is derived from
+// cfg.Seed so the 30 services are stable across runs with the same seed.
+func NewSimulator(cfg SimConfig) (*Simulator, error) {
+	if cfg.SampleRate <= 0 {
+		return nil, fmt.Errorf("robot: sample rate %g must be positive", cfg.SampleRate)
+	}
+	if cfg.IdleGap < 0 {
+		return nil, fmt.Errorf("robot: idle gap %g must be non-negative", cfg.IdleGap)
+	}
+	noiseSeed := cfg.NoiseSeed
+	if noiseSeed == 0 {
+		noiseSeed = cfg.Seed
+	}
+	root := tensor.NewRNG(noiseSeed)
+	lib := actionLibrary(cfg.Seed) // geometry fixed by Seed alone
+	s := &Simulator{
+		cfg:   cfg,
+		sched: newSchedule(lib, root.Split()),
+		meter: newPowerMeter(),
+		noise: root.Split(),
+	}
+	for j := range s.imus {
+		s.imus[j] = newIMUState(cfg.Ambient)
+	}
+	if cfg.CalibDrift != 0 {
+		d := cfg.CalibDrift
+		drng := root.Split()
+		for j := 0; j < NumJoints; j++ {
+			for a := 0; a < 3; a++ {
+				s.accBias[j][a] = drng.NormFloat64() * 0.22 * d
+				s.gyroBias[j][a] = drng.NormFloat64() * 0.9 * d
+			}
+			s.tempBias[j] = drng.NormFloat64() * 1.2 * d
+		}
+		s.voltBias = drng.NormFloat64() * 1.5 * d
+		s.powerBias = drng.NormFloat64() * 6 * d
+	}
+	s.action = s.sched.next()
+	s.actTime = -cfg.IdleGap
+	return s, nil
+}
+
+// Config returns the simulator configuration.
+func (s *Simulator) Config() SimConfig { return s.cfg }
+
+// CurrentAction returns the ID of the action in progress.
+func (s *Simulator) CurrentAction() int { return s.action.ID }
+
+// Step advances one sample interval and returns the 86-channel sample.
+func (s *Simulator) Step() []float64 {
+	dt := 1 / s.cfg.SampleRate
+	s.actTime += dt
+	if s.actTime >= s.action.Duration() {
+		s.action = s.sched.next()
+		s.actTime = -s.cfg.IdleGap
+	}
+
+	// Kinematics: during the idle gap the arm holds the first waypoint.
+	t := s.actTime
+	if t < 0 {
+		t = 0
+	}
+	q, dq, ddq := s.action.traj.eval(t)
+
+	sample := make([]float64, NumChannels)
+	sample[0] = float64(s.action.ID)
+
+	// Cumulative orientation down the chain, and total mechanical power.
+	orient := quatIdentity
+	mech := 0.0
+	for j := 0; j < NumJoints; j++ {
+		ax, ay, az := jointAxis(j)
+		orient = orient.mul(quatAxisAngle(ax, ay, az, q[j]))
+		r := measureIMU(j, s.imus[j], orient, dq[j], ddq[j], s.cfg.Ambient, dt, s.noise)
+		base := 1 + j*PerJointChannels
+		sample[base+CompAccX] = r.acc[0] + s.accBias[j][0]
+		sample[base+CompAccY] = r.acc[1] + s.accBias[j][1]
+		sample[base+CompAccZ] = r.acc[2] + s.accBias[j][2]
+		sample[base+CompGyroX] = r.gyro[0] + s.gyroBias[j][0]
+		sample[base+CompGyroY] = r.gyro[1] + s.gyroBias[j][1]
+		sample[base+CompGyroZ] = r.gyro[2] + s.gyroBias[j][2]
+		sample[base+CompQ1] = r.q.w
+		sample[base+CompQ2] = r.q.x
+		sample[base+CompQ3] = r.q.y
+		sample[base+CompQ4] = r.q.z
+		sample[base+CompTemp] = r.temp + s.tempBias[j]
+
+		tau := jointTorque(j, q[j], dq[j], ddq[j])
+		if w := tau * dq[j]; w > 0 {
+			mech += w
+		} else {
+			mech -= 0.3 * w // regenerative braking partially recovered
+		}
+	}
+
+	pr := s.meter.measure(mech, dt, s.noise)
+	pr.power += s.powerBias
+	pr.voltage += s.voltBias
+	pr.current = pr.power / (pr.voltage * pr.pf)
+	pb := 1 + NumJoints*PerJointChannels
+	sample[pb+PwrCurrent] = pr.current
+	sample[pb+PwrFrequency] = pr.frequency
+	sample[pb+PwrPhaseAngle] = pr.phase
+	sample[pb+PwrPower] = pr.power
+	sample[pb+PwrPowerFactor] = pr.pf
+	sample[pb+PwrReactive] = pr.reactive
+	sample[pb+PwrVoltage] = pr.voltage
+	sample[pb+PwrEnergy] = pr.energy
+	return sample
+}
+
+// Run produces n consecutive samples as a (n, 86) time-major tensor.
+func (s *Simulator) Run(n int) *tensor.Tensor {
+	if n <= 0 {
+		panic(fmt.Sprintf("robot: Run(%d)", n))
+	}
+	out := tensor.New(n, NumChannels)
+	od := out.Data()
+	for i := 0; i < n; i++ {
+		copy(od[i*NumChannels:(i+1)*NumChannels], s.Step())
+	}
+	return out
+}
+
+// RunSeconds produces ⌈seconds × rate⌉ samples.
+func (s *Simulator) RunSeconds(seconds float64) *tensor.Tensor {
+	n := int(seconds * s.cfg.SampleRate)
+	if n < 1 {
+		n = 1
+	}
+	return s.Run(n)
+}

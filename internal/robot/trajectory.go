@@ -1,0 +1,83 @@
+package robot
+
+// Quintic minimum-jerk interpolation. Industrial arm controllers plan
+// joint-space trajectories with zero boundary velocity and acceleration;
+// the quintic blend s(τ) = 6τ⁵ − 15τ⁴ + 10τ³ is the classic closed form.
+// Position, velocity and acceleration are all analytic, which gives the
+// IMU model exact kinematics with no numerical differentiation noise.
+
+// quinticBlend returns the blend value and its first two time derivatives
+// at normalised time τ ∈ [0, 1] over a segment of duration d seconds.
+func quinticBlend(tau, d float64) (s, ds, dds float64) {
+	if tau <= 0 {
+		return 0, 0, 0
+	}
+	if tau >= 1 {
+		return 1, 0, 0
+	}
+	t2 := tau * tau
+	t3 := t2 * tau
+	t4 := t3 * tau
+	s = 6*t4*tau - 15*t4 + 10*t3
+	ds = (30*t4 - 60*t3 + 30*t2) / d
+	dds = (120*t3 - 180*t2 + 60*tau) / (d * d)
+	return s, ds, dds
+}
+
+// segment is one joint-space move from q0 to q1 lasting dur seconds.
+type segment struct {
+	q0, q1 [NumJoints]float64 // joint angles, radians
+	dur    float64
+}
+
+// eval returns joint angle, angular velocity and angular acceleration at
+// time t ∈ [0, dur] within the segment.
+func (sg *segment) eval(t float64) (q, dq, ddq [NumJoints]float64) {
+	tau := t / sg.dur
+	s, ds, dds := quinticBlend(tau, sg.dur)
+	for j := 0; j < NumJoints; j++ {
+		delta := sg.q1[j] - sg.q0[j]
+		q[j] = sg.q0[j] + delta*s
+		dq[j] = delta * ds
+		ddq[j] = delta * dds
+	}
+	return q, dq, ddq
+}
+
+// Trajectory is a sequence of segments executed back to back.
+type trajectory struct {
+	segments []segment
+	total    float64
+}
+
+func newTrajectory(waypoints [][NumJoints]float64, durations []float64) *trajectory {
+	if len(waypoints) < 2 || len(durations) != len(waypoints)-1 {
+		panic("robot: trajectory needs n waypoints and n-1 durations")
+	}
+	tr := &trajectory{}
+	for i := 0; i < len(durations); i++ {
+		tr.segments = append(tr.segments, segment{q0: waypoints[i], q1: waypoints[i+1], dur: durations[i]})
+		tr.total += durations[i]
+	}
+	return tr
+}
+
+// Duration returns the trajectory's total duration in seconds.
+func (tr *trajectory) Duration() float64 { return tr.total }
+
+// eval returns the kinematic state at time t, clamping beyond the ends.
+func (tr *trajectory) eval(t float64) (q, dq, ddq [NumJoints]float64) {
+	if t <= 0 {
+		return tr.segments[0].eval(0)
+	}
+	for i := range tr.segments {
+		if t < tr.segments[i].dur || i == len(tr.segments)-1 {
+			if t > tr.segments[i].dur {
+				t = tr.segments[i].dur
+			}
+			return tr.segments[i].eval(t)
+		}
+		t -= tr.segments[i].dur
+	}
+	panic("robot: unreachable")
+}

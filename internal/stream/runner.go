@@ -1,0 +1,124 @@
+package stream
+
+import (
+	"sync"
+
+	"varade/internal/detect"
+)
+
+// Score is one runner output: the sample index and its anomaly score.
+type Score struct {
+	Index int
+	Value float64
+}
+
+// Runner couples a detector to a live sample feed: every pushed sample
+// that completes a window produces one score. It is the software shape of
+// the testbed script in §4.3 ("continuously reads data from the sensors,
+// prepares the data … and calls the inference function").
+type Runner struct {
+	det    detect.Detector
+	buf    *WindowBuffer
+	index  int
+	nScore int
+}
+
+// NewRunner returns a runner for a fitted detector over streams of the
+// given channel width.
+func NewRunner(det detect.Detector, channels int) *Runner {
+	return &Runner{det: det, buf: NewWindowBuffer(det.WindowSize(), channels)}
+}
+
+// Push feeds one sample and returns the resulting score, if a full window
+// is available.
+func (r *Runner) Push(sample []float64) (Score, bool) {
+	r.buf.Push(sample)
+	r.index++
+	if !r.buf.Full() {
+		return Score{}, false
+	}
+	r.nScore++
+	return Score{Index: r.index - 1, Value: r.det.Score(r.buf.Window())}, true
+}
+
+// Scored returns how many scores the runner has produced.
+func (r *Runner) Scored() int { return r.nScore }
+
+// Bus is a minimal in-process publish/subscribe fabric standing in for the
+// testbed's MQTT broker: sensors publish samples, detector runners
+// subscribe. Subscribers receive every sample published after they join;
+// a slow subscriber drops the oldest queued samples rather than blocking
+// the producer, matching real broker behaviour under backpressure.
+type Bus struct {
+	mu     sync.Mutex
+	subs   []chan []float64
+	closed bool
+	// Dropped counts samples discarded because a subscriber queue was full.
+	dropped int
+}
+
+// NewBus returns an empty bus.
+func NewBus() *Bus { return &Bus{} }
+
+// Subscribe registers a new consumer with the given queue depth.
+func (b *Bus) Subscribe(depth int) <-chan []float64 {
+	if depth < 1 {
+		depth = 1
+	}
+	ch := make(chan []float64, depth)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		close(ch)
+		return ch
+	}
+	b.subs = append(b.subs, ch)
+	return ch
+}
+
+// Publish delivers sample to every subscriber, dropping the oldest queued
+// sample of any full subscriber.
+func (b *Bus) Publish(sample []float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	for _, ch := range b.subs {
+		for {
+			select {
+			case ch <- sample:
+			default:
+				// Queue full: drop the oldest and retry once.
+				select {
+				case <-ch:
+					b.dropped++
+				default:
+				}
+				continue
+			}
+			break
+		}
+	}
+}
+
+// Dropped returns the number of samples discarded under backpressure.
+func (b *Bus) Dropped() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}
+
+// Close terminates all subscriber channels.
+func (b *Bus) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for _, ch := range b.subs {
+		close(ch)
+	}
+	b.subs = nil
+}

@@ -1,0 +1,125 @@
+package stream
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+
+	"varade/internal/tensor"
+)
+
+// The TCP transport streams samples as CSV lines, one sample per line —
+// the role MQTT-over-Ethernet plays in the physical testbed (Fig. 2). The
+// encoding is deliberately plain so any tool (netcat, a PLC gateway, the
+// varade-detect command) can produce or consume it.
+
+// EncodeSample renders one sample as a CSV line without the trailing
+// newline.
+func EncodeSample(sample []float64) string {
+	var b strings.Builder
+	for i, v := range sample {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	return b.String()
+}
+
+// DecodeSample parses a CSV line into a sample, validating the width when
+// want > 0.
+func DecodeSample(line string, want int) ([]float64, error) {
+	fields := strings.Split(strings.TrimSpace(line), ",")
+	if want > 0 && len(fields) != want {
+		return nil, fmt.Errorf("stream: sample has %d fields, want %d", len(fields), want)
+	}
+	out := make([]float64, len(fields))
+	for i, f := range fields {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, fmt.Errorf("stream: field %d: %w", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// ServeSeries listens on addr and streams every row of series to each
+// connecting client, then closes the connection. It returns the bound
+// address (useful with ":0") and a stop function.
+func ServeSeries(addr string, series *tensor.Tensor) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				w := bufio.NewWriter(c)
+				for i := 0; i < series.Dim(0); i++ {
+					select {
+					case <-ctx.Done():
+						return
+					default:
+					}
+					if _, err := w.WriteString(EncodeSample(series.Row(i).Data()) + "\n"); err != nil {
+						return
+					}
+				}
+				w.Flush()
+			}(conn)
+		}
+	}()
+	stop := func() {
+		cancel()
+		ln.Close()
+	}
+	return ln.Addr().String(), stop, nil
+}
+
+// ReadSamples consumes CSV samples from r and invokes fn for each until
+// EOF or fn returns false.
+func ReadSamples(r io.Reader, channels int, fn func(sample []float64) bool) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		sample, err := DecodeSample(line, channels)
+		if err != nil {
+			return err
+		}
+		if !fn(sample) {
+			return nil
+		}
+	}
+	return sc.Err()
+}
+
+// DialAndScore connects to a sample server, runs every received sample
+// through the runner and invokes onScore for each produced score.
+func DialAndScore(addr string, channels int, r *Runner, onScore func(Score)) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	return ReadSamples(conn, channels, func(sample []float64) bool {
+		if s, ok := r.Push(sample); ok {
+			onScore(s)
+		}
+		return true
+	})
+}

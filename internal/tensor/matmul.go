@@ -1,0 +1,130 @@
+package tensor
+
+import "fmt"
+
+// MatMul returns the matrix product a·b of two 2-D tensors.
+// a has shape (m, k) and b has shape (k, n); the result is (m, n).
+//
+// The inner loop is ordered (i, p, j) so b is scanned row-contiguously,
+// which is the cache-friendly layout for row-major data.
+func MatMul(a, b *Tensor) *Tensor {
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		panic("tensor: MatMul needs 2-D tensors")
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dims %d vs %d", k, k2))
+	}
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		orow := out.data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.data[p*n : (p+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulTransB returns a·bᵀ where a is (m, k) and b is (n, k); result (m, n).
+// This avoids materialising the transpose when multiplying by weight
+// matrices stored row-major as (out, in).
+func MatMulTransB(a, b *Tensor) *Tensor {
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		panic("tensor: MatMulTransB needs 2-D tensors")
+	}
+	m, k := a.shape[0], a.shape[1]
+	n, k2 := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransB inner dims %d vs %d", k, k2))
+	}
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		orow := out.data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.data[j*k : (j+1)*k]
+			s := 0.0
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			orow[j] = s
+		}
+	}
+	return out
+}
+
+// MatMulTransA returns aᵀ·b where a is (k, m) and b is (k, n); result (m, n).
+// Used for weight gradients: dW = xᵀ·dy without materialising xᵀ.
+func MatMulTransA(a, b *Tensor) *Tensor {
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		panic("tensor: MatMulTransA needs 2-D tensors")
+	}
+	k, m := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransA inner dims %d vs %d", k, k2))
+	}
+	out := New(m, n)
+	for p := 0; p < k; p++ {
+		arow := a.data[p*m : (p+1)*m]
+		brow := b.data[p*n : (p+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.data[i*n : (i+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatVec returns the matrix-vector product a·x where a is (m, n) and x has
+// length n; the result has length m.
+func MatVec(a, x *Tensor) *Tensor {
+	if len(a.shape) != 2 || len(x.shape) != 1 {
+		panic("tensor: MatVec needs a 2-D matrix and 1-D vector")
+	}
+	m, n := a.shape[0], a.shape[1]
+	if x.shape[0] != n {
+		panic(fmt.Sprintf("tensor: MatVec dims (%d,%d)·%d", m, n, x.shape[0]))
+	}
+	out := New(m)
+	for i := 0; i < m; i++ {
+		row := a.data[i*n : (i+1)*n]
+		s := 0.0
+		for j, v := range row {
+			s += v * x.data[j]
+		}
+		out.data[i] = s
+	}
+	return out
+}
+
+// Outer returns the outer product x·yᵀ of two vectors: shape (len(x), len(y)).
+func Outer(x, y *Tensor) *Tensor {
+	if len(x.shape) != 1 || len(y.shape) != 1 {
+		panic("tensor: Outer needs 1-D tensors")
+	}
+	m, n := x.shape[0], y.shape[0]
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		xi := x.data[i]
+		row := out.data[i*n : (i+1)*n]
+		for j, yj := range y.data {
+			row[j] = xi * yj
+		}
+	}
+	return out
+}

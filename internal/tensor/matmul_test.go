@@ -1,0 +1,100 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// naiveMatMul is the textbook triple loop used as an oracle.
+func naiveMatMul(a, b *Tensor) *Tensor {
+	m, k, n := a.Dim(0), a.Dim(1), b.Dim(1)
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for p := 0; p < k; p++ {
+				s += a.At2(i, p) * b.At2(p, j)
+			}
+			out.Set2(s, i, j)
+		}
+	}
+	return out
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	b := FromSlice([]float64{5, 6, 7, 8}, 2, 2)
+	got := MatMul(a, b)
+	want := FromSlice([]float64{19, 22, 43, 50}, 2, 2)
+	if !Equal(got, want, 1e-12) {
+		t.Fatalf("MatMul=%v want %v", got.Data(), want.Data())
+	}
+}
+
+func TestMatMulAgainstNaive(t *testing.T) {
+	rng := NewRNG(3)
+	for trial := 0; trial < 20; trial++ {
+		m, k, n := 1+rng.Intn(6), 1+rng.Intn(6), 1+rng.Intn(6)
+		a := RandNormal(rng, 0, 1, m, k)
+		b := RandNormal(rng, 0, 1, k, n)
+		if !Equal(MatMul(a, b), naiveMatMul(a, b), 1e-10) {
+			t.Fatalf("mismatch at m=%d k=%d n=%d", m, k, n)
+		}
+	}
+}
+
+func TestMatMulTransBEquivalence(t *testing.T) {
+	rng := NewRNG(5)
+	a := RandNormal(rng, 0, 1, 4, 3)
+	b := RandNormal(rng, 0, 1, 5, 3) // (n, k): MatMulTransB(a,b) = a·bᵀ
+	want := MatMul(a, Transpose2D(b))
+	if !Equal(MatMulTransB(a, b), want, 1e-10) {
+		t.Fatal("MatMulTransB disagrees with explicit transpose")
+	}
+}
+
+func TestMatMulTransAEquivalence(t *testing.T) {
+	rng := NewRNG(6)
+	a := RandNormal(rng, 0, 1, 5, 3) // (k, m): MatMulTransA(a,b) = aᵀ·b
+	b := RandNormal(rng, 0, 1, 5, 4)
+	want := MatMul(Transpose2D(a), b)
+	if !Equal(MatMulTransA(a, b), want, 1e-10) {
+		t.Fatal("MatMulTransA disagrees with explicit transpose")
+	}
+}
+
+func TestMatVecAndOuter(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	x := FromSlice([]float64{1, 0, -1}, 3)
+	got := MatVec(a, x)
+	if got.At(0) != -2 || got.At(1) != -2 {
+		t.Fatalf("MatVec=%v", got.Data())
+	}
+	o := Outer(FromSlice([]float64{1, 2}, 2), FromSlice([]float64{3, 4, 5}, 3))
+	if o.At2(1, 2) != 10 || o.Dim(0) != 2 || o.Dim(1) != 3 {
+		t.Fatalf("Outer=%v", o.Data())
+	}
+}
+
+func TestMatMulDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MatMul(New(2, 3), New(4, 2))
+}
+
+// Property: (A·B)ᵀ == Bᵀ·Aᵀ.
+func TestMatMulTransposeIdentity(t *testing.T) {
+	f := func(av [6]float64, bv [6]float64) bool {
+		a := FromSlice(append([]float64(nil), av[:]...), 2, 3)
+		b := FromSlice(append([]float64(nil), bv[:]...), 3, 2)
+		lhs := Transpose2D(MatMul(a, b))
+		rhs := MatMul(Transpose2D(b), Transpose2D(a))
+		return Equal(lhs, rhs, 1e-9*(1+a.Norm()*b.Norm()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

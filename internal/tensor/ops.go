@@ -1,0 +1,272 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Add returns a + b elementwise.
+func Add(a, b *Tensor) *Tensor {
+	assertSameShape("Add", a, b)
+	out := New(a.shape...)
+	for i := range a.data {
+		out.data[i] = a.data[i] + b.data[i]
+	}
+	return out
+}
+
+// Sub returns a - b elementwise.
+func Sub(a, b *Tensor) *Tensor {
+	assertSameShape("Sub", a, b)
+	out := New(a.shape...)
+	for i := range a.data {
+		out.data[i] = a.data[i] - b.data[i]
+	}
+	return out
+}
+
+// Mul returns the elementwise (Hadamard) product a * b.
+func Mul(a, b *Tensor) *Tensor {
+	assertSameShape("Mul", a, b)
+	out := New(a.shape...)
+	for i := range a.data {
+		out.data[i] = a.data[i] * b.data[i]
+	}
+	return out
+}
+
+// Div returns a / b elementwise.
+func Div(a, b *Tensor) *Tensor {
+	assertSameShape("Div", a, b)
+	out := New(a.shape...)
+	for i := range a.data {
+		out.data[i] = a.data[i] / b.data[i]
+	}
+	return out
+}
+
+// AddInPlace sets a += b and returns a.
+func AddInPlace(a, b *Tensor) *Tensor {
+	assertSameShape("AddInPlace", a, b)
+	for i := range a.data {
+		a.data[i] += b.data[i]
+	}
+	return a
+}
+
+// SubInPlace sets a -= b and returns a.
+func SubInPlace(a, b *Tensor) *Tensor {
+	assertSameShape("SubInPlace", a, b)
+	for i := range a.data {
+		a.data[i] -= b.data[i]
+	}
+	return a
+}
+
+// Scale returns a * s.
+func Scale(a *Tensor, s float64) *Tensor {
+	out := New(a.shape...)
+	for i := range a.data {
+		out.data[i] = a.data[i] * s
+	}
+	return out
+}
+
+// ScaleInPlace sets a *= s and returns a.
+func ScaleInPlace(a *Tensor, s float64) *Tensor {
+	for i := range a.data {
+		a.data[i] *= s
+	}
+	return a
+}
+
+// AXPY sets y += alpha*x and returns y.
+func AXPY(alpha float64, x, y *Tensor) *Tensor {
+	assertSameShape("AXPY", x, y)
+	for i := range x.data {
+		y.data[i] += alpha * x.data[i]
+	}
+	return y
+}
+
+// Apply returns f applied to every element.
+func Apply(a *Tensor, f func(float64) float64) *Tensor {
+	out := New(a.shape...)
+	for i := range a.data {
+		out.data[i] = f(a.data[i])
+	}
+	return out
+}
+
+// ApplyInPlace applies f to every element in place and returns a.
+func ApplyInPlace(a *Tensor, f func(float64) float64) *Tensor {
+	for i := range a.data {
+		a.data[i] = f(a.data[i])
+	}
+	return a
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float64) {
+	for i := range t.data {
+		t.data[i] = v
+	}
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() { t.Fill(0) }
+
+// CopyFrom copies src's elements into t. Shapes must match.
+func (t *Tensor) CopyFrom(src *Tensor) {
+	assertSameShape("CopyFrom", t, src)
+	copy(t.data, src.data)
+}
+
+// Sum returns the sum of all elements.
+func (t *Tensor) Sum() float64 {
+	s := 0.0
+	for _, v := range t.data {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements.
+func (t *Tensor) Mean() float64 { return t.Sum() / float64(len(t.data)) }
+
+// Max returns the largest element.
+func (t *Tensor) Max() float64 {
+	m := math.Inf(-1)
+	for _, v := range t.data {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the smallest element.
+func (t *Tensor) Min() float64 {
+	m := math.Inf(1)
+	for _, v := range t.data {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// ArgMax returns the flat index of the largest element.
+func (t *Tensor) ArgMax() int {
+	best, bi := math.Inf(-1), 0
+	for i, v := range t.data {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}
+
+// Norm returns the Euclidean (L2) norm of all elements.
+func (t *Tensor) Norm() float64 {
+	s := 0.0
+	for _, v := range t.data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Dot returns the inner product of a and b viewed as flat vectors.
+func Dot(a, b *Tensor) float64 {
+	assertSameShape("Dot", a, b)
+	s := 0.0
+	for i := range a.data {
+		s += a.data[i] * b.data[i]
+	}
+	return s
+}
+
+// Clamp limits every element to [lo, hi] in place and returns t.
+func (t *Tensor) Clamp(lo, hi float64) *Tensor {
+	for i, v := range t.data {
+		if v < lo {
+			t.data[i] = lo
+		} else if v > hi {
+			t.data[i] = hi
+		}
+	}
+	return t
+}
+
+// MeanAxis0 returns, for a 2-D tensor of shape (n, c), the length-c vector
+// of per-column means.
+func MeanAxis0(a *Tensor) *Tensor {
+	if len(a.shape) != 2 {
+		panic("tensor: MeanAxis0 needs a 2-D tensor")
+	}
+	n, c := a.shape[0], a.shape[1]
+	out := New(c)
+	for i := 0; i < n; i++ {
+		row := a.data[i*c : (i+1)*c]
+		for j, v := range row {
+			out.data[j] += v
+		}
+	}
+	ScaleInPlace(out, 1/float64(n))
+	return out
+}
+
+// MinMaxAxis0 returns, for a 2-D tensor of shape (n, c), per-column minima
+// and maxima as two length-c vectors.
+func MinMaxAxis0(a *Tensor) (mins, maxs *Tensor) {
+	if len(a.shape) != 2 {
+		panic("tensor: MinMaxAxis0 needs a 2-D tensor")
+	}
+	n, c := a.shape[0], a.shape[1]
+	mins = Full(math.Inf(1), c)
+	maxs = Full(math.Inf(-1), c)
+	for i := 0; i < n; i++ {
+		row := a.data[i*c : (i+1)*c]
+		for j, v := range row {
+			if v < mins.data[j] {
+				mins.data[j] = v
+			}
+			if v > maxs.data[j] {
+				maxs.data[j] = v
+			}
+		}
+	}
+	return mins, maxs
+}
+
+// Stack concatenates 1-D tensors of equal length into a 2-D tensor whose
+// row i is rows[i].
+func Stack(rows []*Tensor) *Tensor {
+	if len(rows) == 0 {
+		panic("tensor: Stack of no rows")
+	}
+	c := rows[0].Len()
+	out := New(len(rows), c)
+	for i, r := range rows {
+		if r.Len() != c {
+			panic(fmt.Sprintf("tensor: Stack row %d has %d elements, want %d", i, r.Len(), c))
+		}
+		copy(out.data[i*c:(i+1)*c], r.data)
+	}
+	return out
+}
+
+// Transpose2D returns the transpose of a 2-D tensor.
+func Transpose2D(a *Tensor) *Tensor {
+	if len(a.shape) != 2 {
+		panic("tensor: Transpose2D needs a 2-D tensor")
+	}
+	n, c := a.shape[0], a.shape[1]
+	out := New(c, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < c; j++ {
+			out.data[j*n+i] = a.data[i*c+j]
+		}
+	}
+	return out
+}

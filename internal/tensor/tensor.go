@@ -1,0 +1,232 @@
+// Package tensor implements dense multi-dimensional arrays of float64
+// together with the linear-algebra and reduction primitives needed by the
+// neural-network stack in internal/nn.
+//
+// Tensors are row-major and contiguous. Shape errors are programmer errors
+// and panic with a descriptive message; numeric routines never panic on
+// well-shaped input.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Tensor is a dense row-major array of float64.
+//
+// The zero value is not usable; construct tensors with New, Zeros, FromSlice
+// or the random constructors in rng.go.
+type Tensor struct {
+	shape []int
+	data  []float64
+}
+
+// New returns a zero-filled tensor with the given shape.
+// A tensor with no dimensions is a scalar holding one element.
+func New(shape ...int) *Tensor {
+	n := checkShape(shape)
+	return &Tensor{shape: append([]int(nil), shape...), data: make([]float64, n)}
+}
+
+// Zeros is an alias of New, provided for readability at call sites that
+// emphasise the initial contents rather than allocation.
+func Zeros(shape ...int) *Tensor { return New(shape...) }
+
+// Full returns a tensor with every element set to v.
+func Full(v float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = v
+	}
+	return t
+}
+
+// Ones returns a tensor filled with 1.
+func Ones(shape ...int) *Tensor { return Full(1, shape...) }
+
+// FromSlice wraps data in a tensor of the given shape. The slice is used
+// directly (not copied); len(data) must equal the shape's element count.
+func FromSlice(data []float64, shape ...int) *Tensor {
+	n := checkShape(shape)
+	if len(data) != n {
+		panic(fmt.Sprintf("tensor: FromSlice got %d elements for shape %v (want %d)", len(data), shape, n))
+	}
+	return &Tensor{shape: append([]int(nil), shape...), data: data}
+}
+
+// Scalar returns a 0-dimensional tensor holding v.
+func Scalar(v float64) *Tensor { return FromSlice([]float64{v}) }
+
+func checkShape(shape []int) int {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: invalid shape %v", shape))
+		}
+		n *= d
+	}
+	return n
+}
+
+// Shape returns the tensor's dimensions. The returned slice must not be
+// mutated.
+func (t *Tensor) Shape() []int { return t.shape }
+
+// Dims returns the number of dimensions.
+func (t *Tensor) Dims() int { return len(t.shape) }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Len returns the total number of elements.
+func (t *Tensor) Len() int { return len(t.data) }
+
+// Data exposes the backing slice in row-major order. Mutating it mutates
+// the tensor.
+func (t *Tensor) Data() []float64 { return t.data }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	d := make([]float64, len(t.data))
+	copy(d, t.data)
+	return &Tensor{shape: append([]int(nil), t.shape...), data: d}
+}
+
+// Reshape returns a view of the same data with a new shape. The element
+// count must match. One dimension may be -1 to infer its size.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	shape = append([]int(nil), shape...)
+	infer := -1
+	n := 1
+	for i, d := range shape {
+		switch {
+		case d == -1:
+			if infer != -1 {
+				panic("tensor: Reshape with more than one -1 dimension")
+			}
+			infer = i
+		case d <= 0:
+			panic(fmt.Sprintf("tensor: invalid reshape %v", shape))
+		default:
+			n *= d
+		}
+	}
+	if infer != -1 {
+		if len(t.data)%n != 0 {
+			panic(fmt.Sprintf("tensor: cannot infer reshape %v for %d elements", shape, len(t.data)))
+		}
+		shape[infer] = len(t.data) / n
+		n *= shape[infer]
+	}
+	if n != len(t.data) {
+		panic(fmt.Sprintf("tensor: reshape %v incompatible with %d elements", shape, len(t.data)))
+	}
+	return &Tensor{shape: shape, data: t.data}
+}
+
+// index converts multi-dimensional indices to a flat offset.
+func (t *Tensor) index(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: %d indices for %d-dim tensor", len(idx), len(t.shape)))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.shape))
+		}
+		off = off*t.shape[i] + x
+	}
+	return off
+}
+
+// At returns the element at the given indices.
+func (t *Tensor) At(idx ...int) float64 { return t.data[t.index(idx)] }
+
+// Set assigns the element at the given indices.
+func (t *Tensor) Set(v float64, idx ...int) { t.data[t.index(idx)] = v }
+
+// At2 is a fast accessor for 2-D tensors.
+func (t *Tensor) At2(i, j int) float64 { return t.data[i*t.shape[1]+j] }
+
+// Set2 is a fast mutator for 2-D tensors.
+func (t *Tensor) Set2(v float64, i, j int) { t.data[i*t.shape[1]+j] = v }
+
+// At3 is a fast accessor for 3-D tensors.
+func (t *Tensor) At3(i, j, k int) float64 {
+	return t.data[(i*t.shape[1]+j)*t.shape[2]+k]
+}
+
+// Set3 is a fast mutator for 3-D tensors.
+func (t *Tensor) Set3(v float64, i, j, k int) {
+	t.data[(i*t.shape[1]+j)*t.shape[2]+k] = v
+}
+
+// Row returns a view of row i of a 2-D tensor as a 1-D tensor sharing data.
+func (t *Tensor) Row(i int) *Tensor {
+	if len(t.shape) != 2 {
+		panic("tensor: Row on non-2D tensor")
+	}
+	c := t.shape[1]
+	return &Tensor{shape: []int{c}, data: t.data[i*c : (i+1)*c]}
+}
+
+// SliceRows returns a view of rows [lo, hi) of a tensor whose first
+// dimension indexes rows. Data is shared.
+func (t *Tensor) SliceRows(lo, hi int) *Tensor {
+	if len(t.shape) == 0 {
+		panic("tensor: SliceRows on scalar")
+	}
+	if lo < 0 || hi > t.shape[0] || lo > hi {
+		panic(fmt.Sprintf("tensor: SliceRows [%d,%d) out of range for dim %d", lo, hi, t.shape[0]))
+	}
+	stride := len(t.data) / t.shape[0]
+	shape := append([]int(nil), t.shape...)
+	shape[0] = hi - lo
+	return &Tensor{shape: shape, data: t.data[lo*stride : hi*stride]}
+}
+
+// SameShape reports whether a and b have identical shapes.
+func SameShape(a, b *Tensor) bool {
+	if len(a.shape) != len(b.shape) {
+		return false
+	}
+	for i := range a.shape {
+		if a.shape[i] != b.shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether a and b have the same shape and every pair of
+// elements differs by at most tol.
+func Equal(a, b *Tensor, tol float64) bool {
+	if !SameShape(a, b) {
+		return false
+	}
+	for i := range a.data {
+		if math.Abs(a.data[i]-b.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders small tensors fully and large ones as a summary.
+func (t *Tensor) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Tensor%v", t.shape)
+	if len(t.data) <= 16 {
+		fmt.Fprintf(&b, "%v", t.data)
+	} else {
+		fmt.Fprintf(&b, "[%g %g … %g] (%d elems)", t.data[0], t.data[1], t.data[len(t.data)-1], len(t.data))
+	}
+	return b.String()
+}
+
+func assertSameShape(op string, a, b *Tensor) {
+	if !SameShape(a, b) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, a.shape, b.shape))
+	}
+}

@@ -1,0 +1,225 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewShapes(t *testing.T) {
+	a := New(2, 3, 4)
+	if a.Len() != 24 || a.Dims() != 3 || a.Dim(1) != 3 {
+		t.Fatalf("unexpected geometry: len=%d dims=%d", a.Len(), a.Dims())
+	}
+	for _, v := range a.Data() {
+		if v != 0 {
+			t.Fatal("New must zero-fill")
+		}
+	}
+}
+
+func TestNewPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive dimension")
+		}
+	}()
+	New(2, 0)
+}
+
+func TestFromSliceAndScalar(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	if a.At2(1, 0) != 3 {
+		t.Fatalf("At2(1,0)=%g want 3", a.At2(1, 0))
+	}
+	s := Scalar(7)
+	if s.Dims() != 0 || s.Data()[0] != 7 {
+		t.Fatal("Scalar misbehaved")
+	}
+}
+
+func TestFromSliceLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromSlice([]float64{1, 2, 3}, 2, 2)
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	a := New(3, 4, 5)
+	a.Set(9.5, 2, 1, 3)
+	if a.At(2, 1, 3) != 9.5 {
+		t.Fatal("At/Set mismatch")
+	}
+	if a.At3(2, 1, 3) != 9.5 {
+		t.Fatal("At3 mismatch")
+	}
+	a.Set3(-1, 0, 0, 0)
+	if a.At(0, 0, 0) != -1 {
+		t.Fatal("Set3 mismatch")
+	}
+}
+
+func TestIndexOutOfRangePanics(t *testing.T) {
+	a := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.At(2, 0)
+}
+
+func TestReshapeSharesData(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := a.Reshape(3, 2)
+	b.Set2(99, 0, 1)
+	if a.At2(0, 1) != 99 {
+		t.Fatal("Reshape must share backing data")
+	}
+	c := a.Reshape(-1, 2)
+	if c.Dim(0) != 3 {
+		t.Fatalf("inferred dim %d want 3", c.Dim(0))
+	}
+}
+
+func TestReshapeBadSizePanics(t *testing.T) {
+	a := New(2, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.Reshape(4, 2)
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := FromSlice([]float64{1, 2}, 2)
+	b := a.Clone()
+	b.Data()[0] = 42
+	if a.Data()[0] != 1 {
+		t.Fatal("Clone must copy data")
+	}
+}
+
+func TestRowAndSliceRowsViews(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 3, 2)
+	r := a.Row(1)
+	if r.At(0) != 3 || r.At(1) != 4 {
+		t.Fatalf("Row(1)=%v", r.Data())
+	}
+	r.Data()[0] = -3
+	if a.At2(1, 0) != -3 {
+		t.Fatal("Row must be a view")
+	}
+	s := a.SliceRows(1, 3)
+	if s.Dim(0) != 2 || s.At2(1, 1) != 6 {
+		t.Fatalf("SliceRows wrong: %v", s.Data())
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3}, 3)
+	b := FromSlice([]float64{4, 5, 6}, 3)
+	if got := Add(a, b).Data(); got[0] != 5 || got[2] != 9 {
+		t.Fatalf("Add=%v", got)
+	}
+	if got := Sub(b, a).Data(); got[0] != 3 || got[2] != 3 {
+		t.Fatalf("Sub=%v", got)
+	}
+	if got := Mul(a, b).Data(); got[1] != 10 {
+		t.Fatalf("Mul=%v", got)
+	}
+	if got := Div(b, a).Data(); got[2] != 2 {
+		t.Fatalf("Div=%v", got)
+	}
+	if got := Scale(a, 2).Data(); got[2] != 6 {
+		t.Fatalf("Scale=%v", got)
+	}
+	if got := Dot(a, b); got != 32 {
+		t.Fatalf("Dot=%g", got)
+	}
+}
+
+func TestShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Add(New(2), New(3))
+}
+
+func TestReductions(t *testing.T) {
+	a := FromSlice([]float64{3, -1, 4, 1}, 4)
+	if a.Sum() != 7 || a.Mean() != 1.75 {
+		t.Fatalf("Sum/Mean: %g %g", a.Sum(), a.Mean())
+	}
+	if a.Max() != 4 || a.Min() != -1 || a.ArgMax() != 2 {
+		t.Fatalf("Max/Min/ArgMax: %g %g %d", a.Max(), a.Min(), a.ArgMax())
+	}
+	if got := a.Norm(); math.Abs(got-math.Sqrt(27)) > 1e-12 {
+		t.Fatalf("Norm=%g", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	a := FromSlice([]float64{-5, 0, 5}, 3)
+	a.Clamp(-1, 1)
+	if a.At(0) != -1 || a.At(1) != 0 || a.At(2) != 1 {
+		t.Fatalf("Clamp=%v", a.Data())
+	}
+}
+
+func TestAxisReductions(t *testing.T) {
+	a := FromSlice([]float64{1, 10, 2, 20, 3, 30}, 3, 2)
+	m := MeanAxis0(a)
+	if m.At(0) != 2 || m.At(1) != 20 {
+		t.Fatalf("MeanAxis0=%v", m.Data())
+	}
+	mins, maxs := MinMaxAxis0(a)
+	if mins.At(0) != 1 || maxs.At(1) != 30 {
+		t.Fatalf("MinMax: %v %v", mins.Data(), maxs.Data())
+	}
+}
+
+func TestStackAndTranspose(t *testing.T) {
+	r1 := FromSlice([]float64{1, 2}, 2)
+	r2 := FromSlice([]float64{3, 4}, 2)
+	s := Stack([]*Tensor{r1, r2})
+	if s.At2(1, 0) != 3 {
+		t.Fatalf("Stack=%v", s.Data())
+	}
+	tr := Transpose2D(s)
+	if tr.At2(0, 1) != 3 || tr.Dim(0) != 2 {
+		t.Fatalf("Transpose=%v", tr.Data())
+	}
+}
+
+// Property: Add is commutative and Sub(Add(a,b),b) == a.
+func TestAddProperties(t *testing.T) {
+	f := func(vals [8]float64, vals2 [8]float64) bool {
+		a := FromSlice(append([]float64(nil), vals[:]...), 8)
+		b := FromSlice(append([]float64(nil), vals2[:]...), 8)
+		if !Equal(Add(a, b), Add(b, a), 0) {
+			return false
+		}
+		return Equal(Sub(Add(a, b), b), a, 1e-9*(1+a.Norm()+b.Norm()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Transpose2D is an involution.
+func TestTransposeInvolution(t *testing.T) {
+	f := func(vals [12]float64) bool {
+		a := FromSlice(append([]float64(nil), vals[:]...), 3, 4)
+		return Equal(Transpose2D(Transpose2D(a)), a, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,50 @@
+package varade
+
+import (
+	"testing"
+)
+
+// TestQuickAccuracy is the headline integration test: on the simulated
+// collision experiment every detector must beat chance at the point level,
+// and VARADE must clear the event-level (point-adjust) bar — the paper's
+// unit of evaluation is 125 discrete collisions. Exact orderings on a
+// synthetic testbed vary with seeds, so this asserts floors rather than a
+// total order; the full measured comparison lives in EXPERIMENTS.md.
+func TestQuickAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	acc, err := quickAccuracy(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	point := map[string]float64{}
+	adjusted := map[string]float64{}
+	for _, a := range acc {
+		t.Logf("%-18s AUC %.3f  adjusted %.3f  (fit %.1fs)", a.Name, a.AUCROC, a.AUCAdjusted, a.FitSec)
+		point[a.Name] = a.AUCROC
+		adjusted[a.Name] = a.AUCAdjusted
+	}
+	if len(point) != 6 {
+		t.Fatalf("expected 6 detectors, got %d", len(point))
+	}
+	for name, auc := range point {
+		if auc < 0.5 {
+			t.Errorf("%s below chance at point level: %.3f", name, auc)
+		}
+	}
+	// The paper's headline: VARADE delivers the best anomaly detection
+	// accuracy (0.844 AUC-ROC in Table 2; this reproduction measures 0.84
+	// at the default seed).
+	if v := point["VARADE"]; v < 0.75 {
+		t.Errorf("VARADE point AUC %.3f below 0.75", v)
+	}
+	for _, other := range []string{"AR-LSTM", "GBRF", "AE", "kNN", "Isolation Forest"} {
+		if point["VARADE"] < point[other] {
+			t.Errorf("VARADE (%.3f) below %s (%.3f)", point["VARADE"], other, point[other])
+		}
+	}
+	if v := adjusted["VARADE"]; v < 0.85 {
+		t.Errorf("VARADE adjusted AUC %.3f below 0.85", v)
+	}
+}
