@@ -1,0 +1,116 @@
+package varade
+
+import (
+	"math"
+	"testing"
+
+	"varade/internal/core"
+	"varade/internal/tensor"
+)
+
+// TestScoreSeriesBatchedMatchesSequential is the batched engine's contract:
+// for every detector with a batched path, ScoreSeriesBatched must produce
+// the same scores as the per-window ScoreSeries loop to within 1e-9.
+// Weights are random — score equality does not depend on training, and the
+// series is long enough that scoring spans multiple BatchChunk chunks.
+func TestScoreSeriesBatchedMatchesSequential(t *testing.T) {
+	const channels = 6
+	series := tensor.RandNormal(tensor.NewRNG(7), 0, 1, 400, channels)
+
+	vm, err := New(EdgeConfig(channels))
+	if err != nil {
+		t.Fatal(err)
+	}
+	am, err := NewAE(AEConfig{Window: 8, Channels: channels, BaseMaps: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm, err := NewARLSTM(ARLSTMConfig{Window: 8, Channels: channels, Layers: 2, Hidden: 16, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dets := []Detector{vm, am, lm, &core.ResidualScorer{Model: vm}}
+	for _, d := range dets {
+		if _, ok := d.(BatchScorer); !ok {
+			t.Fatalf("%s does not implement BatchScorer", d.Name())
+		}
+		seq := ScoreSeries(d, series)
+		bat := ScoreSeriesBatched(d, series)
+		if len(seq) != len(bat) {
+			t.Fatalf("%s: %d sequential vs %d batched scores", d.Name(), len(seq), len(bat))
+		}
+		for i := range seq {
+			if math.Abs(seq[i]-bat[i]) > 1e-9 {
+				t.Fatalf("%s: score %d diverges: sequential %.12g batched %.12g",
+					d.Name(), i, seq[i], bat[i])
+			}
+		}
+	}
+}
+
+// TestScoreSeriesBatchedFallback checks that detectors without a batched
+// path silently fall back to the sequential loop.
+type meanDet struct{ w int }
+
+func (d *meanDet) Name() string                   { return "mean" }
+func (d *meanDet) WindowSize() int                { return d.w }
+func (d *meanDet) Fit(*tensor.Tensor) error       { return nil }
+func (d *meanDet) Score(w *tensor.Tensor) float64 { return w.Mean() }
+
+func TestScoreSeriesBatchedFallback(t *testing.T) {
+	series := tensor.RandNormal(tensor.NewRNG(8), 0, 1, 50, 3)
+	d := &meanDet{w: 5}
+	seq := ScoreSeries(d, series)
+	bat := ScoreSeriesBatched(d, series)
+	for i := range seq {
+		if seq[i] != bat[i] {
+			t.Fatalf("fallback diverges at %d: %g vs %g", i, seq[i], bat[i])
+		}
+	}
+}
+
+// TestRunnerPushBatchMatchesPush drives the streaming runner down both the
+// scalar and the batched path over the same feed, split across multiple
+// PushBatch calls so the ring buffer state carries over between batches.
+func TestRunnerPushBatchMatchesPush(t *testing.T) {
+	const channels = 4
+	vm, err := New(EdgeConfig(channels))
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed := tensor.RandNormal(tensor.NewRNG(9), 0, 1, 60, channels)
+	var scalar []StreamScore
+	r1 := NewRunner(vm, channels)
+	for i := 0; i < feed.Dim(0); i++ {
+		if s, ok := r1.Push(feed.Row(i).Data()); ok {
+			scalar = append(scalar, s)
+		}
+	}
+	var batched []StreamScore
+	r2 := NewRunner(vm, channels)
+	for lo := 0; lo < feed.Dim(0); lo += 17 {
+		hi := lo + 17
+		if hi > feed.Dim(0) {
+			hi = feed.Dim(0)
+		}
+		var chunk [][]float64
+		for i := lo; i < hi; i++ {
+			chunk = append(chunk, feed.Row(i).Data())
+		}
+		batched = append(batched, r2.PushBatch(chunk)...)
+	}
+	if len(scalar) != len(batched) {
+		t.Fatalf("%d scalar vs %d batched scores", len(scalar), len(batched))
+	}
+	if r1.Scored() != r2.Scored() {
+		t.Fatalf("Scored() %d vs %d", r1.Scored(), r2.Scored())
+	}
+	for i := range scalar {
+		if scalar[i].Index != batched[i].Index {
+			t.Fatalf("score %d index %d vs %d", i, scalar[i].Index, batched[i].Index)
+		}
+		if math.Abs(scalar[i].Value-batched[i].Value) > 1e-9 {
+			t.Fatalf("score %d value %.12g vs %.12g", i, scalar[i].Value, batched[i].Value)
+		}
+	}
+}

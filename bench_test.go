@@ -175,13 +175,39 @@ func BenchmarkTable2PaperGBRF(b *testing.B) {
 }
 
 // BenchmarkFigure3ScoreStream measures full-stream scoring throughput —
-// the quantity plotted on Fig. 3's x axis — for the trained edge VARADE.
+// the quantity plotted on Fig. 3's x axis — for the trained edge VARADE,
+// through the legacy one-window-at-a-time loop.
 func BenchmarkFigure3ScoreStream(b *testing.B) {
 	f := getFixture(b)
 	segment := f.ds.Test.SliceRows(0, 120)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ScoreSeries(f.vm, segment)
+	}
+}
+
+// BenchmarkFigure3ScoreStreamBatched is the same workload through the
+// batched parallel engine (ScoreSeriesBatched → Model.ScoreBatch → im2col
+// GEMM); the ratio against BenchmarkFigure3ScoreStream is the end-to-end
+// speedup of the batched inference path.
+func BenchmarkFigure3ScoreStreamBatched(b *testing.B) {
+	f := getFixture(b)
+	segment := f.ds.Test.SliceRows(0, 120)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ScoreSeriesBatched(f.vm, segment)
+	}
+}
+
+// BenchmarkFigure3ScoreStreamBatchedLong scores a full-length test split
+// per iteration, the regime where chunked window materialisation and the
+// worker pool dominate; allocations per scored window should stay flat as
+// the stream grows.
+func BenchmarkFigure3ScoreStreamBatchedLong(b *testing.B) {
+	f := getFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ScoreSeriesBatched(f.vm, f.ds.Test)
 	}
 }
 

@@ -186,8 +186,8 @@ func ablationScore(seed uint64) error {
 	if err := m.Fit(sub.Train); err != nil {
 		return err
 	}
-	vs := detect.ScoreSeries(m, sub.Test)
-	rs := detect.ScoreSeries(&core.ResidualScorer{Model: m}, sub.Test)
+	vs := detect.ScoreSeriesBatched(m, sub.Test)
+	rs := detect.ScoreSeriesBatched(&core.ResidualScorer{Model: m}, sub.Test)
 
 	fmt.Println("Ablation: anomaly score definition on the same trained VARADE net")
 	fmt.Printf("%-22s %9s %9s\n", "Score", "AUC", "AUC(adj)")
@@ -226,7 +226,7 @@ func ablationAugment(seed uint64) error {
 		if err := m.FitWindows(sub.Train, tc); err != nil {
 			return err
 		}
-		s := detect.ScoreSeries(m, sub.Test)
+		s := detect.ScoreSeriesBatched(m, sub.Test)
 		fmt.Printf("%-28s %9.3f %9.3f\n", p.name,
 			eval.AUCROC(s, sub.Labels), eval.AUCROCAdjusted(s, sub.Labels))
 	}
@@ -253,7 +253,7 @@ func ablationKL(seed uint64) error {
 		if err := m.Fit(sub.Train); err != nil {
 			return err
 		}
-		s := detect.ScoreSeries(m, sub.Test)
+		s := detect.ScoreSeriesBatched(m, sub.Test)
 		fmt.Printf("%8.2f %9.3f %9.3f\n", kl, eval.AUCROC(s, sub.Labels), eval.AUCROCAdjusted(s, sub.Labels))
 	}
 	return nil
@@ -281,7 +281,7 @@ func ablationWindow(seed uint64) error {
 		if err := m.Fit(sub.Train); err != nil {
 			return err
 		}
-		s := detect.ScoreSeries(m, sub.Test)
+		s := detect.ScoreSeriesBatched(m, sub.Test)
 		sec := edge.MeasureSecPerInf(m, sub.Test, 50)
 		fmt.Printf("%6d %7d %10d %9.3f %9.3f %12.0f\n",
 			w, cfg.NumLayers(), m.NumParams(),
@@ -310,7 +310,7 @@ func ablationWidth(seed uint64) error {
 		if err := m.Fit(sub.Train); err != nil {
 			return err
 		}
-		s := detect.ScoreSeries(m, sub.Test)
+		s := detect.ScoreSeriesBatched(m, sub.Test)
 		sec := edge.MeasureSecPerInf(m, sub.Test, 50)
 		fmt.Printf("%6d %10d %9.3f %9.3f %12.0f\n",
 			maps, m.NumParams(),

@@ -25,6 +25,7 @@ func main() {
 	kl := flag.Float64("kl", 0.1, "KL weight the model was trained with")
 	addr := flag.String("addr", "", "TCP sample server to connect to (default: read stdin)")
 	threshold := flag.Float64("threshold", 0, "alert threshold; 0 prints raw scores only")
+	batch := flag.Int("batch", 1, "micro-batch size for the batched scoring engine; 1 = per-sample latency, larger values trade emission latency for throughput when replaying recordings")
 	flag.Parse()
 
 	if *channels <= 0 {
@@ -49,17 +50,26 @@ func main() {
 	}
 
 	if *addr != "" {
-		if err := stream.DialAndScore(*addr, *channels, runner, emit); err != nil {
+		if err := stream.DialAndScoreBatched(*addr, *channels, runner, *batch, emit); err != nil {
 			log.Fatal(err)
 		}
 		return
 	}
-	err = stream.ReadSamples(os.Stdin, *channels, func(sample []float64) bool {
-		if s, ok := runner.Push(sample); ok {
-			emit(s)
-		}
-		return true
-	})
+	if *batch > 1 {
+		err = stream.ReadSampleBatches(os.Stdin, *channels, *batch, func(samples [][]float64) bool {
+			for _, s := range runner.PushBatch(samples) {
+				emit(s)
+			}
+			return true
+		})
+	} else {
+		err = stream.ReadSamples(os.Stdin, *channels, func(sample []float64) bool {
+			if s, ok := runner.Push(sample); ok {
+				emit(s)
+			}
+			return true
+		})
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

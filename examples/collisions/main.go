@@ -36,11 +36,11 @@ func main() {
 	// The variance score has a wide normal operating range (it tracks the
 	// arm's motion state), so a deployment picks the quantile that trades
 	// sensitivity against false alarms; 0.90 favours sensitivity.
-	trainScores := varade.ScoreSeries(model, train)
+	trainScores := varade.ScoreSeriesBatched(model, train)
 	thr := quantile(trainScores, 0.90)
 	fmt.Printf("alert threshold: %.4f (90th percentile of training scores)\n\n", thr)
 
-	scores := varade.ScoreSeries(model, test)
+	scores := varade.ScoreSeriesBatched(model, test)
 	fmt.Printf("%-8s %-10s %-10s %-9s %s\n", "event", "start s", "dur s", "peak", "detected")
 	fmt.Println(strings.Repeat("-", 52))
 	detected := 0

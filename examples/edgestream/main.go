@@ -33,7 +33,7 @@ func main() {
 	if err := model.Fit(train); err != nil {
 		log.Fatal(err)
 	}
-	trainScores := varade.ScoreSeries(model, train)
+	trainScores := varade.ScoreSeriesBatched(model, train)
 	thr := percentile(trainScores, 0.97)
 
 	// Sensor gateway: stream the test run over TCP, one CSV line per

@@ -42,7 +42,7 @@ func main() {
 			log.Fatal(err)
 		}
 		fitSec := time.Since(start).Seconds()
-		scores := varade.ScoreSeries(nd.Detector, sub.Test)
+		scores := varade.ScoreSeriesBatched(nd.Detector, sub.Test)
 
 		// Time inference on real windows.
 		w := nd.Detector.WindowSize()

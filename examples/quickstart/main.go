@@ -38,7 +38,7 @@ func main() {
 
 	// 3. Score the test stream: the predicted variance is the anomaly
 	//    score (§3.2 of the paper).
-	scores := varade.ScoreSeries(model, test)
+	scores := varade.ScoreSeriesBatched(model, test)
 	auc := varade.AUCROC(scores, ds.Labels)
 	f1, thr := varade.BestF1(scores, ds.Labels)
 	fmt.Printf("AUC-ROC          %.3f\n", auc)

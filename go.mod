@@ -1,0 +1,3 @@
+module varade
+
+go 1.21

@@ -130,7 +130,7 @@ func RunAccuracy(dets []NamedDetector, ds *Dataset) ([]AccuracyResult, error) {
 			return nil, fmt.Errorf("fit %s: %w", nd.Detector.Name(), err)
 		}
 		fitSec := time.Since(start).Seconds()
-		scores := ScoreSeries(nd.Detector, ds.Test)
+		scores := ScoreSeriesBatched(nd.Detector, ds.Test)
 		out = append(out, AccuracyResult{
 			Name:        nd.Detector.Name(),
 			AUCROC:      AUCROC(scores, ds.Labels),

@@ -146,6 +146,33 @@ func (m *Model) Score(window *tensor.Tensor) float64 {
 	return math.Sqrt(s)
 }
 
+// ScoreBatch implements detect.BatchScorer: it reconstructs N time-major
+// windows (N, W, C) in one batched forward and returns the per-window
+// reconstruction-error norms, matching Score exactly.
+func (m *Model) ScoreBatch(windows *tensor.Tensor) []float64 {
+	w, c := m.cfg.Window, m.cfg.Channels
+	if windows.Dims() != 3 || windows.Dim(1) != w || windows.Dim(2) != c {
+		panic(fmt.Sprintf("ae: ScoreBatch windows %v, want (N,%d,%d)", windows.Shape(), w, c))
+	}
+	x := detect.ToChannelMajor(windows)
+	recon := m.net.Forward(x)
+	n := windows.Dim(0)
+	out := make([]float64, n)
+	xd, rd := x.Data(), recon.Data()
+	stride := c * w
+	tensor.Parallel(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s := 0.0
+			for j := i * stride; j < (i+1)*stride; j++ {
+				d := xd[j] - rd[j]
+				s += d * d
+			}
+			out[i] = math.Sqrt(s)
+		}
+	})
+	return out
+}
+
 func windowToInput(window *tensor.Tensor, c, w int) *tensor.Tensor {
 	if window.Dims() != 2 || window.Dim(0) != w || window.Dim(1) != c {
 		panic(fmt.Sprintf("ae: window shape %v, want (%d,%d)", window.Shape(), w, c))

@@ -140,6 +140,40 @@ func (m *Model) Score(window *tensor.Tensor) float64 {
 	return math.Sqrt(s)
 }
 
+// ScoreBatch implements detect.BatchScorer: windows are (N, W+1, C); the
+// first W rows of each window form the forecasting context and the last
+// row is the observed point. One batched recurrence forecasts all N next
+// points, and the residual norms match Score exactly.
+func (m *Model) ScoreBatch(windows *tensor.Tensor) []float64 {
+	w, c := m.cfg.Window, m.cfg.Channels
+	if windows.Dims() != 3 || windows.Dim(1) != w+1 || windows.Dim(2) != c {
+		panic(fmt.Sprintf("arlstm: ScoreBatch windows %v, want (N,%d,%d)", windows.Shape(), w+1, c))
+	}
+	n := windows.Dim(0)
+	x := tensor.New(n, w, c)
+	wd, xd := windows.Data(), x.Data()
+	tensor.Parallel(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			copy(xd[i*w*c:(i+1)*w*c], wd[i*(w+1)*c:(i*(w+1)+w)*c])
+		}
+	})
+	pred := m.net.Forward(x)
+	out := make([]float64, n)
+	pd := pred.Data()
+	tensor.Parallel(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			obs := wd[(i*(w+1)+w)*c : (i*(w+1)+w+1)*c]
+			s := 0.0
+			for j, p := range pd[i*c : (i+1)*c] {
+				d := obs[j] - p
+				s += d * d
+			}
+			out[i] = math.Sqrt(s)
+		}
+	})
+	return out
+}
+
 func gatherBatch(inputs, targets *tensor.Tensor, idx []int) (x, y *tensor.Tensor) {
 	w, c := inputs.Dim(1), inputs.Dim(2)
 	ch := targets.Dim(1)

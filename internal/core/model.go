@@ -6,6 +6,7 @@ import (
 	"math"
 	"strings"
 
+	"varade/internal/detect"
 	"varade/internal/nn"
 	"varade/internal/tensor"
 )
@@ -110,6 +111,30 @@ func (m *Model) Score(window *tensor.Tensor) float64 {
 		s += math.Exp(lv)
 	}
 	return s / float64(logVar.Len())
+}
+
+// ScoreBatch implements detect.BatchScorer: it scores N time-major windows
+// (N, W, C) in one batched forward pass. Per-window arithmetic is
+// identical to Score, so the scores match the scalar path exactly.
+func (m *Model) ScoreBatch(windows *tensor.Tensor) []float64 {
+	w, c := m.cfg.Window, m.cfg.Channels
+	if windows.Dims() != 3 || windows.Dim(1) != w || windows.Dim(2) != c {
+		panic(fmt.Sprintf("core: ScoreBatch windows %v, want (N,%d,%d)", windows.Shape(), w, c))
+	}
+	_, logVar := m.Forward(detect.ToChannelMajor(windows))
+	n := windows.Dim(0)
+	out := make([]float64, n)
+	ld := logVar.Data()
+	tensor.Parallel(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s := 0.0
+			for _, lv := range ld[i*c : (i+1)*c] {
+				s += math.Exp(lv)
+			}
+			out[i] = s / float64(c)
+		}
+	})
+	return out
 }
 
 // Predict returns the per-channel mean and variance forecast for a single

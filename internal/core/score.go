@@ -45,3 +45,42 @@ func (r *ResidualScorer) Score(window *tensor.Tensor) float64 {
 	}
 	return math.Sqrt(s)
 }
+
+// ScoreBatch implements detect.BatchScorer: windows are (N, W+1, C), the
+// first W rows of each being the forecasting context and the last the
+// observed point. One batched forward yields all N residual norms.
+func (r *ResidualScorer) ScoreBatch(windows *tensor.Tensor) []float64 {
+	w := r.Model.cfg.Window
+	c := r.Model.cfg.Channels
+	if windows.Dims() != 3 || windows.Dim(1) != w+1 || windows.Dim(2) != c {
+		panic(fmt.Sprintf("core: ResidualScorer ScoreBatch windows %v, want (N,%d,%d)", windows.Shape(), w+1, c))
+	}
+	n := windows.Dim(0)
+	// Channel-major contexts: x[i, ch, t] = windows[i, t, ch] for t < W.
+	x := tensor.New(n, c, w)
+	wd, xd := windows.Data(), x.Data()
+	tensor.Parallel(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for t := 0; t < w; t++ {
+				for ch := 0; ch < c; ch++ {
+					xd[(i*c+ch)*w+t] = wd[(i*(w+1)+t)*c+ch]
+				}
+			}
+		}
+	})
+	mu, _ := r.Model.Forward(x)
+	out := make([]float64, n)
+	md := mu.Data()
+	tensor.Parallel(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			obs := wd[(i*(w+1)+w)*c : (i*(w+1)+w+1)*c]
+			s := 0.0
+			for j, m := range md[i*c : (i+1)*c] {
+				d := obs[j] - m
+				s += d * d
+			}
+			out[i] = math.Sqrt(s)
+		}
+	})
+	return out
+}

@@ -28,6 +28,15 @@ type TrainConfig struct {
 	// Logf, when non-nil, receives one progress line per epoch.
 	Logf func(format string, args ...any)
 
+	// Shards is the number of worker replicas each minibatch's gradient
+	// computation is sharded across: the batch is split into contiguous
+	// row ranges, every shard runs forward/backward on its own replica
+	// (parameter values shared, gradient accumulators private), and the
+	// shard gradients are merged — scaled by shard size so the result
+	// equals the unsharded gradient up to floating-point reordering.
+	// 0 picks min(tensor.Workers(), Batch/4); 1 disables sharding.
+	Shards int
+
 	// AugmentProb is the fraction of training windows whose *context* is
 	// corrupted with a random transient while the target stays untouched.
 	// The model cannot forecast accurately from a corrupted context, so the
@@ -81,6 +90,10 @@ func (m *Model) FitWindows(series *tensor.Tensor, tc TrainConfig) error {
 	opt := nn.NewAdam(tc.LR)
 	rng := tensor.NewRNG(tc.Seed)
 	params := m.Params()
+	reps, err := m.gradReplicas(fitShards(tc))
+	if err != nil {
+		return err
+	}
 	for epoch := 0; epoch < tc.Epochs; epoch++ {
 		perm := rng.Perm(n)
 		total, batches := 0.0, 0
@@ -93,9 +106,15 @@ func (m *Model) FitWindows(series *tensor.Tensor, tc TrainConfig) error {
 			if tc.AugmentProb > 0 {
 				corruptContexts(x, y, tc.AugmentProb, tc.AugmentScale, rng)
 			}
-			mu, logVar := m.Forward(x)
-			loss, dMu, dLv := m.Loss(mu, logVar, y)
-			m.Backward(dMu, dLv)
+			var loss float64
+			if len(reps) > 1 && x.Dim(0) >= 2*minShardRows {
+				loss = shardedStep(m, reps, x, y)
+			} else {
+				mu, logVar := m.Forward(x)
+				var dMu, dLv *tensor.Tensor
+				loss, dMu, dLv = m.Loss(mu, logVar, y)
+				m.Backward(dMu, dLv)
+			}
 			if tc.ClipNorm > 0 {
 				nn.ClipGradNorm(params, tc.ClipNorm)
 			}
@@ -108,6 +127,90 @@ func (m *Model) FitWindows(series *tensor.Tensor, tc TrainConfig) error {
 		}
 	}
 	return nil
+}
+
+// minShardRows is the smallest per-shard minibatch slice worth the
+// goroutine handoff; batches below 2× this train unsharded.
+const minShardRows = 4
+
+// fitShards resolves the configured shard count against the worker pool.
+func fitShards(tc TrainConfig) int {
+	nrep := tc.Shards
+	if nrep <= 0 {
+		nrep = tensor.Workers()
+		if lim := tc.Batch / minShardRows; nrep > lim {
+			nrep = lim
+		}
+	}
+	if nrep < 1 {
+		nrep = 1
+	}
+	return nrep
+}
+
+// gradReplicas builds n models that alias m's parameter values but own
+// private gradient accumulators, so concurrent backward passes never race
+// on the shared weights. Returns nil for n <= 1 (sharding disabled).
+func (m *Model) gradReplicas(n int) ([]*Model, error) {
+	if n <= 1 {
+		return nil, nil
+	}
+	mp := m.Params()
+	reps := make([]*Model, n)
+	for i := range reps {
+		r, err := New(m.cfg)
+		if err != nil {
+			return nil, err
+		}
+		rp := r.Params()
+		for j := range rp {
+			rp[j].Value = mp[j].Value
+		}
+		reps[i] = r
+	}
+	return reps, nil
+}
+
+// shardedStep splits the minibatch (x, y) into contiguous row shards, runs
+// forward/backward on one replica per shard in parallel, and merges the
+// shard gradients into m's accumulators, each scaled by its row fraction
+// so the merged gradient equals the unsharded one up to FP reordering.
+// Returns the batch loss on the same normalisation as the unsharded path.
+func shardedStep(m *Model, reps []*Model, x, y *tensor.Tensor) float64 {
+	bn := x.Dim(0)
+	nrep := len(reps)
+	shard := (bn + nrep - 1) / nrep
+	losses := make([]float64, nrep)
+	rows := make([]int, nrep)
+	tensor.ParallelItems(nrep, func(i int) {
+		lo := i * shard
+		hi := lo + shard
+		if hi > bn {
+			hi = bn
+		}
+		if lo >= hi {
+			return
+		}
+		r := reps[i]
+		mu, logVar := r.Forward(x.SliceRows(lo, hi))
+		loss, dMu, dLv := r.Loss(mu, logVar, y.SliceRows(lo, hi))
+		r.Backward(dMu, dLv)
+		losses[i], rows[i] = loss, hi-lo
+	})
+	params := m.Params()
+	loss := 0.0
+	for i, r := range reps {
+		if rows[i] == 0 {
+			continue
+		}
+		scale := float64(rows[i]) / float64(bn)
+		loss += losses[i] * scale
+		for j, p := range r.Params() {
+			tensor.AXPY(scale, p.Grad, params[j].Grad)
+			p.Grad.Zero()
+		}
+	}
+	return loss
 }
 
 // corruptContexts simulates process disturbances on, with probability prob

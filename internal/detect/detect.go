@@ -28,6 +28,60 @@ type Detector interface {
 	Score(window *tensor.Tensor) float64
 }
 
+// BatchScorer is implemented by detectors whose forward pass is batched:
+// ScoreBatch scores N time-major windows of shape (N, W, C) in one call,
+// returning one score per window. Implementations must produce exactly the
+// scores Score would return window by window; batching only changes the
+// execution schedule, not the arithmetic.
+type BatchScorer interface {
+	Detector
+	ScoreBatch(windows *tensor.Tensor) []float64
+}
+
+// BatchChunk is the number of sliding windows ScoreSeriesBatched
+// materialises and scores per ScoreBatch call. It bounds the working set
+// (chunk·W·C floats) while keeping each batched forward large enough to
+// amortise per-call overhead and saturate the tensor worker pool.
+const BatchChunk = 256
+
+// ScoreSeriesBatched is ScoreSeries through the batched engine: windows
+// are materialised in chunks and handed to the detector's ScoreBatch when
+// it implements BatchScorer. Detectors without a batched path fall back to
+// the per-window loop. Scores are identical to ScoreSeries either way.
+func ScoreSeriesBatched(d Detector, series *tensor.Tensor) []float64 {
+	bs, ok := d.(BatchScorer)
+	if !ok {
+		return ScoreSeries(d, series)
+	}
+	if series.Dims() != 2 {
+		panic(fmt.Sprintf("detect: ScoreSeriesBatched needs a (T,C) series, got %v", series.Shape()))
+	}
+	t, c := series.Dim(0), series.Dim(1)
+	w := d.WindowSize()
+	if t <= w {
+		panic(fmt.Sprintf("detect: series length %d not longer than window %d", t, w))
+	}
+	scores := make([]float64, t)
+	total := t - w + 1 // windows ending at steps w-1 … t-1
+	sd := series.Data()
+	wins := tensor.New(min(BatchChunk, total), w, c)
+	for start := 0; start < total; start += BatchChunk {
+		n := min(BatchChunk, total-start)
+		chunk := wins.SliceRows(0, n)
+		wd := chunk.Data()
+		tensor.Parallel(n, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				copy(wd[j*w*c:(j+1)*w*c], sd[(start+j)*c:(start+j+w)*c])
+			}
+		})
+		copy(scores[w-1+start:], bs.ScoreBatch(chunk))
+	}
+	for i := 0; i < w-1; i++ {
+		scores[i] = scores[w-1]
+	}
+	return scores
+}
+
 // ScoreSeries slides the detector over series (shape (T, C)) and returns
 // one score per time step. The score for step i uses the window ending AT
 // i inclusive — rows [i−W+1, i+1) — matching the streaming Runner, which
@@ -87,12 +141,14 @@ func ToChannelMajor(windows *tensor.Tensor) *tensor.Tensor {
 	n, w, c := windows.Dim(0), windows.Dim(1), windows.Dim(2)
 	out := tensor.New(n, c, w)
 	wd, od := windows.Data(), out.Data()
-	for i := 0; i < n; i++ {
-		for t := 0; t < w; t++ {
-			for ch := 0; ch < c; ch++ {
-				od[(i*c+ch)*w+t] = wd[(i*w+t)*c+ch]
+	tensor.Parallel(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for t := 0; t < w; t++ {
+				for ch := 0; ch < c; ch++ {
+					od[(i*c+ch)*w+t] = wd[(i*w+t)*c+ch]
+				}
 			}
 		}
-	}
+	})
 	return out
 }

@@ -6,6 +6,18 @@ import (
 	"varade/internal/tensor"
 )
 
+// The 1-D convolutions are implemented as im2col/col2im plus GEMM: the
+// receptive fields of ALL batch elements and output positions are unrolled
+// into one (batch·positions, taps) column matrix in arena-backed scratch,
+// and the whole convolution becomes a single matrix product through the
+// optimized tensor.MatMul* kernels, which shard rows across the package
+// worker pool. The unrolling, bias/permute and scatter passes are
+// themselves batch-parallel.
+//
+// Per output element the tap-accumulation order is identical for every
+// batch size, so batched forwards reproduce single-window forwards bit for
+// bit — the property detect.ScoreSeriesBatched relies on.
+
 // Conv1D is a 1-D convolution over (batch, channels, length) inputs.
 // VARADE uses kernel=2 stride=2 pad=0 so the time dimension halves per
 // layer (§3.1 of the paper); the implementation is general.
@@ -40,7 +52,62 @@ func (c *Conv1D) OutLen(l int) int {
 	return (l+2*c.Pad-c.Kernel)/c.Stride + 1
 }
 
-// Forward computes the convolution.
+// im2colRows unrolls a channel-major batch xd (batch, inC, l) into cols, a
+// (batch·lo, inC·kernel) matrix whose row b·lo+t holds the taps of output
+// position (b, t): cols[b·lo+t, ic·K+kk] = x[b, ic, t·stride-pad+kk].
+// Out-of-range taps are written as zero.
+func im2colRows(cols *tensor.Tensor, xd []float64, batch, inC, l, lo, kernel, stride, pad int) {
+	cd := cols.Data()
+	kw := inC * kernel
+	tensor.Parallel(batch, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			xb := xd[b*inC*l : (b+1)*inC*l]
+			for t := 0; t < lo; t++ {
+				row := cd[(b*lo+t)*kw : (b*lo+t+1)*kw]
+				base := t*stride - pad
+				for ic := 0; ic < inC; ic++ {
+					xrow := xb[ic*l : (ic+1)*l]
+					for kk := 0; kk < kernel; kk++ {
+						p := base + kk
+						if p >= 0 && p < l {
+							row[ic*kernel+kk] = xrow[p]
+						} else {
+							row[ic*kernel+kk] = 0
+						}
+					}
+				}
+			}
+		}
+	})
+}
+
+// col2imRowsAdd scatters cols (batch·lo, inC·kernel) back into the
+// channel-major batch dxd (batch, inC, l) — the adjoint of im2colRows.
+func col2imRowsAdd(dxd []float64, cols *tensor.Tensor, batch, inC, l, lo, kernel, stride, pad int) {
+	cd := cols.Data()
+	kw := inC * kernel
+	tensor.Parallel(batch, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			dxb := dxd[b*inC*l : (b+1)*inC*l]
+			for t := 0; t < lo; t++ {
+				row := cd[(b*lo+t)*kw : (b*lo+t+1)*kw]
+				base := t*stride - pad
+				for ic := 0; ic < inC; ic++ {
+					dxrow := dxb[ic*l : (ic+1)*l]
+					for kk := 0; kk < kernel; kk++ {
+						p := base + kk
+						if p >= 0 && p < l {
+							dxrow[p] += row[ic*kernel+kk]
+						}
+					}
+				}
+			}
+		}
+	})
+}
+
+// Forward computes the convolution as one GEMM:
+// im2col(x)·Wᵀ + bias, permuted back to (batch, outC, lo).
 func (c *Conv1D) Forward(x *tensor.Tensor) *tensor.Tensor {
 	if x.Dims() != 3 || x.Dim(1) != c.InC {
 		panic(fmt.Sprintf("nn: Conv1D forward shape %v, want (batch,%d,L)", x.Shape(), c.InC))
@@ -52,80 +119,70 @@ func (c *Conv1D) Forward(x *tensor.Tensor) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: Conv1D input length %d too short for k=%d s=%d p=%d", l, c.Kernel, c.Stride, c.Pad))
 	}
 	out := tensor.New(batch, c.OutC, lo)
-	xd, wd, bd, od := x.Data(), c.W.Value.Data(), c.B.Value.Data(), out.Data()
-	for b := 0; b < batch; b++ {
-		xb := xd[b*c.InC*l : (b+1)*c.InC*l]
-		ob := od[b*c.OutC*lo : (b+1)*c.OutC*lo]
-		for oc := 0; oc < c.OutC; oc++ {
-			orow := ob[oc*lo : (oc+1)*lo]
-			bias := bd[oc]
+	wmat := c.W.Value.Reshape(c.OutC, c.InC*c.Kernel)
+	ar := tensor.GetArena()
+	defer tensor.PutArena(ar)
+	cols := ar.Tensor(batch*lo, c.InC*c.Kernel)
+	im2colRows(cols, x.Data(), batch, c.InC, l, lo, c.Kernel, c.Stride, c.Pad)
+	prod := ar.Tensor(batch*lo, c.OutC)
+	tensor.MatMulTransBInto(prod, cols, wmat)
+	// Permute (b·lo+t, oc) → (b, oc, t), adding the bias on the way.
+	pd, bd, od := prod.Data(), c.B.Value.Data(), out.Data()
+	tensor.Parallel(batch, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			ob := od[b*c.OutC*lo : (b+1)*c.OutC*lo]
 			for t := 0; t < lo; t++ {
-				orow[t] = bias
-			}
-			for ic := 0; ic < c.InC; ic++ {
-				xrow := xb[ic*l : (ic+1)*l]
-				wrow := wd[(oc*c.InC+ic)*c.Kernel : (oc*c.InC+ic+1)*c.Kernel]
-				for kk := 0; kk < c.Kernel; kk++ {
-					wv := wrow[kk]
-					if wv == 0 {
-						continue
-					}
-					// Input position for output t: t*stride - pad + kk.
-					base := kk - c.Pad
-					for t := 0; t < lo; t++ {
-						p := t*c.Stride + base
-						if p >= 0 && p < l {
-							orow[t] += wv * xrow[p]
-						}
-					}
+				prow := pd[(b*lo+t)*c.OutC : (b*lo+t+1)*c.OutC]
+				for oc, v := range prow {
+					ob[oc*lo+t] = v + bd[oc]
 				}
 			}
 		}
-	}
+	})
 	return out
 }
 
-// Backward accumulates weight/bias gradients and returns the input gradient.
+// Backward accumulates weight/bias gradients and returns the input
+// gradient: dW += dY₂ᵀ·cols, dcols = dY₂·W, dx = col2im(dcols), where dY₂
+// is the output gradient permuted to (batch·lo, outC) rows.
 func (c *Conv1D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	x := c.in
 	batch, l := x.Dim(0), x.Dim(2)
 	lo := grad.Dim(2)
 	dx := tensor.New(batch, c.InC, l)
-	xd, wd, gd := x.Data(), c.W.Value.Data(), grad.Data()
-	dwd, dbd, dxd := c.W.Grad.Data(), c.B.Grad.Data(), dx.Data()
-	for b := 0; b < batch; b++ {
-		xb := xd[b*c.InC*l : (b+1)*c.InC*l]
-		gb := gd[b*c.OutC*lo : (b+1)*c.OutC*lo]
-		dxb := dxd[b*c.InC*l : (b+1)*c.InC*l]
-		for oc := 0; oc < c.OutC; oc++ {
-			grow := gb[oc*lo : (oc+1)*lo]
-			for _, gv := range grow {
-				dbd[oc] += gv
-			}
-			for ic := 0; ic < c.InC; ic++ {
-				xrow := xb[ic*l : (ic+1)*l]
-				dxrow := dxb[ic*l : (ic+1)*l]
-				wrow := wd[(oc*c.InC+ic)*c.Kernel : (oc*c.InC+ic+1)*c.Kernel]
-				dwrow := dwd[(oc*c.InC+ic)*c.Kernel : (oc*c.InC+ic+1)*c.Kernel]
-				for kk := 0; kk < c.Kernel; kk++ {
-					base := kk - c.Pad
-					wv := wrow[kk]
-					dw := 0.0
-					for t, gv := range grow {
-						if gv == 0 {
-							continue
-						}
-						p := t*c.Stride + base
-						if p >= 0 && p < l {
-							dw += gv * xrow[p]
-							dxrow[p] += gv * wv
-						}
-					}
-					dwrow[kk] += dw
+	wmat := c.W.Value.Reshape(c.OutC, c.InC*c.Kernel)
+	dwFlat := c.W.Grad.Reshape(c.OutC, c.InC*c.Kernel)
+	ar := tensor.GetArena()
+	defer tensor.PutArena(ar)
+	// dY permuted to rows: dy2[b·lo+t, oc] = grad[b, oc, t]; bias gradient
+	// is its column sum.
+	dy2 := ar.Tensor(batch*lo, c.OutC)
+	gd, dyd := grad.Data(), dy2.Data()
+	tensor.Parallel(batch, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			gb := gd[b*c.OutC*lo : (b+1)*c.OutC*lo]
+			for t := 0; t < lo; t++ {
+				row := dyd[(b*lo+t)*c.OutC : (b*lo+t+1)*c.OutC]
+				for oc := range row {
+					row[oc] = gb[oc*lo+t]
 				}
 			}
 		}
+	})
+	dbd := c.B.Grad.Data()
+	for r := 0; r < batch*lo; r++ {
+		for oc, v := range dyd[r*c.OutC : (r+1)*c.OutC] {
+			dbd[oc] += v
+		}
 	}
+	cols := ar.Tensor(batch*lo, c.InC*c.Kernel)
+	im2colRows(cols, x.Data(), batch, c.InC, l, lo, c.Kernel, c.Stride, c.Pad)
+	tmpDW := ar.Tensor(c.OutC, c.InC*c.Kernel)
+	tensor.MatMulTransAInto(tmpDW, dy2, cols)
+	tensor.AddInPlace(dwFlat, tmpDW)
+	dcols := cols // reuse: cols is fully consumed by the dW product above
+	tensor.MatMulInto(dcols, dy2, wmat)
+	col2imRowsAdd(dx.Data(), dcols, batch, c.InC, l, lo, c.Kernel, c.Stride, c.Pad)
 	return dx
 }
 
@@ -165,7 +222,25 @@ func (c *ConvTranspose1D) OutLen(l int) int {
 	return (l-1)*c.Stride + c.Kernel - 2*c.Pad
 }
 
-// Forward scatters each input step into the (stride-spaced) output.
+// chanToRows permutes a channel-major batch (batch, ch, l) into row-major
+// position rows (batch·l, ch).
+func chanToRows(dst *tensor.Tensor, xd []float64, batch, ch, l int) {
+	dd := dst.Data()
+	tensor.Parallel(batch, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			xb := xd[b*ch*l : (b+1)*ch*l]
+			for t := 0; t < l; t++ {
+				row := dd[(b*l+t)*ch : (b*l+t+1)*ch]
+				for ic := 0; ic < ch; ic++ {
+					row[ic] = xb[ic*l+t]
+				}
+			}
+		}
+	})
+}
+
+// Forward computes cols = x₂·W (one GEMM over all positions), then
+// scatters: out[b, oc, t·stride-pad+kk] += cols[b·l+t, oc·K+kk].
 func (c *ConvTranspose1D) Forward(x *tensor.Tensor) *tensor.Tensor {
 	if x.Dims() != 3 || x.Dim(1) != c.InC {
 		panic(fmt.Sprintf("nn: ConvTranspose1D forward shape %v, want (batch,%d,L)", x.Shape(), c.InC))
@@ -177,77 +252,109 @@ func (c *ConvTranspose1D) Forward(x *tensor.Tensor) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: ConvTranspose1D input length %d invalid for k=%d s=%d p=%d", l, c.Kernel, c.Stride, c.Pad))
 	}
 	out := tensor.New(batch, c.OutC, lo)
-	xd, wd, bd, od := x.Data(), c.W.Value.Data(), c.B.Value.Data(), out.Data()
-	for b := 0; b < batch; b++ {
-		xb := xd[b*c.InC*l : (b+1)*c.InC*l]
-		ob := od[b*c.OutC*lo : (b+1)*c.OutC*lo]
-		for oc := 0; oc < c.OutC; oc++ {
-			orow := ob[oc*lo : (oc+1)*lo]
-			for t := range orow {
-				orow[t] = bd[oc]
+	wmat := c.W.Value.Reshape(c.InC, c.OutC*c.Kernel)
+	ar := tensor.GetArena()
+	defer tensor.PutArena(ar)
+	x2 := ar.Tensor(batch*l, c.InC)
+	chanToRows(x2, x.Data(), batch, c.InC, l)
+	cols := ar.Tensor(batch*l, c.OutC*c.Kernel)
+	tensor.MatMulInto(cols, x2, wmat)
+	cd, bd, od := cols.Data(), c.B.Value.Data(), out.Data()
+	kw := c.OutC * c.Kernel
+	tensor.Parallel(batch, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			ob := od[b*c.OutC*lo : (b+1)*c.OutC*lo]
+			for oc := 0; oc < c.OutC; oc++ {
+				bias := bd[oc]
+				orow := ob[oc*lo : (oc+1)*lo]
+				for t := range orow {
+					orow[t] = bias
+				}
 			}
-			for ic := 0; ic < c.InC; ic++ {
-				xrow := xb[ic*l : (ic+1)*l]
-				wrow := wd[(ic*c.OutC+oc)*c.Kernel : (ic*c.OutC+oc+1)*c.Kernel]
-				for kk := 0; kk < c.Kernel; kk++ {
-					wv := wrow[kk]
-					if wv == 0 {
-						continue
-					}
-					base := kk - c.Pad
-					for t, xv := range xrow {
-						p := t*c.Stride + base
+			for t := 0; t < l; t++ {
+				row := cd[(b*l+t)*kw : (b*l+t+1)*kw]
+				base := t*c.Stride - c.Pad
+				for oc := 0; oc < c.OutC; oc++ {
+					orow := ob[oc*lo : (oc+1)*lo]
+					for kk := 0; kk < c.Kernel; kk++ {
+						p := base + kk
 						if p >= 0 && p < lo {
-							orow[p] += wv * xv
+							orow[p] += row[oc*c.Kernel+kk]
 						}
 					}
 				}
 			}
 		}
-	}
+	})
 	return out
 }
 
-// Backward accumulates gradients; it is the adjoint of Forward (a plain
-// convolution gathering from the output gradient).
+// Backward gathers dcols from the output gradient (the adjoint of the
+// forward scatter), then dx₂ = dcols·Wᵀ and dW += x₂ᵀ·dcols.
 func (c *ConvTranspose1D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	x := c.in
 	batch, l := x.Dim(0), x.Dim(2)
 	lo := grad.Dim(2)
 	dx := tensor.New(batch, c.InC, l)
-	xd, wd, gd := x.Data(), c.W.Value.Data(), grad.Data()
-	dwd, dbd, dxd := c.W.Grad.Data(), c.B.Grad.Data(), dx.Data()
-	for b := 0; b < batch; b++ {
-		xb := xd[b*c.InC*l : (b+1)*c.InC*l]
-		gb := gd[b*c.OutC*lo : (b+1)*c.OutC*lo]
-		dxb := dxd[b*c.InC*l : (b+1)*c.InC*l]
-		for oc := 0; oc < c.OutC; oc++ {
-			grow := gb[oc*lo : (oc+1)*lo]
-			for _, gv := range grow {
-				dbd[oc] += gv
-			}
-			for ic := 0; ic < c.InC; ic++ {
-				xrow := xb[ic*l : (ic+1)*l]
-				dxrow := dxb[ic*l : (ic+1)*l]
-				wrow := wd[(ic*c.OutC+oc)*c.Kernel : (ic*c.OutC+oc+1)*c.Kernel]
-				dwrow := dwd[(ic*c.OutC+oc)*c.Kernel : (ic*c.OutC+oc+1)*c.Kernel]
-				for kk := 0; kk < c.Kernel; kk++ {
-					base := kk - c.Pad
-					wv := wrow[kk]
-					dw := 0.0
-					for t := 0; t < l; t++ {
-						p := t*c.Stride + base
+	wmat := c.W.Value.Reshape(c.InC, c.OutC*c.Kernel)
+	dwFlat := c.W.Grad.Reshape(c.InC, c.OutC*c.Kernel)
+	ar := tensor.GetArena()
+	defer tensor.PutArena(ar)
+	// Gather dcols[b·l+t, oc·K+kk] = grad[b, oc, t·stride-pad+kk].
+	kw := c.OutC * c.Kernel
+	dcols := ar.Tensor(batch*l, kw)
+	gd, dcd := grad.Data(), dcols.Data()
+	tensor.Parallel(batch, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			gb := gd[b*c.OutC*lo : (b+1)*c.OutC*lo]
+			for t := 0; t < l; t++ {
+				row := dcd[(b*l+t)*kw : (b*l+t+1)*kw]
+				base := t*c.Stride - c.Pad
+				for oc := 0; oc < c.OutC; oc++ {
+					grow := gb[oc*lo : (oc+1)*lo]
+					for kk := 0; kk < c.Kernel; kk++ {
+						p := base + kk
 						if p >= 0 && p < lo {
-							gv := grow[p]
-							dw += gv * xrow[t]
-							dxrow[t] += gv * wv
+							row[oc*c.Kernel+kk] = grow[p]
+						} else {
+							row[oc*c.Kernel+kk] = 0
 						}
 					}
-					dwrow[kk] += dw
 				}
 			}
 		}
+	})
+	dbd := c.B.Grad.Data()
+	for b := 0; b < batch; b++ {
+		gb := gd[b*c.OutC*lo : (b+1)*c.OutC*lo]
+		for oc := 0; oc < c.OutC; oc++ {
+			s := 0.0
+			for _, gv := range gb[oc*lo : (oc+1)*lo] {
+				s += gv
+			}
+			dbd[oc] += s
+		}
 	}
+	x2 := ar.Tensor(batch*l, c.InC)
+	chanToRows(x2, x.Data(), batch, c.InC, l)
+	tmpDW := ar.Tensor(c.InC, kw)
+	tensor.MatMulTransAInto(tmpDW, x2, dcols)
+	tensor.AddInPlace(dwFlat, tmpDW)
+	dx2 := x2 // reuse: x2 is fully consumed by the dW product above
+	tensor.MatMulTransBInto(dx2, dcols, wmat)
+	// Permute (b·l+t, ic) rows back to channel-major dx.
+	dxd, d2 := dx.Data(), dx2.Data()
+	tensor.Parallel(batch, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			dxb := dxd[b*c.InC*l : (b+1)*c.InC*l]
+			for t := 0; t < l; t++ {
+				row := d2[(b*l+t)*c.InC : (b*l+t+1)*c.InC]
+				for ic, v := range row {
+					dxb[ic*l+t] = v
+				}
+			}
+		}
+	})
 	return dx
 }
 

@@ -1,0 +1,54 @@
+package nn
+
+import (
+	"testing"
+
+	"varade/internal/tensor"
+)
+
+// Conv1D benchmarks isolating the im2col/GEMM kernel at VARADE-like and
+// AE-like geometries. Run with:
+// go test -bench BenchmarkConv1D -benchmem ./internal/nn
+func BenchmarkConv1DForward(b *testing.B) {
+	for _, s := range []struct {
+		name                   string
+		batch, inC, outC       int
+		l, kernel, stride, pad int
+	}{
+		{"varade-edge", 32, 17, 16, 8, 2, 2, 0},
+		{"varade-paper", 1, 86, 128, 512, 2, 2, 0},
+		{"resblock", 16, 16, 16, 64, 3, 1, 1},
+	} {
+		b.Run(s.name, func(b *testing.B) {
+			rng := tensor.NewRNG(1)
+			c := NewConv1D(s.inC, s.outC, s.kernel, s.stride, s.pad, rng)
+			x := tensor.RandNormal(rng, 0, 1, s.batch, s.inC, s.l)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Forward(x)
+			}
+		})
+	}
+}
+
+func BenchmarkConv1DBackward(b *testing.B) {
+	rng := tensor.NewRNG(2)
+	c := NewConv1D(16, 32, 2, 2, 0, rng)
+	x := tensor.RandNormal(rng, 0, 1, 32, 16, 64)
+	out := c.Forward(x)
+	grad := tensor.RandNormal(rng, 0, 1, out.Shape()...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Backward(grad)
+	}
+}
+
+func BenchmarkConvTranspose1DForward(b *testing.B) {
+	rng := tensor.NewRNG(3)
+	c := NewConvTranspose1D(32, 16, 2, 2, 0, rng)
+	x := tensor.RandNormal(rng, 0, 1, 16, 32, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Forward(x)
+	}
+}

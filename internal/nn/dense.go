@@ -36,11 +36,18 @@ func (d *Dense) Forward(x *tensor.Tensor) *tensor.Tensor {
 	out := tensor.MatMulTransB(x, d.W.Value)
 	batch, of := out.Dim(0), out.Dim(1)
 	od, bd := out.Data(), d.B.Value.Data()
-	for i := 0; i < batch; i++ {
-		row := od[i*of : (i+1)*of]
-		for j := range row {
-			row[j] += bd[j]
+	addBias := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := od[i*of : (i+1)*of]
+			for j := range row {
+				row[j] += bd[j]
+			}
 		}
+	}
+	if batch*of < 16384 {
+		addBias(0, batch)
+	} else {
+		tensor.Parallel(batch, addBias)
 	}
 	return out
 }

@@ -92,20 +92,30 @@ func (l *LSTM) Forward(x *tensor.Tensor) *tensor.Tensor {
 		gid, gfd, ggd, god := gi.Data(), gf.Data(), gg.Data(), gor.Data()
 		ctd, htd, tcd := ct.Data(), ht.Data(), tc.Data()
 		cprev := l.cs[t].Data()
-		for b := 0; b < batch; b++ {
-			row := pd[b*4*h : (b+1)*4*h]
-			for j := 0; j < h; j++ {
-				i := sigmoid(row[j] + bd[j])
-				f := sigmoid(row[h+j] + bd[h+j])
-				g := math.Tanh(row[2*h+j] + bd[2*h+j])
-				o := sigmoid(row[3*h+j] + bd[3*h+j])
-				c := f*cprev[b*h+j] + i*g
-				th := math.Tanh(c)
-				gid[b*h+j], gfd[b*h+j], ggd[b*h+j], god[b*h+j] = i, f, g, o
-				ctd[b*h+j] = c
-				tcd[b*h+j] = th
-				htd[b*h+j] = o * th
+		// The gate nonlinearities are independent across batch rows, so
+		// shard them over the tensor worker pool when the batch is big
+		// enough to amortise the handoff.
+		gates := func(blo, bhi int) {
+			for b := blo; b < bhi; b++ {
+				row := pd[b*4*h : (b+1)*4*h]
+				for j := 0; j < h; j++ {
+					i := sigmoid(row[j] + bd[j])
+					f := sigmoid(row[h+j] + bd[h+j])
+					g := math.Tanh(row[2*h+j] + bd[2*h+j])
+					o := sigmoid(row[3*h+j] + bd[3*h+j])
+					c := f*cprev[b*h+j] + i*g
+					th := math.Tanh(c)
+					gid[b*h+j], gfd[b*h+j], ggd[b*h+j], god[b*h+j] = i, f, g, o
+					ctd[b*h+j] = c
+					tcd[b*h+j] = th
+					htd[b*h+j] = o * th
+				}
 			}
+		}
+		if batch*h < 4096 {
+			gates(0, batch)
+		} else {
+			tensor.Parallel(batch, gates)
 		}
 		l.gi[t], l.gf[t], l.gg[t], l.go_[t] = gi, gf, gg, gor
 		l.cs[t+1], l.hs[t+1], l.tanhC[t] = ct, ht, tc
@@ -153,24 +163,36 @@ func (l *LSTM) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		dpre := tensor.New(batch, 4*h)
 		dpd := dpre.Data()
 		bg := l.B.Grad.Data()
+		// Per-row gate derivatives are independent; the bias gradient (a
+		// reduction across rows) is summed afterwards so the parallel body
+		// only writes disjoint dpre/dc rows.
+		dgates := func(blo, bhi int) {
+			for b := blo; b < bhi; b++ {
+				for j := 0; j < h; j++ {
+					k := b*h + j
+					i, f, g, o := gi[k], gf[k], gg[k], gor[k]
+					th := tc[k]
+					dht := dhd[k]
+					dct := dcd[k] + dht*o*(1-th*th)
+					di := dct * g * i * (1 - i)
+					df := dct * cprev[k] * f * (1 - f)
+					dg := dct * i * (1 - g*g)
+					do := dht * th * o * (1 - o)
+					row := dpd[b*4*h : (b+1)*4*h]
+					row[j], row[h+j], row[2*h+j], row[3*h+j] = di, df, dg, do
+					dcd[k] = dct * f // carries to step t-1
+				}
+			}
+		}
+		if batch*h < 4096 {
+			dgates(0, batch)
+		} else {
+			tensor.Parallel(batch, dgates)
+		}
 		for b := 0; b < batch; b++ {
-			for j := 0; j < h; j++ {
-				k := b*h + j
-				i, f, g, o := gi[k], gf[k], gg[k], gor[k]
-				th := tc[k]
-				dht := dhd[k]
-				dct := dcd[k] + dht*o*(1-th*th)
-				di := dct * g * i * (1 - i)
-				df := dct * cprev[k] * f * (1 - f)
-				dg := dct * i * (1 - g*g)
-				do := dht * th * o * (1 - o)
-				row := dpd[b*4*h : (b+1)*4*h]
-				row[j], row[h+j], row[2*h+j], row[3*h+j] = di, df, dg, do
-				bg[j] += di
-				bg[h+j] += df
-				bg[2*h+j] += dg
-				bg[3*h+j] += do
-				dcd[k] = dct * f // carries to step t-1
+			row := dpd[b*4*h : (b+1)*4*h]
+			for k, v := range row {
+				bg[k] += v
 			}
 		}
 		tensor.AddInPlace(l.Wx.Grad, tensor.MatMulTransA(dpre, l.xs[t]))

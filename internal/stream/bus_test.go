@@ -1,0 +1,152 @@
+package stream
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"varade/internal/tensor"
+)
+
+// TestBusPublishBoundedUnderRacingConsumer hammers a bus with a consumer
+// racing the publisher's drop-and-retry sequence. The old implementation
+// could spin in Publish; the bounded version must terminate and account
+// for every sample as either delivered or dropped.
+func TestBusPublishBoundedUnderRacingConsumer(t *testing.T) {
+	b := NewBus()
+	ch := b.Subscribe(1)
+	const total = 5000
+	var consumed int
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for range ch {
+			consumed++
+		}
+	}()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < total; i++ {
+			b.Publish([]float64{float64(i)})
+		}
+		// Give the consumer a moment to drain before closing.
+		time.Sleep(10 * time.Millisecond)
+		b.Close()
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Publish did not terminate (unbounded retry loop)")
+	}
+	wg.Wait()
+	if consumed+b.Dropped() < total {
+		t.Fatalf("samples unaccounted for: %d consumed + %d dropped < %d published",
+			consumed, b.Dropped(), total)
+	}
+	if consumed == 0 {
+		t.Fatal("racing consumer received nothing")
+	}
+}
+
+// TestBusDroppedCountsNewSampleWhenRetryFails documents the bounded drop
+// accounting: with no consumer, publishing depth+k samples drops exactly k.
+func TestBusDroppedCountsExactEvictions(t *testing.T) {
+	b := NewBus()
+	_ = b.Subscribe(3)
+	for i := 0; i < 10; i++ {
+		b.Publish([]float64{float64(i)})
+	}
+	if b.Dropped() != 7 {
+		t.Fatalf("dropped %d want 7", b.Dropped())
+	}
+}
+
+// TestPushBatchFallbackMatchesPush drives PushBatch with a detector that
+// has no batched path; it must produce exactly the scalar-path scores.
+func TestPushBatchFallbackMatchesPush(t *testing.T) {
+	d := &meanDetector{w: 3}
+	r1 := NewRunner(d, 2)
+	r2 := NewRunner(d, 2)
+	var feed [][]float64
+	for i := 0; i < 9; i++ {
+		feed = append(feed, []float64{float64(i), float64(-i)})
+	}
+	var scalar []Score
+	for _, s := range feed {
+		if sc, ok := r1.Push(s); ok {
+			scalar = append(scalar, sc)
+		}
+	}
+	batched := r2.PushBatch(feed)
+	if len(scalar) != len(batched) {
+		t.Fatalf("%d vs %d scores", len(scalar), len(batched))
+	}
+	for i := range scalar {
+		if scalar[i] != batched[i] {
+			t.Fatalf("score %d: %+v vs %+v", i, scalar[i], batched[i])
+		}
+	}
+}
+
+// batchMeanDetector is meanDetector with a batched path, for exercising
+// PushBatch's window assembly against the ring buffer.
+type batchMeanDetector struct{ meanDetector }
+
+func (d *batchMeanDetector) ScoreBatch(wins *tensor.Tensor) []float64 {
+	n := wins.Dim(0)
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = wins.SliceRows(i, i+1).Mean()
+	}
+	return out
+}
+
+// TestPushBatchChunksLargeBacklogs feeds more windows than one scoring
+// chunk holds; the chunked flushes must still yield one correct score per
+// completed window, in order.
+func TestPushBatchChunksLargeBacklogs(t *testing.T) {
+	d := &batchMeanDetector{meanDetector{w: 2}}
+	r := NewRunner(d, 1)
+	total := 3*256 + 17 // several full chunks plus a partial tail
+	feed := make([][]float64, total)
+	for i := range feed {
+		feed[i] = []float64{float64(i)}
+	}
+	got := r.PushBatch(feed)
+	if len(got) != total-1 {
+		t.Fatalf("%d scores want %d", len(got), total-1)
+	}
+	for i, s := range got {
+		if s.Index != i+1 {
+			t.Fatalf("score %d has index %d", i, s.Index)
+		}
+		if want := float64(i) + 0.5; s.Value != want { // mean(i, i+1)
+			t.Fatalf("score %d = %g want %g", i, s.Value, want)
+		}
+	}
+}
+
+func TestPushBatchAssemblesWindowsAcrossCalls(t *testing.T) {
+	d := &batchMeanDetector{meanDetector{w: 4}}
+	r := NewRunner(d, 1)
+	// First call leaves a partial window.
+	if got := r.PushBatch([][]float64{{1}, {2}}); got != nil {
+		t.Fatalf("partial fill produced scores %v", got)
+	}
+	// Second call completes windows spanning both calls.
+	got := r.PushBatch([][]float64{{3}, {4}, {5}})
+	if len(got) != 2 {
+		t.Fatalf("%d scores want 2", len(got))
+	}
+	if got[0].Index != 3 || got[0].Value != 2.5 { // mean(1,2,3,4)
+		t.Fatalf("first score %+v", got[0])
+	}
+	if got[1].Index != 4 || got[1].Value != 3.5 { // mean(2,3,4,5)
+		t.Fatalf("second score %+v", got[1])
+	}
+	if r.Scored() != 2 {
+		t.Fatalf("Scored() = %d want 2", r.Scored())
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"varade/internal/detect"
+	"varade/internal/tensor"
 )
 
 // Score is one runner output: the sample index and its anomaly score.
@@ -39,6 +40,74 @@ func (r *Runner) Push(sample []float64) (Score, bool) {
 	}
 	r.nScore++
 	return Score{Index: r.index - 1, Value: r.det.Score(r.buf.Window())}, true
+}
+
+// PushBatch feeds a slice of samples and returns every score produced, in
+// arrival order. When the detector implements detect.BatchScorer the
+// windows completed by the batch are materialised into one (N, W, C)
+// tensor and scored in a single batched call — the fast path the edge
+// runtime uses to drain a sample backlog at full hardware throughput.
+// Scores are identical to pushing each sample through Push.
+func (r *Runner) PushBatch(samples [][]float64) []Score {
+	bs, ok := r.det.(detect.BatchScorer)
+	if !ok || len(samples) < 2 {
+		var out []Score
+		for _, s := range samples {
+			if sc, done := r.Push(s); done {
+				out = append(out, sc)
+			}
+		}
+		return out
+	}
+	w, c := r.buf.window, r.buf.channels
+	// The first window completes at the push that fills the buffer; every
+	// push after that completes another.
+	n := len(samples)
+	if miss := w - r.buf.Len(); miss > 0 {
+		n = len(samples) - miss + 1
+	}
+	if n <= 0 {
+		for _, s := range samples {
+			r.buf.Push(s)
+			r.index++
+		}
+		return nil
+	}
+	// Score in chunks of at most detect.BatchChunk windows so draining an
+	// arbitrarily large backlog keeps a bounded working set, mirroring
+	// detect.ScoreSeriesBatched.
+	maxChunk := n
+	if maxChunk > detect.BatchChunk {
+		maxChunk = detect.BatchChunk
+	}
+	wins := tensor.New(maxChunk, w, c)
+	wd := wins.Data()
+	out := make([]Score, 0, n)
+	pending, flushed := 0, 0
+	flush := func() {
+		for i, v := range bs.ScoreBatch(wins.SliceRows(0, pending)) {
+			out[flushed+i].Value = v
+		}
+		flushed += pending
+		pending = 0
+	}
+	for _, s := range samples {
+		r.buf.Push(s)
+		r.index++
+		if !r.buf.Full() {
+			continue
+		}
+		r.buf.CopyWindowInto(wd[pending*w*c : (pending+1)*w*c])
+		out = append(out, Score{Index: r.index - 1})
+		r.nScore++
+		if pending++; pending == maxChunk {
+			flush()
+		}
+	}
+	if pending > 0 {
+		flush()
+	}
+	return out
 }
 
 // Scored returns how many scores the runner has produced.
@@ -77,7 +146,10 @@ func (b *Bus) Subscribe(depth int) <-chan []float64 {
 }
 
 // Publish delivers sample to every subscriber, dropping the oldest queued
-// sample of any full subscriber.
+// sample of any full subscriber. The drop-and-retry sequence is bounded:
+// if a racing consumer keeps the queue full after one eviction, the new
+// sample itself is dropped (and counted) instead of spinning under the
+// bus lock.
 func (b *Bus) Publish(sample []float64) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -85,19 +157,25 @@ func (b *Bus) Publish(sample []float64) {
 		return
 	}
 	for _, ch := range b.subs {
-		for {
-			select {
-			case ch <- sample:
-			default:
-				// Queue full: drop the oldest and retry once.
-				select {
-				case <-ch:
-					b.dropped++
-				default:
-				}
-				continue
-			}
-			break
+		select {
+		case ch <- sample:
+			continue
+		default:
+		}
+		// Queue full: evict the oldest queued sample, then retry once.
+		select {
+		case <-ch:
+			b.dropped++
+		default:
+			// A consumer drained the queue between the two selects; the
+			// retry below will succeed without evicting anything.
+		}
+		select {
+		case ch <- sample:
+		default:
+			// Still full — a consumer-side race refilled the queue. Drop
+			// the new sample rather than looping.
+			b.dropped++
 		}
 	}
 }

@@ -108,16 +108,63 @@ func ReadSamples(r io.Reader, channels int, fn func(sample []float64) bool) erro
 	return sc.Err()
 }
 
+// ReadSampleBatches consumes CSV samples from r in slices of up to max
+// samples and invokes fn for each batch until EOF or fn returns false.
+// The final batch may be shorter than max. The batch slice is reused
+// between invocations, so fn must not retain it (or its entries) past
+// its return.
+func ReadSampleBatches(r io.Reader, channels, max int, fn func(batch [][]float64) bool) error {
+	if max < 1 {
+		max = 1
+	}
+	batch := make([][]float64, 0, max)
+	err := ReadSamples(r, channels, func(sample []float64) bool {
+		batch = append(batch, sample)
+		if len(batch) < max {
+			return true
+		}
+		ok := fn(batch)
+		batch = batch[:0]
+		return ok
+	})
+	if err != nil {
+		return err
+	}
+	if len(batch) > 0 {
+		fn(batch)
+	}
+	return nil
+}
+
 // DialAndScore connects to a sample server, runs every received sample
 // through the runner and invokes onScore for each produced score.
 func DialAndScore(addr string, channels int, r *Runner, onScore func(Score)) error {
+	return DialAndScoreBatched(addr, channels, r, 1, onScore)
+}
+
+// DialAndScoreBatched is DialAndScore through the batched engine: samples
+// are drained in micro-batches of up to batch and scored with one
+// Runner.PushBatch call each, which detectors with a batched path turn
+// into a single forward pass. Scores are identical to the scalar path;
+// batch > 1 trades up to batch samples of emission latency for
+// throughput, the right trade when replaying a recording or draining a
+// backlog. batch <= 1 preserves per-sample emission.
+func DialAndScoreBatched(addr string, channels int, r *Runner, batch int, onScore func(Score)) error {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return err
 	}
 	defer conn.Close()
-	return ReadSamples(conn, channels, func(sample []float64) bool {
-		if s, ok := r.Push(sample); ok {
+	if batch <= 1 {
+		return ReadSamples(conn, channels, func(sample []float64) bool {
+			if s, ok := r.Push(sample); ok {
+				onScore(s)
+			}
+			return true
+		})
+	}
+	return ReadSampleBatches(conn, channels, batch, func(samples [][]float64) bool {
+		for _, s := range r.PushBatch(samples) {
 			onScore(s)
 		}
 		return true

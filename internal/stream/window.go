@@ -58,13 +58,21 @@ func (b *WindowBuffer) Window() *tensor.Tensor {
 		panic("stream: Window on partially filled buffer")
 	}
 	out := tensor.New(b.window, b.channels)
-	od := out.Data()
+	b.CopyWindowInto(out.Data())
+	return out
+}
+
+// CopyWindowInto writes the current window, oldest sample first, into dst
+// (length ≥ window·channels) without allocating. It panics unless Full.
+func (b *WindowBuffer) CopyWindowInto(dst []float64) {
+	if !b.Full() {
+		panic("stream: CopyWindowInto on partially filled buffer")
+	}
 	// Oldest sample sits at head (the next slot to be overwritten).
 	for i := 0; i < b.window; i++ {
 		src := (b.head + i) % b.window
-		copy(od[i*b.channels:(i+1)*b.channels], b.data[src*b.channels:(src+1)*b.channels])
+		copy(dst[i*b.channels:(i+1)*b.channels], b.data[src*b.channels:(src+1)*b.channels])
 	}
-	return out
 }
 
 // Reset discards all buffered samples.

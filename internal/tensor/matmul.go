@@ -2,92 +2,168 @@ package tensor
 
 import "fmt"
 
+// GEMM kernels. All three multiplication variants come in an allocating
+// form (MatMul, MatMulTransB, MatMulTransA) and an in-place form
+// (MatMulInto, …) that writes into a caller-supplied destination — usually
+// one carved from an Arena — so hot paths run allocation-free.
+//
+// Row blocks are distributed over the package worker pool (see Parallel)
+// once the problem is large enough to amortise goroutine handoff; small
+// products run inline.
+
+// parallelFlopThreshold is the approximate multiply-add count below which
+// a product is not worth splitting across workers.
+const parallelFlopThreshold = 64 * 1024
+
+func check2D(op string, a, b *Tensor) {
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		panic("tensor: " + op + " needs 2-D tensors")
+	}
+}
+
+func checkDst(op string, dst *Tensor, m, n int) {
+	if len(dst.shape) != 2 || dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: %s destination shape %v, want (%d,%d)", op, dst.shape, m, n))
+	}
+}
+
 // MatMul returns the matrix product a·b of two 2-D tensors.
 // a has shape (m, k) and b has shape (k, n); the result is (m, n).
+func MatMul(a, b *Tensor) *Tensor {
+	check2D("MatMul", a, b)
+	out := New(a.shape[0], b.shape[1])
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulInto computes dst = a·b, overwriting dst. dst must not alias a or b.
 //
 // The inner loop is ordered (i, p, j) so b is scanned row-contiguously,
-// which is the cache-friendly layout for row-major data.
-func MatMul(a, b *Tensor) *Tensor {
-	if len(a.shape) != 2 || len(b.shape) != 2 {
-		panic("tensor: MatMul needs 2-D tensors")
-	}
+// which is the cache-friendly layout for row-major data; rows of a are
+// sharded across the worker pool for large products.
+func MatMulInto(dst, a, b *Tensor) {
+	check2D("MatMul", a, b)
 	m, k := a.shape[0], a.shape[1]
 	k2, n := b.shape[0], b.shape[1]
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: MatMul inner dims %d vs %d", k, k2))
 	}
-	out := New(m, n)
-	for i := 0; i < m; i++ {
-		arow := a.data[i*k : (i+1)*k]
-		orow := out.data[i*n : (i+1)*n]
-		for p := 0; p < k; p++ {
-			av := arow[p]
-			if av == 0 {
-				continue
+	checkDst("MatMul", dst, m, n)
+	ad, bd, od := a.data, b.data, dst.data
+	body := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := ad[i*k : (i+1)*k]
+			orow := od[i*n : (i+1)*n]
+			for j := range orow {
+				orow[j] = 0
 			}
-			brow := b.data[p*n : (p+1)*n]
-			for j, bv := range brow {
-				orow[j] += av * bv
+			for p := 0; p < k; p++ {
+				av := arow[p]
+				brow := bd[p*n : (p+1)*n]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
 			}
 		}
 	}
-	return out
+	if m*k*n < parallelFlopThreshold {
+		body(0, m)
+		return
+	}
+	Parallel(m, body)
 }
 
 // MatMulTransB returns a·bᵀ where a is (m, k) and b is (n, k); result (m, n).
 // This avoids materialising the transpose when multiplying by weight
 // matrices stored row-major as (out, in).
 func MatMulTransB(a, b *Tensor) *Tensor {
-	if len(a.shape) != 2 || len(b.shape) != 2 {
-		panic("tensor: MatMulTransB needs 2-D tensors")
-	}
+	check2D("MatMulTransB", a, b)
+	out := New(a.shape[0], b.shape[0])
+	MatMulTransBInto(out, a, b)
+	return out
+}
+
+// MatMulTransBInto computes dst = a·bᵀ, overwriting dst.
+func MatMulTransBInto(dst, a, b *Tensor) {
+	check2D("MatMulTransB", a, b)
 	m, k := a.shape[0], a.shape[1]
 	n, k2 := b.shape[0], b.shape[1]
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: MatMulTransB inner dims %d vs %d", k, k2))
 	}
-	out := New(m, n)
-	for i := 0; i < m; i++ {
-		arow := a.data[i*k : (i+1)*k]
-		orow := out.data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			brow := b.data[j*k : (j+1)*k]
-			s := 0.0
-			for p, av := range arow {
-				s += av * brow[p]
+	checkDst("MatMulTransB", dst, m, n)
+	ad, bd, od := a.data, b.data, dst.data
+	body := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := ad[i*k : (i+1)*k]
+			orow := od[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				brow := bd[j*k : (j+1)*k]
+				s := 0.0
+				for p, av := range arow {
+					s += av * brow[p]
+				}
+				orow[j] = s
 			}
-			orow[j] = s
 		}
 	}
-	return out
+	if m*k*n < parallelFlopThreshold {
+		body(0, m)
+		return
+	}
+	Parallel(m, body)
 }
 
 // MatMulTransA returns aᵀ·b where a is (k, m) and b is (k, n); result (m, n).
 // Used for weight gradients: dW = xᵀ·dy without materialising xᵀ.
 func MatMulTransA(a, b *Tensor) *Tensor {
-	if len(a.shape) != 2 || len(b.shape) != 2 {
-		panic("tensor: MatMulTransA needs 2-D tensors")
-	}
+	check2D("MatMulTransA", a, b)
+	out := New(a.shape[1], b.shape[1])
+	MatMulTransAInto(out, a, b)
+	return out
+}
+
+// MatMulTransAInto computes dst = aᵀ·b, overwriting dst.
+//
+// The reduction runs down a's rows, so splitting over output rows would
+// stride badly; instead output rows are sharded and each worker walks the
+// full k extent touching only its own output block.
+func MatMulTransAInto(dst, a, b *Tensor) {
+	check2D("MatMulTransA", a, b)
 	k, m := a.shape[0], a.shape[1]
 	k2, n := b.shape[0], b.shape[1]
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: MatMulTransA inner dims %d vs %d", k, k2))
 	}
-	out := New(m, n)
-	for p := 0; p < k; p++ {
-		arow := a.data[p*m : (p+1)*m]
-		brow := b.data[p*n : (p+1)*n]
-		for i, av := range arow {
-			if av == 0 {
-				continue
+	checkDst("MatMulTransA", dst, m, n)
+	ad, bd, od := a.data, b.data, dst.data
+	body := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			orow := od[i*n : (i+1)*n]
+			for j := range orow {
+				orow[j] = 0
 			}
-			orow := out.data[i*n : (i+1)*n]
-			for j, bv := range brow {
-				orow[j] += av * bv
+		}
+		for p := 0; p < k; p++ {
+			arow := ad[p*m : p*m+m]
+			brow := bd[p*n : (p+1)*n]
+			for i := lo; i < hi; i++ {
+				av := arow[i]
+				if av == 0 {
+					continue
+				}
+				orow := od[i*n : (i+1)*n]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
 			}
 		}
 	}
-	return out
+	if m*k*n < parallelFlopThreshold {
+		body(0, m)
+		return
+	}
+	Parallel(m, body)
 }
 
 // MatVec returns the matrix-vector product a·x where a is (m, n) and x has

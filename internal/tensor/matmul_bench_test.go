@@ -1,0 +1,58 @@
+package tensor
+
+import (
+	"fmt"
+	"testing"
+)
+
+// GEMM benchmarks isolating the compute core the conv/dense layers route
+// through. Run with: go test -bench BenchmarkMatMul -benchmem ./internal/tensor
+func benchMatMul(b *testing.B, m, k, n int) {
+	rng := NewRNG(1)
+	a := RandNormal(rng, 0, 1, m, k)
+	c := RandNormal(rng, 0, 1, k, n)
+	dst := New(m, n)
+	b.SetBytes(int64(8 * m * k * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulInto(dst, a, c)
+	}
+}
+
+func BenchmarkMatMul(b *testing.B) {
+	for _, s := range []struct{ m, k, n int }{
+		{8, 8, 8},
+		{32, 32, 32},
+		{128, 128, 128},
+		{256, 64, 512},
+		{512, 512, 512},
+	} {
+		b.Run(fmt.Sprintf("%dx%dx%d", s.m, s.k, s.n), func(b *testing.B) {
+			benchMatMul(b, s.m, s.k, s.n)
+		})
+	}
+}
+
+func BenchmarkMatMulTransB(b *testing.B) {
+	rng := NewRNG(2)
+	a := RandNormal(rng, 0, 1, 128, 256)
+	w := RandNormal(rng, 0, 1, 128, 256)
+	dst := New(128, 128)
+	b.SetBytes(int64(8 * 128 * 256 * 128))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulTransBInto(dst, a, w)
+	}
+}
+
+func BenchmarkMatMulTransA(b *testing.B) {
+	rng := NewRNG(3)
+	a := RandNormal(rng, 0, 1, 256, 128)
+	c := RandNormal(rng, 0, 1, 256, 128)
+	dst := New(128, 128)
+	b.SetBytes(int64(8 * 256 * 128 * 128))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulTransAInto(dst, a, c)
+	}
+}

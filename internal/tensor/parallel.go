@@ -1,0 +1,183 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Parallelism control for the package-level worker pool. All batched
+// kernels (MatMul*, im2col consumers in internal/nn, batched scoring in
+// internal/detect) route their data-parallel loops through Parallel, so a
+// single knob governs the whole compute stack.
+
+var (
+	// maxWorkers is the target number of concurrently running chunks.
+	maxWorkers int64 = int64(runtime.GOMAXPROCS(0))
+	// inFlight tracks how many pool goroutines are currently live across
+	// all Parallel calls, so nested parallel sections degrade to inline
+	// execution instead of oversubscribing (or deadlocking) the host.
+	inFlight int64
+)
+
+// SetWorkers sets the worker-pool width used by Parallel. n < 1 restores
+// the default (GOMAXPROCS). It returns the previous setting.
+func SetWorkers(n int) int {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return int(atomic.SwapInt64(&maxWorkers, int64(n)))
+}
+
+// Workers returns the current worker-pool width.
+func Workers() int { return int(atomic.LoadInt64(&maxWorkers)) }
+
+// Parallel splits the index range [0, n) into contiguous chunks and calls
+// f(lo, hi) for each, running chunks on pool goroutines when capacity is
+// available and inline otherwise. f must be safe to call concurrently on
+// disjoint ranges. Parallel returns after every chunk has completed.
+//
+// The scheduler is deliberately simple: a chunk is dispatched to a new
+// goroutine only while the global in-flight count is below the configured
+// width, and the calling goroutine always executes the final chunk itself,
+// so nested Parallel sections (e.g. a parallel minibatch shard whose
+// replica runs a parallel GEMM) make progress without ever blocking on
+// pool capacity.
+func Parallel(n int, f func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		f(0, n)
+		return
+	}
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	lo := 0
+	for lo < n {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		// Run the last chunk (and any chunk the pool has no room for)
+		// on the calling goroutine.
+		if hi == n || !acquireWorker() {
+			f(lo, hi)
+		} else {
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				defer releaseWorker()
+				f(lo, hi)
+			}(lo, hi)
+		}
+		lo = hi
+	}
+	wg.Wait()
+}
+
+// ParallelItems calls f(i) for every i in [0, n) through the same pool as
+// Parallel; it is a convenience for loops whose body is already coarse.
+func ParallelItems(n int, f func(i int)) {
+	Parallel(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			f(i)
+		}
+	})
+}
+
+func acquireWorker() bool {
+	for {
+		cur := atomic.LoadInt64(&inFlight)
+		if cur >= atomic.LoadInt64(&maxWorkers)-1 {
+			return false
+		}
+		if atomic.CompareAndSwapInt64(&inFlight, cur, cur+1) {
+			return true
+		}
+	}
+}
+
+func releaseWorker() { atomic.AddInt64(&inFlight, -1) }
+
+// Arena is a reusable scratch allocator for the temporary tensors that
+// batched kernels need (im2col matrices, GEMM outputs, gate buffers).
+// Allocations are bump-pointer slices of one backing buffer; Reset makes
+// the whole buffer reusable without freeing it, so a steady-state forward
+// pass performs zero heap allocations once the arena has warmed up.
+//
+// An Arena is not safe for concurrent use; obtain one per goroutine with
+// GetArena/PutArena.
+type Arena struct {
+	buf  []float64
+	off  int
+	big  [][]float64 // oversized one-off allocations, recycled on Reset
+	next int         // rotation index into big
+}
+
+// arenaPool recycles warmed-up arenas across calls.
+var arenaPool = sync.Pool{New: func() any { return &Arena{} }}
+
+// GetArena returns an empty arena from the package pool.
+func GetArena() *Arena {
+	a := arenaPool.Get().(*Arena)
+	a.Reset()
+	return a
+}
+
+// PutArena returns an arena to the package pool. The caller must not use
+// the arena, or any tensor carved from it, afterwards.
+func PutArena(a *Arena) { arenaPool.Put(a) }
+
+// Reset invalidates all outstanding allocations, keeping capacity.
+func (a *Arena) Reset() { a.off, a.next = 0, 0 }
+
+// Floats returns a zeroed scratch slice of length n valid until Reset.
+func (a *Arena) Floats(n int) []float64 {
+	if a.off+n > len(a.buf) {
+		if n <= cap(a.buf)-a.off {
+			a.buf = a.buf[:a.off+n]
+		} else if a.off == 0 {
+			a.buf = make([]float64, n)
+		} else {
+			// The bump buffer is exhausted; serve from the side list so
+			// existing allocations stay valid.
+			return a.bigFloats(n)
+		}
+	}
+	s := a.buf[a.off : a.off+n]
+	a.off += n
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func (a *Arena) bigFloats(n int) []float64 {
+	for ; a.next < len(a.big); a.next++ {
+		if cap(a.big[a.next]) >= n {
+			s := a.big[a.next][:n]
+			a.next++
+			for i := range s {
+				s[i] = 0
+			}
+			return s
+		}
+	}
+	s := make([]float64, n)
+	a.big = append(a.big, s)
+	a.next = len(a.big)
+	return s
+}
+
+// Tensor returns a zeroed scratch tensor of the given shape valid until
+// Reset. The tensor shares the arena's buffer; callers that need the data
+// past the next Reset must Clone it.
+func (a *Arena) Tensor(shape ...int) *Tensor {
+	n := checkShape(shape)
+	return &Tensor{shape: append([]int(nil), shape...), data: a.Floats(n)}
+}

@@ -1,0 +1,132 @@
+package tensor
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelCoversRangeExactlyOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 100, 1023} {
+		var hits atomic.Int64
+		seen := make([]int32, n)
+		Parallel(n, func(lo, hi int) {
+			if lo < 0 || hi > n || lo > hi {
+				t.Errorf("bad chunk [%d,%d) for n=%d", lo, hi, n)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&seen[i], 1)
+				hits.Add(1)
+			}
+		})
+		if hits.Load() != int64(n) {
+			t.Fatalf("n=%d: %d calls", n, hits.Load())
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, c)
+			}
+		}
+	}
+}
+
+func TestParallelNested(t *testing.T) {
+	// A parallel section whose body runs another parallel section must
+	// complete without deadlock and cover both ranges fully.
+	var total atomic.Int64
+	Parallel(8, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			Parallel(16, func(l, h int) {
+				total.Add(int64(h - l))
+			})
+		}
+	})
+	if total.Load() != 8*16 {
+		t.Fatalf("nested coverage %d want %d", total.Load(), 8*16)
+	}
+}
+
+func TestSetWorkers(t *testing.T) {
+	old := SetWorkers(3)
+	defer SetWorkers(old)
+	if Workers() != 3 {
+		t.Fatalf("Workers() = %d want 3", Workers())
+	}
+	var n atomic.Int64
+	Parallel(10, func(lo, hi int) { n.Add(int64(hi - lo)) })
+	if n.Load() != 10 {
+		t.Fatalf("covered %d want 10", n.Load())
+	}
+	SetWorkers(0)
+	if Workers() < 1 {
+		t.Fatalf("SetWorkers(0) must restore a positive default, got %d", Workers())
+	}
+}
+
+func TestArenaReuseAndZeroing(t *testing.T) {
+	a := GetArena()
+	defer PutArena(a)
+	x := a.Floats(8)
+	for i := range x {
+		x[i] = 42
+	}
+	y := a.Tensor(2, 3)
+	if y.Dim(0) != 2 || y.Dim(1) != 3 {
+		t.Fatalf("arena tensor shape %v", y.Shape())
+	}
+	for _, v := range y.Data() {
+		if v != 0 {
+			t.Fatal("arena tensor not zeroed")
+		}
+	}
+	a.Reset()
+	z := a.Floats(8)
+	for _, v := range z {
+		if v != 0 {
+			t.Fatal("reused arena slice not re-zeroed")
+		}
+	}
+}
+
+func TestArenaGrowthKeepsOutstandingSlicesValid(t *testing.T) {
+	a := &Arena{}
+	first := a.Floats(4)
+	first[0] = 7
+	// Force growth well past the initial capacity; the early slice must
+	// keep its contents (growth may not realloc under outstanding slices).
+	for i := 0; i < 64; i++ {
+		s := a.Floats(1024)
+		s[0] = float64(i)
+	}
+	if first[0] != 7 {
+		t.Fatalf("outstanding arena slice clobbered: %v", first[0])
+	}
+}
+
+func TestMatMulIntoMatchesMatMul(t *testing.T) {
+	rng := NewRNG(5)
+	a := RandNormal(rng, 0, 1, 37, 23)
+	b := RandNormal(rng, 0, 1, 23, 41)
+	dst := New(37, 41)
+	dst.Fill(99) // Into must fully overwrite
+	MatMulInto(dst, a, b)
+	if !Equal(dst, MatMul(a, b), 0) {
+		t.Fatal("MatMulInto diverges from MatMul")
+	}
+	// Large enough to cross the parallel threshold.
+	a2 := RandNormal(rng, 0, 1, 130, 60)
+	b2 := RandNormal(rng, 0, 1, 60, 130)
+	got := MatMul(a2, b2)
+	want := New(130, 130)
+	for i := 0; i < 130; i++ {
+		for j := 0; j < 130; j++ {
+			s := 0.0
+			for p := 0; p < 60; p++ {
+				s += a2.At2(i, p) * b2.At2(p, j)
+			}
+			want.Set2(s, i, j)
+		}
+	}
+	if !Equal(got, want, 1e-12) {
+		t.Fatal("parallel MatMul numerically wrong")
+	}
+}

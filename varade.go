@@ -12,7 +12,7 @@
 //	ds, _ := varade.GenerateDataset(varade.SmallDatasetConfig())
 //	model, _ := varade.New(varade.EdgeConfig(86))
 //	_ = model.Fit(ds.Train)
-//	scores := varade.ScoreSeries(model, ds.Test)
+//	scores := varade.ScoreSeriesBatched(model, ds.Test)
 //	fmt.Println(varade.AUCROC(scores, ds.Labels))
 package varade
 
@@ -68,6 +68,17 @@ type Detector = detect.Detector
 // ScoreSeries slides a detector over a (T, C) series, returning one score
 // per time step.
 func ScoreSeries(d Detector, series *Tensor) []float64 { return detect.ScoreSeries(d, series) }
+
+// BatchScorer is implemented by detectors with a batched scoring path
+// (VARADE, AE, AR-LSTM and the residual ablation scorer).
+type BatchScorer = detect.BatchScorer
+
+// ScoreSeriesBatched scores a series through the batched parallel engine,
+// falling back to the per-window loop for detectors without a batched
+// path. Scores are identical to ScoreSeries.
+func ScoreSeriesBatched(d Detector, series *Tensor) []float64 {
+	return detect.ScoreSeriesBatched(d, series)
+}
 
 // Baselines (§3.3).
 
