@@ -3,23 +3,29 @@
 // (see cmd/varade-train and internal/stream); one "index,score,alert" line
 // is emitted per scored sample.
 //
-//	varade-detect -model model.vnn -channels 17 < stream.csv
-//	varade-detect -model model.vnn -channels 17 -addr 127.0.0.1:7777
+//	varade-detect -model model.vnn < stream.csv
+//	varade-detect -model model.vnn -addr 127.0.0.1:7777
+//
+// Models saved by current varade-train carry a config header, so the
+// architecture flags (-channels, -window, -maps, -kl) are only needed for
+// bare legacy weight files.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 
 	"varade"
+	"varade/internal/modelio"
 	"varade/internal/stream"
 )
 
 func main() {
 	modelPath := flag.String("model", "varade-model.vnn", "weights produced by varade-train")
-	channels := flag.Int("channels", 0, "stream channel count (required)")
+	channels := flag.Int("channels", 0, "stream channel count (required only for headerless weight files)")
 	window := flag.Int("window", 32, "context window T the model was trained with")
 	maps := flag.Int("maps", 16, "base feature maps the model was trained with")
 	kl := flag.Float64("kl", 0.1, "KL weight the model was trained with")
@@ -28,16 +34,31 @@ func main() {
 	batch := flag.Int("batch", 1, "micro-batch size for the batched scoring engine; 1 = per-sample latency, larger values trade emission latency for throughput when replaying recordings")
 	flag.Parse()
 
-	if *channels <= 0 {
-		log.Fatal("varade-detect: -channels is required")
-	}
-	cfg := varade.Config{Window: *window, Channels: *channels, BaseMaps: *maps, KLWeight: *kl, Seed: 1}
-	model, err := varade.New(cfg)
+	// Models saved with a config header are self-describing: the
+	// architecture (and channel count) comes from the file and the
+	// -window/-maps/-kl/-channels flags are not needed. Bare legacy weight
+	// files still load through the flag-described architecture.
+	var model *varade.Model
+	kind, err := modelio.SniffKind(*modelPath)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := model.Load(*modelPath); err != nil {
-		log.Fatal(err)
+	if kind != "" {
+		if model, err = varade.LoadModel(*modelPath); err != nil {
+			log.Fatal(err)
+		}
+		*channels = model.Config().Channels
+	} else {
+		if *channels <= 0 {
+			log.Fatal("varade-detect: -channels is required for headerless weight files")
+		}
+		cfg := varade.Config{Window: *window, Channels: *channels, BaseMaps: *maps, KLWeight: *kl, Seed: 1}
+		if model, err = varade.New(cfg); err != nil {
+			log.Fatal(err)
+		}
+		if err := model.Load(*modelPath); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	runner := varade.NewRunner(model, *channels)
@@ -50,7 +71,7 @@ func main() {
 	}
 
 	if *addr != "" {
-		if err := stream.DialAndScoreBatched(*addr, *channels, runner, *batch, emit); err != nil {
+		if err := stream.DialAndScoreBatched(context.Background(), *addr, *channels, runner, *batch, emit); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -70,7 +70,7 @@ func loadOrSimulate(path string, seconds float64, seed uint64, subset bool) (*va
 		cfg := varade.SmallDatasetConfig()
 		cfg.Sim.Seed = seed
 		cfg.TrainSeconds = seconds
-		cfg.TestSeconds = 1 // unused
+		cfg.TestSeconds = 30 // unused, but must fit the injected collision
 		cfg.Collisions = 1
 		ds, err := varade.GenerateDataset(cfg)
 		if err != nil {

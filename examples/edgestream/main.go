@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -38,7 +39,7 @@ func main() {
 
 	// Sensor gateway: stream the test run over TCP, one CSV line per
 	// sample (Fig. 2's MQTT-over-Ethernet link).
-	addr, stop, err := stream.ServeSeries("127.0.0.1:0", test)
+	addr, stop, err := stream.ServeSeries(context.Background(), "127.0.0.1:0", test)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func main() {
 	// Edge side: connect, assemble windows, score every arriving sample.
 	runner := varade.NewRunner(model, len(idx))
 	alerts, inEvent := 0, false
-	err = stream.DialAndScore(addr, len(idx), runner, func(s varade.StreamScore) {
+	err = stream.DialAndScore(context.Background(), addr, len(idx), runner, func(s varade.StreamScore) {
 		anomalous := s.Value > thr
 		if anomalous && !inEvent {
 			alerts++

@@ -1,0 +1,170 @@
+// Fleet: the production serving story end to end — train one VARADE
+// detector, register it, start the fleet server, and drive N simulated
+// robots against it concurrently. Each robot is an independent plant
+// (its own noise realisation and its own collisions) streaming over the
+// binary fleet framing; the server coalesces ready windows across all
+// sessions into batched forward passes and streams scores back. The run
+// ends with the server's metrics snapshot and the edge-board fleet
+// projection.
+//
+//	go run ./examples/fleet              # 8 robots
+//	go run ./examples/fleet -devices 64  # the acceptance-scale fleet
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"time"
+
+	"varade"
+	"varade/internal/edge"
+	"varade/internal/eval"
+	"varade/internal/robot"
+	"varade/internal/serve"
+	"varade/internal/stream"
+)
+
+func main() {
+	devices := flag.Int("devices", 8, "simulated robots to stream concurrently")
+	testSeconds := flag.Float64("seconds", 60, "per-device stream duration (simulated)")
+	flag.Parse()
+
+	// One shared training run: the detector and the normalisation learned
+	// at the line are pushed to every device session.
+	cfg := varade.SmallDatasetConfig()
+	cfg.TrainSeconds, cfg.TestSeconds, cfg.Collisions = 240, 30, 1 // test split unused; devices stream their own runs
+	ds, err := varade.GenerateDataset(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	idx := varade.InterestingChannels()
+	train := varade.SelectChannels(ds.Train, idx)
+
+	model, err := varade.New(varade.EdgeConfig(len(idx)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("training VARADE (%d params) on %d samples…\n", model.NumParams(), train.Dim(0))
+	if err := model.Fit(train); err != nil {
+		log.Fatal(err)
+	}
+	thr := eval.Quantile(varade.ScoreSeriesBatched(model, train), 0.97)
+
+	// Register and serve.
+	regDir, err := os.MkdirTemp("", "varade-fleet-registry-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(regDir)
+	reg, err := serve.OpenRegistry(regDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := reg.Register("varade", model); err != nil {
+		log.Fatal(err)
+	}
+	srv, err := serve.NewServer(serve.Config{Registry: reg, DefaultModel: "varade"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fleet server on %s; launching %d robots…\n\n", addr, *devices)
+
+	// Each robot: an independent simulation with its own collisions,
+	// normalised by the shared scaler, streamed through one session.
+	// Errors are collected, not fatal, so the server still drains and
+	// the temp registry is removed even when a device fails.
+	start := time.Now()
+	var wg sync.WaitGroup
+	type deviceStats struct {
+		scored, alerts, collisions int
+		err                        error
+	}
+	stats := make([]deviceStats, *devices)
+	for id := 0; id < *devices; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			stats[id].err = func() error {
+				simCfg := cfg.Sim
+				simCfg.NoiseSeed = uint64(5000 + 17*id)
+				sim, err := robot.NewSimulator(simCfg)
+				if err != nil {
+					return err
+				}
+				raw := sim.RunSeconds(*testSeconds)
+				events, _, err := robot.InjectCollisions(raw, simCfg.SampleRate, robot.DefaultCollisionConfig(3))
+				if err != nil {
+					return err
+				}
+				series := robot.SelectChannels(ds.Norm.Apply(raw), idx)
+
+				cl, err := serve.Dial(context.Background(), addr, "", len(idx))
+				if err != nil {
+					return err
+				}
+				defer cl.Close()
+				rows := make([][]float64, series.Dim(0))
+				for i := range rows {
+					rows[i] = series.Row(i).Data()
+				}
+				inEvent := false
+				err = cl.Run(context.Background(), rows, 32, func(sc stream.Score) {
+					stats[id].scored++
+					anomalous := sc.Value > thr
+					if anomalous && !inEvent {
+						stats[id].alerts++
+					}
+					inEvent = anomalous
+				})
+				stats[id].collisions = len(events)
+				return err
+			}()
+		}(id)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	failed := false
+	for id, st := range stats {
+		if st.err != nil {
+			failed = true
+			fmt.Printf("robot %2d: FAILED: %v\n", id, st.err)
+			continue
+		}
+		fmt.Printf("robot %2d: %5d samples scored, %2d alert bursts, %d true collisions\n",
+			id, st.scored, st.alerts, st.collisions)
+	}
+
+	m := srv.Metrics()
+	fmt.Printf("\nfleet drained in %.2fs: %d sessions, %d windows in %d batches (avg %.1f windows/batch)\n",
+		elapsed.Seconds(), m.TotalSessions, m.WindowsScored, m.Batches, m.AvgBatchSize)
+	fmt.Printf("throughput %.0f windows/s, %d sample drops, coalesce latency p50 %.2fms p99 %.2fms\n\n",
+		float64(m.WindowsScored)/elapsed.Seconds(), m.SamplesDropped, m.P50CoalesceMs, m.P99CoalesceMs)
+
+	// Project the measured serving throughput onto the paper's boards.
+	w := edge.Workload{Name: "VARADE", Kind: edge.KindNeural}
+	hostHz := float64(m.WindowsScored) / elapsed.Seconds()
+	reports := []edge.FleetReport{
+		edge.XavierNX().ProfileFleet(w, hostHz, *devices, ds.Rate),
+		edge.AGXOrin().ProfileFleet(w, hostHz, *devices, ds.Rate),
+	}
+	edge.WriteFleetTable(os.Stdout, reports)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Println("drain incomplete:", err)
+	}
+	if failed {
+		os.RemoveAll(regDir) // os.Exit skips the deferred cleanup
+		os.Exit(1)
+	}
+}

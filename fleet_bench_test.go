@@ -1,0 +1,175 @@
+package varade
+
+// Fleet-serving benchmarks: the scaling story of the serving subsystem.
+//
+//	BenchmarkFleetServe64      — 64 concurrent device sessions through the
+//	                             fleet server, windows coalesced across
+//	                             sessions into batched forward passes
+//	BenchmarkFleetPerDevice64  — the same 64 streams through 64 independent
+//	                             per-device runners (the scalar Push path),
+//	                             i.e. the aggregate a fleet of standalone
+//	                             processes achieves on the same cores
+//
+// Both report windows/s on identical work, so the ratio is the serving
+// layer's coalescing win. Run with:
+//
+//	go test -run='^$' -bench=Fleet -benchtime=1x
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"varade/internal/core"
+	"varade/internal/serve"
+	"varade/internal/stream"
+	"varade/internal/tensor"
+)
+
+const (
+	fleetSessions = 64
+	fleetSteps    = 72 // samples per device per iteration
+	fleetChannels = 17
+)
+
+// fleetModel returns the deterministic serving model: EdgeConfig
+// topology at its seeded initialisation (scoring cost is identical to a
+// trained model's).
+func fleetModel(b *testing.B) *core.Model {
+	b.Helper()
+	m, err := core.New(core.EdgeConfig(fleetChannels))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// fleetStreams builds one deterministic series per device.
+func fleetStreams(b *testing.B) []*tensor.Tensor {
+	b.Helper()
+	out := make([]*tensor.Tensor, fleetSessions)
+	for i := range out {
+		rng := tensor.NewRNG(uint64(1000 + i))
+		s := tensor.New(fleetSteps, fleetChannels)
+		d := s.Data()
+		for j := range d {
+			d[j] = rng.NormFloat64()
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func BenchmarkFleetServe64(b *testing.B) {
+	model := fleetModel(b)
+	streams := fleetStreams(b)
+	w := model.WindowSize()
+
+	reg, err := serve.OpenRegistry(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := reg.Register("varade", model); err != nil {
+		b.Fatal(err)
+	}
+	srv, err := serve.NewServer(serve.Config{
+		Registry:      reg,
+		DefaultModel:  "varade",
+		FlushInterval: time.Millisecond,
+		QueueDepth:    fleetSteps + 8, // score every window: same work as per-device
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+
+	// Steady-state serving: the 64 sessions dial once; each iteration
+	// replays every device's stream through its live session. Windows
+	// keep completing across iteration boundaries (the ring stays
+	// primed), so only the first iteration pays the w−1 warmup.
+	clients := make([]*serve.Client, fleetSessions)
+	for id := range clients {
+		cl, err := serve.Dial(context.Background(), addr, "", fleetChannels)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cl.Close()
+		clients[id] = cl
+	}
+	rows := make([][][]float64, fleetSessions)
+	for id := range rows {
+		rows[id] = make([][]float64, fleetSteps)
+		for r := range rows[id] {
+			rows[id][r] = streams[id].Row(r).Data()
+		}
+	}
+
+	totalWindows := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		expect := fleetSteps
+		if i == 0 {
+			expect = fleetSteps - w + 1
+		}
+		totalWindows += fleetSessions * expect
+		var wg sync.WaitGroup
+		for id := 0; id < fleetSessions; id++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				cl := clients[id]
+				if err := cl.Send(rows[id]); err != nil {
+					b.Error(err)
+					return
+				}
+				for got := 0; got < expect; {
+					scores, err := cl.ReadScores()
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					got += len(scores)
+				}
+			}(id)
+		}
+		wg.Wait()
+	}
+	b.StopTimer()
+	windowsPerSec := float64(totalWindows) / b.Elapsed().Seconds()
+	b.ReportMetric(windowsPerSec, "windows/s")
+	m := srv.Metrics()
+	b.ReportMetric(m.AvgBatchSize, "windows/batch")
+	for _, cl := range clients {
+		cl.Bye()
+	}
+}
+
+func BenchmarkFleetPerDevice64(b *testing.B) {
+	model := fleetModel(b)
+	streams := fleetStreams(b)
+	w := model.WindowSize()
+
+	windowsPerIter := fleetSessions * (fleetSteps - w + 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for id := 0; id < fleetSessions; id++ {
+			r := stream.NewRunner(model, fleetChannels)
+			n := 0
+			for row := 0; row < fleetSteps; row++ {
+				if _, ok := r.Push(streams[id].Row(row).Data()); ok {
+					n++
+				}
+			}
+			if n != fleetSteps-w+1 {
+				b.Fatalf("runner %d: %d scores want %d", id, n, fleetSteps-w+1)
+			}
+		}
+	}
+	b.StopTimer()
+	windowsPerSec := float64(windowsPerIter*b.N) / b.Elapsed().Seconds()
+	b.ReportMetric(windowsPerSec, "windows/s")
+}

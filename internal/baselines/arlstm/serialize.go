@@ -1,0 +1,30 @@
+package arlstm
+
+import (
+	"varade/internal/modelio"
+	"varade/internal/nn"
+)
+
+// Save writes the forecaster to path in the self-describing container
+// format: a header carrying the Config, then the network weights.
+func (m *Model) Save(path string) error {
+	return nn.SaveModelFile(path, modelio.KindARLSTM, m.cfg, m.Params())
+}
+
+// LoadModel reads a container file written by Save and reconstructs the
+// forecaster from its embedded Config.
+func LoadModel(path string) (*Model, error) {
+	var cfg Config
+	var m *Model
+	err := nn.LoadModelFile(path, modelio.KindARLSTM, &cfg, func() ([]*nn.Param, error) {
+		var err error
+		if m, err = New(cfg); err != nil {
+			return nil, err
+		}
+		return m.Params(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,163 @@
+package gbrf
+
+import (
+	"fmt"
+	"io"
+
+	"varade/internal/modelio"
+)
+
+// maxTreesPerForest bounds the per-forest tree count read from disk so
+// a corrupt file fails as a parse error rather than a huge allocation.
+const maxTreesPerForest = 1 << 20
+
+// Save writes the fitted forest ensemble to path in the self-describing
+// container format: a header carrying the Config, then per-channel
+// forests with their trees flattened column-wise.
+func (m *Model) Save(path string) error {
+	if m.forests == nil {
+		return fmt.Errorf("gbrf: Save before Fit")
+	}
+	return modelio.SaveFile(path, modelio.KindGBRF, m.cfg, func(w io.Writer) error {
+		if err := modelio.WriteU32(w, uint32(len(m.forests))); err != nil {
+			return err
+		}
+		for _, fst := range m.forests {
+			if err := writeForest(w, fst); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// LoadModel reads a container file written by Save and reconstructs the
+// fitted detector from its embedded Config and tree payload.
+func LoadModel(path string) (*Model, error) {
+	var cfg Config
+	var m *Model
+	err := modelio.LoadFile(path, modelio.KindGBRF, &cfg, func(r io.Reader) error {
+		var err error
+		if m, err = New(cfg); err != nil {
+			return err
+		}
+		nf, err := modelio.ReadU32(r)
+		if err != nil {
+			return err
+		}
+		if int(nf) != cfg.Channels {
+			return fmt.Errorf("gbrf: %s holds %d forests for %d channels", path, nf, cfg.Channels)
+		}
+		m.forests = make([]*Forest, nf)
+		for i := range m.forests {
+			if m.forests[i], err = readForest(r); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func writeForest(w io.Writer, f *Forest) error {
+	if err := modelio.WriteF64(w, f.base); err != nil {
+		return err
+	}
+	if err := modelio.WriteF64(w, f.lr); err != nil {
+		return err
+	}
+	if err := modelio.WriteU32(w, uint32(len(f.trees))); err != nil {
+		return err
+	}
+	for _, t := range f.trees {
+		if err := writeTree(w, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readForest(r io.Reader) (*Forest, error) {
+	f := &Forest{}
+	var err error
+	if f.base, err = modelio.ReadF64(r); err != nil {
+		return nil, err
+	}
+	if f.lr, err = modelio.ReadF64(r); err != nil {
+		return nil, err
+	}
+	nt, err := modelio.ReadU32(r)
+	if err != nil {
+		return nil, err
+	}
+	if nt > maxTreesPerForest {
+		return nil, fmt.Errorf("gbrf: forest tree count %d exceeds cap", nt)
+	}
+	f.trees = make([]*Tree, nt)
+	for i := range f.trees {
+		if f.trees[i], err = readTree(r); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// writeTree flattens the node slice column-wise: one int/float slice per
+// field, all of equal length.
+func writeTree(w io.Writer, t *Tree) error {
+	n := len(t.nodes)
+	feats, lefts, rights := make([]int, n), make([]int, n), make([]int, n)
+	thrs, vals := make([]float64, n), make([]float64, n)
+	for i, nd := range t.nodes {
+		feats[i], lefts[i], rights[i] = nd.feature, nd.left, nd.right
+		thrs[i], vals[i] = nd.threshold, nd.value
+	}
+	if err := modelio.WriteI32Slice(w, feats); err != nil {
+		return err
+	}
+	if err := modelio.WriteF64Slice(w, thrs); err != nil {
+		return err
+	}
+	if err := modelio.WriteI32Slice(w, lefts); err != nil {
+		return err
+	}
+	if err := modelio.WriteI32Slice(w, rights); err != nil {
+		return err
+	}
+	return modelio.WriteF64Slice(w, vals)
+}
+
+func readTree(r io.Reader) (*Tree, error) {
+	feats, err := modelio.ReadI32Slice(r)
+	if err != nil {
+		return nil, err
+	}
+	thrs, err := modelio.ReadF64Slice(r)
+	if err != nil {
+		return nil, err
+	}
+	lefts, err := modelio.ReadI32Slice(r)
+	if err != nil {
+		return nil, err
+	}
+	rights, err := modelio.ReadI32Slice(r)
+	if err != nil {
+		return nil, err
+	}
+	vals, err := modelio.ReadF64Slice(r)
+	if err != nil {
+		return nil, err
+	}
+	n := len(feats)
+	if len(thrs) != n || len(lefts) != n || len(rights) != n || len(vals) != n {
+		return nil, fmt.Errorf("gbrf: inconsistent tree column lengths")
+	}
+	t := &Tree{nodes: make([]node, n)}
+	for i := range t.nodes {
+		t.nodes[i] = node{feature: feats[i], threshold: thrs[i], left: lefts[i], right: rights[i], value: vals[i]}
+	}
+	return t, nil
+}

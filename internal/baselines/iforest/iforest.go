@@ -74,6 +74,9 @@ func (m *Model) Name() string { return "Isolation Forest" }
 // WindowSize implements detect.Detector: the forest scores single points.
 func (m *Model) WindowSize() int { return 1 }
 
+// Channels returns the fitted stream width (0 before Fit).
+func (m *Model) Channels() int { return m.dim }
+
 // avgPathLength is c(n), the average path length of unsuccessful searches
 // in a binary search tree of n nodes (Eq. 1 of [15]).
 func avgPathLength(n int) float64 {

@@ -1,0 +1,134 @@
+package iforest
+
+import (
+	"fmt"
+	"io"
+
+	"varade/internal/modelio"
+)
+
+// Save writes the fitted forest to path in the self-describing container
+// format: a header carrying the Config, then the calibration scalars and
+// every isolation tree flattened column-wise.
+func (m *Model) Save(path string) error {
+	if m.trees == nil {
+		return fmt.Errorf("iforest: Save before Fit")
+	}
+	return modelio.SaveFile(path, modelio.KindIForest, m.cfg, func(w io.Writer) error {
+		if err := modelio.WriteF64(w, m.c); err != nil {
+			return err
+		}
+		if err := modelio.WriteF64(w, m.threshold); err != nil {
+			return err
+		}
+		if err := modelio.WriteU32(w, uint32(m.dim)); err != nil {
+			return err
+		}
+		if err := modelio.WriteU32(w, uint32(len(m.trees))); err != nil {
+			return err
+		}
+		for i := range m.trees {
+			if err := writeIsoTree(w, &m.trees[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// LoadModel reads a container file written by Save and reconstructs the
+// fitted detector from its embedded Config and tree payload.
+func LoadModel(path string) (*Model, error) {
+	var cfg Config
+	var m *Model
+	err := modelio.LoadFile(path, modelio.KindIForest, &cfg, func(r io.Reader) error {
+		var err error
+		if m, err = New(cfg); err != nil {
+			return err
+		}
+		if m.c, err = modelio.ReadF64(r); err != nil {
+			return err
+		}
+		if m.threshold, err = modelio.ReadF64(r); err != nil {
+			return err
+		}
+		dim, err := modelio.ReadU32(r)
+		if err != nil {
+			return err
+		}
+		m.dim = int(dim)
+		nt, err := modelio.ReadU32(r)
+		if err != nil {
+			return err
+		}
+		if int(nt) != cfg.Trees {
+			return fmt.Errorf("iforest: %s holds %d trees for an ensemble of %d", path, nt, cfg.Trees)
+		}
+		m.trees = make([]tree, nt)
+		for i := range m.trees {
+			if err := readIsoTree(r, &m.trees[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func writeIsoTree(w io.Writer, t *tree) error {
+	n := len(t.nodes)
+	feats, lefts, rights, sizes := make([]int, n), make([]int, n), make([]int, n), make([]int, n)
+	thrs := make([]float64, n)
+	for i, nd := range t.nodes {
+		feats[i], lefts[i], rights[i], sizes[i] = nd.feature, nd.left, nd.right, nd.size
+		thrs[i] = nd.threshold
+	}
+	if err := modelio.WriteI32Slice(w, feats); err != nil {
+		return err
+	}
+	if err := modelio.WriteF64Slice(w, thrs); err != nil {
+		return err
+	}
+	if err := modelio.WriteI32Slice(w, lefts); err != nil {
+		return err
+	}
+	if err := modelio.WriteI32Slice(w, rights); err != nil {
+		return err
+	}
+	return modelio.WriteI32Slice(w, sizes)
+}
+
+func readIsoTree(r io.Reader, t *tree) error {
+	feats, err := modelio.ReadI32Slice(r)
+	if err != nil {
+		return err
+	}
+	thrs, err := modelio.ReadF64Slice(r)
+	if err != nil {
+		return err
+	}
+	lefts, err := modelio.ReadI32Slice(r)
+	if err != nil {
+		return err
+	}
+	rights, err := modelio.ReadI32Slice(r)
+	if err != nil {
+		return err
+	}
+	sizes, err := modelio.ReadI32Slice(r)
+	if err != nil {
+		return err
+	}
+	n := len(feats)
+	if len(thrs) != n || len(lefts) != n || len(rights) != n || len(sizes) != n {
+		return fmt.Errorf("iforest: inconsistent tree column lengths")
+	}
+	t.nodes = make([]node, n)
+	for i := range t.nodes {
+		t.nodes[i] = node{feature: feats[i], threshold: thrs[i], left: lefts[i], right: rights[i], size: sizes[i]}
+	}
+	return nil
+}

@@ -73,6 +73,9 @@ func (m *Model) Name() string { return "kNN" }
 // WindowSize implements detect.Detector: kNN scores single points.
 func (m *Model) WindowSize() int { return 1 }
 
+// Channels returns the fitted stream width (0 before Fit).
+func (m *Model) Channels() int { return m.dim }
+
 // Fit stores (a subsample of) the training points.
 func (m *Model) Fit(series *tensor.Tensor) error {
 	if series.Dims() != 2 {

@@ -1,0 +1,63 @@
+package knn
+
+import (
+	"fmt"
+	"io"
+
+	"varade/internal/modelio"
+)
+
+// Save writes the fitted detector to path in the self-describing
+// container format: a header carrying the Config, then the retained
+// training points. The KD-tree, when enabled, is rebuilt on load rather
+// than persisted — construction is deterministic from the points.
+func (m *Model) Save(path string) error {
+	if m.data == nil {
+		return fmt.Errorf("knn: Save before Fit")
+	}
+	return modelio.SaveFile(path, modelio.KindKNN, m.cfg, func(w io.Writer) error {
+		if err := modelio.WriteU32(w, uint32(m.dim)); err != nil {
+			return err
+		}
+		if err := modelio.WriteU32(w, uint32(m.n)); err != nil {
+			return err
+		}
+		return modelio.WriteF64Slice(w, m.data)
+	})
+}
+
+// LoadModel reads a container file written by Save and reconstructs the
+// fitted detector, rebuilding the KD-tree when the config asks for one.
+func LoadModel(path string) (*Model, error) {
+	var cfg Config
+	var m *Model
+	err := modelio.LoadFile(path, modelio.KindKNN, &cfg, func(r io.Reader) error {
+		var err error
+		if m, err = New(cfg); err != nil {
+			return err
+		}
+		dim, err := modelio.ReadU32(r)
+		if err != nil {
+			return err
+		}
+		n, err := modelio.ReadU32(r)
+		if err != nil {
+			return err
+		}
+		m.dim, m.n = int(dim), int(n)
+		if m.data, err = modelio.ReadF64Slice(r); err != nil {
+			return err
+		}
+		if len(m.data) != m.n*m.dim {
+			return fmt.Errorf("knn: %s has %d values for %d×%d points", path, len(m.data), m.n, m.dim)
+		}
+		if m.cfg.Backend == KDTree {
+			m.tree = buildKDTree(m.data, m.n, m.dim)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,12 +1,15 @@
 package core
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 	"math"
+	"os"
 	"strings"
 
 	"varade/internal/detect"
+	"varade/internal/modelio"
 	"varade/internal/nn"
 	"varade/internal/tensor"
 )
@@ -187,8 +190,64 @@ func (m *Model) Summary(w io.Writer) {
 		fmt.Sprintf("(2, %d)", m.cfg.Channels), (2*last)*(2*m.cfg.Channels)+2*m.cfg.Channels)
 }
 
-// Save writes the model weights to path.
-func (m *Model) Save(path string) error { return nn.SaveFile(path, m.Params()) }
+// Save writes the model to path in the self-describing container format:
+// a versioned header carrying the architecture Config, then the weights.
+// Files written by Save reload with LoadModel without any architecture
+// flags.
+func (m *Model) Save(path string) error {
+	return nn.SaveModelFile(path, modelio.KindVARADE, m.cfg, m.Params())
+}
 
-// Load reads weights from path into the model (architecture must match).
-func (m *Model) Load(path string) error { return nn.LoadFile(path, m.Params()) }
+// Load reads weights from path into the model. Files written by Save
+// carry a config header, validated against this model's architecture;
+// bare legacy weight files (pre-header, magic "VNN1") still load
+// positionally as before.
+func (m *Model) Load(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	head, err := br.Peek(len(modelio.Magic))
+	if err != nil {
+		return fmt.Errorf("core: reading %s: %w", path, err)
+	}
+	if string(head) == modelio.Magic {
+		kind, cfgJSON, err := modelio.ReadHeader(br)
+		if err != nil {
+			return err
+		}
+		if kind != modelio.KindVARADE {
+			return fmt.Errorf("core: %s holds a %q model, not VARADE", path, kind)
+		}
+		var cfg Config
+		if err := modelio.Unmarshal(cfgJSON, &cfg); err != nil {
+			return err
+		}
+		if cfg.Window != m.cfg.Window || cfg.Channels != m.cfg.Channels || cfg.BaseMaps != m.cfg.BaseMaps {
+			return fmt.Errorf("core: %s was trained as T=%d C=%d maps=%d, model is T=%d C=%d maps=%d",
+				path, cfg.Window, cfg.Channels, cfg.BaseMaps, m.cfg.Window, m.cfg.Channels, m.cfg.BaseMaps)
+		}
+	}
+	return nn.LoadParams(br, m.Params())
+}
+
+// LoadModel reads a container file written by Save and reconstructs the
+// model from its embedded Config — the registry/serving path, where no
+// architecture flags are available.
+func LoadModel(path string) (*Model, error) {
+	var cfg Config
+	var m *Model
+	err := nn.LoadModelFile(path, modelio.KindVARADE, &cfg, func() ([]*nn.Param, error) {
+		var err error
+		if m, err = New(cfg); err != nil {
+			return nil, err
+		}
+		return m.Params(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}

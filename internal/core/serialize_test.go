@@ -1,0 +1,103 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+
+	"varade/internal/nn"
+	"varade/internal/tensor"
+)
+
+func probeWindow(cfg Config, seed uint64) *tensor.Tensor {
+	rng := tensor.NewRNG(seed)
+	w := tensor.New(cfg.Window, cfg.Channels)
+	d := w.Data()
+	for i := range d {
+		d[i] = rng.NormFloat64()
+	}
+	return w
+}
+
+// TestSaveLoadRoundTripWithHeader saves a model in the self-describing
+// format and reloads it two ways: into a matching architecture via Load,
+// and from scratch via LoadModel (no flags). Both must score
+// bit-identically.
+func TestSaveLoadRoundTripWithHeader(t *testing.T) {
+	cfg := Config{Window: 16, Channels: 3, BaseMaps: 4, KLWeight: 0.2, Seed: 9}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.vmf")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	win := probeWindow(cfg, 1)
+	want := m.Score(win)
+
+	same, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := same.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	if got := same.Score(win); got != want {
+		t.Fatalf("Load score %g want %g", got, want)
+	}
+
+	auto, err := LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.Config() != cfg {
+		t.Fatalf("LoadModel config %+v want %+v", auto.Config(), cfg)
+	}
+	if got := auto.Score(win); got != want {
+		t.Fatalf("LoadModel score %g want %g", got, want)
+	}
+}
+
+// TestLoadRejectsArchitectureMismatch: the config header must catch a
+// wrong architecture instead of the old positional-shape error deep in
+// the weight reader.
+func TestLoadRejectsArchitectureMismatch(t *testing.T) {
+	m, _ := New(Config{Window: 16, Channels: 3, BaseMaps: 4, KLWeight: 0.1, Seed: 1})
+	path := filepath.Join(t.TempDir(), "model.vmf")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	other, _ := New(Config{Window: 8, Channels: 3, BaseMaps: 4, KLWeight: 0.1, Seed: 1})
+	if err := other.Load(path); err == nil {
+		t.Fatal("expected architecture-mismatch error")
+	}
+}
+
+// TestLoadLegacyBareWeights: files written before the container existed
+// (bare VNN1 payload) must keep loading into a flag-described model.
+func TestLoadLegacyBareWeights(t *testing.T) {
+	cfg := Config{Window: 8, Channels: 2, BaseMaps: 4, KLWeight: 0.1, Seed: 5}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "legacy.vnn")
+	if err := nn.SaveFile(path, m.Params()); err != nil { // the pre-header writer
+		t.Fatal(err)
+	}
+	loaded, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	win := probeWindow(cfg, 2)
+	if got, want := loaded.Score(win), m.Score(win); got != want {
+		t.Fatalf("legacy load score %g want %g", got, want)
+	}
+	// LoadModel, by contrast, needs the header.
+	if _, err := LoadModel(path); err == nil {
+		t.Fatal("LoadModel accepted a headerless file")
+	}
+}

@@ -7,6 +7,29 @@ import (
 	"varade/internal/tensor"
 )
 
+// TestProfileFleetScaling sanity-checks the fleet projection: capacity
+// comes from the measured host throughput rescaled per board, demand
+// scales with the fleet, and the stronger board hosts more devices.
+func TestProfileFleetScaling(t *testing.T) {
+	w := Workload{Name: "VARADE", Kind: KindNeural}
+	const hostHz, sampleHz = 150000.0, 10.0
+	nx := XavierNX().ProfileFleet(w, hostHz, 64, sampleHz)
+	orin := AGXOrin().ProfileFleet(w, hostHz, 64, sampleHz)
+	if nx.AggregateHz <= 0 || orin.AggregateHz <= nx.AggregateHz {
+		t.Fatalf("aggregate ordering: NX %.0f, Orin %.0f", nx.AggregateHz, orin.AggregateHz)
+	}
+	if orin.MaxSessions <= nx.MaxSessions || nx.MaxSessions < 64 {
+		t.Fatalf("max sessions: NX %d, Orin %d", nx.MaxSessions, orin.MaxSessions)
+	}
+	big := XavierNX().ProfileFleet(w, hostHz, 128, sampleHz)
+	if big.Utilization <= nx.Utilization {
+		t.Fatalf("doubling the fleet did not raise utilisation: %.4f vs %.4f", big.Utilization, nx.Utilization)
+	}
+	if nx.PowerW <= XavierNX().IdlePowerW {
+		t.Fatalf("loaded power %.2f not above idle", nx.PowerW)
+	}
+}
+
 func neuralWorkload(sec float64) Workload {
 	return Workload{Name: "net", Kind: KindNeural, HostSecPerInf: sec,
 		ModelBytes: 40e6, WorkingSetBytes: 5e6, AUCROC: 0.84}

@@ -1,0 +1,83 @@
+package edge
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// FleetReport projects the fleet-serving workload onto one board: how
+// many device sessions a single board-hosted server sustains when
+// windows are coalesced across sessions into batched forward passes.
+type FleetReport struct {
+	Board    string
+	Model    string
+	Sessions int
+	// SampleHz is each device's stream rate (one window per sample once
+	// the ring is primed).
+	SampleHz float64
+	// AggregateHz is the coalesced windows/s the board sustains for this
+	// model.
+	AggregateHz float64
+	// Utilization is demanded/available throughput; above 1.0 the
+	// admission queues shed load.
+	Utilization float64
+	// MaxSessions is the largest fleet the board hosts at SampleHz
+	// without shedding.
+	MaxSessions int
+	PowerW      float64
+}
+
+// ProfileFleet maps a serving throughput measured on the benchmarking
+// host (hostWindowsPerSec, e.g. from BenchmarkFleetServe) onto this
+// board for a fleet of sessions devices each streaming at sampleHz.
+// The board rescales the host throughput with the same CPU/GPU placement
+// blend as Profile; power interpolates from idle to the fully-busy draw
+// with utilisation.
+func (p Platform) ProfileFleet(w Workload, hostWindowsPerSec float64, sessions int, sampleHz float64) FleetReport {
+	gpuFrac := p.gpuFraction(w)
+	aggregate := 0.0
+	if hostWindowsPerSec > 0 {
+		// Host seconds per window → board seconds per window, splitting
+		// the work across CPU and GPU shares exactly as Profile does.
+		hostSec := 1 / hostWindowsPerSec
+		boardSec := hostSec*(1-gpuFrac)/p.CPUSpeed + hostSec*gpuFrac/p.GPUSpeed
+		aggregate = 1 / boardSec
+	}
+
+	util, maxSessions := 0.0, 0
+	if aggregate > 0 {
+		util = float64(sessions) * sampleHz / aggregate
+		if sampleHz > 0 {
+			maxSessions = int(aggregate / sampleHz)
+		}
+	}
+	busy := p.cpuCoresBusy(w, gpuFrac)
+	scale := util
+	if scale > 1 {
+		scale = 1
+	}
+	power := p.IdlePowerW + scale*(busy*p.WattsPerCore+gpuFrac*p.WattsGPU)
+
+	return FleetReport{
+		Board:       p.Name,
+		Model:       w.Name,
+		Sessions:    sessions,
+		SampleHz:    sampleHz,
+		AggregateHz: aggregate,
+		Utilization: util,
+		MaxSessions: maxSessions,
+		PowerW:      power,
+	}
+}
+
+// WriteFleetTable renders fleet projections, one row per board.
+func WriteFleetTable(w io.Writer, rows []FleetReport) {
+	fmt.Fprintf(w, "%-18s %-10s %9s %10s %13s %8s %12s %9s\n",
+		"Board", "Model", "Sessions", "Sample Hz", "Aggregate Hz", "Util %", "Max devices", "Power W")
+	fmt.Fprintln(w, strings.Repeat("-", 96))
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-18s %-10s %9d %10.1f %13.0f %8.1f %12d %9.2f\n",
+			r.Board, r.Model, r.Sessions, r.SampleHz, r.AggregateHz, 100*r.Utilization, r.MaxSessions, r.PowerW)
+	}
+}

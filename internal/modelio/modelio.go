@@ -1,0 +1,295 @@
+// Package modelio defines the on-disk container for persisted detectors:
+// a small versioned header naming the detector kind and carrying its
+// configuration as JSON, followed by a kind-specific payload (network
+// weights, tree ensembles, training points). The header makes a model
+// file self-describing — the loader reconstructs the exact architecture
+// without the caller re-specifying flags — while each detector package
+// stays the owner of its payload encoding.
+//
+// Container layout (little-endian):
+//
+//	magic "VMF1" | u32 kindLen | kind | u32 cfgLen | config JSON | payload…
+//
+// Files written before the container existed hold a bare nn payload
+// (magic "VNN1"); readers sniff the magic and fall back, so old weight
+// files keep loading.
+package modelio
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Magic opens every container file.
+const Magic = "VMF1"
+
+// Detector kind identifiers stored in the container header.
+const (
+	KindVARADE  = "varade"
+	KindAE      = "ae"
+	KindARLSTM  = "arlstm"
+	KindGBRF    = "gbrf"
+	KindIForest = "iforest"
+	KindKNN     = "knn"
+)
+
+const (
+	maxHeaderField = 1 << 20 // sanity cap on kind/config lengths
+	// maxSliceElems bounds length-prefixed payload slices (~1 GB of
+	// float64) so a corrupt count field fails as a parse error instead
+	// of a multi-gigabyte allocation.
+	maxSliceElems = 1 << 27
+)
+
+// WriteHeader writes the container header: magic, kind, and cfg
+// serialised as JSON.
+func WriteHeader(w io.Writer, kind string, cfg any) error {
+	blob, err := json.Marshal(cfg)
+	if err != nil {
+		return fmt.Errorf("modelio: encoding config: %w", err)
+	}
+	if _, err := io.WriteString(w, Magic); err != nil {
+		return err
+	}
+	if err := WriteString(w, kind); err != nil {
+		return err
+	}
+	return WriteBytes(w, blob)
+}
+
+// ReadHeader reads a container header and returns the detector kind and
+// raw config JSON. The reader is left positioned at the payload.
+func ReadHeader(r io.Reader) (kind string, cfgJSON []byte, err error) {
+	head := make([]byte, len(Magic))
+	if _, err := io.ReadFull(r, head); err != nil {
+		return "", nil, fmt.Errorf("modelio: reading magic: %w", err)
+	}
+	if string(head) != Magic {
+		return "", nil, fmt.Errorf("modelio: bad magic %q, want %q", head, Magic)
+	}
+	if kind, err = ReadString(r); err != nil {
+		return "", nil, fmt.Errorf("modelio: reading kind: %w", err)
+	}
+	if cfgJSON, err = ReadBytes(r); err != nil {
+		return "", nil, fmt.Errorf("modelio: reading config: %w", err)
+	}
+	return kind, cfgJSON, nil
+}
+
+// SaveFile writes a complete container to path: the header (kind + cfg)
+// followed by whatever payload writes. It is the shared save framing for
+// every detector serializer; payload receives a buffered writer that is
+// flushed and the file closed before SaveFile returns.
+func SaveFile(path, kind string, cfg any, payload func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := WriteHeader(bw, kind, cfg); err != nil {
+		f.Close()
+		return err
+	}
+	if err := payload(bw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile opens a container, verifies the kind, decodes the config
+// header into cfg, and hands the reader — positioned at the payload —
+// to payload. It is the shared load framing for every detector
+// serializer.
+func LoadFile(path, kind string, cfg any, payload func(io.Reader) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	gotKind, cfgJSON, err := ReadHeader(br)
+	if err != nil {
+		return err
+	}
+	if gotKind != kind {
+		return fmt.Errorf("modelio: %s holds a %q model, want %q", path, gotKind, kind)
+	}
+	if err := Unmarshal(cfgJSON, cfg); err != nil {
+		return err
+	}
+	return payload(br)
+}
+
+// SniffKind opens path and returns the detector kind from its header
+// without reading the payload. Bare legacy weight files (magic "VNN1")
+// report kind "" with a nil error.
+func SniffKind(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	head, err := br.Peek(len(Magic))
+	if err != nil {
+		return "", fmt.Errorf("modelio: %s: %w", path, err)
+	}
+	if string(head) != Magic {
+		return "", nil
+	}
+	kind, _, err := ReadHeader(br)
+	return kind, err
+}
+
+// Unmarshal decodes header config JSON into cfg, rejecting unknown fields
+// so config drift between writer and reader surfaces as an error.
+func Unmarshal(cfgJSON []byte, cfg any) error {
+	dec := json.NewDecoder(bytes.NewReader(cfgJSON))
+	dec.DisallowUnknownFields()
+	return dec.Decode(cfg)
+}
+
+// Binary payload helpers, shared by the detector serialisers.
+
+// WriteU32 writes one little-endian uint32.
+func WriteU32(w io.Writer, v uint32) error {
+	return binary.Write(w, binary.LittleEndian, v)
+}
+
+// ReadU32 reads one little-endian uint32.
+func ReadU32(r io.Reader) (uint32, error) {
+	var v uint32
+	err := binary.Read(r, binary.LittleEndian, &v)
+	return v, err
+}
+
+// WriteString writes a length-prefixed string.
+func WriteString(w io.Writer, s string) error {
+	if err := WriteU32(w, uint32(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+// ReadString reads a length-prefixed string.
+func ReadString(r io.Reader) (string, error) {
+	b, err := ReadBytes(r)
+	return string(b), err
+}
+
+// WriteBytes writes a length-prefixed byte slice.
+func WriteBytes(w io.Writer, b []byte) error {
+	if err := WriteU32(w, uint32(len(b))); err != nil {
+		return err
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+// ReadBytes reads a length-prefixed byte slice.
+func ReadBytes(r io.Reader) ([]byte, error) {
+	n, err := ReadU32(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxHeaderField {
+		return nil, fmt.Errorf("modelio: field length %d exceeds cap", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// WriteF64Slice writes a length-prefixed []float64.
+func WriteF64Slice(w io.Writer, xs []float64) error {
+	if err := WriteU32(w, uint32(len(xs))); err != nil {
+		return err
+	}
+	buf := make([]byte, 8)
+	for _, v := range xs {
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadF64Slice reads a length-prefixed []float64.
+func ReadF64Slice(r io.Reader) ([]float64, error) {
+	n, err := ReadU32(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxSliceElems {
+		return nil, fmt.Errorf("modelio: slice length %d exceeds cap", n)
+	}
+	xs := make([]float64, n)
+	buf := make([]byte, 8)
+	for i := range xs {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		xs[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+	}
+	return xs, nil
+}
+
+// WriteI32Slice writes a length-prefixed []int32 rendered from ints.
+func WriteI32Slice(w io.Writer, xs []int) error {
+	if err := WriteU32(w, uint32(len(xs))); err != nil {
+		return err
+	}
+	for _, v := range xs {
+		if err := binary.Write(w, binary.LittleEndian, int32(v)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadI32Slice reads a length-prefixed []int32 back into ints.
+func ReadI32Slice(r io.Reader) ([]int, error) {
+	n, err := ReadU32(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxSliceElems {
+		return nil, fmt.Errorf("modelio: slice length %d exceeds cap", n)
+	}
+	xs := make([]int, n)
+	for i := range xs {
+		var v int32
+		if err := binary.Read(r, binary.LittleEndian, &v); err != nil {
+			return nil, err
+		}
+		xs[i] = int(v)
+	}
+	return xs, nil
+}
+
+// WriteF64 writes one little-endian float64.
+func WriteF64(w io.Writer, v float64) error {
+	return binary.Write(w, binary.LittleEndian, v)
+}
+
+// ReadF64 reads one little-endian float64.
+func ReadF64(r io.Reader) (float64, error) {
+	var v float64
+	err := binary.Read(r, binary.LittleEndian, &v)
+	return v, err
+}

@@ -7,6 +7,8 @@ import (
 	"io"
 	"math"
 	"os"
+
+	"varade/internal/modelio"
 )
 
 // Serialization format (little-endian):
@@ -112,6 +114,30 @@ func LoadParams(r io.Reader, params []*Param) error {
 		}
 	}
 	return nil
+}
+
+// SaveModelFile writes a self-describing model container: the modelio
+// header (kind + config JSON) followed by the parameter payload. It is
+// the shared save path for every nn-backed detector.
+func SaveModelFile(path, kind string, cfg any, params []*Param) error {
+	return modelio.SaveFile(path, kind, cfg, func(w io.Writer) error {
+		return SaveParams(w, params)
+	})
+}
+
+// LoadModelFile reads a container written by SaveModelFile: it checks
+// the kind, decodes the config header into cfg, calls build (which
+// constructs the model from the now-populated cfg and returns its
+// parameters) and fills those parameters from the payload — one open,
+// one header parse.
+func LoadModelFile(path, kind string, cfg any, build func() ([]*Param, error)) error {
+	return modelio.LoadFile(path, kind, cfg, func(r io.Reader) error {
+		params, err := build()
+		if err != nil {
+			return err
+		}
+		return LoadParams(r, params)
+	})
 }
 
 // SaveFile writes params to path, creating or truncating it.

@@ -1,0 +1,185 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+
+	"varade/internal/stream"
+)
+
+// Client is a device-side connection speaking the binary fleet protocol:
+// it ships sample batches to a server and reads back score batches.
+type Client struct {
+	conn    net.Conn
+	br      *bufio.Reader
+	bw      *bufio.Writer
+	welcome stream.Welcome
+}
+
+// Dial connects to a fleet server, performs the hello/welcome handshake
+// for the given model reference ("", "name" or "name@vN") and stream
+// width, and returns a ready client.
+func Dial(ctx context.Context, addr, model string, channels int) (*Client, error) {
+	name, version := "", 0
+	if model != "" {
+		var err error
+		if name, version, err = ParseModelRef(model); err != nil {
+			return nil, err
+		}
+	}
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
+	if _, err := c.bw.WriteString(stream.FrameMagic); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	hello := stream.Hello{Model: name, Version: version, Channels: channels}
+	if err := stream.WriteJSONFrame(c.bw, stream.FrameHello, hello); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	t, payload, err := stream.ReadFrame(c.br)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("serve: reading welcome: %w", err)
+	}
+	switch t {
+	case stream.FrameWelcome:
+		if err := json.Unmarshal(payload, &c.welcome); err != nil {
+			conn.Close()
+			return nil, err
+		}
+	case stream.FrameError:
+		conn.Close()
+		return nil, fmt.Errorf("serve: server refused session: %s", payload)
+	default:
+		conn.Close()
+		return nil, fmt.Errorf("serve: unexpected frame %d during handshake", t)
+	}
+	return c, nil
+}
+
+// Welcome returns the server's session parameters (resolved model,
+// window, channels).
+func (c *Client) Welcome() stream.Welcome { return c.welcome }
+
+// Send ships one batch of samples.
+func (c *Client) Send(samples [][]float64) error {
+	payload, err := stream.EncodeSamplesPayload(samples, c.welcome.Channels)
+	if err != nil {
+		return err
+	}
+	if err := stream.WriteFrame(c.bw, stream.FrameSamples, payload); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// Bye tells the server the stream has ended; the server flushes every
+// outstanding score and then closes the connection.
+func (c *Client) Bye() error {
+	if err := stream.WriteFrame(c.bw, stream.FrameBye, nil); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// ReadScores blocks for the next batch of scores. It returns io.EOF once
+// the server has flushed everything after Bye and closed the stream.
+func (c *Client) ReadScores() ([]stream.Score, error) {
+	for {
+		t, payload, err := stream.ReadFrame(c.br)
+		if err != nil {
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				err = io.EOF
+			}
+			return nil, err
+		}
+		switch t {
+		case stream.FrameScores:
+			return stream.DecodeScoresPayload(payload)
+		case stream.FrameError:
+			return nil, fmt.Errorf("serve: server error: %s", payload)
+		default:
+			// Skip unknown frames.
+		}
+	}
+}
+
+// Close tears the connection down.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Run streams all samples in batches of batch while concurrently
+// consuming scores, then sends Bye and drains the remaining scores —
+// the device loop in one call. Scores reach onScore in order, with the
+// server's shed-on-slow-reader contract: if onScore stalls long enough
+// for TCP backpressure to fill the session's outbound queue, the server
+// drops (and counts, in scores_dropped) rather than stalling the
+// fleet, so a stalling consumer can observe fewer scores than windows.
+func (c *Client) Run(ctx context.Context, samples [][]float64, batch int, onScore func(stream.Score)) error {
+	if batch < 1 {
+		batch = 1
+	}
+	// Unblock both directions if the context ends mid-stream.
+	stopWatch := make(chan struct{})
+	defer close(stopWatch)
+	go func() {
+		select {
+		case <-ctx.Done():
+			c.conn.Close()
+		case <-stopWatch:
+		}
+	}()
+
+	readErr := make(chan error, 1)
+	go func() {
+		for {
+			scores, err := c.ReadScores()
+			if err != nil {
+				if errors.Is(err, io.EOF) {
+					err = nil
+				}
+				readErr <- err
+				return
+			}
+			for _, sc := range scores {
+				onScore(sc)
+			}
+		}
+	}()
+
+	var sendErr error
+	for start := 0; start < len(samples); start += batch {
+		end := start + batch
+		if end > len(samples) {
+			end = len(samples)
+		}
+		if sendErr = c.Send(samples[start:end]); sendErr != nil {
+			break
+		}
+	}
+	if sendErr == nil {
+		sendErr = c.Bye()
+	}
+	err := <-readErr
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	if sendErr != nil {
+		return sendErr
+	}
+	return err
+}

@@ -1,0 +1,242 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"varade/internal/baselines/ae"
+	"varade/internal/baselines/arlstm"
+	"varade/internal/baselines/gbrf"
+	"varade/internal/baselines/iforest"
+	"varade/internal/baselines/knn"
+	"varade/internal/core"
+	"varade/internal/detect"
+	"varade/internal/stream"
+	"varade/internal/tensor"
+)
+
+// windowMeta routes one coalesced window's score back to its session.
+type windowMeta struct {
+	sess  *session
+	index int
+	ready time.Time
+}
+
+// modelGroup is the coalescing unit: every session scoring with the same
+// model shares one group, and the group's flusher turns all windows that
+// became ready across those sessions into a single ScoreBatch call per
+// tick. Latency is bounded by the flush interval; throughput comes from
+// the batched engine amortising the forward pass over the fleet.
+//
+// The pending buffer is double-buffered: sessions fill one (maxBatch, W,
+// C) tensor while the flusher scores the other, so the scoring pass never
+// blocks window assembly. When producers outrun the flusher and the fill
+// buffer tops out, session pumps wait on the group's condition variable —
+// backpressure that surfaces upstream as the per-session admission queue
+// (a stream.Bus) dropping its oldest samples.
+type modelGroup struct {
+	srv     *Server
+	name    string
+	version int  // concrete version currently loaded
+	pinned  bool // session asked for an explicit version: exempt from Reload
+	kind    string
+	w, c    int
+
+	maxBatch int
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	det       detect.Detector
+	bs        detect.BatchScorer // nil when det has no batched path
+	pending   *tensor.Tensor     // fill buffer, (maxBatch, w, c)
+	spare     *tensor.Tensor     // buffer handed to the scorer on flush
+	meta      []windowMeta
+	spareMeta []windowMeta
+	n         int
+	sessions  int
+	closed    bool
+
+	kick chan struct{}
+}
+
+func newModelGroup(srv *Server, name string, version int, pinned bool, kind string, det detect.Detector, channels int) *modelGroup {
+	w := det.WindowSize()
+	g := &modelGroup{
+		srv:      srv,
+		name:     name,
+		version:  version,
+		pinned:   pinned,
+		kind:     kind,
+		w:        w,
+		c:        channels,
+		maxBatch: srv.cfg.MaxBatch,
+		det:      det,
+		kick:     make(chan struct{}, 1),
+	}
+	g.bs, _ = det.(detect.BatchScorer)
+	g.cond = sync.NewCond(&g.mu)
+	g.pending = tensor.New(g.maxBatch, w, channels)
+	g.spare = tensor.New(g.maxBatch, w, channels)
+	g.meta = make([]windowMeta, g.maxBatch)
+	g.spareMeta = make([]windowMeta, g.maxBatch)
+	return g
+}
+
+// add enqueues one ready window (copied out of the session's ring
+// buffer) for the next coalesced batch. It blocks only when the fill
+// buffer is full and the flusher is still scoring the previous batch.
+func (g *modelGroup) add(sess *session, index int, buf *stream.WindowBuffer) {
+	g.mu.Lock()
+	for g.n == g.maxBatch && !g.closed {
+		g.kickNow()
+		g.cond.Wait()
+	}
+	if g.closed {
+		g.mu.Unlock()
+		// The server is past its drain point; account the window as
+		// emitted so the session can finish tearing down.
+		sess.scoreDone()
+		return
+	}
+	stride := g.w * g.c
+	buf.CopyWindowInto(g.pending.Data()[g.n*stride : (g.n+1)*stride])
+	g.meta[g.n] = windowMeta{sess: sess, index: index, ready: time.Now()}
+	g.n++
+	full := g.n == g.maxBatch
+	g.mu.Unlock()
+	if full {
+		g.kickNow()
+	}
+}
+
+// kickNow nudges the flusher without blocking.
+func (g *modelGroup) kickNow() {
+	select {
+	case g.kick <- struct{}{}:
+	default:
+	}
+}
+
+// run is the group's flusher loop: it drains the pending buffer whenever
+// it fills (kick) and at every flush-interval tick, bounding the
+// latency any ready window waits before scoring. On context cancellation
+// it performs one final drain so shutdown never strands windows.
+func (g *modelGroup) run(ctx context.Context) {
+	ticker := time.NewTicker(g.srv.cfg.FlushInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			g.flush()
+			g.mu.Lock()
+			g.closed = true
+			g.mu.Unlock()
+			g.cond.Broadcast()
+			return
+		case <-g.kick:
+			g.flush()
+		case <-ticker.C:
+			g.flush()
+		}
+	}
+}
+
+// flush swaps the double buffer and scores everything pending in one
+// batched call (or the per-window fallback for unbatched detectors),
+// then routes each score to its session. Scores are bit-identical to the
+// per-device path: the same windows go through the same ScoreBatch/Score
+// arithmetic, only the execution schedule changes.
+func (g *modelGroup) flush() {
+	g.mu.Lock()
+	n := g.n
+	if n == 0 {
+		g.mu.Unlock()
+		return
+	}
+	batch, meta := g.pending, g.meta
+	g.pending, g.spare = g.spare, g.pending
+	g.meta, g.spareMeta = g.spareMeta, g.meta
+	g.n = 0
+	det, bs := g.det, g.bs
+	g.mu.Unlock()
+	g.cond.Broadcast()
+
+	wins := batch.SliceRows(0, n)
+	var scores []float64
+	if bs != nil {
+		scores = bs.ScoreBatch(wins)
+	} else {
+		scores = make([]float64, n)
+		stride := g.w * g.c
+		wd := wins.Data()
+		for i := 0; i < n; i++ {
+			scores[i] = det.Score(tensor.FromSlice(wd[i*stride:(i+1)*stride], g.w, g.c))
+		}
+	}
+	now := time.Now()
+	for i := 0; i < n; i++ {
+		m := &meta[i]
+		g.srv.met.observeLatency(now.Sub(m.ready))
+		m.sess.emit(stream.Score{Index: m.index, Value: scores[i]})
+		m.sess = nil
+	}
+	g.srv.met.windowsScored.Add(int64(n))
+	g.srv.met.batches.Add(1)
+}
+
+// swap hot-swaps the group's detector on live sessions. The new model
+// must keep the group's geometry — sessions own window state sized to
+// (W, C) and keep it across the swap.
+func (g *modelGroup) swap(det detect.Detector, version int, kind string) error {
+	c, ok := detectorChannels(det)
+	if !ok {
+		return fmt.Errorf("serve: cannot determine channel count of %s", det.Name())
+	}
+	if det.WindowSize() != g.w || c != g.c {
+		return fmt.Errorf("serve: model %s@v%d geometry (W=%d,C=%d) does not match serving group (W=%d,C=%d)",
+			g.name, version, det.WindowSize(), c, g.w, g.c)
+	}
+	g.mu.Lock()
+	g.det = det
+	g.bs, _ = det.(detect.BatchScorer)
+	g.version = version
+	g.kind = kind
+	g.mu.Unlock()
+	return nil
+}
+
+func (g *modelGroup) status() ModelStatus {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return ModelStatus{
+		Model:    g.name,
+		Version:  g.version,
+		Kind:     g.kind,
+		Window:   g.w,
+		Channels: g.c,
+		Batched:  g.bs != nil,
+		Pending:  g.n,
+		Sessions: g.sessions,
+	}
+}
+
+// detectorChannels reports the stream width a fitted detector consumes.
+func detectorChannels(d detect.Detector) (int, bool) {
+	switch m := d.(type) {
+	case *core.Model:
+		return m.Config().Channels, true
+	case *ae.Model:
+		return m.Config().Channels, true
+	case *arlstm.Model:
+		return m.Config().Channels, true
+	case *gbrf.Model:
+		return m.Config().Channels, true
+	case *iforest.Model:
+		return m.Channels(), true
+	case *knn.Model:
+		return m.Channels(), true
+	}
+	return 0, false
+}

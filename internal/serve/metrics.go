@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latRingSize is how many recent coalesce latencies the percentile
+// window retains.
+const latRingSize = 4096
+
+// metrics is the server's internal counter block. Everything is either
+// atomic or guarded by latMu so the hot paths never contend on one lock.
+type metrics struct {
+	start time.Time
+
+	sessionsTotal  atomic.Int64
+	sessionsActive atomic.Int64
+	samplesIn      atomic.Int64
+	windowsScored  atomic.Int64
+	batches        atomic.Int64
+	samplesDropped atomic.Int64 // admission drops: inbound queues full
+	scoresDropped  atomic.Int64 // emission drops: outbound queues full
+
+	latMu   sync.Mutex
+	lat     [latRingSize]float64 // milliseconds, ring
+	latIdx  int
+	latFull bool
+}
+
+func newMetrics() *metrics { return &metrics{start: time.Now()} }
+
+// observeLatency records one window's coalesce latency: the time from
+// window-ready (enqueued for batching) to score emission.
+func (m *metrics) observeLatency(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	m.latMu.Lock()
+	m.lat[m.latIdx] = ms
+	m.latIdx++
+	if m.latIdx == latRingSize {
+		m.latIdx = 0
+		m.latFull = true
+	}
+	m.latMu.Unlock()
+}
+
+func (m *metrics) latencyPercentiles() (p50, p99 float64) {
+	m.latMu.Lock()
+	n := m.latIdx
+	if m.latFull {
+		n = latRingSize
+	}
+	xs := make([]float64, n)
+	copy(xs, m.lat[:n])
+	m.latMu.Unlock()
+	if n == 0 {
+		return 0, 0
+	}
+	sort.Float64s(xs)
+	return xs[(n-1)*50/100], xs[(n-1)*99/100]
+}
+
+// ModelStatus is the per-model slice of a metrics snapshot.
+type ModelStatus struct {
+	Model    string `json:"model"`
+	Version  int    `json:"version"`
+	Kind     string `json:"kind"`
+	Window   int    `json:"window"`
+	Channels int    `json:"channels"`
+	Batched  bool   `json:"batched"`
+	Pending  int    `json:"pending_windows"`
+	Sessions int    `json:"sessions"`
+}
+
+// Metrics is a point-in-time snapshot of the serving state, the payload
+// of the /metrics endpoint.
+type Metrics struct {
+	UptimeSeconds  float64       `json:"uptime_seconds"`
+	ActiveSessions int           `json:"active_sessions"`
+	TotalSessions  int           `json:"total_sessions"`
+	SamplesIn      int64         `json:"samples_in"`
+	WindowsScored  int64         `json:"windows_scored"`
+	Batches        int64         `json:"batches"`
+	AvgBatchSize   float64       `json:"avg_batch_size"`
+	ScoredPerSec   float64       `json:"scored_per_sec"`
+	SamplesDropped int64         `json:"samples_dropped"`
+	ScoresDropped  int64         `json:"scores_dropped"`
+	P50CoalesceMs  float64       `json:"p50_coalesce_ms"`
+	P99CoalesceMs  float64       `json:"p99_coalesce_ms"`
+	Models         []ModelStatus `json:"models"`
+}
+
+func (m *metrics) snapshot(models []ModelStatus) Metrics {
+	up := time.Since(m.start).Seconds()
+	scored := m.windowsScored.Load()
+	batches := m.batches.Load()
+	avg := 0.0
+	if batches > 0 {
+		avg = float64(scored) / float64(batches)
+	}
+	rate := 0.0
+	if up > 0 {
+		rate = float64(scored) / up
+	}
+	p50, p99 := m.latencyPercentiles()
+	return Metrics{
+		UptimeSeconds:  up,
+		ActiveSessions: int(m.sessionsActive.Load()),
+		TotalSessions:  int(m.sessionsTotal.Load()),
+		SamplesIn:      m.samplesIn.Load(),
+		WindowsScored:  scored,
+		Batches:        batches,
+		AvgBatchSize:   avg,
+		ScoredPerSec:   rate,
+		SamplesDropped: m.samplesDropped.Load(),
+		ScoresDropped:  m.scoresDropped.Load(),
+		P50CoalesceMs:  p50,
+		P99CoalesceMs:  p99,
+		Models:         models,
+	}
+}

@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"path/filepath"
+	"testing"
+
+	"varade/internal/baselines/ae"
+	"varade/internal/baselines/arlstm"
+	"varade/internal/baselines/gbrf"
+	"varade/internal/baselines/iforest"
+	"varade/internal/baselines/knn"
+	"varade/internal/core"
+	"varade/internal/detect"
+	"varade/internal/nn"
+	"varade/internal/tensor"
+)
+
+// synthSeries builds a seeded random-walk series for fixtures.
+func synthSeries(t, c int, seed uint64) *tensor.Tensor {
+	rng := tensor.NewRNG(seed)
+	s := tensor.New(t, c)
+	d := s.Data()
+	walk := make([]float64, c)
+	for i := 0; i < t; i++ {
+		for j := 0; j < c; j++ {
+			walk[j] += rng.NormFloat64() * 0.1
+			d[i*c+j] = walk[j]
+		}
+	}
+	return s
+}
+
+// fixtureDetectors returns one small fitted instance of every detector
+// type. The neural models stay at their seeded initialisation (scoring
+// is deterministic either way); the data-backed models are fitted.
+func fixtureDetectors(t *testing.T, series *tensor.Tensor) []detect.Detector {
+	t.Helper()
+	c := series.Dim(1)
+	varadeM, err := core.New(core.TinyConfig(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	aeM, err := ae.New(ae.Config{Window: 8, Channels: c, BaseMaps: 4, Seed: 1, Epochs: 1, Batch: 8, LR: 1e-3, Stride: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lstmM, err := arlstm.New(arlstm.Config{Window: 4, Channels: c, Layers: 1, Hidden: 8, Seed: 1, Epochs: 1, Batch: 8, LR: 1e-3, Stride: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gbrfM, err := gbrf.New(gbrf.Config{
+		Window: 2, Channels: c, Trees: 3, LearningRate: 0.3,
+		Tree:   gbrf.TreeConfig{MaxDepth: 2, MinSamplesLeaf: 2},
+		Stride: 1, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gbrfM.Fit(series); err != nil {
+		t.Fatal(err)
+	}
+	ifM, err := iforest.New(iforest.Config{Trees: 10, SubsampleSize: 32, Contamination: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ifM.Fit(series); err != nil {
+		t.Fatal(err)
+	}
+	knnM, err := knn.New(knn.Config{K: 3, MaxSamples: 64, Backend: knn.KDTree, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := knnM.Fit(series); err != nil {
+		t.Fatal(err)
+	}
+	return []detect.Detector{varadeM, aeM, lstmM, gbrfM, ifM, knnM}
+}
+
+// TestRegistryRoundTripAllDetectorTypes saves every detector type through
+// the registry and asserts the reloaded instance scores bit-identically.
+func TestRegistryRoundTripAllDetectorTypes(t *testing.T) {
+	series := synthSeries(120, 3, 7)
+	probe := synthSeries(40, 3, 8)
+	reg, err := OpenRegistry(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range fixtureDetectors(t, series) {
+		name := "m-" + sanitize(d.Name())
+		v, err := reg.Register(name, d)
+		if err != nil {
+			t.Fatalf("%s: register: %v", d.Name(), err)
+		}
+		if v != 1 {
+			t.Fatalf("%s: first version %d", d.Name(), v)
+		}
+		loaded, lv, err := reg.Load(name, 0)
+		if err != nil {
+			t.Fatalf("%s: load: %v", d.Name(), err)
+		}
+		if lv != 1 {
+			t.Fatalf("%s: loaded version %d", d.Name(), lv)
+		}
+		w := d.WindowSize()
+		for i := w; i+w <= probe.Dim(0); i += w {
+			win := probe.SliceRows(i-w+1, i+1)
+			if got, want := loaded.Score(win), d.Score(win); got != want {
+				t.Fatalf("%s: reloaded score %g != %g at window %d", d.Name(), got, want, i)
+			}
+		}
+	}
+}
+
+func sanitize(name string) string {
+	out := make([]rune, 0, len(name))
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			out = append(out, r)
+		default:
+			out = append(out, '-')
+		}
+	}
+	return string(out)
+}
+
+// TestRegistryVersioning asserts version assignment, latest resolution,
+// explicit lookups and reopening from disk.
+func TestRegistryVersioning(t *testing.T) {
+	dir := t.TempDir()
+	reg, err := OpenRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, _ := core.New(core.TinyConfig(2))
+	m2, _ := core.New(core.Config{Window: 8, Channels: 2, BaseMaps: 4, KLWeight: 0.1, Seed: 99})
+	if v, _ := reg.Register("det", m1); v != 1 {
+		t.Fatalf("v=%d want 1", v)
+	}
+	if v, _ := reg.Register("det", m2); v != 2 {
+		t.Fatalf("v=%d want 2", v)
+	}
+	if _, v, err := reg.Resolve("det", 0); err != nil || v != 2 {
+		t.Fatalf("latest resolve v=%d err=%v", v, err)
+	}
+	if _, _, err := reg.Resolve("det", 3); err == nil {
+		t.Fatal("expected missing-version error")
+	}
+	if _, _, err := reg.Resolve("ghost", 0); err == nil {
+		t.Fatal("expected unknown-model error")
+	}
+	// A fresh registry over the same directory re-indexes the files.
+	reg2, err := OpenRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := reg2.List()
+	if len(list) != 1 || list[0].Name != "det" || len(list[0].Versions) != 2 {
+		t.Fatalf("reopened listing %+v", list)
+	}
+	// The explicit v1 file loads the seed-1 weights, not the latest.
+	d1, _, err := reg2.Load("det", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := synthSeries(20, 2, 3)
+	win := probe.SliceRows(0, 8)
+	if got, want := d1.Score(win), m1.Score(win); got != want {
+		t.Fatalf("v1 score %g != %g", got, want)
+	}
+}
+
+// TestRegistryRejectsBareWeights documents that headerless legacy files
+// cannot enter the registry.
+func TestRegistryRejectsBareWeights(t *testing.T) {
+	m, _ := core.New(core.TinyConfig(2))
+	path := filepath.Join(t.TempDir(), "legacy.vnn")
+	if err := nn.SaveFile(path, m.Params()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDetector(path); err == nil {
+		t.Fatal("expected bare-weights rejection")
+	}
+}

@@ -1,0 +1,444 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"varade/internal/detect"
+	"varade/internal/stream"
+)
+
+// Config parameterises a fleet server.
+type Config struct {
+	// Registry resolves model references; required.
+	Registry *Registry
+	// DefaultModel ("name" or "name@vN") serves line-protocol clients and
+	// binary clients whose Hello names no model.
+	DefaultModel string
+	// FlushInterval bounds how long a ready window waits before its
+	// coalesced batch is scored. Default 2ms.
+	FlushInterval time.Duration
+	// MaxBatch is the coalescer's fill-buffer capacity; a full buffer
+	// flushes immediately. Default detect.BatchChunk.
+	MaxBatch int
+	// QueueDepth is each session's inbound admission queue (samples);
+	// when full the oldest queued sample is dropped, Bus-style.
+	// Default 512.
+	QueueDepth int
+	// OutDepth is each session's outbound score queue; when full new
+	// scores are dropped (and counted) rather than blocking the scorer.
+	// Default QueueDepth.
+	OutDepth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = 2 * time.Millisecond
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = detect.BatchChunk
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 512
+	}
+	if c.OutDepth <= 0 {
+		c.OutDepth = c.QueueDepth
+	}
+	return c
+}
+
+// Server multiplexes many device sessions over shared detectors. One
+// listener accepts both wire protocols (CSV lines and binary frames,
+// told apart by the preamble); a model registry backs named detectors;
+// and a per-model coalescer batches ready windows across sessions.
+type Server struct {
+	cfg Config
+	met *metrics
+
+	ln   net.Listener
+	http *http.Server
+
+	gctx    context.Context
+	gcancel context.CancelFunc
+
+	mu       sync.Mutex
+	groups   map[string]*modelGroup
+	sessions map[*session]struct{}
+	conns    map[net.Conn]struct{} // every live connection, incl. mid-handshake
+	draining bool
+
+	acceptWG sync.WaitGroup
+	sessWG   sync.WaitGroup
+	grpWG    sync.WaitGroup
+}
+
+// NewServer builds a server; Serve starts it.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Registry == nil {
+		return nil, fmt.Errorf("serve: Config.Registry is required")
+	}
+	cfg = cfg.withDefaults()
+	gctx, gcancel := context.WithCancel(context.Background())
+	return &Server{
+		cfg:      cfg,
+		met:      newMetrics(),
+		gctx:     gctx,
+		gcancel:  gcancel,
+		groups:   make(map[string]*modelGroup),
+		sessions: make(map[*session]struct{}),
+		conns:    make(map[net.Conn]struct{}),
+	}, nil
+}
+
+// Serve starts accepting device sessions on addr (":0" picks a port)
+// and returns the bound address immediately; sessions are handled on
+// background goroutines until Shutdown.
+func (s *Server) Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	s.acceptWG.Add(1)
+	go func() {
+		defer s.acceptWG.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			s.mu.Lock()
+			if s.draining {
+				s.mu.Unlock()
+				conn.Close()
+				continue
+			}
+			s.conns[conn] = struct{}{}
+			s.sessWG.Add(1)
+			s.mu.Unlock()
+			go s.handleConn(conn)
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// connRW couples a connection with its buffered writer so the session
+// writer can batch small writes and flush explicitly.
+type connRW struct {
+	net.Conn
+	bw *bufio.Writer
+}
+
+func newConnRW(c net.Conn) *connRW { return &connRW{Conn: c, bw: bufio.NewWriter(c)} }
+
+func (c *connRW) Write(p []byte) (int, error) { return c.bw.Write(p) }
+func (c *connRW) Flush() error                { return c.bw.Flush() }
+func (c *connRW) Close() error {
+	c.bw.Flush()
+	return c.Conn.Close()
+}
+
+func (s *Server) handleConn(raw net.Conn) {
+	defer s.sessWG.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, raw)
+		s.mu.Unlock()
+	}()
+	conn := newConnRW(raw)
+	br := bufio.NewReader(raw)
+
+	// Protocol sniff: binary sessions open with the frame preamble; CSV
+	// lines can never start with 'V'.
+	peek, err := br.Peek(len(stream.FrameMagic))
+	binary := err == nil && string(peek) == stream.FrameMagic
+
+	var grp *modelGroup
+	if binary {
+		br.Discard(len(stream.FrameMagic))
+		t, payload, err := stream.ReadFrame(br)
+		if err != nil || t != stream.FrameHello {
+			conn.Close()
+			return
+		}
+		var hello stream.Hello
+		if err := json.Unmarshal(payload, &hello); err != nil {
+			s.refuse(conn, binary, fmt.Errorf("serve: bad hello: %w", err))
+			return
+		}
+		ref := hello.Model
+		if ref == "" {
+			ref = s.cfg.DefaultModel
+		}
+		name, version, err := ParseModelRef(ref)
+		if err == nil && hello.Version > 0 {
+			version = hello.Version
+		}
+		if err == nil {
+			grp, err = s.group(name, version)
+		}
+		if err == nil && hello.Channels > 0 && hello.Channels != grp.c {
+			err = fmt.Errorf("serve: model %s expects %d channels, client sends %d", grp.name, grp.c, hello.Channels)
+		}
+		if err != nil {
+			s.refuse(conn, binary, err)
+			return
+		}
+		welcome := stream.Welcome{Model: grp.name, Version: grp.version, Window: grp.w, Channels: grp.c}
+		if err := stream.WriteJSONFrame(conn, stream.FrameWelcome, welcome); err != nil || conn.Flush() != nil {
+			conn.Close()
+			return
+		}
+	} else {
+		name, version, err := ParseModelRef(s.cfg.DefaultModel)
+		if err == nil {
+			grp, err = s.group(name, version)
+		}
+		if err != nil {
+			s.refuse(conn, binary, err)
+			return
+		}
+	}
+
+	sess := newSession(s, grp, conn, binary)
+	if !s.trackSession(sess, grp) {
+		conn.Close()
+		return
+	}
+	sess.run(br)
+	s.untrackSession(sess, grp)
+}
+
+// refuse reports a handshake error to the client and closes.
+func (s *Server) refuse(conn *connRW, binary bool, err error) {
+	if binary {
+		stream.WriteFrame(conn, stream.FrameError, []byte(err.Error()))
+	} else {
+		fmt.Fprintf(conn, "error: %v\n", err)
+	}
+	conn.Close()
+}
+
+func (s *Server) trackSession(sess *session, grp *modelGroup) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.sessions[sess] = struct{}{}
+	grp.mu.Lock()
+	grp.sessions++
+	grp.mu.Unlock()
+	return true
+}
+
+func (s *Server) untrackSession(sess *session, grp *modelGroup) {
+	s.mu.Lock()
+	delete(s.sessions, sess)
+	s.mu.Unlock()
+	grp.mu.Lock()
+	grp.sessions--
+	grp.mu.Unlock()
+	// Fold the session's admission drops into the aggregate now that its
+	// Bus is closed.
+	s.met.samplesDropped.Add(int64(sess.bus.Dropped()))
+}
+
+// group returns (creating and caching on first use) the coalescing group
+// for a model reference. Version 0 tracks "latest at first use" and is
+// hot-swappable via Reload; an explicit version pins the group. The
+// registry read and model reconstruction happen outside the server lock
+// — a cold multi-megabyte model must not stall every other handshake
+// and the metrics endpoint. Two racing first users may both load the
+// model; the double-check under the lock keeps exactly one group (and
+// one flusher), the loser's detector is discarded.
+func (s *Server) group(name string, version int) (*modelGroup, error) {
+	pinned := version > 0
+	key := name
+	if pinned {
+		key = fmt.Sprintf("%s@v%d", name, version)
+	}
+	s.mu.Lock()
+	g, ok := s.groups[key]
+	s.mu.Unlock()
+	if ok {
+		return g, nil
+	}
+
+	path, v, err := s.cfg.Registry.Resolve(name, version)
+	if err != nil {
+		return nil, err
+	}
+	det, err := LoadDetector(path)
+	if err != nil {
+		return nil, err
+	}
+	c, ok := detectorChannels(det)
+	if !ok || c <= 0 {
+		return nil, fmt.Errorf("serve: cannot determine channel count of model %q", name)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if g, ok := s.groups[key]; ok {
+		return g, nil
+	}
+	g = newModelGroup(s, name, v, pinned, det.Name(), det, c)
+	s.groups[key] = g
+	s.grpWG.Add(1)
+	go func() {
+		defer s.grpWG.Done()
+		g.run(s.gctx)
+	}()
+	return g, nil
+}
+
+// Reload hot-swaps every non-pinned serving group of the named model to
+// the latest registry version. Live sessions keep their window state and
+// see the new model's scores from the next coalesced batch.
+func (s *Server) Reload(name string) error {
+	det, v, err := s.cfg.Registry.Load(name, 0)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	var targets []*modelGroup
+	for _, g := range s.groups {
+		if g.name == name && !g.pinned {
+			targets = append(targets, g)
+		}
+	}
+	s.mu.Unlock()
+	if len(targets) == 0 {
+		return fmt.Errorf("serve: model %q is not being served", name)
+	}
+	for _, g := range targets {
+		if err := g.swap(det, v, det.Name()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Metrics returns a point-in-time snapshot of the serving state.
+func (s *Server) Metrics() Metrics {
+	s.mu.Lock()
+	groups := make([]*modelGroup, 0, len(s.groups))
+	for _, g := range s.groups {
+		groups = append(groups, g)
+	}
+	var liveDrops int64
+	for sess := range s.sessions {
+		liveDrops += int64(sess.bus.Dropped())
+	}
+	s.mu.Unlock()
+	models := make([]ModelStatus, 0, len(groups))
+	for _, g := range groups {
+		models = append(models, g.status())
+	}
+	m := s.met.snapshot(models)
+	m.SamplesDropped += liveDrops
+	return m
+}
+
+// ServeMetrics exposes the snapshot over HTTP on addr (":0" picks a
+// port): GET /metrics (JSON snapshot), GET /healthz, GET /models
+// (registry listing), POST /reload?model=name (hot swap). It returns the
+// bound address.
+func (s *Server) ServeMetrics(addr string) (string, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s.Metrics())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/models", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(s.cfg.Registry.List())
+	})
+	mux.HandleFunc("/reload", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		name := r.URL.Query().Get("model")
+		if err := s.Reload(name); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		fmt.Fprintln(w, "reloaded", name)
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.http = &http.Server{Handler: mux}
+	go s.http.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// Shutdown drains the server gracefully: stop accepting, signal every
+// session that input has ended, score and deliver everything already
+// admitted, then stop the coalescers. If ctx expires first, remaining
+// connections are closed hard (the pipeline still unwinds cleanly).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	live := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		live = append(live, c)
+	}
+	s.mu.Unlock()
+
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.acceptWG.Wait()
+
+	// Half-close each connection's read side: readers see EOF and the
+	// drain handshake (pump → coalescer → writer) runs to completion.
+	for _, c := range live {
+		if tc, ok := c.(*net.TCPConn); ok {
+			tc.CloseRead()
+		} else {
+			c.Close()
+		}
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.sessWG.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+
+	// All sessions are gone; let each flusher do its final drain and exit.
+	s.gcancel()
+	s.grpWG.Wait()
+
+	if s.http != nil {
+		s.http.Close()
+	}
+	return err
+}

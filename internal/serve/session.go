@@ -1,0 +1,251 @@
+package serve
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"varade/internal/stream"
+)
+
+// maxScoreFrame caps how many scores the writer packs into one outbound
+// frame (or one buffered run of CSV lines).
+const maxScoreFrame = 1024
+
+// session is one device stream multiplexed onto the server: it owns the
+// per-device window state (ring buffer + sample index) and the two
+// bounded queues that decouple the connection from the shared compute.
+//
+// Data path: reader goroutine (connection → admission Bus, drop-oldest
+// under backpressure) → pump goroutine (samples → sliding windows →
+// group coalescer) → flusher (shared, scores batches) → out queue →
+// writer goroutine (scores → connection).
+type session struct {
+	srv    *Server
+	grp    *modelGroup
+	conn   *connRW
+	binary bool
+
+	bus *stream.Bus       // admission control: bounded, drop-oldest
+	in  <-chan []float64  // the bus subscription the pump drains
+	out chan stream.Score // scored results awaiting the writer
+
+	buf   *stream.WindowBuffer
+	index int
+
+	// outstanding counts windows handed to the coalescer whose scores
+	// have not yet been emitted; the session closes its out queue only
+	// when input is done AND outstanding reaches zero, so a graceful
+	// drain never drops tail scores.
+	outstanding atomic.Int64
+	inputDone   atomic.Bool
+	finishOnce  sync.Once
+	flushed     chan struct{}
+
+	// readErr records a malformed-input error so the writer can report
+	// it to the client after the drained scores, before closing. Written
+	// by the reader before bus.Close; the close → pump → out-close chain
+	// orders it before the writer's final read.
+	readErr string
+}
+
+func newSession(srv *Server, grp *modelGroup, conn *connRW, binary bool) *session {
+	bus := stream.NewBus()
+	return &session{
+		srv:     srv,
+		grp:     grp,
+		conn:    conn,
+		binary:  binary,
+		bus:     bus,
+		in:      bus.Subscribe(srv.cfg.QueueDepth),
+		out:     make(chan stream.Score, srv.cfg.OutDepth),
+		buf:     stream.NewWindowBuffer(grp.w, grp.c),
+		flushed: make(chan struct{}),
+	}
+}
+
+// run drives the session to completion: it starts the pump and writer,
+// consumes the connection until EOF/Bye/error, then drains — every
+// admitted sample is windowed, every produced window is scored, every
+// score is flushed to the client — before the connection closes.
+func (s *session) run(br *bufio.Reader) {
+	s.srv.met.sessionsTotal.Add(1)
+	s.srv.met.sessionsActive.Add(1)
+	defer s.srv.met.sessionsActive.Add(-1)
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		s.pump()
+	}()
+	go func() {
+		defer wg.Done()
+		s.writer()
+	}()
+
+	var err error
+	if s.binary {
+		err = s.readFrames(br)
+	} else {
+		err = s.readLines(br)
+	}
+	if err != nil {
+		s.readErr = err.Error()
+	}
+	s.bus.Close() // pump drains what was admitted, then winds down
+	wg.Wait()
+}
+
+// admit publishes one sample into the session's admission queue. When
+// the pump can't keep up the Bus drops the oldest queued sample instead
+// of blocking the reader — broker semantics under backpressure.
+func (s *session) admit(sample []float64) {
+	s.srv.met.samplesIn.Add(1)
+	s.bus.Publish(sample)
+}
+
+// readLines consumes the CSV line protocol until EOF; a malformed
+// sample ends the session with an error the client gets to see.
+func (s *session) readLines(br *bufio.Reader) error {
+	return stream.ReadSamples(br, s.grp.c, func(sample []float64) bool {
+		s.admit(sample)
+		return true
+	})
+}
+
+// readFrames consumes the binary framing until Bye or EOF; a malformed
+// payload ends the session with an error the client gets to see.
+func (s *session) readFrames(br *bufio.Reader) error {
+	for {
+		t, payload, err := stream.ReadFrame(br)
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+				return nil // connection teardown, not a protocol error
+			}
+			return err // e.g. an oversized frame length
+		}
+		switch t {
+		case stream.FrameSamples:
+			samples, err := stream.DecodeSamplesPayload(payload, s.grp.c)
+			if err != nil {
+				return err
+			}
+			for _, sample := range samples {
+				s.admit(sample)
+			}
+		case stream.FrameBye:
+			return nil
+		default:
+			// Ignore unknown frame types for forward compatibility.
+		}
+	}
+}
+
+// pump turns admitted samples into sliding windows and feeds the group
+// coalescer. When the admission queue closes it marks input done and
+// waits for every outstanding window's score to be emitted.
+func (s *session) pump() {
+	for sample := range s.in {
+		s.buf.Push(sample)
+		s.index++
+		if s.buf.Full() {
+			s.outstanding.Add(1)
+			s.grp.add(s, s.index-1, s.buf)
+		}
+	}
+	s.inputDone.Store(true)
+	if s.outstanding.Load() == 0 {
+		s.finish()
+	} else {
+		s.grp.kickNow() // flush the tail promptly rather than on the next tick
+	}
+	<-s.flushed
+	close(s.out)
+}
+
+// emit delivers one score to the writer queue, dropping (and counting)
+// when the client isn't draining fast enough — the flusher must never
+// block on a slow connection.
+func (s *session) emit(sc stream.Score) {
+	select {
+	case s.out <- sc:
+	default:
+		s.srv.met.scoresDropped.Add(1)
+	}
+	s.scoreDone()
+}
+
+// scoreDone retires one outstanding window and completes the drain
+// handshake once input has ended.
+func (s *session) scoreDone() {
+	if s.outstanding.Add(-1) == 0 && s.inputDone.Load() {
+		s.finish()
+	}
+}
+
+func (s *session) finish() {
+	s.finishOnce.Do(func() { close(s.flushed) })
+}
+
+// writer streams scores back to the client, packing everything queued
+// into one frame (binary) or one buffered run of lines (CSV) per write.
+// Write errors flip it into drain mode so the rest of the pipeline still
+// unwinds cleanly.
+func (s *session) writer() {
+	defer s.conn.Close()
+	dead := false
+	batch := make([]stream.Score, 0, maxScoreFrame)
+	for sc := range s.out {
+		batch = append(batch[:0], sc)
+	gather:
+		for len(batch) < maxScoreFrame {
+			select {
+			case more, ok := <-s.out:
+				if !ok {
+					break gather
+				}
+				batch = append(batch, more)
+			default:
+				break gather
+			}
+		}
+		if dead {
+			continue
+		}
+		if err := s.writeScores(batch); err != nil {
+			dead = true
+		}
+	}
+	if !dead {
+		if s.readErr != "" {
+			if s.binary {
+				stream.WriteFrame(s.conn, stream.FrameError, []byte(s.readErr))
+			} else {
+				fmt.Fprintf(s.conn, "error: %s\n", s.readErr)
+			}
+		}
+		s.flushConn()
+	}
+}
+
+func (s *session) writeScores(batch []stream.Score) error {
+	if s.binary {
+		if err := stream.WriteFrame(s.conn, stream.FrameScores, stream.EncodeScoresPayload(batch)); err != nil {
+			return err
+		}
+	} else {
+		for _, sc := range batch {
+			if _, err := fmt.Fprintf(s.conn, "%d,%.17g\n", sc.Index, sc.Value); err != nil {
+				return err
+			}
+		}
+	}
+	return s.flushConn()
+}
+
+func (s *session) flushConn() error { return s.conn.Flush() }

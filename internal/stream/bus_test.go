@@ -63,6 +63,91 @@ func TestBusDroppedCountsExactEvictions(t *testing.T) {
 	}
 }
 
+// TestBusSubscribeAfterClose pins the close contract: a late subscriber
+// gets an already-closed channel (range terminates immediately) rather
+// than a nil channel or a panic.
+func TestBusSubscribeAfterClose(t *testing.T) {
+	b := NewBus()
+	b.Publish([]float64{1})
+	b.Close()
+	ch := b.Subscribe(4)
+	if ch == nil {
+		t.Fatal("Subscribe after Close returned nil channel")
+	}
+	select {
+	case _, ok := <-ch:
+		if ok {
+			t.Fatal("late subscriber received a sample")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("late subscriber's channel is not closed")
+	}
+	// Close must be idempotent.
+	b.Close()
+}
+
+// TestBusPublishAfterCloseDropsSilently pins the other half: publishing
+// into a closed bus is a no-op — nothing delivered, nothing counted as a
+// backpressure drop, no panic from sending on a closed channel.
+func TestBusPublishAfterCloseDropsSilently(t *testing.T) {
+	b := NewBus()
+	ch := b.Subscribe(4)
+	b.Publish([]float64{1})
+	b.Close()
+	b.Publish([]float64{2})
+	b.Publish([]float64{3})
+	n := 0
+	for range ch {
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("subscriber saw %d samples, want only the pre-close one", n)
+	}
+	if b.Dropped() != 0 {
+		t.Fatalf("post-close publishes counted as drops: %d", b.Dropped())
+	}
+}
+
+// TestBusDropCountingUnderConcurrency races publishers against consumers
+// and a late Close, then checks conservation: every published sample is
+// either consumed or counted as dropped (run under -race in CI).
+func TestBusDropCountingUnderConcurrency(t *testing.T) {
+	b := NewBus()
+	const (
+		publishers   = 4
+		perPublisher = 2000
+	)
+	subs := []<-chan []float64{b.Subscribe(8), b.Subscribe(8)}
+	var consumed [2]int
+	var consumerWG sync.WaitGroup
+	for i, ch := range subs {
+		consumerWG.Add(1)
+		go func(i int, ch <-chan []float64) {
+			defer consumerWG.Done()
+			for range ch {
+				consumed[i]++
+			}
+		}(i, ch)
+	}
+	var pubWG sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		pubWG.Add(1)
+		go func(p int) {
+			defer pubWG.Done()
+			for i := 0; i < perPublisher; i++ {
+				b.Publish([]float64{float64(p), float64(i)})
+			}
+		}(p)
+	}
+	pubWG.Wait()
+	b.Close()
+	consumerWG.Wait()
+	total := publishers * perPublisher * len(subs)
+	if got := consumed[0] + consumed[1] + b.Dropped(); got != total {
+		t.Fatalf("conservation violated: %d consumed+dropped, %d delivered", got, total)
+	}
+}
+
 // TestPushBatchFallbackMatchesPush drives PushBatch with a detector that
 // has no batched path; it must produce exactly the scalar-path scores.
 func TestPushBatchFallbackMatchesPush(t *testing.T) {

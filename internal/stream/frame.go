@@ -1,0 +1,174 @@
+package stream
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// The binary framing is the fleet transport: where the CSV line protocol
+// favours debuggability (netcat-compatible, one sample per line), frames
+// favour density and multiplexing — a device session opens with a magic
+// preamble and a Hello naming the model it wants, then ships samples in
+// batches; the server streams back score batches. A shared listener tells
+// the two protocols apart by the preamble's first bytes (CSV lines never
+// begin with 'V').
+//
+// Wire layout, little-endian:
+//
+//	preamble "VFS1" (client→server, once)
+//	frame: u32 payloadLen | u8 type | payload
+//
+//	Hello   (JSON)     client → server: model, version, channels
+//	Welcome (JSON)     server → client: resolved model, window, channels
+//	Samples            u32 count | count×channels float64, row-major
+//	Scores             u32 count | count × (i64 index | float64 value)
+//	Error   (UTF-8)    either direction, terminal
+//	Bye                client → server: flush outstanding scores and close
+
+// FrameMagic is the preamble a binary client writes before its first
+// frame.
+const FrameMagic = "VFS1"
+
+// FrameType tags one frame.
+type FrameType byte
+
+// Frame types of the fleet protocol.
+const (
+	FrameHello FrameType = iota + 1
+	FrameWelcome
+	FrameSamples
+	FrameScores
+	FrameError
+	FrameBye
+)
+
+// MaxFramePayload bounds a single frame so a corrupt length prefix cannot
+// make the reader allocate unboundedly.
+const MaxFramePayload = 16 << 20
+
+// Hello is the client's opening frame: which registered model to score
+// with (empty means the server default) and the stream width.
+type Hello struct {
+	Model    string `json:"model,omitempty"`
+	Version  int    `json:"version,omitempty"`
+	Channels int    `json:"channels"`
+}
+
+// Welcome is the server's reply: the resolved model and the geometry the
+// session will score with.
+type Welcome struct {
+	Model    string `json:"model"`
+	Version  int    `json:"version"`
+	Window   int    `json:"window"`
+	Channels int    `json:"channels"`
+}
+
+// WriteFrame writes one frame.
+func WriteFrame(w io.Writer, t FrameType, payload []byte) error {
+	var head [5]byte
+	binary.LittleEndian.PutUint32(head[:4], uint32(len(payload)))
+	head[4] = byte(t)
+	if _, err := w.Write(head[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame, rejecting payloads over MaxFramePayload.
+func ReadFrame(r io.Reader) (FrameType, []byte, error) {
+	var head [5]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(head[:4])
+	if n > MaxFramePayload {
+		return 0, nil, fmt.Errorf("stream: frame payload %d exceeds cap", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return FrameType(head[4]), payload, nil
+}
+
+// WriteJSONFrame marshals v and writes it as a frame of type t.
+func WriteJSONFrame(w io.Writer, t FrameType, v any) error {
+	blob, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return WriteFrame(w, t, blob)
+}
+
+// EncodeSamplesPayload renders a batch of samples (each of width
+// channels) as a Samples frame payload.
+func EncodeSamplesPayload(samples [][]float64, channels int) ([]byte, error) {
+	buf := make([]byte, 4+len(samples)*channels*8)
+	binary.LittleEndian.PutUint32(buf, uint32(len(samples)))
+	off := 4
+	for _, s := range samples {
+		if len(s) != channels {
+			return nil, fmt.Errorf("stream: sample width %d, want %d", len(s), channels)
+		}
+		for _, v := range s {
+			binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v))
+			off += 8
+		}
+	}
+	return buf, nil
+}
+
+// DecodeSamplesPayload parses a Samples frame payload into per-sample
+// slices of width channels. The returned slices are fresh allocations.
+func DecodeSamplesPayload(payload []byte, channels int) ([][]float64, error) {
+	if len(payload) < 4 {
+		return nil, fmt.Errorf("stream: samples payload too short")
+	}
+	n := int(binary.LittleEndian.Uint32(payload))
+	if len(payload) != 4+n*channels*8 {
+		return nil, fmt.Errorf("stream: samples payload %dB for %d×%d samples", len(payload), n, channels)
+	}
+	flat := make([]float64, n*channels)
+	for i := range flat {
+		flat[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[4+i*8:]))
+	}
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = flat[i*channels : (i+1)*channels : (i+1)*channels]
+	}
+	return out, nil
+}
+
+// EncodeScoresPayload renders scores as a Scores frame payload.
+func EncodeScoresPayload(scores []Score) []byte {
+	buf := make([]byte, 4+len(scores)*16)
+	binary.LittleEndian.PutUint32(buf, uint32(len(scores)))
+	off := 4
+	for _, s := range scores {
+		binary.LittleEndian.PutUint64(buf[off:], uint64(int64(s.Index)))
+		binary.LittleEndian.PutUint64(buf[off+8:], math.Float64bits(s.Value))
+		off += 16
+	}
+	return buf
+}
+
+// DecodeScoresPayload parses a Scores frame payload.
+func DecodeScoresPayload(payload []byte) ([]Score, error) {
+	if len(payload) < 4 {
+		return nil, fmt.Errorf("stream: scores payload too short")
+	}
+	n := int(binary.LittleEndian.Uint32(payload))
+	if len(payload) != 4+n*16 {
+		return nil, fmt.Errorf("stream: scores payload %dB for %d scores", len(payload), n)
+	}
+	out := make([]Score, n)
+	for i := range out {
+		out[i].Index = int(int64(binary.LittleEndian.Uint64(payload[4+i*16:])))
+		out[i].Value = math.Float64frombits(binary.LittleEndian.Uint64(payload[4+i*16+8:]))
+	}
+	return out, nil
+}

@@ -1,0 +1,147 @@
+package stream
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"varade/internal/tensor"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := map[FrameType][]byte{
+		FrameHello:   []byte(`{"model":"varade","channels":3}`),
+		FrameSamples: {1, 2, 3},
+		FrameBye:     nil,
+	}
+	for typ, p := range payloads {
+		buf.Reset()
+		if err := WriteFrame(&buf, typ, p); err != nil {
+			t.Fatal(err)
+		}
+		gt, gp, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gt != typ || !bytes.Equal(gp, p) {
+			t.Fatalf("frame %d round-tripped to %d/%v", typ, gt, gp)
+		}
+	}
+}
+
+func TestFrameRejectsOversizedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff, byte(FrameSamples)})
+	if _, _, err := ReadFrame(&buf); err == nil {
+		t.Fatal("expected oversized-frame error")
+	}
+}
+
+func TestSamplesPayloadRoundTrip(t *testing.T) {
+	in := [][]float64{{1.5, -2.25}, {0, 1e-9}, {3, 4}}
+	p, err := EncodeSamplesPayload(in, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeSamplesPayload(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("%d samples want %d", len(out), len(in))
+	}
+	for i := range in {
+		for j := range in[i] {
+			if in[i][j] != out[i][j] {
+				t.Fatalf("sample %d: %v → %v", i, in[i], out[i])
+			}
+		}
+	}
+	if _, err := EncodeSamplesPayload([][]float64{{1}}, 2); err == nil {
+		t.Fatal("expected width error")
+	}
+	if _, err := DecodeSamplesPayload(p[:len(p)-3], 2); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+func TestScoresPayloadRoundTrip(t *testing.T) {
+	in := []Score{{Index: 7, Value: 3.25}, {Index: 1 << 40, Value: -1e-300}}
+	out, err := DecodeScoresPayload(EncodeScoresPayload(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) || out[0] != in[0] || out[1] != in[1] {
+		t.Fatalf("scores %v → %v", in, out)
+	}
+}
+
+// TestDialAndScoreContextCancel pins the teardown contract: cancelling
+// the context ends a live scoring session promptly with ctx.Err(), and
+// the server's stop() returns with no handler goroutines left.
+func TestDialAndScoreContextCancel(t *testing.T) {
+	// A long series the consumer will never finish.
+	series := tensor.New(200000, 1)
+	addr, stop, err := ServeSeries(context.Background(), "127.0.0.1:0", series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	r := NewRunner(&meanDetector{w: 4}, 1)
+	done := make(chan error, 1)
+	go func() {
+		n := 0
+		done <- DialAndScore(ctx, addr, 1, r, func(Score) {
+			n++
+			if n == 10 {
+				cancel()
+			}
+		})
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancellation did not end the session")
+	}
+}
+
+// TestServeSeriesContextCancelStopsHandlers cancels the serving context
+// while a slow client holds a connection; stop must still return (the
+// watcher closes the connection) rather than waiting for the stream to
+// finish.
+func TestServeSeriesContextCancelStopsHandlers(t *testing.T) {
+	series := tensor.New(200000, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	addr, stop, err := ServeSeries(ctx, "127.0.0.1:0", series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A client that connects and never reads: the handler will stall in
+	// its write once buffers fill.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	time.Sleep(20 * time.Millisecond) // let the handler start writing
+	cancel()
+	finished := make(chan struct{})
+	go func() {
+		stop()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+	case <-time.After(10 * time.Second):
+		t.Fatal("stop() hung after context cancellation")
+	}
+}

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -191,7 +192,7 @@ func TestTCPServeAndScore(t *testing.T) {
 		series.Set2(float64(i), i, 0)
 		series.Set2(float64(-i), i, 1)
 	}
-	addr, stop, err := ServeSeries("127.0.0.1:0", series)
+	addr, stop, err := ServeSeries(context.Background(), "127.0.0.1:0", series)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +202,7 @@ func TestTCPServeAndScore(t *testing.T) {
 	var scores []Score
 	done := make(chan error, 1)
 	go func() {
-		done <- DialAndScore(addr, 2, r, func(s Score) { scores = append(scores, s) })
+		done <- DialAndScore(context.Background(), addr, 2, r, func(s Score) { scores = append(scores, s) })
 	}()
 	select {
 	case err := <-done:

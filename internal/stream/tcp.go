@@ -8,6 +8,7 @@ import (
 	"net"
 	"strconv"
 	"strings"
+	"sync"
 
 	"varade/internal/tensor"
 )
@@ -50,25 +51,50 @@ func DecodeSample(line string, want int) ([]float64, error) {
 
 // ServeSeries listens on addr and streams every row of series to each
 // connecting client, then closes the connection. It returns the bound
-// address (useful with ":0") and a stop function.
-func ServeSeries(addr string, series *tensor.Tensor) (string, func(), error) {
+// address (useful with ":0") and a stop function. Cancelling ctx — or
+// calling stop, which also waits for every connection handler to exit —
+// tears the server down deterministically: the listener closes, active
+// connections are closed, and no goroutines are left behind.
+func ServeSeries(ctx context.Context, addr string, series *tensor.Tensor) (string, func(), error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	sctx, cancel := context.WithCancel(ctx)
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		conns = make(map[net.Conn]struct{})
+	)
+	wg.Add(1)
 	go func() {
+		defer wg.Done()
 		for {
 			conn, err := ln.Accept()
 			if err != nil {
 				return // listener closed
 			}
+			mu.Lock()
+			if sctx.Err() != nil {
+				mu.Unlock()
+				conn.Close()
+				return
+			}
+			conns[conn] = struct{}{}
+			mu.Unlock()
+			wg.Add(1)
 			go func(c net.Conn) {
-				defer c.Close()
+				defer wg.Done()
+				defer func() {
+					mu.Lock()
+					delete(conns, c)
+					mu.Unlock()
+					c.Close()
+				}()
 				w := bufio.NewWriter(c)
 				for i := 0; i < series.Dim(0); i++ {
 					select {
-					case <-ctx.Done():
+					case <-sctx.Done():
 						return
 					default:
 					}
@@ -80,9 +106,20 @@ func ServeSeries(addr string, series *tensor.Tensor) (string, func(), error) {
 			}(conn)
 		}
 	}()
+	// The watcher unblocks Accept and any stalled writes once the context
+	// ends, whether via stop or the parent ctx.
+	go func() {
+		<-sctx.Done()
+		ln.Close()
+		mu.Lock()
+		for c := range conns {
+			c.Close()
+		}
+		mu.Unlock()
+	}()
 	stop := func() {
 		cancel()
-		ln.Close()
+		wg.Wait()
 	}
 	return ln.Addr().String(), stop, nil
 }
@@ -138,8 +175,10 @@ func ReadSampleBatches(r io.Reader, channels, max int, fn func(batch [][]float64
 
 // DialAndScore connects to a sample server, runs every received sample
 // through the runner and invokes onScore for each produced score.
-func DialAndScore(addr string, channels int, r *Runner, onScore func(Score)) error {
-	return DialAndScoreBatched(addr, channels, r, 1, onScore)
+// Cancelling ctx closes the connection and returns ctx.Err(), so a
+// session can be torn down deterministically mid-stream.
+func DialAndScore(ctx context.Context, addr string, channels int, r *Runner, onScore func(Score)) error {
+	return DialAndScoreBatched(ctx, addr, channels, r, 1, onScore)
 }
 
 // DialAndScoreBatched is DialAndScore through the batched engine: samples
@@ -148,25 +187,43 @@ func DialAndScore(addr string, channels int, r *Runner, onScore func(Score)) err
 // into a single forward pass. Scores are identical to the scalar path;
 // batch > 1 trades up to batch samples of emission latency for
 // throughput, the right trade when replaying a recording or draining a
-// backlog. batch <= 1 preserves per-sample emission.
-func DialAndScoreBatched(addr string, channels int, r *Runner, batch int, onScore func(Score)) error {
-	conn, err := net.Dial("tcp", addr)
+// backlog. batch <= 1 preserves per-sample emission. Cancelling ctx
+// closes the connection and returns ctx.Err().
+func DialAndScoreBatched(ctx context.Context, addr string, channels int, r *Runner, batch int, onScore func(Score)) error {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return err
 	}
 	defer conn.Close()
+	// Unblock the read loop when the context ends; the deferred close of
+	// done releases the watcher on normal return.
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-done:
+		}
+	}()
 	if batch <= 1 {
-		return ReadSamples(conn, channels, func(sample []float64) bool {
+		err = ReadSamples(conn, channels, func(sample []float64) bool {
 			if s, ok := r.Push(sample); ok {
 				onScore(s)
 			}
 			return true
 		})
+	} else {
+		err = ReadSampleBatches(conn, channels, batch, func(samples [][]float64) bool {
+			for _, s := range r.PushBatch(samples) {
+				onScore(s)
+			}
+			return true
+		})
 	}
-	return ReadSampleBatches(conn, channels, batch, func(samples [][]float64) bool {
-		for _, s := range r.PushBatch(samples) {
-			onScore(s)
-		}
-		return true
-	})
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return err
 }

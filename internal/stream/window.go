@@ -1,8 +1,9 @@
 // Package stream implements the real-time side of the case study (Fig. 2):
 // a ring-buffer window assembler, a scoring runner that couples any
-// detect.Detector to a live sample feed, an in-process sensor bus, and a
-// TCP line-protocol transport standing in for the testbed's MQTT-over-
-// Ethernet link.
+// detect.Detector to a live sample feed, an in-process sensor bus, a TCP
+// line-protocol transport standing in for the testbed's MQTT-over-
+// Ethernet link, and the length-prefixed binary framing the fleet server
+// multiplexes device sessions over.
 package stream
 
 import (

@@ -17,6 +17,8 @@
 package varade
 
 import (
+	"context"
+
 	"varade/internal/baselines/ae"
 	"varade/internal/baselines/arlstm"
 	"varade/internal/baselines/gbrf"
@@ -27,6 +29,7 @@ import (
 	"varade/internal/edge"
 	"varade/internal/eval"
 	"varade/internal/robot"
+	"varade/internal/serve"
 	"varade/internal/stream"
 	"varade/internal/tensor"
 )
@@ -48,6 +51,10 @@ type ResidualScorer = core.ResidualScorer
 
 // New builds an untrained VARADE model.
 func New(cfg Config) (*Model, error) { return core.New(cfg) }
+
+// LoadModel reads a model saved with Model.Save and reconstructs it from
+// the embedded config header — no architecture flags needed.
+func LoadModel(path string) (*Model, error) { return core.LoadModel(path) }
 
 // PaperConfig returns the exact architecture of §3.1 (T=512, 8 layers,
 // 128→1024 feature maps).
@@ -205,3 +212,33 @@ type StreamScore = stream.Score
 
 // NewRunner returns a streaming runner for a fitted detector.
 func NewRunner(d Detector, channels int) *Runner { return stream.NewRunner(d, channels) }
+
+// Fleet serving (internal/serve): one server, many device sessions,
+// windows coalesced across sessions into batched forward passes.
+
+// ModelRegistry stores named, versioned detectors on disk.
+type ModelRegistry = serve.Registry
+
+// FleetServer multiplexes device sessions over registered detectors.
+type FleetServer = serve.Server
+
+// FleetServerConfig parameterises a FleetServer.
+type FleetServerConfig = serve.Config
+
+// FleetMetrics is a point-in-time serving snapshot (sessions, scored/s,
+// drops, coalesce-latency percentiles).
+type FleetMetrics = serve.Metrics
+
+// FleetClient is a device-side connection speaking the binary framing.
+type FleetClient = serve.Client
+
+// OpenRegistry opens (creating if needed) a model registry at dir.
+func OpenRegistry(dir string) (*ModelRegistry, error) { return serve.OpenRegistry(dir) }
+
+// NewFleetServer builds a fleet server; call Serve to start it.
+func NewFleetServer(cfg FleetServerConfig) (*FleetServer, error) { return serve.NewServer(cfg) }
+
+// DialFleet opens a device session against a fleet server.
+func DialFleet(ctx context.Context, addr, model string, channels int) (*FleetClient, error) {
+	return serve.Dial(ctx, addr, model, channels)
+}
