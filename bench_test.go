@@ -199,6 +199,35 @@ func BenchmarkFigure3ScoreStreamBatched(b *testing.B) {
 	}
 }
 
+// benchScoreStreamPrecision runs the batched score stream with the fitted
+// VARADE model switched to the given inference precision. The ratio of
+// the F32 variant against BenchmarkFigure3ScoreStreamBatched is the
+// precision axis's end-to-end win on the hot path.
+func benchScoreStreamPrecision(b *testing.B, precision string) {
+	f := getFixture(b)
+	if err := f.vm.SetPrecision(precision); err != nil {
+		b.Fatal(err)
+	}
+	defer f.vm.SetPrecision(PrecisionFloat64)
+	segment := f.ds.Test.SliceRows(0, 120)
+	ScoreSeriesBatched(f.vm, segment) // compile the inference program outside the timer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ScoreSeriesBatched(f.vm, segment)
+	}
+}
+
+// BenchmarkFigure3ScoreStreamF32 is the float32 fast path.
+func BenchmarkFigure3ScoreStreamF32(b *testing.B) {
+	benchScoreStreamPrecision(b, PrecisionFloat32)
+}
+
+// BenchmarkFigure3ScoreStreamInt8 is the quantized path (int8 weights,
+// float32 accumulation).
+func BenchmarkFigure3ScoreStreamInt8(b *testing.B) {
+	benchScoreStreamPrecision(b, PrecisionInt8)
+}
+
 // BenchmarkFigure3ScoreStreamBatchedLong scores a full-length test split
 // per iteration, the regime where chunked window materialisation and the
 // worker pool dominate; allocations per scored window should stay flat as

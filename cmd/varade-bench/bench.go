@@ -1,0 +1,188 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"varade"
+	"varade/internal/core"
+	"varade/internal/detect"
+	"varade/internal/tensor"
+)
+
+// The machine-readable benchmark suite: `varade-bench -exp bench -json
+// BENCH_pr3.json` runs the precision-axis micro-benchmarks and writes one
+// JSON object per benchmark, so the perf trajectory is trackable across
+// PRs without parsing `go test -bench` text output.
+//
+// Timing is deliberately noise-robust for shared/1-core CI boxes: each
+// benchmark runs a fixed iteration count for several rounds and records
+// the fastest round (scheduler preemption and neighbour load only ever
+// slow a round down, so the minimum is the least-contended estimate).
+
+// BenchResult is one benchmark's machine-readable record.
+type BenchResult struct {
+	Name          string  `json:"name"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+	WindowsPerSec float64 `json:"windows_per_sec,omitempty"`
+	Iterations    int     `json:"iterations"`
+	Rounds        int     `json:"rounds"`
+}
+
+const (
+	benchRounds      = 5
+	benchTargetRound = 400 * time.Millisecond
+)
+
+// benchCase is one suite entry.
+type benchCase struct {
+	name    string
+	windows int // per op, 0 for non-streaming benchmarks
+	fn      func(iters int)
+}
+
+// measureSuite times every case over benchRounds interleaved rounds
+// (case A round 1, case B round 1, …, case A round 2, …) and keeps each
+// case's fastest round. Interleaving matters on shared hosts: slow spells
+// hit neighbouring cases equally instead of biasing whichever case ran
+// during the throttled window, so cross-case ratios stay meaningful.
+func measureSuite(cases []benchCase) []BenchResult {
+	iters := make([]int, len(cases))
+	allocs := make([]int64, len(cases))
+	best := make([]time.Duration, len(cases))
+	for i, c := range cases {
+		c.fn(1) // warm caches, pools and lazily compiled programs
+		start := time.Now()
+		c.fn(1)
+		per := time.Since(start)
+		iters[i] = 1
+		if per > 0 {
+			iters[i] = int(benchTargetRound / per)
+		}
+		if iters[i] < 1 {
+			iters[i] = 1
+		}
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		c.fn(1)
+		runtime.ReadMemStats(&ms1)
+		allocs[i] = int64(ms1.Mallocs - ms0.Mallocs)
+		best[i] = 1<<62 - 1
+	}
+	for r := 0; r < benchRounds; r++ {
+		for i, c := range cases {
+			t0 := time.Now()
+			c.fn(iters[i])
+			if d := time.Since(t0); d < best[i] {
+				best[i] = d
+			}
+		}
+	}
+	results := make([]BenchResult, len(cases))
+	for i, c := range cases {
+		res := BenchResult{
+			Name:        c.name,
+			NsPerOp:     float64(best[i].Nanoseconds()) / float64(iters[i]),
+			AllocsPerOp: allocs[i],
+			Iterations:  iters[i],
+			Rounds:      benchRounds,
+		}
+		if c.windows > 0 && res.NsPerOp > 0 {
+			res.WindowsPerSec = float64(c.windows) * 1e9 / res.NsPerOp
+		}
+		results[i] = res
+	}
+	return results
+}
+
+func runBenchSuite(jsonPath string, seed uint64) error {
+	// A small fitted model shared by the score-stream benchmarks: seeded
+	// initialisation scores at the same cost as a trained one.
+	const channels = 17
+	model, err := core.New(core.EdgeConfig(channels))
+	if err != nil {
+		return err
+	}
+	rng := tensor.NewRNG(seed)
+	// 16384 steps ≈ 2.2 MB of float64 stream: comfortably past the L2 a
+	// 1-core container gets, so the float64 path pays its full memory
+	// bandwidth and the precision comparison is stable run to run instead
+	// of hinging on cache-residency luck.
+	series := tensor.New(16384, channels)
+	sd := series.Data()
+	for i := range sd {
+		sd[i] = rng.NormFloat64()
+	}
+	windows := series.Dim(0)
+
+	scoreStream := func(precision string) func(iters int) {
+		return func(iters int) {
+			if err := model.SetPrecision(precision); err != nil {
+				panic(err)
+			}
+			for i := 0; i < iters; i++ {
+				detect.ScoreSeriesBatched(model, series)
+			}
+		}
+	}
+
+	const mmN = 128
+	x64 := tensor.RandNormal(tensor.NewRNG(1), 0, 1, mmN, mmN)
+	y64 := tensor.RandNormal(tensor.NewRNG(2), 0, 1, mmN, mmN)
+	dst64 := tensor.New(mmN, mmN)
+	x32 := tensor.Convert[float32](x64)
+	y32 := tensor.Convert[float32](y64)
+	dst32 := tensor.NewOf[float32](mmN, mmN)
+
+	suite := []benchCase{
+		{"MatMul128", 0, func(n int) {
+			for i := 0; i < n; i++ {
+				tensor.MatMulInto(dst64, x64, y64)
+			}
+		}},
+		{"MatMul128F32", 0, func(n int) {
+			for i := 0; i < n; i++ {
+				tensor.MatMulInto(dst32, x32, y32)
+			}
+		}},
+		{"MatMulTransB128", 0, func(n int) {
+			for i := 0; i < n; i++ {
+				tensor.MatMulTransBInto(dst64, x64, y64)
+			}
+		}},
+		{"MatMulTransB128F32", 0, func(n int) {
+			for i := 0; i < n; i++ {
+				tensor.MatMulTransBInto(dst32, x32, y32)
+			}
+		}},
+		{"Figure3ScoreStream", windows, scoreStream(varade.PrecisionFloat64)},
+		{"Figure3ScoreStreamF32", windows, scoreStream(varade.PrecisionFloat32)},
+		{"Figure3ScoreStreamInt8", windows, scoreStream(varade.PrecisionInt8)},
+	}
+
+	results := measureSuite(suite)
+	for _, res := range results {
+		if res.WindowsPerSec > 0 {
+			fmt.Printf("%-24s %12.0f ns/op %8d allocs/op %12.0f windows/s\n",
+				res.Name, res.NsPerOp, res.AllocsPerOp, res.WindowsPerSec)
+		} else {
+			fmt.Printf("%-24s %12.0f ns/op %8d allocs/op\n", res.Name, res.NsPerOp, res.AllocsPerOp)
+		}
+	}
+
+	if jsonPath != "" {
+		blob, err := json.MarshalIndent(map[string]any{"benchmarks": results}, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", jsonPath)
+	}
+	return nil
+}

@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 
 	"varade"
@@ -30,10 +31,22 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "table2", "experiment: table1|figure1|table2|figure3|accuracy|ablation-score|ablation-augment|ablation-kl|ablation-window|ablation-width")
+	exp := flag.String("exp", "table2", "experiment: table1|figure1|table2|figure3|accuracy|bench|ablation-score|ablation-augment|ablation-kl|ablation-window|ablation-width")
 	scaleFlag := flag.String("scale", "small", "architecture scale for timing: small|paper")
 	seed := flag.Uint64("seed", 42, "experiment seed")
+	jsonOut := flag.String("json", "", "with -exp bench: write machine-readable results to this path (e.g. BENCH_pr3.json)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment to this path")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "varade-bench:", err)
+			os.Exit(1)
+		}
+		pprof.StartCPUProfile(f)
+		defer pprof.StopCPUProfile()
+	}
 
 	scale := varade.ScaleSmall
 	if *scaleFlag == "paper" {
@@ -52,6 +65,8 @@ func main() {
 		err = figure3(scale, *seed)
 	case "accuracy":
 		err = accuracy(*seed)
+	case "bench":
+		err = runBenchSuite(*jsonOut, *seed)
 	case "ablation-score":
 		err = ablationScore(*seed)
 	case "ablation-augment":

@@ -4,6 +4,8 @@
 //
 //	varade-train -out model.vnn                     # simulated stream
 //	varade-train -in stream.csv -out model.vnn      # your own data
+//	varade-train -out model.vmf -precision float32  # float32 inference container
+//	varade-train -out model.vmf -quantize int8      # post-training int8 quantization
 //
 // The CSV input is one sample per line, comma-separated floats, already
 // normalised; the channel count is inferred from the first line.
@@ -31,7 +33,21 @@ func main() {
 	seconds := flag.Float64("seconds", 600, "simulated training duration (when -in is empty)")
 	seed := flag.Uint64("seed", 42, "seed for simulation and training")
 	subset := flag.Bool("subset", true, "use the compact channel subset for simulated data")
+	precision := flag.String("precision", "float64", "inference precision saved with the model: float64|float32|int8")
+	quantize := flag.String("quantize", "", "post-training quantization; 'int8' is shorthand for -precision int8")
 	flag.Parse()
+
+	prec := *precision
+	switch *quantize {
+	case "":
+	case "int8":
+		if prec != "" && prec != varade.PrecisionFloat64 && prec != varade.PrecisionInt8 {
+			log.Fatalf("-quantize int8 conflicts with -precision %s", prec)
+		}
+		prec = varade.PrecisionInt8
+	default:
+		log.Fatalf("unknown -quantize %q (only int8 is supported)", *quantize)
+	}
 
 	series, err := loadOrSimulate(*in, *seconds, *seed, *subset)
 	if err != nil {
@@ -59,10 +75,21 @@ func main() {
 	if err := model.FitWindows(series, tc); err != nil {
 		log.Fatal(err)
 	}
+	// Training always runs in float64; the chosen precision applies to the
+	// saved model's inference path (float32 weights, or post-training
+	// per-channel int8 quantization).
+	if err := model.SetPrecision(prec); err != nil {
+		log.Fatal(err)
+	}
 	if err := model.Save(*out); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("saved weights to %s\n", *out)
+	info, err := os.Stat(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("saved %s weights to %s (%d bytes, %d B of model weights at serving precision)\n",
+		model.Precision(), *out, info.Size(), model.WeightBytes())
 }
 
 func loadOrSimulate(path string, seconds float64, seed uint64, subset bool) (*varade.Tensor, error) {

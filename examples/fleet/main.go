@@ -31,6 +31,7 @@ import (
 func main() {
 	devices := flag.Int("devices", 8, "simulated robots to stream concurrently")
 	testSeconds := flag.Float64("seconds", 60, "per-device stream duration (simulated)")
+	precision := flag.String("precision", "float64", "serving precision to register and measure: float64|float32|int8")
 	flag.Parse()
 
 	// One shared training run: the detector and the normalisation learned
@@ -53,6 +54,9 @@ func main() {
 		log.Fatal(err)
 	}
 	thr := eval.Quantile(varade.ScoreSeriesBatched(model, train), 0.97)
+	if err := model.SetPrecision(*precision); err != nil {
+		log.Fatal(err)
+	}
 
 	// Register and serve.
 	regDir, err := os.MkdirTemp("", "varade-fleet-registry-")
@@ -149,14 +153,34 @@ func main() {
 	fmt.Printf("throughput %.0f windows/s, %d sample drops, coalesce latency p50 %.2fms p99 %.2fms\n\n",
 		float64(m.WindowsScored)/elapsed.Seconds(), m.SamplesDropped, m.P50CoalesceMs, m.P99CoalesceMs)
 
-	// Project the measured serving throughput onto the paper's boards.
-	w := edge.Workload{Name: "VARADE", Kind: edge.KindNeural}
+	// Project the measured serving throughput onto the paper's boards,
+	// one row per precision: float32 inference moves half the bytes per
+	// weight, int8 an eighth, which is the edge deployment's memory win.
+	// Only the precision actually served is a measurement; the other rows
+	// are extrapolated from the BenchmarkFleetServe64* speedup ratios
+	// measured on the 1-core dev container, and labelled as such.
 	hostHz := float64(m.WindowsScored) / elapsed.Seconds()
-	reports := []edge.FleetReport{
-		edge.XavierNX().ProfileFleet(w, hostHz, *devices, ds.Rate),
-		edge.AGXOrin().ProfileFleet(w, hostHz, *devices, ds.Rate),
+	params := int64(model.NumParams())
+	speedup := map[string]float64{"float64": 1, "float32": 1.35, "int8": 1.21}
+	served := model.Precision()
+	var reports []edge.FleetReport
+	for _, prec := range []string{"float64", "float32", "int8"} {
+		hz := hostHz * speedup[prec] / speedup[served]
+		w := edge.Workload{
+			Name:       "VARADE",
+			Kind:       edge.KindNeural,
+			Precision:  prec,
+			ModelBytes: edge.ModelBytesFor(params, prec),
+		}
+		reports = append(reports,
+			edge.XavierNX().ProfileFleet(w, hz, *devices, ds.Rate),
+			edge.AGXOrin().ProfileFleet(w, hz, *devices, ds.Rate),
+		)
 	}
 	edge.WriteFleetTable(os.Stdout, reports)
+	fmt.Printf("(measured precision: %s; other precision rows are projections from the\n"+
+		" BenchmarkFleetServe64* ratios on the 1-core dev container — rerun with\n"+
+		" -precision float32|int8 to measure them live)\n", served)
 
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()

@@ -60,8 +60,22 @@ func fleetStreams(b *testing.B) []*tensor.Tensor {
 	return out
 }
 
-func BenchmarkFleetServe64(b *testing.B) {
+func BenchmarkFleetServe64(b *testing.B) { benchFleetServe(b, "float64") }
+
+// BenchmarkFleetServe64F32 serves the same fleet from a float32 model:
+// the coalescer assembles float32 batches and scores through the
+// reduced-precision engine.
+func BenchmarkFleetServe64F32(b *testing.B) { benchFleetServe(b, "float32") }
+
+// BenchmarkFleetServe64Int8 serves the fleet from an int8-quantized
+// registry entry (the registry file itself is the VMF2 int8 container).
+func BenchmarkFleetServe64Int8(b *testing.B) { benchFleetServe(b, "int8") }
+
+func benchFleetServe(b *testing.B, precision string) {
 	model := fleetModel(b)
+	if err := model.SetPrecision(precision); err != nil {
+		b.Fatal(err)
+	}
 	streams := fleetStreams(b)
 	w := model.WindowSize()
 

@@ -9,6 +9,33 @@ package core
 
 import "fmt"
 
+// Inference precisions. Training always runs in float64; Precision selects
+// the numeric type the fitted model scores with. Float32 is the edge
+// default trade-off (half the memory bandwidth, scores within float32
+// rounding of the float64 oracle); int8 additionally quantizes Dense/Conv
+// weights per output channel with float32 accumulation.
+const (
+	// PrecisionFloat64 scores with the float64 training weights — the
+	// bit-exactness oracle path and the meaning of an empty Precision.
+	PrecisionFloat64 = "float64"
+	// PrecisionFloat32 compiles the weights to float32 and scores with the
+	// float32 instantiation of the same kernels.
+	PrecisionFloat32 = "float32"
+	// PrecisionInt8 serves per-channel affine int8 Dense/Conv weights with
+	// float32 accumulation.
+	PrecisionInt8 = "int8"
+)
+
+// ValidPrecision reports whether p names a supported inference precision
+// ("" counts as float64).
+func ValidPrecision(p string) bool {
+	switch p {
+	case "", PrecisionFloat64, PrecisionFloat32, PrecisionInt8:
+		return true
+	}
+	return false
+}
+
 // Config describes a VARADE architecture.
 type Config struct {
 	// Window is the input context length T. It must be a power of two of at
@@ -24,6 +51,21 @@ type Config struct {
 	KLWeight float64
 	// Seed initialises the weight RNG.
 	Seed uint64
+	// Precision selects the numeric type inference runs in: "" or
+	// "float64" (the training/oracle path), "float32" (the edge fast
+	// path) or "int8" (quantized weights, float32 accumulation). Training
+	// always runs in float64 regardless. Omitted from saved config JSON
+	// when empty, so default-precision model files stay byte-identical to
+	// the pre-precision format.
+	Precision string `json:",omitempty"`
+}
+
+// EffectivePrecision resolves the empty default to float64.
+func (c Config) EffectivePrecision() string {
+	if c.Precision == "" {
+		return PrecisionFloat64
+	}
+	return c.Precision
 }
 
 // PaperConfig returns the exact architecture evaluated in the paper:
@@ -64,6 +106,9 @@ func (c Config) Validate() error {
 	}
 	if c.Window < 4 || c.Window&(c.Window-1) != 0 {
 		return fmt.Errorf("core: Window must be a power of two ≥ 4, got %d", c.Window)
+	}
+	if !ValidPrecision(c.Precision) {
+		return fmt.Errorf("core: unknown precision %q (want float64, float32 or int8)", c.Precision)
 	}
 	return nil
 }

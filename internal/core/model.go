@@ -15,12 +15,15 @@ import (
 )
 
 // Model is a VARADE network. It implements detect.Detector once fitted.
+// Training always runs on the float64 layer stack; Score/ScoreBatch run in
+// the precision selected by Config.Precision (see precision.go).
 type Model struct {
 	cfg   Config
 	trunk *nn.Sequential // conv/ReLU cascade
 	flat  *nn.Flatten
 	head  *nn.Dense    // linear projection to (μ, logσ²)
 	train *TrainConfig // optional override for Fit; nil uses defaults
+	inf   inferState   // compiled reduced-precision inference programs
 }
 
 // New builds an untrained VARADE model from cfg.
@@ -107,7 +110,13 @@ func (m *Model) WindowSize() int { return m.cfg.Window }
 // Score implements detect.Detector. The window is time-major (W, C); the
 // score is the mean predicted variance over channels — §3.2: "the variance
 // is directly used as an anomaly score" (the mean prediction is discarded).
+// It runs in the model's configured precision; float64 keeps the original
+// bit-exact path.
 func (m *Model) Score(window *tensor.Tensor) float64 {
+	if m.Precision() != PrecisionFloat64 {
+		out := m.forward32(windowToInput32(window, m.cfg.Channels, m.cfg.Window))
+		return scoresFromOut32(out, m.cfg.Channels)[0]
+	}
 	_, logVar := m.Forward(windowToInput(window, m.cfg.Channels, m.cfg.Window))
 	s := 0.0
 	for _, lv := range logVar.Data() {
@@ -117,12 +126,16 @@ func (m *Model) Score(window *tensor.Tensor) float64 {
 }
 
 // ScoreBatch implements detect.BatchScorer: it scores N time-major windows
-// (N, W, C) in one batched forward pass. Per-window arithmetic is
-// identical to Score, so the scores match the scalar path exactly.
+// (N, W, C) in one batched forward pass, in the model's configured
+// precision. Per-window arithmetic is identical to Score, so the scores
+// match the scalar path exactly at every precision.
 func (m *Model) ScoreBatch(windows *tensor.Tensor) []float64 {
 	w, c := m.cfg.Window, m.cfg.Channels
 	if windows.Dims() != 3 || windows.Dim(1) != w || windows.Dim(2) != c {
 		panic(fmt.Sprintf("core: ScoreBatch windows %v, want (N,%d,%d)", windows.Shape(), w, c))
+	}
+	if m.Precision() != PrecisionFloat64 {
+		return scoresFromOut32(m.forward32(windowsToChannelMajor32(windows)), c)
 	}
 	_, logVar := m.Forward(detect.ToChannelMajor(windows))
 	n := windows.Dim(0)
@@ -191,16 +204,31 @@ func (m *Model) Summary(w io.Writer) {
 }
 
 // Save writes the model to path in the self-describing container format:
-// a versioned header carrying the architecture Config, then the weights.
-// Files written by Save reload with LoadModel without any architecture
-// flags.
+// a versioned header carrying the architecture Config and payload dtype,
+// then the weights in the model's precision — float64 files keep the
+// legacy byte layout, float32 files store rounded weights, int8 files
+// store the exact quantized blocks being served. Files written by Save
+// reload with LoadModel without any architecture flags.
 func (m *Model) Save(path string) error {
-	return nn.SaveModelFile(path, modelio.KindVARADE, m.cfg, m.Params())
+	switch m.Precision() {
+	case PrecisionFloat32:
+		return modelio.SaveFileDType(path, modelio.KindVARADE, modelio.DTypeFloat32, m.cfg,
+			func(w io.Writer) error { return nn.SaveParamsF32(w, m.Params()) })
+	case PrecisionInt8:
+		cache := m.quantCacheLazy()
+		return modelio.SaveFileDType(path, modelio.KindVARADE, modelio.DTypeInt8, m.cfg,
+			func(w io.Writer) error {
+				return nn.SaveParamsQuant(w, m.Params(), func(p *nn.Param) *nn.QuantTensor { return cache[p] })
+			})
+	default:
+		return nn.SaveModelFile(path, modelio.KindVARADE, m.cfg, m.Params())
+	}
 }
 
 // Load reads weights from path into the model. Files written by Save
-// carry a config header, validated against this model's architecture;
-// bare legacy weight files (pre-header, magic "VNN1") still load
+// carry a config header, validated against this model's architecture; the
+// model adopts the file's precision and payload (float64, float32 or
+// int8). Bare legacy weight files (pre-header, magic "VNN1") still load
 // positionally as before.
 func (m *Model) Load(path string) error {
 	f, err := os.Open(path)
@@ -213,8 +241,9 @@ func (m *Model) Load(path string) error {
 	if err != nil {
 		return fmt.Errorf("core: reading %s: %w", path, err)
 	}
-	if string(head) == modelio.Magic {
-		kind, cfgJSON, err := modelio.ReadHeader(br)
+	dtype := modelio.DTypeFloat64
+	if string(head) == modelio.Magic || string(head) == modelio.MagicV2 {
+		kind, d, cfgJSON, err := modelio.ReadHeaderDType(br)
 		if err != nil {
 			return err
 		}
@@ -229,22 +258,47 @@ func (m *Model) Load(path string) error {
 			return fmt.Errorf("core: %s was trained as T=%d C=%d maps=%d, model is T=%d C=%d maps=%d",
 				path, cfg.Window, cfg.Channels, cfg.BaseMaps, m.cfg.Window, m.cfg.Channels, m.cfg.BaseMaps)
 		}
+		dtype = d
+		m.cfg.Precision = cfg.Precision
 	}
-	return nn.LoadParams(br, m.Params())
+	m.invalidateInference()
+	return m.loadPayload(br, dtype)
+}
+
+// loadPayload fills the model's parameters from a payload of the given
+// dtype, stashing exact quantized blocks for int8 files.
+func (m *Model) loadPayload(r io.Reader, dtype string) error {
+	switch dtype {
+	case modelio.DTypeFloat32:
+		return nn.LoadParamsF32(r, m.Params())
+	case modelio.DTypeInt8:
+		cache, err := nn.LoadParamsQuant(r, m.Params())
+		if err != nil {
+			return err
+		}
+		m.inf.mu.Lock()
+		m.inf.quant = cache
+		m.inf.mu.Unlock()
+		return nil
+	default:
+		return nn.LoadParams(r, m.Params())
+	}
 }
 
 // LoadModel reads a container file written by Save and reconstructs the
 // model from its embedded Config — the registry/serving path, where no
-// architecture flags are available.
+// architecture flags are available. The file's dtype selects the payload
+// decoder; the reconstructed model scores in the precision it was saved
+// with.
 func LoadModel(path string) (*Model, error) {
 	var cfg Config
 	var m *Model
-	err := nn.LoadModelFile(path, modelio.KindVARADE, &cfg, func() ([]*nn.Param, error) {
+	err := modelio.LoadFileDType(path, modelio.KindVARADE, &cfg, func(dtype string, r io.Reader) error {
 		var err error
 		if m, err = New(cfg); err != nil {
-			return nil, err
+			return err
 		}
-		return m.Params(), nil
+		return m.loadPayload(r, dtype)
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"varade/internal/detect"
+	"varade/internal/modelio"
+	"varade/internal/tensor"
+)
+
+// trainedTiny returns a briefly trained TinyConfig model and a test
+// series with an obvious disturbance.
+func trainedTiny(t *testing.T, channels int) (*Model, *tensor.Tensor) {
+	t.Helper()
+	cfg := TinyConfig(channels)
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(11)
+	train := tensor.New(400, channels)
+	td := train.Data()
+	for i := range td {
+		td[i] = rng.NormFloat64() * 0.1
+	}
+	tc := DefaultTrainConfig()
+	tc.Epochs = 3
+	if err := m.FitWindows(train, tc); err != nil {
+		t.Fatal(err)
+	}
+	test := tensor.New(120, channels)
+	sd := test.Data()
+	for i := range sd {
+		sd[i] = rng.NormFloat64() * 0.1
+	}
+	for i := 60; i < 70; i++ { // injected transient
+		for ch := 0; ch < channels; ch++ {
+			sd[i*channels+ch] += 2
+		}
+	}
+	return m, test
+}
+
+// TestFloat32ScoresWithinTolerance asserts the acceptance criterion: the
+// float32 path agrees with the float64 oracle within a stated per-window
+// tolerance, relative to the score scale.
+func TestFloat32ScoresWithinTolerance(t *testing.T) {
+	m, test := trainedTiny(t, 3)
+	oracle := detect.ScoreSeriesBatched(m, test)
+
+	if err := m.SetPrecision(PrecisionFloat32); err != nil {
+		t.Fatal(err)
+	}
+	fast := detect.ScoreSeriesBatched(m, test)
+	if len(fast) != len(oracle) {
+		t.Fatalf("score lengths %d vs %d", len(fast), len(oracle))
+	}
+	const relTol = 1e-4 // float32 has ~7 decimal digits; the net is 3 layers deep
+	worst := 0.0
+	for i := range oracle {
+		d := math.Abs(fast[i]-oracle[i]) / math.Max(1e-12, math.Abs(oracle[i]))
+		if d > worst {
+			worst = d
+		}
+	}
+	if worst > relTol {
+		t.Fatalf("float32 scores deviate rel %.3g from float64 oracle (tol %g)", worst, relTol)
+	}
+	if worst == 0 {
+		t.Fatal("float32 path bit-identical to float64 — dispatch is not switching precision")
+	}
+	t.Logf("float32 vs float64 max relative score diff: %.3g", worst)
+
+	// Scalar and batched paths must agree at reduced precision too.
+	w := m.WindowSize()
+	win := test.SliceRows(50, 50+w)
+	if s1, s2 := m.Score(win), m.ScoreBatch(windowsOf(win))[0]; s1 != s2 {
+		t.Fatalf("float32 Score %g != ScoreBatch %g", s1, s2)
+	}
+}
+
+func windowsOf(win *tensor.Tensor) *tensor.Tensor {
+	w, c := win.Dim(0), win.Dim(1)
+	out := tensor.New(1, w, c)
+	copy(out.Data(), win.Data())
+	return out
+}
+
+// TestInt8SaveLoadRoundTrip asserts int8 payloads round-trip exactly: the
+// reloaded model serves the identical quantized weights, so scores match
+// bit for bit, and a re-save reproduces an identical payload.
+func TestInt8SaveLoadRoundTrip(t *testing.T) {
+	m, test := trainedTiny(t, 3)
+	if err := m.SetPrecision(PrecisionInt8); err != nil {
+		t.Fatal(err)
+	}
+	qScores := detect.ScoreSeriesBatched(m, test)
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model-int8.vmf")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	kind, dtype, err := modelio.Sniff(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != modelio.KindVARADE || dtype != modelio.DTypeInt8 {
+		t.Fatalf("sniffed kind %q dtype %q", kind, dtype)
+	}
+
+	loaded, err := LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Precision() != PrecisionInt8 {
+		t.Fatalf("loaded precision %q", loaded.Precision())
+	}
+	got := detect.ScoreSeriesBatched(loaded, test)
+	for i := range qScores {
+		if got[i] != qScores[i] {
+			t.Fatalf("int8 reload score %d: %g vs %g", i, got[i], qScores[i])
+		}
+	}
+
+	// Re-saving the loaded model must produce an identical payload.
+	path2 := filepath.Join(dir, "model-int8-resave.vmf")
+	if err := loaded.Save(path2); err != nil {
+		t.Fatal(err)
+	}
+	b1, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Fatal("int8 re-save is not byte-identical")
+	}
+}
+
+// TestFloat32SaveLoadRoundTrip checks the float32 container: scores of the
+// reloaded model match the saver's float32 scores exactly.
+func TestFloat32SaveLoadRoundTrip(t *testing.T) {
+	m, test := trainedTiny(t, 2)
+	if err := m.SetPrecision(PrecisionFloat32); err != nil {
+		t.Fatal(err)
+	}
+	want := detect.ScoreSeriesBatched(m, test)
+	path := filepath.Join(t.TempDir(), "model-f32.vmf")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	_, dtype, err := modelio.Sniff(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dtype != modelio.DTypeFloat32 {
+		t.Fatalf("sniffed dtype %q", dtype)
+	}
+	loaded, err := LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Precision() != PrecisionFloat32 {
+		t.Fatalf("loaded precision %q", loaded.Precision())
+	}
+	got := detect.ScoreSeriesBatched(loaded, test)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("float32 reload score %d: %g vs %g", i, got[i], want[i])
+		}
+	}
+}
+
+// TestFloat64SaveStaysLegacyFormat guards the compatibility acceptance
+// criterion: a default-precision save still writes the v1 container whose
+// bytes a pre-precision reader would accept, and legacy float64 files load
+// and score bit-identically after a precision round trip.
+func TestFloat64SaveStaysLegacyFormat(t *testing.T) {
+	m, test := trainedTiny(t, 2)
+	oracle := detect.ScoreSeriesBatched(m, test)
+	path := filepath.Join(t.TempDir(), "model.vmf")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b[:4]) != modelio.Magic {
+		t.Fatalf("default-precision save wrote magic %q, want legacy %q", b[:4], modelio.Magic)
+	}
+	loaded, err := LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Precision() != PrecisionFloat64 {
+		t.Fatalf("loaded precision %q", loaded.Precision())
+	}
+	got := detect.ScoreSeriesBatched(loaded, test)
+	for i := range oracle {
+		if got[i] != oracle[i] {
+			t.Fatalf("legacy reload score %d: %g vs %g", i, got[i], oracle[i])
+		}
+	}
+
+	// Flipping a loaded float64 model to float32 and back must restore the
+	// exact oracle scores (the float64 weights are untouched).
+	if err := loaded.SetPrecision(PrecisionFloat32); err != nil {
+		t.Fatal(err)
+	}
+	_ = detect.ScoreSeriesBatched(loaded, test)
+	if err := loaded.SetPrecision(PrecisionFloat64); err != nil {
+		t.Fatal(err)
+	}
+	back := detect.ScoreSeriesBatched(loaded, test)
+	for i := range oracle {
+		if back[i] != oracle[i] {
+			t.Fatalf("precision round-trip drifted score %d", i)
+		}
+	}
+}
+
+// TestScoreBatch32MatchesScoreBatch checks the serving-layer entry point:
+// float32 windows through ScoreBatch32 equal the model's own precision
+// path given identical float32 inputs.
+func TestScoreBatch32MatchesScoreBatch(t *testing.T) {
+	m, test := trainedTiny(t, 3)
+	if err := m.SetPrecision(PrecisionFloat32); err != nil {
+		t.Fatal(err)
+	}
+	w, c := m.cfg.Window, m.cfg.Channels
+	n := 9
+	wins := tensor.New(n, w, c)
+	wd, sd := wins.Data(), test.Data()
+	for i := 0; i < n; i++ {
+		copy(wd[i*w*c:(i+1)*w*c], sd[i*c:(i+w)*c])
+	}
+	wins32 := tensor.Convert[float32](wins)
+	got := m.ScoreBatch32(wins32)
+	// ScoreBatch converts float64 windows to float32 itself; since these
+	// windows are float32-representable the inputs coincide exactly.
+	want := m.ScoreBatch(tensor.Convert[float64](wins32))
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ScoreBatch32 %d: %g vs %g", i, got[i], want[i])
+		}
+	}
+	var _ detect.BatchScorer32 = m
+	var _ detect.Precisioned = m
+}

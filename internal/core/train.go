@@ -126,6 +126,9 @@ func (m *Model) FitWindows(series *tensor.Tensor, tc TrainConfig) error {
 			tc.Logf("epoch %d/%d  loss %.5f", epoch+1, tc.Epochs, total/float64(batches))
 		}
 	}
+	// The float64 weights changed: any compiled reduced-precision program
+	// or quantization is stale.
+	m.invalidateInference()
 	return nil
 }
 

@@ -38,6 +38,34 @@ type BatchScorer interface {
 	ScoreBatch(windows *tensor.Tensor) []float64
 }
 
+// BatchScorer32 is implemented by detectors whose inference can run at
+// reduced precision: ScoreBatch32 scores N time-major float32 windows
+// (N, W, C) in one call. The serving layer batches windows in the model's
+// own precision through this path, halving the coalescer's memory traffic
+// for float32/int8 models. Scores stay float64 on the wire.
+type BatchScorer32 interface {
+	Detector
+	ScoreBatch32(windows *tensor.Tensor32) []float64
+}
+
+// Precisioned is implemented by detectors whose inference precision is
+// configurable. Precision reports the effective numeric type ("float64",
+// "float32" or "int8"); callers use it to decide whether the float32
+// batching path applies — a float64 model must keep the bit-exact float64
+// path.
+type Precisioned interface {
+	Precision() string
+}
+
+// EffectivePrecision reports d's inference precision, defaulting to
+// float64 for detectors that predate the precision axis.
+func EffectivePrecision(d Detector) string {
+	if p, ok := d.(Precisioned); ok {
+		return p.Precision()
+	}
+	return "float64"
+}
+
 // BatchChunk is the number of sliding windows ScoreSeriesBatched
 // materialises and scores per ScoreBatch call. It bounds the working set
 // (chunk·W·C floats) while keeping each batched forward large enough to
@@ -133,13 +161,15 @@ func Windows(series *tensor.Tensor, window, stride int) (inputs, targets *tensor
 }
 
 // ToChannelMajor converts a batch of time-major windows (N, W, C) into the
-// channel-major layout (N, C, W) consumed by 1-D convolutions.
-func ToChannelMajor(windows *tensor.Tensor) *tensor.Tensor {
+// channel-major layout (N, C, W) consumed by 1-D convolutions. It is
+// generic over the element type so the float32 scoring path permutes
+// without a round trip through float64.
+func ToChannelMajor[T tensor.Float](windows *tensor.Dense[T]) *tensor.Dense[T] {
 	if windows.Dims() != 3 {
 		panic(fmt.Sprintf("detect: ToChannelMajor needs (N,W,C), got %v", windows.Shape()))
 	}
 	n, w, c := windows.Dim(0), windows.Dim(1), windows.Dim(2)
-	out := tensor.New(n, c, w)
+	out := tensor.NewOf[T](n, c, w)
 	wd, od := windows.Data(), out.Data()
 	tensor.Parallel(n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {

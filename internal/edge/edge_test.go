@@ -30,6 +30,62 @@ func TestProfileFleetScaling(t *testing.T) {
 	}
 }
 
+// TestWriteFleetTableGolden pins the fleet projection table: both boards
+// at both reduced precisions plus the zero-session edge case render
+// exactly these rows (deterministic inputs, deterministic output).
+func TestWriteFleetTableGolden(t *testing.T) {
+	const hostHz, sampleHz = 150000.0, 10.0
+	params := int64(5000)
+	var rows []FleetReport
+	for _, prec := range []string{"float64", "float32"} {
+		w := Workload{Name: "VARADE", Kind: KindNeural, Precision: prec,
+			ModelBytes: ModelBytesFor(params, prec)}
+		rows = append(rows, XavierNX().ProfileFleet(w, hostHz, 64, sampleHz))
+	}
+	// Zero sessions: utilisation 0, idle-ish power, no NaNs.
+	wz := Workload{Name: "VARADE", Kind: KindNeural, Precision: "int8",
+		ModelBytes: ModelBytesFor(params, "int8")}
+	rows = append(rows, AGXOrin().ProfileFleet(wz, hostHz, 0, sampleHz))
+
+	var b strings.Builder
+	WriteFleetTable(&b, rows)
+	// Aggregate Hz derivation (XavierNX, neural): gpuFrac 0.85, so
+	// boardSec = hostSec·0.15/0.6 + hostSec·0.85/4.0 = hostSec·0.4625 →
+	// 150000/0.4625 = 324324. Orin: ·(0.15/1.3 + 0.85/8) → 676790.
+	want := "" +
+		"Board              Model      Prec      Model MB  Sessions  Sample Hz  Aggregate Hz   Util %  Max devices   Power W\n" +
+		"-------------------------------------------------------------------------------------------------------------------\n" +
+		"Jetson Xavier NX   VARADE     float64       0.04        64       10.0        324324      0.2        32432      5.86\n" +
+		"Jetson Xavier NX   VARADE     float32       0.02        64       10.0        324324      0.2        32432      5.86\n" +
+		"Jetson AGX Orin    VARADE     int8          0.01         0       10.0        676790      0.0        67678      7.52\n"
+	if got := b.String(); got != want {
+		t.Fatalf("fleet table drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestModelBytesFor checks the bytes-per-weight axis.
+func TestModelBytesFor(t *testing.T) {
+	if ModelBytesFor(1000, "float64") != 8000 ||
+		ModelBytesFor(1000, "") != 8000 ||
+		ModelBytesFor(1000, "float32") != 4000 ||
+		ModelBytesFor(1000, "int8") != 1000 {
+		t.Fatal("bytes-per-weight mapping wrong")
+	}
+}
+
+// TestProfileFleetZeroSessions guards the degenerate inputs: no sessions
+// and no measured throughput must produce finite fields.
+func TestProfileFleetZeroSessions(t *testing.T) {
+	w := Workload{Name: "VARADE", Kind: KindNeural}
+	r := XavierNX().ProfileFleet(w, 0, 0, 0)
+	if r.Utilization != 0 || r.MaxSessions != 0 || r.AggregateHz != 0 {
+		t.Fatalf("zero inputs produced %+v", r)
+	}
+	if r.PowerW != XavierNX().IdlePowerW {
+		t.Fatalf("idle fleet power %.3f, want idle draw %.3f", r.PowerW, XavierNX().IdlePowerW)
+	}
+}
+
 func neuralWorkload(sec float64) Workload {
 	return Workload{Name: "net", Kind: KindNeural, HostSecPerInf: sec,
 		ModelBytes: 40e6, WorkingSetBytes: 5e6, AUCROC: 0.84}

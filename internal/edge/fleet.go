@@ -10,8 +10,13 @@ import (
 // many device sessions a single board-hosted server sustains when
 // windows are coalesced across sessions into batched forward passes.
 type FleetReport struct {
-	Board    string
-	Model    string
+	Board string
+	Model string
+	// Precision is the numeric precision the model serves at; it drives
+	// the weight-memory column and labels the row.
+	Precision string
+	// ModelMB is the weight footprint at that precision, in megabytes.
+	ModelMB  float64
 	Sessions int
 	// SampleHz is each device's stream rate (one window per sample once
 	// the ring is primed).
@@ -62,6 +67,8 @@ func (p Platform) ProfileFleet(w Workload, hostWindowsPerSec float64, sessions i
 	return FleetReport{
 		Board:       p.Name,
 		Model:       w.Name,
+		Precision:   w.EffectivePrecision(),
+		ModelMB:     float64(w.ModelBytes) / 1e6,
 		Sessions:    sessions,
 		SampleHz:    sampleHz,
 		AggregateHz: aggregate,
@@ -71,13 +78,17 @@ func (p Platform) ProfileFleet(w Workload, hostWindowsPerSec float64, sessions i
 	}
 }
 
-// WriteFleetTable renders fleet projections, one row per board.
+// WriteFleetTable renders fleet projections, one row per board and
+// precision: the float64/float32/int8 rows sit side by side so the
+// memory and throughput win of reduced precision reads straight off the
+// table.
 func WriteFleetTable(w io.Writer, rows []FleetReport) {
-	fmt.Fprintf(w, "%-18s %-10s %9s %10s %13s %8s %12s %9s\n",
-		"Board", "Model", "Sessions", "Sample Hz", "Aggregate Hz", "Util %", "Max devices", "Power W")
-	fmt.Fprintln(w, strings.Repeat("-", 96))
+	fmt.Fprintf(w, "%-18s %-10s %-8s %9s %9s %10s %13s %8s %12s %9s\n",
+		"Board", "Model", "Prec", "Model MB", "Sessions", "Sample Hz", "Aggregate Hz", "Util %", "Max devices", "Power W")
+	fmt.Fprintln(w, strings.Repeat("-", 115))
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-18s %-10s %9d %10.1f %13.0f %8.1f %12d %9.2f\n",
-			r.Board, r.Model, r.Sessions, r.SampleHz, r.AggregateHz, 100*r.Utilization, r.MaxSessions, r.PowerW)
+		fmt.Fprintf(w, "%-18s %-10s %-8s %9.2f %9d %10.1f %13.0f %8.1f %12d %9.2f\n",
+			r.Board, r.Model, r.Precision, r.ModelMB, r.Sessions, r.SampleHz, r.AggregateHz,
+			100*r.Utilization, r.MaxSessions, r.PowerW)
 	}
 }

@@ -37,13 +37,45 @@ type Workload struct {
 	// HostSecPerInf is the measured wall-clock seconds per inference of
 	// the Go implementation on the benchmarking host.
 	HostSecPerInf float64
-	// ModelBytes is the model's parameter/state size in bytes.
+	// ModelBytes is the model's parameter/state size in bytes at the
+	// serving precision (see ModelBytesFor).
 	ModelBytes int64
 	// WorkingSetBytes is the transient per-inference memory.
 	WorkingSetBytes int64
 	// AUCROC carries the accuracy measured on the test stream; the board
 	// model reports it unchanged (accuracy is hardware-independent).
 	AUCROC float64
+	// Precision is the numeric precision inference runs at ("float64"
+	// when empty): it labels report rows and sizes the weight footprint.
+	Precision string
+}
+
+// EffectivePrecision resolves the empty default to float64.
+func (w Workload) EffectivePrecision() string {
+	if w.Precision == "" {
+		return "float64"
+	}
+	return w.Precision
+}
+
+// BytesPerWeight returns the storage cost of one scalar weight at the
+// given precision: 8 (float64), 4 (float32) or 1 (int8; the per-channel
+// scale/zero-point overhead is amortised across a row and ignored here).
+func BytesPerWeight(precision string) int {
+	switch precision {
+	case "float32":
+		return 4
+	case "int8":
+		return 1
+	default:
+		return 8
+	}
+}
+
+// ModelBytesFor projects a parameter count onto a serving precision — the
+// bytes-per-weight axis the fleet tables expose.
+func ModelBytesFor(params int64, precision string) int64 {
+	return params * int64(BytesPerWeight(precision))
 }
 
 // Platform is one edge board. Idle values are calibrated to the Idle rows

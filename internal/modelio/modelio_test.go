@@ -1,0 +1,107 @@
+package modelio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+type tCfg struct {
+	Window, Channels int
+}
+
+func TestHeaderV1RoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteHeader(&buf, KindVARADE, tCfg{8, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String()[:4]; got != Magic {
+		t.Fatalf("float64 header magic %q, want legacy %q", got, Magic)
+	}
+	kind, dtype, cfgJSON, err := ReadHeaderDType(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != KindVARADE || dtype != DTypeFloat64 {
+		t.Fatalf("got kind %q dtype %q", kind, dtype)
+	}
+	var cfg tCfg
+	if err := Unmarshal(cfgJSON, &cfg); err != nil {
+		t.Fatal(err)
+	}
+	if cfg != (tCfg{8, 3}) {
+		t.Fatalf("config round-trip %+v", cfg)
+	}
+}
+
+func TestHeaderV2RoundTrip(t *testing.T) {
+	for _, dtype := range []string{DTypeFloat32, DTypeInt8} {
+		var buf bytes.Buffer
+		if err := WriteHeaderDType(&buf, KindVARADE, dtype, tCfg{16, 5}); err != nil {
+			t.Fatal(err)
+		}
+		if got := buf.String()[:4]; got != MagicV2 {
+			t.Fatalf("%s header magic %q, want %q", dtype, got, MagicV2)
+		}
+		kind, gotD, _, err := ReadHeaderDType(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kind != KindVARADE || gotD != dtype {
+			t.Fatalf("got kind %q dtype %q want %q", kind, gotD, dtype)
+		}
+	}
+}
+
+func TestWriteHeaderRejectsUnknownDType(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteHeaderDType(&buf, KindVARADE, "bfloat16", tCfg{}); err == nil {
+		t.Fatal("unknown dtype accepted")
+	}
+}
+
+func TestReadHeaderRejectsCorruptLengths(t *testing.T) {
+	for _, in := range []string{
+		"",
+		"VMF",
+		"XXXX",
+		"VMF1\xff\xff\xff\xff",
+		"VMF2\x02\x00\x00\x00ae\xff\xff\xff\x7f",
+		"VMF1\x02\x00\x00\x00ae", // truncated before config
+	} {
+		if _, _, _, err := ReadHeaderDType(strings.NewReader(in)); err == nil {
+			t.Fatalf("corrupt header %q accepted", in)
+		}
+	}
+}
+
+func TestSliceRoundTrips(t *testing.T) {
+	var buf bytes.Buffer
+	f32 := []float32{1.5, -2.25, 0, 3e7}
+	i8 := []int8{-128, -1, 0, 1, 127}
+	if err := WriteF32Slice(&buf, f32); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteI8Slice(&buf, i8); err != nil {
+		t.Fatal(err)
+	}
+	r := bytes.NewReader(buf.Bytes())
+	gf, err := ReadF32Slice(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gi, err := ReadI8Slice(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f32 {
+		if gf[i] != f32[i] {
+			t.Fatalf("f32[%d] = %v want %v", i, gf[i], f32[i])
+		}
+	}
+	for i := range i8 {
+		if gi[i] != i8[i] {
+			t.Fatalf("i8[%d] = %v want %v", i, gi[i], i8[i])
+		}
+	}
+}

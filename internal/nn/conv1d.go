@@ -12,7 +12,9 @@ import (
 // and the whole convolution becomes a single matrix product through the
 // optimized tensor.MatMul* kernels, which shard rows across the package
 // worker pool. The unrolling, bias/permute and scatter passes are
-// themselves batch-parallel.
+// themselves batch-parallel. The forward arithmetic lives in the generic
+// kernels of fwd.go (conv1dForward/convT1dForward), shared with the
+// precision-polymorphic inference programs of infer.go.
 //
 // Per output element the tap-accumulation order is identical for every
 // batch size, so batched forwards reproduce single-window forwards bit for
@@ -47,63 +49,14 @@ func NewConv1D(inC, outC, kernel, stride, pad int, rng *tensor.RNG) *Conv1D {
 	}
 }
 
+// geom returns the layer's shape description for the generic kernels.
+func (c *Conv1D) geom() convGeom {
+	return convGeom{inC: c.InC, outC: c.OutC, kernel: c.Kernel, stride: c.Stride, pad: c.Pad}
+}
+
 // OutLen returns the output length for an input of length l.
 func (c *Conv1D) OutLen(l int) int {
 	return (l+2*c.Pad-c.Kernel)/c.Stride + 1
-}
-
-// im2colRows unrolls a channel-major batch xd (batch, inC, l) into cols, a
-// (batch·lo, inC·kernel) matrix whose row b·lo+t holds the taps of output
-// position (b, t): cols[b·lo+t, ic·K+kk] = x[b, ic, t·stride-pad+kk].
-// Out-of-range taps are written as zero.
-func im2colRows(cols *tensor.Tensor, xd []float64, batch, inC, l, lo, kernel, stride, pad int) {
-	cd := cols.Data()
-	kw := inC * kernel
-	tensor.Parallel(batch, func(blo, bhi int) {
-		for b := blo; b < bhi; b++ {
-			xb := xd[b*inC*l : (b+1)*inC*l]
-			for t := 0; t < lo; t++ {
-				row := cd[(b*lo+t)*kw : (b*lo+t+1)*kw]
-				base := t*stride - pad
-				for ic := 0; ic < inC; ic++ {
-					xrow := xb[ic*l : (ic+1)*l]
-					for kk := 0; kk < kernel; kk++ {
-						p := base + kk
-						if p >= 0 && p < l {
-							row[ic*kernel+kk] = xrow[p]
-						} else {
-							row[ic*kernel+kk] = 0
-						}
-					}
-				}
-			}
-		}
-	})
-}
-
-// col2imRowsAdd scatters cols (batch·lo, inC·kernel) back into the
-// channel-major batch dxd (batch, inC, l) — the adjoint of im2colRows.
-func col2imRowsAdd(dxd []float64, cols *tensor.Tensor, batch, inC, l, lo, kernel, stride, pad int) {
-	cd := cols.Data()
-	kw := inC * kernel
-	tensor.Parallel(batch, func(blo, bhi int) {
-		for b := blo; b < bhi; b++ {
-			dxb := dxd[b*inC*l : (b+1)*inC*l]
-			for t := 0; t < lo; t++ {
-				row := cd[(b*lo+t)*kw : (b*lo+t+1)*kw]
-				base := t*stride - pad
-				for ic := 0; ic < inC; ic++ {
-					dxrow := dxb[ic*l : (ic+1)*l]
-					for kk := 0; kk < kernel; kk++ {
-						p := base + kk
-						if p >= 0 && p < l {
-							dxrow[p] += row[ic*kernel+kk]
-						}
-					}
-				}
-			}
-		}
-	})
 }
 
 // Forward computes the convolution as one GEMM:
@@ -113,33 +66,7 @@ func (c *Conv1D) Forward(x *tensor.Tensor) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: Conv1D forward shape %v, want (batch,%d,L)", x.Shape(), c.InC))
 	}
 	c.in = x
-	batch, l := x.Dim(0), x.Dim(2)
-	lo := c.OutLen(l)
-	if lo <= 0 {
-		panic(fmt.Sprintf("nn: Conv1D input length %d too short for k=%d s=%d p=%d", l, c.Kernel, c.Stride, c.Pad))
-	}
-	out := tensor.New(batch, c.OutC, lo)
-	wmat := c.W.Value.Reshape(c.OutC, c.InC*c.Kernel)
-	ar := tensor.GetArena()
-	defer tensor.PutArena(ar)
-	cols := ar.Tensor(batch*lo, c.InC*c.Kernel)
-	im2colRows(cols, x.Data(), batch, c.InC, l, lo, c.Kernel, c.Stride, c.Pad)
-	prod := ar.Tensor(batch*lo, c.OutC)
-	tensor.MatMulTransBInto(prod, cols, wmat)
-	// Permute (b·lo+t, oc) → (b, oc, t), adding the bias on the way.
-	pd, bd, od := prod.Data(), c.B.Value.Data(), out.Data()
-	tensor.Parallel(batch, func(blo, bhi int) {
-		for b := blo; b < bhi; b++ {
-			ob := od[b*c.OutC*lo : (b+1)*c.OutC*lo]
-			for t := 0; t < lo; t++ {
-				prow := pd[(b*lo+t)*c.OutC : (b*lo+t+1)*c.OutC]
-				for oc, v := range prow {
-					ob[oc*lo+t] = v + bd[oc]
-				}
-			}
-		}
-	})
-	return out
+	return conv1dForward(x, c.W.Value, c.B.Value, c.geom())
 }
 
 // Backward accumulates weight/bias gradients and returns the input
@@ -217,26 +144,14 @@ func NewConvTranspose1D(inC, outC, kernel, stride, pad int, rng *tensor.RNG) *Co
 	}
 }
 
+// geom returns the layer's shape description for the generic kernels.
+func (c *ConvTranspose1D) geom() convGeom {
+	return convGeom{inC: c.InC, outC: c.OutC, kernel: c.Kernel, stride: c.Stride, pad: c.Pad}
+}
+
 // OutLen returns the output length for an input of length l.
 func (c *ConvTranspose1D) OutLen(l int) int {
 	return (l-1)*c.Stride + c.Kernel - 2*c.Pad
-}
-
-// chanToRows permutes a channel-major batch (batch, ch, l) into row-major
-// position rows (batch·l, ch).
-func chanToRows(dst *tensor.Tensor, xd []float64, batch, ch, l int) {
-	dd := dst.Data()
-	tensor.Parallel(batch, func(blo, bhi int) {
-		for b := blo; b < bhi; b++ {
-			xb := xd[b*ch*l : (b+1)*ch*l]
-			for t := 0; t < l; t++ {
-				row := dd[(b*l+t)*ch : (b*l+t+1)*ch]
-				for ic := 0; ic < ch; ic++ {
-					row[ic] = xb[ic*l+t]
-				}
-			}
-		}
-	})
 }
 
 // Forward computes cols = x₂·W (one GEMM over all positions), then
@@ -246,47 +161,7 @@ func (c *ConvTranspose1D) Forward(x *tensor.Tensor) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: ConvTranspose1D forward shape %v, want (batch,%d,L)", x.Shape(), c.InC))
 	}
 	c.in = x
-	batch, l := x.Dim(0), x.Dim(2)
-	lo := c.OutLen(l)
-	if lo <= 0 {
-		panic(fmt.Sprintf("nn: ConvTranspose1D input length %d invalid for k=%d s=%d p=%d", l, c.Kernel, c.Stride, c.Pad))
-	}
-	out := tensor.New(batch, c.OutC, lo)
-	wmat := c.W.Value.Reshape(c.InC, c.OutC*c.Kernel)
-	ar := tensor.GetArena()
-	defer tensor.PutArena(ar)
-	x2 := ar.Tensor(batch*l, c.InC)
-	chanToRows(x2, x.Data(), batch, c.InC, l)
-	cols := ar.Tensor(batch*l, c.OutC*c.Kernel)
-	tensor.MatMulInto(cols, x2, wmat)
-	cd, bd, od := cols.Data(), c.B.Value.Data(), out.Data()
-	kw := c.OutC * c.Kernel
-	tensor.Parallel(batch, func(blo, bhi int) {
-		for b := blo; b < bhi; b++ {
-			ob := od[b*c.OutC*lo : (b+1)*c.OutC*lo]
-			for oc := 0; oc < c.OutC; oc++ {
-				bias := bd[oc]
-				orow := ob[oc*lo : (oc+1)*lo]
-				for t := range orow {
-					orow[t] = bias
-				}
-			}
-			for t := 0; t < l; t++ {
-				row := cd[(b*l+t)*kw : (b*l+t+1)*kw]
-				base := t*c.Stride - c.Pad
-				for oc := 0; oc < c.OutC; oc++ {
-					orow := ob[oc*lo : (oc+1)*lo]
-					for kk := 0; kk < c.Kernel; kk++ {
-						p := base + kk
-						if p >= 0 && p < lo {
-							orow[p] += row[oc*c.Kernel+kk]
-						}
-					}
-				}
-			}
-		}
-	})
-	return out
+	return convT1dForward(x, c.W.Value, c.B.Value, c.geom())
 }
 
 // Backward gathers dcols from the output gradient (the adjoint of the

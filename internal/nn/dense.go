@@ -27,29 +27,14 @@ func (d *Dense) InFeatures() int { return d.W.Value.Dim(1) }
 // OutFeatures returns the output width.
 func (d *Dense) OutFeatures() int { return d.W.Value.Dim(0) }
 
-// Forward computes x·Wᵀ + b.
+// Forward computes x·Wᵀ + b through the generic denseForward kernel (the
+// same code the float32 inference programs instantiate).
 func (d *Dense) Forward(x *tensor.Tensor) *tensor.Tensor {
 	if x.Dims() != 2 || x.Dim(1) != d.InFeatures() {
 		panic(fmt.Sprintf("nn: Dense forward shape %v, want (batch,%d)", x.Shape(), d.InFeatures()))
 	}
 	d.in = x
-	out := tensor.MatMulTransB(x, d.W.Value)
-	batch, of := out.Dim(0), out.Dim(1)
-	od, bd := out.Data(), d.B.Value.Data()
-	addBias := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			row := od[i*of : (i+1)*of]
-			for j := range row {
-				row[j] += bd[j]
-			}
-		}
-	}
-	if batch*of < 16384 {
-		addBias(0, batch)
-	} else {
-		tensor.Parallel(batch, addBias)
-	}
-	return out
+	return denseForward(x, d.W.Value, d.B.Value)
 }
 
 // Backward accumulates dW = gradᵀ·x and db = Σ grad rows, and returns

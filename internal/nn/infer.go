@@ -1,0 +1,361 @@
+package nn
+
+import (
+	"fmt"
+
+	"varade/internal/tensor"
+)
+
+// Precision-polymorphic inference programs. A trained float64 layer stack
+// is compiled into an InferenceNet[T]: a flat list of stateless ops whose
+// weights were converted to T once, up front. The ops reuse the generic
+// forward kernels of fwd.go, so an InferenceNet[float64] reproduces the
+// training layers bit for bit, while InferenceNet[float32] runs the same
+// algorithm at half the memory bandwidth. CompileQuantized additionally
+// swaps Dense/Conv1D weights for per-channel affine int8 (quant.go) with
+// float32 accumulation.
+//
+// Unlike training layers, ops cache nothing, so a compiled net is safe for
+// concurrent Forward calls.
+
+// InferOp is one step of a compiled inference program.
+type InferOp[T tensor.Float] interface {
+	Apply(x *tensor.Dense[T]) *tensor.Dense[T]
+}
+
+// InferenceNet is a compiled sequence of inference ops at precision T.
+type InferenceNet[T tensor.Float] struct {
+	ops []InferOp[T]
+}
+
+// Forward runs the program on x and returns the final activation.
+func (n *InferenceNet[T]) Forward(x *tensor.Dense[T]) *tensor.Dense[T] {
+	for _, op := range n.ops {
+		x = op.Apply(x)
+	}
+	return x
+}
+
+// NumOps returns the number of compiled ops.
+func (n *InferenceNet[T]) NumOps() int { return len(n.ops) }
+
+// AppendDense appends a Dense op with explicit weights — used by callers
+// that specialise a projection for scoring (e.g. keeping only the
+// log-variance rows of VARADE's head, since §3.2 discards the mean).
+func (n *InferenceNet[T]) AppendDense(w, b *tensor.Dense[T]) {
+	n.ops = append(n.ops, opDense[T]{w: w, b: b})
+}
+
+// AppendDenseQuant appends an int8 Dense op with explicit quantized
+// weights (float32 programs only).
+func AppendDenseQuant(n *InferenceNet[float32], q *QuantTensor, b []float32) {
+	n.ops = append(n.ops, opDenseQ{q: q, b: b})
+}
+
+// WeightBytes returns the total byte size of the program's weights — the
+// model's precision-dependent memory footprint.
+func (n *InferenceNet[T]) WeightBytes() int {
+	total := 0
+	for _, op := range n.ops {
+		if s, ok := op.(interface{ weightBytes() int }); ok {
+			total += s.weightBytes()
+		}
+	}
+	return total
+}
+
+type opDense[T tensor.Float] struct{ w, b *tensor.Dense[T] }
+
+func (o opDense[T]) Apply(x *tensor.Dense[T]) *tensor.Dense[T] {
+	return denseForward(x, o.w, o.b)
+}
+
+func (o opDense[T]) weightBytes() int {
+	var z T
+	return (o.w.Len() + o.b.Len()) * int(tensor.SizeOf(z))
+}
+
+type opConv1D[T tensor.Float] struct {
+	w, b *tensor.Dense[T]
+	g    convGeom
+}
+
+func (o opConv1D[T]) Apply(x *tensor.Dense[T]) *tensor.Dense[T] {
+	return conv1dForward(x, o.w, o.b, o.g)
+}
+
+func (o opConv1D[T]) weightBytes() int {
+	var z T
+	return (o.w.Len() + o.b.Len()) * int(tensor.SizeOf(z))
+}
+
+type opConvT1D[T tensor.Float] struct {
+	w, b *tensor.Dense[T]
+	g    convGeom
+}
+
+func (o opConvT1D[T]) Apply(x *tensor.Dense[T]) *tensor.Dense[T] {
+	return convT1dForward(x, o.w, o.b, o.g)
+}
+
+func (o opConvT1D[T]) weightBytes() int {
+	var z T
+	return (o.w.Len() + o.b.Len()) * int(tensor.SizeOf(z))
+}
+
+type opLSTM[T tensor.Float] struct {
+	wx, wh, b  *tensor.Dense[T]
+	in, hidden int
+	returnSeq  bool
+}
+
+func (o opLSTM[T]) Apply(x *tensor.Dense[T]) *tensor.Dense[T] {
+	return lstmForward(x, o.wx, o.wh, o.b, o.in, o.hidden, o.returnSeq, nil)
+}
+
+func (o opLSTM[T]) weightBytes() int {
+	var z T
+	return (o.wx.Len() + o.wh.Len() + o.b.Len()) * int(tensor.SizeOf(z))
+}
+
+type opReLU[T tensor.Float] struct{}
+
+func (opReLU[T]) Apply(x *tensor.Dense[T]) *tensor.Dense[T] {
+	out := tensor.NewOf[T](x.Shape()...)
+	od := out.Data()
+	for i, v := range x.Data() {
+		if v > 0 {
+			od[i] = v
+		}
+	}
+	return out
+}
+
+type opTanh[T tensor.Float] struct{}
+
+func (opTanh[T]) Apply(x *tensor.Dense[T]) *tensor.Dense[T] {
+	return tensor.Apply(x, tanhT[T])
+}
+
+type opSigmoid[T tensor.Float] struct{}
+
+func (opSigmoid[T]) Apply(x *tensor.Dense[T]) *tensor.Dense[T] {
+	return tensor.Apply(x, sigmoidT[T])
+}
+
+type opFlatten[T tensor.Float] struct{}
+
+func (opFlatten[T]) Apply(x *tensor.Dense[T]) *tensor.Dense[T] {
+	return x.Reshape(x.Dim(0), -1)
+}
+
+// opResidual runs a compiled branch and adds the (possibly projected)
+// shortcut, mirroring ResBlock1D.
+type opResidual[T tensor.Float] struct {
+	branch *InferenceNet[T]
+	proj   *opConv1D[T] // nil for identity shortcut
+}
+
+func (o opResidual[T]) Apply(x *tensor.Dense[T]) *tensor.Dense[T] {
+	y := o.branch.Forward(x)
+	if o.proj != nil {
+		return tensor.Add(y, o.proj.Apply(x))
+	}
+	return tensor.Add(y, x)
+}
+
+func (o opResidual[T]) weightBytes() int {
+	total := o.branch.WeightBytes()
+	if o.proj != nil {
+		total += o.proj.weightBytes()
+	}
+	return total
+}
+
+// opDenseQ is a Dense layer with per-channel affine int8 weights and
+// float32 accumulation. Only valid at T = float32.
+type opDenseQ struct {
+	q *QuantTensor
+	b []float32
+}
+
+func (o opDenseQ) Apply(x *tensor.Tensor32) *tensor.Tensor32 {
+	out := tensor.NewOf[float32](x.Dim(0), o.q.Rows)
+	quantGEMMTransB(out, x, o.q, o.b)
+	return out
+}
+
+func (o opDenseQ) weightBytes() int { return o.q.NumBytes() + 4*len(o.b) }
+
+// opConv1DQ is a Conv1D with int8 weights: im2col in float32 scratch, then
+// the quantized GEMM, then the bias/permute pass. Only valid at T = float32.
+type opConv1DQ struct {
+	q *QuantTensor // rows = outC, cols = inC·kernel
+	b []float32
+	g convGeom
+}
+
+func (o opConv1DQ) Apply(x *tensor.Tensor32) *tensor.Tensor32 {
+	g := o.g
+	batch, l := x.Dim(0), x.Dim(2)
+	lo := g.outLen(l)
+	if lo <= 0 {
+		panic(fmt.Sprintf("nn: quantized Conv1D input length %d too short for k=%d s=%d p=%d", l, g.kernel, g.stride, g.pad))
+	}
+	out := tensor.NewOf[float32](batch, g.outC, lo)
+	ar := tensor.GetArenaOf[float32]()
+	defer tensor.PutArena(ar)
+	cols := ar.Tensor(batch*lo, g.inC*g.kernel)
+	im2colRows(cols, x.Data(), batch, g.inC, l, lo, g.kernel, g.stride, g.pad)
+	prod := ar.Tensor(batch*lo, g.outC)
+	quantGEMMTransB(prod, cols, o.q, nil)
+	pd, od := prod.Data(), out.Data()
+	tensor.Parallel(batch, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			ob := od[b*g.outC*lo : (b+1)*g.outC*lo]
+			for t := 0; t < lo; t++ {
+				prow := pd[(b*lo+t)*g.outC : (b*lo+t+1)*g.outC]
+				for oc, v := range prow {
+					ob[oc*lo+t] = v + o.b[oc]
+				}
+			}
+		}
+	})
+	return out
+}
+
+func (o opConv1DQ) weightBytes() int { return o.q.NumBytes() + 4*len(o.b) }
+
+// cvt converts a float64 parameter tensor to precision T.
+func cvt[T tensor.Float](p *Param) *tensor.Dense[T] {
+	return tensor.Convert[T](p.Value)
+}
+
+func f32s(p *Param) []float32 {
+	out := make([]float32, p.Value.Len())
+	tensor.ConvertSlice(out, p.Value.Data())
+	return out
+}
+
+// Compile builds an InferenceNet[T] from trained float64 layers,
+// converting every weight to T once. Layer order and arithmetic are
+// preserved exactly; Sequential containers are flattened.
+func Compile[T tensor.Float](layers ...Layer) (*InferenceNet[T], error) {
+	net := &InferenceNet[T]{}
+	for _, l := range layers {
+		if err := compileInto(net, l); err != nil {
+			return nil, err
+		}
+	}
+	return net, nil
+}
+
+func compileInto[T tensor.Float](net *InferenceNet[T], l Layer) error {
+	switch v := l.(type) {
+	case *Sequential:
+		for _, inner := range v.Layers {
+			if err := compileInto(net, inner); err != nil {
+				return err
+			}
+		}
+	case *Dense:
+		net.ops = append(net.ops, opDense[T]{w: cvt[T](v.W), b: cvt[T](v.B)})
+	case *Conv1D:
+		net.ops = append(net.ops, opConv1D[T]{w: cvt[T](v.W), b: cvt[T](v.B), g: v.geom()})
+	case *ConvTranspose1D:
+		net.ops = append(net.ops, opConvT1D[T]{w: cvt[T](v.W), b: cvt[T](v.B), g: v.geom()})
+	case *LSTM:
+		net.ops = append(net.ops, opLSTM[T]{
+			wx: cvt[T](v.Wx), wh: cvt[T](v.Wh), b: cvt[T](v.B),
+			in: v.In, hidden: v.Hidden, returnSeq: v.ReturnSequences,
+		})
+	case *ResBlock1D:
+		op := opResidual[T]{branch: &InferenceNet[T]{}}
+		for _, inner := range []Layer{v.relu1, v.conv1, v.relu2, v.conv2} {
+			if err := compileInto(op.branch, inner); err != nil {
+				return err
+			}
+		}
+		if v.proj != nil {
+			op.proj = &opConv1D[T]{w: cvt[T](v.proj.W), b: cvt[T](v.proj.B), g: v.proj.geom()}
+		}
+		net.ops = append(net.ops, op)
+	case *ReLU:
+		net.ops = append(net.ops, opReLU[T]{})
+	case *Tanh:
+		net.ops = append(net.ops, opTanh[T]{})
+	case *Sigmoid:
+		net.ops = append(net.ops, opSigmoid[T]{})
+	case *Flatten:
+		net.ops = append(net.ops, opFlatten[T]{})
+	default:
+		return fmt.Errorf("nn: cannot compile layer type %T for inference", l)
+	}
+	return nil
+}
+
+// QuantCache maps weight parameters to their int8 quantization. Passing a
+// cache into CompileQuantized reuses existing entries (so models loaded
+// from an int8 file serve the exact stored weights) and records fresh
+// quantizations for parameters not yet present (so a subsequent Save
+// persists exactly what is being served).
+type QuantCache map[*Param]*QuantTensor
+
+// CompileQuantized builds a float32 inference program where Dense and
+// Conv1D weight matrices are per-channel affine int8 with float32
+// accumulation. Other layers (transpose convolutions, LSTMs, activations)
+// run in plain float32; biases stay float32.
+func CompileQuantized(cache QuantCache, layers ...Layer) (*InferenceNet[float32], error) {
+	if cache == nil {
+		cache = make(QuantCache)
+	}
+	net := &InferenceNet[float32]{}
+	for _, l := range layers {
+		if err := compileQuantInto(net, cache, l); err != nil {
+			return nil, err
+		}
+	}
+	return net, nil
+}
+
+func quantFor(cache QuantCache, p *Param, rows, cols int) *QuantTensor {
+	if q, ok := cache[p]; ok {
+		return q
+	}
+	q := QuantizeRows(p.Value, rows, cols)
+	cache[p] = q
+	return q
+}
+
+func compileQuantInto(net *InferenceNet[float32], cache QuantCache, l Layer) error {
+	switch v := l.(type) {
+	case *Sequential:
+		for _, inner := range v.Layers {
+			if err := compileQuantInto(net, cache, inner); err != nil {
+				return err
+			}
+		}
+	case *Dense:
+		q := quantFor(cache, v.W, v.OutFeatures(), v.InFeatures())
+		net.ops = append(net.ops, opDenseQ{q: q, b: f32s(v.B)})
+	case *Conv1D:
+		q := quantFor(cache, v.W, v.OutC, v.InC*v.Kernel)
+		net.ops = append(net.ops, opConv1DQ{q: q, b: f32s(v.B), g: v.geom()})
+	case *ResBlock1D:
+		op := opResidual[float32]{branch: &InferenceNet[float32]{}}
+		for _, inner := range []Layer{v.relu1, v.conv1, v.relu2, v.conv2} {
+			if err := compileQuantInto(op.branch, cache, inner); err != nil {
+				return err
+			}
+		}
+		if v.proj != nil {
+			// The 1×1 shortcut projection is tiny; keep it in float32.
+			op.proj = &opConv1D[float32]{w: cvt[float32](v.proj.W), b: cvt[float32](v.proj.B), g: v.proj.geom()}
+		}
+		net.ops = append(net.ops, op)
+	default:
+		// Everything else keeps the plain float32 op.
+		return compileInto(net, l)
+	}
+	return nil
+}

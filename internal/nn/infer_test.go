@@ -1,0 +1,196 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"varade/internal/tensor"
+)
+
+// testStack builds a small conv→relu→flatten→dense stack (the VARADE
+// topology) with seeded weights.
+func testStack(t *testing.T) []Layer {
+	t.Helper()
+	rng := tensor.NewRNG(7)
+	return []Layer{
+		NewConv1D(3, 8, 2, 2, 0, rng),
+		NewReLU(),
+		NewConv1D(8, 8, 2, 2, 0, rng),
+		NewReLU(),
+		NewFlatten(),
+		NewDense(16, 6, rng),
+	}
+}
+
+func forwardAll(layers []Layer, x *tensor.Tensor) *tensor.Tensor {
+	for _, l := range layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+func TestCompileFloat64BitIdentical(t *testing.T) {
+	layers := testStack(t)
+	net, err := Compile[float64](layers...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.RandNormal(tensor.NewRNG(9), 0, 1, 4, 3, 8)
+	want := forwardAll(layers, x)
+	got := net.Forward(x)
+	if !tensor.SameShape(want, got) {
+		t.Fatalf("shape %v want %v", got.Shape(), want.Shape())
+	}
+	for i := range want.Data() {
+		if want.Data()[i] != got.Data()[i] {
+			t.Fatalf("element %d: compiled %g, layer path %g", i, got.Data()[i], want.Data()[i])
+		}
+	}
+}
+
+func TestCompileFloat32CloseToOracle(t *testing.T) {
+	layers := testStack(t)
+	net, err := Compile[float32](layers...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x64 := tensor.RandNormal(tensor.NewRNG(9), 0, 1, 4, 3, 8)
+	want := forwardAll(layers, x64)
+	got := net.Forward(tensor.Convert[float32](x64))
+	worst := 0.0
+	for i, w := range want.Data() {
+		if d := math.Abs(w - float64(got.Data()[i])); d > worst {
+			worst = d
+		}
+	}
+	if worst == 0 {
+		t.Fatal("float32 path suspiciously exact — is it running in float64?")
+	}
+	if worst > 1e-4 {
+		t.Fatalf("float32 forward deviates %g from float64 oracle", worst)
+	}
+}
+
+func TestCompileQuantizedWithinNoiseFloor(t *testing.T) {
+	layers := testStack(t)
+	cache := make(QuantCache)
+	qnet, err := CompileQuantized(cache, layers...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cache) != 3 { // two conv weights + one dense weight
+		t.Fatalf("quantized %d weight tensors, want 3", len(cache))
+	}
+	x64 := tensor.RandNormal(tensor.NewRNG(9), 0, 1, 4, 3, 8)
+	want := forwardAll(layers, x64)
+	got := qnet.Forward(tensor.Convert[float32](x64))
+	worst := 0.0
+	for i, w := range want.Data() {
+		if d := math.Abs(w - float64(got.Data()[i])); d > worst {
+			worst = d
+		}
+	}
+	// int8 noise: ~0.4% of the per-channel weight range per tap, summed
+	// over a handful of taps; loose bound that still catches wiring bugs.
+	if worst > 0.3 {
+		t.Fatalf("quantized forward deviates %g from float64 oracle", worst)
+	}
+	// Quantized weights must be far smaller than the float64 originals.
+	var f64Bytes int
+	for _, l := range layers {
+		for _, p := range l.Params() {
+			f64Bytes += 8 * p.Value.Len()
+		}
+	}
+	if qb := qnet.WeightBytes(); qb*4 > f64Bytes {
+		t.Fatalf("quantized weights %dB not ≤ ¼ of float64 %dB", qb, f64Bytes)
+	}
+}
+
+func TestQuantRoundTripExact(t *testing.T) {
+	w := tensor.RandNormal(tensor.NewRNG(3), 0, 0.5, 8, 6)
+	q := QuantizeRows(w, 8, 6)
+	halfStep := 0.0
+	for _, s := range q.Scale {
+		if h := float64(s) / 2; h > halfStep {
+			halfStep = h
+		}
+	}
+	if q.MaxAbsError(w) > halfStep*1.01 {
+		t.Fatalf("quantization error %g above half-step %g", q.MaxAbsError(w), halfStep)
+	}
+	// requantizing the dequantized weights with the same geometry must
+	// reproduce the identical int8 values.
+	q2 := QuantizeRows(q.Dequantize(), 8, 6)
+	for i := range q.Q {
+		if q.Q[i] != q2.Q[i] {
+			t.Fatalf("requantization drifted at %d: %d vs %d", i, q.Q[i], q2.Q[i])
+		}
+	}
+}
+
+func TestParamsF32AndQuantPayloadRoundTrip(t *testing.T) {
+	layers := testStack(t)
+	var params []*Param
+	for _, l := range layers {
+		params = append(params, l.Params()...)
+	}
+
+	// float32 payload: save, reload into a zeroed copy, values match to f32.
+	var buf bytes.Buffer
+	if err := SaveParamsF32(&buf, params); err != nil {
+		t.Fatal(err)
+	}
+	fresh := testStack(t)
+	var freshParams []*Param
+	for _, l := range fresh {
+		freshParams = append(freshParams, l.Params()...)
+	}
+	for _, p := range freshParams {
+		p.Value.Zero()
+	}
+	if err := LoadParamsF32(bytes.NewReader(buf.Bytes()), freshParams); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range params {
+		pd, fd := p.Value.Data(), freshParams[i].Value.Data()
+		for j := range pd {
+			if float64(float32(pd[j])) != fd[j] {
+				t.Fatalf("param %s[%d]: %g vs %g", p.Name, j, pd[j], fd[j])
+			}
+		}
+	}
+
+	// quant payload: stored int8 values come back exactly.
+	cache := make(QuantCache)
+	if _, err := CompileQuantized(cache, layers...); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := SaveParamsQuant(&buf, params, func(p *Param) *QuantTensor { return cache[p] }); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadParamsQuant(bytes.NewReader(buf.Bytes()), freshParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for i, p := range params {
+		if q := cache[p]; q != nil {
+			g := got[freshParams[i]]
+			if g == nil {
+				t.Fatalf("param %s lost its quant block", p.Name)
+			}
+			for j := range q.Q {
+				if q.Q[j] != g.Q[j] {
+					t.Fatalf("param %s q[%d]: %d vs %d", p.Name, j, q.Q[j], g.Q[j])
+				}
+			}
+			n++
+		}
+	}
+	if n != 3 {
+		t.Fatalf("round-tripped %d quant blocks, want 3", n)
+	}
+}

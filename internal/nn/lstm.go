@@ -2,7 +2,6 @@ package nn
 
 import (
 	"fmt"
-	"math"
 
 	"varade/internal/tensor"
 )
@@ -10,7 +9,9 @@ import (
 // LSTM is a single recurrent layer processing (batch, T, in) sequences with
 // full backpropagation through time. Gate pre-activations are computed for
 // the whole batch per time step as pre = x_t·Wxᵀ + h_{t-1}·Whᵀ + b with the
-// gate order (input, forget, cell candidate, output).
+// gate order (input, forget, cell candidate, output). The forward
+// recurrence lives in the generic lstmForward kernel of fwd.go, shared with
+// the precision-polymorphic inference programs.
 //
 // When ReturnSequences is true the output is (batch, T, hidden); otherwise
 // it is the final hidden state (batch, hidden). The AR-LSTM baseline stacks
@@ -20,12 +21,8 @@ type LSTM struct {
 	In, Hidden      int
 	ReturnSequences bool
 
-	// Per-forward caches for BPTT.
-	xs              []*tensor.Tensor // input at each step (batch, in)
-	hs, cs          []*tensor.Tensor // states after each step (batch, hidden); index 0 is the initial state
-	gi, gf, gg, go_ []*tensor.Tensor
-	tanhC           []*tensor.Tensor
-	batch, steps    int
+	// st caches the per-forward intermediates for BPTT.
+	st lstmState[float64]
 }
 
 // NewLSTM returns an LSTM with Xavier-uniform weights and forget-gate bias
@@ -46,96 +43,19 @@ func NewLSTM(in, hidden int, returnSequences bool, rng *tensor.RNG) *LSTM {
 	}
 }
 
-// Forward runs the recurrence over all time steps.
+// Forward runs the recurrence over all time steps, caching every
+// intermediate for the backward pass.
 func (l *LSTM) Forward(x *tensor.Tensor) *tensor.Tensor {
 	if x.Dims() != 3 || x.Dim(2) != l.In {
 		panic(fmt.Sprintf("nn: LSTM forward shape %v, want (batch,T,%d)", x.Shape(), l.In))
 	}
-	batch, steps := x.Dim(0), x.Dim(1)
-	l.batch, l.steps = batch, steps
-	h := l.Hidden
-	l.xs = make([]*tensor.Tensor, steps)
-	l.hs = make([]*tensor.Tensor, steps+1)
-	l.cs = make([]*tensor.Tensor, steps+1)
-	l.gi = make([]*tensor.Tensor, steps)
-	l.gf = make([]*tensor.Tensor, steps)
-	l.gg = make([]*tensor.Tensor, steps)
-	l.go_ = make([]*tensor.Tensor, steps)
-	l.tanhC = make([]*tensor.Tensor, steps)
-	l.hs[0] = tensor.New(batch, h)
-	l.cs[0] = tensor.New(batch, h)
-
-	var seq *tensor.Tensor
-	if l.ReturnSequences {
-		seq = tensor.New(batch, steps, h)
-	}
-	bd := l.B.Value.Data()
-	for t := 0; t < steps; t++ {
-		// Gather x_t as a (batch, in) matrix.
-		xt := tensor.New(batch, l.In)
-		xd, sd := xt.Data(), x.Data()
-		for b := 0; b < batch; b++ {
-			copy(xd[b*l.In:(b+1)*l.In], sd[(b*steps+t)*l.In:(b*steps+t+1)*l.In])
-		}
-		l.xs[t] = xt
-
-		pre := tensor.MatMulTransB(xt, l.Wx.Value)
-		tensor.AddInPlace(pre, tensor.MatMulTransB(l.hs[t], l.Wh.Value))
-		pd := pre.Data()
-		gi := tensor.New(batch, h)
-		gf := tensor.New(batch, h)
-		gg := tensor.New(batch, h)
-		gor := tensor.New(batch, h)
-		ct := tensor.New(batch, h)
-		ht := tensor.New(batch, h)
-		tc := tensor.New(batch, h)
-		gid, gfd, ggd, god := gi.Data(), gf.Data(), gg.Data(), gor.Data()
-		ctd, htd, tcd := ct.Data(), ht.Data(), tc.Data()
-		cprev := l.cs[t].Data()
-		// The gate nonlinearities are independent across batch rows, so
-		// shard them over the tensor worker pool when the batch is big
-		// enough to amortise the handoff.
-		gates := func(blo, bhi int) {
-			for b := blo; b < bhi; b++ {
-				row := pd[b*4*h : (b+1)*4*h]
-				for j := 0; j < h; j++ {
-					i := sigmoid(row[j] + bd[j])
-					f := sigmoid(row[h+j] + bd[h+j])
-					g := math.Tanh(row[2*h+j] + bd[2*h+j])
-					o := sigmoid(row[3*h+j] + bd[3*h+j])
-					c := f*cprev[b*h+j] + i*g
-					th := math.Tanh(c)
-					gid[b*h+j], gfd[b*h+j], ggd[b*h+j], god[b*h+j] = i, f, g, o
-					ctd[b*h+j] = c
-					tcd[b*h+j] = th
-					htd[b*h+j] = o * th
-				}
-			}
-		}
-		if batch*h < 4096 {
-			gates(0, batch)
-		} else {
-			tensor.Parallel(batch, gates)
-		}
-		l.gi[t], l.gf[t], l.gg[t], l.go_[t] = gi, gf, gg, gor
-		l.cs[t+1], l.hs[t+1], l.tanhC[t] = ct, ht, tc
-		if l.ReturnSequences {
-			qd := seq.Data()
-			for b := 0; b < batch; b++ {
-				copy(qd[(b*steps+t)*h:(b*steps+t+1)*h], htd[b*h:(b+1)*h])
-			}
-		}
-	}
-	if l.ReturnSequences {
-		return seq
-	}
-	return l.hs[steps].Clone()
+	return lstmForward(x, l.Wx.Value, l.Wh.Value, l.B.Value, l.In, l.Hidden, l.ReturnSequences, &l.st)
 }
 
 // Backward backpropagates through time, accumulating weight gradients, and
 // returns the gradient with respect to the input sequence (batch, T, in).
 func (l *LSTM) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	batch, steps, h := l.batch, l.steps, l.Hidden
+	batch, steps, h := l.st.batch, l.st.steps, l.Hidden
 	dx := tensor.New(batch, steps, l.In)
 	dh := tensor.New(batch, h)
 	dc := tensor.New(batch, h)
@@ -157,9 +77,9 @@ func (l *LSTM) Backward(grad *tensor.Tensor) *tensor.Tensor {
 			copy(dhd, gd)
 		}
 
-		gi, gf, gg, gor := l.gi[t].Data(), l.gf[t].Data(), l.gg[t].Data(), l.go_[t].Data()
-		tc := l.tanhC[t].Data()
-		cprev := l.cs[t].Data()
+		gi, gf, gg, gor := l.st.gi[t].Data(), l.st.gf[t].Data(), l.st.gg[t].Data(), l.st.go_[t].Data()
+		tc := l.st.tanhC[t].Data()
+		cprev := l.st.cs[t].Data()
 		dpre := tensor.New(batch, 4*h)
 		dpd := dpre.Data()
 		bg := l.B.Grad.Data()
@@ -195,8 +115,8 @@ func (l *LSTM) Backward(grad *tensor.Tensor) *tensor.Tensor {
 				bg[k] += v
 			}
 		}
-		tensor.AddInPlace(l.Wx.Grad, tensor.MatMulTransA(dpre, l.xs[t]))
-		tensor.AddInPlace(l.Wh.Grad, tensor.MatMulTransA(dpre, l.hs[t]))
+		tensor.AddInPlace(l.Wx.Grad, tensor.MatMulTransA(dpre, l.st.xs[t]))
+		tensor.AddInPlace(l.Wh.Grad, tensor.MatMulTransA(dpre, l.st.hs[t]))
 		dxt := tensor.MatMul(dpre, l.Wx.Value)
 		dxd := dx.Data()
 		xtd := dxt.Data()

@@ -1,0 +1,184 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"varade/internal/tensor"
+)
+
+// Post-training per-channel affine int8 quantization for Dense/Conv
+// weights. Each output channel r of a weight matrix is mapped to int8 via
+//
+//	q = clamp(round(w/scale[r]) + zero[r], -128, 127)
+//	w ≈ (q - zero[r]) · scale[r]
+//
+// with the range anchored so that w = 0 is exactly representable (the zero
+// point is always in range). Inference dequantises on the fly and
+// accumulates in float32 — the memory-bandwidth win of one byte per weight
+// without integer-overflow bookkeeping.
+
+// QuantTensor is a per-channel affine int8 quantization of a weight
+// tensor, viewed as a (Rows, Cols) matrix whose rows are output channels.
+type QuantTensor struct {
+	Rows, Cols int
+	Scale      []float32 // per-row scale, len Rows
+	Zero       []int8    // per-row zero point, len Rows
+	Q          []int8    // quantized values, Rows*Cols, row-major
+	shape      []int     // original tensor shape
+}
+
+// Shape returns the original (pre-flattening) tensor shape.
+func (q *QuantTensor) Shape() []int { return q.shape }
+
+// NumBytes returns the on-disk/in-memory payload size of the quantized
+// representation (values plus per-channel parameters).
+func (q *QuantTensor) NumBytes() int { return len(q.Q) + 5*q.Rows }
+
+// SliceRows returns a view of output-channel rows [lo, hi): the exact
+// stored quantization of those channels, with no requantization. The
+// backing slices are shared.
+func (q *QuantTensor) SliceRows(lo, hi int) *QuantTensor {
+	if lo < 0 || hi > q.Rows || lo > hi {
+		panic(fmt.Sprintf("nn: QuantTensor.SliceRows [%d,%d) out of range for %d rows", lo, hi, q.Rows))
+	}
+	return &QuantTensor{
+		Rows:  hi - lo,
+		Cols:  q.Cols,
+		Scale: q.Scale[lo:hi],
+		Zero:  q.Zero[lo:hi],
+		Q:     q.Q[lo*q.Cols : hi*q.Cols],
+		shape: []int{hi - lo, q.Cols},
+	}
+}
+
+// Ensure returns the cache's quantization of p, quantizing (rows, cols)
+// and recording it on first use.
+func (c QuantCache) Ensure(p *Param, rows, cols int) *QuantTensor {
+	return quantFor(c, p, rows, cols)
+}
+
+// QuantizeRows quantizes w, viewed as (rows, cols) with rows = output
+// channels, to per-channel affine int8.
+func QuantizeRows(w *tensor.Tensor, rows, cols int) *QuantTensor {
+	if rows*cols != w.Len() {
+		panic(fmt.Sprintf("nn: QuantizeRows %dx%d incompatible with %d elements", rows, cols, w.Len()))
+	}
+	q := &QuantTensor{
+		Rows:  rows,
+		Cols:  cols,
+		Scale: make([]float32, rows),
+		Zero:  make([]int8, rows),
+		Q:     make([]int8, rows*cols),
+		shape: append([]int(nil), w.Shape()...),
+	}
+	wd := w.Data()
+	for r := 0; r < rows; r++ {
+		row := wd[r*cols : (r+1)*cols]
+		// Anchor the range at zero so zero weights stay exact.
+		lo, hi := 0.0, 0.0
+		for _, v := range row {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		scale := (hi - lo) / 255
+		if scale <= 0 {
+			q.Scale[r], q.Zero[r] = 1, 0
+			continue // all-zero row quantizes to zero
+		}
+		zp := math.Round(-128 - lo/scale)
+		if zp < -128 {
+			zp = -128
+		} else if zp > 127 {
+			zp = 127
+		}
+		q.Scale[r] = float32(scale)
+		q.Zero[r] = int8(zp)
+		for c, v := range row {
+			qv := math.Round(v/scale) + zp
+			if qv < -128 {
+				qv = -128
+			} else if qv > 127 {
+				qv = 127
+			}
+			q.Q[r*cols+c] = int8(qv)
+		}
+	}
+	return q
+}
+
+// Dequantize reconstructs the float64 weight tensor in its original shape.
+func (q *QuantTensor) Dequantize() *tensor.Tensor {
+	out := tensor.New(q.shape...)
+	od := out.Data()
+	for r := 0; r < q.Rows; r++ {
+		s, z := float64(q.Scale[r]), float64(q.Zero[r])
+		for c := 0; c < q.Cols; c++ {
+			od[r*q.Cols+c] = (float64(q.Q[r*q.Cols+c]) - z) * s
+		}
+	}
+	return out
+}
+
+// MaxAbsError returns the largest |w - dequant(quant(w))| over all
+// elements — the quantization noise floor, useful for tolerance checks.
+func (q *QuantTensor) MaxAbsError(w *tensor.Tensor) float64 {
+	wd, dd := w.Data(), q.Dequantize().Data()
+	worst := 0.0
+	for i := range wd {
+		if d := math.Abs(wd[i] - dd[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// quantGEMMTransB computes dst = x·dequant(q)ᵀ + bias with float32
+// accumulation: x is (n, Cols), dst is (n, Rows). Because the affine
+// dequantisation is per output row, the inner product folds to
+//
+//	y[i,r] = scale[r]·(Σ_c q[r,c]·x[i,c] − zero[r]·Σ_c x[i,c]) + bias[r]
+//
+// so each row needs one int8 weight scan plus a shared input row sum.
+func quantGEMMTransB(dst, x *tensor.Tensor32, q *QuantTensor, bias []float32) {
+	n, cols := x.Dim(0), x.Dim(1)
+	if cols != q.Cols {
+		panic(fmt.Sprintf("nn: quantGEMM inner dims %d vs %d", cols, q.Cols))
+	}
+	xd, od := x.Data(), dst.Data()
+	tensor.Parallel(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xrow := xd[i*cols : (i+1)*cols]
+			var sx float32
+			for _, v := range xrow {
+				sx += v
+			}
+			orow := od[i*q.Rows : (i+1)*q.Rows]
+			for r := 0; r < q.Rows; r++ {
+				qrow := q.Q[r*cols : (r+1)*cols]
+				// Four accumulators break the FP-add latency chain.
+				var a0, a1, a2, a3 float32
+				c := 0
+				for ; c+4 <= cols; c += 4 {
+					a0 += float32(qrow[c]) * xrow[c]
+					a1 += float32(qrow[c+1]) * xrow[c+1]
+					a2 += float32(qrow[c+2]) * xrow[c+2]
+					a3 += float32(qrow[c+3]) * xrow[c+3]
+				}
+				for ; c < cols; c++ {
+					a0 += float32(qrow[c]) * xrow[c]
+				}
+				acc := (a0 + a1) + (a2 + a3)
+				y := q.Scale[r] * (acc - float32(q.Zero[r])*sx)
+				if bias != nil {
+					y += bias[r]
+				}
+				orow[r] = y
+			}
+		}
+	})
+}

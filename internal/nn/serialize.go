@@ -9,6 +9,7 @@ import (
 	"os"
 
 	"varade/internal/modelio"
+	"varade/internal/tensor"
 )
 
 // Serialization format (little-endian):
@@ -18,8 +19,19 @@ import (
 //
 // Parameters are matched by position and validated by name and shape, so a
 // model must be reconstructed with the same architecture before loading.
+//
+// Two sibling payloads carry reduced-precision models. "VNN2" stores the
+// same structure with float32 data. "VNNQ" stores, per param, either a
+// per-channel affine int8 block (rows, cols, scales, zero points, values)
+// for quantized weight matrices or raw float32 data for everything else;
+// loading fills the float64 params with dequantized values and returns the
+// exact quantized tensors so serving uses precisely what was stored.
 
-const magic = "VNN1"
+const (
+	magic    = "VNN1"
+	magicF32 = "VNN2"
+	magicQNT = "VNNQ"
+)
 
 // SaveParams writes params to w in the library's binary format.
 func SaveParams(w io.Writer, params []*Param) error {
@@ -114,6 +126,222 @@ func LoadParams(r io.Reader, params []*Param) error {
 		}
 	}
 	return nil
+}
+
+// writeParamHeader writes one param's name and shape.
+func writeParamHeader(w io.Writer, p *Param) error {
+	if err := modelio.WriteString(w, p.Name); err != nil {
+		return err
+	}
+	return modelio.WriteI32Slice(w, p.Value.Shape())
+}
+
+// readParamHeader reads and validates one param's name and shape.
+func readParamHeader(r io.Reader, p *Param) error {
+	name, err := modelio.ReadString(r)
+	if err != nil {
+		return err
+	}
+	if name != p.Name {
+		return fmt.Errorf("nn: param name mismatch: file %q, model %q", name, p.Name)
+	}
+	shape, err := modelio.ReadI32Slice(r)
+	if err != nil {
+		return err
+	}
+	want := p.Value.Shape()
+	if len(shape) != len(want) {
+		return fmt.Errorf("nn: param %q dims %d, model %d", p.Name, len(shape), len(want))
+	}
+	for i := range want {
+		if shape[i] != want[i] {
+			return fmt.Errorf("nn: param %q dim %d is %d, model %d", p.Name, i, shape[i], want[i])
+		}
+	}
+	return nil
+}
+
+// SaveParamsF32 writes params to w in the float32 payload format. Values
+// are rounded from the float64 training weights; loading restores them
+// exactly (float32 → float64 widening is lossless), so a float32 file
+// round-trips bit-stable.
+func SaveParamsF32(w io.Writer, params []*Param) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magicF32); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(params))); err != nil {
+		return err
+	}
+	for _, p := range params {
+		if err := writeParamHeader(bw, p); err != nil {
+			return err
+		}
+		data := make([]float32, p.Value.Len())
+		tensor.ConvertSlice(data, p.Value.Data())
+		if err := modelio.WriteF32Slice(bw, data); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadParamsF32 reads a float32 payload into params (widened to float64).
+func LoadParamsF32(r io.Reader, params []*Param) error {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magicF32))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return fmt.Errorf("nn: reading header: %w", err)
+	}
+	if string(head) != magicF32 {
+		return fmt.Errorf("nn: bad float32 payload magic %q", head)
+	}
+	var n uint32
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return err
+	}
+	if int(n) != len(params) {
+		return fmt.Errorf("nn: file has %d params, model has %d", n, len(params))
+	}
+	for _, p := range params {
+		if err := readParamHeader(br, p); err != nil {
+			return err
+		}
+		data, err := modelio.ReadF32Slice(br)
+		if err != nil {
+			return err
+		}
+		if len(data) != p.Value.Len() {
+			return fmt.Errorf("nn: param %q has %d values, want %d", p.Name, len(data), p.Value.Len())
+		}
+		tensor.ConvertSlice(p.Value.Data(), data)
+	}
+	return nil
+}
+
+// SaveParamsQuant writes the int8-quantized payload: params whose weights
+// quantOf maps to a QuantTensor store the int8 block, everything else
+// stores float32 data.
+func SaveParamsQuant(w io.Writer, params []*Param, quantOf func(*Param) *QuantTensor) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magicQNT); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(params))); err != nil {
+		return err
+	}
+	for _, p := range params {
+		if err := writeParamHeader(bw, p); err != nil {
+			return err
+		}
+		q := quantOf(p)
+		if q == nil {
+			if err := bw.WriteByte(0); err != nil {
+				return err
+			}
+			data := make([]float32, p.Value.Len())
+			tensor.ConvertSlice(data, p.Value.Data())
+			if err := modelio.WriteF32Slice(bw, data); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := bw.WriteByte(1); err != nil {
+			return err
+		}
+		if err := modelio.WriteU32(bw, uint32(q.Rows)); err != nil {
+			return err
+		}
+		if err := modelio.WriteU32(bw, uint32(q.Cols)); err != nil {
+			return err
+		}
+		if err := modelio.WriteF32Slice(bw, q.Scale); err != nil {
+			return err
+		}
+		if err := modelio.WriteI8Slice(bw, q.Zero); err != nil {
+			return err
+		}
+		if err := modelio.WriteI8Slice(bw, q.Q); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadParamsQuant reads an int8-quantized payload: float64 params receive
+// dequantized (or widened float32) values, and the returned cache maps
+// each quantized weight param to its exact stored QuantTensor.
+func LoadParamsQuant(r io.Reader, params []*Param) (QuantCache, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magicQNT))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("nn: reading header: %w", err)
+	}
+	if string(head) != magicQNT {
+		return nil, fmt.Errorf("nn: bad quantized payload magic %q", head)
+	}
+	var n uint32
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if int(n) != len(params) {
+		return nil, fmt.Errorf("nn: file has %d params, model has %d", n, len(params))
+	}
+	cache := make(QuantCache)
+	for _, p := range params {
+		if err := readParamHeader(br, p); err != nil {
+			return nil, err
+		}
+		flag, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		if flag == 0 {
+			data, err := modelio.ReadF32Slice(br)
+			if err != nil {
+				return nil, err
+			}
+			if len(data) != p.Value.Len() {
+				return nil, fmt.Errorf("nn: param %q has %d values, want %d", p.Name, len(data), p.Value.Len())
+			}
+			tensor.ConvertSlice(p.Value.Data(), data)
+			continue
+		}
+		rows, err := modelio.ReadU32(br)
+		if err != nil {
+			return nil, err
+		}
+		cols, err := modelio.ReadU32(br)
+		if err != nil {
+			return nil, err
+		}
+		if int(rows)*int(cols) != p.Value.Len() {
+			return nil, fmt.Errorf("nn: param %q quant block %dx%d, want %d elements", p.Name, rows, cols, p.Value.Len())
+		}
+		scale, err := modelio.ReadF32Slice(br)
+		if err != nil {
+			return nil, err
+		}
+		zero, err := modelio.ReadI8Slice(br)
+		if err != nil {
+			return nil, err
+		}
+		qv, err := modelio.ReadI8Slice(br)
+		if err != nil {
+			return nil, err
+		}
+		if len(scale) != int(rows) || len(zero) != int(rows) || len(qv) != int(rows)*int(cols) {
+			return nil, fmt.Errorf("nn: param %q quant block lengths inconsistent", p.Name)
+		}
+		q := &QuantTensor{
+			Rows: int(rows), Cols: int(cols),
+			Scale: scale, Zero: zero, Q: qv,
+			shape: append([]int(nil), p.Value.Shape()...),
+		}
+		p.Value.CopyFrom(q.Dequantize())
+		cache[p] = q
+	}
+	return cache, nil
 }
 
 // SaveModelFile writes a self-describing model container: the modelio

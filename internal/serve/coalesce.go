@@ -36,6 +36,13 @@ type windowMeta struct {
 // buffer tops out, session pumps wait on the group's condition variable —
 // backpressure that surfaces upstream as the per-session admission queue
 // (a stream.Bus) dropping its oldest samples.
+//
+// Batches are assembled in the model's own numeric precision: a float32 or
+// int8 model fills float32 buffers (half the coalescer's memory traffic)
+// and scores through detect.BatchScorer32, while a float64 model keeps the
+// bit-exact float64 path. The fill buffer's precision is latched while it
+// holds windows, so a hot swap that changes the serving precision scores
+// the in-flight batch in the precision it was assembled at.
 type modelGroup struct {
 	srv     *Server
 	name    string
@@ -49,9 +56,15 @@ type modelGroup struct {
 	mu        sync.Mutex
 	cond      *sync.Cond
 	det       detect.Detector
-	bs        detect.BatchScorer // nil when det has no batched path
-	pending   *tensor.Tensor     // fill buffer, (maxBatch, w, c)
-	spare     *tensor.Tensor     // buffer handed to the scorer on flush
+	bs        detect.BatchScorer   // nil when det has no batched path
+	bs32      detect.BatchScorer32 // nil when det has no reduced-precision path
+	prec      string               // det's effective precision
+	use32     bool                 // assemble new batches in float32
+	pending   *tensor.Tensor       // float64 fill buffer, (maxBatch, w, c); lazily allocated
+	spare     *tensor.Tensor       // float64 buffer handed to the scorer on flush
+	pending32 *tensor.Tensor32     // float32 fill buffer; lazily allocated
+	spare32   *tensor.Tensor32
+	fill32    bool // precision of the windows currently in the fill buffer
 	meta      []windowMeta
 	spareMeta []windowMeta
 	n         int
@@ -75,13 +88,38 @@ func newModelGroup(srv *Server, name string, version int, pinned bool, kind stri
 		det:      det,
 		kick:     make(chan struct{}, 1),
 	}
-	g.bs, _ = det.(detect.BatchScorer)
 	g.cond = sync.NewCond(&g.mu)
-	g.pending = tensor.New(g.maxBatch, w, channels)
-	g.spare = tensor.New(g.maxBatch, w, channels)
+	g.setDetectorLocked(det)
+	g.fill32 = g.use32
+	g.ensureBuffersLocked()
 	g.meta = make([]windowMeta, g.maxBatch)
 	g.spareMeta = make([]windowMeta, g.maxBatch)
 	return g
+}
+
+// setDetectorLocked installs det and derives the batching mode: float32
+// assembly requires both a reduced-precision detector and its batched
+// entry point.
+func (g *modelGroup) setDetectorLocked(det detect.Detector) {
+	g.det = det
+	g.bs, _ = det.(detect.BatchScorer)
+	g.bs32, _ = det.(detect.BatchScorer32)
+	g.prec = detect.EffectivePrecision(det)
+	g.use32 = g.bs32 != nil && g.prec != "float64"
+}
+
+// ensureBuffersLocked allocates the fill/spare pair for the current fill
+// precision on first use.
+func (g *modelGroup) ensureBuffersLocked() {
+	if g.fill32 {
+		if g.pending32 == nil {
+			g.pending32 = tensor.NewOf[float32](g.maxBatch, g.w, g.c)
+			g.spare32 = tensor.NewOf[float32](g.maxBatch, g.w, g.c)
+		}
+	} else if g.pending == nil {
+		g.pending = tensor.New(g.maxBatch, g.w, g.c)
+		g.spare = tensor.New(g.maxBatch, g.w, g.c)
+	}
 }
 
 // add enqueues one ready window (copied out of the session's ring
@@ -100,8 +138,17 @@ func (g *modelGroup) add(sess *session, index int, buf *stream.WindowBuffer) {
 		sess.scoreDone()
 		return
 	}
+	if g.n == 0 {
+		// Empty buffer: latch the current serving precision for this batch.
+		g.fill32 = g.use32
+		g.ensureBuffersLocked()
+	}
 	stride := g.w * g.c
-	buf.CopyWindowInto(g.pending.Data()[g.n*stride : (g.n+1)*stride])
+	if g.fill32 {
+		buf.CopyWindowInto32(g.pending32.Data()[g.n*stride : (g.n+1)*stride])
+	} else {
+		buf.CopyWindowInto(g.pending.Data()[g.n*stride : (g.n+1)*stride])
+	}
 	g.meta[g.n] = windowMeta{sess: sess, index: index, ready: time.Now()}
 	g.n++
 	full := g.n == g.maxBatch
@@ -145,9 +192,11 @@ func (g *modelGroup) run(ctx context.Context) {
 
 // flush swaps the double buffer and scores everything pending in one
 // batched call (or the per-window fallback for unbatched detectors),
-// then routes each score to its session. Scores are bit-identical to the
-// per-device path: the same windows go through the same ScoreBatch/Score
-// arithmetic, only the execution schedule changes.
+// then routes each score to its session. For float64 groups scores are
+// bit-identical to the per-device path: the same windows go through the
+// same ScoreBatch/Score arithmetic, only the execution schedule changes.
+// Reduced-precision groups score through ScoreBatch32 on the float32
+// batch the sessions assembled.
 func (g *modelGroup) flush() {
 	g.mu.Lock()
 	n := g.n
@@ -155,25 +204,36 @@ func (g *modelGroup) flush() {
 		g.mu.Unlock()
 		return
 	}
-	batch, meta := g.pending, g.meta
-	g.pending, g.spare = g.spare, g.pending
+	is32 := g.fill32
+	var batch *tensor.Tensor
+	var batch32 *tensor.Tensor32
+	if is32 {
+		batch32 = g.pending32
+		g.pending32, g.spare32 = g.spare32, g.pending32
+	} else {
+		batch = g.pending
+		g.pending, g.spare = g.spare, g.pending
+	}
+	meta := g.meta
 	g.meta, g.spareMeta = g.spareMeta, g.meta
 	g.n = 0
-	det, bs := g.det, g.bs
+	det, bs, bs32 := g.det, g.bs, g.bs32
 	g.mu.Unlock()
 	g.cond.Broadcast()
 
-	wins := batch.SliceRows(0, n)
 	var scores []float64
-	if bs != nil {
-		scores = bs.ScoreBatch(wins)
-	} else {
-		scores = make([]float64, n)
-		stride := g.w * g.c
-		wd := wins.Data()
-		for i := 0; i < n; i++ {
-			scores[i] = det.Score(tensor.FromSlice(wd[i*stride:(i+1)*stride], g.w, g.c))
+	if is32 {
+		wins := batch32.SliceRows(0, n)
+		if bs32 != nil {
+			scores = bs32.ScoreBatch32(wins)
+		} else {
+			// The serving model was swapped to one without a reduced-
+			// precision path while this batch was in flight; widen and use
+			// the float64 engine.
+			scores = g.scoreF64(det, bs, tensor.Convert[float64](wins), n)
 		}
+	} else {
+		scores = g.scoreF64(det, bs, batch.SliceRows(0, n), n)
 	}
 	now := time.Now()
 	for i := 0; i < n; i++ {
@@ -184,6 +244,21 @@ func (g *modelGroup) flush() {
 	}
 	g.srv.met.windowsScored.Add(int64(n))
 	g.srv.met.batches.Add(1)
+}
+
+// scoreF64 scores n float64 windows through the detector's batched path,
+// falling back to the per-window loop for unbatched detectors.
+func (g *modelGroup) scoreF64(det detect.Detector, bs detect.BatchScorer, wins *tensor.Tensor, n int) []float64 {
+	if bs != nil {
+		return bs.ScoreBatch(wins)
+	}
+	scores := make([]float64, n)
+	stride := g.w * g.c
+	wd := wins.Data()
+	for i := 0; i < n; i++ {
+		scores[i] = det.Score(tensor.FromSlice(wd[i*stride:(i+1)*stride], g.w, g.c))
+	}
+	return scores
 }
 
 // swap hot-swaps the group's detector on live sessions. The new model
@@ -199,8 +274,7 @@ func (g *modelGroup) swap(det detect.Detector, version int, kind string) error {
 			g.name, version, det.WindowSize(), c, g.w, g.c)
 	}
 	g.mu.Lock()
-	g.det = det
-	g.bs, _ = det.(detect.BatchScorer)
+	g.setDetectorLocked(det)
 	g.version = version
 	g.kind = kind
 	g.mu.Unlock()
@@ -211,14 +285,15 @@ func (g *modelGroup) status() ModelStatus {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return ModelStatus{
-		Model:    g.name,
-		Version:  g.version,
-		Kind:     g.kind,
-		Window:   g.w,
-		Channels: g.c,
-		Batched:  g.bs != nil,
-		Pending:  g.n,
-		Sessions: g.sessions,
+		Model:     g.name,
+		Version:   g.version,
+		Kind:      g.kind,
+		Window:    g.w,
+		Channels:  g.c,
+		Batched:   g.bs != nil,
+		Precision: g.prec,
+		Pending:   g.n,
+		Sessions:  g.sessions,
 	}
 }
 

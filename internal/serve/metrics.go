@@ -64,14 +64,15 @@ func (m *metrics) latencyPercentiles() (p50, p99 float64) {
 
 // ModelStatus is the per-model slice of a metrics snapshot.
 type ModelStatus struct {
-	Model    string `json:"model"`
-	Version  int    `json:"version"`
-	Kind     string `json:"kind"`
-	Window   int    `json:"window"`
-	Channels int    `json:"channels"`
-	Batched  bool   `json:"batched"`
-	Pending  int    `json:"pending_windows"`
-	Sessions int    `json:"sessions"`
+	Model     string `json:"model"`
+	Version   int    `json:"version"`
+	Kind      string `json:"kind"`
+	Window    int    `json:"window"`
+	Channels  int    `json:"channels"`
+	Batched   bool   `json:"batched"`
+	Precision string `json:"precision"`
+	Pending   int    `json:"pending_windows"`
+	Sessions  int    `json:"sessions"`
 }
 
 // Metrics is a point-in-time snapshot of the serving state, the payload

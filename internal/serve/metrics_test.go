@@ -1,0 +1,56 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLatencyPercentilesBoundedMemory pins the fixed-size latency ring:
+// a long-running session may observe millions of coalesce latencies, but
+// the percentile window must retain at most latRingSize samples and keep
+// reporting percentiles of the most recent window rather than growing or
+// freezing.
+func TestLatencyPercentilesBoundedMemory(t *testing.T) {
+	m := newMetrics()
+	// Far more observations than the ring holds: 3 full wraps of a
+	// constant 5ms latency…
+	for i := 0; i < 3*latRingSize; i++ {
+		m.observeLatency(5 * time.Millisecond)
+	}
+	if n := len(m.lat); n != latRingSize {
+		t.Fatalf("latency storage grew to %d entries, want fixed %d", n, latRingSize)
+	}
+	p50, p99 := m.latencyPercentiles()
+	if p50 != 5 || p99 != 5 {
+		t.Fatalf("constant 5ms stream: p50 %.2f p99 %.2f", p50, p99)
+	}
+	// …then one full window of 1ms: the old 5ms samples must age out
+	// completely, proving the window really is the last latRingSize
+	// observations.
+	for i := 0; i < latRingSize; i++ {
+		m.observeLatency(time.Millisecond)
+	}
+	p50, p99 = m.latencyPercentiles()
+	if p50 != 1 || p99 != 1 {
+		t.Fatalf("after ring wrap: p50 %.2f p99 %.2f, want 1ms", p50, p99)
+	}
+}
+
+// TestLatencyPercentilesPartialWindow covers the pre-wrap regime and the
+// empty ring.
+func TestLatencyPercentilesPartialWindow(t *testing.T) {
+	m := newMetrics()
+	if p50, p99 := m.latencyPercentiles(); p50 != 0 || p99 != 0 {
+		t.Fatalf("empty ring: p50 %.2f p99 %.2f", p50, p99)
+	}
+	for i := 1; i <= 100; i++ {
+		m.observeLatency(time.Duration(i) * time.Millisecond)
+	}
+	p50, p99 := m.latencyPercentiles()
+	if p50 < 49 || p50 > 51 {
+		t.Fatalf("p50 of 1..100ms = %.2f", p50)
+	}
+	if p99 < 98 || p99 > 100 {
+		t.Fatalf("p99 of 1..100ms = %.2f", p99)
+	}
+}

@@ -76,6 +76,24 @@ func (b *WindowBuffer) CopyWindowInto(dst []float64) {
 	}
 }
 
+// CopyWindowInto32 writes the current window, oldest sample first, into a
+// float32 destination (length ≥ window·channels) without allocating — the
+// assembly path for serving groups that batch in reduced precision. It
+// panics unless Full.
+func (b *WindowBuffer) CopyWindowInto32(dst []float32) {
+	if !b.Full() {
+		panic("stream: CopyWindowInto32 on partially filled buffer")
+	}
+	for i := 0; i < b.window; i++ {
+		src := (b.head + i) % b.window
+		row := b.data[src*b.channels : (src+1)*b.channels]
+		out := dst[i*b.channels : (i+1)*b.channels]
+		for j, v := range row {
+			out[j] = float32(v)
+		}
+	}
+}
+
 // Reset discards all buffered samples.
 func (b *WindowBuffer) Reset() {
 	b.head, b.count = 0, 0

@@ -1,0 +1,67 @@
+package tensor
+
+import "fmt"
+
+// Precision conversion between tensor element types. These are the bridges
+// between the float64 training/oracle world and the float32 inference fast
+// path: weights are converted once at model-compile time, windows are
+// converted (or assembled directly in float32) on the scoring path.
+
+// SizeOf returns the byte size of one element of type T — the
+// bytes-per-weight figure the edge memory projections use.
+func SizeOf[T Float](T) int {
+	var z T
+	if _, ok := any(z).(float32); ok {
+		return 4
+	}
+	return 8
+}
+
+// Convert returns a new tensor with src's elements converted to element
+// type T. The target type is the first type parameter so call sites can
+// write Convert[float32](x) and let U be inferred.
+func Convert[T, U Float](src *Dense[U]) *Dense[T] {
+	out := NewOf[T](src.shape...)
+	for i, v := range src.data {
+		out.data[i] = T(v)
+	}
+	return out
+}
+
+// ConvertInto converts src's elements into dst, which must have the same
+// shape.
+func ConvertInto[T, U Float](dst *Dense[T], src *Dense[U]) {
+	if !sameShapeMixed(dst.shape, src.shape) {
+		panicShapeMismatch("ConvertInto", dst.shape, src.shape)
+	}
+	for i, v := range src.data {
+		dst.data[i] = T(v)
+	}
+}
+
+// ConvertSlice converts src into dst element by element; the slices must
+// have equal length.
+func ConvertSlice[T, U Float](dst []T, src []U) {
+	if len(dst) != len(src) {
+		panicShapeMismatch("ConvertSlice", []int{len(dst)}, []int{len(src)})
+	}
+	for i, v := range src {
+		dst[i] = T(v)
+	}
+}
+
+func sameShapeMixed(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func panicShapeMismatch(op string, a, b []int) {
+	panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, a, b))
+}

@@ -2,26 +2,29 @@ package tensor
 
 import "fmt"
 
-// GEMM kernels. All three multiplication variants come in an allocating
-// form (MatMul, MatMulTransB, MatMulTransA) and an in-place form
-// (MatMulInto, …) that writes into a caller-supplied destination — usually
-// one carved from an Arena — so hot paths run allocation-free.
+// GEMM kernels, generic over the Float element type. All three
+// multiplication variants come in an allocating form (MatMul, MatMulTransB,
+// MatMulTransA) and an in-place form (MatMulInto, …) that writes into a
+// caller-supplied destination — usually one carved from an Arena — so hot
+// paths run allocation-free.
 //
 // Row blocks are distributed over the package worker pool (see Parallel)
 // once the problem is large enough to amortise goroutine handoff; small
-// products run inline.
+// products run inline. The float32 instantiation moves half the bytes per
+// multiply-add, which is where the inference fast path's bandwidth win
+// comes from.
 
 // parallelFlopThreshold is the approximate multiply-add count below which
 // a product is not worth splitting across workers.
 const parallelFlopThreshold = 64 * 1024
 
-func check2D(op string, a, b *Tensor) {
+func check2D[T Float](op string, a, b *Dense[T]) {
 	if len(a.shape) != 2 || len(b.shape) != 2 {
 		panic("tensor: " + op + " needs 2-D tensors")
 	}
 }
 
-func checkDst(op string, dst *Tensor, m, n int) {
+func checkDst[T Float](op string, dst *Dense[T], m, n int) {
 	if len(dst.shape) != 2 || dst.shape[0] != m || dst.shape[1] != n {
 		panic(fmt.Sprintf("tensor: %s destination shape %v, want (%d,%d)", op, dst.shape, m, n))
 	}
@@ -29,9 +32,9 @@ func checkDst(op string, dst *Tensor, m, n int) {
 
 // MatMul returns the matrix product a·b of two 2-D tensors.
 // a has shape (m, k) and b has shape (k, n); the result is (m, n).
-func MatMul(a, b *Tensor) *Tensor {
+func MatMul[T Float](a, b *Dense[T]) *Dense[T] {
 	check2D("MatMul", a, b)
-	out := New(a.shape[0], b.shape[1])
+	out := NewOf[T](a.shape[0], b.shape[1])
 	MatMulInto(out, a, b)
 	return out
 }
@@ -41,7 +44,7 @@ func MatMul(a, b *Tensor) *Tensor {
 // The inner loop is ordered (i, p, j) so b is scanned row-contiguously,
 // which is the cache-friendly layout for row-major data; rows of a are
 // sharded across the worker pool for large products.
-func MatMulInto(dst, a, b *Tensor) {
+func MatMulInto[T Float](dst, a, b *Dense[T]) {
 	check2D("MatMul", a, b)
 	m, k := a.shape[0], a.shape[1]
 	k2, n := b.shape[0], b.shape[1]
@@ -76,15 +79,22 @@ func MatMulInto(dst, a, b *Tensor) {
 // MatMulTransB returns a·bᵀ where a is (m, k) and b is (n, k); result (m, n).
 // This avoids materialising the transpose when multiplying by weight
 // matrices stored row-major as (out, in).
-func MatMulTransB(a, b *Tensor) *Tensor {
+func MatMulTransB[T Float](a, b *Dense[T]) *Dense[T] {
 	check2D("MatMulTransB", a, b)
-	out := New(a.shape[0], b.shape[0])
+	out := NewOf[T](a.shape[0], b.shape[0])
 	MatMulTransBInto(out, a, b)
 	return out
 }
 
 // MatMulTransBInto computes dst = a·bᵀ, overwriting dst.
-func MatMulTransBInto(dst, a, b *Tensor) {
+//
+// The float64 instantiation keeps the historical single-accumulator
+// summation order — it is the bit-exactness oracle, and training depends
+// on reproducible arithmetic. The float32 instantiation (inference only,
+// tolerance-gated against the oracle) unrolls the dot product over four
+// accumulators, breaking the FP-add latency chain that otherwise hides
+// the precision's bandwidth advantage.
+func MatMulTransBInto[T Float](dst, a, b *Dense[T]) {
 	check2D("MatMulTransB", a, b)
 	m, k := a.shape[0], a.shape[1]
 	n, k2 := b.shape[0], b.shape[1]
@@ -93,15 +103,32 @@ func MatMulTransBInto(dst, a, b *Tensor) {
 	}
 	checkDst("MatMulTransB", dst, m, n)
 	ad, bd, od := a.data, b.data, dst.data
+	var z T
+	_, fast := any(z).(float32)
 	body := func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			arow := ad[i*k : (i+1)*k]
 			orow := od[i*n : (i+1)*n]
 			for j := 0; j < n; j++ {
 				brow := bd[j*k : (j+1)*k]
-				s := 0.0
-				for p, av := range arow {
-					s += av * brow[p]
+				var s T
+				if fast {
+					var s0, s1, s2, s3 T
+					p := 0
+					for ; p+4 <= k; p += 4 {
+						s0 += arow[p] * brow[p]
+						s1 += arow[p+1] * brow[p+1]
+						s2 += arow[p+2] * brow[p+2]
+						s3 += arow[p+3] * brow[p+3]
+					}
+					for ; p < k; p++ {
+						s0 += arow[p] * brow[p]
+					}
+					s = (s0 + s1) + (s2 + s3)
+				} else {
+					for p, av := range arow {
+						s += av * brow[p]
+					}
 				}
 				orow[j] = s
 			}
@@ -116,9 +143,9 @@ func MatMulTransBInto(dst, a, b *Tensor) {
 
 // MatMulTransA returns aᵀ·b where a is (k, m) and b is (k, n); result (m, n).
 // Used for weight gradients: dW = xᵀ·dy without materialising xᵀ.
-func MatMulTransA(a, b *Tensor) *Tensor {
+func MatMulTransA[T Float](a, b *Dense[T]) *Dense[T] {
 	check2D("MatMulTransA", a, b)
-	out := New(a.shape[1], b.shape[1])
+	out := NewOf[T](a.shape[1], b.shape[1])
 	MatMulTransAInto(out, a, b)
 	return out
 }
@@ -128,7 +155,7 @@ func MatMulTransA(a, b *Tensor) *Tensor {
 // The reduction runs down a's rows, so splitting over output rows would
 // stride badly; instead output rows are sharded and each worker walks the
 // full k extent touching only its own output block.
-func MatMulTransAInto(dst, a, b *Tensor) {
+func MatMulTransAInto[T Float](dst, a, b *Dense[T]) {
 	check2D("MatMulTransA", a, b)
 	k, m := a.shape[0], a.shape[1]
 	k2, n := b.shape[0], b.shape[1]
@@ -168,7 +195,7 @@ func MatMulTransAInto(dst, a, b *Tensor) {
 
 // MatVec returns the matrix-vector product a·x where a is (m, n) and x has
 // length n; the result has length m.
-func MatVec(a, x *Tensor) *Tensor {
+func MatVec[T Float](a, x *Dense[T]) *Dense[T] {
 	if len(a.shape) != 2 || len(x.shape) != 1 {
 		panic("tensor: MatVec needs a 2-D matrix and 1-D vector")
 	}
@@ -176,10 +203,10 @@ func MatVec(a, x *Tensor) *Tensor {
 	if x.shape[0] != n {
 		panic(fmt.Sprintf("tensor: MatVec dims (%d,%d)·%d", m, n, x.shape[0]))
 	}
-	out := New(m)
+	out := NewOf[T](m)
 	for i := 0; i < m; i++ {
 		row := a.data[i*n : (i+1)*n]
-		s := 0.0
+		var s T
 		for j, v := range row {
 			s += v * x.data[j]
 		}
@@ -189,12 +216,12 @@ func MatVec(a, x *Tensor) *Tensor {
 }
 
 // Outer returns the outer product x·yᵀ of two vectors: shape (len(x), len(y)).
-func Outer(x, y *Tensor) *Tensor {
+func Outer[T Float](x, y *Dense[T]) *Dense[T] {
 	if len(x.shape) != 1 || len(y.shape) != 1 {
 		panic("tensor: Outer needs 1-D tensors")
 	}
 	m, n := x.shape[0], y.shape[0]
-	out := New(m, n)
+	out := NewOf[T](m, n)
 	for i := 0; i < m; i++ {
 		xi := x.data[i]
 		row := out.data[i*n : (i+1)*n]

@@ -45,6 +45,48 @@ func BenchmarkMatMulTransB(b *testing.B) {
 	}
 }
 
+// Float32 GEMM variants: the same shapes through the float32
+// instantiation. The ratio against the float64 benchmarks is the numeric
+// core's bandwidth win at reduced precision.
+
+func benchMatMulF32(b *testing.B, m, k, n int) {
+	rng := NewRNG(1)
+	a := Convert[float32](RandNormal(rng, 0, 1, m, k))
+	c := Convert[float32](RandNormal(rng, 0, 1, k, n))
+	dst := NewOf[float32](m, n)
+	b.SetBytes(int64(4 * m * k * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulInto(dst, a, c)
+	}
+}
+
+func BenchmarkMatMulF32(b *testing.B) {
+	for _, s := range []struct{ m, k, n int }{
+		{8, 8, 8},
+		{32, 32, 32},
+		{128, 128, 128},
+		{256, 64, 512},
+		{512, 512, 512},
+	} {
+		b.Run(fmt.Sprintf("%dx%dx%d", s.m, s.k, s.n), func(b *testing.B) {
+			benchMatMulF32(b, s.m, s.k, s.n)
+		})
+	}
+}
+
+func BenchmarkMatMulTransBF32(b *testing.B) {
+	rng := NewRNG(2)
+	a := Convert[float32](RandNormal(rng, 0, 1, 128, 256))
+	w := Convert[float32](RandNormal(rng, 0, 1, 128, 256))
+	dst := NewOf[float32](128, 128)
+	b.SetBytes(int64(4 * 128 * 256 * 128))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulTransBInto(dst, a, w)
+	}
+}
+
 func BenchmarkMatMulTransA(b *testing.B) {
 	rng := NewRNG(3)
 	a := RandNormal(rng, 0, 1, 256, 128)

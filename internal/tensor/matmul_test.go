@@ -98,3 +98,23 @@ func TestMatMulTransposeIdentity(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestMatMulTransBF32MatchesOracle pins the unrolled float32 kernel to
+// the float64 reference within float32 rounding.
+func TestMatMulTransBF32MatchesOracle(t *testing.T) {
+	rng := NewRNG(17)
+	for _, k := range []int{1, 2, 3, 4, 5, 7, 8, 9, 16, 33} {
+		a64 := RandNormal(rng, 0, 1, 6, k)
+		b64 := RandNormal(rng, 0, 1, 5, k)
+		want := MatMulTransB(a64, b64)
+		got := MatMulTransB(Convert[float32](a64), Convert[float32](b64))
+		if !SameShape(want, Convert[float64](got)) {
+			t.Fatalf("k=%d shape %v", k, got.Shape())
+		}
+		for i, w := range want.Data() {
+			if d := w - float64(got.Data()[i]); d > 1e-4 || d < -1e-4 {
+				t.Fatalf("k=%d element %d: f32 %g vs f64 %g", k, i, got.Data()[i], w)
+			}
+		}
+	}
+}

@@ -5,10 +5,15 @@ import (
 	"math"
 )
 
+// Elementwise and reduction kernels. Everything is generic over the Float
+// constraint; a float64 instantiation performs exactly the arithmetic of
+// the original concrete implementation, so existing float64 call sites are
+// bit-compatible.
+
 // Add returns a + b elementwise.
-func Add(a, b *Tensor) *Tensor {
+func Add[T Float](a, b *Dense[T]) *Dense[T] {
 	assertSameShape("Add", a, b)
-	out := New(a.shape...)
+	out := NewOf[T](a.shape...)
 	for i := range a.data {
 		out.data[i] = a.data[i] + b.data[i]
 	}
@@ -16,9 +21,9 @@ func Add(a, b *Tensor) *Tensor {
 }
 
 // Sub returns a - b elementwise.
-func Sub(a, b *Tensor) *Tensor {
+func Sub[T Float](a, b *Dense[T]) *Dense[T] {
 	assertSameShape("Sub", a, b)
-	out := New(a.shape...)
+	out := NewOf[T](a.shape...)
 	for i := range a.data {
 		out.data[i] = a.data[i] - b.data[i]
 	}
@@ -26,9 +31,9 @@ func Sub(a, b *Tensor) *Tensor {
 }
 
 // Mul returns the elementwise (Hadamard) product a * b.
-func Mul(a, b *Tensor) *Tensor {
+func Mul[T Float](a, b *Dense[T]) *Dense[T] {
 	assertSameShape("Mul", a, b)
-	out := New(a.shape...)
+	out := NewOf[T](a.shape...)
 	for i := range a.data {
 		out.data[i] = a.data[i] * b.data[i]
 	}
@@ -36,9 +41,9 @@ func Mul(a, b *Tensor) *Tensor {
 }
 
 // Div returns a / b elementwise.
-func Div(a, b *Tensor) *Tensor {
+func Div[T Float](a, b *Dense[T]) *Dense[T] {
 	assertSameShape("Div", a, b)
-	out := New(a.shape...)
+	out := NewOf[T](a.shape...)
 	for i := range a.data {
 		out.data[i] = a.data[i] / b.data[i]
 	}
@@ -46,7 +51,7 @@ func Div(a, b *Tensor) *Tensor {
 }
 
 // AddInPlace sets a += b and returns a.
-func AddInPlace(a, b *Tensor) *Tensor {
+func AddInPlace[T Float](a, b *Dense[T]) *Dense[T] {
 	assertSameShape("AddInPlace", a, b)
 	for i := range a.data {
 		a.data[i] += b.data[i]
@@ -55,7 +60,7 @@ func AddInPlace(a, b *Tensor) *Tensor {
 }
 
 // SubInPlace sets a -= b and returns a.
-func SubInPlace(a, b *Tensor) *Tensor {
+func SubInPlace[T Float](a, b *Dense[T]) *Dense[T] {
 	assertSameShape("SubInPlace", a, b)
 	for i := range a.data {
 		a.data[i] -= b.data[i]
@@ -64,8 +69,8 @@ func SubInPlace(a, b *Tensor) *Tensor {
 }
 
 // Scale returns a * s.
-func Scale(a *Tensor, s float64) *Tensor {
-	out := New(a.shape...)
+func Scale[T Float](a *Dense[T], s T) *Dense[T] {
+	out := NewOf[T](a.shape...)
 	for i := range a.data {
 		out.data[i] = a.data[i] * s
 	}
@@ -73,7 +78,7 @@ func Scale(a *Tensor, s float64) *Tensor {
 }
 
 // ScaleInPlace sets a *= s and returns a.
-func ScaleInPlace(a *Tensor, s float64) *Tensor {
+func ScaleInPlace[T Float](a *Dense[T], s T) *Dense[T] {
 	for i := range a.data {
 		a.data[i] *= s
 	}
@@ -81,7 +86,7 @@ func ScaleInPlace(a *Tensor, s float64) *Tensor {
 }
 
 // AXPY sets y += alpha*x and returns y.
-func AXPY(alpha float64, x, y *Tensor) *Tensor {
+func AXPY[T Float](alpha T, x, y *Dense[T]) *Dense[T] {
 	assertSameShape("AXPY", x, y)
 	for i := range x.data {
 		y.data[i] += alpha * x.data[i]
@@ -90,8 +95,8 @@ func AXPY(alpha float64, x, y *Tensor) *Tensor {
 }
 
 // Apply returns f applied to every element.
-func Apply(a *Tensor, f func(float64) float64) *Tensor {
-	out := New(a.shape...)
+func Apply[T Float](a *Dense[T], f func(T) T) *Dense[T] {
+	out := NewOf[T](a.shape...)
 	for i := range a.data {
 		out.data[i] = f(a.data[i])
 	}
@@ -99,7 +104,7 @@ func Apply(a *Tensor, f func(float64) float64) *Tensor {
 }
 
 // ApplyInPlace applies f to every element in place and returns a.
-func ApplyInPlace(a *Tensor, f func(float64) float64) *Tensor {
+func ApplyInPlace[T Float](a *Dense[T], f func(T) T) *Dense[T] {
 	for i := range a.data {
 		a.data[i] = f(a.data[i])
 	}
@@ -107,24 +112,24 @@ func ApplyInPlace(a *Tensor, f func(float64) float64) *Tensor {
 }
 
 // Fill sets every element to v.
-func (t *Tensor) Fill(v float64) {
+func (t *Dense[T]) Fill(v T) {
 	for i := range t.data {
 		t.data[i] = v
 	}
 }
 
 // Zero sets every element to 0.
-func (t *Tensor) Zero() { t.Fill(0) }
+func (t *Dense[T]) Zero() { t.Fill(0) }
 
 // CopyFrom copies src's elements into t. Shapes must match.
-func (t *Tensor) CopyFrom(src *Tensor) {
+func (t *Dense[T]) CopyFrom(src *Dense[T]) {
 	assertSameShape("CopyFrom", t, src)
 	copy(t.data, src.data)
 }
 
-// Sum returns the sum of all elements.
-func (t *Tensor) Sum() float64 {
-	s := 0.0
+// Sum returns the sum of all elements, accumulated in T.
+func (t *Dense[T]) Sum() T {
+	var s T
 	for _, v := range t.data {
 		s += v
 	}
@@ -132,11 +137,11 @@ func (t *Tensor) Sum() float64 {
 }
 
 // Mean returns the arithmetic mean of all elements.
-func (t *Tensor) Mean() float64 { return t.Sum() / float64(len(t.data)) }
+func (t *Dense[T]) Mean() T { return t.Sum() / T(len(t.data)) }
 
 // Max returns the largest element.
-func (t *Tensor) Max() float64 {
-	m := math.Inf(-1)
+func (t *Dense[T]) Max() T {
+	m := T(math.Inf(-1))
 	for _, v := range t.data {
 		if v > m {
 			m = v
@@ -146,8 +151,8 @@ func (t *Tensor) Max() float64 {
 }
 
 // Min returns the smallest element.
-func (t *Tensor) Min() float64 {
-	m := math.Inf(1)
+func (t *Dense[T]) Min() T {
+	m := T(math.Inf(1))
 	for _, v := range t.data {
 		if v < m {
 			m = v
@@ -157,8 +162,8 @@ func (t *Tensor) Min() float64 {
 }
 
 // ArgMax returns the flat index of the largest element.
-func (t *Tensor) ArgMax() int {
-	best, bi := math.Inf(-1), 0
+func (t *Dense[T]) ArgMax() int {
+	best, bi := T(math.Inf(-1)), 0
 	for i, v := range t.data {
 		if v > best {
 			best, bi = v, i
@@ -167,19 +172,20 @@ func (t *Tensor) ArgMax() int {
 	return bi
 }
 
-// Norm returns the Euclidean (L2) norm of all elements.
-func (t *Tensor) Norm() float64 {
+// Norm returns the Euclidean (L2) norm of all elements, accumulated in
+// float64 regardless of T.
+func (t *Dense[T]) Norm() float64 {
 	s := 0.0
 	for _, v := range t.data {
-		s += v * v
+		s += float64(v) * float64(v)
 	}
 	return math.Sqrt(s)
 }
 
 // Dot returns the inner product of a and b viewed as flat vectors.
-func Dot(a, b *Tensor) float64 {
+func Dot[T Float](a, b *Dense[T]) T {
 	assertSameShape("Dot", a, b)
-	s := 0.0
+	var s T
 	for i := range a.data {
 		s += a.data[i] * b.data[i]
 	}
@@ -187,7 +193,7 @@ func Dot(a, b *Tensor) float64 {
 }
 
 // Clamp limits every element to [lo, hi] in place and returns t.
-func (t *Tensor) Clamp(lo, hi float64) *Tensor {
+func (t *Dense[T]) Clamp(lo, hi T) *Dense[T] {
 	for i, v := range t.data {
 		if v < lo {
 			t.data[i] = lo
@@ -200,31 +206,31 @@ func (t *Tensor) Clamp(lo, hi float64) *Tensor {
 
 // MeanAxis0 returns, for a 2-D tensor of shape (n, c), the length-c vector
 // of per-column means.
-func MeanAxis0(a *Tensor) *Tensor {
+func MeanAxis0[T Float](a *Dense[T]) *Dense[T] {
 	if len(a.shape) != 2 {
 		panic("tensor: MeanAxis0 needs a 2-D tensor")
 	}
 	n, c := a.shape[0], a.shape[1]
-	out := New(c)
+	out := NewOf[T](c)
 	for i := 0; i < n; i++ {
 		row := a.data[i*c : (i+1)*c]
 		for j, v := range row {
 			out.data[j] += v
 		}
 	}
-	ScaleInPlace(out, 1/float64(n))
+	ScaleInPlace(out, 1/T(n))
 	return out
 }
 
 // MinMaxAxis0 returns, for a 2-D tensor of shape (n, c), per-column minima
 // and maxima as two length-c vectors.
-func MinMaxAxis0(a *Tensor) (mins, maxs *Tensor) {
+func MinMaxAxis0[T Float](a *Dense[T]) (mins, maxs *Dense[T]) {
 	if len(a.shape) != 2 {
 		panic("tensor: MinMaxAxis0 needs a 2-D tensor")
 	}
 	n, c := a.shape[0], a.shape[1]
-	mins = Full(math.Inf(1), c)
-	maxs = Full(math.Inf(-1), c)
+	mins = FullOf(T(math.Inf(1)), c)
+	maxs = FullOf(T(math.Inf(-1)), c)
 	for i := 0; i < n; i++ {
 		row := a.data[i*c : (i+1)*c]
 		for j, v := range row {
@@ -241,12 +247,12 @@ func MinMaxAxis0(a *Tensor) (mins, maxs *Tensor) {
 
 // Stack concatenates 1-D tensors of equal length into a 2-D tensor whose
 // row i is rows[i].
-func Stack(rows []*Tensor) *Tensor {
+func Stack[T Float](rows []*Dense[T]) *Dense[T] {
 	if len(rows) == 0 {
 		panic("tensor: Stack of no rows")
 	}
 	c := rows[0].Len()
-	out := New(len(rows), c)
+	out := NewOf[T](len(rows), c)
 	for i, r := range rows {
 		if r.Len() != c {
 			panic(fmt.Sprintf("tensor: Stack row %d has %d elements, want %d", i, r.Len(), c))
@@ -257,12 +263,12 @@ func Stack(rows []*Tensor) *Tensor {
 }
 
 // Transpose2D returns the transpose of a 2-D tensor.
-func Transpose2D(a *Tensor) *Tensor {
+func Transpose2D[T Float](a *Dense[T]) *Dense[T] {
 	if len(a.shape) != 2 {
 		panic("tensor: Transpose2D needs a 2-D tensor")
 	}
 	n, c := a.shape[0], a.shape[1]
-	out := New(c, n)
+	out := NewOf[T](c, n)
 	for i := 0; i < n; i++ {
 		for j := 0; j < c; j++ {
 			out.data[j*n+i] = a.data[i*c+j]

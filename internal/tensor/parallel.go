@@ -110,39 +110,64 @@ func releaseWorker() { atomic.AddInt64(&inFlight, -1) }
 // the whole buffer reusable without freeing it, so a steady-state forward
 // pass performs zero heap allocations once the arena has warmed up.
 //
-// An Arena is not safe for concurrent use; obtain one per goroutine with
-// GetArena/PutArena.
-type Arena struct {
-	buf  []float64
+// Arenas are per element type: the float64 training path and the float32
+// inference path recycle separate pools. An Arena is not safe for
+// concurrent use; obtain one per goroutine with GetArena/GetArenaOf and
+// return it with PutArena.
+type Arena[T Float] struct {
+	buf  []T
 	off  int
-	big  [][]float64 // oversized one-off allocations, recycled on Reset
-	next int         // rotation index into big
+	big  [][]T // oversized one-off allocations, recycled on Reset
+	next int   // rotation index into big
 }
 
-// arenaPool recycles warmed-up arenas across calls.
-var arenaPool = sync.Pool{New: func() any { return &Arena{} }}
+// arenaPool64 and arenaPool32 recycle warmed-up arenas across calls, one
+// pool per element type.
+var (
+	arenaPool64 = sync.Pool{New: func() any { return &Arena[float64]{} }}
+	arenaPool32 = sync.Pool{New: func() any { return &Arena[float32]{} }}
+)
 
-// GetArena returns an empty arena from the package pool.
-func GetArena() *Arena {
-	a := arenaPool.Get().(*Arena)
+// GetArena returns an empty float64 arena from the package pool.
+func GetArena() *Arena[float64] { return GetArenaOf[float64]() }
+
+// GetArenaOf returns an empty arena for element type T from the package
+// pool.
+func GetArenaOf[T Float]() *Arena[T] {
+	var z T
+	var got any
+	switch any(z).(type) {
+	case float32:
+		got = arenaPool32.Get()
+	default:
+		got = arenaPool64.Get()
+	}
+	a := got.(*Arena[T])
 	a.Reset()
 	return a
 }
 
-// PutArena returns an arena to the package pool. The caller must not use
-// the arena, or any tensor carved from it, afterwards.
-func PutArena(a *Arena) { arenaPool.Put(a) }
+// PutArena returns an arena to its element type's pool. The caller must
+// not use the arena, or any tensor carved from it, afterwards.
+func PutArena[T Float](a *Arena[T]) {
+	switch p := any(a).(type) {
+	case *Arena[float32]:
+		arenaPool32.Put(p)
+	case *Arena[float64]:
+		arenaPool64.Put(p)
+	}
+}
 
 // Reset invalidates all outstanding allocations, keeping capacity.
-func (a *Arena) Reset() { a.off, a.next = 0, 0 }
+func (a *Arena[T]) Reset() { a.off, a.next = 0, 0 }
 
 // Floats returns a zeroed scratch slice of length n valid until Reset.
-func (a *Arena) Floats(n int) []float64 {
+func (a *Arena[T]) Floats(n int) []T {
 	if a.off+n > len(a.buf) {
 		if n <= cap(a.buf)-a.off {
 			a.buf = a.buf[:a.off+n]
 		} else if a.off == 0 {
-			a.buf = make([]float64, n)
+			a.buf = make([]T, n)
 		} else {
 			// The bump buffer is exhausted; serve from the side list so
 			// existing allocations stay valid.
@@ -157,7 +182,7 @@ func (a *Arena) Floats(n int) []float64 {
 	return s
 }
 
-func (a *Arena) bigFloats(n int) []float64 {
+func (a *Arena[T]) bigFloats(n int) []T {
 	for ; a.next < len(a.big); a.next++ {
 		if cap(a.big[a.next]) >= n {
 			s := a.big[a.next][:n]
@@ -168,7 +193,7 @@ func (a *Arena) bigFloats(n int) []float64 {
 			return s
 		}
 	}
-	s := make([]float64, n)
+	s := make([]T, n)
 	a.big = append(a.big, s)
 	a.next = len(a.big)
 	return s
@@ -177,7 +202,7 @@ func (a *Arena) bigFloats(n int) []float64 {
 // Tensor returns a zeroed scratch tensor of the given shape valid until
 // Reset. The tensor shares the arena's buffer; callers that need the data
 // past the next Reset must Clone it.
-func (a *Arena) Tensor(shape ...int) *Tensor {
+func (a *Arena[T]) Tensor(shape ...int) *Dense[T] {
 	n := checkShape(shape)
-	return &Tensor{shape: append([]int(nil), shape...), data: a.Floats(n)}
+	return &Dense[T]{shape: append([]int(nil), shape...), data: a.Floats(n)}
 }

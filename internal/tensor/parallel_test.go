@@ -88,7 +88,7 @@ func TestArenaReuseAndZeroing(t *testing.T) {
 }
 
 func TestArenaGrowthKeepsOutstandingSlicesValid(t *testing.T) {
-	a := &Arena{}
+	a := &Arena[float64]{}
 	first := a.Floats(4)
 	first[0] = 7
 	// Force growth well past the initial capacity; the early slice must

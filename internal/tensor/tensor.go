@@ -1,6 +1,16 @@
-// Package tensor implements dense multi-dimensional arrays of float64
-// together with the linear-algebra and reduction primitives needed by the
-// neural-network stack in internal/nn.
+// Package tensor implements dense multi-dimensional arrays together with
+// the linear-algebra and reduction primitives needed by the neural-network
+// stack in internal/nn.
+//
+// The element type is generic: Dense[T] is parameterised over the Float
+// constraint (float32 | float64). Two instantiations matter in practice and
+// have named aliases — Tensor (float64), the training and bit-exactness
+// oracle precision, and Tensor32 (float32), the inference fast path that
+// halves memory bandwidth on the edge-deployment targets. All kernels
+// (MatMul*, elementwise ops, reductions) are generic, so the same code
+// serves both precisions with identical operation ordering; a float64
+// instantiation is arithmetically indistinguishable from the pre-generic
+// implementation.
 //
 // Tensors are row-major and contiguous. Shape errors are programmer errors
 // and panic with a descriptive message; numeric routines never panic on
@@ -13,49 +23,71 @@ import (
 	"strings"
 )
 
-// Tensor is a dense row-major array of float64.
-//
-// The zero value is not usable; construct tensors with New, Zeros, FromSlice
-// or the random constructors in rng.go.
-type Tensor struct {
-	shape []int
-	data  []float64
+// Float is the element-type constraint for tensors: exactly the two
+// IEEE-754 precisions the numeric core supports. The constraint is
+// deliberately non-approximate (no ~): per-type machinery (arena pools,
+// SizeOf, the float32 GEMM fast path) type-switches on the concrete
+// types, and a named float type would slip past those switches.
+type Float interface {
+	float32 | float64
 }
 
-// New returns a zero-filled tensor with the given shape.
+// Dense is a dense row-major array of T.
+//
+// The zero value is not usable; construct tensors with New/NewOf, Zeros,
+// FromSlice or the random constructors in rng.go.
+type Dense[T Float] struct {
+	shape []int
+	data  []T
+}
+
+// Tensor is the float64 tensor — the default precision for training,
+// gradients and the bit-exactness oracle path.
+type Tensor = Dense[float64]
+
+// Tensor32 is the float32 tensor used by the inference fast path.
+type Tensor32 = Dense[float32]
+
+// New returns a zero-filled float64 tensor with the given shape.
 // A tensor with no dimensions is a scalar holding one element.
-func New(shape ...int) *Tensor {
+func New(shape ...int) *Tensor { return NewOf[float64](shape...) }
+
+// NewOf returns a zero-filled tensor of element type T with the given shape.
+func NewOf[T Float](shape ...int) *Dense[T] {
 	n := checkShape(shape)
-	return &Tensor{shape: append([]int(nil), shape...), data: make([]float64, n)}
+	return &Dense[T]{shape: append([]int(nil), shape...), data: make([]T, n)}
 }
 
 // Zeros is an alias of New, provided for readability at call sites that
 // emphasise the initial contents rather than allocation.
 func Zeros(shape ...int) *Tensor { return New(shape...) }
 
-// Full returns a tensor with every element set to v.
-func Full(v float64, shape ...int) *Tensor {
-	t := New(shape...)
+// Full returns a float64 tensor with every element set to v.
+func Full(v float64, shape ...int) *Tensor { return FullOf(v, shape...) }
+
+// FullOf returns a tensor of element type T with every element set to v.
+func FullOf[T Float](v T, shape ...int) *Dense[T] {
+	t := NewOf[T](shape...)
 	for i := range t.data {
 		t.data[i] = v
 	}
 	return t
 }
 
-// Ones returns a tensor filled with 1.
+// Ones returns a float64 tensor filled with 1.
 func Ones(shape ...int) *Tensor { return Full(1, shape...) }
 
 // FromSlice wraps data in a tensor of the given shape. The slice is used
 // directly (not copied); len(data) must equal the shape's element count.
-func FromSlice(data []float64, shape ...int) *Tensor {
+func FromSlice[T Float](data []T, shape ...int) *Dense[T] {
 	n := checkShape(shape)
 	if len(data) != n {
 		panic(fmt.Sprintf("tensor: FromSlice got %d elements for shape %v (want %d)", len(data), shape, n))
 	}
-	return &Tensor{shape: append([]int(nil), shape...), data: data}
+	return &Dense[T]{shape: append([]int(nil), shape...), data: data}
 }
 
-// Scalar returns a 0-dimensional tensor holding v.
+// Scalar returns a 0-dimensional float64 tensor holding v.
 func Scalar(v float64) *Tensor { return FromSlice([]float64{v}) }
 
 func checkShape(shape []int) int {
@@ -71,31 +103,31 @@ func checkShape(shape []int) int {
 
 // Shape returns the tensor's dimensions. The returned slice must not be
 // mutated.
-func (t *Tensor) Shape() []int { return t.shape }
+func (t *Dense[T]) Shape() []int { return t.shape }
 
 // Dims returns the number of dimensions.
-func (t *Tensor) Dims() int { return len(t.shape) }
+func (t *Dense[T]) Dims() int { return len(t.shape) }
 
 // Dim returns the size of dimension i.
-func (t *Tensor) Dim(i int) int { return t.shape[i] }
+func (t *Dense[T]) Dim(i int) int { return t.shape[i] }
 
 // Len returns the total number of elements.
-func (t *Tensor) Len() int { return len(t.data) }
+func (t *Dense[T]) Len() int { return len(t.data) }
 
 // Data exposes the backing slice in row-major order. Mutating it mutates
 // the tensor.
-func (t *Tensor) Data() []float64 { return t.data }
+func (t *Dense[T]) Data() []T { return t.data }
 
 // Clone returns a deep copy.
-func (t *Tensor) Clone() *Tensor {
-	d := make([]float64, len(t.data))
+func (t *Dense[T]) Clone() *Dense[T] {
+	d := make([]T, len(t.data))
 	copy(d, t.data)
-	return &Tensor{shape: append([]int(nil), t.shape...), data: d}
+	return &Dense[T]{shape: append([]int(nil), t.shape...), data: d}
 }
 
 // Reshape returns a view of the same data with a new shape. The element
 // count must match. One dimension may be -1 to infer its size.
-func (t *Tensor) Reshape(shape ...int) *Tensor {
+func (t *Dense[T]) Reshape(shape ...int) *Dense[T] {
 	shape = append([]int(nil), shape...)
 	infer := -1
 	n := 1
@@ -122,11 +154,11 @@ func (t *Tensor) Reshape(shape ...int) *Tensor {
 	if n != len(t.data) {
 		panic(fmt.Sprintf("tensor: reshape %v incompatible with %d elements", shape, len(t.data)))
 	}
-	return &Tensor{shape: shape, data: t.data}
+	return &Dense[T]{shape: shape, data: t.data}
 }
 
 // index converts multi-dimensional indices to a flat offset.
-func (t *Tensor) index(idx []int) int {
+func (t *Dense[T]) index(idx []int) int {
 	if len(idx) != len(t.shape) {
 		panic(fmt.Sprintf("tensor: %d indices for %d-dim tensor", len(idx), len(t.shape)))
 	}
@@ -141,39 +173,39 @@ func (t *Tensor) index(idx []int) int {
 }
 
 // At returns the element at the given indices.
-func (t *Tensor) At(idx ...int) float64 { return t.data[t.index(idx)] }
+func (t *Dense[T]) At(idx ...int) T { return t.data[t.index(idx)] }
 
 // Set assigns the element at the given indices.
-func (t *Tensor) Set(v float64, idx ...int) { t.data[t.index(idx)] = v }
+func (t *Dense[T]) Set(v T, idx ...int) { t.data[t.index(idx)] = v }
 
 // At2 is a fast accessor for 2-D tensors.
-func (t *Tensor) At2(i, j int) float64 { return t.data[i*t.shape[1]+j] }
+func (t *Dense[T]) At2(i, j int) T { return t.data[i*t.shape[1]+j] }
 
 // Set2 is a fast mutator for 2-D tensors.
-func (t *Tensor) Set2(v float64, i, j int) { t.data[i*t.shape[1]+j] = v }
+func (t *Dense[T]) Set2(v T, i, j int) { t.data[i*t.shape[1]+j] = v }
 
 // At3 is a fast accessor for 3-D tensors.
-func (t *Tensor) At3(i, j, k int) float64 {
+func (t *Dense[T]) At3(i, j, k int) T {
 	return t.data[(i*t.shape[1]+j)*t.shape[2]+k]
 }
 
 // Set3 is a fast mutator for 3-D tensors.
-func (t *Tensor) Set3(v float64, i, j, k int) {
+func (t *Dense[T]) Set3(v T, i, j, k int) {
 	t.data[(i*t.shape[1]+j)*t.shape[2]+k] = v
 }
 
 // Row returns a view of row i of a 2-D tensor as a 1-D tensor sharing data.
-func (t *Tensor) Row(i int) *Tensor {
+func (t *Dense[T]) Row(i int) *Dense[T] {
 	if len(t.shape) != 2 {
 		panic("tensor: Row on non-2D tensor")
 	}
 	c := t.shape[1]
-	return &Tensor{shape: []int{c}, data: t.data[i*c : (i+1)*c]}
+	return &Dense[T]{shape: []int{c}, data: t.data[i*c : (i+1)*c]}
 }
 
 // SliceRows returns a view of rows [lo, hi) of a tensor whose first
 // dimension indexes rows. Data is shared.
-func (t *Tensor) SliceRows(lo, hi int) *Tensor {
+func (t *Dense[T]) SliceRows(lo, hi int) *Dense[T] {
 	if len(t.shape) == 0 {
 		panic("tensor: SliceRows on scalar")
 	}
@@ -183,11 +215,11 @@ func (t *Tensor) SliceRows(lo, hi int) *Tensor {
 	stride := len(t.data) / t.shape[0]
 	shape := append([]int(nil), t.shape...)
 	shape[0] = hi - lo
-	return &Tensor{shape: shape, data: t.data[lo*stride : hi*stride]}
+	return &Dense[T]{shape: shape, data: t.data[lo*stride : hi*stride]}
 }
 
 // SameShape reports whether a and b have identical shapes.
-func SameShape(a, b *Tensor) bool {
+func SameShape[T Float](a, b *Dense[T]) bool {
 	if len(a.shape) != len(b.shape) {
 		return false
 	}
@@ -201,12 +233,12 @@ func SameShape(a, b *Tensor) bool {
 
 // Equal reports whether a and b have the same shape and every pair of
 // elements differs by at most tol.
-func Equal(a, b *Tensor, tol float64) bool {
+func Equal[T Float](a, b *Dense[T], tol float64) bool {
 	if !SameShape(a, b) {
 		return false
 	}
 	for i := range a.data {
-		if math.Abs(a.data[i]-b.data[i]) > tol {
+		if math.Abs(float64(a.data[i])-float64(b.data[i])) > tol {
 			return false
 		}
 	}
@@ -214,7 +246,7 @@ func Equal(a, b *Tensor, tol float64) bool {
 }
 
 // String renders small tensors fully and large ones as a summary.
-func (t *Tensor) String() string {
+func (t *Dense[T]) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Tensor%v", t.shape)
 	if len(t.data) <= 16 {
@@ -225,7 +257,7 @@ func (t *Tensor) String() string {
 	return b.String()
 }
 
-func assertSameShape(op string, a, b *Tensor) {
+func assertSameShape[T Float](op string, a, b *Dense[T]) {
 	if !SameShape(a, b) {
 		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, a.shape, b.shape))
 	}

@@ -87,6 +87,24 @@ func ScoreSeriesBatched(d Detector, series *Tensor) []float64 {
 	return detect.ScoreSeriesBatched(d, series)
 }
 
+// Inference precision (the float32 fast path and int8 quantization).
+
+// Precision constants for Config.Precision and Model.SetPrecision:
+// training always runs in float64; inference runs in the configured
+// precision.
+const (
+	PrecisionFloat64 = core.PrecisionFloat64
+	PrecisionFloat32 = core.PrecisionFloat32
+	PrecisionInt8    = core.PrecisionInt8
+)
+
+// BatchScorer32 is implemented by detectors that score float32 window
+// batches in reduced precision (VARADE with Precision float32/int8).
+type BatchScorer32 = detect.BatchScorer32
+
+// Tensor32 is the float32 tensor used by the inference fast path.
+type Tensor32 = tensor.Tensor32
+
 // Baselines (§3.3).
 
 // ARLSTMConfig configures the AR-LSTM baseline.
