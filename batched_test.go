@@ -31,8 +31,11 @@ func TestScoreSeriesBatchedMatchesSequential(t *testing.T) {
 	}
 	dets := []Detector{vm, am, lm, &core.ResidualScorer{Model: vm}}
 	for _, d := range dets {
-		if _, ok := d.(BatchScorer); !ok {
-			t.Fatalf("%s does not implement BatchScorer", d.Name())
+		if _, ok := d.(Scorer); !ok {
+			t.Fatalf("%s does not implement Scorer natively", d.Name())
+		}
+		if !AsScorer(d).Capabilities().Batched {
+			t.Fatalf("%s does not report a batched path", d.Name())
 		}
 		seq := ScoreSeries(d, series)
 		bat := ScoreSeriesBatched(d, series)

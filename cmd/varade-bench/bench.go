@@ -1,15 +1,19 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
+	"sync"
 	"time"
 
 	"varade"
 	"varade/internal/core"
 	"varade/internal/detect"
+	"varade/internal/serve"
+	"varade/internal/stream"
 	"varade/internal/tensor"
 )
 
@@ -99,6 +103,136 @@ func measureSuite(cases []benchCase) []BenchResult {
 	return results
 }
 
+// fleetMixedBench is the serving-layer suite entry: one float64 registry
+// entry, 64 persistent sessions negotiating float64/float32/int8
+// round-robin (protocol v2), windows coalesced per precision-specific
+// group. Each op replays every device's stream through its live session.
+type fleetMixedBench struct {
+	sessions, steps int
+	w               int
+	regDir          string
+	srv             *serve.Server
+	clients         []*serve.Client
+	rows            [][][]float64
+	primed          bool
+}
+
+func newFleetMixedBench(seed uint64) (*fleetMixedBench, error) {
+	const (
+		sessions = 64
+		steps    = 72
+		channels = 17
+	)
+	model, err := core.New(core.EdgeConfig(channels))
+	if err != nil {
+		return nil, err
+	}
+	f := &fleetMixedBench{sessions: sessions, steps: steps, w: model.WindowSize()}
+	// Any failure below must not strand the temp registry, the server or
+	// already-dialed sessions.
+	ok := false
+	defer func() {
+		if !ok {
+			f.close()
+		}
+	}()
+	f.regDir, err = os.MkdirTemp("", "varade-bench-registry-")
+	if err != nil {
+		return nil, err
+	}
+	reg, err := serve.OpenRegistry(f.regDir)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := reg.Register("varade", model); err != nil {
+		return nil, err
+	}
+	f.srv, err = serve.NewServer(serve.Config{
+		Registry:      reg,
+		DefaultModel:  "varade",
+		FlushInterval: time.Millisecond,
+		QueueDepth:    steps + 8, // score every window
+	})
+	if err != nil {
+		return nil, err
+	}
+	addr, err := f.srv.Serve("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	precisions := []string{varade.PrecisionFloat64, varade.PrecisionFloat32, varade.PrecisionInt8}
+	f.clients = make([]*serve.Client, sessions)
+	for id := range f.clients {
+		cl, err := serve.DialWith(context.Background(), addr, "", channels,
+			stream.SessionCaps{Precision: precisions[id%len(precisions)]})
+		if err != nil {
+			return nil, err
+		}
+		f.clients[id] = cl
+	}
+	f.rows = make([][][]float64, sessions)
+	for id := range f.rows {
+		rng := tensor.NewRNG(seed + uint64(1000+id))
+		f.rows[id] = make([][]float64, steps)
+		for r := range f.rows[id] {
+			row := make([]float64, channels)
+			for c := range row {
+				row[c] = rng.NormFloat64()
+			}
+			f.rows[id][r] = row
+		}
+	}
+	ok = true
+	return f, nil
+}
+
+// run replays every device stream iters times through the live sessions.
+func (f *fleetMixedBench) run(iters int) {
+	for it := 0; it < iters; it++ {
+		expect := f.steps
+		if !f.primed {
+			expect = f.steps - f.w + 1 // first pass pays the ring warmup
+			f.primed = true
+		}
+		var wg sync.WaitGroup
+		for id := range f.clients {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				cl := f.clients[id]
+				if err := cl.Send(f.rows[id]); err != nil {
+					panic(err)
+				}
+				for got := 0; got < expect; {
+					scores, err := cl.ReadScores()
+					if err != nil {
+						panic(err)
+					}
+					got += len(scores)
+				}
+			}(id)
+		}
+		wg.Wait()
+	}
+}
+
+func (f *fleetMixedBench) close() {
+	for _, cl := range f.clients {
+		if cl != nil {
+			cl.Bye()
+			cl.Close()
+		}
+	}
+	if f.srv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		f.srv.Shutdown(ctx)
+		cancel()
+	}
+	if f.regDir != "" {
+		os.RemoveAll(f.regDir)
+	}
+}
+
 func runBenchSuite(jsonPath string, seed uint64) error {
 	// A small fitted model shared by the score-stream benchmarks: seeded
 	// initialisation scores at the same cost as a trained one.
@@ -165,6 +299,18 @@ func runBenchSuite(jsonPath string, seed uint64) error {
 	}
 
 	results := measureSuite(suite)
+
+	// The serving benchmark runs as its own phase: the live fleet server
+	// (per-group flusher tickers, 64 session goroutine trios) must not
+	// steal cycles from the single-threaded numeric cases above.
+	fleet, err := newFleetMixedBench(seed)
+	if err != nil {
+		return err
+	}
+	results = append(results, measureSuite([]benchCase{
+		{"FleetServeMixed64", fleet.sessions * fleet.steps, fleet.run},
+	})...)
+	fleet.close()
 	for _, res := range results {
 		if res.WindowsPerSec > 0 {
 			fmt.Printf("%-24s %12.0f ns/op %8d allocs/op %12.0f windows/s\n",

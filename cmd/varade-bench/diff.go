@@ -1,0 +1,110 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// The BENCH trajectory diff: `varade-bench -diff old.json new.json`
+// compares two machine-readable suite runs (the committed BENCH_prN.json
+// against a fresh one) and fails — exit status 1 via main — when any
+// benchmark present in both regressed its windows/s metric by more than
+// the tolerance. Non-streaming benchmarks (windows/s absent) are
+// reported on ns/op but only the throughput metrics gate, matching the
+// ROADMAP's "flag >10% regressions on the windows/s metrics".
+
+type benchFile struct {
+	Benchmarks []BenchResult `json:"benchmarks"`
+}
+
+func readBenchFile(path string) (map[string]BenchResult, []string, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(blob, &f); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]BenchResult, len(f.Benchmarks))
+	order := make([]string, 0, len(f.Benchmarks))
+	for _, b := range f.Benchmarks {
+		out[b.Name] = b
+		order = append(order, b.Name)
+	}
+	return out, order, nil
+}
+
+// runDiff prints the old→new movement per benchmark and returns an error
+// naming every windows/s regression beyond tolerance (0.10 = 10%).
+func runDiff(oldPath, newPath string, tolerance float64) error {
+	oldRes, oldOrder, err := readBenchFile(oldPath)
+	if err != nil {
+		return err
+	}
+	newRes, newOrder, err := readBenchFile(newPath)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("bench diff: %s → %s (gate: windows/s regression > %.0f%%)\n", oldPath, newPath, tolerance*100)
+	fmt.Printf("%-24s %14s %14s %9s  %s\n", "benchmark", "old", "new", "Δ", "metric")
+	fmt.Println(strings.Repeat("-", 72))
+
+	var regressions []string
+	for _, name := range oldOrder {
+		o := oldRes[name]
+		n, ok := newRes[name]
+		if !ok {
+			// Dropped benchmarks are loud: a silent disappearance would
+			// read as "no regression" while hiding the metric entirely.
+			fmt.Printf("%-24s %14s %14s %9s  MISSING from %s\n", name, fmtMetric(o), "-", "-", newPath)
+			regressions = append(regressions, fmt.Sprintf("%s: missing from %s", name, newPath))
+			continue
+		}
+		if o.WindowsPerSec > 0 {
+			if n.WindowsPerSec <= 0 {
+				// A throughput metric that vanishes while its name
+				// survives is a gated failure, not a downgrade to the
+				// informational ns/op lane.
+				fmt.Printf("%-24s %14.0f %14s %9s  windows/s metric LOST\n", name, o.WindowsPerSec, "-", "-")
+				regressions = append(regressions, fmt.Sprintf("%s: windows/s metric missing from %s", name, newPath))
+				continue
+			}
+			delta := n.WindowsPerSec/o.WindowsPerSec - 1
+			fmt.Printf("%-24s %14.0f %14.0f %+8.1f%%  windows/s\n", name, o.WindowsPerSec, n.WindowsPerSec, delta*100)
+			if delta < -tolerance {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %.0f → %.0f windows/s (%.1f%%)", name, o.WindowsPerSec, n.WindowsPerSec, delta*100))
+			}
+			continue
+		}
+		// Informational only: ns/op is noisy on shared hosts and does not gate.
+		delta := 0.0
+		if o.NsPerOp > 0 {
+			delta = n.NsPerOp/o.NsPerOp - 1
+		}
+		fmt.Printf("%-24s %14.0f %14.0f %+8.1f%%  ns/op (not gated)\n", name, o.NsPerOp, n.NsPerOp, delta*100)
+	}
+	for _, name := range newOrder {
+		if _, ok := oldRes[name]; !ok {
+			fmt.Printf("%-24s %14s %14s %9s  new benchmark\n", name, "-", fmtMetric(newRes[name]), "-")
+		}
+	}
+
+	if len(regressions) > 0 {
+		return fmt.Errorf("bench diff: %d windows/s regression(s) beyond %.0f%%:\n  %s",
+			len(regressions), tolerance*100, strings.Join(regressions, "\n  "))
+	}
+	fmt.Println("\nno windows/s regressions beyond tolerance")
+	return nil
+}
+
+func fmtMetric(b BenchResult) string {
+	if b.WindowsPerSec > 0 {
+		return fmt.Sprintf("%.0f w/s", b.WindowsPerSec)
+	}
+	return fmt.Sprintf("%.0f ns/op", b.NsPerOp)
+}

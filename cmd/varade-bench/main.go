@@ -12,6 +12,11 @@
 //	varade-bench -exp ablation-window   # window-size sweep
 //	varade-bench -exp ablation-width    # feature-map width sweep
 //
+// The perf trajectory lives in machine-readable suite runs:
+//
+//	varade-bench -exp bench -json BENCH_pr4.json       # write the suite
+//	varade-bench -diff BENCH_pr3.json BENCH_pr4.json   # fail on >10% windows/s regressions
+//
 // -scale paper uses the exact §3.1/§3.3 architectures for the inference-
 // cost columns (slow on one core); -scale small uses the reduced configs.
 package main
@@ -34,9 +39,24 @@ func main() {
 	exp := flag.String("exp", "table2", "experiment: table1|figure1|table2|figure3|accuracy|bench|ablation-score|ablation-augment|ablation-kl|ablation-window|ablation-width")
 	scaleFlag := flag.String("scale", "small", "architecture scale for timing: small|paper")
 	seed := flag.Uint64("seed", 42, "experiment seed")
-	jsonOut := flag.String("json", "", "with -exp bench: write machine-readable results to this path (e.g. BENCH_pr3.json)")
+	jsonOut := flag.String("json", "", "with -exp bench: write machine-readable results to this path (e.g. BENCH_pr4.json)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment to this path")
+	diffFlag := flag.Bool("diff", false, "compare two bench JSON files (varade-bench -diff old.json new.json) and fail on windows/s regressions")
+	diffTol := flag.Float64("diff-tolerance", 0.10, "relative windows/s drop that fails -diff")
 	flag.Parse()
+
+	if *diffFlag {
+		args := flag.Args()
+		if len(args) != 2 {
+			fmt.Fprintln(os.Stderr, "varade-bench: -diff needs exactly two files: varade-bench -diff old.json new.json")
+			os.Exit(2)
+		}
+		if err := runDiff(args[0], args[1], *diffTol); err != nil {
+			fmt.Fprintln(os.Stderr, "varade-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)

@@ -8,14 +8,21 @@
 //	varade-serve -registry ./models -import model.vmf -as varade
 //	varade-serve -registry ./models -model varade -addr :7777 -metrics :7778
 //
-// Devices connect either with the binary fleet framing (see
-// internal/serve.Dial) or the plain CSV line protocol:
+// Devices connect with the binary fleet framing — protocol v1
+// (serve.Dial) or the capability-negotiated protocol v2 (serve.DialWith,
+// which can request a serving precision, a score-frame cap and a drop
+// policy in its Hello; a v2 session asking for int8 against a float64
+// registry entry gets a lazily derived int8 serving group) — or the
+// plain CSV line protocol:
 //
 //	varade-sim -addr ... | nc localhost 7777
 //
 // GET /metrics on the metrics address returns a JSON snapshot (sessions,
-// scored/s, drops, coalesce-latency percentiles); POST /reload?model=NAME
-// hot-swaps live sessions to the latest registered version.
+// scored/s, drops, coalesce-latency percentiles, per-group precision and
+// derived-group counts); GET /models lists the registry plus the live
+// serving groups; POST /reload?model=NAME hot-swaps live sessions — every
+// derived-precision group of the model moves together — to the latest
+// registered version.
 package main
 
 import (
@@ -105,4 +112,8 @@ func main() {
 	m := srv.Metrics()
 	fmt.Printf("varade-serve: served %d sessions, %d windows in %d batches (avg %.1f), %d sample drops, p99 coalesce %.2fms\n",
 		m.TotalSessions, m.WindowsScored, m.Batches, m.AvgBatchSize, m.SamplesDropped, m.P99CoalesceMs)
+	fmt.Printf("varade-serve: %d serving groups (%d derived-precision)\n", m.ServingGroups, m.DerivedGroups)
+	for _, g := range m.Models {
+		fmt.Printf("  %-28s %-8s v%-3d %d sessions\n", g.Key, g.Precision, g.Version, g.Sessions)
+	}
 }

@@ -1,14 +1,21 @@
 // Fleet: the production serving story end to end — train one VARADE
-// detector, register it, start the fleet server, and drive N simulated
-// robots against it concurrently. Each robot is an independent plant
-// (its own noise realisation and its own collisions) streaming over the
-// binary fleet framing; the server coalesces ready windows across all
-// sessions into batched forward passes and streams scores back. The run
-// ends with the server's metrics snapshot and the edge-board fleet
-// projection.
+// detector, register it ONCE as a float64 entry, start the fleet server,
+// and drive N simulated robots against it concurrently. Each robot is an
+// independent plant (its own noise realisation and its own collisions)
+// streaming over the binary fleet framing; the server coalesces ready
+// windows across all sessions into batched forward passes and streams
+// scores back. The run ends with the server's metrics snapshot, the
+// per-precision serving groups, and the edge-board fleet projection.
 //
-//	go run ./examples/fleet              # 8 robots
-//	go run ./examples/fleet -devices 64  # the acceptance-scale fleet
+// By default the fleet is heterogeneous, the paper's Table 2 premise: a
+// third of the robots negotiate float64, a third float32, a third int8
+// (protocol v2, SessionCaps in the Hello frame), and the server derives
+// the reduced-precision serving groups from the single float64 registry
+// entry on first demand.
+//
+//	go run ./examples/fleet                        # 8 robots, mixed precisions
+//	go run ./examples/fleet -devices 64            # the acceptance-scale fleet
+//	go run ./examples/fleet -precision float32     # homogeneous fleet
 package main
 
 import (
@@ -31,8 +38,16 @@ import (
 func main() {
 	devices := flag.Int("devices", 8, "simulated robots to stream concurrently")
 	testSeconds := flag.Float64("seconds", 60, "per-device stream duration (simulated)")
-	precision := flag.String("precision", "float64", "serving precision to register and measure: float64|float32|int8")
+	precision := flag.String("precision", "mixed", "per-session serving precision: mixed|float64|float32|int8")
 	flag.Parse()
+	mixed := *precision == "mixed"
+	sessionPrecisions := []string{varade.PrecisionFloat64, varade.PrecisionFloat32, varade.PrecisionInt8}
+	precFor := func(id int) string {
+		if mixed {
+			return sessionPrecisions[id%len(sessionPrecisions)]
+		}
+		return *precision
+	}
 
 	// One shared training run: the detector and the normalisation learned
 	// at the line are pushed to every device session.
@@ -54,8 +69,10 @@ func main() {
 		log.Fatal(err)
 	}
 	thr := eval.Quantile(varade.ScoreSeriesBatched(model, train), 0.97)
-	if err := model.SetPrecision(*precision); err != nil {
-		log.Fatal(err)
+	// Validate a homogeneous precision up front; the registry entry
+	// itself always stays float64 — each session negotiates its own.
+	if !mixed && !model.Capabilities().Supports(*precision) {
+		log.Fatalf("unknown precision %q (want mixed, float64, float32 or int8)", *precision)
 	}
 
 	// Register and serve.
@@ -88,6 +105,7 @@ func main() {
 	start := time.Now()
 	var wg sync.WaitGroup
 	type deviceStats struct {
+		precision                  string
 		scored, alerts, collisions int
 		err                        error
 	}
@@ -110,11 +128,13 @@ func main() {
 				}
 				series := robot.SelectChannels(ds.Norm.Apply(raw), idx)
 
-				cl, err := serve.Dial(context.Background(), addr, "", len(idx))
+				cl, err := serve.DialWith(context.Background(), addr, "", len(idx),
+					stream.SessionCaps{Precision: precFor(id)})
 				if err != nil {
 					return err
 				}
 				defer cl.Close()
+				stats[id].precision = cl.Welcome().Precision
 				rows := make([][]float64, series.Dim(0))
 				for i := range rows {
 					rows[i] = series.Row(i).Data()
@@ -143,15 +163,25 @@ func main() {
 			fmt.Printf("robot %2d: FAILED: %v\n", id, st.err)
 			continue
 		}
-		fmt.Printf("robot %2d: %5d samples scored, %2d alert bursts, %d true collisions\n",
-			id, st.scored, st.alerts, st.collisions)
+		fmt.Printf("robot %2d: %-7s %5d samples scored, %2d alert bursts, %d true collisions\n",
+			id, st.precision, st.scored, st.alerts, st.collisions)
 	}
 
 	m := srv.Metrics()
 	fmt.Printf("\nfleet drained in %.2fs: %d sessions, %d windows in %d batches (avg %.1f windows/batch)\n",
 		elapsed.Seconds(), m.TotalSessions, m.WindowsScored, m.Batches, m.AvgBatchSize)
-	fmt.Printf("throughput %.0f windows/s, %d sample drops, coalesce latency p50 %.2fms p99 %.2fms\n\n",
+	fmt.Printf("throughput %.0f windows/s, %d sample drops, coalesce latency p50 %.2fms p99 %.2fms\n",
 		float64(m.WindowsScored)/elapsed.Seconds(), m.SamplesDropped, m.P50CoalesceMs, m.P99CoalesceMs)
+	fmt.Printf("%d serving groups from one registry entry (%d derived-precision):\n",
+		m.ServingGroups, m.DerivedGroups)
+	for _, g := range m.Models {
+		derived := ""
+		if g.Derived {
+			derived = " (derived)"
+		}
+		fmt.Printf("  %-24s %-8s v%d%s\n", g.Key, g.Precision, g.Version, derived)
+	}
+	fmt.Println()
 
 	// Project the measured serving throughput onto the paper's boards,
 	// one row per precision: float32 inference moves half the bytes per
@@ -162,7 +192,12 @@ func main() {
 	hostHz := float64(m.WindowsScored) / elapsed.Seconds()
 	params := int64(model.NumParams())
 	speedup := map[string]float64{"float64": 1, "float32": 1.35, "int8": 1.21}
-	served := model.Precision()
+	// For a mixed fleet the measurement is the blended aggregate across
+	// the three groups; treat it as the float64 baseline for projection.
+	served := *precision
+	if mixed {
+		served = "float64"
+	}
 	var reports []edge.FleetReport
 	for _, prec := range []string{"float64", "float32", "int8"} {
 		hz := hostHz * speedup[prec] / speedup[served]
@@ -178,9 +213,16 @@ func main() {
 		)
 	}
 	edge.WriteFleetTable(os.Stdout, reports)
-	fmt.Printf("(measured precision: %s; other precision rows are projections from the\n"+
-		" BenchmarkFleetServe64* ratios on the 1-core dev container — rerun with\n"+
-		" -precision float32|int8 to measure them live)\n", served)
+	if mixed {
+		fmt.Println("(mixed fleet: the measurement blends all three precision groups; the\n" +
+			" per-precision rows are projections from the BenchmarkFleetServe64* ratios\n" +
+			" on the 1-core dev container — rerun with -precision float32|int8 for a\n" +
+			" homogeneous live measurement)")
+	} else {
+		fmt.Printf("(measured precision: %s; other precision rows are projections from the\n"+
+			" BenchmarkFleetServe64* ratios on the 1-core dev container — rerun with\n"+
+			" -precision float32|int8 to measure them live)\n", served)
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()

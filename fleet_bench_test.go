@@ -71,10 +71,19 @@ func BenchmarkFleetServe64F32(b *testing.B) { benchFleetServe(b, "float32") }
 // registry entry (the registry file itself is the VMF2 int8 container).
 func BenchmarkFleetServe64Int8(b *testing.B) { benchFleetServe(b, "int8") }
 
+// BenchmarkFleetServeMixed64 is the negotiated-session shape: ONE
+// float64 registry entry, 64 protocol-v2 sessions requesting
+// float64/float32/int8 round-robin, each precision coalesced in its own
+// derived serving group.
+func BenchmarkFleetServeMixed64(b *testing.B) { benchFleetServe(b, "mixed") }
+
 func benchFleetServe(b *testing.B, precision string) {
 	model := fleetModel(b)
-	if err := model.SetPrecision(precision); err != nil {
-		b.Fatal(err)
+	mixed := precision == "mixed"
+	if !mixed {
+		if err := model.SetPrecision(precision); err != nil {
+			b.Fatal(err)
+		}
 	}
 	streams := fleetStreams(b)
 	w := model.WindowSize()
@@ -105,9 +114,17 @@ func benchFleetServe(b *testing.B, precision string) {
 	// replays every device's stream through its live session. Windows
 	// keep completing across iteration boundaries (the ring stays
 	// primed), so only the first iteration pays the w−1 warmup.
+	precisions := []string{"float64", "float32", "int8"}
 	clients := make([]*serve.Client, fleetSessions)
 	for id := range clients {
-		cl, err := serve.Dial(context.Background(), addr, "", fleetChannels)
+		var cl *serve.Client
+		var err error
+		if mixed {
+			cl, err = serve.DialWith(context.Background(), addr, "", fleetChannels,
+				stream.SessionCaps{Precision: precisions[id%len(precisions)]})
+		} else {
+			cl, err = serve.Dial(context.Background(), addr, "", fleetChannels)
+		}
 		if err != nil {
 			b.Fatal(err)
 		}

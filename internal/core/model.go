@@ -125,7 +125,7 @@ func (m *Model) Score(window *tensor.Tensor) float64 {
 	return s / float64(logVar.Len())
 }
 
-// ScoreBatch implements detect.BatchScorer: it scores N time-major windows
+// ScoreBatch implements detect.Scorer: it scores N time-major windows
 // (N, W, C) in one batched forward pass, in the model's configured
 // precision. Per-window arithmetic is identical to Score, so the scores
 // match the scalar path exactly at every precision.

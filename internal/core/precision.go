@@ -25,9 +25,21 @@ type inferState struct {
 	quant nn.QuantCache             // authoritative int8 blocks (loaded or freshly quantized)
 }
 
-// Precision implements detect.Precisioned: the effective inference
-// precision ("float64", "float32" or "int8").
+// Precision reports the effective inference precision ("float64",
+// "float32" or "int8").
 func (m *Model) Precision() string { return m.cfg.EffectivePrecision() }
+
+// Capabilities implements detect.Scorer: VARADE batches natively, has a
+// reduced-precision engine, and can be re-targeted to any precision via
+// SetPrecision.
+func (m *Model) Capabilities() detect.Capabilities {
+	return detect.Capabilities{
+		Batched:    true,
+		Reduced:    true,
+		Precision:  m.Precision(),
+		Precisions: []string{PrecisionFloat64, PrecisionFloat32, PrecisionInt8},
+	}
+}
 
 // SetPrecision switches the precision inference runs at. Training state is
 // unaffected; compiled programs are rebuilt lazily on the next Score. An
@@ -189,7 +201,7 @@ func windowsToChannelMajor32(windows *tensor.Tensor) *tensor.Tensor32 {
 	return out
 }
 
-// ScoreBatch32 implements detect.BatchScorer32: it scores N time-major
+// ScoreBatch32 implements detect.Scorer: it scores N time-major
 // float32 windows (N, W, C) in the model's own precision. For a float64
 // model the windows are widened and routed through the oracle path.
 func (m *Model) ScoreBatch32(windows *tensor.Tensor32) []float64 {

@@ -252,6 +252,12 @@ func TestScoreBatch32MatchesScoreBatch(t *testing.T) {
 			t.Fatalf("ScoreBatch32 %d: %g vs %g", i, got[i], want[i])
 		}
 	}
-	var _ detect.BatchScorer32 = m
-	var _ detect.Precisioned = m
+	var _ detect.Scorer = m
+	caps := m.Capabilities()
+	if !caps.Batched || !caps.Reduced || caps.Precision != PrecisionFloat32 {
+		t.Fatalf("capabilities %+v, want batched+reduced float32", caps)
+	}
+	if !caps.Supports(PrecisionInt8) || caps.Supports("bf16") {
+		t.Fatalf("capability precision set wrong: %+v", caps.Precisions)
+	}
 }

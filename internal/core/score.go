@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"varade/internal/detect"
 	"varade/internal/tensor"
 )
 
@@ -46,7 +47,17 @@ func (r *ResidualScorer) Score(window *tensor.Tensor) float64 {
 	return math.Sqrt(s)
 }
 
-// ScoreBatch implements detect.BatchScorer: windows are (N, W+1, C), the
+// Capabilities implements detect.Scorer: the residual criterion always
+// evaluates through the float64 training head (Predict needs μ, which the
+// reduced-precision programs discard).
+func (r *ResidualScorer) Capabilities() detect.Capabilities { return detect.Float64Caps() }
+
+// ScoreBatch32 implements detect.Scorer by widening to the float64 path.
+func (r *ResidualScorer) ScoreBatch32(windows *tensor.Tensor32) []float64 {
+	return detect.WidenScoreBatch32(r, windows)
+}
+
+// ScoreBatch implements detect.Scorer: windows are (N, W+1, C), the
 // first W rows of each being the forecasting context and the last the
 // observed point. One batched forward yields all N residual norms.
 func (r *ResidualScorer) ScoreBatch(windows *tensor.Tensor) []float64 {

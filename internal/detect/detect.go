@@ -28,42 +28,110 @@ type Detector interface {
 	Score(window *tensor.Tensor) float64
 }
 
-// BatchScorer is implemented by detectors whose forward pass is batched:
-// ScoreBatch scores N time-major windows of shape (N, W, C) in one call,
-// returning one score per window. Implementations must produce exactly the
-// scores Score would return window by window; batching only changes the
-// execution schedule, not the arithmetic.
-type BatchScorer interface {
-	Detector
-	ScoreBatch(windows *tensor.Tensor) []float64
+// Capabilities describes a detector's scoring engine: what execution
+// schedules and numeric precisions it supports and which precision it is
+// currently running. The serving layer negotiates per-session precision
+// against this descriptor, and batching call sites use it instead of
+// type-switching on optional interfaces.
+type Capabilities struct {
+	// Batched reports a native batched forward pass: ScoreBatch amortises
+	// one call over N windows instead of looping Score.
+	Batched bool
+	// Reduced reports a native float32 batch entry point: ScoreBatch32
+	// consumes float32 windows without a round trip through float64.
+	Reduced bool
+	// Precision is the effective inference precision ("float64",
+	// "float32" or "int8").
+	Precision string
+	// Precisions lists every precision the detector can be re-targeted
+	// to (always including Precision itself).
+	Precisions []string
 }
 
-// BatchScorer32 is implemented by detectors whose inference can run at
-// reduced precision: ScoreBatch32 scores N time-major float32 windows
-// (N, W, C) in one call. The serving layer batches windows in the model's
-// own precision through this path, halving the coalescer's memory traffic
-// for float32/int8 models. Scores stay float64 on the wire.
-type BatchScorer32 interface {
+// Supports reports whether the engine can run at precision p.
+func (c Capabilities) Supports(p string) bool {
+	for _, q := range c.Precisions {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Scorer is the unified scoring surface every detector presents to the
+// batched engine and the fleet server. ScoreBatch scores N time-major
+// windows of shape (N, W, C) in one call and must produce exactly the
+// scores Score would return window by window — batching only changes the
+// execution schedule, not the arithmetic. ScoreBatch32 is the float32
+// counterpart: detectors without a reduced-precision engine widen the
+// batch and delegate to the float64 path, so the scores still follow the
+// detector's own arithmetic. Use AsScorer to obtain a Scorer for any
+// Detector.
+type Scorer interface {
 	Detector
+	Capabilities() Capabilities
+	ScoreBatch(windows *tensor.Tensor) []float64
 	ScoreBatch32(windows *tensor.Tensor32) []float64
 }
 
-// Precisioned is implemented by detectors whose inference precision is
-// configurable. Precision reports the effective numeric type ("float64",
-// "float32" or "int8"); callers use it to decide whether the float32
-// batching path applies — a float64 model must keep the bit-exact float64
-// path.
-type Precisioned interface {
-	Precision() string
+// Float64Caps is the capability descriptor of a plain float64 detector
+// with a native batched path — the common case for the baselines.
+func Float64Caps() Capabilities {
+	return Capabilities{Batched: true, Precision: "float64", Precisions: []string{"float64"}}
 }
 
-// EffectivePrecision reports d's inference precision, defaulting to
-// float64 for detectors that predate the precision axis.
-func EffectivePrecision(d Detector) string {
-	if p, ok := d.(Precisioned); ok {
-		return p.Precision()
+// scorerAdapter lifts a Detector without a native Scorer implementation
+// onto the unified surface: ScoreBatch loops Score per window and
+// ScoreBatch32 widens to float64 first.
+type scorerAdapter struct {
+	Detector
+}
+
+func (a scorerAdapter) Capabilities() Capabilities {
+	return Capabilities{Precision: "float64", Precisions: []string{"float64"}}
+}
+
+func (a scorerAdapter) ScoreBatch(windows *tensor.Tensor) []float64 {
+	return scoreBatchLoop(a.Detector, windows)
+}
+
+func (a scorerAdapter) ScoreBatch32(windows *tensor.Tensor32) []float64 {
+	return a.ScoreBatch(tensor.Convert[float64](windows))
+}
+
+// scoreBatchLoop is the per-window fallback schedule over a (N, W, C)
+// batch.
+func scoreBatchLoop(d Detector, windows *tensor.Tensor) []float64 {
+	if windows.Dims() != 3 {
+		panic(fmt.Sprintf("detect: ScoreBatch needs (N,W,C), got %v", windows.Shape()))
 	}
-	return "float64"
+	n, w, c := windows.Dim(0), windows.Dim(1), windows.Dim(2)
+	wd := windows.Data()
+	scores := make([]float64, n)
+	for i := 0; i < n; i++ {
+		scores[i] = d.Score(tensor.FromSlice(wd[i*w*c:(i+1)*w*c], w, c))
+	}
+	return scores
+}
+
+// WidenScoreBatch32 routes a float32 batch through a detector's float64
+// ScoreBatch — the ScoreBatch32 implementation for engines without a
+// reduced-precision path.
+func WidenScoreBatch32(s interface {
+	ScoreBatch(*tensor.Tensor) []float64
+}, windows *tensor.Tensor32) []float64 {
+	return s.ScoreBatch(tensor.Convert[float64](windows))
+}
+
+// AsScorer returns d's unified scoring surface: detectors implementing
+// Scorer natively are returned unchanged, everything else is wrapped in
+// an adapter whose ScoreBatch loops Score per window. This is the single
+// place the optional-interface probe happens; callers never type-switch.
+func AsScorer(d Detector) Scorer {
+	if s, ok := d.(Scorer); ok {
+		return s
+	}
+	return scorerAdapter{d}
 }
 
 // BatchChunk is the number of sliding windows ScoreSeriesBatched
@@ -74,11 +142,11 @@ const BatchChunk = 256
 
 // ScoreSeriesBatched is ScoreSeries through the batched engine: windows
 // are materialised in chunks and handed to the detector's ScoreBatch when
-// it implements BatchScorer. Detectors without a batched path fall back to
-// the per-window loop. Scores are identical to ScoreSeries either way.
+// its Capabilities report a batched path. Detectors without one fall back
+// to the per-window loop. Scores are identical to ScoreSeries either way.
 func ScoreSeriesBatched(d Detector, series *tensor.Tensor) []float64 {
-	bs, ok := d.(BatchScorer)
-	if !ok {
+	bs := AsScorer(d)
+	if !bs.Capabilities().Batched {
 		return ScoreSeries(d, series)
 	}
 	if series.Dims() != 2 {

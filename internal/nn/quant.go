@@ -137,48 +137,134 @@ func (q *QuantTensor) MaxAbsError(w *tensor.Tensor) float64 {
 	return worst
 }
 
+// quantKBlock is the k-extent tile of the blocked int8 GEMM: a block of
+// the input row (4·quantKBlock B) plus the matching int8 sub-row
+// (quantKBlock B) stays L1-resident while every output row's sub-dot
+// runs over it, so wide layers hit the same cache behaviour as the
+// float kernels instead of streaming whole rows past the cache.
+const quantKBlock = 2048
+
 // quantGEMMTransB computes dst = x·dequant(q)ᵀ + bias with float32
 // accumulation: x is (n, Cols), dst is (n, Rows). Because the affine
 // dequantisation is per output row, the inner product folds to
 //
 //	y[i,r] = scale[r]·(Σ_c q[r,c]·x[i,c] − zero[r]·Σ_c x[i,c]) + bias[r]
 //
-// so each row needs one int8 weight scan plus a shared input row sum.
+// so each row needs one int8 weight scan plus an input row sum that is
+// computed once per input row and shared by every output row — and, in
+// the blocked path, accumulated block by block rather than re-scanned.
+// Narrow layers (Cols ≤ quantKBlock) take the single-pass path; wider
+// ones are tiled over the k extent.
 func quantGEMMTransB(dst, x *tensor.Tensor32, q *QuantTensor, bias []float32) {
+	quantGEMMTransBBlocked(dst, x, q, bias, quantKBlock)
+}
+
+// quantGEMMTransBBlocked is quantGEMMTransB with an explicit k-block
+// size, separated so tests can force the multi-block path on small
+// shapes.
+func quantGEMMTransBBlocked(dst, x *tensor.Tensor32, q *QuantTensor, bias []float32, kblock int) {
 	n, cols := x.Dim(0), x.Dim(1)
 	if cols != q.Cols {
 		panic(fmt.Sprintf("nn: quantGEMM inner dims %d vs %d", cols, q.Cols))
 	}
 	xd, od := x.Data(), dst.Data()
 	tensor.Parallel(n, func(lo, hi int) {
+		// One accumulator row per worker, reused across its shard: the
+		// blocked path adds partial dots block by block and applies the
+		// affine correction once at the end.
+		var acc []float32
+		if cols > kblock {
+			acc = make([]float32, q.Rows)
+		}
 		for i := lo; i < hi; i++ {
 			xrow := xd[i*cols : (i+1)*cols]
-			var sx float32
-			for _, v := range xrow {
-				sx += v
-			}
 			orow := od[i*q.Rows : (i+1)*q.Rows]
+			if cols <= kblock {
+				// Single-pass path with the dot kept inline: the narrow
+				// layers dominating the compiled nets pay no call
+				// overhead per output row.
+				var sx float32
+				for _, v := range xrow {
+					sx += v
+				}
+				for r := 0; r < q.Rows; r++ {
+					qrow := q.Q[r*cols : (r+1)*cols]
+					// Four accumulators break the FP-add latency chain.
+					var a0, a1, a2, a3 float32
+					c := 0
+					for ; c+4 <= cols; c += 4 {
+						a0 += float32(qrow[c]) * xrow[c]
+						a1 += float32(qrow[c+1]) * xrow[c+1]
+						a2 += float32(qrow[c+2]) * xrow[c+2]
+						a3 += float32(qrow[c+3]) * xrow[c+3]
+					}
+					for ; c < cols; c++ {
+						a0 += float32(qrow[c]) * xrow[c]
+					}
+					orow[r] = finishQuantDot(q, bias, r, (a0+a1)+(a2+a3), sx)
+				}
+				continue
+			}
+			for r := range acc {
+				acc[r] = 0
+			}
+			var sx float32
+			for k0 := 0; k0 < cols; k0 += kblock {
+				k1 := min(k0+kblock, cols)
+				xsub := xrow[k0:k1]
+				// The row sum rides the same block pass as the dots, so
+				// xsub is scanned while hot and never re-read.
+				sx += rowSum(xsub)
+				for r := 0; r < q.Rows; r++ {
+					acc[r] += dotQ(q.Q[r*cols+k0:r*cols+k1], xsub)
+				}
+			}
 			for r := 0; r < q.Rows; r++ {
-				qrow := q.Q[r*cols : (r+1)*cols]
-				// Four accumulators break the FP-add latency chain.
-				var a0, a1, a2, a3 float32
-				c := 0
-				for ; c+4 <= cols; c += 4 {
-					a0 += float32(qrow[c]) * xrow[c]
-					a1 += float32(qrow[c+1]) * xrow[c+1]
-					a2 += float32(qrow[c+2]) * xrow[c+2]
-					a3 += float32(qrow[c+3]) * xrow[c+3]
-				}
-				for ; c < cols; c++ {
-					a0 += float32(qrow[c]) * xrow[c]
-				}
-				acc := (a0 + a1) + (a2 + a3)
-				y := q.Scale[r] * (acc - float32(q.Zero[r])*sx)
-				if bias != nil {
-					y += bias[r]
-				}
-				orow[r] = y
+				orow[r] = finishQuantDot(q, bias, r, acc[r], sx)
 			}
 		}
 	})
+}
+
+// rowSum totals one (sub-)row of the input.
+func rowSum(x []float32) float32 {
+	var s0, s1, s2, s3 float32
+	c := 0
+	for ; c+4 <= len(x); c += 4 {
+		s0 += x[c]
+		s1 += x[c+1]
+		s2 += x[c+2]
+		s3 += x[c+3]
+	}
+	for ; c < len(x); c++ {
+		s0 += x[c]
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// dotQ is the int8×float32 inner product over one (sub-)row. Four
+// accumulators break the FP-add latency chain.
+func dotQ(qrow []int8, xrow []float32) float32 {
+	var a0, a1, a2, a3 float32
+	c := 0
+	for ; c+4 <= len(xrow); c += 4 {
+		a0 += float32(qrow[c]) * xrow[c]
+		a1 += float32(qrow[c+1]) * xrow[c+1]
+		a2 += float32(qrow[c+2]) * xrow[c+2]
+		a3 += float32(qrow[c+3]) * xrow[c+3]
+	}
+	for ; c < len(xrow); c++ {
+		a0 += float32(qrow[c]) * xrow[c]
+	}
+	return (a0 + a1) + (a2 + a3)
+}
+
+// finishQuantDot applies the per-row affine correction and bias to a
+// completed raw dot product.
+func finishQuantDot(q *QuantTensor, bias []float32, r int, acc, sx float32) float32 {
+	y := q.Scale[r] * (acc - float32(q.Zero[r])*sx)
+	if bias != nil {
+		y += bias[r]
+	}
+	return y
 }

@@ -1,0 +1,100 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"varade/internal/tensor"
+)
+
+// refQuantGEMM is the float64 reference: x·dequant(q)ᵀ + bias evaluated
+// in the obvious order.
+func refQuantGEMM(x *tensor.Tensor32, q *QuantTensor, bias []float32) []float64 {
+	n, cols := x.Dim(0), x.Dim(1)
+	xd := x.Data()
+	deq := q.Dequantize().Data()
+	out := make([]float64, n*q.Rows)
+	for i := 0; i < n; i++ {
+		for r := 0; r < q.Rows; r++ {
+			s := 0.0
+			for c := 0; c < cols; c++ {
+				s += float64(xd[i*cols+c]) * deq[r*q.Cols+c]
+			}
+			if bias != nil {
+				s += float64(bias[r])
+			}
+			out[i*q.Rows+r] = s
+		}
+	}
+	return out
+}
+
+// TestQuantGEMMBlockedMatchesSinglePass forces the k-blocked path on a
+// shape the single-pass path also handles and checks both against the
+// float64 reference: blocking may only reorder float32 additions, so
+// every element stays within a tight relative tolerance.
+func TestQuantGEMMBlockedMatchesSinglePass(t *testing.T) {
+	const (
+		n    = 7
+		rows = 5
+		cols = 103 // odd: exercises the unroll tails in every block
+	)
+	rng := tensor.NewRNG(7)
+	w := tensor.RandNormal(rng, 0, 1, rows, cols)
+	q := QuantizeRows(w, rows, cols)
+	x := tensor.NewOf[float32](n, cols)
+	xd := x.Data()
+	for i := range xd {
+		xd[i] = float32(rng.NormFloat64())
+	}
+	bias := make([]float32, rows)
+	for i := range bias {
+		bias[i] = float32(rng.NormFloat64())
+	}
+
+	single := tensor.NewOf[float32](n, rows)
+	quantGEMMTransBBlocked(single, x, q, bias, cols) // one block: the legacy path
+	for _, kblock := range []int{1, 4, 32, 100} {
+		blocked := tensor.NewOf[float32](n, rows)
+		quantGEMMTransBBlocked(blocked, x, q, bias, kblock)
+		ref := refQuantGEMM(x, q, bias)
+		sd, bd := single.Data(), blocked.Data()
+		for i := range sd {
+			if d := math.Abs(float64(bd[i]) - ref[i]); d > 1e-3*(1+math.Abs(ref[i])) {
+				t.Fatalf("kblock %d element %d: blocked %g vs reference %g", kblock, i, bd[i], ref[i])
+			}
+			if d := math.Abs(float64(bd[i] - sd[i])); d > 1e-4*(1+math.Abs(ref[i])) {
+				t.Fatalf("kblock %d element %d: blocked %g vs single-pass %g", kblock, i, bd[i], sd[i])
+			}
+		}
+	}
+}
+
+// TestQuantGEMMDefaultPath pins the production entry point (default
+// block size) to the reference on a shape wider than one k-block.
+func TestQuantGEMMDefaultPath(t *testing.T) {
+	const (
+		n    = 3
+		rows = 4
+		cols = quantKBlock + 513 // forces the multi-block path for real
+	)
+	rng := tensor.NewRNG(11)
+	w := tensor.RandNormal(rng, 0, 0.1, rows, cols)
+	q := QuantizeRows(w, rows, cols)
+	x := tensor.NewOf[float32](n, cols)
+	xd := x.Data()
+	for i := range xd {
+		xd[i] = float32(rng.NormFloat64())
+	}
+
+	dst := tensor.NewOf[float32](n, rows)
+	quantGEMMTransB(dst, x, q, nil)
+	ref := refQuantGEMM(x, q, nil)
+	dd := dst.Data()
+	for i := range dd {
+		// float32 accumulation over ~2.5k terms: allow a scaled epsilon.
+		if d := math.Abs(float64(dd[i]) - ref[i]); d > 1e-2*(1+math.Abs(ref[i])) {
+			t.Fatalf("element %d: %g vs reference %g", i, dd[i], ref[i])
+		}
+	}
+}

@@ -21,10 +21,27 @@ type Client struct {
 	welcome stream.Welcome
 }
 
-// Dial connects to a fleet server, performs the hello/welcome handshake
-// for the given model reference ("", "name" or "name@vN") and stream
-// width, and returns a ready client.
+// Dial connects to a fleet server over protocol v1: the hello/welcome
+// handshake for the given model reference ("", "name" or "name@vN") and
+// stream width, with no capability negotiation — the session is served
+// at the model file's own precision. It is exactly the pre-v2 wire
+// dialect, kept as a live client so protocol compatibility stays tested.
 func Dial(ctx context.Context, addr, model string, channels int) (*Client, error) {
+	return dial(ctx, addr, model, channels, stream.ProtoV1, stream.SessionCaps{})
+}
+
+// DialWith connects over protocol v2, negotiating the given capability
+// set (serving precision, score-frame cap, drop policy). The server's
+// grant is available from Welcome — e.g. Welcome().Precision reports the
+// precision the session's serving group actually runs.
+func DialWith(ctx context.Context, addr, model string, channels int, caps stream.SessionCaps) (*Client, error) {
+	if err := caps.Validate(); err != nil {
+		return nil, err
+	}
+	return dial(ctx, addr, model, channels, stream.ProtoV2, caps)
+}
+
+func dial(ctx context.Context, addr, model string, channels, proto int, caps stream.SessionCaps) (*Client, error) {
 	name, version := "", 0
 	if model != "" {
 		var err error
@@ -38,11 +55,16 @@ func Dial(ctx context.Context, addr, model string, channels int) (*Client, error
 		return nil, err
 	}
 	c := &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
-	if _, err := c.bw.WriteString(stream.FrameMagic); err != nil {
+	magic := stream.FrameMagic
+	hello := stream.Hello{Model: name, Version: version, Channels: channels}
+	if proto >= stream.ProtoV2 {
+		magic = stream.FrameMagicV2
+		hello.Caps = &caps
+	}
+	if _, err := c.bw.WriteString(magic); err != nil {
 		conn.Close()
 		return nil, err
 	}
-	hello := stream.Hello{Model: name, Version: version, Channels: channels}
 	if err := stream.WriteJSONFrame(c.bw, stream.FrameHello, hello); err != nil {
 		conn.Close()
 		return nil, err
@@ -72,8 +94,8 @@ func Dial(ctx context.Context, addr, model string, channels int) (*Client, error
 	return c, nil
 }
 
-// Welcome returns the server's session parameters (resolved model,
-// window, channels).
+// Welcome returns the server's session parameters: the resolved model,
+// geometry, and (for DialWith sessions) the granted capability set.
 func (c *Client) Welcome() stream.Welcome { return c.welcome }
 
 // Send ships one batch of samples.

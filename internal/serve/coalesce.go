@@ -37,17 +37,25 @@ type windowMeta struct {
 // backpressure that surfaces upstream as the per-session admission queue
 // (a stream.Bus) dropping its oldest samples.
 //
-// Batches are assembled in the model's own numeric precision: a float32 or
-// int8 model fills float32 buffers (half the coalescer's memory traffic)
-// and scores through detect.BatchScorer32, while a float64 model keeps the
+// Batches are assembled in the group's serving precision: a float32 or
+// int8 scorer fills float32 buffers (half the coalescer's memory traffic)
+// and scores through Scorer.ScoreBatch32, while a float64 scorer keeps the
 // bit-exact float64 path. The fill buffer's precision is latched while it
 // holds windows, so a hot swap that changes the serving precision scores
 // the in-flight batch in the precision it was assembled at.
+//
+// Since protocol v2, groups are precision-specific: sessions negotiating
+// "int8" against a float64 registry entry land in a derived group whose
+// scorer was re-targeted at load time, keyed "name@vN:int8" so they never
+// share arithmetic with the float64 sessions of the same entry.
 type modelGroup struct {
 	srv     *Server
+	key     string // group map key, e.g. "varade", "varade@v2:int8"
 	name    string
-	version int  // concrete version currently loaded
-	pinned  bool // session asked for an explicit version: exempt from Reload
+	version int    // concrete version currently loaded
+	pinned  bool   // session asked for an explicit version: exempt from Reload
+	reqPrec string // negotiated precision this group serves ("" = the file's own)
+	derived bool   // reqPrec re-targeted the scorer away from the file's precision
 	kind    string
 	w, c    int
 
@@ -55,14 +63,12 @@ type modelGroup struct {
 
 	mu        sync.Mutex
 	cond      *sync.Cond
-	det       detect.Detector
-	bs        detect.BatchScorer   // nil when det has no batched path
-	bs32      detect.BatchScorer32 // nil when det has no reduced-precision path
-	prec      string               // det's effective precision
-	use32     bool                 // assemble new batches in float32
-	pending   *tensor.Tensor       // float64 fill buffer, (maxBatch, w, c); lazily allocated
-	spare     *tensor.Tensor       // float64 buffer handed to the scorer on flush
-	pending32 *tensor.Tensor32     // float32 fill buffer; lazily allocated
+	sc        detect.Scorer
+	caps      detect.Capabilities
+	use32     bool             // assemble new batches in float32
+	pending   *tensor.Tensor   // float64 fill buffer, (maxBatch, w, c); lazily allocated
+	spare     *tensor.Tensor   // float64 buffer handed to the scorer on flush
+	pending32 *tensor.Tensor32 // float32 fill buffer; lazily allocated
 	spare32   *tensor.Tensor32
 	fill32    bool // precision of the windows currently in the fill buffer
 	meta      []windowMeta
@@ -74,22 +80,24 @@ type modelGroup struct {
 	kick chan struct{}
 }
 
-func newModelGroup(srv *Server, name string, version int, pinned bool, kind string, det detect.Detector, channels int) *modelGroup {
-	w := det.WindowSize()
+func newModelGroup(srv *Server, key, name string, version int, pinned bool, reqPrec string, derived bool, kind string, sc detect.Scorer, channels int) *modelGroup {
+	w := sc.WindowSize()
 	g := &modelGroup{
 		srv:      srv,
+		key:      key,
 		name:     name,
 		version:  version,
 		pinned:   pinned,
+		reqPrec:  reqPrec,
+		derived:  derived,
 		kind:     kind,
 		w:        w,
 		c:        channels,
 		maxBatch: srv.cfg.MaxBatch,
-		det:      det,
 		kick:     make(chan struct{}, 1),
 	}
 	g.cond = sync.NewCond(&g.mu)
-	g.setDetectorLocked(det)
+	g.setScorerLocked(sc)
 	g.fill32 = g.use32
 	g.ensureBuffersLocked()
 	g.meta = make([]windowMeta, g.maxBatch)
@@ -97,15 +105,13 @@ func newModelGroup(srv *Server, name string, version int, pinned bool, kind stri
 	return g
 }
 
-// setDetectorLocked installs det and derives the batching mode: float32
-// assembly requires both a reduced-precision detector and its batched
-// entry point.
-func (g *modelGroup) setDetectorLocked(det detect.Detector) {
-	g.det = det
-	g.bs, _ = det.(detect.BatchScorer)
-	g.bs32, _ = det.(detect.BatchScorer32)
-	g.prec = detect.EffectivePrecision(det)
-	g.use32 = g.bs32 != nil && g.prec != "float64"
+// setScorerLocked installs sc and derives the batching mode: float32
+// assembly requires a reduced-precision engine actually running below
+// float64.
+func (g *modelGroup) setScorerLocked(sc detect.Scorer) {
+	g.sc = sc
+	g.caps = sc.Capabilities()
+	g.use32 = g.caps.Reduced && g.caps.Precision != "float64"
 }
 
 // ensureBuffersLocked allocates the fill/spare pair for the current fill
@@ -217,23 +223,19 @@ func (g *modelGroup) flush() {
 	meta := g.meta
 	g.meta, g.spareMeta = g.spareMeta, g.meta
 	g.n = 0
-	det, bs, bs32 := g.det, g.bs, g.bs32
+	sc := g.sc
 	g.mu.Unlock()
 	g.cond.Broadcast()
 
+	// The Scorer surface absorbs every engine mismatch: a float32 batch
+	// against a scorer that was hot-swapped to a float64-only engine
+	// widens inside ScoreBatch32, and an unbatched detector's adapter
+	// loops Score per window inside ScoreBatch.
 	var scores []float64
 	if is32 {
-		wins := batch32.SliceRows(0, n)
-		if bs32 != nil {
-			scores = bs32.ScoreBatch32(wins)
-		} else {
-			// The serving model was swapped to one without a reduced-
-			// precision path while this batch was in flight; widen and use
-			// the float64 engine.
-			scores = g.scoreF64(det, bs, tensor.Convert[float64](wins), n)
-		}
+		scores = sc.ScoreBatch32(batch32.SliceRows(0, n))
 	} else {
-		scores = g.scoreF64(det, bs, batch.SliceRows(0, n), n)
+		scores = sc.ScoreBatch(batch.SliceRows(0, n))
 	}
 	now := time.Now()
 	for i := 0; i < n; i++ {
@@ -246,52 +248,68 @@ func (g *modelGroup) flush() {
 	g.srv.met.batches.Add(1)
 }
 
-// scoreF64 scores n float64 windows through the detector's batched path,
-// falling back to the per-window loop for unbatched detectors.
-func (g *modelGroup) scoreF64(det detect.Detector, bs detect.BatchScorer, wins *tensor.Tensor, n int) []float64 {
-	if bs != nil {
-		return bs.ScoreBatch(wins)
+// checkGeometry verifies a replacement scorer keeps the group's (W, C) —
+// sessions own window state sized to it and keep that state across swaps.
+func (g *modelGroup) checkGeometry(sc detect.Scorer, version int) error {
+	c, ok := detectorChannels(sc)
+	if !ok {
+		return fmt.Errorf("serve: cannot determine channel count of %s", sc.Name())
 	}
-	scores := make([]float64, n)
-	stride := g.w * g.c
-	wd := wins.Data()
-	for i := 0; i < n; i++ {
-		scores[i] = det.Score(tensor.FromSlice(wd[i*stride:(i+1)*stride], g.w, g.c))
+	if sc.WindowSize() != g.w || c != g.c {
+		return fmt.Errorf("serve: model %s@v%d geometry (W=%d,C=%d) does not match serving group (W=%d,C=%d)",
+			g.name, version, sc.WindowSize(), c, g.w, g.c)
 	}
-	return scores
+	return nil
 }
 
-// swap hot-swaps the group's detector on live sessions. The new model
-// must keep the group's geometry — sessions own window state sized to
-// (W, C) and keep it across the swap.
-func (g *modelGroup) swap(det detect.Detector, version int, kind string) error {
-	c, ok := detectorChannels(det)
-	if !ok {
-		return fmt.Errorf("serve: cannot determine channel count of %s", det.Name())
-	}
-	if det.WindowSize() != g.w || c != g.c {
-		return fmt.Errorf("serve: model %s@v%d geometry (W=%d,C=%d) does not match serving group (W=%d,C=%d)",
-			g.name, version, det.WindowSize(), c, g.w, g.c)
-	}
+// swap hot-swaps the group's scorer on live sessions. Callers must have
+// validated geometry (checkGeometry) and re-derived the group's
+// negotiated precision on the new instance, so swap itself cannot fail —
+// Reload uses that to move every derived-precision group of one model in
+// a single all-or-nothing step. derived tracks whether the NEW instance
+// was re-targeted: a group that negotiated int8 against a float64 v1
+// stops being derived when v2 is imported as a native int8 container.
+func (g *modelGroup) swap(sc detect.Scorer, version int, kind string, derived bool) {
 	g.mu.Lock()
-	g.setDetectorLocked(det)
+	g.setScorerLocked(sc)
 	g.version = version
 	g.kind = kind
+	g.derived = derived
 	g.mu.Unlock()
-	return nil
+}
+
+// servingPrecision reports the precision the group's engine currently
+// runs — the value a v2 Welcome echoes.
+func (g *modelGroup) servingPrecision() string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.caps.Precision
+}
+
+// servingVersion reports the concrete version currently loaded. Like
+// servingPrecision it exists for the handshake path, which races an
+// operator Reload: name/geometry are immutable after construction, but
+// version swaps under the group lock.
+func (g *modelGroup) servingVersion() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.version
 }
 
 func (g *modelGroup) status() ModelStatus {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return ModelStatus{
+		Key:       g.key,
 		Model:     g.name,
 		Version:   g.version,
 		Kind:      g.kind,
 		Window:    g.w,
 		Channels:  g.c,
-		Batched:   g.bs != nil,
-		Precision: g.prec,
+		Batched:   g.caps.Batched,
+		Precision: g.caps.Precision,
+		Requested: g.reqPrec,
+		Derived:   g.derived,
 		Pending:   g.n,
 		Sessions:  g.sessions,
 	}

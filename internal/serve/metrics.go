@@ -62,8 +62,13 @@ func (m *metrics) latencyPercentiles() (p50, p99 float64) {
 	return xs[(n-1)*50/100], xs[(n-1)*99/100]
 }
 
-// ModelStatus is the per-model slice of a metrics snapshot.
+// ModelStatus is one serving group's slice of a metrics snapshot. Since
+// protocol v2 a model can be served by several precision-specific groups
+// at once; Key names the group, Precision the arithmetic it runs, and
+// Derived whether that precision was re-targeted away from the registry
+// file's own (a lazily materialised variant).
 type ModelStatus struct {
+	Key       string `json:"key"`
 	Model     string `json:"model"`
 	Version   int    `json:"version"`
 	Kind      string `json:"kind"`
@@ -71,6 +76,8 @@ type ModelStatus struct {
 	Channels  int    `json:"channels"`
 	Batched   bool   `json:"batched"`
 	Precision string `json:"precision"`
+	Requested string `json:"requested_precision,omitempty"`
+	Derived   bool   `json:"derived"`
 	Pending   int    `json:"pending_windows"`
 	Sessions  int    `json:"sessions"`
 }
@@ -90,6 +97,8 @@ type Metrics struct {
 	ScoresDropped  int64         `json:"scores_dropped"`
 	P50CoalesceMs  float64       `json:"p50_coalesce_ms"`
 	P99CoalesceMs  float64       `json:"p99_coalesce_ms"`
+	ServingGroups  int           `json:"serving_groups"`
+	DerivedGroups  int           `json:"derived_groups"`
 	Models         []ModelStatus `json:"models"`
 }
 
@@ -106,6 +115,12 @@ func (m *metrics) snapshot(models []ModelStatus) Metrics {
 		rate = float64(scored) / up
 	}
 	p50, p99 := m.latencyPercentiles()
+	derived := 0
+	for _, ms := range models {
+		if ms.Derived {
+			derived++
+		}
+	}
 	return Metrics{
 		UptimeSeconds:  up,
 		ActiveSessions: int(m.sessionsActive.Load()),
@@ -119,6 +134,8 @@ func (m *metrics) snapshot(models []ModelStatus) Metrics {
 		ScoresDropped:  m.scoresDropped.Load(),
 		P50CoalesceMs:  p50,
 		P99CoalesceMs:  p99,
+		ServingGroups:  len(models),
+		DerivedGroups:  derived,
 		Models:         models,
 	}
 }

@@ -1,0 +1,483 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"math"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"varade/internal/baselines/ae"
+	"varade/internal/core"
+	"varade/internal/detect"
+	"varade/internal/stream"
+)
+
+// newFloat64FleetServer registers ONE float64 TinyConfig VARADE entry —
+// the shared registry file every negotiated precision derives from — and
+// starts a server. The returned model is the float64 oracle.
+func newFloat64FleetServer(t *testing.T, channels int) (*Server, string, *core.Model) {
+	t.Helper()
+	reg, err := OpenRegistry(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := core.New(core.TinyConfig(channels))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Register("varade", model); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(Config{
+		Registry:      reg,
+		DefaultModel:  "varade",
+		FlushInterval: time.Millisecond,
+		QueueDepth:    256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, addr, model
+}
+
+// runSession dials with caps (nil = protocol v1), streams the series and
+// returns the welcome and every score.
+func runSession(t *testing.T, ctx context.Context, addr, model string, channels int,
+	caps *stream.SessionCaps, rows [][]float64) (stream.Welcome, []stream.Score, error) {
+	t.Helper()
+	var (
+		cl  *Client
+		err error
+	)
+	if caps == nil {
+		cl, err = Dial(ctx, addr, model, channels)
+	} else {
+		cl, err = DialWith(ctx, addr, model, channels, *caps)
+	}
+	if err != nil {
+		return stream.Welcome{}, nil, err
+	}
+	defer cl.Close()
+	var scores []stream.Score
+	err = cl.Run(ctx, rows, 16, func(sc stream.Score) { scores = append(scores, sc) })
+	return cl.Welcome(), scores, err
+}
+
+// TestMixedPrecisionNegotiatedSessions is the tentpole's acceptance test:
+// three sessions negotiate three precisions against the SAME float64
+// registry entry. The float64 session must stay bit-identical to
+// detect.ScoreSeries, the float32 session must track the oracle within
+// the reduced-precision tolerance, the int8 session within the
+// quantization tolerance — and every Welcome must echo the granted
+// precision while the metrics report the derived groups.
+func TestMixedPrecisionNegotiatedSessions(t *testing.T) {
+	const (
+		steps    = 50
+		channels = 3
+	)
+	srv, addr, oracle := newFloat64FleetServer(t, channels)
+	defer srv.Shutdown(context.Background())
+	w := oracle.WindowSize()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	precisions := []string{core.PrecisionFloat64, core.PrecisionFloat32, core.PrecisionInt8}
+	type result struct {
+		prec    string
+		welcome stream.Welcome
+		scores  []stream.Score
+		err     error
+	}
+	results := make(chan result, len(precisions))
+	for i, prec := range precisions {
+		go func(i int, prec string) {
+			series := synthSeries(steps, channels, uint64(900+i))
+			welcome, scores, err := runSession(t, ctx, addr, "varade@latest", channels,
+				&stream.SessionCaps{Precision: prec}, rowsOf(series))
+			results <- result{prec: prec, welcome: welcome, scores: scores, err: err}
+		}(i, prec)
+	}
+
+	tol := map[string]float64{
+		core.PrecisionFloat64: 0,
+		core.PrecisionFloat32: 1e-4,
+		core.PrecisionInt8:    0.2,
+	}
+	for range precisions {
+		r := <-results
+		if r.err != nil {
+			t.Fatalf("%s session: %v", r.prec, r.err)
+		}
+		if r.welcome.Proto != stream.ProtoV2 || r.welcome.Precision != r.prec {
+			t.Fatalf("%s session welcome %+v: want proto 2 and the granted precision echoed", r.prec, r.welcome)
+		}
+		if r.welcome.Version != 1 || r.welcome.Model != "varade" {
+			t.Fatalf("%s session resolved %s@v%d, want varade@v1", r.prec, r.welcome.Model, r.welcome.Version)
+		}
+		var i int
+		for i = range precisions {
+			if precisions[i] == r.prec {
+				break
+			}
+		}
+		series := synthSeries(steps, channels, uint64(900+i))
+		want := detect.ScoreSeries(oracle, series)
+		if len(r.scores) != steps-w+1 {
+			t.Fatalf("%s session: %d scores want %d", r.prec, len(r.scores), steps-w+1)
+		}
+		for _, sc := range r.scores {
+			ref := want[sc.Index]
+			if r.prec == core.PrecisionFloat64 {
+				if sc.Value != ref {
+					t.Fatalf("float64 session score at %d = %g, want bit-identical %g", sc.Index, sc.Value, ref)
+				}
+				continue
+			}
+			if d := math.Abs(sc.Value-ref) / math.Max(1e-12, math.Abs(ref)); d > tol[r.prec] {
+				t.Fatalf("%s session score at %d = %g drifts %.3g from oracle %g (tol %g)",
+					r.prec, sc.Index, sc.Value, d, ref, tol[r.prec])
+			}
+		}
+	}
+
+	m := srv.Metrics()
+	if m.ServingGroups != 3 {
+		t.Fatalf("serving groups %d want 3: %+v", m.ServingGroups, m.Models)
+	}
+	if m.DerivedGroups != 2 {
+		t.Fatalf("derived groups %d want 2 (float32+int8 from a float64 file): %+v", m.DerivedGroups, m.Models)
+	}
+	seen := map[string]ModelStatus{}
+	for _, ms := range m.Models {
+		seen[ms.Precision] = ms
+	}
+	for _, prec := range precisions {
+		ms, ok := seen[prec]
+		if !ok {
+			t.Fatalf("no serving group at precision %s: %+v", prec, m.Models)
+		}
+		if ms.Key != "varade:"+prec {
+			t.Fatalf("group at %s has key %q", prec, ms.Key)
+		}
+		if ms.Derived != (prec != core.PrecisionFloat64) {
+			t.Fatalf("group %s derived=%v", ms.Key, ms.Derived)
+		}
+		if ms.Requested != prec {
+			t.Fatalf("group %s requested_precision %q", ms.Key, ms.Requested)
+		}
+	}
+}
+
+// TestV1ClientOnV2Server pins wire compatibility: a pre-v2 client (the
+// plain Dial path, "VFS1" preamble, capability-free Hello) dials a server
+// that is simultaneously serving negotiated sessions, and must be served
+// at the file's own precision, bit-identical to detect.ScoreSeries, with
+// a Welcome free of v2 fields.
+func TestV1ClientOnV2Server(t *testing.T) {
+	const (
+		steps    = 40
+		channels = 2
+	)
+	srv, addr, oracle := newFloat64FleetServer(t, channels)
+	defer srv.Shutdown(context.Background())
+	w := oracle.WindowSize()
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	// A concurrent v2 session keeps a derived int8 group live while the
+	// v1 client runs.
+	v2series := synthSeries(steps, channels, 71)
+	if _, _, err := runSession(t, ctx, addr, "", channels,
+		&stream.SessionCaps{Precision: core.PrecisionInt8}, rowsOf(v2series)); err != nil {
+		t.Fatal(err)
+	}
+
+	series := synthSeries(steps, channels, 72)
+	welcome, scores, err := runSession(t, ctx, addr, "", channels, nil, rowsOf(series))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if welcome.Proto != 0 || welcome.Precision != "" || welcome.MaxBatch != 0 || welcome.DropPolicy != "" {
+		t.Fatalf("v1 welcome carries v2 fields: %+v", welcome)
+	}
+	want := detect.ScoreSeries(oracle, series)
+	if len(scores) != steps-w+1 {
+		t.Fatalf("%d scores want %d", len(scores), steps-w+1)
+	}
+	for _, sc := range scores {
+		if sc.Value != want[sc.Index] {
+			t.Fatalf("v1 score at %d = %g, want bit-identical %g", sc.Index, sc.Value, want[sc.Index])
+		}
+	}
+}
+
+// TestGrantedCapsEnforced checks the two non-precision capabilities: the
+// score-frame cap bounds every Scores frame the session receives, and
+// the drop policy is echoed back in the grant.
+func TestGrantedCapsEnforced(t *testing.T) {
+	const (
+		steps    = 60
+		channels = 2
+		frameCap = 3
+	)
+	srv, addr, oracle := newFloat64FleetServer(t, channels)
+	defer srv.Shutdown(context.Background())
+	w := oracle.WindowSize()
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	cl, err := DialWith(ctx, addr, "", channels, stream.SessionCaps{
+		MaxBatch:   frameCap,
+		DropPolicy: stream.DropNewest,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	welcome := cl.Welcome()
+	if welcome.MaxBatch != frameCap || welcome.DropPolicy != stream.DropNewest {
+		t.Fatalf("grant %+v, want max_batch %d drop_policy %s", welcome, frameCap, stream.DropNewest)
+	}
+	if welcome.Precision != core.PrecisionFloat64 {
+		t.Fatalf("default-precision grant %q, want the file's float64", welcome.Precision)
+	}
+
+	series := synthSeries(steps, channels, 37)
+	if err := cl.Send(rowsOf(series)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Bye(); err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	for got < steps-w+1 {
+		scores, err := cl.ReadScores()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(scores) > frameCap {
+			t.Fatalf("received a %d-score frame, granted cap %d", len(scores), frameCap)
+		}
+		got += len(scores)
+	}
+	if got != steps-w+1 {
+		t.Fatalf("%d scores want %d", got, steps-w+1)
+	}
+}
+
+// TestNegotiationRefusals: a precision the engine cannot serve, a
+// malformed capability set, and caps on the v1 wire must all be refused
+// at the handshake with a client-visible error. Raw-socket cases bypass
+// DialWith's client-side validation so the SERVER's refusal paths are
+// the ones under test.
+func TestNegotiationRefusals(t *testing.T) {
+	srv, addr, _ := newFloat64FleetServer(t, 2)
+	defer srv.Shutdown(context.Background())
+	ctx := context.Background()
+
+	// Client-side validation rejects malformed caps before dialing.
+	if _, err := DialWith(ctx, addr, "", 2, stream.SessionCaps{Precision: "bf16"}); err == nil {
+		t.Fatal("expected refusal for unknown precision")
+	}
+	if _, err := DialWith(ctx, addr, "", 2, stream.SessionCaps{DropPolicy: "random"}); err == nil {
+		t.Fatal("expected refusal for unknown drop policy")
+	}
+	if _, err := DialWith(ctx, addr, "ghost@latest", 2, stream.SessionCaps{}); err == nil {
+		t.Fatal("expected refusal for unknown model")
+	}
+
+	// A float64-only engine (the AE baseline has no SetPrecision) must be
+	// refused server-side when a session asks it to derive float32.
+	aeModel, err := ae.New(ae.Config{Window: 8, Channels: 2, BaseMaps: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.cfg.Registry.Register("ae", aeModel); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DialWith(ctx, addr, "ae", 2, stream.SessionCaps{Precision: core.PrecisionFloat32}); err == nil {
+		t.Fatal("expected server refusal: AE cannot serve float32")
+	} else if !strings.Contains(err.Error(), "cannot serve precision") {
+		t.Fatalf("refusal %v does not name the precision mismatch", err)
+	}
+	// Requesting the precision it already runs is fine.
+	cl, err := DialWith(ctx, addr, "ae", 2, stream.SessionCaps{Precision: core.PrecisionFloat64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Welcome().Precision != core.PrecisionFloat64 {
+		t.Fatalf("AE grant %+v", cl.Welcome())
+	}
+	cl.Close()
+
+	// Raw v2 hello with a capability set DialWith would never send: the
+	// server's DecodeHello must refuse it with an Error frame.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte(stream.FrameMagicV2)); err != nil {
+		t.Fatal(err)
+	}
+	bad := stream.Hello{Channels: 2, Caps: &stream.SessionCaps{Precision: "bf16"}}
+	if err := stream.WriteJSONFrame(conn, stream.FrameHello, bad); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := stream.ReadFrame(bufio.NewReader(conn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != stream.FrameError || !strings.Contains(string(payload), "precision") {
+		t.Fatalf("server answered frame %d %q, want a precision error", typ, payload)
+	}
+}
+
+// TestHotSwapUnderNegotiation is the satellite coverage for Reload with
+// live mixed-precision sessions: while a float64 and an int8 session are
+// mid-stream against the same entry, a new version is registered and
+// reloaded. Both sessions must keep their window state (exactly one
+// score per completed window across the swap), the float64 session's
+// post-swap scores must be bit-identical to the new weights, the int8
+// session must leave the old weights' neighbourhood and land within
+// quantization tolerance of the new — and a session dialing the derived
+// precision AFTER the swap must see the new version, never a stale
+// derived group.
+func TestHotSwapUnderNegotiation(t *testing.T) {
+	const (
+		steps    = 40
+		channels = 2
+	)
+	srv, addr, model1 := newFloat64FleetServer(t, channels)
+	defer srv.Shutdown(context.Background())
+	reg := srv.cfg.Registry
+
+	model2, err := core.New(core.Config{Window: 8, Channels: channels, BaseMaps: 4, KLWeight: 0.1, Seed: 424242})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w := model1.WindowSize()
+	half := steps / 2
+	firstWindows := half - w + 1
+
+	type liveSession struct {
+		prec   string
+		cl     *Client
+		series [][]float64
+		pre    []stream.Score
+		post   []stream.Score
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	sessions := []*liveSession{
+		{prec: core.PrecisionFloat64},
+		{prec: core.PrecisionInt8},
+	}
+	for i, ls := range sessions {
+		series := synthSeries(steps, channels, uint64(600+i))
+		ls.series = rowsOf(series)
+		cl, err := DialWith(ctx, addr, "varade", channels, stream.SessionCaps{Precision: ls.prec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+		ls.cl = cl
+		// First half under v1; read exactly the scores those pushes
+		// complete so the swap lands between batches.
+		if err := cl.Send(ls.series[:half]); err != nil {
+			t.Fatal(err)
+		}
+		for len(ls.pre) < firstWindows {
+			batch, err := cl.ReadScores()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ls.pre = append(ls.pre, batch...)
+		}
+	}
+
+	if _, err := reg.Register("varade", model2); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Reload("varade"); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, ls := range sessions {
+		if err := ls.cl.Send(ls.series[half:]); err != nil {
+			t.Fatal(err)
+		}
+		if err := ls.cl.Bye(); err != nil {
+			t.Fatal(err)
+		}
+		for {
+			batch, err := ls.cl.ReadScores()
+			if err != nil {
+				break // EOF after drain
+			}
+			ls.post = append(ls.post, batch...)
+		}
+		if len(ls.post) != steps-w+1-firstWindows {
+			t.Fatalf("%s session: %d post-swap scores want %d (window state lost across swap?)",
+				ls.prec, len(ls.post), steps-w+1-firstWindows)
+		}
+	}
+
+	for i, ls := range sessions {
+		series := synthSeries(steps, channels, uint64(600+i))
+		wantV1 := detect.ScoreSeries(model1, series)
+		wantV2 := detect.ScoreSeries(model2, series)
+		for _, sc := range ls.post {
+			switch ls.prec {
+			case core.PrecisionFloat64:
+				if sc.Value != wantV2[sc.Index] {
+					t.Fatalf("float64 post-swap score at %d = %g want v2 %g (v1 would be %g)",
+						sc.Index, sc.Value, wantV2[sc.Index], wantV1[sc.Index])
+				}
+			case core.PrecisionInt8:
+				ref := wantV2[sc.Index]
+				if d := math.Abs(sc.Value-ref) / math.Max(1e-12, math.Abs(ref)); d > 0.2 {
+					t.Fatalf("int8 post-swap score at %d = %g drifts %.3g from v2 oracle %g — stale derived group?",
+						sc.Index, sc.Value, d, ref)
+				}
+			}
+		}
+	}
+
+	// Every group — including the derived int8 one — must now be at v2.
+	for _, ms := range srv.Metrics().Models {
+		if ms.Version != 2 {
+			t.Fatalf("group %s still at v%d after Reload", ms.Key, ms.Version)
+		}
+	}
+
+	// A fresh int8 session dialed after the swap resolves v2 directly.
+	series := synthSeries(steps, channels, 999)
+	welcome, scores, err := runSession(t, ctx, addr, "varade@latest", channels,
+		&stream.SessionCaps{Precision: core.PrecisionInt8}, rowsOf(series))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if welcome.Version != 2 || welcome.Precision != core.PrecisionInt8 {
+		t.Fatalf("post-swap int8 welcome %+v, want v2 int8", welcome)
+	}
+	wantV2 := detect.ScoreSeries(model2, series)
+	for _, sc := range scores {
+		ref := wantV2[sc.Index]
+		if d := math.Abs(sc.Value-ref) / math.Max(1e-12, math.Abs(ref)); d > 0.2 {
+			t.Fatalf("fresh post-swap int8 score at %d = %g drifts %.3g from v2 oracle %g",
+				sc.Index, sc.Value, d, ref)
+		}
+	}
+}

@@ -63,10 +63,32 @@ func OpenRegistry(dir string) (*Registry, error) {
 		return nil, err
 	}
 	r := &Registry{dir: dir, versions: make(map[string][]int)}
-	entries, err := os.ReadDir(dir)
-	if err != nil {
+	if err := r.Rescan(); err != nil {
 		return nil, err
 	}
+	return r, nil
+}
+
+// Dir returns the registry root.
+func (r *Registry) Dir() string { return r.dir }
+
+// Rescan re-indexes the registry directory, picking up versions written
+// by other processes — e.g. `varade-serve -import` run against a live
+// server's registry — so a subsequent Resolve or Reload sees them. The
+// directory read happens under the registry lock: a concurrent
+// in-process Register must not land between the scan and the index swap
+// (its version would vanish from the index and the next Register would
+// reuse — and overwrite — its file). Rescan is a rare operator action
+// (Reload), so briefly stalling handshake Resolves is acceptable here,
+// unlike in List.
+func (r *Registry) Rescan() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	entries, err := os.ReadDir(r.dir)
+	if err != nil {
+		return err
+	}
+	versions := make(map[string][]int)
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), modelExt) {
 			continue
@@ -75,16 +97,14 @@ func OpenRegistry(dir string) (*Registry, error) {
 		if !ok {
 			continue
 		}
-		r.versions[name] = append(r.versions[name], v)
+		versions[name] = append(versions[name], v)
 	}
-	for name := range r.versions {
-		sort.Ints(r.versions[name])
+	for name := range versions {
+		sort.Ints(versions[name])
 	}
-	return r, nil
+	r.versions = versions
+	return nil
 }
-
-// Dir returns the registry root.
-func (r *Registry) Dir() string { return r.dir }
 
 // parseEntry splits "name@v3" into ("name", 3).
 func parseEntry(stem string) (string, int, bool) {
@@ -220,15 +240,26 @@ func LoadDetector(path string) (detect.Detector, error) {
 	}
 }
 
-// ParseModelRef splits "name" or "name@v3" into (name, version), with
-// version 0 meaning latest.
+// ParseModelRef splits "name", "name@v3" or "name@latest" into (name,
+// version), with version 0 meaning latest: "name" and "name@latest" are
+// equivalent floating references that track registry updates (and hot
+// swaps); "name@vN" pins.
 func ParseModelRef(ref string) (string, int, error) {
-	if i := strings.LastIndex(ref, "@v"); i > 0 {
-		v, err := strconv.Atoi(ref[i+2:])
-		if err != nil || v <= 0 {
+	if i := strings.LastIndex(ref, "@"); i > 0 {
+		name, suffix := ref[:i], ref[i+1:]
+		if !nameRE.MatchString(name) {
 			return "", 0, fmt.Errorf("serve: bad model reference %q", ref)
 		}
-		return ref[:i], v, nil
+		if suffix == "latest" {
+			return name, 0, nil
+		}
+		if strings.HasPrefix(suffix, "v") {
+			v, err := strconv.Atoi(suffix[1:])
+			if err == nil && v > 0 {
+				return name, v, nil
+			}
+		}
+		return "", 0, fmt.Errorf("serve: bad model reference %q", ref)
 	}
 	if !nameRE.MatchString(ref) {
 		return "", 0, fmt.Errorf("serve: bad model reference %q", ref)

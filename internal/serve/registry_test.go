@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"path/filepath"
 	"testing"
 
@@ -180,5 +181,59 @@ func TestRegistryRejectsBareWeights(t *testing.T) {
 	}
 	if _, err := LoadDetector(path); err == nil {
 		t.Fatal("expected bare-weights rejection")
+	}
+}
+
+// TestReloadSeesOutOfProcessImport pins the operational flow the CLI
+// documents: `varade-serve -import` runs as a separate process against a
+// live server's registry directory, so Reload must rescan the directory
+// and resolve the new latest version rather than re-swapping the stale
+// in-memory index.
+func TestReloadSeesOutOfProcessImport(t *testing.T) {
+	dir := t.TempDir()
+	reg, err := OpenRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := core.New(core.TinyConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Register("det", m1); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(Config{Registry: reg, DefaultModel: "det"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Serve("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+	if _, err := srv.group("det", 0, ""); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Another process": a second Registry handle on the same directory
+	// registers v2 — the server's handle has no in-memory knowledge of it.
+	otherProc, err := OpenRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := core.New(core.Config{Window: 8, Channels: 2, BaseMaps: 4, KLWeight: 0.1, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := otherProc.Register("det", m2); err != nil || v != 2 {
+		t.Fatalf("second-process register: v%d err %v", v, err)
+	}
+
+	if err := srv.Reload("det"); err != nil {
+		t.Fatal(err)
+	}
+	for _, ms := range srv.Metrics().Models {
+		if ms.Version != 2 {
+			t.Fatalf("group %s at v%d after reload, want the out-of-process v2", ms.Key, ms.Version)
+		}
 	}
 }

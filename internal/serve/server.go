@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 
@@ -154,12 +155,16 @@ func (s *Server) handleConn(raw net.Conn) {
 	conn := newConnRW(raw)
 	br := bufio.NewReader(raw)
 
-	// Protocol sniff: binary sessions open with the frame preamble; CSV
-	// lines can never start with 'V'.
-	peek, err := br.Peek(len(stream.FrameMagic))
-	binary := err == nil && string(peek) == stream.FrameMagic
+	// Protocol sniff: binary sessions open with a versioned frame
+	// preamble; CSV lines can never start with 'V'.
+	proto := 0
+	if peek, err := br.Peek(len(stream.FrameMagic)); err == nil {
+		proto = stream.SniffProto(peek)
+	}
+	binary := proto > 0
 
 	var grp *modelGroup
+	var granted stream.SessionCaps
 	if binary {
 		br.Discard(len(stream.FrameMagic))
 		t, payload, err := stream.ReadFrame(br)
@@ -167,11 +172,12 @@ func (s *Server) handleConn(raw net.Conn) {
 			conn.Close()
 			return
 		}
-		var hello stream.Hello
-		if err := json.Unmarshal(payload, &hello); err != nil {
-			s.refuse(conn, binary, fmt.Errorf("serve: bad hello: %w", err))
+		hello, err := stream.DecodeHello(proto, payload)
+		if err != nil {
+			s.refuse(conn, binary, err)
 			return
 		}
+		req := hello.GetCaps()
 		ref := hello.Model
 		if ref == "" {
 			ref = s.cfg.DefaultModel
@@ -181,7 +187,7 @@ func (s *Server) handleConn(raw net.Conn) {
 			version = hello.Version
 		}
 		if err == nil {
-			grp, err = s.group(name, version)
+			grp, err = s.group(name, version, req.Precision)
 		}
 		if err == nil && hello.Channels > 0 && hello.Channels != grp.c {
 			err = fmt.Errorf("serve: model %s expects %d channels, client sends %d", grp.name, grp.c, hello.Channels)
@@ -190,7 +196,14 @@ func (s *Server) handleConn(raw net.Conn) {
 			s.refuse(conn, binary, err)
 			return
 		}
-		welcome := stream.Welcome{Model: grp.name, Version: grp.version, Window: grp.w, Channels: grp.c}
+		welcome := stream.Welcome{Model: grp.name, Version: grp.servingVersion(), Window: grp.w, Channels: grp.c}
+		if proto >= stream.ProtoV2 {
+			granted = s.grant(grp, req)
+			welcome.Proto = stream.ProtoV2
+			welcome.Precision = granted.Precision
+			welcome.MaxBatch = granted.MaxBatch
+			welcome.DropPolicy = granted.DropPolicy
+		}
 		if err := stream.WriteJSONFrame(conn, stream.FrameWelcome, welcome); err != nil || conn.Flush() != nil {
 			conn.Close()
 			return
@@ -198,7 +211,7 @@ func (s *Server) handleConn(raw net.Conn) {
 	} else {
 		name, version, err := ParseModelRef(s.cfg.DefaultModel)
 		if err == nil {
-			grp, err = s.group(name, version)
+			grp, err = s.group(name, version, "")
 		}
 		if err != nil {
 			s.refuse(conn, binary, err)
@@ -206,13 +219,33 @@ func (s *Server) handleConn(raw net.Conn) {
 		}
 	}
 
-	sess := newSession(s, grp, conn, binary)
+	sess := newSession(s, grp, conn, binary, granted)
 	if !s.trackSession(sess, grp) {
 		conn.Close()
 		return
 	}
 	sess.run(br)
 	s.untrackSession(sess, grp)
+}
+
+// grant resolves a v2 capability request against the serving group and
+// the server's own limits: the precision is whatever the group actually
+// runs (the group was selected — or materialised — from the request, so
+// an unservable precision was already refused), the score-frame cap is
+// min(requested, server cap), and the drop policy defaults to oldest.
+func (s *Server) grant(grp *modelGroup, req stream.SessionCaps) stream.SessionCaps {
+	out := stream.SessionCaps{
+		Precision:  grp.servingPrecision(),
+		MaxBatch:   maxScoreFrame,
+		DropPolicy: stream.DropOldest,
+	}
+	if req.MaxBatch > 0 && req.MaxBatch < out.MaxBatch {
+		out.MaxBatch = req.MaxBatch
+	}
+	if req.DropPolicy == stream.DropNewest {
+		out.DropPolicy = stream.DropNewest
+	}
+	return out
 }
 
 // refuse reports a handshake error to the client and closes.
@@ -241,29 +274,69 @@ func (s *Server) trackSession(sess *session, grp *modelGroup) bool {
 func (s *Server) untrackSession(sess *session, grp *modelGroup) {
 	s.mu.Lock()
 	delete(s.sessions, sess)
+	// Fold the session's admission drops into the aggregate (its Bus is
+	// closed) inside the same critical section that removes it from the
+	// live set: a concurrent Metrics must see these drops in exactly one
+	// of the two places it sums.
+	s.met.samplesDropped.Add(int64(sess.bus.Dropped()))
 	s.mu.Unlock()
 	grp.mu.Lock()
 	grp.sessions--
 	grp.mu.Unlock()
-	// Fold the session's admission drops into the aggregate now that its
-	// Bus is closed.
-	s.met.samplesDropped.Add(int64(sess.bus.Dropped()))
+}
+
+// groupKey names one serving group: "name" or "name@vN", with a ":prec"
+// suffix when the session negotiated an explicit precision. Sessions that
+// ask for nothing share the model file's native group; sessions that pin
+// a precision land in (or materialise) the matching derived group.
+func groupKey(name string, version int, prec string) string {
+	key := name
+	if version > 0 {
+		key = fmt.Sprintf("%s@v%d", name, version)
+	}
+	if prec != "" {
+		key += ":" + prec
+	}
+	return key
+}
+
+// derivePrecision re-targets a freshly loaded detector to the requested
+// serving precision. It returns the unified scorer and whether the
+// engine was actually re-targeted away from the file's own precision (a
+// derived variant — e.g. int8 lazily quantized from a float64 entry).
+func derivePrecision(det detect.Detector, prec string) (detect.Scorer, bool, error) {
+	sc := detect.AsScorer(det)
+	if prec == "" || sc.Capabilities().Precision == prec {
+		return sc, false, nil
+	}
+	caps := sc.Capabilities()
+	if !caps.Supports(prec) {
+		return nil, false, fmt.Errorf("serve: %s engine cannot serve precision %q (supports %v)",
+			sc.Name(), prec, caps.Precisions)
+	}
+	setter, ok := det.(interface{ SetPrecision(string) error })
+	if !ok {
+		return nil, false, fmt.Errorf("serve: %s cannot be re-targeted to precision %q", sc.Name(), prec)
+	}
+	if err := setter.SetPrecision(prec); err != nil {
+		return nil, false, err
+	}
+	return sc, true, nil
 }
 
 // group returns (creating and caching on first use) the coalescing group
-// for a model reference. Version 0 tracks "latest at first use" and is
-// hot-swappable via Reload; an explicit version pins the group. The
-// registry read and model reconstruction happen outside the server lock
-// — a cold multi-megabyte model must not stall every other handshake
-// and the metrics endpoint. Two racing first users may both load the
-// model; the double-check under the lock keeps exactly one group (and
-// one flusher), the loser's detector is discarded.
-func (s *Server) group(name string, version int) (*modelGroup, error) {
+// for a model reference at a negotiated precision ("" = the file's own).
+// Version 0 tracks "latest at first use" and is hot-swappable via Reload;
+// an explicit version pins the group. Each group owns its own detector
+// instance — precision re-targeting mutates the engine, so groups never
+// share one. The registry read and model reconstruction happen outside
+// the server lock — a cold multi-megabyte model must not stall every
+// other handshake and the metrics endpoint. Two racing first users may
+// both load the model; the double-check under the lock keeps exactly one
+// group (and one flusher), the loser's detector is discarded.
+func (s *Server) group(name string, version int, prec string) (*modelGroup, error) {
 	pinned := version > 0
-	key := name
-	if pinned {
-		key = fmt.Sprintf("%s@v%d", name, version)
-	}
+	key := groupKey(name, version, prec)
 	s.mu.Lock()
 	g, ok := s.groups[key]
 	s.mu.Unlock()
@@ -279,6 +352,10 @@ func (s *Server) group(name string, version int) (*modelGroup, error) {
 	if err != nil {
 		return nil, err
 	}
+	sc, derived, err := derivePrecision(det, prec)
+	if err != nil {
+		return nil, err
+	}
 	c, ok := detectorChannels(det)
 	if !ok || c <= 0 {
 		return nil, fmt.Errorf("serve: cannot determine channel count of model %q", name)
@@ -289,7 +366,7 @@ func (s *Server) group(name string, version int) (*modelGroup, error) {
 	if g, ok := s.groups[key]; ok {
 		return g, nil
 	}
-	g = newModelGroup(s, name, v, pinned, det.Name(), det, c)
+	g = newModelGroup(s, key, name, v, pinned, prec, derived, det.Name(), sc, c)
 	s.groups[key] = g
 	s.grpWG.Add(1)
 	go func() {
@@ -299,11 +376,21 @@ func (s *Server) group(name string, version int) (*modelGroup, error) {
 	return g, nil
 }
 
-// Reload hot-swaps every non-pinned serving group of the named model to
-// the latest registry version. Live sessions keep their window state and
-// see the new model's scores from the next coalesced batch.
+// Reload hot-swaps every non-pinned serving group of the named model —
+// including every derived-precision variant — to the latest registry
+// version. Live sessions keep their window state and see the new model's
+// scores from the next coalesced batch. The swap is all-or-nothing: each
+// group's replacement is loaded, re-targeted to the group's negotiated
+// precision and geometry-checked first, and only if every group can move
+// does any group move, so a failed reload never leaves a stale derived
+// group serving old weights next to fresh ones.
 func (s *Server) Reload(name string) error {
-	det, v, err := s.cfg.Registry.Load(name, 0)
+	// Pick up versions imported by other processes against the same
+	// registry directory before resolving "latest".
+	if err := s.cfg.Registry.Rescan(); err != nil {
+		return err
+	}
+	path, v, err := s.cfg.Registry.Resolve(name, 0)
 	if err != nil {
 		return err
 	}
@@ -318,39 +405,84 @@ func (s *Server) Reload(name string) error {
 	if len(targets) == 0 {
 		return fmt.Errorf("serve: model %q is not being served", name)
 	}
+	type swapPlan struct {
+		g       *modelGroup
+		sc      detect.Scorer
+		kind    string
+		derived bool
+	}
+	plans := make([]swapPlan, 0, len(targets))
 	for _, g := range targets {
-		if err := g.swap(det, v, det.Name()); err != nil {
+		det, err := LoadDetector(path)
+		if err != nil {
 			return err
 		}
+		sc, derived, err := derivePrecision(det, g.reqPrec)
+		if err != nil {
+			return fmt.Errorf("serve: reload %s: group %s: %w", name, g.key, err)
+		}
+		if err := g.checkGeometry(sc, v); err != nil {
+			return err
+		}
+		plans = append(plans, swapPlan{g, sc, det.Name(), derived})
+	}
+	for _, p := range plans {
+		p.g.swap(p.sc, v, p.kind, p.derived)
 	}
 	return nil
 }
 
-// Metrics returns a point-in-time snapshot of the serving state.
-func (s *Server) Metrics() Metrics {
+// groupStatuses snapshots every serving group's status, sorted by group
+// key — the shared collection step behind /metrics and /models.
+func (s *Server) groupStatuses() []ModelStatus {
 	s.mu.Lock()
 	groups := make([]*modelGroup, 0, len(s.groups))
 	for _, g := range s.groups {
 		groups = append(groups, g)
 	}
-	var liveDrops int64
+	s.mu.Unlock()
+	statuses := make([]ModelStatus, 0, len(groups))
+	for _, g := range groups {
+		statuses = append(statuses, g.status())
+	}
+	sort.Slice(statuses, func(i, j int) bool { return statuses[i].Key < statuses[j].Key })
+	return statuses
+}
+
+// Metrics returns a point-in-time snapshot of the serving state.
+func (s *Server) Metrics() Metrics {
+	// Live sessions' drops and the folded aggregate are read under the
+	// same lock untrackSession folds under, so a disconnecting session's
+	// drops are counted exactly once.
+	s.mu.Lock()
+	drops := s.met.samplesDropped.Load()
 	for sess := range s.sessions {
-		liveDrops += int64(sess.bus.Dropped())
+		drops += int64(sess.bus.Dropped())
 	}
 	s.mu.Unlock()
-	models := make([]ModelStatus, 0, len(groups))
-	for _, g := range groups {
-		models = append(models, g.status())
-	}
-	m := s.met.snapshot(models)
-	m.SamplesDropped += liveDrops
+	m := s.met.snapshot(s.groupStatuses())
+	m.SamplesDropped = drops
 	return m
+}
+
+// ModelsSnapshot is the /models payload: what the registry holds and the
+// serving groups live sessions have materialised from it — including the
+// derived-precision variants, so a mixed-precision fleet is observable
+// per group.
+type ModelsSnapshot struct {
+	Registry []ModelInfo   `json:"registry"`
+	Groups   []ModelStatus `json:"groups"`
+}
+
+// Models returns the registry contents alongside the live serving groups.
+func (s *Server) Models() ModelsSnapshot {
+	return ModelsSnapshot{Registry: s.cfg.Registry.List(), Groups: s.groupStatuses()}
 }
 
 // ServeMetrics exposes the snapshot over HTTP on addr (":0" picks a
 // port): GET /metrics (JSON snapshot), GET /healthz, GET /models
-// (registry listing), POST /reload?model=name (hot swap). It returns the
-// bound address.
+// (registry listing + live serving groups), POST /reload?model=name (hot
+// swap). It returns the bound address.
 func (s *Server) ServeMetrics(addr string) (string, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -364,7 +496,9 @@ func (s *Server) ServeMetrics(addr string) (string, error) {
 	})
 	mux.HandleFunc("/models", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(s.cfg.Registry.List())
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s.Models())
 	})
 	mux.HandleFunc("/reload", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {

@@ -30,7 +30,12 @@ type session struct {
 	conn   *connRW
 	binary bool
 
-	bus *stream.Bus       // admission control: bounded, drop-oldest
+	// Granted v2 capabilities (defaults for v1/line sessions): the
+	// outbound score-frame cap and the admission drop policy.
+	maxOut     int
+	dropNewest bool
+
+	bus *stream.Bus       // admission control: bounded, negotiated policy
 	in  <-chan []float64  // the bus subscription the pump drains
 	out chan stream.Score // scored results awaiting the writer
 
@@ -53,18 +58,24 @@ type session struct {
 	readErr string
 }
 
-func newSession(srv *Server, grp *modelGroup, conn *connRW, binary bool) *session {
+func newSession(srv *Server, grp *modelGroup, conn *connRW, binary bool, granted stream.SessionCaps) *session {
 	bus := stream.NewBus()
+	maxOut := granted.MaxBatch
+	if maxOut <= 0 || maxOut > maxScoreFrame {
+		maxOut = maxScoreFrame
+	}
 	return &session{
-		srv:     srv,
-		grp:     grp,
-		conn:    conn,
-		binary:  binary,
-		bus:     bus,
-		in:      bus.Subscribe(srv.cfg.QueueDepth),
-		out:     make(chan stream.Score, srv.cfg.OutDepth),
-		buf:     stream.NewWindowBuffer(grp.w, grp.c),
-		flushed: make(chan struct{}),
+		srv:        srv,
+		grp:        grp,
+		conn:       conn,
+		binary:     binary,
+		maxOut:     maxOut,
+		dropNewest: granted.DropPolicy == stream.DropNewest,
+		bus:        bus,
+		in:         bus.Subscribe(srv.cfg.QueueDepth),
+		out:        make(chan stream.Score, srv.cfg.OutDepth),
+		buf:        stream.NewWindowBuffer(grp.w, grp.c),
+		flushed:    make(chan struct{}),
 	}
 }
 
@@ -102,11 +113,17 @@ func (s *session) run(br *bufio.Reader) {
 }
 
 // admit publishes one sample into the session's admission queue. When
-// the pump can't keep up the Bus drops the oldest queued sample instead
-// of blocking the reader — broker semantics under backpressure.
+// the pump can't keep up the Bus sheds under the session's negotiated
+// policy — by default the oldest queued sample goes (freshest data
+// wins); a drop-newest session sheds the incoming sample instead. Either
+// way the reader never blocks.
 func (s *session) admit(sample []float64) {
 	s.srv.met.samplesIn.Add(1)
-	s.bus.Publish(sample)
+	if s.dropNewest {
+		s.bus.PublishDropNewest(sample)
+	} else {
+		s.bus.Publish(sample)
+	}
 }
 
 // readLines consumes the CSV line protocol until EOF; a malformed
@@ -192,18 +209,18 @@ func (s *session) finish() {
 	s.finishOnce.Do(func() { close(s.flushed) })
 }
 
-// writer streams scores back to the client, packing everything queued
-// into one frame (binary) or one buffered run of lines (CSV) per write.
-// Write errors flip it into drain mode so the rest of the pipeline still
-// unwinds cleanly.
+// writer streams scores back to the client, packing everything queued —
+// up to the session's negotiated frame cap — into one frame (binary) or
+// one buffered run of lines (CSV) per write. Write errors flip it into
+// drain mode so the rest of the pipeline still unwinds cleanly.
 func (s *session) writer() {
 	defer s.conn.Close()
 	dead := false
-	batch := make([]stream.Score, 0, maxScoreFrame)
+	batch := make([]stream.Score, 0, s.maxOut)
 	for sc := range s.out {
 		batch = append(batch[:0], sc)
 	gather:
-		for len(batch) < maxScoreFrame {
+		for len(batch) < s.maxOut {
 			select {
 			case more, ok := <-s.out:
 				if !ok {

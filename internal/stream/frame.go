@@ -18,19 +18,49 @@ import (
 //
 // Wire layout, little-endian:
 //
-//	preamble "VFS1" (client→server, once)
+//	preamble "VFS1" (protocol v1) or "VFS2" (protocol v2), client→server, once
 //	frame: u32 payloadLen | u8 type | payload
 //
-//	Hello   (JSON)     client → server: model, version, channels
-//	Welcome (JSON)     server → client: resolved model, window, channels
+//	Hello   (JSON)     client → server: model, version, channels; v2 adds
+//	                   a capability set (precision, max_batch, drop_policy)
+//	                   and model refs may float ("name@latest")
+//	Welcome (JSON)     server → client: resolved model, window, channels;
+//	                   v2 echoes the *granted* capabilities
 //	Samples            u32 count | count×channels float64, row-major
 //	Scores             u32 count | count × (i64 index | float64 value)
 //	Error   (UTF-8)    either direction, terminal
 //	Bye                client → server: flush outstanding scores and close
+//
+// The two protocol versions differ only in the preamble and the handshake
+// payloads; every post-handshake frame is identical, so a v1 client keeps
+// working against a v2 server unchanged (preamble sniffing picks the
+// dialect) and is simply served at the model file's own precision.
 
-// FrameMagic is the preamble a binary client writes before its first
-// frame.
+// FrameMagic is the preamble a protocol-v1 binary client writes before
+// its first frame.
 const FrameMagic = "VFS1"
+
+// FrameMagicV2 is the protocol-v2 preamble: the Hello that follows
+// carries a capability set the server answers in its Welcome.
+const FrameMagicV2 = "VFS2"
+
+// Protocol versions, as announced by the preamble.
+const (
+	ProtoV1 = 1
+	ProtoV2 = 2
+)
+
+// SniffProto reports the protocol version a 4-byte preamble announces
+// (0 if it is not a fleet-framing preamble — e.g. a CSV line).
+func SniffProto(preamble []byte) int {
+	switch string(preamble) {
+	case FrameMagic:
+		return ProtoV1
+	case FrameMagicV2:
+		return ProtoV2
+	}
+	return 0
+}
 
 // FrameType tags one frame.
 type FrameType byte
@@ -49,21 +79,124 @@ const (
 // make the reader allocate unboundedly.
 const MaxFramePayload = 16 << 20
 
+// Session capability values a v2 client may request. Empty fields always
+// mean "server default".
+const (
+	// DropOldest sheds the oldest queued sample when a session's
+	// admission queue is full — the freshest data wins (the default).
+	DropOldest = "oldest"
+	// DropNewest sheds the incoming sample instead, preserving the
+	// already-queued backlog — for consumers replaying a bounded log.
+	DropNewest = "newest"
+)
+
+// helloPrecisions are the numeric precisions a Hello may request.
+var helloPrecisions = map[string]bool{"": true, "float64": true, "float32": true, "int8": true}
+
+// maxHelloField bounds numeric Hello fields so a hostile handshake cannot
+// make the server size buffers from an absurd request.
+const maxHelloField = 1 << 20
+
+// SessionCaps is the capability set negotiated per session in protocol
+// v2: the client states what it wants in its Hello and the server echoes
+// what it granted in its Welcome.
+type SessionCaps struct {
+	// Precision asks the server to score this session's windows at a
+	// specific numeric precision ("float64", "float32" or "int8"),
+	// deriving a precision-specific serving group from the registry
+	// entry if one does not exist yet. Empty serves the model file's
+	// own precision.
+	Precision string `json:"precision,omitempty"`
+	// MaxBatch caps how many scores the server packs into one Scores
+	// frame for this session — small devices with tight receive buffers
+	// ask for less. 0 means the server default; the grant is
+	// min(requested, server cap).
+	MaxBatch int `json:"max_batch,omitempty"`
+	// DropPolicy selects the admission-shedding policy when the session
+	// falls behind: DropOldest (default) or DropNewest.
+	DropPolicy string `json:"drop_policy,omitempty"`
+}
+
+// Validate checks the requested capability values.
+func (c SessionCaps) Validate() error {
+	if !helloPrecisions[c.Precision] {
+		return fmt.Errorf("stream: unknown precision %q", c.Precision)
+	}
+	if c.MaxBatch < 0 || c.MaxBatch > maxHelloField {
+		return fmt.Errorf("stream: max_batch %d out of range", c.MaxBatch)
+	}
+	switch c.DropPolicy {
+	case "", DropOldest, DropNewest:
+	default:
+		return fmt.Errorf("stream: unknown drop policy %q", c.DropPolicy)
+	}
+	return nil
+}
+
 // Hello is the client's opening frame: which registered model to score
-// with (empty means the server default) and the stream width.
+// with (empty means the server default) and the stream width. Protocol v2
+// adds the capability set and lets Model float ("name@latest") or pin a
+// version ("name@v3") in the reference itself.
 type Hello struct {
 	Model    string `json:"model,omitempty"`
 	Version  int    `json:"version,omitempty"`
 	Channels int    `json:"channels"`
+	// Caps is the v2 capability request; v1 payloads never carry it.
+	Caps *SessionCaps `json:"caps,omitempty"`
+}
+
+// DecodeHello parses and validates a Hello payload for the given
+// protocol version. Malformed JSON, out-of-range fields, and capability
+// sets on a v1 handshake all come back as errors, never as a session
+// with unchecked parameters.
+func DecodeHello(proto int, payload []byte) (Hello, error) {
+	var h Hello
+	if err := json.Unmarshal(payload, &h); err != nil {
+		return Hello{}, fmt.Errorf("stream: bad hello: %w", err)
+	}
+	if h.Channels < 0 || h.Channels > maxHelloField {
+		return Hello{}, fmt.Errorf("stream: hello channels %d out of range", h.Channels)
+	}
+	if h.Version < 0 || h.Version > maxHelloField {
+		return Hello{}, fmt.Errorf("stream: hello version %d out of range", h.Version)
+	}
+	if h.Caps != nil {
+		if proto < ProtoV2 {
+			return Hello{}, fmt.Errorf("stream: protocol v1 hello carries a v2 capability set")
+		}
+		if err := h.Caps.Validate(); err != nil {
+			return Hello{}, err
+		}
+	}
+	return h, nil
+}
+
+// GetCaps returns the requested capability set (zero for v1 clients).
+func (h Hello) GetCaps() SessionCaps {
+	if h.Caps == nil {
+		return SessionCaps{}
+	}
+	return *h.Caps
 }
 
 // Welcome is the server's reply: the resolved model and the geometry the
-// session will score with.
+// session will score with. On a v2 session it additionally echoes the
+// granted capability set — the precision the serving group actually runs,
+// the score-frame cap, and the admission drop policy in force.
 type Welcome struct {
 	Model    string `json:"model"`
 	Version  int    `json:"version"`
 	Window   int    `json:"window"`
 	Channels int    `json:"channels"`
+	// Proto is the protocol version the server is speaking back (0 on
+	// v1 sessions, whose Welcome predates the field).
+	Proto int `json:"proto,omitempty"`
+	// Precision is the granted serving precision (v2 only).
+	Precision string `json:"precision,omitempty"`
+	// MaxBatch is the granted per-frame score cap (v2 only).
+	MaxBatch int `json:"max_batch,omitempty"`
+	// DropPolicy is the granted admission policy (v2 only).
+	DropPolicy string `json:"drop_policy,omitempty"`
 }
 
 // WriteFrame writes one frame.

@@ -3,6 +3,7 @@ package stream
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"net"
 	"testing"
@@ -30,6 +31,103 @@ func TestFrameRoundTrip(t *testing.T) {
 		if gt != typ || !bytes.Equal(gp, p) {
 			t.Fatalf("frame %d round-tripped to %d/%v", typ, gt, gp)
 		}
+	}
+}
+
+func TestSniffProto(t *testing.T) {
+	cases := map[string]int{
+		FrameMagic:   ProtoV1,
+		FrameMagicV2: ProtoV2,
+		"1.5,\n":     0, // CSV line
+		"VFS3":       0, // unknown future dialect: fall through to CSV refusal
+	}
+	for preamble, want := range cases {
+		if got := SniffProto([]byte(preamble)); got != want {
+			t.Fatalf("SniffProto(%q) = %d want %d", preamble, got, want)
+		}
+	}
+}
+
+func TestDecodeHelloVersions(t *testing.T) {
+	// A v1 Hello decodes under both protocol versions.
+	v1 := []byte(`{"model":"varade","channels":3}`)
+	for _, proto := range []int{ProtoV1, ProtoV2} {
+		h, err := DecodeHello(proto, v1)
+		if err != nil {
+			t.Fatalf("proto %d: %v", proto, err)
+		}
+		if h.Model != "varade" || h.Channels != 3 || h.Caps != nil {
+			t.Fatalf("proto %d: decoded %+v", proto, h)
+		}
+		if h.GetCaps() != (SessionCaps{}) {
+			t.Fatalf("proto %d: capless hello yields caps %+v", proto, h.GetCaps())
+		}
+	}
+
+	// A v2 Hello with capabilities decodes on v2 and is refused on v1.
+	v2 := []byte(`{"model":"varade@latest","channels":3,"caps":{"precision":"int8","max_batch":64,"drop_policy":"newest"}}`)
+	h, err := DecodeHello(ProtoV2, v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := h.GetCaps()
+	if caps.Precision != "int8" || caps.MaxBatch != 64 || caps.DropPolicy != DropNewest {
+		t.Fatalf("caps %+v", caps)
+	}
+	if _, err := DecodeHello(ProtoV1, v2); err == nil {
+		t.Fatal("v1 handshake accepted a v2 capability set")
+	}
+
+	// Malformed payloads and out-of-range fields are errors.
+	bad := [][]byte{
+		[]byte(`{`),
+		[]byte(`{"channels":-1}`),
+		[]byte(`{"channels":3,"version":-2}`),
+		[]byte(`{"channels":2097152}`),
+		[]byte(`{"channels":3,"caps":{"precision":"bf16"}}`),
+		[]byte(`{"channels":3,"caps":{"drop_policy":"sometimes"}}`),
+		[]byte(`{"channels":3,"caps":{"max_batch":-4}}`),
+	}
+	for _, payload := range bad {
+		if _, err := DecodeHello(ProtoV2, payload); err == nil {
+			t.Fatalf("accepted bad hello %s", payload)
+		}
+	}
+}
+
+func TestWelcomeCapabilityEcho(t *testing.T) {
+	var buf bytes.Buffer
+	in := Welcome{
+		Model: "varade", Version: 3, Window: 8, Channels: 17,
+		Proto: ProtoV2, Precision: "float32", MaxBatch: 256, DropPolicy: DropOldest,
+	}
+	if err := WriteJSONFrame(&buf, FrameWelcome, in); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := ReadFrame(&buf)
+	if err != nil || typ != FrameWelcome {
+		t.Fatalf("frame %d err %v", typ, err)
+	}
+	var out Welcome
+	if err := json.Unmarshal(payload, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("welcome round-tripped %+v → %+v", in, out)
+	}
+
+	// A v1 Welcome must not grow v2 fields on the wire: the JSON stays
+	// byte-compatible with pre-negotiation clients.
+	buf.Reset()
+	if err := WriteJSONFrame(&buf, FrameWelcome, Welcome{Model: "m", Version: 1, Window: 8, Channels: 2}); err != nil {
+		t.Fatal(err)
+	}
+	_, payload, err = ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `{"model":"m","version":1,"window":8,"channels":2}`; string(payload) != want {
+		t.Fatalf("v1 welcome payload %s, want %s", payload, want)
 	}
 }
 

@@ -1,0 +1,96 @@
+package stream
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// frameBytes renders one frame as raw wire bytes for the seed corpus.
+func frameBytes(t FrameType, payload []byte) []byte {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, t, payload); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzDecodeFrame feeds arbitrary bytes to the fleet-framing reader and
+// the handshake decoders — the parsers a hostile or corrupt device
+// stream reaches first. Truncated frames, adversarial length prefixes,
+// and malformed v1/v2 Hello payloads must come back as errors: never a
+// panic, never an allocation driven by an unvalidated length field, and
+// never a session whose negotiated parameters escaped validation. It
+// mirrors modelio.FuzzReadHeader on the wire layer.
+func FuzzDecodeFrame(f *testing.F) {
+	// Seed corpus: valid v1 and v2 Hellos, samples/scores frames,
+	// truncations, and hostile length fields.
+	helloV1 := []byte(`{"model":"varade","channels":3}`)
+	helloV2 := []byte(`{"model":"varade@latest","channels":3,"caps":{"precision":"int8","max_batch":64,"drop_policy":"newest"}}`)
+	f.Add(frameBytes(FrameHello, helloV1))
+	f.Add(frameBytes(FrameHello, helloV2))
+	f.Add(frameBytes(FrameHello, []byte(`{"channels":3,"caps":{"precision":"bf16"}}`)))
+	f.Add(frameBytes(FrameHello, helloV2)[:7]) // truncated mid-payload
+	f.Add(frameBytes(FrameBye, nil))
+	func() {
+		p, err := EncodeSamplesPayload([][]float64{{1, 2}, {3, 4}}, 2)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frameBytes(FrameSamples, p))
+	}()
+	f.Add(frameBytes(FrameScores, EncodeScoresPayload([]Score{{Index: 7, Value: 1.5}})))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, byte(FrameSamples)}) // 4 GiB length prefix
+	oversized := make([]byte, 5)
+	binary.LittleEndian.PutUint32(oversized, MaxFramePayload+1)
+	oversized[4] = byte(FrameHello)
+	f.Add(oversized)
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, payload, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(payload) > MaxFramePayload {
+			t.Fatalf("accepted %d-byte payload past the cap", len(payload))
+		}
+		switch typ {
+		case FrameHello:
+			for _, proto := range []int{ProtoV1, ProtoV2} {
+				h, err := DecodeHello(proto, payload)
+				if err != nil {
+					continue
+				}
+				if h.Channels < 0 || h.Version < 0 {
+					t.Fatalf("proto %d accepted hello with negative fields: %+v", proto, h)
+				}
+				caps := h.GetCaps()
+				if proto == ProtoV1 && caps != (SessionCaps{}) {
+					t.Fatalf("v1 decode let a capability set through: %+v", caps)
+				}
+				if err := caps.Validate(); err != nil {
+					t.Fatalf("accepted hello failed capability validation: %v", err)
+				}
+			}
+		case FrameSamples:
+			// Any channel width a server might have negotiated must
+			// reject mismatched payloads rather than mis-slice them.
+			for _, channels := range []int{1, 2, 3} {
+				samples, err := DecodeSamplesPayload(payload, channels)
+				if err != nil {
+					continue
+				}
+				for _, s := range samples {
+					if len(s) != channels {
+						t.Fatalf("decoded sample width %d, want %d", len(s), channels)
+					}
+				}
+			}
+		case FrameScores:
+			if _, err := DecodeScoresPayload(payload); err != nil {
+				return
+			}
+		}
+	})
+}

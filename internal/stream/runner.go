@@ -43,14 +43,14 @@ func (r *Runner) Push(sample []float64) (Score, bool) {
 }
 
 // PushBatch feeds a slice of samples and returns every score produced, in
-// arrival order. When the detector implements detect.BatchScorer the
-// windows completed by the batch are materialised into one (N, W, C)
+// arrival order. When the detector's Capabilities report a batched path
+// the windows completed by the batch are materialised into one (N, W, C)
 // tensor and scored in a single batched call — the fast path the edge
 // runtime uses to drain a sample backlog at full hardware throughput.
 // Scores are identical to pushing each sample through Push.
 func (r *Runner) PushBatch(samples [][]float64) []Score {
-	bs, ok := r.det.(detect.BatchScorer)
-	if !ok || len(samples) < 2 {
+	bs := detect.AsScorer(r.det)
+	if !bs.Capabilities().Batched || len(samples) < 2 {
 		var out []Score
 		for _, s := range samples {
 			if sc, done := r.Push(s); done {
@@ -175,6 +175,25 @@ func (b *Bus) Publish(sample []float64) {
 		default:
 			// Still full — a consumer-side race refilled the queue. Drop
 			// the new sample rather than looping.
+			b.dropped++
+		}
+	}
+}
+
+// PublishDropNewest delivers sample to every subscriber whose queue has
+// room and drops (and counts) the sample itself at any full one — the
+// negotiable drop-newest admission policy: the queued backlog survives
+// and the newest data is shed instead.
+func (b *Bus) PublishDropNewest(sample []float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	for _, ch := range b.subs {
+		select {
+		case ch <- sample:
+		default:
 			b.dropped++
 		}
 	}

@@ -76,9 +76,19 @@ type Detector = detect.Detector
 // per time step.
 func ScoreSeries(d Detector, series *Tensor) []float64 { return detect.ScoreSeries(d, series) }
 
-// BatchScorer is implemented by detectors with a batched scoring path
-// (VARADE, AE, AR-LSTM and the residual ablation scorer).
-type BatchScorer = detect.BatchScorer
+// Scorer is the unified scoring surface: batched float64 and float32
+// entry points plus a Capabilities descriptor, implemented natively by
+// VARADE, AE, AR-LSTM and the residual ablation scorer and synthesised
+// for every other detector by AsScorer.
+type Scorer = detect.Scorer
+
+// ScorerCapabilities describes a detector's scoring engine (batched
+// path, reduced-precision path, current and supported precisions).
+type ScorerCapabilities = detect.Capabilities
+
+// AsScorer returns d's unified scoring surface, wrapping detectors
+// without a native batched path in a per-window adapter.
+func AsScorer(d Detector) Scorer { return detect.AsScorer(d) }
 
 // ScoreSeriesBatched scores a series through the batched parallel engine,
 // falling back to the per-window loop for detectors without a batched
@@ -97,10 +107,6 @@ const (
 	PrecisionFloat32 = core.PrecisionFloat32
 	PrecisionInt8    = core.PrecisionInt8
 )
-
-// BatchScorer32 is implemented by detectors that score float32 window
-// batches in reduced precision (VARADE with Precision float32/int8).
-type BatchScorer32 = detect.BatchScorer32
 
 // Tensor32 is the float32 tensor used by the inference fast path.
 type Tensor32 = tensor.Tensor32
@@ -256,7 +262,21 @@ func OpenRegistry(dir string) (*ModelRegistry, error) { return serve.OpenRegistr
 // NewFleetServer builds a fleet server; call Serve to start it.
 func NewFleetServer(cfg FleetServerConfig) (*FleetServer, error) { return serve.NewServer(cfg) }
 
-// DialFleet opens a device session against a fleet server.
+// DialFleet opens a protocol-v1 device session against a fleet server
+// (no capability negotiation; the session is served at the model file's
+// own precision).
 func DialFleet(ctx context.Context, addr, model string, channels int) (*FleetClient, error) {
 	return serve.Dial(ctx, addr, model, channels)
+}
+
+// SessionCaps is the per-session capability set negotiated by protocol
+// v2: serving precision, score-frame cap, and admission drop policy.
+type SessionCaps = stream.SessionCaps
+
+// DialFleetWith opens a protocol-v2 device session, negotiating caps
+// (e.g. SessionCaps{Precision: PrecisionInt8} asks the server to derive
+// an int8 serving group from the registry entry). The grant is echoed in
+// the client's Welcome.
+func DialFleetWith(ctx context.Context, addr, model string, channels int, caps SessionCaps) (*FleetClient, error) {
+	return serve.DialWith(ctx, addr, model, channels, caps)
 }
