@@ -311,6 +311,9 @@ func runBenchSuite(jsonPath string, seed uint64) error {
 		{"FleetServeMixed64", fleet.sessions * fleet.steps, fleet.run},
 	})...)
 	fleet.close()
+	// Which micro-kernel family produced these numbers: cross-runner
+	// comparisons are only meaningful on the same dispatch.
+	fmt.Printf("gemm kernel: %s\n", tensor.GemmKernelName())
 	for _, res := range results {
 		if res.WindowsPerSec > 0 {
 			fmt.Printf("%-24s %12.0f ns/op %8d allocs/op %12.0f windows/s\n",
@@ -321,7 +324,10 @@ func runBenchSuite(jsonPath string, seed uint64) error {
 	}
 
 	if jsonPath != "" {
-		blob, err := json.MarshalIndent(map[string]any{"benchmarks": results}, "", "  ")
+		blob, err := json.MarshalIndent(map[string]any{
+			"gemm_kernel": tensor.GemmKernelName(),
+			"benchmarks":  results,
+		}, "", "  ")
 		if err != nil {
 			return err
 		}

@@ -16,17 +16,35 @@ import (
 // ROADMAP's "flag >10% regressions on the windows/s metrics".
 
 type benchFile struct {
+	// GemmKernel records which micro-kernel family produced the numbers
+	// ("avx2", "neon", "generic"); absent in pre-PR-5 baselines.
+	GemmKernel string        `json:"gemm_kernel,omitempty"`
 	Benchmarks []BenchResult `json:"benchmarks"`
 }
 
-func readBenchFile(path string) (map[string]BenchResult, []string, error) {
+func readBenchFileRaw(path string) (benchFile, error) {
+	var f benchFile
 	blob, err := os.ReadFile(path)
 	if err != nil {
-		return nil, nil, err
+		return f, err
 	}
-	var f benchFile
 	if err := json.Unmarshal(blob, &f); err != nil {
-		return nil, nil, fmt.Errorf("%s: %w", path, err)
+		return f, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+// readBenchFile loads a baseline once, returning its results by name,
+// their file order, and the recorded kernel family ("unrecorded" for
+// pre-PR-5 files).
+func readBenchFile(path string) (map[string]BenchResult, []string, string, error) {
+	f, err := readBenchFileRaw(path)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	kernel := f.GemmKernel
+	if kernel == "" {
+		kernel = "unrecorded"
 	}
 	out := make(map[string]BenchResult, len(f.Benchmarks))
 	order := make([]string, 0, len(f.Benchmarks))
@@ -34,22 +52,25 @@ func readBenchFile(path string) (map[string]BenchResult, []string, error) {
 		out[b.Name] = b
 		order = append(order, b.Name)
 	}
-	return out, order, nil
+	return out, order, kernel, nil
 }
 
 // runDiff prints the old→new movement per benchmark and returns an error
 // naming every windows/s regression beyond tolerance (0.10 = 10%).
 func runDiff(oldPath, newPath string, tolerance float64) error {
-	oldRes, oldOrder, err := readBenchFile(oldPath)
+	oldRes, oldOrder, oldKernel, err := readBenchFile(oldPath)
 	if err != nil {
 		return err
 	}
-	newRes, newOrder, err := readBenchFile(newPath)
+	newRes, newOrder, newKernel, err := readBenchFile(newPath)
 	if err != nil {
 		return err
 	}
 
 	fmt.Printf("bench diff: %s → %s (gate: windows/s regression > %.0f%%)\n", oldPath, newPath, tolerance*100)
+	// Same-machine comparisons are only meaningful on the same kernel
+	// family; spell both out so cross-runner numbers are interpretable.
+	fmt.Printf("gemm kernel: %s → %s\n", oldKernel, newKernel)
 	fmt.Printf("%-24s %14s %14s %9s  %s\n", "benchmark", "old", "new", "Δ", "metric")
 	fmt.Println(strings.Repeat("-", 72))
 

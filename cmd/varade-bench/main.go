@@ -14,8 +14,9 @@
 //
 // The perf trajectory lives in machine-readable suite runs:
 //
-//	varade-bench -exp bench -json BENCH_pr4.json       # write the suite
-//	varade-bench -diff BENCH_pr3.json BENCH_pr4.json   # fail on >10% windows/s regressions
+//	varade-bench -exp bench -json BENCH_pr5.json       # write the suite
+//	varade-bench -diff BENCH_pr4.json BENCH_pr5.json   # fail on >10% windows/s regressions
+//	varade-bench -trend BENCH_pr*.json                 # windows/s trajectory across baselines
 //
 // -scale paper uses the exact §3.1/§3.3 architectures for the inference-
 // cost columns (slow on one core); -scale small uses the reduced configs.
@@ -43,7 +44,21 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment to this path")
 	diffFlag := flag.Bool("diff", false, "compare two bench JSON files (varade-bench -diff old.json new.json) and fail on windows/s regressions")
 	diffTol := flag.Float64("diff-tolerance", 0.10, "relative windows/s drop that fails -diff")
+	trendFlag := flag.Bool("trend", false, "render the windows/s trajectory across 2+ bench JSON baselines (varade-bench -trend BENCH_pr3.json BENCH_pr4.json ...)")
 	flag.Parse()
+
+	if *trendFlag {
+		args := flag.Args()
+		if len(args) < 2 {
+			fmt.Fprintln(os.Stderr, "varade-bench: -trend needs at least two files: varade-bench -trend old.json ... new.json")
+			os.Exit(2)
+		}
+		if err := runTrend(args); err != nil {
+			fmt.Fprintln(os.Stderr, "varade-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *diffFlag {
 		args := flag.Args()

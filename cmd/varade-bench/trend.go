@@ -1,0 +1,131 @@
+package main
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+)
+
+// The BENCH trajectory trend: `varade-bench -trend BENCH_pr3.json
+// BENCH_pr4.json BENCH_pr5.json ...` renders the windows/s trajectory of
+// every throughput benchmark across all committed baselines, with the
+// step-to-step and cumulative deltas spelled out. The pairwise -diff
+// gate only sees 10% at a time; the trend makes slow bleed visible
+// before it accumulates under that threshold.
+
+// runTrend prints the trajectory table across the given files (in the
+// order supplied, oldest first). It never fails on regressions — it is a
+// report, not a gate — but does fail on unreadable files.
+func runTrend(paths []string) error {
+	type column struct {
+		label  string
+		kernel string
+		res    map[string]BenchResult
+		order  []string
+	}
+	cols := make([]column, 0, len(paths))
+	for _, p := range paths {
+		f, err := readBenchFileRaw(p)
+		if err != nil {
+			return err
+		}
+		res := make(map[string]BenchResult, len(f.Benchmarks))
+		order := make([]string, 0, len(f.Benchmarks))
+		for _, b := range f.Benchmarks {
+			res[b.Name] = b
+			order = append(order, b.Name)
+		}
+		label := strings.TrimSuffix(filepath.Base(p), ".json")
+		cols = append(cols, column{label: label, kernel: f.GemmKernel, res: res, order: order})
+	}
+
+	// Union of benchmark names, first-appearance order.
+	var names []string
+	seen := make(map[string]bool)
+	for _, c := range cols {
+		for _, n := range c.order {
+			if !seen[n] {
+				seen[n] = true
+				names = append(names, n)
+			}
+		}
+	}
+
+	fmt.Println("windows/s trajectory (oldest → newest; Δ vs previous baseline, Σ vs first)")
+	for _, c := range cols {
+		k := c.kernel
+		if k == "" {
+			k = "unrecorded"
+		}
+		fmt.Printf("  %-20s gemm kernel: %s\n", c.label, k)
+	}
+	fmt.Println()
+
+	head := fmt.Sprintf("%-26s", "benchmark")
+	for i, c := range cols {
+		if i == 0 {
+			head += fmt.Sprintf(" %12s", c.label)
+		} else {
+			head += fmt.Sprintf(" %12s %7s", c.label, "Δ")
+		}
+	}
+	head += fmt.Sprintf(" %8s", "Σ")
+	fmt.Println(head)
+	fmt.Println(strings.Repeat("-", len(head)))
+
+	skipped := 0
+	for _, name := range names {
+		vals := make([]float64, len(cols)) // 0 = absent or no windows/s
+		any := false
+		for i, c := range cols {
+			if b, ok := c.res[name]; ok && b.WindowsPerSec > 0 {
+				vals[i] = b.WindowsPerSec
+				any = true
+			}
+		}
+		if !any {
+			skipped++ // ns/op-only benchmarks have no throughput trajectory
+			continue
+		}
+		row := fmt.Sprintf("%-26s", name)
+		prev, first := 0.0, 0.0
+		present := 0
+		for i, v := range vals {
+			cell := "-"
+			if v > 0 {
+				cell = fmt.Sprintf("%.0f", v)
+			}
+			if i == 0 {
+				row += fmt.Sprintf(" %12s", cell)
+			} else {
+				row += fmt.Sprintf(" %12s %7s", cell, pctDelta(prev, v))
+			}
+			if v > 0 {
+				if first == 0 {
+					first = v
+				}
+				prev = v
+				present++
+			}
+		}
+		total := "-"
+		if present >= 2 {
+			total = pctDelta(first, prev)
+		}
+		row += fmt.Sprintf(" %8s", total)
+		fmt.Println(row)
+	}
+	if skipped > 0 {
+		fmt.Printf("\n(%d benchmark(s) without a windows/s metric omitted; see -diff for ns/op)\n", skipped)
+	}
+	return nil
+}
+
+// pctDelta formats the relative movement old → new, "-" when either
+// side is missing.
+func pctDelta(old, new float64) string {
+	if old <= 0 || new <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%+.1f%%", (new/old-1)*100)
+}

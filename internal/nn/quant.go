@@ -3,6 +3,7 @@ package nn
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"varade/internal/tensor"
 )
@@ -26,6 +27,12 @@ type QuantTensor struct {
 	Zero       []int8    // per-row zero point, len Rows
 	Q          []int8    // quantized values, Rows*Cols, row-major
 	shape      []int     // original tensor shape
+
+	// packed is the GEMM-friendly panel layout of Q, built lazily once
+	// (weights are immutable after quantization): quantNR output rows
+	// interleaved per column, zero-padded to a whole panel. See panels.
+	packOnce sync.Once
+	packed   []int8
 }
 
 // Shape returns the original (pre-flattening) tensor shape.
@@ -144,70 +151,75 @@ func (q *QuantTensor) MaxAbsError(w *tensor.Tensor) float64 {
 // float kernels instead of streaming whole rows past the cache.
 const quantKBlock = 2048
 
+// quantNR is the panel width of the packed int8 weight layout: four
+// output channels interleaved per column, mirroring the float GEMM's
+// packed B panels. Four channels give the inner loop four independent
+// accumulator chains off a single x load, and the channel quad sits in
+// four consecutive bytes.
+const quantNR = 4
+
+// panels returns (building lazily, once — quantized weights are
+// immutable) the packed panel layout of Q. The pack is a second
+// resident copy of the int8 values (~1 extra byte per parameter while
+// serving; NumBytes reports the container payload, not this working
+// copy) — the price of a contiguous kernel layout, paid only by
+// instances that actually run the GEMM:
+//
+//	packed[pan·(quantNR·Cols) + c·quantNR + rr] = Q[(pan·quantNR+rr)·Cols + c]
+//
+// i.e. panel pan holds output rows [pan·quantNR, …) column-interleaved,
+// zero-padded to a whole panel so the kernel geometry is uniform.
+func (q *QuantTensor) panels() []int8 {
+	q.packOnce.Do(func() {
+		npan := (q.Rows + quantNR - 1) / quantNR
+		p := make([]int8, npan*quantNR*q.Cols)
+		for r := 0; r < q.Rows; r++ {
+			pan, rr := r/quantNR, r%quantNR
+			dst := p[pan*quantNR*q.Cols+rr:]
+			for c, v := range q.Q[r*q.Cols : (r+1)*q.Cols] {
+				dst[c*quantNR] = v
+			}
+		}
+		q.packed = p
+	})
+	return q.packed
+}
+
 // quantGEMMTransB computes dst = x·dequant(q)ᵀ + bias with float32
 // accumulation: x is (n, Cols), dst is (n, Rows). Because the affine
 // dequantisation is per output row, the inner product folds to
 //
 //	y[i,r] = scale[r]·(Σ_c q[r,c]·x[i,c] − zero[r]·Σ_c x[i,c]) + bias[r]
 //
-// so each row needs one int8 weight scan plus an input row sum that is
-// computed once per input row and shared by every output row — and, in
-// the blocked path, accumulated block by block rather than re-scanned.
-// Narrow layers (Cols ≤ quantKBlock) take the single-pass path; wider
-// ones are tiled over the k extent.
+// so each panel pass needs one int8 weight scan plus an input row sum
+// that is computed once per input row and shared by every output row —
+// accumulated block by block along the same k tiling as the dots.
 func quantGEMMTransB(dst, x *tensor.Tensor32, q *QuantTensor, bias []float32) {
 	quantGEMMTransBBlocked(dst, x, q, bias, quantKBlock)
 }
 
 // quantGEMMTransBBlocked is quantGEMMTransB with an explicit k-block
 // size, separated so tests can force the multi-block path on small
-// shapes.
+// shapes. The weight scan runs over the packed panels: each k block of
+// x stays L1-resident while every panel's four-channel kernel streams
+// its interleaved int8 quad past it.
 func quantGEMMTransBBlocked(dst, x *tensor.Tensor32, q *QuantTensor, bias []float32, kblock int) {
 	n, cols := x.Dim(0), x.Dim(1)
 	if cols != q.Cols {
 		panic(fmt.Sprintf("nn: quantGEMM inner dims %d vs %d", cols, q.Cols))
 	}
+	pp := q.panels()
+	npan := (q.Rows + quantNR - 1) / quantNR
 	xd, od := x.Data(), dst.Data()
 	tensor.Parallel(n, func(lo, hi int) {
-		// One accumulator row per worker, reused across its shard: the
-		// blocked path adds partial dots block by block and applies the
-		// affine correction once at the end.
-		var acc []float32
-		if cols > kblock {
-			acc = make([]float32, q.Rows)
-		}
+		// One padded accumulator row per worker, reused across its shard:
+		// partial dots accumulate block by block and the affine
+		// correction is applied once at the end.
+		acc := make([]float32, npan*quantNR)
 		for i := lo; i < hi; i++ {
 			xrow := xd[i*cols : (i+1)*cols]
 			orow := od[i*q.Rows : (i+1)*q.Rows]
-			if cols <= kblock {
-				// Single-pass path with the dot kept inline: the narrow
-				// layers dominating the compiled nets pay no call
-				// overhead per output row.
-				var sx float32
-				for _, v := range xrow {
-					sx += v
-				}
-				for r := 0; r < q.Rows; r++ {
-					qrow := q.Q[r*cols : (r+1)*cols]
-					// Four accumulators break the FP-add latency chain.
-					var a0, a1, a2, a3 float32
-					c := 0
-					for ; c+4 <= cols; c += 4 {
-						a0 += float32(qrow[c]) * xrow[c]
-						a1 += float32(qrow[c+1]) * xrow[c+1]
-						a2 += float32(qrow[c+2]) * xrow[c+2]
-						a3 += float32(qrow[c+3]) * xrow[c+3]
-					}
-					for ; c < cols; c++ {
-						a0 += float32(qrow[c]) * xrow[c]
-					}
-					orow[r] = finishQuantDot(q, bias, r, (a0+a1)+(a2+a3), sx)
-				}
-				continue
-			}
-			for r := range acc {
-				acc[r] = 0
-			}
+			clear(acc)
 			var sx float32
 			for k0 := 0; k0 < cols; k0 += kblock {
 				k1 := min(k0+kblock, cols)
@@ -215,8 +227,9 @@ func quantGEMMTransBBlocked(dst, x *tensor.Tensor32, q *QuantTensor, bias []floa
 				// The row sum rides the same block pass as the dots, so
 				// xsub is scanned while hot and never re-read.
 				sx += rowSum(xsub)
-				for r := 0; r < q.Rows; r++ {
-					acc[r] += dotQ(q.Q[r*cols+k0:r*cols+k1], xsub)
+				for pan := 0; pan < npan; pan++ {
+					base := pan * quantNR * cols
+					quadDotQ(acc[pan*quantNR:pan*quantNR+quantNR], pp[base+k0*quantNR:base+k1*quantNR], xsub)
 				}
 			}
 			for r := 0; r < q.Rows; r++ {
@@ -224,6 +237,22 @@ func quantGEMMTransBBlocked(dst, x *tensor.Tensor32, q *QuantTensor, bias []floa
 			}
 		}
 	})
+}
+
+// quadDotQ accumulates one packed panel's four interleaved channels
+// against the x block: acc[rr] += Σ_c panel[c·4+rr]·x[c]. One x load
+// feeds four independent accumulator chains — the panel-width analogue
+// of the float kernels' broadcast-A step.
+func quadDotQ(acc []float32, panel []int8, x []float32) {
+	s0, s1, s2, s3 := acc[0], acc[1], acc[2], acc[3]
+	for c, xv := range x {
+		qv := panel[c*4 : c*4+4 : c*4+4]
+		s0 += float32(qv[0]) * xv
+		s1 += float32(qv[1]) * xv
+		s2 += float32(qv[2]) * xv
+		s3 += float32(qv[3]) * xv
+	}
+	acc[0], acc[1], acc[2], acc[3] = s0, s1, s2, s3
 }
 
 // rowSum totals one (sub-)row of the input.
@@ -240,23 +269,6 @@ func rowSum(x []float32) float32 {
 		s0 += x[c]
 	}
 	return (s0 + s1) + (s2 + s3)
-}
-
-// dotQ is the int8×float32 inner product over one (sub-)row. Four
-// accumulators break the FP-add latency chain.
-func dotQ(qrow []int8, xrow []float32) float32 {
-	var a0, a1, a2, a3 float32
-	c := 0
-	for ; c+4 <= len(xrow); c += 4 {
-		a0 += float32(qrow[c]) * xrow[c]
-		a1 += float32(qrow[c+1]) * xrow[c+1]
-		a2 += float32(qrow[c+2]) * xrow[c+2]
-		a3 += float32(qrow[c+3]) * xrow[c+3]
-	}
-	for ; c < len(xrow); c++ {
-		a0 += float32(qrow[c]) * xrow[c]
-	}
-	return (a0 + a1) + (a2 + a3)
 }
 
 // finishQuantDot applies the per-row affine correction and bias to a

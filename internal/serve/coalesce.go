@@ -61,21 +61,27 @@ type modelGroup struct {
 
 	maxBatch int
 
-	mu        sync.Mutex
-	cond      *sync.Cond
-	sc        detect.Scorer
-	caps      detect.Capabilities
-	use32     bool             // assemble new batches in float32
-	pending   *tensor.Tensor   // float64 fill buffer, (maxBatch, w, c); lazily allocated
-	spare     *tensor.Tensor   // float64 buffer handed to the scorer on flush
-	pending32 *tensor.Tensor32 // float32 fill buffer; lazily allocated
-	spare32   *tensor.Tensor32
-	fill32    bool // precision of the windows currently in the fill buffer
-	meta      []windowMeta
-	spareMeta []windowMeta
-	n         int
-	sessions  int
-	closed    bool
+	mu   sync.Mutex
+	cond *sync.Cond
+	// fillTarget is the batch level that triggers an immediate flush
+	// kick, before the ticker: the server's per-precision table capped
+	// by the smallest SessionCaps.MaxBatch a live session negotiated.
+	// The buffer still accepts up to maxBatch windows between flushes.
+	fillTarget int
+	reqBatches map[*session]int // live sessions' requested MaxBatch (> 0 only)
+	sc         detect.Scorer
+	caps       detect.Capabilities
+	use32      bool             // assemble new batches in float32
+	pending    *tensor.Tensor   // float64 fill buffer, (maxBatch, w, c); lazily allocated
+	spare      *tensor.Tensor   // float64 buffer handed to the scorer on flush
+	pending32  *tensor.Tensor32 // float32 fill buffer; lazily allocated
+	spare32    *tensor.Tensor32
+	fill32     bool // precision of the windows currently in the fill buffer
+	meta       []windowMeta
+	spareMeta  []windowMeta
+	n          int
+	sessions   int
+	closed     bool
 
 	kick chan struct{}
 }
@@ -97,7 +103,9 @@ func newModelGroup(srv *Server, key, name string, version int, pinned bool, reqP
 		kick:     make(chan struct{}, 1),
 	}
 	g.cond = sync.NewCond(&g.mu)
+	g.reqBatches = make(map[*session]int)
 	g.setScorerLocked(sc)
+	g.recomputeFillTargetLocked()
 	g.fill32 = g.use32
 	g.ensureBuffersLocked()
 	g.meta = make([]windowMeta, g.maxBatch)
@@ -157,11 +165,47 @@ func (g *modelGroup) add(sess *session, index int, buf *stream.WindowBuffer) {
 	}
 	g.meta[g.n] = windowMeta{sess: sess, index: index, ready: time.Now()}
 	g.n++
-	full := g.n == g.maxBatch
+	kick := g.n >= g.fillTarget
 	g.mu.Unlock()
-	if full {
+	if kick {
 		g.kickNow()
 	}
+}
+
+// recomputeFillTargetLocked re-derives the group's flush trigger from
+// the server's per-precision table and the live sessions' negotiated
+// frame caps: a session that asked for at most B scores per frame gets
+// batches flushed at B, so its negotiated cap bounds its coalescing
+// latency instead of only splitting outbound frames.
+func (g *modelGroup) recomputeFillTargetLocked() {
+	t := g.srv.fillTargetFor(g.caps.Precision)
+	for _, b := range g.reqBatches {
+		if b < t {
+			t = b
+		}
+	}
+	g.fillTarget = max(1, min(t, g.maxBatch))
+}
+
+// sessionJoined/sessionLeft maintain the negotiated-cap view the fill
+// target derives from. reqBatch ≤ 0 means the session did not request a
+// frame cap.
+func (g *modelGroup) sessionJoined(sess *session, reqBatch int) {
+	g.mu.Lock()
+	g.sessions++
+	if reqBatch > 0 {
+		g.reqBatches[sess] = reqBatch
+	}
+	g.recomputeFillTargetLocked()
+	g.mu.Unlock()
+}
+
+func (g *modelGroup) sessionLeft(sess *session) {
+	g.mu.Lock()
+	g.sessions--
+	delete(g.reqBatches, sess)
+	g.recomputeFillTargetLocked()
+	g.mu.Unlock()
 }
 
 // kickNow nudges the flusher without blocking.
@@ -272,6 +316,7 @@ func (g *modelGroup) checkGeometry(sc detect.Scorer, version int) error {
 func (g *modelGroup) swap(sc detect.Scorer, version int, kind string, derived bool) {
 	g.mu.Lock()
 	g.setScorerLocked(sc)
+	g.recomputeFillTargetLocked() // the serving precision may have moved
 	g.version = version
 	g.kind = kind
 	g.derived = derived
@@ -300,18 +345,19 @@ func (g *modelGroup) status() ModelStatus {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return ModelStatus{
-		Key:       g.key,
-		Model:     g.name,
-		Version:   g.version,
-		Kind:      g.kind,
-		Window:    g.w,
-		Channels:  g.c,
-		Batched:   g.caps.Batched,
-		Precision: g.caps.Precision,
-		Requested: g.reqPrec,
-		Derived:   g.derived,
-		Pending:   g.n,
-		Sessions:  g.sessions,
+		Key:        g.key,
+		Model:      g.name,
+		Version:    g.version,
+		Kind:       g.kind,
+		Window:     g.w,
+		Channels:   g.c,
+		Batched:    g.caps.Batched,
+		Precision:  g.caps.Precision,
+		Requested:  g.reqPrec,
+		Derived:    g.derived,
+		Pending:    g.n,
+		FillTarget: g.fillTarget,
+		Sessions:   g.sessions,
 	}
 }
 

@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"varade/internal/detect"
+	"varade/internal/stream"
+)
+
+// The coalescer's flush trigger is precision-aware (ROADMAP "per-group
+// flush tuning"): int8 groups fill the whole buffer before kicking the
+// flusher — the quantized engine amortises its per-batch overhead best
+// at large batches — while float groups kick at half, whose GEMM
+// amortisation has already saturated. Sessions that negotiated a small
+// SessionCaps.MaxBatch pull their group's target down to it.
+
+func TestFillTargetDefaultsPerPrecision(t *testing.T) {
+	reg, err := OpenRegistry(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(Config{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb := srv.cfg.MaxBatch // defaulted to detect.BatchChunk
+	if mb != detect.BatchChunk {
+		t.Fatalf("default MaxBatch = %d, want detect.BatchChunk = %d", mb, detect.BatchChunk)
+	}
+	for prec, want := range map[string]int{
+		"float64": (mb + 1) / 2,
+		"float32": (mb + 1) / 2,
+		"int8":    mb,
+	} {
+		if got := srv.fillTargetFor(prec); got != want {
+			t.Errorf("fillTargetFor(%q) = %d, want %d", prec, got, want)
+		}
+	}
+}
+
+func TestFillTargetOverridesAndClamp(t *testing.T) {
+	reg, err := OpenRegistry(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(Config{
+		Registry: reg,
+		MaxBatch: 64,
+		FillTargets: map[string]int{
+			"float64": 16,
+			"int8":    100000, // clamped to the buffer capacity
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.fillTargetFor("float64"); got != 16 {
+		t.Errorf("override: fillTargetFor(float64) = %d, want 16", got)
+	}
+	if got := srv.fillTargetFor("int8"); got != 64 {
+		t.Errorf("clamp: fillTargetFor(int8) = %d, want 64", got)
+	}
+	if got := srv.fillTargetFor("float32"); got != 32 {
+		t.Errorf("default alongside overrides: fillTargetFor(float32) = %d, want 32", got)
+	}
+}
+
+// groupByKey fetches a live serving group.
+func groupByKey(t *testing.T, srv *Server, key string) *modelGroup {
+	t.Helper()
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	g, ok := srv.groups[key]
+	if !ok {
+		keys := make([]string, 0, len(srv.groups))
+		for k := range srv.groups {
+			keys = append(keys, k)
+		}
+		t.Fatalf("no serving group %q (have %v)", key, keys)
+	}
+	return g
+}
+
+func (g *modelGroup) currentFillTarget() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.fillTarget
+}
+
+// TestFillTargetFollowsNegotiatedCaps drives the full path: a derived
+// int8 group starts at the whole-buffer target, a float64 group at half,
+// and a session that negotiated MaxBatch=8 drags its group's trigger
+// down to 8 until it disconnects.
+func TestFillTargetFollowsNegotiatedCaps(t *testing.T) {
+	const channels = 3
+	srv, addr, _ := newFloat64FleetServer(t, channels)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+	ctx := context.Background()
+
+	cl8, err := DialWith(ctx, addr, "", channels, stream.SessionCaps{Precision: "int8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl8.Close()
+	g8 := groupByKey(t, srv, "varade:int8")
+	if got, want := g8.currentFillTarget(), srv.cfg.MaxBatch; got != want {
+		t.Errorf("int8 group fill target = %d, want full buffer %d", got, want)
+	}
+
+	capped, err := DialWith(ctx, addr, "", channels,
+		stream.SessionCaps{Precision: "float64", MaxBatch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The server welcomes the client before registering the session with
+	// its group, so both the join and the leave are observed with a
+	// deadline poll.
+	g64 := groupByKey(t, srv, "varade:float64")
+	waitFillTarget := func(want int, what string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for g64.currentFillTarget() != want {
+			if time.Now().After(deadline) {
+				t.Fatalf("fill target %s = %d, want %d", what, g64.currentFillTarget(), want)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitFillTarget(8, "with a MaxBatch=8 session")
+
+	// The session's cap leaves with it.
+	capped.Bye()
+	capped.Close()
+	waitFillTarget((srv.cfg.MaxBatch+1)/2, "after the capped session left")
+}

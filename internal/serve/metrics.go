@@ -68,18 +68,19 @@ func (m *metrics) latencyPercentiles() (p50, p99 float64) {
 // Derived whether that precision was re-targeted away from the registry
 // file's own (a lazily materialised variant).
 type ModelStatus struct {
-	Key       string `json:"key"`
-	Model     string `json:"model"`
-	Version   int    `json:"version"`
-	Kind      string `json:"kind"`
-	Window    int    `json:"window"`
-	Channels  int    `json:"channels"`
-	Batched   bool   `json:"batched"`
-	Precision string `json:"precision"`
-	Requested string `json:"requested_precision,omitempty"`
-	Derived   bool   `json:"derived"`
-	Pending   int    `json:"pending_windows"`
-	Sessions  int    `json:"sessions"`
+	Key        string `json:"key"`
+	Model      string `json:"model"`
+	Version    int    `json:"version"`
+	Kind       string `json:"kind"`
+	Window     int    `json:"window"`
+	Channels   int    `json:"channels"`
+	Batched    bool   `json:"batched"`
+	Precision  string `json:"precision"`
+	Requested  string `json:"requested_precision,omitempty"`
+	Derived    bool   `json:"derived"`
+	Pending    int    `json:"pending_windows"`
+	FillTarget int    `json:"fill_target"`
+	Sessions   int    `json:"sessions"`
 }
 
 // Metrics is a point-in-time snapshot of the serving state, the payload

@@ -28,6 +28,18 @@ type Config struct {
 	// MaxBatch is the coalescer's fill-buffer capacity; a full buffer
 	// flushes immediately. Default detect.BatchChunk.
 	MaxBatch int
+	// FillTargets overrides, per serving precision ("float64",
+	// "float32", "int8"), the batch fill level at which a group flushes
+	// without waiting for the next tick. Positive entries are clamped
+	// to [1, MaxBatch]; absent or non-positive entries use the
+	// built-in table:
+	// int8 groups fill the whole buffer (the quantized engine's
+	// per-batch overhead amortises best at large batches), float
+	// groups flush at half — their GEMM amortisation has saturated by
+	// then, so waiting longer only adds latency. Sessions that
+	// negotiated a smaller SessionCaps.MaxBatch pull their group's
+	// target down further (see modelGroup.recomputeFillTargetLocked).
+	FillTargets map[string]int
 	// QueueDepth is each session's inbound admission queue (samples);
 	// when full the oldest queued sample is dropped, Bus-style.
 	// Default 512.
@@ -165,6 +177,7 @@ func (s *Server) handleConn(raw net.Conn) {
 
 	var grp *modelGroup
 	var granted stream.SessionCaps
+	reqBatch := 0
 	if binary {
 		br.Discard(len(stream.FrameMagic))
 		t, payload, err := stream.ReadFrame(br)
@@ -199,6 +212,7 @@ func (s *Server) handleConn(raw net.Conn) {
 		welcome := stream.Welcome{Model: grp.name, Version: grp.servingVersion(), Window: grp.w, Channels: grp.c}
 		if proto >= stream.ProtoV2 {
 			granted = s.grant(grp, req)
+			reqBatch = req.MaxBatch
 			welcome.Proto = stream.ProtoV2
 			welcome.Precision = granted.Precision
 			welcome.MaxBatch = granted.MaxBatch
@@ -219,13 +233,27 @@ func (s *Server) handleConn(raw net.Conn) {
 		}
 	}
 
-	sess := newSession(s, grp, conn, binary, granted)
+	sess := newSession(s, grp, conn, binary, granted, reqBatch)
 	if !s.trackSession(sess, grp) {
 		conn.Close()
 		return
 	}
 	sess.run(br)
 	s.untrackSession(sess, grp)
+}
+
+// fillTargetFor resolves the configured (or default) coalescer fill
+// target for a serving precision.
+func (s *Server) fillTargetFor(prec string) int {
+	t, ok := s.cfg.FillTargets[prec]
+	if !ok || t <= 0 {
+		if prec == "int8" {
+			t = s.cfg.MaxBatch
+		} else {
+			t = (s.cfg.MaxBatch + 1) / 2
+		}
+	}
+	return max(1, min(t, s.cfg.MaxBatch))
 }
 
 // grant resolves a v2 capability request against the serving group and
@@ -265,9 +293,7 @@ func (s *Server) trackSession(sess *session, grp *modelGroup) bool {
 		return false
 	}
 	s.sessions[sess] = struct{}{}
-	grp.mu.Lock()
-	grp.sessions++
-	grp.mu.Unlock()
+	grp.sessionJoined(sess, sess.reqBatch)
 	return true
 }
 
@@ -280,9 +306,7 @@ func (s *Server) untrackSession(sess *session, grp *modelGroup) {
 	// of the two places it sums.
 	s.met.samplesDropped.Add(int64(sess.bus.Dropped()))
 	s.mu.Unlock()
-	grp.mu.Lock()
-	grp.sessions--
-	grp.mu.Unlock()
+	grp.sessionLeft(sess)
 }
 
 // groupKey names one serving group: "name" or "name@vN", with a ":prec"

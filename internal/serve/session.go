@@ -31,8 +31,11 @@ type session struct {
 	binary bool
 
 	// Granted v2 capabilities (defaults for v1/line sessions): the
-	// outbound score-frame cap and the admission drop policy.
+	// outbound score-frame cap and the admission drop policy. reqBatch
+	// keeps the frame cap the client itself asked for (0 = none) — it
+	// also feeds the group's coalescer fill target.
 	maxOut     int
+	reqBatch   int
 	dropNewest bool
 
 	bus *stream.Bus       // admission control: bounded, negotiated policy
@@ -58,7 +61,7 @@ type session struct {
 	readErr string
 }
 
-func newSession(srv *Server, grp *modelGroup, conn *connRW, binary bool, granted stream.SessionCaps) *session {
+func newSession(srv *Server, grp *modelGroup, conn *connRW, binary bool, granted stream.SessionCaps, reqBatch int) *session {
 	bus := stream.NewBus()
 	maxOut := granted.MaxBatch
 	if maxOut <= 0 || maxOut > maxScoreFrame {
@@ -70,6 +73,7 @@ func newSession(srv *Server, grp *modelGroup, conn *connRW, binary bool, granted
 		conn:       conn,
 		binary:     binary,
 		maxOut:     maxOut,
+		reqBatch:   reqBatch,
 		dropNewest: granted.DropPolicy == stream.DropNewest,
 		bus:        bus,
 		in:         bus.Subscribe(srv.cfg.QueueDepth),

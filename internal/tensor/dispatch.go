@@ -1,0 +1,96 @@
+package tensor
+
+// Runtime micro-kernel dispatch. The packed engine (pack.go) calls
+// whatever kernels these package variables hold: the portable generic
+// kernels by default, upgraded once at init by the GOARCH-gated files
+// (microkernel_amd64.go, microkernel_arm64.go) when the CPU supports the
+// assembly path and it is not disabled. Two switches force the portable
+// path:
+//
+//   - build tag `noasm` — the assembly files are excluded entirely, so
+//     the binary cannot contain the asm kernels;
+//   - env VARADE_NOASM (any non-empty value) — the asm is present but
+//     the init hook leaves the generic kernels installed.
+//
+// A micro-kernel computes C(tile) += aP·bP over kc packed steps:
+// c[i*ldc+j] += Σ_p aP[p*MR+i]·bP[p*NR+j], loading the C tile first and
+// accumulating each element along a single ascending-p chain (the
+// float64 bit-exactness contract; see pack.go).
+var (
+	gemmKern32 func(c []float32, ldc int, aP, bP []float32, kc int) = gemmKernelGeneric32
+	gemmKern64 func(c []float64, ldc int, aP, bP []float64, kc int) = gemmKernelGeneric64
+
+	// gemmKernelName names the installed kernel family ("generic",
+	// "avx2", "neon") so benchmarks and CI logs can record which path
+	// produced their numbers.
+	gemmKernelName = "generic"
+)
+
+// GemmKernelName reports which micro-kernel family the packed GEMM
+// engine dispatches to on this process: "avx2", "neon" or "generic".
+func GemmKernelName() string { return gemmKernelName }
+
+// microKernelFor resolves the active micro-kernel at element type T.
+func microKernelFor[T Float]() func(c []T, ldc int, aP, bP []T, kc int) {
+	var z T
+	if _, ok := any(z).(float32); ok {
+		return any(gemmKern32).(func(c []T, ldc int, aP, bP []T, kc int))
+	}
+	return any(gemmKern64).(func(c []T, ldc int, aP, bP []T, kc int))
+}
+
+// The portable kernels hold one C row in registers per pass — eight
+// (float32) or four (float64) accumulators plus the broadcast A value
+// stays inside the sixteen FP registers of every 64-bit target, so the
+// hot loop never spills. Each accumulator is a single ascending-p chain,
+// which is what keeps the float64 instantiation bit-exact against the
+// scalar oracle. The A panel is re-streamed once per row; at kc ≤ 256 it
+// is L1-resident by construction.
+
+// gemmKernelGeneric32 is the portable 8×8 float32 micro-kernel over the
+// same packed panels the AVX2/NEON kernels consume.
+func gemmKernelGeneric32(c []float32, ldc int, aP, bP []float32, kc int) {
+	for i := 0; i < 8; i++ {
+		row := c[i*ldc : i*ldc+8]
+		c0, c1, c2, c3 := row[0], row[1], row[2], row[3]
+		c4, c5, c6, c7 := row[4], row[5], row[6], row[7]
+		ao, bo := i, 0
+		for p := 0; p < kc; p++ {
+			av := aP[ao]
+			bv := bP[bo : bo+8 : bo+8]
+			c0 += av * bv[0]
+			c1 += av * bv[1]
+			c2 += av * bv[2]
+			c3 += av * bv[3]
+			c4 += av * bv[4]
+			c5 += av * bv[5]
+			c6 += av * bv[6]
+			c7 += av * bv[7]
+			ao += 8
+			bo += 8
+		}
+		row[0], row[1], row[2], row[3] = c0, c1, c2, c3
+		row[4], row[5], row[6], row[7] = c4, c5, c6, c7
+	}
+}
+
+// gemmKernelGeneric64 is the portable 4×4 float64 micro-kernel,
+// order-exact against the scalar loops.
+func gemmKernelGeneric64(c []float64, ldc int, aP, bP []float64, kc int) {
+	for i := 0; i < 4; i++ {
+		row := c[i*ldc : i*ldc+4]
+		c0, c1, c2, c3 := row[0], row[1], row[2], row[3]
+		ao, bo := i, 0
+		for p := 0; p < kc; p++ {
+			av := aP[ao]
+			bv := bP[bo : bo+4 : bo+4]
+			c0 += av * bv[0]
+			c1 += av * bv[1]
+			c2 += av * bv[2]
+			c3 += av * bv[3]
+			ao += 4
+			bo += 4
+		}
+		row[0], row[1], row[2], row[3] = c0, c1, c2, c3
+	}
+}

@@ -41,9 +41,12 @@ func MatMul[T Float](a, b *Dense[T]) *Dense[T] {
 
 // MatMulInto computes dst = a·b, overwriting dst. dst must not alias a or b.
 //
-// The inner loop is ordered (i, p, j) so b is scanned row-contiguously,
-// which is the cache-friendly layout for row-major data; rows of a are
-// sharded across the worker pool for large products.
+// Products large enough to amortise the packing copies run through the
+// packed micro-kernel engine (pack.go) — cache-blocked panels swept by a
+// register-blocked, possibly SIMD, kernel, bit-identical at float64 to
+// the scalar path below. Small products keep the direct loops: ordered
+// (i, p, j) so b is scanned row-contiguously, rows of a sharded across
+// the worker pool.
 func MatMulInto[T Float](dst, a, b *Dense[T]) {
 	check2D("MatMul", a, b)
 	m, k := a.shape[0], a.shape[1]
@@ -53,6 +56,10 @@ func MatMulInto[T Float](dst, a, b *Dense[T]) {
 	}
 	checkDst("MatMul", dst, m, n)
 	ad, bd, od := a.data, b.data, dst.data
+	if usePacked(m, k, n) {
+		gemmPackedInto(od, ad, bd, m, n, k, false)
+		return
+	}
 	body := func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			arow := ad[i*k : (i+1)*k]
@@ -88,12 +95,14 @@ func MatMulTransB[T Float](a, b *Dense[T]) *Dense[T] {
 
 // MatMulTransBInto computes dst = a·bᵀ, overwriting dst.
 //
-// The float64 instantiation keeps the historical single-accumulator
-// summation order — it is the bit-exactness oracle, and training depends
-// on reproducible arithmetic. The float32 instantiation (inference only,
-// tolerance-gated against the oracle) unrolls the dot product over four
-// accumulators, breaking the FP-add latency chain that otherwise hides
-// the precision's bandwidth advantage.
+// Large products run through the packed engine: b's rows are packed as
+// panel columns, so the same micro-kernels serve both orientations (and
+// the float64 packed path keeps the historical single-accumulator
+// ascending-k order — it is the bit-exactness oracle, and training
+// depends on reproducible arithmetic). The small-product float32 loop
+// unrolls the dot product over four accumulators, breaking the FP-add
+// latency chain that otherwise hides the precision's bandwidth
+// advantage.
 func MatMulTransBInto[T Float](dst, a, b *Dense[T]) {
 	check2D("MatMulTransB", a, b)
 	m, k := a.shape[0], a.shape[1]
@@ -103,6 +112,10 @@ func MatMulTransBInto[T Float](dst, a, b *Dense[T]) {
 	}
 	checkDst("MatMulTransB", dst, m, n)
 	ad, bd, od := a.data, b.data, dst.data
+	if usePacked(m, k, n) {
+		gemmPackedInto(od, ad, bd, m, n, k, true)
+		return
+	}
 	var z T
 	_, fast := any(z).(float32)
 	body := func(lo, hi int) {

@@ -1,0 +1,68 @@
+//go:build !noasm
+
+package tensor
+
+import "os"
+
+// AVX2 micro-kernels for the packed GEMM engine. Installed at init when
+// the CPU reports AVX2 + FMA + OS-saved YMM state; excluded entirely by
+// the `noasm` build tag and skipped at runtime when VARADE_NOASM is set,
+// leaving the portable generic kernels in place.
+//
+// gemmKernel8x8AVX2 uses FMA — float32 is tolerance-gated, so fused
+// rounding is fine. gemmKernel4x4AVX2 deliberately uses separate VMULPD/
+// VADDPD: each output element's ascending-k single-accumulator chain
+// then rounds exactly like the scalar Go loops, keeping the float64
+// packed path bit-identical to the oracle (Go's compiler does not fuse
+// on amd64).
+
+// gemmKernel8x8AVX2 computes the 8×8 float32 tile update
+// c[i*ldc+j] += Σ_p aP[p*8+i]·bP[p*8+j] with FMA.
+//
+//go:noescape
+func gemmKernel8x8AVX2(c []float32, ldc int, aP, bP []float32, kc int)
+
+// gemmKernel4x4AVX2 computes the 4×4 float64 tile update with separate
+// multiply and add (bit-exact against the scalar oracle).
+//
+//go:noescape
+func gemmKernel4x4AVX2(c []float64, ldc int, aP, bP []float64, kc int)
+
+// cpuid executes CPUID with the given leaf/subleaf.
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register 0 (OS-enabled SIMD state).
+func xgetbv() (eax, edx uint32)
+
+// hasAVX2FMA reports whether this CPU (and OS) can run the AVX2+FMA
+// kernels: AVX + FMA + OSXSAVE advertised, YMM state saved by the OS,
+// and AVX2 in the extended feature leaf.
+func hasAVX2FMA() bool {
+	const (
+		fmaBit     = 1 << 12
+		osxsaveBit = 1 << 27
+		avxBit     = 1 << 28
+	)
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, ecx, _ := cpuid(1, 0)
+	if ecx&fmaBit == 0 || ecx&osxsaveBit == 0 || ecx&avxBit == 0 {
+		return false
+	}
+	if lo, _ := xgetbv(); lo&6 != 6 { // XMM and YMM state both OS-managed
+		return false
+	}
+	_, ebx, _, _ := cpuid(7, 0)
+	return ebx&(1<<5) != 0 // AVX2
+}
+
+func init() {
+	if os.Getenv("VARADE_NOASM") != "" || !hasAVX2FMA() {
+		return
+	}
+	gemmKern32 = gemmKernel8x8AVX2
+	gemmKern64 = gemmKernel4x4AVX2
+	gemmKernelName = "avx2"
+}

@@ -1,0 +1,157 @@
+//go:build !noasm
+
+#include "textflag.h"
+
+// func gemmKernel8x8AVX2(c []float32, ldc int, aP, bP []float32, kc int)
+//
+// 8×8 float32 micro-kernel, AVX2+FMA. The C tile lives in Y0–Y7 (one
+// 8-lane row per register) for the whole kc loop; each step broadcasts
+// one A value per row and FMAs it against the packed B row:
+//
+//	Y8 = bP[p*8 : p*8+8]
+//	Yi += broadcast(aP[p*8+i]) * Y8      i = 0..7
+TEXT ·gemmKernel8x8AVX2(SB), NOSPLIT, $0-88
+	MOVQ c_base+0(FP), DI
+	MOVQ ldc+24(FP), SI
+	MOVQ aP_base+32(FP), DX
+	MOVQ bP_base+56(FP), CX
+	MOVQ kc+80(FP), BX
+	SHLQ $2, SI              // row stride in bytes
+
+	// Load the C tile.
+	MOVQ    DI, R8
+	VMOVUPS (R8), Y0
+	ADDQ    SI, R8
+	VMOVUPS (R8), Y1
+	ADDQ    SI, R8
+	VMOVUPS (R8), Y2
+	ADDQ    SI, R8
+	VMOVUPS (R8), Y3
+	ADDQ    SI, R8
+	VMOVUPS (R8), Y4
+	ADDQ    SI, R8
+	VMOVUPS (R8), Y5
+	ADDQ    SI, R8
+	VMOVUPS (R8), Y6
+	ADDQ    SI, R8
+	VMOVUPS (R8), Y7
+
+	TESTQ BX, BX
+	JZ    store32
+
+loop32:
+	VMOVUPS      (CX), Y8
+	VBROADCASTSS (DX), Y9
+	VFMADD231PS  Y8, Y9, Y0
+	VBROADCASTSS 4(DX), Y10
+	VFMADD231PS  Y8, Y10, Y1
+	VBROADCASTSS 8(DX), Y11
+	VFMADD231PS  Y8, Y11, Y2
+	VBROADCASTSS 12(DX), Y12
+	VFMADD231PS  Y8, Y12, Y3
+	VBROADCASTSS 16(DX), Y9
+	VFMADD231PS  Y8, Y9, Y4
+	VBROADCASTSS 20(DX), Y10
+	VFMADD231PS  Y8, Y10, Y5
+	VBROADCASTSS 24(DX), Y11
+	VFMADD231PS  Y8, Y11, Y6
+	VBROADCASTSS 28(DX), Y12
+	VFMADD231PS  Y8, Y12, Y7
+	ADDQ         $32, DX
+	ADDQ         $32, CX
+	DECQ         BX
+	JNZ          loop32
+
+store32:
+	VMOVUPS Y0, (DI)
+	ADDQ    SI, DI
+	VMOVUPS Y1, (DI)
+	ADDQ    SI, DI
+	VMOVUPS Y2, (DI)
+	ADDQ    SI, DI
+	VMOVUPS Y3, (DI)
+	ADDQ    SI, DI
+	VMOVUPS Y4, (DI)
+	ADDQ    SI, DI
+	VMOVUPS Y5, (DI)
+	ADDQ    SI, DI
+	VMOVUPS Y6, (DI)
+	ADDQ    SI, DI
+	VMOVUPS Y7, (DI)
+	VZEROUPPER
+	RET
+
+// func gemmKernel4x4AVX2(c []float64, ldc int, aP, bP []float64, kc int)
+//
+// 4×4 float64 micro-kernel. Separate VMULPD/VADDPD — NOT fused — so each
+// output element accumulates with exactly the scalar loops' rounding:
+// this kernel must stay bit-identical to the float64 oracle (pack.go).
+TEXT ·gemmKernel4x4AVX2(SB), NOSPLIT, $0-88
+	MOVQ c_base+0(FP), DI
+	MOVQ ldc+24(FP), SI
+	MOVQ aP_base+32(FP), DX
+	MOVQ bP_base+56(FP), CX
+	MOVQ kc+80(FP), BX
+	SHLQ $3, SI              // row stride in bytes
+
+	// Load the C tile.
+	MOVQ    DI, R8
+	VMOVUPD (R8), Y0
+	ADDQ    SI, R8
+	VMOVUPD (R8), Y1
+	ADDQ    SI, R8
+	VMOVUPD (R8), Y2
+	ADDQ    SI, R8
+	VMOVUPD (R8), Y3
+
+	TESTQ BX, BX
+	JZ    store64
+
+loop64:
+	VMOVUPD      (CX), Y4
+	VBROADCASTSD (DX), Y5
+	VMULPD       Y4, Y5, Y5
+	VADDPD       Y5, Y0, Y0
+	VBROADCASTSD 8(DX), Y6
+	VMULPD       Y4, Y6, Y6
+	VADDPD       Y6, Y1, Y1
+	VBROADCASTSD 16(DX), Y7
+	VMULPD       Y4, Y7, Y7
+	VADDPD       Y7, Y2, Y2
+	VBROADCASTSD 24(DX), Y8
+	VMULPD       Y4, Y8, Y8
+	VADDPD       Y8, Y3, Y3
+	ADDQ         $32, DX
+	ADDQ         $32, CX
+	DECQ         BX
+	JNZ          loop64
+
+store64:
+	VMOVUPD Y0, (DI)
+	ADDQ    SI, DI
+	VMOVUPD Y1, (DI)
+	ADDQ    SI, DI
+	VMOVUPD Y2, (DI)
+	ADDQ    SI, DI
+	VMOVUPD Y3, (DI)
+	VZEROUPPER
+	RET
+
+// func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	MOVL $0, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

@@ -1,0 +1,35 @@
+//go:build !noasm
+
+package tensor
+
+import "os"
+
+// NEON micro-kernels for the packed GEMM engine on arm64 (the Jetson-
+// class boards internal/edge projects onto). ASIMD is an architectural
+// baseline on AArch64, so no feature detection is needed; the `noasm`
+// build tag excludes the kernels and VARADE_NOASM skips them at runtime.
+//
+// Both kernels use FMLA. On arm64 that matches the scalar oracle
+// bit-for-bit: the Go compiler fuses `acc += a*b` into FMADD on this
+// architecture, so fused per-lane accumulation in ascending-k order is
+// exactly the arithmetic the scalar float64 loops produce here.
+
+// gemmKernel8x8NEON computes the 8×8 float32 tile update
+// c[i*ldc+j] += Σ_p aP[p*8+i]·bP[p*8+j].
+//
+//go:noescape
+func gemmKernel8x8NEON(c []float32, ldc int, aP, bP []float32, kc int)
+
+// gemmKernel4x4NEON computes the 4×4 float64 tile update.
+//
+//go:noescape
+func gemmKernel4x4NEON(c []float64, ldc int, aP, bP []float64, kc int)
+
+func init() {
+	if os.Getenv("VARADE_NOASM") != "" {
+		return
+	}
+	gemmKern32 = gemmKernel8x8NEON
+	gemmKern64 = gemmKernel4x4NEON
+	gemmKernelName = "neon"
+}

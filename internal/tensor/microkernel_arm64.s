@@ -1,0 +1,140 @@
+//go:build !noasm
+
+#include "textflag.h"
+
+// func gemmKernel8x8NEON(c []float32, ldc int, aP, bP []float32, kc int)
+//
+// 8×8 float32 micro-kernel. The C tile lives in V0–V15 (two 4-lane
+// registers per row) across the kc loop; each step loads the 8-wide
+// packed B row into V16/V17 and the 8 A values into V18/V19, then
+// broadcasts one A lane per row and FMLAs it against the B row.
+TEXT ·gemmKernel8x8NEON(SB), NOSPLIT, $0-88
+	MOVD c_base+0(FP), R0
+	MOVD ldc+24(FP), R4
+	MOVD aP_base+32(FP), R1
+	MOVD bP_base+56(FP), R2
+	MOVD kc+80(FP), R3
+	LSL  $2, R4              // row stride in bytes
+
+	// Load the C tile.
+	MOVD R0, R5
+	VLD1 (R5), [V0.S4, V1.S4]
+	ADD  R4, R5
+	VLD1 (R5), [V2.S4, V3.S4]
+	ADD  R4, R5
+	VLD1 (R5), [V4.S4, V5.S4]
+	ADD  R4, R5
+	VLD1 (R5), [V6.S4, V7.S4]
+	ADD  R4, R5
+	VLD1 (R5), [V8.S4, V9.S4]
+	ADD  R4, R5
+	VLD1 (R5), [V10.S4, V11.S4]
+	ADD  R4, R5
+	VLD1 (R5), [V12.S4, V13.S4]
+	ADD  R4, R5
+	VLD1 (R5), [V14.S4, V15.S4]
+
+	CBZ R3, store32
+
+loop32:
+	VLD1.P 32(R2), [V16.S4, V17.S4] // b row: 8 float32
+	VLD1.P 32(R1), [V18.S4, V19.S4] // a lanes: 8 float32
+	VDUP   V18.S[0], V20.S4
+	VFMLA  V20.S4, V16.S4, V0.S4
+	VFMLA  V20.S4, V17.S4, V1.S4
+	VDUP   V18.S[1], V21.S4
+	VFMLA  V21.S4, V16.S4, V2.S4
+	VFMLA  V21.S4, V17.S4, V3.S4
+	VDUP   V18.S[2], V20.S4
+	VFMLA  V20.S4, V16.S4, V4.S4
+	VFMLA  V20.S4, V17.S4, V5.S4
+	VDUP   V18.S[3], V21.S4
+	VFMLA  V21.S4, V16.S4, V6.S4
+	VFMLA  V21.S4, V17.S4, V7.S4
+	VDUP   V19.S[0], V20.S4
+	VFMLA  V20.S4, V16.S4, V8.S4
+	VFMLA  V20.S4, V17.S4, V9.S4
+	VDUP   V19.S[1], V21.S4
+	VFMLA  V21.S4, V16.S4, V10.S4
+	VFMLA  V21.S4, V17.S4, V11.S4
+	VDUP   V19.S[2], V20.S4
+	VFMLA  V20.S4, V16.S4, V12.S4
+	VFMLA  V20.S4, V17.S4, V13.S4
+	VDUP   V19.S[3], V21.S4
+	VFMLA  V21.S4, V16.S4, V14.S4
+	VFMLA  V21.S4, V17.S4, V15.S4
+	SUB    $1, R3
+	CBNZ   R3, loop32
+
+store32:
+	MOVD R0, R5
+	VST1 [V0.S4, V1.S4], (R5)
+	ADD  R4, R5
+	VST1 [V2.S4, V3.S4], (R5)
+	ADD  R4, R5
+	VST1 [V4.S4, V5.S4], (R5)
+	ADD  R4, R5
+	VST1 [V6.S4, V7.S4], (R5)
+	ADD  R4, R5
+	VST1 [V8.S4, V9.S4], (R5)
+	ADD  R4, R5
+	VST1 [V10.S4, V11.S4], (R5)
+	ADD  R4, R5
+	VST1 [V12.S4, V13.S4], (R5)
+	ADD  R4, R5
+	VST1 [V14.S4, V15.S4], (R5)
+	RET
+
+// func gemmKernel4x4NEON(c []float64, ldc int, aP, bP []float64, kc int)
+//
+// 4×4 float64 micro-kernel: V0–V7 hold the C tile (two 2-lane registers
+// per row). FMLA's fused per-lane rounding matches the arm64 scalar
+// oracle, which the Go compiler also fuses (see microkernel_arm64.go).
+TEXT ·gemmKernel4x4NEON(SB), NOSPLIT, $0-88
+	MOVD c_base+0(FP), R0
+	MOVD ldc+24(FP), R4
+	MOVD aP_base+32(FP), R1
+	MOVD bP_base+56(FP), R2
+	MOVD kc+80(FP), R3
+	LSL  $3, R4              // row stride in bytes
+
+	// Load the C tile.
+	MOVD R0, R5
+	VLD1 (R5), [V0.D2, V1.D2]
+	ADD  R4, R5
+	VLD1 (R5), [V2.D2, V3.D2]
+	ADD  R4, R5
+	VLD1 (R5), [V4.D2, V5.D2]
+	ADD  R4, R5
+	VLD1 (R5), [V6.D2, V7.D2]
+
+	CBZ R3, store64
+
+loop64:
+	VLD1.P 32(R2), [V16.D2, V17.D2] // b row: 4 float64
+	VLD1.P 32(R1), [V18.D2, V19.D2] // a lanes: 4 float64
+	VDUP   V18.D[0], V20.D2
+	VFMLA  V20.D2, V16.D2, V0.D2
+	VFMLA  V20.D2, V17.D2, V1.D2
+	VDUP   V18.D[1], V21.D2
+	VFMLA  V21.D2, V16.D2, V2.D2
+	VFMLA  V21.D2, V17.D2, V3.D2
+	VDUP   V19.D[0], V20.D2
+	VFMLA  V20.D2, V16.D2, V4.D2
+	VFMLA  V20.D2, V17.D2, V5.D2
+	VDUP   V19.D[1], V21.D2
+	VFMLA  V21.D2, V16.D2, V6.D2
+	VFMLA  V21.D2, V17.D2, V7.D2
+	SUB    $1, R3
+	CBNZ   R3, loop64
+
+store64:
+	MOVD R0, R5
+	VST1 [V0.D2, V1.D2], (R5)
+	ADD  R4, R5
+	VST1 [V2.D2, V3.D2], (R5)
+	ADD  R4, R5
+	VST1 [V4.D2, V5.D2], (R5)
+	ADD  R4, R5
+	VST1 [V6.D2, V7.D2], (R5)
+	RET

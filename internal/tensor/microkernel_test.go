@@ -1,0 +1,184 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// Cross-kernel equivalence: the packed engine must agree with the scalar
+// loops under every kernel family — bit-for-bit at float64 (the oracle
+// contract), within 1e-4 relative at float32 — across shapes that are
+// not multiples of the tile sizes and shapes that cross the gemmKC/NC
+// cache-block boundaries (where the ascending-k chain is easiest to
+// break). Under `-tags noasm` the same tests prove the portable generic
+// path is complete on its own.
+
+// oddShapes stresses tile edges (m,n,k ∤ MR/NR) and block boundaries
+// (k > gemmKC, n > gemmNC).
+var oddShapes = []struct{ m, k, n int }{
+	{1, 1, 1},
+	{3, 5, 7},
+	{8, 8, 8},
+	{9, 13, 10},
+	{13, 17, 11},
+	{5, 300, 3},    // k crosses gemmKC with a tail
+	{7, 512, 9},    // k exactly two blocks
+	{66, 30, 70},   // m and n edges on 8- and 4-wide tiles
+	{70, 260, 270}, // k and n cross blocks together
+}
+
+// refGEMM is an independent scalar reference with the oracle summation
+// order: one accumulator per element, ascending k.
+func refGEMM[T Float](a, b *Dense[T], transB bool) *Dense[T] {
+	m, k := a.Dim(0), a.Dim(1)
+	var n int
+	if transB {
+		n = b.Dim(0)
+	} else {
+		n = b.Dim(1)
+	}
+	out := NewOf[T](m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var acc T
+			for p := 0; p < k; p++ {
+				if transB {
+					acc += a.At2(i, p) * b.At2(j, p)
+				} else {
+					acc += a.At2(i, p) * b.At2(p, j)
+				}
+			}
+			out.Set2(acc, i, j)
+		}
+	}
+	return out
+}
+
+// withGenericKernels runs f with the portable micro-kernels installed,
+// restoring the active (possibly asm) kernels afterwards.
+func withGenericKernels(f func()) {
+	old32, old64, oldName := gemmKern32, gemmKern64, gemmKernelName
+	gemmKern32, gemmKern64, gemmKernelName = gemmKernelGeneric32, gemmKernelGeneric64, "generic"
+	defer func() { gemmKern32, gemmKern64, gemmKernelName = old32, old64, oldName }()
+	f()
+}
+
+func packedInto[T Float](a, b *Dense[T], transB bool) *Dense[T] {
+	m := a.Dim(0)
+	n := b.Dim(1)
+	if transB {
+		n = b.Dim(0)
+	}
+	out := NewOf[T](m, n)
+	gemmPackedInto(out.Data(), a.Data(), b.Data(), m, n, a.Dim(1), transB)
+	return out
+}
+
+func checkF64Bitwise(t *testing.T, ctx string, got, want *Dense[float64]) {
+	t.Helper()
+	gd, wd := got.Data(), want.Data()
+	for i := range wd {
+		if math.Float64bits(gd[i]) != math.Float64bits(wd[i]) {
+			t.Fatalf("%s: element %d = %x, oracle %x (not bit-identical)", ctx, i, gd[i], wd[i])
+		}
+	}
+}
+
+func checkF32Close(t *testing.T, ctx string, got, want *Dense[float32]) {
+	t.Helper()
+	gd, wd := got.Data(), want.Data()
+	for i := range wd {
+		diff := math.Abs(float64(gd[i]) - float64(wd[i]))
+		scale := math.Max(1, math.Abs(float64(wd[i])))
+		if diff/scale > 1e-4 {
+			t.Fatalf("%s: element %d = %g, reference %g (rel err %g)", ctx, i, gd[i], wd[i], diff/scale)
+		}
+	}
+}
+
+func TestPackedGEMMEquivalence(t *testing.T) {
+	for _, s := range oddShapes {
+		for _, transB := range []bool{false, true} {
+			name := fmt.Sprintf("%dx%dx%d/transB=%v", s.m, s.k, s.n, transB)
+			t.Run(name, func(t *testing.T) {
+				rng := NewRNG(uint64(s.m*1000 + s.k*10 + s.n))
+				a64 := RandNormal(rng, 0, 1, s.m, s.k)
+				bs := []int{s.k, s.n}
+				if transB {
+					bs = []int{s.n, s.k}
+				}
+				b64 := RandNormal(rng, 0, 1, bs...)
+				a32, b32 := Convert[float32](a64), Convert[float32](b64)
+				want64 := refGEMM(a64, b64, transB)
+				want32 := refGEMM(a32, b32, transB)
+
+				// Active kernels (asm when the CPU has it).
+				checkF64Bitwise(t, gemmKernelName+"/f64", packedInto(a64, b64, transB), want64)
+				checkF32Close(t, gemmKernelName+"/f32", packedInto(a32, b32, transB), want32)
+
+				// Portable kernels, and asm-vs-generic agreement.
+				withGenericKernels(func() {
+					gen64 := packedInto(a64, b64, transB)
+					checkF64Bitwise(t, "generic/f64", gen64, want64)
+					checkF32Close(t, "generic/f32", packedInto(a32, b32, transB), want32)
+				})
+			})
+		}
+	}
+}
+
+// TestPackedDispatchThreshold pins the public entry points: a product
+// over the packing threshold must produce the oracle result through
+// MatMulInto/MatMulTransBInto exactly as the sub-threshold scalar loops
+// do.
+func TestPackedDispatchThreshold(t *testing.T) {
+	rng := NewRNG(7)
+	a := RandNormal(rng, 0, 1, 65, 66)
+	b := RandNormal(rng, 0, 1, 66, 67)
+	if !usePacked(65, 66, 67) {
+		t.Fatalf("usePacked(65,66,67) = false, want the packed engine for this size")
+	}
+	checkF64Bitwise(t, "MatMulInto", MatMul(a, b), refGEMM(a, b, false))
+	bt := RandNormal(rng, 0, 1, 67, 66)
+	checkF64Bitwise(t, "MatMulTransBInto", MatMulTransB(a, bt), refGEMM(a, bt, true))
+}
+
+// TestGemmKernelName sanity-checks the dispatch report so CI logs can
+// trust it; run with -v to see which kernel a runner dispatched.
+func TestGemmKernelName(t *testing.T) {
+	switch GemmKernelName() {
+	case "avx2", "neon", "generic":
+		t.Logf("gemm kernel dispatch: %s", GemmKernelName())
+	default:
+		t.Fatalf("GemmKernelName() = %q, want avx2|neon|generic", GemmKernelName())
+	}
+}
+
+// FuzzPackedGEMM drives random shapes (including degenerate and
+// tile-misaligned ones) through both kernel families against the scalar
+// reference.
+func FuzzPackedGEMM(f *testing.F) {
+	f.Add(uint8(9), uint8(13), uint8(10), false, uint64(1))
+	f.Add(uint8(8), uint8(8), uint8(8), true, uint64(2))
+	f.Add(uint8(1), uint8(255), uint8(3), false, uint64(3))
+	f.Fuzz(func(t *testing.T, m8, k8, n8 uint8, transB bool, seed uint64) {
+		m, k, n := int(m8)%48+1, int(k8)+1, int(n8)%48+1
+		rng := NewRNG(seed)
+		a := RandNormal(rng, 0, 1, m, k)
+		bs := []int{k, n}
+		if transB {
+			bs = []int{n, k}
+		}
+		b := RandNormal(rng, 0, 1, bs...)
+		a32, b32 := Convert[float32](a), Convert[float32](b)
+		want64 := refGEMM(a, b, transB)
+		want32 := refGEMM(a32, b32, transB)
+		checkF64Bitwise(t, "active/f64", packedInto(a, b, transB), want64)
+		checkF32Close(t, "active/f32", packedInto(a32, b32, transB), want32)
+		withGenericKernels(func() {
+			checkF64Bitwise(t, "generic/f64", packedInto(a, b, transB), want64)
+			checkF32Close(t, "generic/f32", packedInto(a32, b32, transB), want32)
+		})
+	})
+}

@@ -1,0 +1,181 @@
+package tensor
+
+// BLIS-style packed GEMM engine. Large products are computed by carving
+// A and B into cache-blocked panels (copied once into contiguous, tile-
+// aligned scratch buffers from the arena pool) and sweeping a register-
+// blocked micro-kernel over the packed panels:
+//
+//	for jc over n in gemmNC columns:          B panel block
+//	  for pc over k in gemmKC:                packed once per block
+//	    packB: (kc × nc) → NR-column panels, p-major, zero-padded
+//	    parallel over MR-row panels of A:     sharding unit = panel tile
+//	      packA: (MR × kc) p-major panel (L1-resident)
+//	      for each NR panel of B: micro-kernel C(MR×NR) += aP·bP
+//
+// The micro-kernel itself is swapped at runtime (see dispatch.go): a
+// portable register-blocked Go kernel, or AVX2+FMA / NEON assembly when
+// the CPU has it and neither the `noasm` build tag nor VARADE_NOASM is
+// set. Tile sizes are fixed per element type — 8×8 float32, 4×4 float64 —
+// so the packed layout is identical whichever kernel runs.
+//
+// Float64 ordering contract: every kernel (generic, AVX2, NEON, edge)
+// accumulates each output element along a single chain in ascending-p
+// order — exactly the summation order of the scalar loops in matmul.go —
+// so the packed float64 path is bit-identical to the historical oracle.
+// kc blocking preserves the chain because the kernel loads the partial C
+// tile first and keeps accumulating in order. The float32 kernels are
+// free to reassociate and fuse (the asm uses FMA); float32 is tolerance-
+// gated, not bit-gated.
+//
+// MatMulTransAInto (the dW = xᵀ·dy gradient path) stays on its scalar
+// kernel: it runs only during training, where float64 reproducibility
+// matters more than the last 2× of throughput.
+
+// Cache-blocking parameters. kc × MR panels of A stay L1-resident
+// (256·8·4 B = 8 KiB float32); the packed B block (kc × nc) targets L2.
+const (
+	gemmKC = 256
+	gemmNC = 256
+
+	// packedMinWork is the m·k·n multiply-add count below which the
+	// packing copies cannot be amortised and the scalar kernels win.
+	packedMinWork = 64 * 64 * 64
+)
+
+// gemmTiles returns the micro-kernel tile (MR, NR) for element type T.
+func gemmTiles[T Float]() (mr, nr int) {
+	var z T
+	if _, ok := any(z).(float32); ok {
+		return 8, 8
+	}
+	return 4, 4
+}
+
+// usePacked reports whether the packed engine should run this product.
+func usePacked(m, k, n int) bool {
+	return m*k*n >= packedMinWork
+}
+
+// packAPanel copies rows [i0, i0+rows) × cols [pc, pc+kc) of a (row-major,
+// stride lda) into aP in p-major tile order: aP[p*MR+ii] = a[i0+ii, pc+p].
+// Rows past `rows` (edge of the matrix) are zero so the full-tile kernel
+// geometry is uniform; edge tiles never read the padding lanes of C.
+func packAPanel[T Float](aP, a []T, lda, i0, rows, pc, kc, mrTile int) {
+	for ii := 0; ii < rows; ii++ {
+		arow := a[(i0+ii)*lda+pc : (i0+ii)*lda+pc+kc]
+		for p, v := range arow {
+			aP[p*mrTile+ii] = v
+		}
+	}
+	for ii := rows; ii < mrTile; ii++ {
+		for p := 0; p < kc; p++ {
+			aP[p*mrTile+ii] = 0
+		}
+	}
+}
+
+// packBPanels copies the (kc × nc) block of B at (pc, jc) into NR-column
+// panels: panel q holds columns [jc+q·NR, …), p-major, zero-padded to NR.
+// transB selects the source layout: false reads b as (k, n) row-major
+// (MatMul), true reads b as (n, k) row-major and packs its rows as
+// columns (MatMulTransB) — the packed form is identical, so one kernel
+// serves both entry points.
+func packBPanels[T Float](bP, b []T, ldb int, transB bool, pc, kc, jc, nc, nrTile int) {
+	npan := (nc + nrTile - 1) / nrTile
+	if !transB {
+		for p := 0; p < kc; p++ {
+			brow := b[(pc+p)*ldb+jc : (pc+p)*ldb+jc+nc]
+			dst := bP[p*nrTile:]
+			for q := 0; q < npan; q++ {
+				j0 := q * nrTile
+				nr := min(nrTile, nc-j0)
+				pan := dst[q*kc*nrTile : q*kc*nrTile+nrTile]
+				copy(pan, brow[j0:j0+nr])
+				for jj := nr; jj < nrTile; jj++ {
+					pan[jj] = 0
+				}
+			}
+		}
+		return
+	}
+	for q := 0; q < npan; q++ {
+		j0 := q * nrTile
+		nr := min(nrTile, nc-j0)
+		pan := bP[q*kc*nrTile:]
+		for jj := 0; jj < nr; jj++ {
+			brow := b[(jc+j0+jj)*ldb+pc : (jc+j0+jj)*ldb+pc+kc]
+			for p, v := range brow {
+				pan[p*nrTile+jj] = v
+			}
+		}
+		for jj := nr; jj < nrTile; jj++ {
+			for p := 0; p < kc; p++ {
+				pan[p*nrTile+jj] = 0
+			}
+		}
+	}
+}
+
+// microEdge handles partial tiles (mr < MR or nr < NR) directly against
+// C: one accumulator per element, ascending-p — the same chain as both
+// the scalar loops and the full-tile kernels, so edges keep float64
+// bit-exactness.
+func microEdge[T Float](c []T, ldc int, aP, bP []T, kc, mrTile, nrTile, mr, nr int) {
+	for i := 0; i < mr; i++ {
+		crow := c[i*ldc : i*ldc+nr]
+		for j := 0; j < nr; j++ {
+			acc := crow[j]
+			for p := 0; p < kc; p++ {
+				acc += aP[p*mrTile+i] * bP[p*nrTile+j]
+			}
+			crow[j] = acc
+		}
+	}
+}
+
+// gemmPackedInto computes od = a·b (transB=false, b is (k,n)) or od =
+// a·bᵀ (transB=true, b is (n,k)) through the packed engine. od must be
+// fully distinct from a and b and have m·n elements.
+func gemmPackedInto[T Float](od, ad, bd []T, m, n, k int, transB bool) {
+	mrT, nrT := gemmTiles[T]()
+	kern := microKernelFor[T]()
+	clear(od)
+	ldb := n
+	if transB {
+		ldb = k
+	}
+	rowPanels := (m + mrT - 1) / mrT
+	ar := GetArenaOf[T]()
+	defer PutArena(ar)
+	for jc := 0; jc < n; jc += gemmNC {
+		nc := min(gemmNC, n-jc)
+		npan := (nc + nrT - 1) / nrT
+		for pc := 0; pc < k; pc += gemmKC {
+			kc := min(gemmKC, k-pc)
+			// rawFloats: packB overwrites every element, padding included.
+			bP := ar.rawFloats(npan * kc * nrT)
+			packBPanels(bP, bd, ldb, transB, pc, kc, jc, nc, nrT)
+			Parallel(rowPanels, func(lo, hi int) {
+				war := GetArenaOf[T]()
+				defer PutArena(war)
+				aP := war.rawFloats(kc * mrT)
+				for ir := lo; ir < hi; ir++ {
+					i0 := ir * mrT
+					mr := min(mrT, m-i0)
+					packAPanel(aP, ad, k, i0, mr, pc, kc, mrT)
+					for q := 0; q < npan; q++ {
+						j0 := jc + q*nrT
+						nr := min(nrT, n-j0)
+						ct := od[i0*n+j0:]
+						bq := bP[q*kc*nrT:]
+						if mr == mrT && nr == nrT {
+							kern(ct, n, aP, bq, kc)
+						} else {
+							microEdge(ct, n, aP, bq, kc, mrT, nrT, mr, nr)
+						}
+					}
+				}
+			})
+		}
+	}
+}

@@ -182,6 +182,37 @@ func (a *Arena[T]) Floats(n int) []T {
 	return s
 }
 
+// rawFloats is Floats without the zero fill, for callers (the GEMM
+// packing routines) that overwrite every element themselves.
+func (a *Arena[T]) rawFloats(n int) []T {
+	if a.off+n > len(a.buf) {
+		if n <= cap(a.buf)-a.off {
+			a.buf = a.buf[:a.off+n]
+		} else if a.off == 0 {
+			a.buf = make([]T, n)
+		} else {
+			return a.bigRawFloats(n)
+		}
+	}
+	s := a.buf[a.off : a.off+n]
+	a.off += n
+	return s
+}
+
+func (a *Arena[T]) bigRawFloats(n int) []T {
+	for ; a.next < len(a.big); a.next++ {
+		if cap(a.big[a.next]) >= n {
+			s := a.big[a.next][:n]
+			a.next++
+			return s
+		}
+	}
+	s := make([]T, n)
+	a.big = append(a.big, s)
+	a.next = len(a.big)
+	return s
+}
+
 func (a *Arena[T]) bigFloats(n int) []T {
 	for ; a.next < len(a.big); a.next++ {
 		if cap(a.big[a.next]) >= n {
