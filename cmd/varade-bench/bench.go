@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"varade"
+	"varade/internal/baselines/arlstm"
 	"varade/internal/core"
 	"varade/internal/detect"
 	"varade/internal/serve"
@@ -264,6 +265,17 @@ func runBenchSuite(jsonPath string, seed uint64) error {
 		}
 	}
 
+	// The AR-LSTM baseline rides the small-product TransB fast path: its
+	// per-step gate GEMMs are far below the packed-engine threshold, so
+	// this case tracks the small-matrix kernels the VARADE cases never
+	// exercise. A shorter stream keeps the recurrent cost in budget.
+	lstm, err := arlstm.New(arlstm.EdgeConfig(channels))
+	if err != nil {
+		return err
+	}
+	lstmSeries := series.SliceRows(0, 4096)
+	lstmWindows := lstmSeries.Dim(0)
+
 	const mmN = 128
 	x64 := tensor.RandNormal(tensor.NewRNG(1), 0, 1, mmN, mmN)
 	y64 := tensor.RandNormal(tensor.NewRNG(2), 0, 1, mmN, mmN)
@@ -296,6 +308,11 @@ func runBenchSuite(jsonPath string, seed uint64) error {
 		{"Figure3ScoreStream", windows, scoreStream(varade.PrecisionFloat64)},
 		{"Figure3ScoreStreamF32", windows, scoreStream(varade.PrecisionFloat32)},
 		{"Figure3ScoreStreamInt8", windows, scoreStream(varade.PrecisionInt8)},
+		{"ARLSTMScoreStream", lstmWindows, func(n int) {
+			for i := 0; i < n; i++ {
+				detect.ScoreSeriesBatched(lstm, lstmSeries)
+			}
+		}},
 	}
 
 	results := measureSuite(suite)
@@ -313,7 +330,7 @@ func runBenchSuite(jsonPath string, seed uint64) error {
 	fleet.close()
 	// Which micro-kernel family produced these numbers: cross-runner
 	// comparisons are only meaningful on the same dispatch.
-	fmt.Printf("gemm kernel: %s\n", tensor.GemmKernelName())
+	fmt.Printf("gemm kernel: %s, qgemm kernel: %s\n", tensor.GemmKernelName(), tensor.QGemmKernelName())
 	for _, res := range results {
 		if res.WindowsPerSec > 0 {
 			fmt.Printf("%-24s %12.0f ns/op %8d allocs/op %12.0f windows/s\n",
@@ -325,8 +342,9 @@ func runBenchSuite(jsonPath string, seed uint64) error {
 
 	if jsonPath != "" {
 		blob, err := json.MarshalIndent(map[string]any{
-			"gemm_kernel": tensor.GemmKernelName(),
-			"benchmarks":  results,
+			"gemm_kernel":  tensor.GemmKernelName(),
+			"qgemm_kernel": tensor.QGemmKernelName(),
+			"benchmarks":   results,
 		}, "", "  ")
 		if err != nil {
 			return err

@@ -18,8 +18,23 @@ import (
 type benchFile struct {
 	// GemmKernel records which micro-kernel family produced the numbers
 	// ("avx2", "neon", "generic"); absent in pre-PR-5 baselines.
-	GemmKernel string        `json:"gemm_kernel,omitempty"`
-	Benchmarks []BenchResult `json:"benchmarks"`
+	GemmKernel string `json:"gemm_kernel,omitempty"`
+	// QGemmKernel is the int8 GEMM family; absent in pre-PR-6 baselines.
+	QGemmKernel string        `json:"qgemm_kernel,omitempty"`
+	Benchmarks  []BenchResult `json:"benchmarks"`
+}
+
+// kernelLabel renders a file's kernel families for the diff/trend
+// headers, spelling out baselines that predate the recording.
+func kernelLabel(f benchFile) string {
+	g, q := f.GemmKernel, f.QGemmKernel
+	if g == "" {
+		g = "unrecorded"
+	}
+	if q == "" {
+		q = "unrecorded"
+	}
+	return fmt.Sprintf("%s (qgemm %s)", g, q)
 }
 
 func readBenchFileRaw(path string) (benchFile, error) {
@@ -35,16 +50,12 @@ func readBenchFileRaw(path string) (benchFile, error) {
 }
 
 // readBenchFile loads a baseline once, returning its results by name,
-// their file order, and the recorded kernel family ("unrecorded" for
-// pre-PR-5 files).
+// their file order, and the recorded kernel families ("unrecorded" for
+// baselines that predate the field).
 func readBenchFile(path string) (map[string]BenchResult, []string, string, error) {
 	f, err := readBenchFileRaw(path)
 	if err != nil {
 		return nil, nil, "", err
-	}
-	kernel := f.GemmKernel
-	if kernel == "" {
-		kernel = "unrecorded"
 	}
 	out := make(map[string]BenchResult, len(f.Benchmarks))
 	order := make([]string, 0, len(f.Benchmarks))
@@ -52,7 +63,7 @@ func readBenchFile(path string) (map[string]BenchResult, []string, string, error
 		out[b.Name] = b
 		order = append(order, b.Name)
 	}
-	return out, order, kernel, nil
+	return out, order, kernelLabel(f), nil
 }
 
 // runDiff prints the old→new movement per benchmark and returns an error

@@ -36,7 +36,7 @@ func runTrend(paths []string) error {
 			order = append(order, b.Name)
 		}
 		label := strings.TrimSuffix(filepath.Base(p), ".json")
-		cols = append(cols, column{label: label, kernel: f.GemmKernel, res: res, order: order})
+		cols = append(cols, column{label: label, kernel: kernelLabel(f), res: res, order: order})
 	}
 
 	// Union of benchmark names, first-appearance order.
@@ -53,11 +53,7 @@ func runTrend(paths []string) error {
 
 	fmt.Println("windows/s trajectory (oldest → newest; Δ vs previous baseline, Σ vs first)")
 	for _, c := range cols {
-		k := c.kernel
-		if k == "" {
-			k = "unrecorded"
-		}
-		fmt.Printf("  %-20s gemm kernel: %s\n", c.label, k)
+		fmt.Printf("  %-20s gemm kernel: %s\n", c.label, c.kernel)
 	}
 	fmt.Println()
 

@@ -49,7 +49,7 @@ func main() {
 		log.Fatalf("unknown -quantize %q (only int8 is supported)", *quantize)
 	}
 
-	series, err := loadOrSimulate(*in, *seconds, *seed, *subset)
+	series, test, labels, err := loadOrSimulate(*in, *seconds, *seed, *subset)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -81,6 +81,13 @@ func main() {
 	if err := model.SetPrecision(prec); err != nil {
 		log.Fatal(err)
 	}
+	if prec == varade.PrecisionInt8 {
+		// Calibrate the activation scales over the tail of the training
+		// stream so the saved container carries them (a model saved
+		// uncalibrated would re-calibrate on its first served batch), and
+		// report what the quantizer saw.
+		reportCalibration(model, series, test, labels)
+	}
 	if err := model.Save(*out); err != nil {
 		log.Fatal(err)
 	}
@@ -92,25 +99,30 @@ func main() {
 		model.Precision(), *out, info.Size(), model.WeightBytes())
 }
 
-func loadOrSimulate(path string, seconds float64, seed uint64, subset bool) (*varade.Tensor, error) {
+// loadOrSimulate returns the training series plus, for simulated runs,
+// the labelled test stream (nil for CSV input — user data carries no
+// ground truth, so the calibration report skips the AUC comparison).
+func loadOrSimulate(path string, seconds float64, seed uint64, subset bool) (series, test *varade.Tensor, labels []bool, err error) {
 	if path == "" {
 		cfg := varade.SmallDatasetConfig()
 		cfg.Sim.Seed = seed
 		cfg.TrainSeconds = seconds
-		cfg.TestSeconds = 30 // unused, but must fit the injected collision
+		cfg.TestSeconds = 30 // must fit the injected collision
 		cfg.Collisions = 1
 		ds, err := varade.GenerateDataset(cfg)
 		if err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
 		if subset {
-			return varade.SelectChannels(ds.Train, varade.InterestingChannels()), nil
+			idx := varade.InterestingChannels()
+			return varade.SelectChannels(ds.Train, idx),
+				varade.SelectChannels(ds.Test, idx), ds.Labels, nil
 		}
-		return ds.Train, nil
+		return ds.Train, ds.Test, ds.Labels, nil
 	}
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	defer f.Close()
 	var rows [][]float64
@@ -119,18 +131,57 @@ func loadOrSimulate(path string, seconds float64, seed uint64, subset bool) (*va
 		return true
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	if len(rows) == 0 {
-		return nil, fmt.Errorf("no samples in %s", path)
+		return nil, nil, nil, fmt.Errorf("no samples in %s", path)
 	}
 	c := len(rows[0])
 	t := tensor.New(len(rows), c)
 	for i, r := range rows {
 		if len(r) != c {
-			return nil, fmt.Errorf("row %d has %d fields, want %d", i, len(r), c)
+			return nil, nil, nil, fmt.Errorf("row %d has %d fields, want %d", i, len(r), c)
 		}
 		copy(t.Row(i).Data(), r)
 	}
-	return t, nil
+	return t, nil, nil, nil
+}
+
+// calibTailSamples bounds the calibration slice: enough windows to see
+// representative activation ranges, small enough to stay instant.
+const calibTailSamples = 2048
+
+// reportCalibration scores the tail of the training stream at int8 —
+// which latches the activation scales the container will carry — then
+// prints the per-stage calibration report and, when a labelled test
+// stream is available, the int8-vs-float64 AUC delta.
+func reportCalibration(model *varade.Model, series, test *varade.Tensor, labels []bool) {
+	calib := series
+	if n := series.Dim(0); n > calibTailSamples {
+		calib = series.SliceRows(n-calibTailSamples, n)
+	}
+	varade.ScoreSeriesBatched(model, calib)
+	fmt.Printf("int8 activation calibration (%d-sample tail of the training stream):\n", calib.Dim(0))
+	fmt.Printf("  %-10s %12s %12s %11s %5s %9s\n", "stage", "range lo", "range hi", "scale", "zero", "clipped")
+	for _, s := range model.CalibrationStats() {
+		fmt.Printf("  %-10s %12.5f %12.5f %11.7f %5d %8.3f%%\n",
+			s.Label, s.Lo, s.Hi, s.Scale, s.Zero, s.ClippedPct)
+	}
+	if test == nil {
+		fmt.Println("  no labelled test stream: skipping the int8-vs-float64 AUC check")
+		return
+	}
+	int8Scores := varade.ScoreSeriesBatched(model, test)
+	aucInt8 := varade.AUCROC(int8Scores, labels)
+	// SetPrecision keeps the quantization and calibration state, so the
+	// round trip through float64 leaves the saved int8 container intact.
+	if err := model.SetPrecision(varade.PrecisionFloat64); err != nil {
+		log.Fatal(err)
+	}
+	aucF64 := varade.AUCROC(varade.ScoreSeriesBatched(model, test), labels)
+	if err := model.SetPrecision(varade.PrecisionInt8); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  test AUC-ROC: int8 %.4f, float64 %.4f (delta %+.4f)\n",
+		aucInt8, aucF64, aucInt8-aucF64)
 }

@@ -216,9 +216,10 @@ func (m *Model) Save(path string) error {
 			func(w io.Writer) error { return nn.SaveParamsF32(w, m.Params()) })
 	case PrecisionInt8:
 		cache := m.quantCacheLazy()
+		acts := m.actSetLazy()
 		return modelio.SaveFileDType(path, modelio.KindVARADE, modelio.DTypeInt8, m.cfg,
 			func(w io.Writer) error {
-				return nn.SaveParamsQuant(w, m.Params(), func(p *nn.Param) *nn.QuantTensor { return cache[p] })
+				return nn.SaveParamsQuant(w, m.Params(), func(p *nn.Param) *nn.QuantTensor { return cache[p] }, acts)
 			})
 	default:
 		return nn.SaveModelFile(path, modelio.KindVARADE, m.cfg, m.Params())
@@ -272,12 +273,13 @@ func (m *Model) loadPayload(r io.Reader, dtype string) error {
 	case modelio.DTypeFloat32:
 		return nn.LoadParamsF32(r, m.Params())
 	case modelio.DTypeInt8:
-		cache, err := nn.LoadParamsQuant(r, m.Params())
+		cache, acts, err := nn.LoadParamsQuant(r, m.Params())
 		if err != nil {
 			return err
 		}
 		m.inf.mu.Lock()
 		m.inf.quant = cache
+		m.inf.acts = acts // nil for legacy files: calibrates on first batch
 		m.inf.mu.Unlock()
 		return nil
 	default:

@@ -23,6 +23,7 @@ type inferState struct {
 	net32 *nn.InferenceNet[float32] // compiled float32 program
 	qnet  *nn.InferenceNet[float32] // compiled int8-weight program
 	quant nn.QuantCache             // authoritative int8 blocks (loaded or freshly quantized)
+	acts  *nn.ActSet                // activation scales of the int8 lane (loaded or calibrated)
 }
 
 // Precision reports the effective inference precision ("float64",
@@ -62,11 +63,12 @@ func (m *Model) SetPrecision(p string) error {
 	return nil
 }
 
-// invalidateInference drops every compiled program and quantization; called
-// when the float64 weights change (training, loading).
+// invalidateInference drops every compiled program, quantization and
+// activation calibration; called when the float64 weights change
+// (training, loading).
 func (m *Model) invalidateInference() {
 	m.inf.mu.Lock()
-	m.inf.net32, m.inf.qnet, m.inf.quant = nil, nil, nil
+	m.inf.net32, m.inf.qnet, m.inf.quant, m.inf.acts = nil, nil, nil, nil
 	m.inf.mu.Unlock()
 }
 
@@ -113,7 +115,12 @@ func (m *Model) qnetLazy() *nn.InferenceNet[float32] {
 		if m.inf.quant == nil {
 			m.inf.quant = make(nn.QuantCache)
 		}
-		net, err := nn.CompileQuantized(m.inf.quant, m.trunk, m.flat)
+		if m.inf.acts == nil {
+			// Fresh (or legacy-loaded) model: activation scales calibrate
+			// on the first scored batch and persist with the next Save.
+			m.inf.acts = nn.NewActSet()
+		}
+		net, err := nn.CompileQuantizedActs(m.inf.quant, m.inf.acts, m.trunk, m.flat)
 		if err != nil {
 			panic(fmt.Sprintf("core: compiling int8 inference: %v", err))
 		}
@@ -122,10 +129,54 @@ func (m *Model) qnetLazy() *nn.InferenceNet[float32] {
 		_, hb := m.headLogVarRows()
 		b32 := make([]float32, c)
 		tensor.ConvertSlice(b32, hb.Data())
-		nn.AppendDenseQuant(net, qFull.SliceRows(c, 2*c), b32)
+		nn.AppendDenseQuant(net, m.inf.acts, qFull.SliceRows(c, 2*c), b32)
 		m.inf.qnet = net
 	}
 	return m.inf.qnet
+}
+
+// actSetLazy ensures the int8 program (and with it the activation-scale
+// registration) exists and returns the model's ActSet — the Save path
+// and the calibration report read it.
+func (m *Model) actSetLazy() *nn.ActSet {
+	m.qnetLazy()
+	m.inf.mu.Lock()
+	defer m.inf.mu.Unlock()
+	return m.inf.acts
+}
+
+// CalibrationStat is one activation-quantization entry of the int8 lane,
+// as exposed by the training tool's calibration report: the stage label,
+// the observed float range behind the latched scale/zero-point, and the
+// live clipping statistics (what fraction of post-calibration activation
+// values saturated the int8 boundary).
+type CalibrationStat struct {
+	Label      string  // stage input, e.g. "conv0.in", "head.in"
+	Lo, Hi     float64 // observed calibration range (0-anchored)
+	Scale      float32 // 0 until calibrated
+	Zero       int8
+	ClippedPct float64 // % of live values clamped to ±int8 range
+	Observed   int64   // live values quantized since calibration
+}
+
+// CalibrationStats returns the int8 lane's activation-quantization
+// entries in compile order. Entries report Scale 0 until a batch has been
+// scored at int8 (calibration is lazy); restored containers report their
+// scales but a zero observed range.
+func (m *Model) CalibrationStats() []CalibrationStat {
+	acts := m.actSetLazy()
+	entries := acts.Entries()
+	stats := make([]CalibrationStat, 0, len(entries))
+	for _, e := range entries {
+		lo, hi := e.Range()
+		frac, total := e.ClippedFraction()
+		stats = append(stats, CalibrationStat{
+			Label: e.Label, Lo: lo, Hi: hi,
+			Scale: e.Scale, Zero: e.Zero,
+			ClippedPct: 100 * frac, Observed: total,
+		})
+	}
+	return stats
 }
 
 // quantCacheLazy ensures every quantizable weight has an int8 block and

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"varade/internal/detect"
+	"varade/internal/eval"
 	"varade/internal/modelio"
 	"varade/internal/tensor"
 )
@@ -142,6 +143,85 @@ func TestInt8SaveLoadRoundTrip(t *testing.T) {
 	if string(b1) != string(b2) {
 		t.Fatal("int8 re-save is not byte-identical")
 	}
+}
+
+// TestInt8LegacyContainerNoActs guards the backward-compat acceptance
+// criterion: an int8 model saved before any scoring carries no
+// calibrated activation scales — byte-compatible with pre-activation-
+// quantization VNNQ writers — and such a container must still load and
+// score. Calibration is deterministic on the first batch, so the loaded
+// model's scores match the in-process model exactly.
+func TestInt8LegacyContainerNoActs(t *testing.T) {
+	m, test := trainedTiny(t, 3)
+	if err := m.SetPrecision(PrecisionInt8); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "legacy-q.vmf")
+	if err := m.Save(path); err != nil { // nothing scored yet: no ACTS section
+		t.Fatal(err)
+	}
+	if _, dtype, err := modelio.Sniff(path); err != nil || dtype != modelio.DTypeInt8 {
+		t.Fatalf("sniffed dtype %q err %v", dtype, err)
+	}
+	loaded, err := LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := detect.ScoreSeriesBatched(m, test)
+	got := detect.ScoreSeriesBatched(loaded, test)
+	if len(got) != len(want) {
+		t.Fatalf("score lengths %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("legacy int8 reload score %d: %g vs %g", i, got[i], want[i])
+		}
+	}
+}
+
+// TestInt8AUCGapWithinOnePercent asserts the accuracy acceptance gate:
+// on a labeled series with injected transients, the int8 lane's AUC-ROC
+// stays within 0.01 of the float64 oracle's.
+func TestInt8AUCGapWithinOnePercent(t *testing.T) {
+	m, _ := trainedTiny(t, 3)
+	rng := tensor.NewRNG(23)
+	const n, ch = 600, 3
+	test := tensor.New(n, ch)
+	sd := test.Data()
+	for i := range sd {
+		sd[i] = rng.NormFloat64() * 0.1
+	}
+	anom := make([]bool, n)
+	for _, start := range []int{100, 250, 400, 520} {
+		for i := start; i < start+8; i++ {
+			for c := 0; c < ch; c++ {
+				sd[i*ch+c] += 1.5
+			}
+			anom[i] = true
+		}
+	}
+	// Scores are per time step; the window ending at step i covers
+	// [i-w+1, i], so a step is positive when its window saw a transient.
+	scores64 := detect.ScoreSeriesBatched(m, test)
+	w := m.WindowSize()
+	labels := make([]bool, len(scores64))
+	for i := range labels {
+		for j := max(0, i-w+1); j <= i; j++ {
+			if anom[j] {
+				labels[i] = true
+				break
+			}
+		}
+	}
+	auc64 := eval.AUCROC(scores64, labels)
+	if err := m.SetPrecision(PrecisionInt8); err != nil {
+		t.Fatal(err)
+	}
+	auc8 := eval.AUCROC(detect.ScoreSeriesBatched(m, test), labels)
+	if gap := math.Abs(auc64 - auc8); gap > 0.01 {
+		t.Fatalf("int8 AUC %.4f vs float64 %.4f: gap %.4f above 1%%", auc8, auc64, gap)
+	}
+	t.Logf("AUC float64 %.4f, int8 %.4f", auc64, auc8)
 }
 
 // TestFloat32SaveLoadRoundTrip checks the float32 container: scores of the

@@ -63,12 +63,14 @@ func TestWriteFleetTableGolden(t *testing.T) {
 	}
 }
 
-// TestModelBytesFor checks the bytes-per-weight axis.
+// TestModelBytesFor checks the bytes-per-weight axis. int8 costs 2
+// bytes per weight while serving: the stored value plus the packed
+// qGEMM panel copy.
 func TestModelBytesFor(t *testing.T) {
 	if ModelBytesFor(1000, "float64") != 8000 ||
 		ModelBytesFor(1000, "") != 8000 ||
 		ModelBytesFor(1000, "float32") != 4000 ||
-		ModelBytesFor(1000, "int8") != 1000 {
+		ModelBytesFor(1000, "int8") != 2000 {
 		t.Fatal("bytes-per-weight mapping wrong")
 	}
 }

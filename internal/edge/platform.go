@@ -58,15 +58,17 @@ func (w Workload) EffectivePrecision() string {
 	return w.Precision
 }
 
-// BytesPerWeight returns the storage cost of one scalar weight at the
-// given precision: 8 (float64), 4 (float32) or 1 (int8; the per-channel
+// BytesPerWeight returns the serving-resident cost of one scalar weight
+// at the given precision: 8 (float64), 4 (float32) or 2 (int8: the
+// stored byte plus the lazily-built qGEMM panel copy the kernels
+// actually read — nn.QuantTensor.NumBytes counts both; the per-channel
 // scale/zero-point overhead is amortised across a row and ignored here).
 func BytesPerWeight(precision string) int {
 	switch precision {
 	case "float32":
 		return 4
 	case "int8":
-		return 1
+		return 2
 	default:
 		return 8
 	}

@@ -47,9 +47,24 @@ func (n *InferenceNet[T]) AppendDense(w, b *tensor.Dense[T]) {
 }
 
 // AppendDenseQuant appends an int8 Dense op with explicit quantized
-// weights (float32 programs only).
-func AppendDenseQuant(n *InferenceNet[float32], q *QuantTensor, b []float32) {
-	n.ops = append(n.ops, opDenseQ{q: q, b: b})
+// weights (float32 programs only). With a non-nil ActSet the op joins
+// the program's trailing quantized segment (or starts one), registering
+// the next activation entry in compile order, so a specialised head —
+// VARADE's log-variance projection — runs inside the int8 lane instead
+// of forcing a dequantize/requantize round trip at the segment boundary.
+func AppendDenseQuant(n *InferenceNet[float32], acts *ActSet, q *QuantTensor, b []float32) {
+	if acts == nil {
+		n.ops = append(n.ops, opDenseQ{q: q, b: b})
+		return
+	}
+	st := &qStage{kind: stageDense, q: q, b: b, in: acts.next("head.in")}
+	if len(n.ops) > 0 {
+		if seg, ok := n.ops[len(n.ops)-1].(*opQuantSeg); ok && !seg.ready.Load() {
+			seg.stages = append(seg.stages, st)
+			return
+		}
+	}
+	n.ops = append(n.ops, &opQuantSeg{acts: acts, stages: []*qStage{st}})
 }
 
 // WeightBytes returns the total byte size of the program's weights — the
@@ -306,10 +321,26 @@ type QuantCache map[*Param]*QuantTensor
 // accumulation. Other layers (transpose convolutions, LSTMs, activations)
 // run in plain float32; biases stay float32.
 func CompileQuantized(cache QuantCache, layers ...Layer) (*InferenceNet[float32], error) {
+	return CompileQuantizedActs(cache, nil, layers...)
+}
+
+// CompileQuantizedActs is CompileQuantized with activation quantization:
+// a non-nil ActSet turns maximal {Conv1D, ReLU, Flatten, Dense} runs
+// into true-int8 segments (opQuantSeg) whose inter-stage activations are
+// int8 and whose GEMMs accumulate in int32 through the tensor qGEMM
+// engine. The set's entries are registered in deterministic compile
+// order; a set restored from a container serves its stored scales, an
+// empty one calibrates on the first batch. acts == nil keeps the legacy
+// per-layer float32-accumulating program.
+func CompileQuantizedActs(cache QuantCache, acts *ActSet, layers ...Layer) (*InferenceNet[float32], error) {
 	if cache == nil {
 		cache = make(QuantCache)
 	}
 	net := &InferenceNet[float32]{}
+	if acts != nil {
+		acts.resetCursor()
+		return net, compileQuantSegments(net, cache, acts, flattenLayers(layers))
+	}
 	for _, l := range layers {
 		if err := compileQuantInto(net, cache, l); err != nil {
 			return nil, err

@@ -97,14 +97,82 @@ func TestCompileQuantizedWithinNoiseFloor(t *testing.T) {
 		t.Fatalf("quantized forward deviates %g from float64 oracle", worst)
 	}
 	// Quantized weights must be far smaller than the float64 originals.
+	// NumBytes counts both resident int8 copies (stored values plus the
+	// qGEMM panel pack), so the honest bound is ~2 bytes per parameter
+	// against float64's 8 — a floor of ⅓ with panel/bias overhead.
 	var f64Bytes int
 	for _, l := range layers {
 		for _, p := range l.Params() {
 			f64Bytes += 8 * p.Value.Len()
 		}
 	}
-	if qb := qnet.WeightBytes(); qb*4 > f64Bytes {
-		t.Fatalf("quantized weights %dB not ≤ ¼ of float64 %dB", qb, f64Bytes)
+	if qb := qnet.WeightBytes(); qb*2 > f64Bytes {
+		t.Fatalf("quantized weights %dB not ≤ ½ of float64 %dB", qb, f64Bytes)
+	}
+}
+
+// TestCompileQuantizedFallbackGeometries drives the int8 segment lanes
+// the VARADE trunk never touches: overlapping and padded convolutions
+// (the materialise+im2col fallback), conv successors off the 16-lane
+// SIMD requant grid, and dense→dense mid stages. Wiring bugs in the
+// fused layouts produce order-of-magnitude errors, so a loose bound
+// against the float64 oracle is enough.
+func TestCompileQuantizedFallbackGeometries(t *testing.T) {
+	rng := tensor.NewRNG(17)
+	type tc struct {
+		layers []Layer
+		x      *tensor.Tensor
+	}
+	cases := map[string]tc{
+		// First conv overlapped+padded: stage 0 quantizes into a spare
+		// tensor and runs the standalone int8 im2col.
+		"overlap-first": {
+			layers: []Layer{
+				NewConv1D(3, 8, 3, 1, 1, rng), NewReLU(),
+				NewConv1D(8, 8, 2, 2, 0, rng), NewReLU(),
+				NewFlatten(), NewDense(32, 5, rng),
+			},
+			x: tensor.RandNormal(tensor.NewRNG(19), 0, 1, 4, 3, 8),
+		},
+		// Second conv overlapped+padded: the first stage's requant takes
+		// the materialise-then-im2col default branch.
+		"overlap-mid": {
+			layers: []Layer{
+				NewConv1D(3, 8, 2, 2, 0, rng), NewReLU(),
+				NewConv1D(8, 8, 3, 1, 1, rng), NewReLU(),
+				NewFlatten(), NewDense(32, 5, rng),
+			},
+			x: tensor.RandNormal(tensor.NewRNG(19), 0, 1, 4, 3, 8),
+		},
+		// Dense→dense: the mid-stage row requant (no conv anywhere).
+		"dense-mid": {
+			layers: []Layer{
+				NewDense(24, 16, rng), NewReLU(), NewDense(16, 5, rng),
+			},
+			x: tensor.RandNormal(tensor.NewRNG(19), 0, 1, 4, 24),
+		},
+	}
+	for name, c := range cases {
+		t.Run(name, func(t *testing.T) {
+			qnet, err := CompileQuantized(make(QuantCache), c.layers...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := forwardAll(c.layers, c.x)
+			got := qnet.Forward(tensor.Convert[float32](c.x))
+			if len(got.Data()) != len(want.Data()) {
+				t.Fatalf("shape %v want %v", got.Shape(), want.Shape())
+			}
+			worst := 0.0
+			for i, w := range want.Data() {
+				if d := math.Abs(w - float64(got.Data()[i])); d > worst {
+					worst = d
+				}
+			}
+			if worst > 0.5 {
+				t.Fatalf("quantized forward deviates %g from float64 oracle", worst)
+			}
+		})
 	}
 }
 
@@ -168,12 +236,15 @@ func TestParamsF32AndQuantPayloadRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	buf.Reset()
-	if err := SaveParamsQuant(&buf, params, func(p *Param) *QuantTensor { return cache[p] }); err != nil {
+	if err := SaveParamsQuant(&buf, params, func(p *Param) *QuantTensor { return cache[p] }, nil); err != nil {
 		t.Fatal(err)
 	}
-	got, err := LoadParamsQuant(bytes.NewReader(buf.Bytes()), freshParams)
+	got, gotActs, err := LoadParamsQuant(bytes.NewReader(buf.Bytes()), freshParams)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if gotActs != nil {
+		t.Fatalf("payload written without activation scales decoded a non-nil ActSet")
 	}
 	n := 0
 	for i, p := range params {

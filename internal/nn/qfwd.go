@@ -1,0 +1,63 @@
+package nn
+
+import "varade/internal/tensor"
+
+// Int8 forward-path helpers for the quantized segments of a compiled
+// inference program. The per-element arithmetic lives in the tensor
+// package (tensor.QuantizeAffine / tensor.RequantPairs2, SIMD-dispatched
+// with a bit-identical portable fallback); this file owns the
+// segment-level glue: quantizing the float input through the first
+// stage's ActQuant and the standalone int8 im2col for conv geometries
+// the fused requant writers in qseg.go cannot feed directly. Activation
+// row sums never appear here — the weight panels carry a synthetic
+// all-ones channel (QuantTensor.panels), so the qGEMM itself emits each
+// row's Σ qx as its last output column.
+
+// quantizeInput quantizes a float32 activation tensor elementwise into
+// dst through a's latched scale, layout-preserving, accumulating
+// saturation statistics on a.
+func quantizeInput(dst []int8, src []float32, a *ActQuant) {
+	inv := 1 / a.Scale
+	zf := float32(a.Zero)
+	tensor.Parallel(len(src), func(lo, hi int) {
+		a.noteClipped(tensor.QuantizeAffine(dst[lo:hi], src[lo:hi], inv, zf), hi-lo)
+	})
+}
+
+// im2colRowsI8 is the int8 analogue of im2colRows: it unrolls a
+// channel-major int8 batch xd (batch, inC, l) into cols, a
+// (batch·lo, inC·kernel) row-major matrix. Out-of-range taps are written
+// as zx — the activation zero point, i.e. x = 0 — so padding contributes
+// exactly nothing once the affine correction subtracts zx from every
+// column. The fallback for conv stages the fused requant writers cannot
+// feed directly (overlapping or padded windows); interior windows are
+// straight copies.
+func im2colRowsI8(cols, xd []int8, batch, inC, l, lo, kernel, stride, pad int, zx int8) {
+	kw := inC * kernel
+	tensor.Parallel(batch, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			xb := xd[b*inC*l : (b+1)*inC*l]
+			for t := 0; t < lo; t++ {
+				row := cols[(b*lo+t)*kw : (b*lo+t+1)*kw]
+				base := t*stride - pad
+				if base >= 0 && base+kernel <= l {
+					for ic := 0; ic < inC; ic++ {
+						copy(row[ic*kernel:(ic+1)*kernel], xb[ic*l+base:ic*l+base+kernel])
+					}
+					continue
+				}
+				for ic := 0; ic < inC; ic++ {
+					xrow := xb[ic*l : (ic+1)*l]
+					for kk := 0; kk < kernel; kk++ {
+						p := base + kk
+						if p >= 0 && p < l {
+							row[ic*kernel+kk] = xrow[p]
+						} else {
+							row[ic*kernel+kk] = zx
+						}
+					}
+				}
+			}
+		}
+	})
+}

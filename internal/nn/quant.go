@@ -15,9 +15,10 @@ import (
 //	w ≈ (q - zero[r]) · scale[r]
 //
 // with the range anchored so that w = 0 is exactly representable (the zero
-// point is always in range). Inference dequantises on the fly and
-// accumulates in float32 — the memory-bandwidth win of one byte per weight
-// without integer-overflow bookkeeping.
+// point is always in range). When activation scales are calibrated (see
+// ActSet) inference runs int8×int8 through the tensor qGEMM engine;
+// without them — legacy containers, residual branches — it dequantises on
+// the fly and accumulates in float32.
 
 // QuantTensor is a per-channel affine int8 quantization of a weight
 // tensor, viewed as a (Rows, Cols) matrix whose rows are output channels.
@@ -28,19 +29,28 @@ type QuantTensor struct {
 	Q          []int8    // quantized values, Rows*Cols, row-major
 	shape      []int     // original tensor shape
 
-	// packed is the GEMM-friendly panel layout of Q, built lazily once
-	// (weights are immutable after quantization): quantNR output rows
-	// interleaved per column, zero-padded to a whole panel. See panels.
+	// packed is the qGEMM B-panel layout of Q (tensor.QGemmPackB), built
+	// lazily once — weights are immutable after quantization.
 	packOnce sync.Once
 	packed   []int8
+
+	// rowSums is Σ_c Q[r,c] per output row, the rsW term of the affine
+	// qGEMM correction; lazy for the same reason.
+	rsOnce  sync.Once
+	rowSums []int32
 }
 
 // Shape returns the original (pre-flattening) tensor shape.
 func (q *QuantTensor) Shape() []int { return q.shape }
 
-// NumBytes returns the on-disk/in-memory payload size of the quantized
-// representation (values plus per-channel parameters).
-func (q *QuantTensor) NumBytes() int { return len(q.Q) + 5*q.Rows }
+// NumBytes returns the serving-resident size of the quantized
+// representation: the stored values, the per-channel parameters, and the
+// packed panel copy the qGEMM kernels consume (~1 extra byte per
+// parameter; packed with the synthetic row-sum channel panels appends) —
+// the figure edge.ModelBytesFor projections budget against.
+func (q *QuantTensor) NumBytes() int {
+	return len(q.Q) + tensor.QGemmPackedLen(q.Rows+1, q.Cols) + 5*q.Rows
+}
 
 // SliceRows returns a view of output-channel rows [lo, hi): the exact
 // stored quantization of those channels, with no requantization. The
@@ -144,82 +154,86 @@ func (q *QuantTensor) MaxAbsError(w *tensor.Tensor) float64 {
 	return worst
 }
 
-// quantKBlock is the k-extent tile of the blocked int8 GEMM: a block of
-// the input row (4·quantKBlock B) plus the matching int8 sub-row
-// (quantKBlock B) stays L1-resident while every output row's sub-dot
-// runs over it, so wide layers hit the same cache behaviour as the
-// float kernels instead of streaming whole rows past the cache.
+// quantKBlock is the k-extent tile of the blocked float-accumulating
+// fallback GEMM: a block of the input row (4·quantKBlock B) plus the
+// matching int8 sub-row (quantKBlock B) stays L1-resident while every
+// output row's sub-dot runs over it.
 const quantKBlock = 2048
 
-// quantNR is the panel width of the packed int8 weight layout: four
-// output channels interleaved per column, mirroring the float GEMM's
-// packed B panels. Four channels give the inner loop four independent
-// accumulator chains off a single x load, and the channel quad sits in
-// four consecutive bytes.
-const quantNR = 4
-
 // panels returns (building lazily, once — quantized weights are
-// immutable) the packed panel layout of Q. The pack is a second
-// resident copy of the int8 values (~1 extra byte per parameter while
-// serving; NumBytes reports the container payload, not this working
-// copy) — the price of a contiguous kernel layout, paid only by
-// instances that actually run the GEMM:
-//
-//	packed[pan·(quantNR·Cols) + c·quantNR + rr] = Q[(pan·quantNR+rr)·Cols + c]
-//
-// i.e. panel pan holds output rows [pan·quantNR, …) column-interleaved,
-// zero-padded to a whole panel so the kernel geometry is uniform.
+// immutable) the qGEMM B-panel layout of Q augmented with one trailing
+// all-ones output channel, exactly the format tensor.QGemmTransB
+// consumes at rows = Rows+1. The synthetic channel makes the GEMM's
+// extra output column Σ_c qx[i,c] — the rsX term of the affine
+// correction — so the row sums of every activation matrix come out of
+// the same kernel pass that computes the dots, and nothing downstream
+// ever re-walks the int8 activations. The pack is a second resident
+// copy of the int8 values (~1 extra byte per parameter while serving,
+// which NumBytes counts), paid only by instances that actually run the
+// int8 GEMM.
 func (q *QuantTensor) panels() []int8 {
 	q.packOnce.Do(func() {
-		npan := (q.Rows + quantNR - 1) / quantNR
-		p := make([]int8, npan*quantNR*q.Cols)
-		for r := 0; r < q.Rows; r++ {
-			pan, rr := r/quantNR, r%quantNR
-			dst := p[pan*quantNR*q.Cols+rr:]
-			for c, v := range q.Q[r*q.Cols : (r+1)*q.Cols] {
-				dst[c*quantNR] = v
-			}
+		wq := make([]int8, (q.Rows+1)*q.Cols)
+		copy(wq, q.Q)
+		ones := wq[q.Rows*q.Cols:]
+		for i := range ones {
+			ones[i] = 1
 		}
+		p := make([]int8, tensor.QGemmPackedLen(q.Rows+1, q.Cols))
+		tensor.QGemmPackB(p, wq, q.Rows+1, q.Cols)
 		q.packed = p
 	})
 	return q.packed
 }
 
+// RowSums returns (building lazily, once) Σ_c Q[r,c] per output row: the
+// rsW term that corrects the raw integer dot for the activation zero
+// point in the quantized GEMM identity.
+func (q *QuantTensor) RowSums() []int32 {
+	q.rsOnce.Do(func() {
+		rs := make([]int32, q.Rows)
+		for r := 0; r < q.Rows; r++ {
+			var s int32
+			for _, v := range q.Q[r*q.Cols : (r+1)*q.Cols] {
+				s += int32(v)
+			}
+			rs[r] = s
+		}
+		q.rowSums = rs
+	})
+	return q.rowSums
+}
+
 // quantGEMMTransB computes dst = x·dequant(q)ᵀ + bias with float32
-// accumulation: x is (n, Cols), dst is (n, Rows). Because the affine
+// accumulation off float32 activations: x is (n, Cols), dst is
+// (n, Rows). This is the fallback lane — calibration passes, residual
+// branches, anything without activation scales; the calibrated hot path
+// goes through tensor.QGemmTransB instead. Because the affine
 // dequantisation is per output row, the inner product folds to
 //
 //	y[i,r] = scale[r]·(Σ_c q[r,c]·x[i,c] − zero[r]·Σ_c x[i,c]) + bias[r]
 //
-// so each panel pass needs one int8 weight scan plus an input row sum
-// that is computed once per input row and shared by every output row —
-// accumulated block by block along the same k tiling as the dots.
+// so each pass needs one int8 weight scan plus an input row sum that is
+// computed once per input row and shared by every output row.
 func quantGEMMTransB(dst, x *tensor.Tensor32, q *QuantTensor, bias []float32) {
 	quantGEMMTransBBlocked(dst, x, q, bias, quantKBlock)
 }
 
 // quantGEMMTransBBlocked is quantGEMMTransB with an explicit k-block
 // size, separated so tests can force the multi-block path on small
-// shapes. The weight scan runs over the packed panels: each k block of
-// x stays L1-resident while every panel's four-channel kernel streams
-// its interleaved int8 quad past it.
+// shapes. Each k block of x stays L1-resident while every output row's
+// int8 sub-row streams past it.
 func quantGEMMTransBBlocked(dst, x *tensor.Tensor32, q *QuantTensor, bias []float32, kblock int) {
 	n, cols := x.Dim(0), x.Dim(1)
 	if cols != q.Cols {
 		panic(fmt.Sprintf("nn: quantGEMM inner dims %d vs %d", cols, q.Cols))
 	}
-	pp := q.panels()
-	npan := (q.Rows + quantNR - 1) / quantNR
 	xd, od := x.Data(), dst.Data()
 	tensor.Parallel(n, func(lo, hi int) {
-		// One padded accumulator row per worker, reused across its shard:
-		// partial dots accumulate block by block and the affine
-		// correction is applied once at the end.
-		acc := make([]float32, npan*quantNR)
 		for i := lo; i < hi; i++ {
 			xrow := xd[i*cols : (i+1)*cols]
 			orow := od[i*q.Rows : (i+1)*q.Rows]
-			clear(acc)
+			clear(orow)
 			var sx float32
 			for k0 := 0; k0 < cols; k0 += kblock {
 				k1 := min(k0+kblock, cols)
@@ -227,32 +241,32 @@ func quantGEMMTransBBlocked(dst, x *tensor.Tensor32, q *QuantTensor, bias []floa
 				// The row sum rides the same block pass as the dots, so
 				// xsub is scanned while hot and never re-read.
 				sx += rowSum(xsub)
-				for pan := 0; pan < npan; pan++ {
-					base := pan * quantNR * cols
-					quadDotQ(acc[pan*quantNR:pan*quantNR+quantNR], pp[base+k0*quantNR:base+k1*quantNR], xsub)
+				for r := 0; r < q.Rows; r++ {
+					orow[r] += dotQRow(q.Q[r*cols+k0:r*cols+k1], xsub)
 				}
 			}
 			for r := 0; r < q.Rows; r++ {
-				orow[r] = finishQuantDot(q, bias, r, acc[r], sx)
+				orow[r] = finishQuantDot(q, bias, r, orow[r], sx)
 			}
 		}
 	})
 }
 
-// quadDotQ accumulates one packed panel's four interleaved channels
-// against the x block: acc[rr] += Σ_c panel[c·4+rr]·x[c]. One x load
-// feeds four independent accumulator chains — the panel-width analogue
-// of the float kernels' broadcast-A step.
-func quadDotQ(acc []float32, panel []int8, x []float32) {
-	s0, s1, s2, s3 := acc[0], acc[1], acc[2], acc[3]
-	for c, xv := range x {
-		qv := panel[c*4 : c*4+4 : c*4+4]
-		s0 += float32(qv[0]) * xv
-		s1 += float32(qv[1]) * xv
-		s2 += float32(qv[2]) * xv
-		s3 += float32(qv[3]) * xv
+// dotQRow accumulates one int8 weight sub-row against the x block with
+// four independent float32 chains.
+func dotQRow(qrow []int8, x []float32) float32 {
+	var s0, s1, s2, s3 float32
+	c := 0
+	for ; c+4 <= len(x); c += 4 {
+		s0 += float32(qrow[c]) * x[c]
+		s1 += float32(qrow[c+1]) * x[c+1]
+		s2 += float32(qrow[c+2]) * x[c+2]
+		s3 += float32(qrow[c+3]) * x[c+3]
 	}
-	acc[0], acc[1], acc[2], acc[3] = s0, s1, s2, s3
+	for ; c < len(x); c++ {
+		s0 += float32(qrow[c]) * x[c]
+	}
+	return (s0 + s1) + (s2 + s3)
 }
 
 // rowSum totals one (sub-)row of the input.

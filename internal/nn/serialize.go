@@ -219,10 +219,19 @@ func LoadParamsF32(r io.Reader, params []*Param) error {
 	return nil
 }
 
+// actsMagic introduces the optional activation-scale section trailing a
+// VNNQ payload: calibrated per-tensor activation quantization (scale +
+// zero point per compiled segment stage, in compile order). Files
+// written before activation quantization existed simply end after the
+// last parameter; LoadParamsQuant treats that EOF as "no scales" and the
+// model calibrates on its first batch — full backward compatibility.
+const actsMagic = "ACTS"
+
 // SaveParamsQuant writes the int8-quantized payload: params whose weights
 // quantOf maps to a QuantTensor store the int8 block, everything else
-// stores float32 data.
-func SaveParamsQuant(w io.Writer, params []*Param, quantOf func(*Param) *QuantTensor) error {
+// stores float32 data. A calibrated acts set appends the activation-scale
+// section; nil or uncalibrated sets keep the legacy byte stream exactly.
+func SaveParamsQuant(w io.Writer, params []*Param, quantOf func(*Param) *QuantTensor, acts *ActSet) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(magicQNT); err != nil {
 		return err
@@ -265,73 +274,88 @@ func SaveParamsQuant(w io.Writer, params []*Param, quantOf func(*Param) *QuantTe
 			return err
 		}
 	}
+	if acts != nil && acts.Calibrated() {
+		scales, zeros := acts.Params()
+		if _, err := bw.WriteString(actsMagic); err != nil {
+			return err
+		}
+		if err := modelio.WriteF32Slice(bw, scales); err != nil {
+			return err
+		}
+		if err := modelio.WriteI8Slice(bw, zeros); err != nil {
+			return err
+		}
+	}
 	return bw.Flush()
 }
 
 // LoadParamsQuant reads an int8-quantized payload: float64 params receive
 // dequantized (or widened float32) values, and the returned cache maps
-// each quantized weight param to its exact stored QuantTensor.
-func LoadParamsQuant(r io.Reader, params []*Param) (QuantCache, error) {
+// each quantized weight param to its exact stored QuantTensor. The
+// returned ActSet carries the calibrated activation scales when the file
+// has the trailing section; it is nil for legacy files, which then
+// calibrate on their first batch.
+func LoadParamsQuant(r io.Reader, params []*Param) (QuantCache, *ActSet, error) {
 	br := bufio.NewReader(r)
 	head := make([]byte, len(magicQNT))
 	if _, err := io.ReadFull(br, head); err != nil {
-		return nil, fmt.Errorf("nn: reading header: %w", err)
+		return nil, nil, fmt.Errorf("nn: reading header: %w", err)
 	}
 	if string(head) != magicQNT {
-		return nil, fmt.Errorf("nn: bad quantized payload magic %q", head)
+		return nil, nil, fmt.Errorf("nn: bad quantized payload magic %q", head)
 	}
 	var n uint32
 	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if int(n) != len(params) {
-		return nil, fmt.Errorf("nn: file has %d params, model has %d", n, len(params))
+		return nil, nil, fmt.Errorf("nn: file has %d params, model has %d", n, len(params))
 	}
 	cache := make(QuantCache)
 	for _, p := range params {
 		if err := readParamHeader(br, p); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		flag, err := br.ReadByte()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if flag == 0 {
 			data, err := modelio.ReadF32Slice(br)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			if len(data) != p.Value.Len() {
-				return nil, fmt.Errorf("nn: param %q has %d values, want %d", p.Name, len(data), p.Value.Len())
+				return nil, nil, fmt.Errorf("nn: param %q has %d values, want %d", p.Name, len(data), p.Value.Len())
 			}
 			tensor.ConvertSlice(p.Value.Data(), data)
 			continue
 		}
 		rows, err := modelio.ReadU32(br)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		cols, err := modelio.ReadU32(br)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if int(rows)*int(cols) != p.Value.Len() {
-			return nil, fmt.Errorf("nn: param %q quant block %dx%d, want %d elements", p.Name, rows, cols, p.Value.Len())
+			return nil, nil, fmt.Errorf("nn: param %q quant block %dx%d, want %d elements", p.Name, rows, cols, p.Value.Len())
 		}
 		scale, err := modelio.ReadF32Slice(br)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		zero, err := modelio.ReadI8Slice(br)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		qv, err := modelio.ReadI8Slice(br)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if len(scale) != int(rows) || len(zero) != int(rows) || len(qv) != int(rows)*int(cols) {
-			return nil, fmt.Errorf("nn: param %q quant block lengths inconsistent", p.Name)
+			return nil, nil, fmt.Errorf("nn: param %q quant block lengths inconsistent", p.Name)
 		}
 		q := &QuantTensor{
 			Rows: int(rows), Cols: int(cols),
@@ -341,7 +365,38 @@ func LoadParamsQuant(r io.Reader, params []*Param) (QuantCache, error) {
 		p.Value.CopyFrom(q.Dequantize())
 		cache[p] = q
 	}
-	return cache, nil
+	acts, err := readActsSection(br)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cache, acts, nil
+}
+
+// readActsSection reads the optional trailing activation-scale section.
+// A clean EOF right after the parameters is the legacy format.
+func readActsSection(br *bufio.Reader) (*ActSet, error) {
+	head := make([]byte, len(actsMagic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		if err == io.EOF {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("nn: reading activation-scale section: %w", err)
+	}
+	if string(head) != actsMagic {
+		return nil, fmt.Errorf("nn: bad activation-scale magic %q", head)
+	}
+	scales, err := modelio.ReadF32Slice(br)
+	if err != nil {
+		return nil, err
+	}
+	zeros, err := modelio.ReadI8Slice(br)
+	if err != nil {
+		return nil, err
+	}
+	if len(scales) != len(zeros) {
+		return nil, fmt.Errorf("nn: activation-scale section lengths inconsistent (%d scales, %d zeros)", len(scales), len(zeros))
+	}
+	return RestoreActSet(scales, zeros), nil
 }
 
 // SaveModelFile writes a self-describing model container: the modelio

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"varade/internal/tensor"
 )
 
 // latRingSize is how many recent coalesce latencies the percentile
@@ -84,9 +86,14 @@ type ModelStatus struct {
 }
 
 // Metrics is a point-in-time snapshot of the serving state, the payload
-// of the /metrics endpoint.
+// of the /metrics endpoint. GemmKernel/QGemmKernel report the runtime-
+// dispatched micro-kernel families (avx2, neon or generic) the float and
+// int8 GEMM engines resolved at startup, so an operator can see at a
+// glance whether a deployment is actually running the SIMD lanes.
 type Metrics struct {
 	UptimeSeconds  float64       `json:"uptime_seconds"`
+	GemmKernel     string        `json:"gemm_kernel"`
+	QGemmKernel    string        `json:"qgemm_kernel"`
 	ActiveSessions int           `json:"active_sessions"`
 	TotalSessions  int           `json:"total_sessions"`
 	SamplesIn      int64         `json:"samples_in"`
@@ -124,6 +131,8 @@ func (m *metrics) snapshot(models []ModelStatus) Metrics {
 	}
 	return Metrics{
 		UptimeSeconds:  up,
+		GemmKernel:     tensor.GemmKernelName(),
+		QGemmKernel:    tensor.QGemmKernelName(),
 		ActiveSessions: int(m.sessionsActive.Load()),
 		TotalSessions:  int(m.sessionsTotal.Load()),
 		SamplesIn:      m.samplesIn.Load(),

@@ -20,15 +20,55 @@ var (
 	gemmKern32 func(c []float32, ldc int, aP, bP []float32, kc int) = gemmKernelGeneric32
 	gemmKern64 func(c []float64, ldc int, aP, bP []float64, kc int) = gemmKernelGeneric64
 
+	// qgemmKern is the int8×int8 micro-kernel of the quantized engine
+	// (qgemm.go): acc(4×16, int32) += Σ_pp aP(pair)·bP(panel pair).
+	// Accumulation is exact integer arithmetic, so every implementation
+	// is bit-identical — dispatch here is purely a throughput choice.
+	qgemmKern func(acc []int32, ldc int, aP []int16, bP []int8, kp int) = qgemmKernelGeneric
+
+	// qgemmPackA packs four full consecutive activation rows (x holds
+	// exactly 4·k int8 values) into the sign-extended int16 pair layout
+	// the qGEMM micro-kernel broadcasts from:
+	// aP[pp·8 + i·2 + kk] = x[i·k + pp·2 + kk], odd-k pad slot zeroed.
+	// Pure data movement, so every implementation is bit-identical.
+	qgemmPackA func(aP []int16, x []int8, k int) = qgemmPackAGeneric
+
+	// quantAffineKern / requantPairsKern are the elementwise int8-lane
+	// kernels (qrequant.go): activation quantization and the fused
+	// GEMM-output requantization. Bit-identical across implementations
+	// for finite |v| < 2³¹ — see the qrequant.go contract.
+	quantAffineKern  func(dst []int8, src []float32, inv, zf float32) int                                                    = quantAffineGeneric
+	requantPairsKern func(dst []int8, acc []int32, ld, pairs, n int, zw, cw []int32, m, c []float32, zn int8, relu bool) int = requantPairsGeneric
+
+	// dotKern32 is the small-product float32 TransB dot kernel: products
+	// under the packing threshold call it once per output element.
+	// Float32 is tolerance-gated, so implementations may reassociate
+	// and fuse freely.
+	dotKern32 func(a, b []float32) float32 = dotKernelGeneric32
+
+	// transBKern64 is the small-product float64 TransB kernel: dst[j] =
+	// Σ_p a[p]·b[j·ldb+p] for four B rows, each output element a single
+	// ascending-p accumulator chain — the float64 bit-exactness
+	// contract, SIMD'd across the four output columns rather than along
+	// k so the per-element order never changes.
+	transBKern64 func(dst, a, b []float64, ldb int) = transBKernelGeneric64
+
 	// gemmKernelName names the installed kernel family ("generic",
 	// "avx2", "neon") so benchmarks and CI logs can record which path
-	// produced their numbers.
-	gemmKernelName = "generic"
+	// produced their numbers. qgemmKernelName does the same for the
+	// int8 engine (the families can differ: e.g. an AVX-but-not-AVX2
+	// host, or a future SDOT-gated NEON variant).
+	gemmKernelName  = "generic"
+	qgemmKernelName = "generic"
 )
 
 // GemmKernelName reports which micro-kernel family the packed GEMM
 // engine dispatches to on this process: "avx2", "neon" or "generic".
 func GemmKernelName() string { return gemmKernelName }
+
+// QGemmKernelName reports which micro-kernel family the int8 qGEMM
+// engine dispatches to on this process: "avx2", "neon" or "generic".
+func QGemmKernelName() string { return qgemmKernelName }
 
 // microKernelFor resolves the active micro-kernel at element type T.
 func microKernelFor[T Float]() func(c []T, ldc int, aP, bP []T, kc int) {
@@ -93,4 +133,60 @@ func gemmKernelGeneric64(c []float64, ldc int, aP, bP []float64, kc int) {
 		}
 		row[0], row[1], row[2], row[3] = c0, c1, c2, c3
 	}
+}
+
+// qgemmKernelGeneric is the portable 4×16 int8 micro-kernel over the
+// qGEMM pair panels (qgemm.go): acc[i·ldc+j] += Σ_pp aP-pair(i)·bP-pair(j).
+// Exact int32 arithmetic, so it is bit-identical to the SIMD kernels by
+// construction — the cross-kernel suite checks equality, not tolerance.
+func qgemmKernelGeneric(acc []int32, ldc int, aP []int16, bP []int8, kp int) {
+	for i := 0; i < 4; i++ {
+		row := acc[i*ldc : i*ldc+16]
+		for pp := 0; pp < kp; pp++ {
+			a0 := int32(aP[pp*8+i*2])
+			a1 := int32(aP[pp*8+i*2+1])
+			bq := bP[pp*32 : pp*32+32 : pp*32+32]
+			for j := 0; j < 16; j++ {
+				row[j] += a0*int32(bq[j*2]) + a1*int32(bq[j*2+1])
+			}
+		}
+	}
+}
+
+// dotKernelGeneric32 is the portable float32 small-product dot: four
+// independent accumulator chains break the FP-add latency dependency
+// (the historical small-TransB fast path, now behind the dispatch var so
+// AVX2/NEON can replace it with wide FMA dots).
+func dotKernelGeneric32(a, b []float32) float32 {
+	var s0, s1, s2, s3 float32
+	p := 0
+	for ; p+4 <= len(a); p += 4 {
+		s0 += a[p] * b[p]
+		s1 += a[p+1] * b[p+1]
+		s2 += a[p+2] * b[p+2]
+		s3 += a[p+3] * b[p+3]
+	}
+	for ; p < len(a); p++ {
+		s0 += a[p] * b[p]
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// transBKernelGeneric64 is the portable four-column float64 TransB
+// kernel. Each dst[j] is one ascending-p chain — identical rounding to
+// the scalar loops, just four chains advanced together.
+func transBKernelGeneric64(dst, a, b []float64, ldb int) {
+	k := len(a)
+	b0 := b[0:k:k]
+	b1 := b[ldb : ldb+k : ldb+k]
+	b2 := b[2*ldb : 2*ldb+k : 2*ldb+k]
+	b3 := b[3*ldb : 3*ldb+k : 3*ldb+k]
+	var s0, s1, s2, s3 float64
+	for p, av := range a {
+		s0 += av * b0[p]
+		s1 += av * b1[p]
+		s2 += av * b2[p]
+		s3 += av * b3[p]
+	}
+	dst[0], dst[1], dst[2], dst[3] = s0, s1, s2, s3
 }

@@ -99,10 +99,15 @@ func MatMulTransB[T Float](a, b *Dense[T]) *Dense[T] {
 // panel columns, so the same micro-kernels serve both orientations (and
 // the float64 packed path keeps the historical single-accumulator
 // ascending-k order — it is the bit-exactness oracle, and training
-// depends on reproducible arithmetic). The small-product float32 loop
-// unrolls the dot product over four accumulators, breaking the FP-add
-// latency chain that otherwise hides the precision's bandwidth
-// advantage.
+// depends on reproducible arithmetic). Small products — LSTM steps,
+// narrow compiled-net tails — skip packing entirely and run the
+// dispatched no-copy kernels (dispatch.go): a wide FMA dot per element
+// at float32, and a four-column kernel at float64 that advances four
+// single-chain accumulators together so the oracle order survives.
+// Tiny inner extents (k below one SIMD chunk) stay on the inline scalar
+// loops: the dispatched kernels would do all their work in the tail and
+// the per-element call overhead dominates — a leading stride-2 conv at
+// k = 2 is ~40% slower through the kernel path.
 func MatMulTransBInto[T Float](dst, a, b *Dense[T]) {
 	check2D("MatMulTransB", a, b)
 	m, k := a.shape[0], a.shape[1]
@@ -116,34 +121,61 @@ func MatMulTransBInto[T Float](dst, a, b *Dense[T]) {
 		gemmPackedInto(od, ad, bd, m, n, k, true)
 		return
 	}
-	var z T
-	_, fast := any(z).(float32)
-	body := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := ad[i*k : (i+1)*k]
-			orow := od[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				brow := bd[j*k : (j+1)*k]
-				var s T
-				if fast {
-					var s0, s1, s2, s3 T
-					p := 0
-					for ; p+4 <= k; p += 4 {
-						s0 += arow[p] * brow[p]
-						s1 += arow[p+1] * brow[p+1]
-						s2 += arow[p+2] * brow[p+2]
-						s3 += arow[p+3] * brow[p+3]
-					}
-					for ; p < k; p++ {
-						s0 += arow[p] * brow[p]
-					}
-					s = (s0 + s1) + (s2 + s3)
-				} else {
+	var body func(lo, hi int)
+	switch any(od).(type) {
+	case []float32:
+		if k < 8 {
+			break // all-tail for the wide dot kernel: inline loops win
+		}
+		a32, b32, o32 := any(ad).([]float32), any(bd).([]float32), any(od).([]float32)
+		kern := dotKern32
+		body = func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				arow := a32[i*k : (i+1)*k]
+				orow := o32[i*n : (i+1)*n]
+				for j := 0; j < n; j++ {
+					orow[j] = kern(arow, b32[j*k:(j+1)*k])
+				}
+			}
+		}
+	case []float64:
+		if k < 4 || n < 4 {
+			break // ditto for the four-column quad kernel
+		}
+		a64, b64, o64 := any(ad).([]float64), any(bd).([]float64), any(od).([]float64)
+		kern := transBKern64
+		body = func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				arow := a64[i*k : (i+1)*k]
+				orow := o64[i*n : (i+1)*n]
+				j := 0
+				for ; j+4 <= n; j += 4 {
+					kern(orow[j:j+4], arow, b64[j*k:], k)
+				}
+				for ; j < n; j++ {
+					brow := b64[j*k : (j+1)*k]
+					var s float64
 					for p, av := range arow {
 						s += av * brow[p]
 					}
+					orow[j] = s
 				}
-				orow[j] = s
+			}
+		}
+	}
+	if body == nil {
+		body = func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				arow := ad[i*k : (i+1)*k]
+				orow := od[i*n : (i+1)*n]
+				for j := 0; j < n; j++ {
+					brow := bd[j*k : (j+1)*k]
+					var s T
+					for p, av := range arow {
+						s += av * brow[p]
+					}
+					orow[j] = s
+				}
 			}
 		}
 	}

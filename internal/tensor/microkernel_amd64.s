@@ -137,6 +137,192 @@ store64:
 	VZEROUPPER
 	RET
 
+// func qgemmKernel4x16AVX2(acc []int32, ldc int, aP []int16, bP []int8, kp int)
+//
+// 4×16 int8 qGEMM micro-kernel. The int32 accumulator tile lives in
+// Y0–Y7 (two 8-lane registers per row). Each pair step sign-extends the
+// 32 packed weight bytes (16 channels × 2 k values, channel-major pairs)
+// into int16 lanes with VPMOVSXBW, broadcasts one activation pair per
+// row with VPBROADCASTD and VPMADDWDs it against the weight pairs — two
+// multiplies and an add per int32 lane, exact because both operands are
+// int8-ranged (no VPMADDUBSW-style int16 saturation is reachable).
+TEXT ·qgemmKernel4x16AVX2(SB), NOSPLIT, $0-88
+	MOVQ acc_base+0(FP), DI
+	MOVQ ldc+24(FP), SI
+	MOVQ aP_base+32(FP), DX
+	MOVQ bP_base+56(FP), CX
+	MOVQ kp+80(FP), BX
+	SHLQ $2, SI              // row stride in bytes
+
+	// Load the accumulator tile.
+	MOVQ    DI, R8
+	VMOVDQU (R8), Y0
+	VMOVDQU 32(R8), Y1
+	ADDQ    SI, R8
+	VMOVDQU (R8), Y2
+	VMOVDQU 32(R8), Y3
+	ADDQ    SI, R8
+	VMOVDQU (R8), Y4
+	VMOVDQU 32(R8), Y5
+	ADDQ    SI, R8
+	VMOVDQU (R8), Y6
+	VMOVDQU 32(R8), Y7
+
+	TESTQ BX, BX
+	JZ    storeq
+
+loopq:
+	VPMOVSXBW    (CX), Y8    // channels 0–7, int16 kk-pairs
+	VPMOVSXBW    16(CX), Y9  // channels 8–15
+	VPBROADCASTD (DX), Y10   // row 0 activation pair
+	VPMADDWD     Y8, Y10, Y11
+	VPADDD       Y11, Y0, Y0
+	VPMADDWD     Y9, Y10, Y11
+	VPADDD       Y11, Y1, Y1
+	VPBROADCASTD 4(DX), Y10  // row 1
+	VPMADDWD     Y8, Y10, Y11
+	VPADDD       Y11, Y2, Y2
+	VPMADDWD     Y9, Y10, Y11
+	VPADDD       Y11, Y3, Y3
+	VPBROADCASTD 8(DX), Y10  // row 2
+	VPMADDWD     Y8, Y10, Y11
+	VPADDD       Y11, Y4, Y4
+	VPMADDWD     Y9, Y10, Y11
+	VPADDD       Y11, Y5, Y5
+	VPBROADCASTD 12(DX), Y10 // row 3
+	VPMADDWD     Y8, Y10, Y11
+	VPADDD       Y11, Y6, Y6
+	VPMADDWD     Y9, Y10, Y11
+	VPADDD       Y11, Y7, Y7
+	ADDQ         $16, DX
+	ADDQ         $32, CX
+	DECQ         BX
+	JNZ          loopq
+
+storeq:
+	VMOVDQU Y0, (DI)
+	VMOVDQU Y1, 32(DI)
+	ADDQ    SI, DI
+	VMOVDQU Y2, (DI)
+	VMOVDQU Y3, 32(DI)
+	ADDQ    SI, DI
+	VMOVDQU Y4, (DI)
+	VMOVDQU Y5, 32(DI)
+	ADDQ    SI, DI
+	VMOVDQU Y6, (DI)
+	VMOVDQU Y7, 32(DI)
+	VZEROUPPER
+	RET
+
+// func transBQuadsAVX2(dst, a, b []float64, ldb int)
+//
+// Four-column float64 TransB dot over the first 4·⌊k/4⌋ steps:
+// dst[j] = Σ_p a[p]·b[j·ldb+p], j = 0..3 (the Go wrapper finishes the
+// ≤3-step tail so the asm stays branch-light). Each quad loads four
+// consecutive values of all four B rows, transposes them in-register to
+// per-p columns, and accumulates a[p]·col_p with separate VMULPD/VADDPD
+// in ascending p — each dst lane is one unfused single-accumulator
+// chain, bit-identical to the scalar oracle.
+TEXT ·transBQuadsAVX2(SB), NOSPLIT, $0-80
+	MOVQ dst_base+0(FP), DI
+	MOVQ a_base+24(FP), SI
+	MOVQ a_len+32(FP), BX    // k
+	MOVQ b_base+48(FP), CX
+	MOVQ ldb+72(FP), DX
+	SHLQ $3, DX              // row stride in bytes
+
+	LEAQ (CX)(DX*1), R8      // b row 1
+	LEAQ (R8)(DX*1), R9      // b row 2
+	LEAQ (R9)(DX*1), R10     // b row 3
+
+	VXORPD Y0, Y0, Y0        // acc = [s0, s1, s2, s3]
+
+	SHRQ $2, BX              // quad count
+	JZ   storet
+
+loopt:
+	VMOVUPD (CX), Y1         // b0: p..p+3
+	VMOVUPD (R8), Y2         // b1
+	VMOVUPD (R9), Y3         // b2
+	VMOVUPD (R10), Y4        // b3
+	// 4×4 transpose: Y9..Y12 = columns p..p+3.
+	VUNPCKLPD  Y2, Y1, Y5    // [b0p0, b1p0, b0p2, b1p2]
+	VUNPCKHPD  Y2, Y1, Y6    // [b0p1, b1p1, b0p3, b1p3]
+	VUNPCKLPD  Y4, Y3, Y7    // [b2p0, b3p0, b2p2, b3p2]
+	VUNPCKHPD  Y4, Y3, Y8    // [b2p1, b3p1, b2p3, b3p3]
+	VPERM2F128 $0x20, Y7, Y5, Y9
+	VPERM2F128 $0x20, Y8, Y6, Y10
+	VPERM2F128 $0x31, Y7, Y5, Y11
+	VPERM2F128 $0x31, Y8, Y6, Y12
+	// Ascending p, unfused multiply+add per lane.
+	VBROADCASTSD (SI), Y13
+	VMULPD       Y9, Y13, Y13
+	VADDPD       Y13, Y0, Y0
+	VBROADCASTSD 8(SI), Y13
+	VMULPD       Y10, Y13, Y13
+	VADDPD       Y13, Y0, Y0
+	VBROADCASTSD 16(SI), Y13
+	VMULPD       Y11, Y13, Y13
+	VADDPD       Y13, Y0, Y0
+	VBROADCASTSD 24(SI), Y13
+	VMULPD       Y12, Y13, Y13
+	VADDPD       Y13, Y0, Y0
+	ADDQ         $32, SI
+	ADDQ         $32, CX
+	ADDQ         $32, R8
+	ADDQ         $32, R9
+	ADDQ         $32, R10
+	DECQ         BX
+	JNZ          loopt
+
+storet:
+	VMOVUPD Y0, (DI)
+	VZEROUPPER
+	RET
+
+// func dotChunksAVX2(a, b []float32) float32
+//
+// Float32 dot over the first 8·⌊k/8⌋ elements (wrapper finishes the
+// tail): two 8-lane FMA accumulators, horizontally summed at the end.
+// Float32 is tolerance-gated, so reassociation and fusion are fine.
+TEXT ·dotChunksAVX2(SB), NOSPLIT, $0-52
+	MOVQ a_base+0(FP), SI
+	MOVQ a_len+8(FP), BX
+	MOVQ b_base+24(FP), CX
+
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+
+	MOVQ BX, DX
+	SHRQ $4, DX              // 16-wide chunks
+	JZ   dot8
+
+loop16:
+	VMOVUPS     (SI), Y2
+	VFMADD231PS (CX), Y2, Y0
+	VMOVUPS     32(SI), Y3
+	VFMADD231PS 32(CX), Y3, Y1
+	ADDQ        $64, SI
+	ADDQ        $64, CX
+	DECQ        DX
+	JNZ         loop16
+
+dot8:
+	ANDQ $8, BX
+	JZ   dsum
+	VMOVUPS     (SI), Y2
+	VFMADD231PS (CX), Y2, Y0
+
+dsum:
+	VADDPS       Y1, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPS       X1, X0, X0
+	VHADDPS      X0, X0, X0
+	VHADDPS      X0, X0, X0
+	VMOVSS       X0, ret+48(FP)
+	VZEROUPPER
+	RET
+
 // func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
 TEXT ·cpuid(SB), NOSPLIT, $0-24
 	MOVL leaf+0(FP), AX

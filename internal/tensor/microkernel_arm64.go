@@ -25,6 +25,51 @@ func gemmKernel8x8NEON(c []float32, ldc int, aP, bP []float32, kc int)
 //go:noescape
 func gemmKernel4x4NEON(c []float64, ldc int, aP, bP []float64, kc int)
 
+// qgemmKernel4x16NEON computes the 4×16 int8 qGEMM tile update with
+// SSHLL + SMLAL (widening multiply-accumulate): exact int32
+// accumulation, bit-identical to the portable kernel.
+//
+//go:noescape
+func qgemmKernel4x16NEON(acc []int32, ldc int, aP []int16, bP []int8, kp int)
+
+// transBPairsNEON computes the four-column float64 TransB dot over the
+// first 2·⌊len(a)/2⌋ steps (fused FMLA, ascending-p per lane — which on
+// arm64 IS the scalar oracle's arithmetic, since the Go compiler fuses
+// `s += a*b` into FMADD here). The wrapper finishes the odd tail in Go.
+//
+//go:noescape
+func transBPairsNEON(dst, a, b []float64, ldb int)
+
+// dotChunksNEON computes the float32 dot over the first 4·⌊len(a)/4⌋
+// elements with 4-lane FMLA (tolerance-gated; free to reassociate).
+//
+//go:noescape
+func dotChunksNEON(a, b []float32) float32
+
+// transBKernel4x64NEON is the dispatch-installed float64 small-TransB
+// kernel: SIMD pairs in asm, fused scalar tail in Go.
+func transBKernel4x64NEON(dst, a, b []float64, ldb int) {
+	k := len(a)
+	transBPairsNEON(dst, a, b, ldb)
+	if k%2 == 1 {
+		p := k - 1
+		av := a[p]
+		dst[0] += av * b[p]
+		dst[1] += av * b[ldb+p]
+		dst[2] += av * b[2*ldb+p]
+		dst[3] += av * b[3*ldb+p]
+	}
+}
+
+// dotKernel32NEON is the dispatch-installed float32 small-TransB dot.
+func dotKernel32NEON(a, b []float32) float32 {
+	s := dotChunksNEON(a, b)
+	for p := len(a) &^ 3; p < len(a); p++ {
+		s += a[p] * b[p]
+	}
+	return s
+}
+
 func init() {
 	if os.Getenv("VARADE_NOASM") != "" {
 		return
@@ -32,4 +77,8 @@ func init() {
 	gemmKern32 = gemmKernel8x8NEON
 	gemmKern64 = gemmKernel4x4NEON
 	gemmKernelName = "neon"
+	qgemmKern = qgemmKernel4x16NEON
+	qgemmKernelName = "neon"
+	dotKern32 = dotKernel32NEON
+	transBKern64 = transBKernel4x64NEON
 }

@@ -138,3 +138,186 @@ store64:
 	ADD  R4, R5
 	VST1 [V6.D2, V7.D2], (R5)
 	RET
+
+// func qgemmKernel4x16NEON(acc []int32, ldc int, aP []int16, bP []int8, kp int)
+//
+// 4×16 int8 qGEMM micro-kernel. The int32 accumulator tile lives in
+// V8–V23 (four 4-lane registers per row). Each pair step VLD2-loads the
+// 32 packed weight bytes — the de-interleave splits the channel-major
+// kk pairs into V24 (kk=0, channels 0–15) and V25 (kk=1) — widens them
+// to int16 with SSHLL, and SMLALs each half against a broadcast lane of
+// the activation-pair vector V0. Widening multiply-accumulate into
+// int32 is exact, so this kernel is bit-identical to the portable one.
+//
+// The signed-widening ops are not in the Go assembler's arm64 mnemonic
+// table, so they are emitted as WORDs (encodings cross-checked against
+// llvm-mc):
+//
+//	SSHLL  Vd.8H, Vn.8B,  #0  = 0x0F08A400 | Rn<<5 | Rd
+//	SSHLL2 Vd.8H, Vn.16B, #0  = 0x4F08A400 | Rn<<5 | Rd
+//	SMLAL  Vd.4S, Vn.4H, Vm.H[i] = 0x0F402000 | idx | Rm<<16 | Rn<<5 | Rd
+//	SMLAL2 Vd.4S, Vn.8H, Vm.H[i] = same | 0x40000000
+//
+// where idx packs i into H(bit 11), L(bit 21), M(bit 20) and Rm must be
+// in V0–V15 — which is why the activation pairs sit in V0.
+TEXT ·qgemmKernel4x16NEON(SB), NOSPLIT, $0-88
+	MOVD acc_base+0(FP), R0
+	MOVD ldc+24(FP), R4
+	MOVD aP_base+32(FP), R1
+	MOVD bP_base+56(FP), R2
+	MOVD kp+80(FP), R3
+	LSL  $2, R4              // row stride in bytes
+
+	// Load the accumulator tile.
+	MOVD R0, R5
+	VLD1 (R5), [V8.S4, V9.S4, V10.S4, V11.S4]
+	ADD  R4, R5
+	VLD1 (R5), [V12.S4, V13.S4, V14.S4, V15.S4]
+	ADD  R4, R5
+	VLD1 (R5), [V16.S4, V17.S4, V18.S4, V19.S4]
+	ADD  R4, R5
+	VLD1 (R5), [V20.S4, V21.S4, V22.S4, V23.S4]
+
+	CBZ R3, storeq
+
+loopq:
+	VLD2.P 32(R2), [V24.B16, V25.B16] // de-interleave: V24 = kk0 bytes, V25 = kk1
+	VLD1.P 16(R1), [V0.H8]            // 4 activation pairs, already int16
+	WORD   $0x0F08A71A                // SSHLL  V26.8H, V24.8B,  #0 (kk0 ch0–7)
+	WORD   $0x4F08A71B                // SSHLL2 V27.8H, V24.16B, #0 (kk0 ch8–15)
+	WORD   $0x0F08A73C                // SSHLL  V28.8H, V25.8B,  #0 (kk1 ch0–7)
+	WORD   $0x4F08A73D                // SSHLL2 V29.8H, V25.16B, #0 (kk1 ch8–15)
+	// Row 0: acc V8–V11 += kk0·a00 + kk1·a01.
+	WORD   $0x0F402348                // SMLAL  V8.4S,  V26.4H, V0.H[0]
+	WORD   $0x4F402349                // SMLAL2 V9.4S,  V26.8H, V0.H[0]
+	WORD   $0x0F40236A                // SMLAL  V10.4S, V27.4H, V0.H[0]
+	WORD   $0x4F40236B                // SMLAL2 V11.4S, V27.8H, V0.H[0]
+	WORD   $0x0F502388                // SMLAL  V8.4S,  V28.4H, V0.H[1]
+	WORD   $0x4F502389                // SMLAL2 V9.4S,  V28.8H, V0.H[1]
+	WORD   $0x0F5023AA                // SMLAL  V10.4S, V29.4H, V0.H[1]
+	WORD   $0x4F5023AB                // SMLAL2 V11.4S, V29.8H, V0.H[1]
+	// Row 1: acc V12–V15.
+	WORD   $0x0F60234C                // SMLAL  V12.4S, V26.4H, V0.H[2]
+	WORD   $0x4F60234D                // SMLAL2 V13.4S, V26.8H, V0.H[2]
+	WORD   $0x0F60236E                // SMLAL  V14.4S, V27.4H, V0.H[2]
+	WORD   $0x4F60236F                // SMLAL2 V15.4S, V27.8H, V0.H[2]
+	WORD   $0x0F70238C                // SMLAL  V12.4S, V28.4H, V0.H[3]
+	WORD   $0x4F70238D                // SMLAL2 V13.4S, V28.8H, V0.H[3]
+	WORD   $0x0F7023AE                // SMLAL  V14.4S, V29.4H, V0.H[3]
+	WORD   $0x4F7023AF                // SMLAL2 V15.4S, V29.8H, V0.H[3]
+	// Row 2: acc V16–V19.
+	WORD   $0x0F402B50                // SMLAL  V16.4S, V26.4H, V0.H[4]
+	WORD   $0x4F402B51                // SMLAL2 V17.4S, V26.8H, V0.H[4]
+	WORD   $0x0F402B72                // SMLAL  V18.4S, V27.4H, V0.H[4]
+	WORD   $0x4F402B73                // SMLAL2 V19.4S, V27.8H, V0.H[4]
+	WORD   $0x0F502B90                // SMLAL  V16.4S, V28.4H, V0.H[5]
+	WORD   $0x4F502B91                // SMLAL2 V17.4S, V28.8H, V0.H[5]
+	WORD   $0x0F502BB2                // SMLAL  V18.4S, V29.4H, V0.H[5]
+	WORD   $0x4F502BB3                // SMLAL2 V19.4S, V29.8H, V0.H[5]
+	// Row 3: acc V20–V23.
+	WORD   $0x0F602B54                // SMLAL  V20.4S, V26.4H, V0.H[6]
+	WORD   $0x4F602B55                // SMLAL2 V21.4S, V26.8H, V0.H[6]
+	WORD   $0x0F602B76                // SMLAL  V22.4S, V27.4H, V0.H[6]
+	WORD   $0x4F602B77                // SMLAL2 V23.4S, V27.8H, V0.H[6]
+	WORD   $0x0F702B94                // SMLAL  V20.4S, V28.4H, V0.H[7]
+	WORD   $0x4F702B95                // SMLAL2 V21.4S, V28.8H, V0.H[7]
+	WORD   $0x0F702BB6                // SMLAL  V22.4S, V29.4H, V0.H[7]
+	WORD   $0x4F702BB7                // SMLAL2 V23.4S, V29.8H, V0.H[7]
+	SUB    $1, R3
+	CBNZ   R3, loopq
+
+storeq:
+	MOVD R0, R5
+	VST1 [V8.S4, V9.S4, V10.S4, V11.S4], (R5)
+	ADD  R4, R5
+	VST1 [V12.S4, V13.S4, V14.S4, V15.S4], (R5)
+	ADD  R4, R5
+	VST1 [V16.S4, V17.S4, V18.S4, V19.S4], (R5)
+	ADD  R4, R5
+	VST1 [V20.S4, V21.S4, V22.S4, V23.S4], (R5)
+	RET
+
+// func transBPairsNEON(dst, a, b []float64, ldb int)
+//
+// Four-column float64 TransB dot over the first 2·⌊k/2⌋ steps: dst[j] =
+// Σ_p a[p]·b[j·ldb+p], j = 0..3 (the Go wrapper finishes the odd tail,
+// which the arm64 compiler fuses just like FMLA here). Each pair step
+// loads two consecutive values of all four B rows, TRN-transposes them
+// to per-p columns, and FMLAs a broadcast a[p] against each column in
+// ascending p — one fused chain per dst lane, exactly the arm64 scalar
+// oracle's arithmetic.
+TEXT ·transBPairsNEON(SB), NOSPLIT, $0-80
+	MOVD dst_base+0(FP), R0
+	MOVD a_base+24(FP), R1
+	MOVD a_len+32(FP), R3    // k
+	MOVD b_base+48(FP), R2
+	MOVD ldb+72(FP), R4
+	LSL  $3, R4              // row stride in bytes
+
+	MOVD R2, R5              // b row 0
+	ADD  R4, R5, R6          // b row 1
+	ADD  R4, R6, R7          // b row 2
+	ADD  R4, R7, R8          // b row 3
+
+	VEOR V0.B16, V0.B16, V0.B16 // acc [s0, s1]
+	VEOR V1.B16, V1.B16, V1.B16 // acc [s2, s3]
+
+	LSR $1, R3, R9           // pair count
+	CBZ R9, storep
+
+loopp:
+	VLD1.P 16(R5), [V2.D2]   // b0: p, p+1
+	VLD1.P 16(R6), [V3.D2]   // b1
+	VLD1.P 16(R7), [V4.D2]   // b2
+	VLD1.P 16(R8), [V5.D2]   // b3
+	VLD1.P 16(R1), [V6.D2]   // a: p, p+1
+	VTRN1  V3.D2, V2.D2, V16.D2 // [b0p, b1p]
+	VTRN2  V3.D2, V2.D2, V17.D2 // [b0p', b1p']
+	VTRN1  V5.D2, V4.D2, V18.D2 // [b2p, b3p]
+	VTRN2  V5.D2, V4.D2, V19.D2 // [b2p', b3p']
+	VDUP   V6.D[0], V20.D2
+	VDUP   V6.D[1], V21.D2
+	VFMLA  V20.D2, V16.D2, V0.D2
+	VFMLA  V20.D2, V18.D2, V1.D2
+	VFMLA  V21.D2, V17.D2, V0.D2
+	VFMLA  V21.D2, V19.D2, V1.D2
+	SUB    $1, R9
+	CBNZ   R9, loopp
+
+storep:
+	VST1 [V0.D2, V1.D2], (R0)
+	RET
+
+// func dotChunksNEON(a, b []float32) float32
+//
+// Float32 dot over the first 4·⌊len(a)/4⌋ elements (wrapper finishes
+// the tail): one 4-lane FMLA accumulator, reduced through scalar FADDS
+// at the end (tolerance-gated; free to reassociate).
+TEXT ·dotChunksNEON(SB), NOSPLIT, $0-52
+	MOVD a_base+0(FP), R0
+	MOVD a_len+8(FP), R3
+	MOVD b_base+24(FP), R1
+
+	VEOR V0.B16, V0.B16, V0.B16
+
+	LSR $2, R3, R9           // 4-wide chunk count
+	CBZ R9, dsum
+
+loopd:
+	VLD1.P 16(R0), [V1.S4]
+	VLD1.P 16(R1), [V2.S4]
+	VFMLA  V2.S4, V1.S4, V0.S4
+	SUB    $1, R9
+	CBNZ   R9, loopd
+
+dsum:
+	// Lane j of V0 lands in F(j) via VDUP, then scalar adds: Fn is the
+	// low 32 bits of Vn.
+	VDUP  V0.S[1], V1.S4
+	VDUP  V0.S[2], V2.S4
+	VDUP  V0.S[3], V3.S4
+	FADDS F1, F0, F0
+	FADDS F3, F2, F2
+	FADDS F2, F0, F0
+	FMOVS F0, ret+48(FP)
+	RET

@@ -1,0 +1,309 @@
+//go:build !noasm
+
+#include "textflag.h"
+
+// AVX2 kernels for the int8 lane's elementwise passes (qrequant.go) and
+// the qGEMM A-pack. All three are bit-identical to their portable
+// counterparts on the documented domain (finite |v| < 2³¹): VCVTPS2DQ
+// rounds nearest-even exactly like the scalar magic-constant trick, and
+// the integer paths are exact.
+
+// func quantChunksAVX2(dst []int8, src []float32, inv, zf float32) int64
+//
+// Quantizes the first 16·⌊len(src)/16⌋ elements: v·inv + zf, clip masks
+// counted lane-wise (VPSUBD of the −1 compare masks), nearest-even round
+// via VCVTPS2DQ, clamp with VPMINSD/VPMAXSD, then 16 dwords packed to 16
+// bytes (saturating packs are exact — values already fit int8). The Go
+// wrapper finishes the tail and adds its clips.
+TEXT ·quantChunksAVX2(SB), NOSPLIT, $0-64
+	MOVQ         dst_base+0(FP), DI
+	MOVQ         src_base+24(FP), SI
+	MOVQ         src_len+32(FP), BX
+	VBROADCASTSS inv+48(FP), Y12
+	VBROADCASTSS zf+52(FP), Y13
+	MOVL         $0x42FF0000, AX // 127.5f
+	MOVD         AX, X11
+	VPBROADCASTD X11, Y11
+	MOVL         $0xC3008000, AX // -128.5f
+	MOVD         AX, X10
+	VPBROADCASTD X10, Y10
+	MOVL         $127, AX
+	MOVD         AX, X9
+	VPBROADCASTD X9, Y9
+	MOVL         $-128, AX
+	MOVD         AX, X8
+	VPBROADCASTD X8, Y8
+	VPXOR        Y7, Y7, Y7     // per-lane clip counters
+	SHRQ         $4, BX
+	JZ           qsum
+
+qloop:
+	VMOVUPS      (SI), Y0
+	VMOVUPS      32(SI), Y1
+	VMULPS       Y12, Y0, Y0
+	VADDPS       Y13, Y0, Y0
+	VMULPS       Y12, Y1, Y1
+	VADDPS       Y13, Y1, Y1
+
+	// Clip masks: (v >= 127.5) | (v <= -128.5); each true lane is -1,
+	// so subtracting the mask increments the lane counter.
+	VCMPPS       $0x0D, Y11, Y0, Y2 // GE_OS
+	VCMPPS       $0x02, Y10, Y0, Y3 // LE_OS
+	VORPS        Y3, Y2, Y2
+	VPSUBD       Y2, Y7, Y7
+	VCMPPS       $0x0D, Y11, Y1, Y2
+	VCMPPS       $0x02, Y10, Y1, Y3
+	VORPS        Y3, Y2, Y2
+	VPSUBD       Y2, Y7, Y7
+
+	VCVTPS2DQ    Y0, Y0
+	VCVTPS2DQ    Y1, Y1
+	VPMINSD      Y9, Y0, Y0
+	VPMAXSD      Y8, Y0, Y0
+	VPMINSD      Y9, Y1, Y1
+	VPMAXSD      Y8, Y1, Y1
+
+	// 16 dwords -> 16 ordered bytes.
+	VPACKSSDW    Y1, Y0, Y0
+	VPERMQ       $0xD8, Y0, Y0
+	VEXTRACTI128 $1, Y0, X1
+	VPACKSSWB    X1, X0, X0
+	VMOVDQU      X0, (DI)
+
+	ADDQ         $64, SI
+	ADDQ         $16, DI
+	DECQ         BX
+	JNZ          qloop
+
+qsum:
+	VEXTRACTI128 $1, Y7, X1
+	VPADDD       X1, X7, X7
+	VPSHUFD      $0x4E, X7, X1
+	VPADDD       X1, X7, X7
+	VPSHUFD      $0xB1, X7, X1
+	VPADDD       X1, X7, X7
+	VMOVD        X7, AX
+	MOVQ         AX, ret+56(FP)
+	VZEROUPPER
+	RET
+
+// func requantPairsChunksAVX2(dst []int8, acc []int32, ld, pairs, n int,
+//	zw, cw []int32, m, c []float32, zn int32) (hi, lo int64)
+//
+// The fused requant for n % 16 == 0: per output row u it reads acc rows
+// 2u and 2u+1 (stride ld dwords, row sum at column n), applies
+// corr = acc − zw·rs + cw, v = m·corr + c, rounds/clamps, floors at zn
+// (the wrapper passes zn = −128 when no ReLU is fused, a no-op), and
+// byte-interleaves the two rows into 2n contiguous dst bytes. High- and
+// low-side saturations are counted separately so the wrapper can apply
+// the ReLU clip rule.
+TEXT ·requantPairsChunksAVX2(SB), NOSPLIT, $0-192
+	MOVQ         dst_base+0(FP), DI
+	MOVQ         acc_base+24(FP), SI
+	MOVQ         ld+48(FP), R8
+	SHLQ         $2, R8             // row stride, bytes
+	MOVQ         pairs+56(FP), R9
+	MOVQ         n+64(FP), R10
+	SHLQ         $2, R10            // row-sum byte offset
+	MOVQ         zw_base+72(FP), R11
+	MOVQ         cw_base+96(FP), R12
+	MOVQ         m_base+120(FP), R13
+	SUBQ         R12, R13           // m as a delta off the cw cursor
+	MOVQ         c_base+144(FP), R14
+	SUBQ         R12, R14           // c likewise
+	MOVL         $0x42FF0000, AX    // 127.5f
+	MOVD         AX, X15
+	VPBROADCASTD X15, Y15
+	MOVL         $0xC3008000, AX    // -128.5f
+	MOVD         AX, X14
+	VPBROADCASTD X14, Y14
+	MOVL         $127, AX
+	MOVD         AX, X13
+	VPBROADCASTD X13, Y13
+	MOVL         $-128, AX
+	MOVD         AX, X12
+	VPBROADCASTD X12, Y12
+	MOVL         zn+168(FP), AX
+	MOVD         AX, X11
+	VPBROADCASTD X11, Y11
+	MOVL         $0xFF, AX
+	MOVD         AX, X10
+	VPBROADCASTD X10, Y10
+	VPSLLD       $8, Y10, Y9        // 0xFF00
+	VPXOR        Y6, Y6, Y6         // high-side clip counters
+	VPXOR        Y5, Y5, Y5         // low-side clip counters
+	TESTQ        R9, R9
+	JZ           rpdone
+
+rpair:
+	VPBROADCASTD (SI)(R10*1), Y8    // rs, even row
+	LEAQ         (SI)(R8*1), AX
+	VPBROADCASTD (AX)(R10*1), Y7    // rs, odd row
+	MOVQ         SI, AX             // acc chunk cursor (even row)
+	MOVQ         R11, DX            // zw cursor
+	MOVQ         R12, R15           // cw cursor (m, c ride as deltas)
+	MOVQ         R10, CX
+	SHRQ         $6, CX             // n/16 double-chunks
+
+rchunk2:
+	// Channels j..j+7, even row -> low bytes of the pairs.
+	VMOVDQU      (DX), Y0
+	VPMULLD      Y8, Y0, Y0
+	VMOVDQU      (AX), Y1
+	VPSUBD       Y0, Y1, Y1
+	VPADDD       (R15), Y1, Y1
+	VCVTDQ2PS    Y1, Y1
+	VMULPS       (R15)(R13*1), Y1, Y1
+	VADDPS       (R15)(R14*1), Y1, Y1
+	VCMPPS       $0x0D, Y15, Y1, Y2
+	VPSUBD       Y2, Y6, Y6
+	VCMPPS       $0x02, Y14, Y1, Y2
+	VPSUBD       Y2, Y5, Y5
+	VCVTPS2DQ    Y1, Y1
+	VPMINSD      Y13, Y1, Y1
+	VPMAXSD      Y12, Y1, Y1
+	VPMAXSD      Y11, Y1, Y1
+	VPAND        Y10, Y1, Y3
+	// Same channels, odd row -> high bytes.
+	VMOVDQU      (DX), Y0
+	VPMULLD      Y7, Y0, Y0
+	VMOVDQU      (AX)(R8*1), Y1
+	VPSUBD       Y0, Y1, Y1
+	VPADDD       (R15), Y1, Y1
+	VCVTDQ2PS    Y1, Y1
+	VMULPS       (R15)(R13*1), Y1, Y1
+	VADDPS       (R15)(R14*1), Y1, Y1
+	VCMPPS       $0x0D, Y15, Y1, Y2
+	VPSUBD       Y2, Y6, Y6
+	VCMPPS       $0x02, Y14, Y1, Y2
+	VPSUBD       Y2, Y5, Y5
+	VCVTPS2DQ    Y1, Y1
+	VPMINSD      Y13, Y1, Y1
+	VPMAXSD      Y12, Y1, Y1
+	VPMAXSD      Y11, Y1, Y1
+	VPSLLD       $8, Y1, Y1
+	VPAND        Y9, Y1, Y1
+	VPOR         Y1, Y3, Y4         // 8 interleaved pairs, one per dword
+	ADDQ         $32, AX
+	ADDQ         $32, DX
+	ADDQ         $32, R15
+
+	// Channels j+8..j+15 (identical dance).
+	VMOVDQU      (DX), Y0
+	VPMULLD      Y8, Y0, Y0
+	VMOVDQU      (AX), Y1
+	VPSUBD       Y0, Y1, Y1
+	VPADDD       (R15), Y1, Y1
+	VCVTDQ2PS    Y1, Y1
+	VMULPS       (R15)(R13*1), Y1, Y1
+	VADDPS       (R15)(R14*1), Y1, Y1
+	VCMPPS       $0x0D, Y15, Y1, Y2
+	VPSUBD       Y2, Y6, Y6
+	VCMPPS       $0x02, Y14, Y1, Y2
+	VPSUBD       Y2, Y5, Y5
+	VCVTPS2DQ    Y1, Y1
+	VPMINSD      Y13, Y1, Y1
+	VPMAXSD      Y12, Y1, Y1
+	VPMAXSD      Y11, Y1, Y1
+	VPAND        Y10, Y1, Y3
+	VMOVDQU      (DX), Y0
+	VPMULLD      Y7, Y0, Y0
+	VMOVDQU      (AX)(R8*1), Y1
+	VPSUBD       Y0, Y1, Y1
+	VPADDD       (R15), Y1, Y1
+	VCVTDQ2PS    Y1, Y1
+	VMULPS       (R15)(R13*1), Y1, Y1
+	VADDPS       (R15)(R14*1), Y1, Y1
+	VCMPPS       $0x0D, Y15, Y1, Y2
+	VPSUBD       Y2, Y6, Y6
+	VCMPPS       $0x02, Y14, Y1, Y2
+	VPSUBD       Y2, Y5, Y5
+	VCVTPS2DQ    Y1, Y1
+	VPMINSD      Y13, Y1, Y1
+	VPMAXSD      Y12, Y1, Y1
+	VPMAXSD      Y11, Y1, Y1
+	VPSLLD       $8, Y1, Y1
+	VPAND        Y9, Y1, Y1
+	VPOR         Y1, Y3, Y3
+	ADDQ         $32, AX
+	ADDQ         $32, DX
+	ADDQ         $32, R15
+
+	// 16 pair-dwords -> 32 ordered bytes (pairs are 16-bit, in [0,0xFFFF],
+	// so the unsigned-saturating word pack is exact).
+	VPACKUSDW    Y3, Y4, Y0
+	VPERMQ       $0xD8, Y0, Y0
+	VMOVDQU      Y0, (DI)
+	ADDQ         $32, DI
+	DECQ         CX
+	JNZ          rchunk2
+
+	LEAQ         (SI)(R8*2), SI
+	DECQ         R9
+	JNZ          rpair
+
+rpdone:
+	VEXTRACTI128 $1, Y6, X1
+	VPADDD       X1, X6, X6
+	VPSHUFD      $0x4E, X6, X1
+	VPADDD       X1, X6, X6
+	VPSHUFD      $0xB1, X6, X1
+	VPADDD       X1, X6, X6
+	VMOVD        X6, AX
+	MOVQ         AX, hi+176(FP)
+	VEXTRACTI128 $1, Y5, X1
+	VPADDD       X1, X5, X5
+	VPSHUFD      $0x4E, X5, X1
+	VPADDD       X1, X5, X5
+	VPSHUFD      $0xB1, X5, X1
+	VPADDD       X1, X5, X5
+	VMOVD        X5, AX
+	MOVQ         AX, lo+184(FP)
+	VZEROUPPER
+	RET
+
+// func packA4x16AVX2(aP []int16, x []int8, k int)
+//
+// Packs the first 16·⌊k/16⌋ columns of four consecutive k-byte rows into
+// the qGEMM int16 pair layout: per 16-column block, sign-extend each
+// row's 16 bytes to words (8 pair-dwords per row), transpose the 4×8
+// dword matrix with the unpack ladder, and store 8 pair-groups of
+// 4 rows × 2 int16. The Go wrapper finishes the k tail.
+TEXT ·packA4x16AVX2(SB), NOSPLIT, $0-56
+	MOVQ        aP_base+0(FP), DI
+	MOVQ        x_base+24(FP), SI
+	MOVQ        k+48(FP), R8
+	MOVQ        R8, BX
+	SHRQ        $4, BX
+	JZ          padone
+	LEAQ        (R8)(R8*2), R9 // 3k
+
+paloop:
+	VPMOVSXBW   (SI), Y0
+	VPMOVSXBW   (SI)(R8*1), Y1
+	VPMOVSXBW   (SI)(R8*2), Y2
+	VPMOVSXBW   (SI)(R9*1), Y3
+	VPUNPCKLDQ  Y1, Y0, Y4
+	VPUNPCKHDQ  Y1, Y0, Y5
+	VPUNPCKLDQ  Y3, Y2, Y6
+	VPUNPCKHDQ  Y3, Y2, Y7
+	VPUNPCKLQDQ Y6, Y4, Y0     // pairs 0 | 4
+	VPUNPCKHQDQ Y6, Y4, Y1     // pairs 1 | 5
+	VPUNPCKLQDQ Y7, Y5, Y2     // pairs 2 | 6
+	VPUNPCKHQDQ Y7, Y5, Y3     // pairs 3 | 7
+	VPERM2I128  $0x20, Y1, Y0, Y4
+	VPERM2I128  $0x20, Y3, Y2, Y5
+	VPERM2I128  $0x31, Y1, Y0, Y6
+	VPERM2I128  $0x31, Y3, Y2, Y7
+	VMOVDQU     Y4, (DI)
+	VMOVDQU     Y5, 32(DI)
+	VMOVDQU     Y6, 64(DI)
+	VMOVDQU     Y7, 96(DI)
+	ADDQ        $16, SI
+	ADDQ        $128, DI
+	DECQ        BX
+	JNZ         paloop
+
+padone:
+	VZEROUPPER
+	RET

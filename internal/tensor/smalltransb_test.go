@@ -1,0 +1,112 @@
+package tensor
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The small-product TransB fast path (products under the packing
+// threshold) dispatches per-element kernels instead of scalar loops:
+// dotKern32 at float32 and the four-column transBKern64 at float64. The
+// float64 kernel carries the same bit-exactness contract as the packed
+// engine — each output element one ascending-p chain — so it is checked
+// for equality against the oracle; float32 is tolerance-gated.
+
+// smallShapes stay under packedMinWork so MatMulTransBInto takes the
+// dispatched small path: k tails across the 4-wide (f64) and 8/16-wide
+// (f32) SIMD strides, n tails across the four-column grouping.
+var smallShapes = []struct{ m, k, n int }{
+	{1, 1, 1},
+	{1, 4, 4},
+	{2, 7, 5},  // k and n both ragged
+	{3, 8, 12}, // aligned k, n multiple of 4
+	{4, 15, 9}, // 8+4+3 tail at f32, 3·4+3 at f64
+	{5, 16, 13},
+	{2, 33, 21},
+	{7, 40, 30},
+}
+
+// withGenericSmallKernels runs f with the portable small-product
+// kernels installed, restoring the active (possibly asm) ones after.
+func withGenericSmallKernels(f func()) {
+	oldDot, oldTB := dotKern32, transBKern64
+	dotKern32, transBKern64 = dotKernelGeneric32, transBKernelGeneric64
+	defer func() { dotKern32, transBKern64 = oldDot, oldTB }()
+	f()
+}
+
+func TestSmallTransBEquivalence(t *testing.T) {
+	for _, s := range smallShapes {
+		t.Run(fmt.Sprintf("%dx%dx%d", s.m, s.k, s.n), func(t *testing.T) {
+			if usePacked(s.m, s.k, s.n) {
+				t.Fatalf("shape is not a small product; test wants the non-packed path")
+			}
+			rng := NewRNG(uint64(s.m*1000 + s.k*10 + s.n))
+			a64 := RandNormal(rng, 0, 1, s.m, s.k)
+			b64 := RandNormal(rng, 0, 1, s.n, s.k)
+			a32, b32 := Convert[float32](a64), Convert[float32](b64)
+			want64 := refGEMM(a64, b64, true)
+			want32 := refGEMM(a32, b32, true)
+
+			checkF64Bitwise(t, "active/f64", MatMulTransB(a64, b64), want64)
+			checkF32Close(t, "active/f32", MatMulTransB(a32, b32), want32)
+			withGenericSmallKernels(func() {
+				checkF64Bitwise(t, "generic/f64", MatMulTransB(a64, b64), want64)
+				checkF32Close(t, "generic/f32", MatMulTransB(a32, b32), want32)
+			})
+		})
+	}
+}
+
+// TestTransBKernel64DirectBitwise exercises the four-column float64
+// kernel directly against an ascending-p scalar chain, at every k from
+// the degenerate 0 through two SIMD quads plus tails — the off-by-one
+// surface of the asm quad loop and its Go tail.
+func TestTransBKernel64DirectBitwise(t *testing.T) {
+	for k := 0; k <= 11; k++ {
+		rng := NewRNG(uint64(100 + k))
+		a := RandNormal(rng, 0, 1, max(k, 1)).Data()[:k]
+		ldb := k + 3 // rows padded: kernel must honour ldb, not k
+		b := RandNormal(rng, 0, 1, 4*ldb+1).Data()
+		var want [4]float64
+		for j := 0; j < 4; j++ {
+			var s float64
+			for p := 0; p < k; p++ {
+				s += a[p] * b[j*ldb+p]
+			}
+			want[j] = s
+		}
+		var got [4]float64
+		transBKern64(got[:], a, b, ldb)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("k=%d: dst[%d] = %v, oracle %v (not bit-identical)", k, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+// FuzzSmallTransB drives random sub-threshold shapes through the active
+// and generic small-product kernels.
+func FuzzSmallTransB(f *testing.F) {
+	f.Add(uint8(4), uint8(15), uint8(9), uint64(1))
+	f.Add(uint8(1), uint8(255), uint8(3), uint64(2))
+	f.Fuzz(func(t *testing.T, m8, k8, n8 uint8, seed uint64) {
+		m, k, n := int(m8)%8+1, int(k8)+1, int(n8)%24+1
+		if usePacked(m, k, n) {
+			t.Skip("packed path; covered by FuzzPackedGEMM")
+		}
+		rng := NewRNG(seed)
+		a64 := RandNormal(rng, 0, 1, m, k)
+		b64 := RandNormal(rng, 0, 1, n, k)
+		a32, b32 := Convert[float32](a64), Convert[float32](b64)
+		want64 := refGEMM(a64, b64, true)
+		want32 := refGEMM(a32, b32, true)
+		checkF64Bitwise(t, "active/f64", MatMulTransB(a64, b64), want64)
+		checkF32Close(t, "active/f32", MatMulTransB(a32, b32), want32)
+		withGenericSmallKernels(func() {
+			checkF64Bitwise(t, "generic/f64", MatMulTransB(a64, b64), want64)
+			checkF32Close(t, "generic/f32", MatMulTransB(a32, b32), want32)
+		})
+	})
+}

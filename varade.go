@@ -111,6 +111,10 @@ const (
 // Tensor32 is the float32 tensor used by the inference fast path.
 type Tensor32 = tensor.Tensor32
 
+// CalibrationStat is one activation-quantization entry of an int8
+// model's calibration report (see Model.CalibrationStats).
+type CalibrationStat = core.CalibrationStat
+
 // Baselines (§3.3).
 
 // ARLSTMConfig configures the AR-LSTM baseline.
