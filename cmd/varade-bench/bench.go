@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -13,6 +14,7 @@ import (
 	"varade/internal/baselines/arlstm"
 	"varade/internal/core"
 	"varade/internal/detect"
+	"varade/internal/obs"
 	"varade/internal/serve"
 	"varade/internal/stream"
 	"varade/internal/tensor"
@@ -36,12 +38,51 @@ type BenchResult struct {
 	WindowsPerSec float64 `json:"windows_per_sec,omitempty"`
 	Iterations    int     `json:"iterations"`
 	Rounds        int     `json:"rounds"`
+	// StageNsPerWindow breaks the op down by compute stage (quantize,
+	// pack, gemm, requant) as ns/window, sampled from the process-global
+	// stage timers over one profiled run. Absent in pre-PR-7 baselines
+	// and for benchmarks without a windows metric.
+	StageNsPerWindow map[string]float64 `json:"stage_ns_per_window,omitempty"`
 }
 
 const (
 	benchRounds      = 5
 	benchTargetRound = 400 * time.Millisecond
 )
+
+// snapStages folds the process-global compute-stage timers into
+// per-stage {ns, windows} totals (summed over precisions — a single
+// benchmark case only moves one precision's timers).
+func snapStages() map[string][2]int64 {
+	out := make(map[string][2]int64)
+	for _, st := range obs.StagesSnapshot() {
+		cur := out[st.Stage]
+		cur[0] += st.Ns
+		cur[1] += st.Windows
+		out[st.Stage] = cur
+	}
+	return out
+}
+
+// stageProfile runs fn once and attributes the compute-stage time that
+// accrued to it, as ns/window per stage. Stages the run never touched
+// produce no delta and stay out of the map; nil when nothing moved.
+func stageProfile(fn func(iters int)) map[string]float64 {
+	before := snapStages()
+	fn(1)
+	after := snapStages()
+	var out map[string]float64
+	for stage, a := range after {
+		b := before[stage]
+		if dn, dw := a[0]-b[0], a[1]-b[1]; dn > 0 && dw > 0 {
+			if out == nil {
+				out = make(map[string]float64)
+			}
+			out[stage] = float64(dn) / float64(dw)
+		}
+	}
+	return out
+}
 
 // benchCase is one suite entry.
 type benchCase struct {
@@ -316,6 +357,14 @@ func runBenchSuite(jsonPath string, seed uint64) error {
 	}
 
 	results := measureSuite(suite)
+	// One extra profiled run per streaming case attributes the measured
+	// time to pipeline stages — after timing, so the stage-timer atomics
+	// (negligible as they are) can't colour the headline numbers.
+	for i, c := range suite {
+		if c.windows > 0 {
+			results[i].StageNsPerWindow = stageProfile(c.fn)
+		}
+	}
 
 	// The serving benchmark runs as its own phase: the live fleet server
 	// (per-group flusher tickers, 64 session goroutine trios) must not
@@ -324,9 +373,11 @@ func runBenchSuite(jsonPath string, seed uint64) error {
 	if err != nil {
 		return err
 	}
-	results = append(results, measureSuite([]benchCase{
+	fleetResults := measureSuite([]benchCase{
 		{"FleetServeMixed64", fleet.sessions * fleet.steps, fleet.run},
-	})...)
+	})
+	fleetResults[0].StageNsPerWindow = stageProfile(fleet.run)
+	results = append(results, fleetResults...)
 	fleet.close()
 	// Which micro-kernel family produced these numbers: cross-runner
 	// comparisons are only meaningful on the same dispatch.
@@ -337,6 +388,16 @@ func runBenchSuite(jsonPath string, seed uint64) error {
 				res.Name, res.NsPerOp, res.AllocsPerOp, res.WindowsPerSec)
 		} else {
 			fmt.Printf("%-24s %12.0f ns/op %8d allocs/op\n", res.Name, res.NsPerOp, res.AllocsPerOp)
+		}
+		if len(res.StageNsPerWindow) > 0 {
+			stages := make([]string, 0, len(res.StageNsPerWindow))
+			for s := range res.StageNsPerWindow {
+				stages = append(stages, s)
+			}
+			sort.Strings(stages)
+			for _, s := range stages {
+				fmt.Printf("  · %-20s %12.0f ns/window\n", s, res.StageNsPerWindow[s])
+			}
 		}
 	}
 

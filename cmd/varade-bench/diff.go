@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 )
 
@@ -111,6 +112,7 @@ func runDiff(oldPath, newPath string, tolerance float64) error {
 				regressions = append(regressions,
 					fmt.Sprintf("%s: %.0f → %.0f windows/s (%.1f%%)", name, o.WindowsPerSec, n.WindowsPerSec, delta*100))
 			}
+			printStageDiff(o, n)
 			continue
 		}
 		// Informational only: ns/op is noisy on shared hosts and does not gate.
@@ -132,6 +134,41 @@ func runDiff(oldPath, newPath string, tolerance float64) error {
 	}
 	fmt.Println("\nno windows/s regressions beyond tolerance")
 	return nil
+}
+
+// printStageDiff renders the per-stage ns/window movement under a
+// benchmark's headline row. Stage data is informational, never gated:
+// it localises a windows/s regression to quantize/pack/gemm/requant but
+// baselines that predate the field (or stages new to this run) simply
+// show a dash — missing-in-old is not a failure.
+func printStageDiff(o, n BenchResult) {
+	if len(o.StageNsPerWindow) == 0 && len(n.StageNsPerWindow) == 0 {
+		return
+	}
+	union := make(map[string]bool, len(o.StageNsPerWindow)+len(n.StageNsPerWindow))
+	for s := range o.StageNsPerWindow {
+		union[s] = true
+	}
+	for s := range n.StageNsPerWindow {
+		union[s] = true
+	}
+	stages := make([]string, 0, len(union))
+	for s := range union {
+		stages = append(stages, s)
+	}
+	sort.Strings(stages)
+	for _, s := range stages {
+		ov, oOK := o.StageNsPerWindow[s]
+		nv, nOK := n.StageNsPerWindow[s]
+		switch {
+		case oOK && nOK && ov > 0:
+			fmt.Printf("  · %-21s %14.0f %14.0f %+8.1f%%  stage ns/window (not gated)\n", s, ov, nv, (nv/ov-1)*100)
+		case nOK:
+			fmt.Printf("  · %-21s %14s %14.0f %9s  stage ns/window (no baseline)\n", s, "-", nv, "-")
+		default:
+			fmt.Printf("  · %-21s %14.0f %14s %9s  stage ns/window (not in new run)\n", s, ov, "-", "-")
+		}
+	}
 }
 
 func fmtMetric(b BenchResult) string {

@@ -17,12 +17,17 @@
 //
 //	varade-sim -addr ... | nc localhost 7777
 //
-// GET /metrics on the metrics address returns a JSON snapshot (sessions,
-// scored/s, drops, coalesce-latency percentiles, per-group precision and
-// derived-group counts); GET /models lists the registry plus the live
-// serving groups; POST /reload?model=NAME hot-swaps live sessions — every
+// GET /metrics on the metrics address returns Prometheus text exposition
+// (stage timers, coalesce-latency histograms, amortisation counters, all
+// labeled by group/precision/stage); GET /metrics.json keeps the JSON
+// snapshot (sessions, scored/s, drops, coalesce-latency percentiles,
+// per-group stage stats and score distributions); GET /sessions lists
+// live sessions with per-session score sketches and drift z-scores;
+// GET /models lists the registry plus the live serving groups;
+// POST /reload?model=NAME hot-swaps live sessions — every
 // derived-precision group of the model moves together — to the latest
-// registered version.
+// registered version. -pprof additionally mounts net/http/pprof under
+// /debug/pprof/ on the metrics address.
 package main
 
 import (
@@ -46,6 +51,7 @@ func main() {
 	flush := flag.Duration("flush", 2*time.Millisecond, "coalescer flush interval (bounds scoring latency)")
 	batch := flag.Int("batch", 0, "coalescer max batch (0 = engine default)")
 	queue := flag.Int("queue", 0, "per-session admission queue depth (0 = default)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof on the metrics address under /debug/pprof/")
 	importPath := flag.String("import", "", "import a saved model file into the registry and exit")
 	importAs := flag.String("as", "", "registry name for -import")
 	list := flag.Bool("list", false, "list registry contents and exit")
@@ -83,6 +89,7 @@ func main() {
 		FlushInterval: *flush,
 		MaxBatch:      *batch,
 		QueueDepth:    *queue,
+		EnablePprof:   *pprofOn,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -97,7 +104,10 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("varade-serve: metrics on http://%s/metrics\n", maddr)
+		fmt.Printf("varade-serve: metrics on http://%s/metrics (JSON at /metrics.json, sessions at /sessions)\n", maddr)
+		if *pprofOn {
+			fmt.Printf("varade-serve: pprof on http://%s/debug/pprof/\n", maddr)
+		}
 	}
 
 	sig := make(chan os.Signal, 1)

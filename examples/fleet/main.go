@@ -20,9 +20,11 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"sync"
 	"time"
@@ -96,7 +98,20 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("fleet server on %s; launching %d robots…\n\n", addr, *devices)
+	maddr, err := srv.ServeMetrics("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fleet server on %s; telemetry on http://%s/metrics; launching %d robots…\n\n",
+		addr, maddr, *devices)
+
+	// /sessions only reports live sessions, so the drift panel needs a
+	// snapshot taken while the robots still hold their connections: each
+	// robot signals `streamed` once its scores are in and then waits at
+	// `snapGate` until main has fetched the snapshot, before saying Bye.
+	var streamed sync.WaitGroup
+	streamed.Add(*devices)
+	snapGate := make(chan struct{})
 
 	// Each robot: an independent simulation with its own collisions,
 	// normalised by the shared scaler, streamed through one session.
@@ -114,6 +129,9 @@ func main() {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
+			var once sync.Once
+			barrier := func() { once.Do(streamed.Done) }
+			defer barrier() // error paths must not strand the snapshot barrier
 			stats[id].err = func() error {
 				simCfg := cfg.Sim
 				simCfg.NoiseSeed = uint64(5000 + 17*id)
@@ -139,20 +157,51 @@ func main() {
 				for i := range rows {
 					rows[i] = series.Row(i).Data()
 				}
-				inEvent := false
-				err = cl.Run(context.Background(), rows, 32, func(sc stream.Score) {
-					stats[id].scored++
-					anomalous := sc.Value > thr
-					if anomalous && !inEvent {
-						stats[id].alerts++
-					}
-					inEvent = anomalous
-				})
 				stats[id].collisions = len(events)
-				return err
+
+				// Send everything, read exactly the expected scores, then
+				// hold the session open until the /sessions snapshot lands.
+				expect := len(rows) - model.WindowSize() + 1
+				if err := cl.Send(rows); err != nil {
+					return err
+				}
+				inEvent := false
+				for got := 0; got < expect; {
+					scores, err := cl.ReadScores()
+					if err != nil {
+						return err
+					}
+					for _, sc := range scores {
+						got++
+						stats[id].scored++
+						anomalous := sc.Value > thr
+						if anomalous && !inEvent {
+							stats[id].alerts++
+						}
+						inEvent = anomalous
+					}
+				}
+				barrier()
+				<-snapGate
+				if err := cl.Bye(); err != nil {
+					return err
+				}
+				for { // drain the server's close
+					if _, err := cl.ReadScores(); err != nil {
+						return nil
+					}
+				}
 			}()
 		}(id)
 	}
+	// All robots have streamed and still hold their sessions: capture the
+	// live per-session sketches, then release the fleet to disconnect.
+	streamed.Wait()
+	var liveSessions serve.SessionsSnapshot
+	if err := getJSON("http://"+maddr+"/sessions", &liveSessions); err != nil {
+		fmt.Println("sessions snapshot failed:", err)
+	}
+	close(snapGate)
 	wg.Wait()
 	elapsed := time.Since(start)
 
@@ -182,6 +231,7 @@ func main() {
 		fmt.Printf("  %-24s %-8s v%d%s\n", g.Key, g.Precision, g.Version, derived)
 	}
 	fmt.Println()
+	telemetryPanel(maddr, liveSessions)
 
 	// Project the measured serving throughput onto the paper's boards,
 	// one row per precision: float32 inference moves half the bytes per
@@ -233,4 +283,87 @@ func main() {
 		os.RemoveAll(regDir) // os.Exit skips the deferred cleanup
 		os.Exit(1)
 	}
+}
+
+// getJSON fetches url and decodes its JSON body into v.
+func getJSON(url string, v any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// fmtNs renders a nanosecond figure at a human scale.
+func fmtNs(ns int64) string {
+	switch {
+	case ns >= int64(time.Millisecond):
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	case ns >= int64(time.Microsecond):
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}
+
+// telemetryPanel renders the drained fleet's observability surface the
+// way an operator dashboard would see it — read back through the
+// server's own HTTP endpoints, not in-process calls: per-group stage
+// latencies, the batch-amortisation table, and the per-session score
+// sketches captured while the fleet was live.
+func telemetryPanel(maddr string, live serve.SessionsSnapshot) {
+	var tm serve.Metrics
+	if err := getJSON("http://"+maddr+"/metrics.json", &tm); err != nil {
+		fmt.Println("telemetry fetch failed:", err)
+		return
+	}
+
+	fmt.Println("pipeline stages (GET /metrics.json — admission→enqueue, coalesce fill, batched score, emit):")
+	fmt.Printf("  %-26s %-10s %10s %10s %10s\n", "group", "stage", "p50", "p99", "windows")
+	for _, g := range tm.Models {
+		for _, st := range []string{"admit_wait", "fill_wait", "score", "emit"} {
+			s, ok := g.Stages[st]
+			if !ok {
+				continue
+			}
+			fmt.Printf("  %-26s %-10s %10s %10s %10d\n", g.Key, st, fmtNs(s.P50Ns), fmtNs(s.P99Ns), s.Windows)
+		}
+	}
+
+	fmt.Println("\nbatch amortisation (windows per flush vs scoring cost):")
+	fmt.Printf("  %-26s %9s %9s %9s %14s\n", "group", "batch ≤", "flushes", "windows", "ns/window")
+	for _, g := range tm.Models {
+		for _, row := range g.Amortization {
+			fmt.Printf("  %-26s %9d %9d %9d %14.0f\n", g.Key, row.BatchLE, row.Flushes, row.Windows, row.NsPerWindow)
+		}
+		if d := g.ScoreDist; d != nil {
+			line := fmt.Sprintf("  %-26s scores: n=%d mean=%.4g std=%.4g", g.Key, d.Count, d.Mean, d.Std)
+			if d.MeanPredVariance != nil {
+				line += fmt.Sprintf(" (mean predicted variance %.4g)", *d.MeanPredVariance)
+			}
+			fmt.Println(line)
+		}
+	}
+
+	fmt.Printf("\nper-session drift (GET /sessions, last live snapshot: %d sessions):\n", live.Count)
+	const maxRows = 12
+	for i, s := range live.Sessions {
+		if i == maxRows {
+			fmt.Printf("  … %d more\n", live.Count-maxRows)
+			break
+		}
+		line := fmt.Sprintf("  session %2d %-26s", s.ID, s.Group)
+		if s.Scores != nil {
+			line += fmt.Sprintf(" n=%-5d mean=%-10.4g", s.Scores.Count, s.Scores.Mean)
+		}
+		if s.DriftZ != nil {
+			line += fmt.Sprintf(" drift z=%+.2f", *s.DriftZ)
+		}
+		fmt.Println(line)
+	}
+	fmt.Println()
 }

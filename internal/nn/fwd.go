@@ -3,7 +3,9 @@ package nn
 import (
 	"fmt"
 	"math"
+	"time"
 
+	"varade/internal/obs"
 	"varade/internal/tensor"
 )
 
@@ -16,6 +18,27 @@ import (
 // bit-identical to the historical concrete layers, and the float32 path
 // differs only by element rounding — never by algorithm.
 
+// floatStages holds the pack/gemm compute-stage timers for one float
+// precision, resolved once per instantiation via precTimers.
+type floatStages struct {
+	pack *obs.StageTimer
+	gemm *obs.StageTimer
+}
+
+var (
+	f32Stages = floatStages{pack: obs.ComputeStage("pack", "f32"), gemm: obs.ComputeStage("gemm", "f32")}
+	f64Stages = floatStages{pack: obs.ComputeStage("pack", "f64"), gemm: obs.ComputeStage("gemm", "f64")}
+)
+
+// precTimers returns the stage timers for T's precision.
+func precTimers[T tensor.Float]() floatStages {
+	var z T
+	if tensor.SizeOf(z) == 4 {
+		return f32Stages
+	}
+	return f64Stages
+}
+
 // sigmoidT is the logistic function evaluated in float64 and rounded to T.
 func sigmoidT[T tensor.Float](x T) T {
 	return T(1 / (1 + math.Exp(-float64(x))))
@@ -26,7 +49,9 @@ func tanhT[T tensor.Float](x T) T { return T(math.Tanh(float64(x))) }
 
 // denseForward computes x·Wᵀ + b for x (batch, in) and w (out, in).
 func denseForward[T tensor.Float](x, w, bias *tensor.Dense[T]) *tensor.Dense[T] {
+	tG := time.Now()
 	out := tensor.MatMulTransB(x, w)
+	precTimers[T]().gemm.Observe(time.Since(tG), x.Dim(0))
 	batch, of := out.Dim(0), out.Dim(1)
 	od, bd := out.Data(), bias.Data()
 	addBias := func(lo, hi int) {
@@ -141,10 +166,15 @@ func conv1dForward[T tensor.Float](x, w, bias *tensor.Dense[T], g convGeom) *ten
 	wmat := w.Reshape(g.outC, g.inC*g.kernel)
 	ar := tensor.GetArenaOf[T]()
 	defer tensor.PutArena(ar)
+	st := precTimers[T]()
 	cols := ar.Tensor(batch*lo, g.inC*g.kernel)
+	tP := time.Now()
 	im2colRows(cols, x.Data(), batch, g.inC, l, lo, g.kernel, g.stride, g.pad)
+	tG := time.Now()
+	st.pack.Observe(tG.Sub(tP), batch)
 	prod := ar.Tensor(batch*lo, g.outC)
 	tensor.MatMulTransBInto(prod, cols, wmat)
+	st.gemm.Observe(time.Since(tG), batch)
 	// Permute (b·lo+t, oc) → (b, oc, t), adding the bias on the way.
 	pd, bd, od := prod.Data(), bias.Data(), out.Data()
 	tensor.Parallel(batch, func(blo, bhi int) {

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"varade/internal/obs"
 	"varade/internal/tensor"
 )
 
@@ -236,7 +238,8 @@ func (o *opQuantSeg) forwardInt8(x *tensor.Tensor32) *tensor.Tensor32 {
 	}
 	s := qScratchPool.Get().(*qScratch)
 	defer qScratchPool.Put(s)
-	var a []int8 // current stage's (m, k) GEMM input
+	tQ := time.Now() // stage timers: one Observe per batch, per stage kind
+	var a []int8     // current stage's (m, k) GEMM input
 	st0 := o.stages[0]
 	if st0.kind == stageConv {
 		g := st0.g
@@ -259,6 +262,8 @@ func (o *opQuantSeg) forwardInt8(x *tensor.Tensor32) *tensor.Tensor32 {
 		a = i8Buf(&s.a, batch*st0.q.Cols)
 		quantizeInput(a, x.Data(), st0.in)
 	}
+	int8QuantTimer.Observe(time.Since(tQ), batch)
+	var gemmD, requantD time.Duration
 	var out *tensor.Tensor32
 	for i, st := range o.stages {
 		p := &o.prep[i]
@@ -274,7 +279,10 @@ func (o *opQuantSeg) forwardInt8(x *tensor.Tensor32) *tensor.Tensor32 {
 			m := batch * lo
 			r1 := g.outC + 1 // + the synthetic row-sum column
 			acc := i32Buf(&s.acc, m*r1)
+			tG := time.Now()
 			tensor.QGemmTransB(acc, a, st.q.panels(), m, g.inC*g.kernel, r1)
+			tR := time.Now()
+			gemmD += tR.Sub(tG)
 			switch {
 			case last:
 				out = tensor.NewOf[float32](batch, g.outC, lo)
@@ -304,13 +312,17 @@ func (o *opQuantSeg) forwardInt8(x *tensor.Tensor32) *tensor.Tensor32 {
 				a = a2
 				s.a, s.a2 = s.a2, s.a
 			}
+			requantD += time.Since(tR)
 			l = lo
 		default:
 			f := st.q.Cols
 			rows := st.q.Rows
 			r1 := rows + 1
 			acc := i32Buf(&s.acc, batch*r1)
+			tG := time.Now()
 			tensor.QGemmTransB(acc, a, st.q.panels(), batch, f, r1)
+			tR := time.Now()
+			gemmD += tR.Sub(tG)
 			if last {
 				out = tensor.NewOf[float32](batch, rows)
 				requantRowsHead(out.Data(), acc, p, st.relu, batch, rows)
@@ -320,13 +332,25 @@ func (o *opQuantSeg) forwardInt8(x *tensor.Tensor32) *tensor.Tensor32 {
 				a = a2
 				s.a, s.a2 = s.a2, s.a
 			}
+			requantD += time.Since(tR)
 		}
 		if last && st.flatten {
 			out = out.Reshape(batch, -1)
 		}
 	}
+	int8GemmTimer.Observe(gemmD, batch)
+	int8RequantTimer.Observe(requantD, batch)
 	return out
 }
+
+// Compute-stage timers for the int8 lane, resolved once: forwardInt8
+// records three Observes (4 atomic adds each) per batch, independent of
+// batch size.
+var (
+	int8QuantTimer   = obs.ComputeStage("quantize", "int8")
+	int8GemmTimer    = obs.ComputeStage("gemm", "int8")
+	int8RequantTimer = obs.ComputeStage("requant", "int8")
+)
 
 // requantConvToCols turns a conv stage's int32 GEMM output
 // (batch·lo, outC+1) directly into the NEXT conv stage's A-matrix: with

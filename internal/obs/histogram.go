@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Histogram is a log-bucketed value histogram over non-negative int64
+// observations (nanoseconds, byte counts, batch sizes). Recording is
+// O(1) and wait-free: one atomic add on the bucket, one on the sum.
+// Quantiles are exact to the bucket: with 2^hSubBits sub-buckets per
+// octave the reported value is the upper bound of the bucket containing
+// the requested rank, at most ~3.1% above the true value. Histograms
+// with the same geometry (all Histograms in this package) merge by
+// bucket-wise addition, which is associative and commutative — the
+// property the server uses to report top-level latency as the merge of
+// per-group histograms.
+//
+// Layout: values below 2^hSubBits land in an exact unit-width bucket
+// (index == value). Above that, each power-of-two octave e (values in
+// [2^e, 2^(e+1))) is split into 2^hSubBits equal sub-buckets; octave e
+// starts at index (e-hSubBits+1)<<hSubBits, so consecutive octaves tile
+// the index space contiguously after the unit region.
+const (
+	hSubBits = 5 // 32 sub-buckets per octave → ≤ 1/32 relative bucket width
+	hSubMask = (1 << hSubBits) - 1
+
+	// Non-negative int64 values span octaves hSubBits..62; the top
+	// octave's last sub-bucket ends at index (64-hSubBits)<<hSubBits - 1.
+	hNumBuckets = (64 - hSubBits) << hSubBits
+)
+
+type Histogram struct {
+	buckets [hNumBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Int64
+}
+
+// bucketIndex maps a value to its bucket. Exact for v < 2^hSubBits.
+func bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	if u < 1<<hSubBits {
+		return int(u)
+	}
+	e := uint(bits.Len64(u)) - 1
+	return int(e-hSubBits+1)<<hSubBits + int(u>>(e-hSubBits))&hSubMask
+}
+
+// bucketUpper returns the inclusive upper bound of bucket i — the value
+// Quantile reports when the rank falls in bucket i.
+func bucketUpper(i int) int64 {
+	if i < 1<<hSubBits {
+		return int64(i)
+	}
+	e := uint(i>>hSubBits) + hSubBits - 1
+	m := uint64(i & hSubMask)
+	return int64((1<<hSubBits+m+1)<<(e-hSubBits)) - 1
+}
+
+// Record adds one observation. Negative values clamp to zero.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// RecordN adds n identical observations in one pair of atomic ops per
+// shared counter — used when a whole flush shares one per-window cost.
+func (h *Histogram) RecordN(v int64, n uint64) {
+	if n == 0 {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketIndex(v)].Add(n)
+	h.count.Add(n)
+	h.sum.Add(v * int64(n))
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of recorded values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Merge adds o's buckets into h. Both histograms may be concurrently
+// recorded into; the merge is then a consistent-enough snapshot (each
+// bucket read once) but not atomic across buckets.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil {
+		return
+	}
+	var total uint64
+	for i := range o.buckets {
+		if n := o.buckets[i].Load(); n != 0 {
+			h.buckets[i].Add(n)
+			total += n
+		}
+	}
+	// Keep count consistent with the buckets actually copied, not with
+	// o.count (which may have advanced past the bucket reads).
+	h.count.Add(total)
+	h.sum.Add(o.sum.Load())
+}
+
+// Quantile returns the value at quantile q in [0,1]: the upper bound of
+// the first bucket whose cumulative count reaches ceil(q·N). Returns 0
+// for an empty histogram. q outside [0,1] is clamped.
+func (h *Histogram) Quantile(q float64) int64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(n))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	var cum uint64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			return bucketUpper(i)
+		}
+	}
+	// Concurrent records can grow count past the bucket sum we walked;
+	// fall back to the highest non-empty bucket.
+	for i := len(h.buckets) - 1; i >= 0; i-- {
+		if h.buckets[i].Load() != 0 {
+			return bucketUpper(i)
+		}
+	}
+	return 0
+}
+
+// Snapshot returns the non-empty buckets as (upperBound, count) pairs in
+// ascending order plus the total count and sum — the exposition format's
+// input. The snapshot is taken bucket-by-bucket and is not atomic under
+// concurrent recording; count is the sum of the bucket counts read, so
+// cumulative exposition stays internally consistent.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n != 0 {
+			s.Buckets = append(s.Buckets, BucketCount{Upper: bucketUpper(i), Count: n})
+			s.Count += n
+		}
+	}
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram's non-empty
+// buckets.
+type HistogramSnapshot struct {
+	Buckets []BucketCount
+	Count   uint64
+	Sum     int64
+}
+
+// BucketCount is one non-empty bucket: Count observations ≤ Upper.
+type BucketCount struct {
+	Upper int64
+	Count uint64
+}
+
+// Quantile computes a quantile from the snapshot with the same
+// upper-bound semantics as Histogram.Quantile.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(s.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var cum uint64
+	for _, b := range s.Buckets {
+		cum += b.Count
+		if cum >= rank {
+			return b.Upper
+		}
+	}
+	return s.Buckets[len(s.Buckets)-1].Upper
+}

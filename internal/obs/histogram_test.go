@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// TestBucketRoundTrip: every value's bucket upper bound must be ≥ the
+// value and within the geometry's relative-error bound, and bucket
+// indices must be monotone in the value.
+func TestBucketRoundTrip(t *testing.T) {
+	vals := []int64{0, 1, 2, 31, 32, 33, 63, 64, 65, 100, 1000, 4095, 4096,
+		1<<20 + 12345, 1 << 40, math.MaxInt64 / 2, math.MaxInt64}
+	prevIdx := -1
+	for _, v := range vals {
+		i := bucketIndex(v)
+		if i < 0 || i >= hNumBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range [0,%d)", v, i, hNumBuckets)
+		}
+		if i < prevIdx {
+			t.Fatalf("bucketIndex not monotone at %d: %d < %d", v, i, prevIdx)
+		}
+		prevIdx = i
+		up := bucketUpper(i)
+		if up < v {
+			t.Fatalf("bucketUpper(%d)=%d < value %d", i, up, v)
+		}
+		// Relative error bound: upper ≤ v·(1 + 2^-hSubBits) for v ≥ 2^hSubBits.
+		if v >= 1<<hSubBits {
+			maxUp := float64(v) * (1 + 1/float64(int64(1)<<hSubBits))
+			if float64(up) > maxUp+1 {
+				t.Fatalf("bucketUpper(%d)=%d exceeds relative bound %g for value %d", i, up, maxUp, v)
+			}
+		} else if up != v {
+			t.Fatalf("unit bucket: bucketUpper(bucketIndex(%d)) = %d, want exact", v, up)
+		}
+	}
+	// Exhaustive small-range check: consecutive buckets tile without gaps.
+	for v := int64(1); v < 1<<12; v++ {
+		i, j := bucketIndex(v-1), bucketIndex(v)
+		if j != i && j != i+1 {
+			t.Fatalf("bucket index jumps from %d to %d between values %d and %d", i, j, v-1, v)
+		}
+	}
+}
+
+// oracleQuantile is the sorted-slice reference: the smallest element
+// with rank ≥ ceil(q·N).
+func oracleQuantile(sorted []int64, q float64) int64 {
+	n := len(sorted)
+	rank := int(q * float64(n))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1]
+}
+
+// TestQuantileAccuracyVsOracle drives the histogram with three
+// distributions and checks every reported quantile against the sorted
+// slice, within the bucket-geometry error bound.
+func TestQuantileAccuracyVsOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n = 50000
+	dists := map[string]func() int64{
+		"uniform":   func() int64 { return rng.Int63n(5_000_000) },
+		"lognormal": func() int64 { return int64(math.Exp(rng.NormFloat64()*2 + 10)) },
+		"pointmass": func() int64 { return 123456 },
+	}
+	for name, gen := range dists {
+		t.Run(name, func(t *testing.T) {
+			var h Histogram
+			vals := make([]int64, n)
+			for i := range vals {
+				vals[i] = gen()
+				h.Record(vals[i])
+			}
+			sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+			for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+				got := h.Quantile(q)
+				want := oracleQuantile(vals, q)
+				if got < want {
+					t.Errorf("q%.3f: histogram %d below oracle %d", q, got, want)
+				}
+				// Upper-bound semantics: got ≤ want·(1+2^-hSubBits)+1.
+				bound := float64(want)*(1+1/float64(int64(1)<<hSubBits)) + 1
+				if float64(got) > bound {
+					t.Errorf("q%.3f: histogram %d exceeds bound %g (oracle %d)", q, got, bound, want)
+				}
+			}
+			if h.Count() != n {
+				t.Errorf("count = %d, want %d", h.Count(), n)
+			}
+		})
+	}
+}
+
+// TestMergeAssociativity: (a⊕b)⊕c and a⊕(b⊕c) must agree bucket-for-
+// bucket, and the merge must equal recording the union directly.
+func TestMergeAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	mk := func(n int, scale int64) *Histogram {
+		h := &Histogram{}
+		for i := 0; i < n; i++ {
+			h.Record(rng.Int63n(scale))
+		}
+		return h
+	}
+	a, b, c := mk(1000, 1000), mk(2000, 1_000_000), mk(500, 10)
+
+	clone := func(h *Histogram) *Histogram {
+		out := &Histogram{}
+		out.Merge(h)
+		return out
+	}
+	left := clone(a)
+	left.Merge(b) // (a⊕b)
+	left.Merge(c) // ⊕c
+	bc := clone(b)
+	bc.Merge(c)
+	right := clone(a)
+	right.Merge(bc)
+
+	if left.Count() != right.Count() || left.Sum() != right.Sum() {
+		t.Fatalf("merge not associative: count %d/%d sum %d/%d",
+			left.Count(), right.Count(), left.Sum(), right.Sum())
+	}
+	for i := range left.buckets {
+		if l, r := left.buckets[i].Load(), right.buckets[i].Load(); l != r {
+			t.Fatalf("bucket %d differs after reassociation: %d vs %d", i, l, r)
+		}
+	}
+	for _, q := range []float64{0.5, 0.99} {
+		if left.Quantile(q) != right.Quantile(q) {
+			t.Fatalf("q%.2f differs after reassociation", q)
+		}
+	}
+}
+
+// TestConcurrentRecordingConservation hammers one histogram from many
+// goroutines (run under -race) and asserts conservation: the sum of all
+// bucket counts equals the number of records, and Count agrees.
+func TestConcurrentRecordingConservation(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 20000
+	)
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perG; i++ {
+				h.Record(rng.Int63n(1 << 30))
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+
+	var bucketTotal uint64
+	for i := range h.buckets {
+		bucketTotal += h.buckets[i].Load()
+	}
+	const want = goroutines * perG
+	if bucketTotal != want {
+		t.Fatalf("bucket sum %d != records %d", bucketTotal, want)
+	}
+	if h.Count() != want {
+		t.Fatalf("Count %d != records %d", h.Count(), want)
+	}
+	snap := h.Snapshot()
+	if snap.Count != want {
+		t.Fatalf("snapshot count %d != records %d", snap.Count, want)
+	}
+	if snap.Quantile(0.5) <= 0 {
+		t.Fatalf("median of uniform(0,2^30) reported as %d", snap.Quantile(0.5))
+	}
+}
+
+func TestRecordNMatchesRepeatedRecord(t *testing.T) {
+	var a, b Histogram
+	a.RecordN(777, 5)
+	for i := 0; i < 5; i++ {
+		b.Record(777)
+	}
+	if a.Count() != b.Count() || a.Sum() != b.Sum() || a.Quantile(1) != b.Quantile(1) {
+		t.Fatalf("RecordN(777,5) != 5×Record(777): count %d/%d sum %d/%d",
+			a.Count(), b.Count(), a.Sum(), b.Sum())
+	}
+}
+
+func TestEmptyHistogram(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	if s := h.Snapshot(); len(s.Buckets) != 0 || s.Quantile(0.99) != 0 {
+		t.Fatal("empty snapshot must be empty")
+	}
+}

@@ -1,0 +1,294 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LintPrometheusText validates a Prometheus text-format (0.0.4)
+// exposition body: well-formed comment and sample lines, legal metric
+// and label names, at most one # TYPE per family declared before its
+// samples, no duplicate series, parseable values, and histogram
+// invariants (cumulative non-decreasing buckets, an le="+Inf" bucket
+// present and equal to the series' _count). It is what the e2e serve
+// test runs against GET /metrics, standing in for `promtool check
+// metrics` without the dependency.
+func LintPrometheusText(body string) error {
+	typed := map[string]string{}    // family -> type
+	helped := map[string]bool{}     // family -> saw HELP
+	sampled := map[string]bool{}    // family has emitted samples (TYPE must precede)
+	seen := map[string]bool{}       // full series key -> dup check
+	hists := map[string]*lintHist{} // histogram series (labels minus le) -> bucket state
+
+	for lineNo, raw := range strings.Split(body, "\n") {
+		line := strings.TrimRight(raw, "\r")
+		if line == "" {
+			continue
+		}
+		where := func(msg string, args ...any) error {
+			return fmt.Errorf("line %d: %s: %q", lineNo+1, fmt.Sprintf(msg, args...), line)
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				continue // arbitrary comment — allowed
+			}
+			name := fields[2]
+			if !validMetricName(name) {
+				return where("invalid metric name in %s", fields[1])
+			}
+			switch fields[1] {
+			case "HELP":
+				if helped[name] {
+					return where("second HELP for %s", name)
+				}
+				helped[name] = true
+			case "TYPE":
+				if len(fields) != 4 {
+					return where("TYPE missing kind")
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return where("unknown TYPE %q", fields[3])
+				}
+				if _, dup := typed[name]; dup {
+					return where("second TYPE for %s", name)
+				}
+				if sampled[name] {
+					return where("TYPE for %s after its samples", name)
+				}
+				typed[name] = fields[3]
+			}
+			continue
+		}
+
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return where("%v", err)
+		}
+		fam := familyOf(name, typed)
+		sampled[fam] = true
+		serKey := name + "{" + labels.canonical() + "}"
+		if seen[serKey] {
+			return where("duplicate series %s", serKey)
+		}
+		seen[serKey] = true
+
+		if typed[fam] == "histogram" && strings.HasSuffix(name, "_bucket") {
+			le, rest := labels.split("le")
+			if le == "" {
+				return where("histogram bucket without le label")
+			}
+			h := hists[fam+"{"+rest.canonical()+"}"]
+			if h == nil {
+				h = &lintHist{}
+				hists[fam+"{"+rest.canonical()+"}"] = h
+			}
+			if value < h.prev {
+				return where("histogram buckets not cumulative (%g < %g)", value, h.prev)
+			}
+			h.prev = value
+			if le == "+Inf" {
+				h.inf, h.hasInf = value, true
+			}
+		}
+		if typed[fam] == "histogram" && strings.HasSuffix(name, "_count") {
+			_, rest := labels.split("le")
+			if h := hists[fam+"{"+rest.canonical()+"}"]; h != nil {
+				h.count, h.hasCount = value, true
+			}
+		}
+		if typed[fam] == "counter" && value < 0 {
+			return where("negative counter value")
+		}
+	}
+
+	for key, h := range hists {
+		if !h.hasInf {
+			return fmt.Errorf("histogram %s has no le=\"+Inf\" bucket", key)
+		}
+		if h.hasCount && h.inf != h.count {
+			return fmt.Errorf("histogram %s: +Inf bucket %g != _count %g", key, h.inf, h.count)
+		}
+	}
+	return nil
+}
+
+type lintHist struct {
+	prev, inf, count float64
+	hasInf, hasCount bool
+}
+
+// familyOf strips histogram/summary suffixes to recover the declared
+// family name when one exists.
+func familyOf(name string, typed map[string]string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name && typed[base] != "" {
+			return base
+		}
+	}
+	return name
+}
+
+type lintLabels []Label
+
+func (ls lintLabels) canonical() string {
+	s := make([]string, 0, len(ls))
+	for _, l := range ls {
+		s = append(s, l.Name+"="+l.Value)
+	}
+	sort.Strings(s)
+	return strings.Join(s, ",")
+}
+
+// split removes the named label, returning its value and the rest.
+func (ls lintLabels) split(name string) (string, lintLabels) {
+	var val string
+	rest := make(lintLabels, 0, len(ls))
+	for _, l := range ls {
+		if l.Name == name {
+			val = l.Value
+		} else {
+			rest = append(rest, l)
+		}
+	}
+	return val, rest
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// parseSample parses `name{l1="v1",...} value` (timestamp suffix
+// tolerated and ignored).
+func parseSample(line string) (string, lintLabels, float64, error) {
+	var name string
+	var labels lintLabels
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		end := strings.IndexByte(rest[i:], '}')
+		if end < 0 {
+			return "", nil, 0, fmt.Errorf("unterminated label set")
+		}
+		var err error
+		labels, err = parseLabels(rest[i+1 : i+end])
+		if err != nil {
+			return "", nil, 0, err
+		}
+		rest = strings.TrimSpace(rest[i+end+1:])
+	} else {
+		sp := strings.IndexAny(rest, " \t")
+		if sp < 0 {
+			return "", nil, 0, fmt.Errorf("sample line without value")
+		}
+		name = rest[:sp]
+		rest = strings.TrimSpace(rest[sp:])
+	}
+	if !validMetricName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("expected value [timestamp], got %q", rest)
+	}
+	val, err := parsePromValue(fields[0])
+	if err != nil {
+		return "", nil, 0, err
+	}
+	return name, labels, val, nil
+}
+
+func parseLabels(s string) (lintLabels, error) {
+	var out lintLabels
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("label without '=' in %q", s)
+		}
+		name := strings.TrimSpace(s[:eq])
+		if !validLabelName(name) {
+			return nil, fmt.Errorf("invalid label name %q", name)
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return nil, fmt.Errorf("label value for %s not quoted", name)
+		}
+		s = s[1:]
+		var val strings.Builder
+		for {
+			if len(s) == 0 {
+				return nil, fmt.Errorf("unterminated label value for %s", name)
+			}
+			c := s[0]
+			s = s[1:]
+			if c == '"' {
+				break
+			}
+			if c == '\\' {
+				if len(s) == 0 {
+					return nil, fmt.Errorf("dangling escape in label %s", name)
+				}
+				switch s[0] {
+				case '\\', '"':
+					val.WriteByte(s[0])
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, fmt.Errorf("bad escape \\%c in label %s", s[0], name)
+				}
+				s = s[1:]
+				continue
+			}
+			val.WriteByte(c)
+		}
+		out = append(out, Label{Name: name, Value: val.String()})
+		s = strings.TrimPrefix(strings.TrimSpace(s), ",")
+		s = strings.TrimSpace(s)
+	}
+	return out, nil
+}
+
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return strconv.ParseFloat("+Inf", 64)
+	case "-Inf":
+		return strconv.ParseFloat("-Inf", 64)
+	case "NaN":
+		return strconv.ParseFloat("NaN", 64)
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("unparseable value %q", s)
+	}
+	return v, nil
+}

@@ -1,0 +1,49 @@
+// Package obs is the serving stack's metrics core: atomic counters and
+// gauges, log-bucketed mergeable histograms with O(1) recording, a
+// registry of labeled series with Prometheus text-format exposition,
+// Welford distribution sketches, and a time-decayed rate estimator.
+//
+// The package is dependency-free (stdlib only) and lock-free on the hot
+// path: callers obtain series handles once (Registry.Counter/Gauge/
+// Histogram take a mutex to get-or-create) and every subsequent Record/
+// Add/Set is a handful of atomic operations. That contract is what lets
+// the fleet server instrument every pipeline stage per window without
+// the serving groups contending on a shared lock — the failure mode of
+// the old single-mutex latency ring.
+//
+// Two registries matter in practice: each serve.Server owns one for its
+// per-group/per-session series, and Global() holds process-wide series —
+// the compute-stage timers the nn inference programs record into, which
+// are not attributable to one server instance.
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (n must be ≥ 0 for the Prometheus
+// counter contract; this is not enforced on the hot path).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is an atomically settable float64 value.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Load returns the current value.
+func (g *Gauge) Load() float64 { return math.Float64frombits(g.bits.Load()) }

@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// RateEWMA turns a monotonically increasing counter into a windowed
+// rate. It is sampled, not pushed: Observe(count, now) is called from
+// the metrics snapshot path (or any poller), computes the instantaneous
+// rate over the elapsed interval, and folds it into an exponentially
+// weighted moving average with time constant tau. With no background
+// goroutine the estimate is as fresh as the last observation — exactly
+// right for a pull-based metrics plane, and it costs nothing when
+// nobody is looking.
+type RateEWMA struct {
+	mu        sync.Mutex
+	tau       time.Duration
+	rate      float64
+	lastCount int64
+	lastAt    time.Time
+	primed    bool
+}
+
+// NewRateEWMA returns a rate estimator with the given time constant
+// (observations older than ~3·tau have negligible weight).
+func NewRateEWMA(tau time.Duration) *RateEWMA {
+	if tau <= 0 {
+		tau = 10 * time.Second
+	}
+	return &RateEWMA{tau: tau}
+}
+
+// Observe folds the counter value at time now into the average and
+// returns the updated rate (events/second). Sub-millisecond re-polls
+// return the current estimate without updating, so rapid scrapes don't
+// inject noisy instantaneous rates.
+func (r *RateEWMA) Observe(count int64, now time.Time) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.primed {
+		r.lastCount, r.lastAt, r.primed = count, now, true
+		return 0
+	}
+	dt := now.Sub(r.lastAt)
+	if dt < time.Millisecond {
+		return r.rate
+	}
+	inst := float64(count-r.lastCount) / dt.Seconds()
+	if inst < 0 {
+		inst = 0 // counter reset
+	}
+	alpha := 1 - math.Exp(-dt.Seconds()/r.tau.Seconds())
+	r.rate += alpha * (inst - r.rate)
+	r.lastCount, r.lastAt = count, now
+	return r.rate
+}
+
+// Rate returns the current estimate without observing.
+func (r *RateEWMA) Rate() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rate
+}

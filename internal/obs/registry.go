@@ -1,0 +1,268 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Label is one name=value pair on a series. Series identity is the
+// metric name plus the full ordered label set.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// kind tags what a family holds, for the # TYPE exposition line.
+type kind uint8
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// family is all series sharing one metric name.
+type family struct {
+	name   string
+	help   string
+	kind   kind
+	series []*series // insertion order; sorted at exposition time
+}
+
+// series is one labeled instance of a family.
+type series struct {
+	key    string // canonical sorted label string, exposition-ready
+	labels []Label
+	ctr    *Counter
+	gauge  *Gauge
+	hist   *Histogram
+}
+
+// Registry holds labeled metric families. Get-or-create takes a mutex;
+// the handles returned are lock-free. A nil *Registry is a valid no-op
+// sink: Counter/Gauge/Histogram on nil return live but unregistered
+// instruments, so instrumented code never branches on "is telemetry on".
+type Registry struct {
+	mu  sync.Mutex
+	fam map[string]*family
+	ord []string // family insertion order (exposition sorts anyway; kept for debugging)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fam: make(map[string]*family)}
+}
+
+// labelKey renders labels sorted by name in exposition syntax:
+// `{a="x",b="y"}`, empty string for no labels. Values are escaped per
+// the Prometheus text format (backslash, double-quote, newline).
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// getSeries finds or creates the series for (name, labels) in a family
+// of kind k, creating the family (with help text) on first use.
+func (r *Registry) getSeries(name, help string, k kind, labels []Label) *series {
+	key := labelKey(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fam[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: k}
+		r.fam[name] = f
+		r.ord = append(r.ord, name)
+	}
+	for _, s := range f.series {
+		if s.key == key {
+			return s
+		}
+	}
+	s := &series{key: key, labels: append([]Label(nil), labels...)}
+	switch k {
+	case kindCounter:
+		s.ctr = &Counter{}
+	case kindGauge:
+		s.gauge = &Gauge{}
+	case kindHistogram:
+		s.hist = &Histogram{}
+	}
+	f.series = append(f.series, s)
+	return s
+}
+
+// Counter returns the counter for (name, labels), creating it on first
+// use. On a nil registry it returns a fresh unregistered counter.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return &Counter{}
+	}
+	return r.getSeries(name, help, kindCounter, labels).ctr
+}
+
+// Gauge returns the gauge for (name, labels), creating it on first use.
+// On a nil registry it returns a fresh unregistered gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return &Gauge{}
+	}
+	return r.getSeries(name, help, kindGauge, labels).gauge
+}
+
+// Histogram returns the histogram for (name, labels), creating it on
+// first use. On a nil registry it returns a fresh unregistered
+// histogram.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	if r == nil {
+		return &Histogram{}
+	}
+	return r.getSeries(name, help, kindHistogram, labels).hist
+}
+
+// VisitHistograms calls fn for every histogram series under the given
+// family name (no-op if absent). Used to merge per-group histograms
+// into top-level figures.
+func (r *Registry) VisitHistograms(name string, fn func(labels []Label, h *Histogram)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	f := r.fam[name]
+	var snap []*series
+	if f != nil {
+		snap = append(snap, f.series...)
+	}
+	r.mu.Unlock()
+	for _, s := range snap {
+		if s.hist != nil {
+			fn(s.labels, s.hist)
+		}
+	}
+}
+
+// WritePrometheus renders every family in the registry in the
+// Prometheus text exposition format (version 0.0.4), families and
+// series in sorted order for deterministic output. Histograms emit
+// cumulative `_bucket{le=...}` lines for each non-empty native bucket
+// plus `le="+Inf"`, then `_sum` and `_count`.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.fam))
+	for _, f := range r.fam {
+		fams = append(fams, f)
+	}
+	// Copy the series slices so exposition can render outside the lock.
+	type famSnap struct {
+		f      *family
+		series []*series
+	}
+	snaps := make([]famSnap, len(fams))
+	for i, f := range fams {
+		snaps[i] = famSnap{f: f, series: append([]*series(nil), f.series...)}
+	}
+	r.mu.Unlock()
+
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].f.name < snaps[j].f.name })
+	for _, fs := range snaps {
+		sort.Slice(fs.series, func(i, j int) bool { return fs.series[i].key < fs.series[j].key })
+		f := fs.f
+		if f.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range fs.series {
+			switch f.kind {
+			case kindCounter:
+				fmt.Fprintf(w, "%s%s %d\n", f.name, s.key, s.ctr.Load())
+			case kindGauge:
+				fmt.Fprintf(w, "%s%s %s\n", f.name, s.key, formatFloat(s.gauge.Load()))
+			case kindHistogram:
+				writeHistogram(w, f.name, s)
+			}
+		}
+	}
+}
+
+func escapeHelp(h string) string {
+	if !strings.ContainsAny(h, "\\\n") {
+		return h
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(h)
+}
+
+// formatFloat renders a float without exponent notation surprises for
+// integral values; Prometheus accepts Go's 'g' formatting.
+func formatFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// writeHistogram emits one histogram series. The `le` label is appended
+// to the series' own labels; buckets are cumulative per the format.
+func writeHistogram(w io.Writer, name string, s *series) {
+	snap := s.hist.Snapshot()
+	inner := strings.TrimSuffix(strings.TrimPrefix(s.key, "{"), "}")
+	var cum uint64
+	for _, b := range snap.Buckets {
+		cum += b.Count
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, bucketLabels(inner, fmt.Sprintf("%d", b.Upper)), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, bucketLabels(inner, "+Inf"), snap.Count)
+	fmt.Fprintf(w, "%s_sum%s %d\n", name, s.key, snap.Sum)
+	fmt.Fprintf(w, "%s_count%s %d\n", name, s.key, snap.Count)
+}
+
+func bucketLabels(inner, le string) string {
+	if inner == "" {
+		return fmt.Sprintf(`{le="%s"}`, le)
+	}
+	return fmt.Sprintf(`{%s,le="%s"}`, inner, le)
+}

@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("x_total", "help", L("group", "a"))
+	c2 := r.Counter("x_total", "help", L("group", "a"))
+	c3 := r.Counter("x_total", "help", L("group", "b"))
+	if c1 != c2 {
+		t.Fatal("same (name,labels) must return the same counter")
+	}
+	if c1 == c3 {
+		t.Fatal("different labels must return different counters")
+	}
+	// Label order must not matter for identity.
+	h1 := r.Histogram("h_ns", "", L("a", "1"), L("b", "2"))
+	h2 := r.Histogram("h_ns", "", L("b", "2"), L("a", "1"))
+	if h1 != h2 {
+		t.Fatal("label order must not change series identity")
+	}
+}
+
+func TestNilRegistryIsValidSink(t *testing.T) {
+	var r *Registry
+	r.Counter("a", "").Inc()
+	r.Gauge("b", "").Set(3)
+	r.Histogram("c", "").Record(5)
+	st := NewStageTimer(r, "varade_test_stage", "", L("stage", "x"))
+	st.Observe(time.Millisecond, 4)
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	if sb.Len() != 0 {
+		t.Fatal("nil registry must render nothing")
+	}
+	r.VisitHistograms("c", func([]Label, *Histogram) { t.Fatal("nil registry has no series") })
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("varade_windows_total", "Windows scored.", L("group", "m@v1:int8"), L("precision", "int8")).Add(10)
+	r.Gauge("varade_sessions_active", "Active sessions.").Set(3)
+	h := r.Histogram("varade_latency_ns", "Coalesce latency.", L("group", "m@v1:int8"))
+	h.Record(100)
+	h.Record(200)
+	h.Record(100)
+
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+
+	for _, want := range []string{
+		"# TYPE varade_windows_total counter",
+		"# HELP varade_windows_total Windows scored.",
+		`varade_windows_total{group="m@v1:int8",precision="int8"} 10`,
+		"# TYPE varade_sessions_active gauge",
+		"varade_sessions_active 3",
+		"# TYPE varade_latency_ns histogram",
+		`varade_latency_ns_bucket{group="m@v1:int8",le="+Inf"} 3`,
+		`varade_latency_ns_sum{group="m@v1:int8"} 400`,
+		`varade_latency_ns_count{group="m@v1:int8"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n--- got ---\n%s", want, out)
+		}
+	}
+	if err := LintPrometheusText(out); err != nil {
+		t.Fatalf("self-lint failed: %v\n%s", err, out)
+	}
+
+	// Deterministic: a second render must be byte-identical.
+	var sb2 strings.Builder
+	r.WritePrometheus(&sb2)
+	if sb2.String() != out {
+		t.Fatal("exposition output not deterministic")
+	}
+}
+
+func TestWritePrometheusHistogramCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_ns", "")
+	h.Record(1)
+	h.Record(2)
+	h.Record(2)
+	h.Record(1000)
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	// Buckets must be cumulative and end at the total.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	var prev uint64
+	sawInf := false
+	for _, ln := range lines {
+		if !strings.HasPrefix(ln, "h_ns_bucket") {
+			continue
+		}
+		var n uint64
+		fields := strings.Fields(ln)
+		if len(fields) != 2 {
+			t.Fatalf("bad bucket line %q", ln)
+		}
+		if _, err := parseUint(fields[1], &n); err != nil {
+			t.Fatalf("bad bucket count in %q: %v", ln, err)
+		}
+		if n < prev {
+			t.Fatalf("bucket counts not cumulative: %q after %d", ln, prev)
+		}
+		prev = n
+		if strings.Contains(ln, `le="+Inf"`) {
+			sawInf = true
+			if n != 4 {
+				t.Fatalf("+Inf bucket = %d, want 4", n)
+			}
+		}
+	}
+	if !sawInf {
+		t.Fatal("no +Inf bucket emitted")
+	}
+}
+
+func parseUint(s string, out *uint64) (uint64, error) {
+	var v uint64
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return 0, errBadDigit
+		}
+		v = v*10 + uint64(s[i]-'0')
+	}
+	*out = v
+	return v, nil
+}
+
+var errBadDigit = errors.New("non-digit in count")
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("e_total", "", L("path", `a\b"c`+"\n")).Inc()
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), `path="a\\b\"c\n"`) {
+		t.Fatalf("label value not escaped: %s", sb.String())
+	}
+}
+
+func TestVisitHistogramsMerge(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("lat_ns", "", L("group", "a")).Record(100)
+	r.Histogram("lat_ns", "", L("group", "b")).Record(300)
+	var merged Histogram
+	seen := 0
+	r.VisitHistograms("lat_ns", func(_ []Label, h *Histogram) {
+		merged.Merge(h)
+		seen++
+	})
+	if seen != 2 {
+		t.Fatalf("visited %d series, want 2", seen)
+	}
+	if merged.Count() != 2 || merged.Sum() != 400 {
+		t.Fatalf("merged count=%d sum=%d", merged.Count(), merged.Sum())
+	}
+}
+
+func TestStageTimerSeries(t *testing.T) {
+	r := NewRegistry()
+	st := NewStageTimer(r, "varade_serve_stage", "Serve stage.", L("stage", "score"))
+	st.Observe(10*time.Microsecond, 8)
+	st.Observe(0, 0) // zero-window batches count calls but no windows
+	if st.Calls.Load() != 2 || st.Windows.Load() != 8 {
+		t.Fatalf("calls=%d windows=%d", st.Calls.Load(), st.Windows.Load())
+	}
+	if st.PerWindow.Count() != 8 {
+		t.Fatalf("per-window records = %d, want 8", st.PerWindow.Count())
+	}
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	for _, want := range []string{
+		"varade_serve_stage_ns_total", "varade_serve_stage_calls_total",
+		"varade_serve_stage_windows_total", "varade_serve_stage_ns_per_window_bucket",
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("missing %s in exposition", want)
+		}
+	}
+}
+
+func TestComputeStageGlobal(t *testing.T) {
+	a := ComputeStage("gemm", "test-prec")
+	b := ComputeStage("gemm", "test-prec")
+	if a != b {
+		t.Fatal("ComputeStage must cache")
+	}
+	a.Observe(time.Millisecond, 16)
+	found := false
+	for _, s := range StagesSnapshot() {
+		if s.Stage == "gemm" && s.Precision == "test-prec" {
+			found = true
+			if s.Windows < 16 || s.Ns <= 0 {
+				t.Fatalf("snapshot stat %+v", s)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("StagesSnapshot missing observed stage")
+	}
+}

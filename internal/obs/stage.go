@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// StageTimer instruments one pipeline stage: total nanoseconds, call
+// (batch) count, window count, and a per-window ns histogram. One
+// Observe per batch — never per window — keeps the cost at four atomic
+// adds regardless of batch size, which is what lets the GEMM inner
+// stages carry timers without moving the benchmarks.
+type StageTimer struct {
+	Ns        *Counter
+	Calls     *Counter
+	Windows   *Counter
+	PerWindow *Histogram
+}
+
+// NewStageTimer registers a stage timer's four series under
+// prefix+{"_ns_total","_calls_total","_windows_total","_ns_per_window"}
+// with the given labels. help describes the stage family.
+func NewStageTimer(r *Registry, prefix, help string, labels ...Label) *StageTimer {
+	return &StageTimer{
+		Ns:        r.Counter(prefix+"_ns_total", help+" (total nanoseconds)", labels...),
+		Calls:     r.Counter(prefix+"_calls_total", help+" (batches observed)", labels...),
+		Windows:   r.Counter(prefix+"_windows_total", help+" (windows covered)", labels...),
+		PerWindow: r.Histogram(prefix+"_ns_per_window", help+" (nanoseconds per window)", labels...),
+	}
+}
+
+// Observe records one batch of `windows` windows that took d in total.
+func (t *StageTimer) Observe(d time.Duration, windows int) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	t.Ns.Add(ns)
+	t.Calls.Inc()
+	if windows > 0 {
+		t.Windows.Add(int64(windows))
+		t.PerWindow.RecordN(ns/int64(windows), uint64(windows))
+	}
+}
+
+// global is the process-wide registry: compute-stage timers recorded by
+// the nn inference programs (not attributable to one server) plus any
+// other process-scoped series. Exposed by every /metrics handler.
+var global = NewRegistry()
+
+// Global returns the process-wide registry.
+func Global() *Registry { return global }
+
+// computeStages caches ComputeStage lookups so the per-batch hot path
+// is one sync.Map read instead of a registry mutex.
+var computeStages sync.Map // "stage\x00precision" -> *StageTimer
+
+// ComputeStage returns the global stage timer for one compute stage of
+// the inference pipeline (quantize, pack, gemm, requant) at the given
+// precision ("int8", "f32", "f64"). Series live under
+// varade_compute_stage_* with {stage, precision} labels.
+func ComputeStage(stage, precision string) *StageTimer {
+	key := stage + "\x00" + precision
+	if t, ok := computeStages.Load(key); ok {
+		return t.(*StageTimer)
+	}
+	t := NewStageTimer(global, "varade_compute_stage",
+		"Inference compute stage timings",
+		L("stage", stage), L("precision", precision))
+	actual, _ := computeStages.LoadOrStore(key, t)
+	return actual.(*StageTimer)
+}
+
+// StageStat is one compute stage's cumulative totals — the raw material
+// for varade-bench's per-stage ns/window columns (bench diffs two
+// StagesSnapshot calls around a measured run).
+type StageStat struct {
+	Stage     string
+	Precision string
+	Ns        int64
+	Calls     int64
+	Windows   int64
+}
+
+// StagesSnapshot returns cumulative totals for every compute stage
+// registered so far, in no particular order.
+func StagesSnapshot() []StageStat {
+	var out []StageStat
+	computeStages.Range(func(k, v any) bool {
+		key := k.(string)
+		t := v.(*StageTimer)
+		var stage, prec string
+		for i := 0; i < len(key); i++ {
+			if key[i] == 0 {
+				stage, prec = key[:i], key[i+1:]
+				break
+			}
+		}
+		out = append(out, StageStat{
+			Stage:     stage,
+			Precision: prec,
+			Ns:        t.Ns.Load(),
+			Calls:     t.Calls.Load(),
+			Windows:   t.Windows.Load(),
+		})
+		return true
+	})
+	return out
+}

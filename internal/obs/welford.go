@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"math"
+	"sync"
+)
+
+// Welford is a streaming distribution sketch: count, mean and M2
+// (sum of squared deviations) via Welford's online algorithm, plus
+// min/max/last. It is the drift-detection substrate: per-session and
+// per-group score sketches are compared through their (mean, variance)
+// to flag sessions whose score distribution has walked away from the
+// group's. Guarded by a mutex — score emission is per-window, not
+// per-sample, so the cost is noise; the payoff is a torn-read-free
+// (mean, M2) pair, which an atomic encoding cannot give without a
+// 128-bit CAS loop.
+type Welford struct {
+	mu   sync.Mutex
+	n    uint64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+	last float64
+}
+
+// Add folds one observation into the sketch.
+func (w *Welford) Add(x float64) {
+	w.mu.Lock()
+	w.addLocked(x)
+	w.mu.Unlock()
+}
+
+// AddBatch folds a run of observations under one lock acquisition —
+// the flusher's per-batch path, so the sketch costs one lock per flush
+// like the stage timers, not one per window.
+func (w *Welford) AddBatch(xs []float64) {
+	if len(xs) == 0 {
+		return
+	}
+	w.mu.Lock()
+	for _, x := range xs {
+		w.addLocked(x)
+	}
+	w.mu.Unlock()
+}
+
+func (w *Welford) addLocked(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+	w.last = x
+}
+
+// WelfordSnapshot is a point-in-time copy of a sketch.
+type WelfordSnapshot struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	M2    float64 `json:"m2"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Last  float64 `json:"last"`
+}
+
+// Snapshot returns a consistent copy of the sketch.
+func (w *Welford) Snapshot() WelfordSnapshot {
+	w.mu.Lock()
+	s := WelfordSnapshot{Count: w.n, Mean: w.mean, M2: w.m2, Min: w.min, Max: w.max, Last: w.last}
+	w.mu.Unlock()
+	return s
+}
+
+// Variance returns the population variance of the snapshot (0 for
+// fewer than two observations).
+func (s WelfordSnapshot) Variance() float64 {
+	if s.Count < 2 {
+		return 0
+	}
+	return s.M2 / float64(s.Count)
+}
+
+// Stddev returns the population standard deviation of the snapshot.
+func (s WelfordSnapshot) Stddev() float64 { return math.Sqrt(s.Variance()) }
+
+// Merge combines two snapshots with the parallel-variance (Chan et al.)
+// update, so per-session sketches aggregate into a group sketch exactly.
+func (s WelfordSnapshot) Merge(o WelfordSnapshot) WelfordSnapshot {
+	if s.Count == 0 {
+		return o
+	}
+	if o.Count == 0 {
+		return s
+	}
+	n := s.Count + o.Count
+	d := o.Mean - s.Mean
+	mean := s.Mean + d*float64(o.Count)/float64(n)
+	m2 := s.M2 + o.M2 + d*d*float64(s.Count)*float64(o.Count)/float64(n)
+	out := WelfordSnapshot{Count: n, Mean: mean, M2: m2, Min: s.Min, Max: s.Max, Last: o.Last}
+	if o.Min < out.Min {
+		out.Min = o.Min
+	}
+	if o.Max > out.Max {
+		out.Max = o.Max
+	}
+	return out
+}

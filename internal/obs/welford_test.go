@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestWelfordAgainstDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var w Welford
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*4 + 10
+		w.Add(xs[i])
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	var m2 float64
+	for _, x := range xs {
+		m2 += (x - mean) * (x - mean)
+	}
+	s := w.Snapshot()
+	if s.Count != uint64(len(xs)) {
+		t.Fatalf("count %d", s.Count)
+	}
+	if math.Abs(s.Mean-mean) > 1e-9 {
+		t.Fatalf("mean %g vs %g", s.Mean, mean)
+	}
+	if math.Abs(s.Variance()-m2/float64(len(xs))) > 1e-6 {
+		t.Fatalf("variance %g vs %g", s.Variance(), m2/float64(len(xs)))
+	}
+	if s.Last != xs[len(xs)-1] {
+		t.Fatalf("last %g", s.Last)
+	}
+}
+
+func TestWelfordMergeEqualsUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var a, b, u Welford
+	for i := 0; i < 5000; i++ {
+		x := rng.ExpFloat64()
+		a.Add(x)
+		u.Add(x)
+	}
+	for i := 0; i < 3000; i++ {
+		x := rng.NormFloat64() * 100
+		b.Add(x)
+		u.Add(x)
+	}
+	m := a.Snapshot().Merge(b.Snapshot())
+	us := u.Snapshot()
+	if m.Count != us.Count {
+		t.Fatalf("count %d vs %d", m.Count, us.Count)
+	}
+	if math.Abs(m.Mean-us.Mean) > 1e-9*math.Abs(us.Mean)+1e-12 {
+		t.Fatalf("mean %g vs %g", m.Mean, us.Mean)
+	}
+	if math.Abs(m.Variance()-us.Variance()) > 1e-6*us.Variance() {
+		t.Fatalf("variance %g vs %g", m.Variance(), us.Variance())
+	}
+	if m.Min != us.Min || m.Max != us.Max {
+		t.Fatalf("min/max %g/%g vs %g/%g", m.Min, m.Max, us.Min, us.Max)
+	}
+	// Identity under empty merge.
+	if got := a.Snapshot().Merge(WelfordSnapshot{}); got != a.Snapshot() {
+		t.Fatal("merge with empty must be identity")
+	}
+}
+
+func TestRateEWMAConverges(t *testing.T) {
+	r := NewRateEWMA(2 * time.Second)
+	t0 := time.Unix(1000, 0)
+	// 500 events/s observed every 100ms for 20s → converges to ~500.
+	count := int64(0)
+	var rate float64
+	for i := 0; i < 200; i++ {
+		count += 50
+		rate = r.Observe(count, t0.Add(time.Duration(i+1)*100*time.Millisecond))
+	}
+	if rate < 450 || rate > 550 {
+		t.Fatalf("rate %g, want ~500", rate)
+	}
+	// Traffic stops: rate must decay toward zero.
+	for i := 0; i < 100; i++ {
+		rate = r.Observe(count, t0.Add(20*time.Second).Add(time.Duration(i+1)*100*time.Millisecond))
+	}
+	if rate > 5 {
+		t.Fatalf("rate %g after 10s idle, want ~0", rate)
+	}
+	// First observation primes without reporting a rate.
+	r2 := NewRateEWMA(time.Second)
+	if got := r2.Observe(1_000_000, t0); got != 0 {
+		t.Fatalf("priming observation reported %g", got)
+	}
+	// Sub-millisecond re-poll must not perturb the estimate.
+	r2.Observe(1_000_100, t0.Add(time.Second))
+	before := r2.Rate()
+	r2.Observe(9_999_999, t0.Add(time.Second+100*time.Microsecond))
+	if r2.Rate() != before {
+		t.Fatal("sub-ms re-poll changed the estimate")
+	}
+}

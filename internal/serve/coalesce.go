@@ -13,15 +13,20 @@ import (
 	"varade/internal/baselines/knn"
 	"varade/internal/core"
 	"varade/internal/detect"
+	"varade/internal/obs"
 	"varade/internal/stream"
 	"varade/internal/tensor"
 )
 
 // windowMeta routes one coalesced window's score back to its session.
+// admitNs is the admission→enqueue wait computed when the window joined
+// the batch (-1 when the sample carried no admission stamp); it is
+// recorded at flush so the pump path pays no telemetry atomics.
 type windowMeta struct {
-	sess  *session
-	index int
-	ready time.Time
+	sess    *session
+	index   int
+	ready   time.Time
+	admitNs int64
 }
 
 // modelGroup is the coalescing unit: every session scoring with the same
@@ -60,6 +65,11 @@ type modelGroup struct {
 	w, c    int
 
 	maxBatch int
+
+	// obs holds the group's telemetry handles (latency histogram, stage
+	// timers, amortisation buckets, score sketch, drop counters) —
+	// resolved once at construction, lock-free thereafter.
+	obs *groupObs
 
 	mu   sync.Mutex
 	cond *sync.Cond
@@ -102,6 +112,7 @@ func newModelGroup(srv *Server, key, name string, version int, pinned bool, reqP
 		maxBatch: srv.cfg.MaxBatch,
 		kick:     make(chan struct{}, 1),
 	}
+	g.obs = newGroupObs(srv.met, key, sc.Capabilities().Precision, g.maxBatch)
 	g.cond = sync.NewCond(&g.mu)
 	g.reqBatches = make(map[*session]int)
 	g.setScorerLocked(sc)
@@ -139,7 +150,10 @@ func (g *modelGroup) ensureBuffersLocked() {
 // add enqueues one ready window (copied out of the session's ring
 // buffer) for the next coalesced batch. It blocks only when the fill
 // buffer is full and the flusher is still scoring the previous batch.
-func (g *modelGroup) add(sess *session, index int, buf *stream.WindowBuffer) {
+// admitAt is the completing sample's admission timestamp; the gap to
+// the window's ready time is the admit_wait stage (reader → bus queue →
+// pump → coalesce buffer).
+func (g *modelGroup) add(sess *session, index int, buf *stream.WindowBuffer, admitAt time.Time) {
 	g.mu.Lock()
 	for g.n == g.maxBatch && !g.closed {
 		g.kickNow()
@@ -163,7 +177,12 @@ func (g *modelGroup) add(sess *session, index int, buf *stream.WindowBuffer) {
 	} else {
 		buf.CopyWindowInto(g.pending.Data()[g.n*stride : (g.n+1)*stride])
 	}
-	g.meta[g.n] = windowMeta{sess: sess, index: index, ready: time.Now()}
+	ready := time.Now()
+	admitNs := int64(-1)
+	if !admitAt.IsZero() {
+		admitNs = ready.Sub(admitAt).Nanoseconds()
+	}
+	g.meta[g.n] = windowMeta{sess: sess, index: index, ready: ready, admitNs: admitNs}
 	g.n++
 	kick := g.n >= g.fillTarget
 	g.mu.Unlock()
@@ -275,6 +294,7 @@ func (g *modelGroup) flush() {
 	// against a scorer that was hot-swapped to a float64-only engine
 	// widens inside ScoreBatch32, and an unbatched detector's adapter
 	// loops Score per window inside ScoreBatch.
+	scoreStart := time.Now()
 	var scores []float64
 	if is32 {
 		scores = sc.ScoreBatch32(batch32.SliceRows(0, n))
@@ -282,12 +302,50 @@ func (g *modelGroup) flush() {
 		scores = sc.ScoreBatch(batch.SliceRows(0, n))
 	}
 	now := time.Now()
+	scoreD := now.Sub(scoreStart)
+	g.obs.score.Observe(scoreD, n)
+	g.obs.amort.record(n, scoreD)
+	g.obs.sketch.AddBatch(scores[:n])
+	// The per-window loop keeps only histogram records hot (one atomic
+	// triple each); the counter halves of the fill_wait/admit_wait stage
+	// timers are summed locally and added once per flush, and session
+	// sketches fold same-session runs of the batch under one lock.
+	var fillNs, admitNs, admitN int64
+	runStart := 0
 	for i := 0; i < n; i++ {
 		m := &meta[i]
-		g.srv.met.observeLatency(now.Sub(m.ready))
-		m.sess.emit(stream.Score{Index: m.index, Value: scores[i]})
+		sess := m.sess
+		// fill_wait: how long the window sat in the coalesce buffer before
+		// scoring began; coalesce latency: ready → emitted, the end-to-end
+		// figure the old global ring measured, now per group.
+		fw := scoreStart.Sub(m.ready).Nanoseconds()
+		if fw < 0 {
+			fw = 0
+		}
+		fillNs += fw
+		g.obs.fillWait.PerWindow.Record(fw)
+		g.obs.coalesce.Record(now.Sub(m.ready).Nanoseconds())
+		if m.admitNs >= 0 {
+			admitNs += m.admitNs
+			admitN++
+			g.obs.admitWait.PerWindow.Record(m.admitNs)
+		}
+		if i+1 == n || meta[i+1].sess != sess {
+			sess.sketch.AddBatch(scores[runStart : i+1])
+			runStart = i + 1
+		}
+		sess.emit(stream.Score{Index: m.index, Value: scores[i]})
 		m.sess = nil
 	}
+	g.obs.fillWait.Ns.Add(fillNs)
+	g.obs.fillWait.Calls.Inc()
+	g.obs.fillWait.Windows.Add(int64(n))
+	if admitN > 0 {
+		g.obs.admitWait.Ns.Add(admitNs)
+		g.obs.admitWait.Calls.Inc()
+		g.obs.admitWait.Windows.Add(admitN)
+	}
+	g.obs.emit.Observe(time.Since(now), n)
 	g.srv.met.windowsScored.Add(int64(n))
 	g.srv.met.batches.Add(1)
 }
@@ -343,8 +401,7 @@ func (g *modelGroup) servingVersion() int {
 
 func (g *modelGroup) status() ModelStatus {
 	g.mu.Lock()
-	defer g.mu.Unlock()
-	return ModelStatus{
+	st := ModelStatus{
 		Key:        g.key,
 		Model:      g.name,
 		Version:    g.version,
@@ -359,6 +416,25 @@ func (g *modelGroup) status() ModelStatus {
 		FillTarget: g.fillTarget,
 		Sessions:   g.sessions,
 	}
+	g.mu.Unlock()
+	stages := map[string]*obs.StageTimer{
+		"admit_wait": g.obs.admitWait,
+		"fill_wait":  g.obs.fillWait,
+		"score":      g.obs.score,
+		"emit":       g.obs.emit,
+	}
+	for name, t := range stages {
+		if t.Calls.Load() == 0 {
+			continue
+		}
+		if st.Stages == nil {
+			st.Stages = make(map[string]StageStats, len(stages))
+		}
+		st.Stages[name] = stageStats(t)
+	}
+	st.Amortization = g.obs.amort.rows()
+	st.ScoreDist = scoreDist(g.obs.sketch.Snapshot(), st.Kind)
+	return st
 }
 
 // detectorChannels reports the stream width a fitted detector consumes.

@@ -1,56 +1,134 @@
 package serve
 
 import (
+	"strings"
 	"testing"
 	"time"
+
+	"varade/internal/obs"
 )
 
-// TestLatencyPercentilesBoundedMemory pins the fixed-size latency ring:
-// a long-running session may observe millions of coalesce latencies, but
-// the percentile window must retain at most latRingSize samples and keep
-// reporting percentiles of the most recent window rather than growing or
-// freezing.
-func TestLatencyPercentilesBoundedMemory(t *testing.T) {
+// TestLatencyPercentilesMergesGroups: the top-level p50/p99 must be the
+// merge of every group's coalesce-latency histogram, not any single
+// group's view.
+func TestLatencyPercentilesMergesGroups(t *testing.T) {
 	m := newMetrics()
-	// Far more observations than the ring holds: 3 full wraps of a
-	// constant 5ms latency…
-	for i := 0; i < 3*latRingSize; i++ {
-		m.observeLatency(5 * time.Millisecond)
-	}
-	if n := len(m.lat); n != latRingSize {
-		t.Fatalf("latency storage grew to %d entries, want fixed %d", n, latRingSize)
+	a := m.reg.Histogram("varade_coalesce_latency_ns", "", obs.L("group", "a"))
+	b := m.reg.Histogram("varade_coalesce_latency_ns", "", obs.L("group", "b"))
+	// Group a: 50 windows at ~1ms. Group b: 50 windows at ~100ms. The
+	// merged median sits in group a's mass, the merged p99 in group b's —
+	// neither group alone reports both.
+	for i := 0; i < 50; i++ {
+		a.Record(int64(time.Millisecond))
+		b.Record(int64(100 * time.Millisecond))
 	}
 	p50, p99 := m.latencyPercentiles()
-	if p50 != 5 || p99 != 5 {
-		t.Fatalf("constant 5ms stream: p50 %.2f p99 %.2f", p50, p99)
+	if p50 < 0.9 || p50 > 1.2 {
+		t.Fatalf("merged p50 = %gms, want ~1ms", p50)
 	}
-	// …then one full window of 1ms: the old 5ms samples must age out
-	// completely, proving the window really is the last latRingSize
-	// observations.
-	for i := 0; i < latRingSize; i++ {
-		m.observeLatency(time.Millisecond)
-	}
-	p50, p99 = m.latencyPercentiles()
-	if p50 != 1 || p99 != 1 {
-		t.Fatalf("after ring wrap: p50 %.2f p99 %.2f, want 1ms", p50, p99)
+	if p99 < 90 || p99 > 110 {
+		t.Fatalf("merged p99 = %gms, want ~100ms", p99)
 	}
 }
 
-// TestLatencyPercentilesPartialWindow covers the pre-wrap regime and the
-// empty ring.
-func TestLatencyPercentilesPartialWindow(t *testing.T) {
+func TestLatencyPercentilesEmpty(t *testing.T) {
 	m := newMetrics()
 	if p50, p99 := m.latencyPercentiles(); p50 != 0 || p99 != 0 {
-		t.Fatalf("empty ring: p50 %.2f p99 %.2f", p50, p99)
+		t.Fatalf("empty metrics reported p50=%g p99=%g", p50, p99)
 	}
-	for i := 1; i <= 100; i++ {
-		m.observeLatency(time.Duration(i) * time.Millisecond)
+}
+
+// TestSnapshotWindowedRate: scored_per_sec_1m must track recent
+// throughput while scored_per_sec stays the lifetime average.
+func TestSnapshotWindowedRate(t *testing.T) {
+	m := newMetrics()
+	t0 := time.Now()
+	m.rate.Observe(0, t0)
+	// Sustained 5000 windows/s for 4 minutes of simulated time: the EWMA
+	// (tau 60s) must converge near the true rate.
+	count := int64(0)
+	var rate float64
+	for i := 1; i <= 240; i++ {
+		count += 5000
+		rate = m.rate.Observe(count, t0.Add(time.Duration(i)*time.Second))
 	}
-	p50, p99 := m.latencyPercentiles()
-	if p50 < 49 || p50 > 51 {
-		t.Fatalf("p50 of 1..100ms = %.2f", p50)
+	if rate < 4500 || rate > 5500 {
+		t.Fatalf("windowed rate %g after sustained 5000/s, want ~5000", rate)
 	}
-	if p99 < 98 || p99 > 100 {
-		t.Fatalf("p99 of 1..100ms = %.2f", p99)
+	m.windowsScored.Add(count)
+	snap := m.snapshot(nil)
+	if snap.WindowsScored != count {
+		t.Fatalf("windows scored %d", snap.WindowsScored)
+	}
+	if snap.ScoredPerSec1m <= 0 {
+		t.Fatalf("scored_per_sec_1m = %g, want > 0", snap.ScoredPerSec1m)
+	}
+}
+
+// TestAmortSetBuckets: flushes land in ceil(log2) buckets, rows report
+// ns/window, and empty buckets stay out of the table.
+func TestAmortSetBuckets(t *testing.T) {
+	m := newMetrics()
+	a := newAmortSet(m.reg, 256, obs.L("group", "g"))
+	a.record(1, 100*time.Nanosecond)
+	a.record(2, 200*time.Nanosecond)
+	a.record(3, 600*time.Nanosecond) // bucket le=4
+	a.record(256, 256*time.Microsecond)
+	a.record(400, 400*time.Microsecond) // clamps into the top bucket
+	a.record(0, time.Second)            // ignored
+
+	rows := a.rows()
+	if len(rows) != 4 {
+		t.Fatalf("rows = %+v, want 4 buckets", rows)
+	}
+	if rows[0].BatchLE != 1 || rows[0].Flushes != 1 || rows[0].Windows != 1 {
+		t.Fatalf("le=1 row %+v", rows[0])
+	}
+	if rows[2].BatchLE != 4 || rows[2].NsPerWindow != 200 {
+		t.Fatalf("le=4 row %+v, want 200 ns/window", rows[2])
+	}
+	top := rows[3]
+	if top.BatchLE != 256 || top.Flushes != 2 || top.Windows != 256+400 {
+		t.Fatalf("top row %+v", top)
+	}
+	// The amortisation series must reach Prometheus exposition.
+	var sb strings.Builder
+	m.reg.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), `varade_flush_amort_windows_total{batch_le="4",group="g"} 3`) {
+		t.Fatalf("amortisation series missing from exposition:\n%s", sb.String())
+	}
+}
+
+// TestScoreDistVARADE: the mean-predicted-variance field appears only
+// for VARADE-kind groups, where the score IS the mean predicted
+// variance of the variational head.
+func TestScoreDistVARADE(t *testing.T) {
+	var w obs.Welford
+	w.Add(1.5)
+	w.Add(2.5)
+	d := scoreDist(w.Snapshot(), "VARADE")
+	if d == nil || d.MeanPredVariance == nil {
+		t.Fatal("VARADE dist must carry mean_pred_variance")
+	}
+	if *d.MeanPredVariance != d.Mean || d.Mean != 2.0 {
+		t.Fatalf("mean_pred_variance %v, mean %v", *d.MeanPredVariance, d.Mean)
+	}
+	if d2 := scoreDist(w.Snapshot(), "AE"); d2 == nil || d2.MeanPredVariance != nil {
+		t.Fatal("non-VARADE dist must omit mean_pred_variance")
+	}
+	if scoreDist(obs.WelfordSnapshot{}, "VARADE") != nil {
+		t.Fatal("empty sketch must yield nil dist")
+	}
+}
+
+func TestKernelInfoSeries(t *testing.T) {
+	m := newMetrics()
+	var sb strings.Builder
+	m.reg.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), "varade_kernel_info{") {
+		t.Fatalf("kernel info gauge missing:\n%s", sb.String())
+	}
+	if err := obs.LintPrometheusText(sb.String()); err != nil {
+		t.Fatalf("fresh registry fails lint: %v", err)
 	}
 }

@@ -15,6 +15,7 @@ import (
 
 	"varade/internal/core"
 	"varade/internal/detect"
+	"varade/internal/obs"
 	"varade/internal/stream"
 	"varade/internal/tensor"
 )
@@ -131,8 +132,49 @@ func TestFleet64SessionsBitIdentical(t *testing.T) {
 	if m.Batches <= 0 || m.AvgBatchSize < 1 {
 		t.Fatalf("implausible batching: %d batches avg %.2f", m.Batches, m.AvgBatchSize)
 	}
-	t.Logf("64 sessions: %d windows in %d batches (avg %.1f windows/batch), p99 coalesce %.2fms",
-		m.WindowsScored, m.Batches, m.AvgBatchSize, m.P99CoalesceMs)
+
+	// The per-group amortisation table must be populated: every scored
+	// window lands in exactly one (batch-size bucket) row.
+	var ms *ModelStatus
+	for i := range m.Models {
+		if m.Models[i].Model == "varade" {
+			ms = &m.Models[i]
+		}
+	}
+	if ms == nil {
+		t.Fatal("varade group missing from metrics")
+	}
+	if len(ms.Amortization) == 0 {
+		t.Fatal("amortisation table empty after 64-session fleet run")
+	}
+	var amortWindows, amortFlushes int64
+	for _, row := range ms.Amortization {
+		if row.Flushes <= 0 || row.Windows <= 0 || row.NsPerWindow <= 0 {
+			t.Fatalf("degenerate amortisation row %+v", row)
+		}
+		amortWindows += row.Windows
+		amortFlushes += row.Flushes
+	}
+	if amortWindows != m.WindowsScored {
+		t.Fatalf("amortisation windows %d != windows scored %d", amortWindows, m.WindowsScored)
+	}
+	if amortFlushes != m.Batches {
+		t.Fatalf("amortisation flushes %d != batches %d", amortFlushes, m.Batches)
+	}
+	// The stage timers must have seen every window too.
+	if st, ok := ms.Stages["score"]; !ok || st.Windows != m.WindowsScored {
+		t.Fatalf("score stage %+v, want windows %d", ms.Stages["score"], m.WindowsScored)
+	}
+	// The group's score sketch covers all windows; it is VARADE-kind, so
+	// mean predicted variance rides along.
+	if ms.ScoreDist == nil || ms.ScoreDist.Count != uint64(m.WindowsScored) {
+		t.Fatalf("score dist %+v, want count %d", ms.ScoreDist, m.WindowsScored)
+	}
+	if ms.ScoreDist.MeanPredVariance == nil {
+		t.Fatal("VARADE group missing mean_pred_variance")
+	}
+	t.Logf("64 sessions: %d windows in %d batches (avg %.1f windows/batch), p99 coalesce %.2fms, %d amort rows",
+		m.WindowsScored, m.Batches, m.AvgBatchSize, m.P99CoalesceMs, len(ms.Amortization))
 }
 
 // TestLineProtocolSession drives the server with the plain CSV line
@@ -409,12 +451,41 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	cl.Close()
 
-	body := httpGet(t, "http://"+maddr+"/metrics")
-	for _, needle := range []string{"windows_scored", "p99_coalesce_ms", "active_sessions", `"model": "varade"`} {
+	// The JSON snapshot moved to /metrics.json, shape preserved.
+	body := httpGet(t, "http://"+maddr+"/metrics.json")
+	for _, needle := range []string{"windows_scored", "p99_coalesce_ms", "active_sessions", `"model": "varade"`, "scored_per_sec_1m"} {
 		if !strings.Contains(body, needle) {
-			t.Fatalf("/metrics missing %q in %s", needle, body)
+			t.Fatalf("/metrics.json missing %q in %s", needle, body)
 		}
 	}
+
+	// /metrics is Prometheus text: it must pass the lint and carry the
+	// stage-labeled series for the traffic just produced.
+	prom := httpGet(t, "http://"+maddr+"/metrics")
+	if err := obs.LintPrometheusText(prom); err != nil {
+		t.Fatalf("/metrics fails Prometheus lint: %v\n%s", err, prom)
+	}
+	for _, needle := range []string{
+		`varade_serve_stage_ns_total{`,
+		`stage="score"`,
+		`stage="fill_wait"`,
+		`stage="emit"`,
+		`varade_coalesce_latency_ns_bucket{`,
+		`varade_windows_scored_total`,
+		`group="varade"`,
+	} {
+		if !strings.Contains(prom, needle) {
+			t.Fatalf("/metrics missing %q in %s", needle, prom)
+		}
+	}
+
+	// /sessions reports the drift substrate; the session above has closed,
+	// so only the counter shape is guaranteed.
+	sess := httpGet(t, "http://"+maddr+"/sessions")
+	if !strings.Contains(sess, `"count"`) {
+		t.Fatalf("/sessions missing count in %s", sess)
+	}
+
 	if !strings.Contains(httpGet(t, "http://"+maddr+"/healthz"), "ok") {
 		t.Fatal("healthz not ok")
 	}

@@ -5,13 +5,17 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"varade/internal/detect"
+	"varade/internal/obs"
 	"varade/internal/stream"
 )
 
@@ -48,6 +52,10 @@ type Config struct {
 	// scores are dropped (and counted) rather than blocking the scorer.
 	// Default QueueDepth.
 	OutDepth int
+	// EnablePprof mounts net/http/pprof handlers under /debug/pprof/ on
+	// the metrics listener. Off by default: profiling endpoints are a
+	// deliberate operator opt-in (varade-serve -pprof).
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -85,6 +93,7 @@ type Server struct {
 	sessions map[*session]struct{}
 	conns    map[net.Conn]struct{} // every live connection, incl. mid-handshake
 	draining bool
+	sessID   atomic.Int64
 
 	acceptWG sync.WaitGroup
 	sessWG   sync.WaitGroup
@@ -473,6 +482,72 @@ func (s *Server) groupStatuses() []ModelStatus {
 	return statuses
 }
 
+// nextSessionID hands out monotonically increasing session ids for the
+// /sessions listing.
+func (s *Server) nextSessionID() int64 { return s.sessID.Add(1) }
+
+// SessionStatus is one live session's slice of the /sessions payload:
+// identity, its group, and the session's score-distribution sketch with
+// a drift score against the group's distribution. DriftZ is the
+// session mean's distance from the group mean in group standard
+// deviations — the per-session drift signal the model-lifecycle loop
+// (shadow scoring, recalibration triggers) watches.
+type SessionStatus struct {
+	ID      int64      `json:"id"`
+	Group   string     `json:"group"`
+	Model   string     `json:"model"`
+	Remote  string     `json:"remote,omitempty"`
+	Scores  *ScoreDist `json:"scores,omitempty"`
+	DriftZ  *float64   `json:"drift_z,omitempty"`
+	Pending int64      `json:"pending_windows"`
+}
+
+// SessionsSnapshot is the /sessions payload.
+type SessionsSnapshot struct {
+	Count    int             `json:"count"`
+	Sessions []SessionStatus `json:"sessions"`
+}
+
+// Sessions snapshots every live session's score sketch, ordered by id.
+func (s *Server) Sessions() SessionsSnapshot {
+	s.mu.Lock()
+	live := make([]*session, 0, len(s.sessions))
+	for sess := range s.sessions {
+		live = append(live, sess)
+	}
+	s.mu.Unlock()
+	sort.Slice(live, func(i, j int) bool { return live[i].id < live[j].id })
+
+	// One group-sketch snapshot per group, shared by its sessions.
+	groupSk := make(map[*modelGroup]obs.WelfordSnapshot)
+	out := SessionsSnapshot{Count: len(live), Sessions: make([]SessionStatus, 0, len(live))}
+	for _, sess := range live {
+		g := sess.grp
+		gs, ok := groupSk[g]
+		if !ok {
+			gs = g.obs.sketch.Snapshot()
+			groupSk[g] = gs
+		}
+		sk := sess.sketch.Snapshot()
+		st := SessionStatus{
+			ID:      sess.id,
+			Group:   g.key,
+			Model:   g.name,
+			Remote:  sess.remote,
+			Scores:  scoreDist(sk, g.kind),
+			Pending: sess.outstanding.Load(),
+		}
+		if sk.Count > 0 {
+			if std := gs.Stddev(); std > 0 {
+				z := (sk.Mean - gs.Mean) / std
+				st.DriftZ = &z
+			}
+		}
+		out.Sessions = append(out.Sessions, st)
+	}
+	return out
+}
+
 // Metrics returns a point-in-time snapshot of the serving state.
 func (s *Server) Metrics() Metrics {
 	// Live sessions' drops and the folded aggregate are read under the
@@ -503,26 +578,47 @@ func (s *Server) Models() ModelsSnapshot {
 	return ModelsSnapshot{Registry: s.cfg.Registry.List(), Groups: s.groupStatuses()}
 }
 
-// ServeMetrics exposes the snapshot over HTTP on addr (":0" picks a
-// port): GET /metrics (JSON snapshot), GET /healthz, GET /models
-// (registry listing + live serving groups), POST /reload?model=name (hot
-// swap). It returns the bound address.
+// WritePrometheus renders the server's metric registry plus the
+// process-global compute-stage registry in the Prometheus text format —
+// the body GET /metrics serves. Snapshot-time gauges (uptime, active
+// sessions) are refreshed first so scrapes see current values.
+func (s *Server) WritePrometheus(w io.Writer) {
+	s.met.uptimeGauge.Set(time.Since(s.met.start).Seconds())
+	s.met.activeGauge.Set(float64(s.met.sessionsActive.Load()))
+	s.met.reg.WritePrometheus(w)
+	obs.Global().WritePrometheus(w)
+}
+
+// ServeMetrics exposes the observability plane over HTTP on addr (":0"
+// picks a port): GET /metrics (Prometheus text format), GET
+// /metrics.json (the JSON snapshot, previously served at /metrics),
+// GET /sessions (per-session score sketches), GET /healthz, GET /models
+// (registry listing + live serving groups), POST /reload?model=name
+// (hot swap), and — when Config.EnablePprof is set — /debug/pprof/. It
+// returns the bound address.
 func (s *Server) ServeMetrics(addr string) (string, error) {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+	writeJSON := func(w http.ResponseWriter, v any) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		enc.Encode(s.Metrics())
+		enc.Encode(v)
+	}
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, s.Metrics())
+	})
+	mux.HandleFunc("/sessions", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, s.Sessions())
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/models", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(s.Models())
+		writeJSON(w, s.Models())
 	})
 	mux.HandleFunc("/reload", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -536,6 +632,13 @@ func (s *Server) ServeMetrics(addr string) (string, error) {
 		}
 		fmt.Fprintln(w, "reloaded", name)
 	})
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err

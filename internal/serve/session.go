@@ -8,13 +8,23 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"varade/internal/obs"
 	"varade/internal/stream"
 )
 
 // maxScoreFrame caps how many scores the writer packs into one outbound
 // frame (or one buffered run of CSV lines).
 const maxScoreFrame = 1024
+
+// admitted is one sample plus its admission timestamp — stamped once
+// per inbound frame by the reader, so the coalescer can measure the
+// admission→enqueue wait without any extra clock reads on the pump.
+type admitted struct {
+	sample []float64
+	at     time.Time
+}
 
 // session is one device stream multiplexed onto the server: it owns the
 // per-device window state (ring buffer + sample index) and the two
@@ -30,6 +40,15 @@ type session struct {
 	conn   *connRW
 	binary bool
 
+	// id names the session in /sessions; remote is the peer address.
+	id     int64
+	remote string
+
+	// sketch accumulates the session's score distribution — the
+	// per-session half of the drift-detection substrate. Only the group
+	// flusher writes it; /sessions snapshots it.
+	sketch obs.Welford
+
 	// Granted v2 capabilities (defaults for v1/line sessions): the
 	// outbound score-frame cap and the admission drop policy. reqBatch
 	// keeps the frame cap the client itself asked for (0 = none) — it
@@ -38,9 +57,9 @@ type session struct {
 	reqBatch   int
 	dropNewest bool
 
-	bus *stream.Bus       // admission control: bounded, negotiated policy
-	in  <-chan []float64  // the bus subscription the pump drains
-	out chan stream.Score // scored results awaiting the writer
+	bus *stream.Bus[admitted] // admission control: bounded, negotiated policy
+	in  <-chan admitted       // the bus subscription the pump drains
+	out chan stream.Score     // scored results awaiting the writer
 
 	buf   *stream.WindowBuffer
 	index int
@@ -62,16 +81,23 @@ type session struct {
 }
 
 func newSession(srv *Server, grp *modelGroup, conn *connRW, binary bool, granted stream.SessionCaps, reqBatch int) *session {
-	bus := stream.NewBus()
+	bus := stream.NewBus[admitted]()
+	bus.SetDropCounter(grp.obs.busDrops)
 	maxOut := granted.MaxBatch
 	if maxOut <= 0 || maxOut > maxScoreFrame {
 		maxOut = maxScoreFrame
+	}
+	remote := ""
+	if conn.Conn != nil && conn.RemoteAddr() != nil {
+		remote = conn.RemoteAddr().String()
 	}
 	return &session{
 		srv:        srv,
 		grp:        grp,
 		conn:       conn,
 		binary:     binary,
+		id:         srv.nextSessionID(),
+		remote:     remote,
 		maxOut:     maxOut,
 		reqBatch:   reqBatch,
 		dropNewest: granted.DropPolicy == stream.DropNewest,
@@ -116,17 +142,17 @@ func (s *session) run(br *bufio.Reader) {
 	wg.Wait()
 }
 
-// admit publishes one sample into the session's admission queue. When
-// the pump can't keep up the Bus sheds under the session's negotiated
-// policy — by default the oldest queued sample goes (freshest data
-// wins); a drop-newest session sheds the incoming sample instead. Either
-// way the reader never blocks.
-func (s *session) admit(sample []float64) {
+// admit publishes one sample into the session's admission queue,
+// stamped with its arrival time. When the pump can't keep up the Bus
+// sheds under the session's negotiated policy — by default the oldest
+// queued sample goes (freshest data wins); a drop-newest session sheds
+// the incoming sample instead. Either way the reader never blocks.
+func (s *session) admit(sample []float64, at time.Time) {
 	s.srv.met.samplesIn.Add(1)
 	if s.dropNewest {
-		s.bus.PublishDropNewest(sample)
+		s.bus.PublishDropNewest(admitted{sample: sample, at: at})
 	} else {
-		s.bus.Publish(sample)
+		s.bus.Publish(admitted{sample: sample, at: at})
 	}
 }
 
@@ -134,7 +160,7 @@ func (s *session) admit(sample []float64) {
 // sample ends the session with an error the client gets to see.
 func (s *session) readLines(br *bufio.Reader) error {
 	return stream.ReadSamples(br, s.grp.c, func(sample []float64) bool {
-		s.admit(sample)
+		s.admit(sample, time.Now())
 		return true
 	})
 }
@@ -156,8 +182,9 @@ func (s *session) readFrames(br *bufio.Reader) error {
 			if err != nil {
 				return err
 			}
+			at := time.Now() // one clock read per frame, shared by its samples
 			for _, sample := range samples {
-				s.admit(sample)
+				s.admit(sample, at)
 			}
 		case stream.FrameBye:
 			return nil
@@ -171,12 +198,12 @@ func (s *session) readFrames(br *bufio.Reader) error {
 // coalescer. When the admission queue closes it marks input done and
 // waits for every outstanding window's score to be emitted.
 func (s *session) pump() {
-	for sample := range s.in {
-		s.buf.Push(sample)
+	for a := range s.in {
+		s.buf.Push(a.sample)
 		s.index++
 		if s.buf.Full() {
 			s.outstanding.Add(1)
-			s.grp.add(s, s.index-1, s.buf)
+			s.grp.add(s, s.index-1, s.buf, a.at)
 		}
 	}
 	s.inputDone.Store(true)
@@ -197,6 +224,7 @@ func (s *session) emit(sc stream.Score) {
 	case s.out <- sc:
 	default:
 		s.srv.met.scoresDropped.Add(1)
+		s.grp.obs.scoreDrops.Inc()
 	}
 	s.scoreDone()
 }

@@ -13,7 +13,7 @@ import (
 // could spin in Publish; the bounded version must terminate and account
 // for every sample as either delivered or dropped.
 func TestBusPublishBoundedUnderRacingConsumer(t *testing.T) {
-	b := NewBus()
+	b := NewBus[[]float64]()
 	ch := b.Subscribe(1)
 	const total = 5000
 	var consumed int
@@ -53,7 +53,7 @@ func TestBusPublishBoundedUnderRacingConsumer(t *testing.T) {
 // TestBusDroppedCountsNewSampleWhenRetryFails documents the bounded drop
 // accounting: with no consumer, publishing depth+k samples drops exactly k.
 func TestBusDroppedCountsExactEvictions(t *testing.T) {
-	b := NewBus()
+	b := NewBus[[]float64]()
 	_ = b.Subscribe(3)
 	for i := 0; i < 10; i++ {
 		b.Publish([]float64{float64(i)})
@@ -67,7 +67,7 @@ func TestBusDroppedCountsExactEvictions(t *testing.T) {
 // gets an already-closed channel (range terminates immediately) rather
 // than a nil channel or a panic.
 func TestBusSubscribeAfterClose(t *testing.T) {
-	b := NewBus()
+	b := NewBus[[]float64]()
 	b.Publish([]float64{1})
 	b.Close()
 	ch := b.Subscribe(4)
@@ -90,7 +90,7 @@ func TestBusSubscribeAfterClose(t *testing.T) {
 // into a closed bus is a no-op — nothing delivered, nothing counted as a
 // backpressure drop, no panic from sending on a closed channel.
 func TestBusPublishAfterCloseDropsSilently(t *testing.T) {
-	b := NewBus()
+	b := NewBus[[]float64]()
 	ch := b.Subscribe(4)
 	b.Publish([]float64{1})
 	b.Close()
@@ -112,7 +112,7 @@ func TestBusPublishAfterCloseDropsSilently(t *testing.T) {
 // and a late Close, then checks conservation: every published sample is
 // either consumed or counted as dropped (run under -race in CI).
 func TestBusDropCountingUnderConcurrency(t *testing.T) {
-	b := NewBus()
+	b := NewBus[[]float64]()
 	const (
 		publishers   = 4
 		perPublisher = 2000

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"varade/internal/detect"
+	"varade/internal/obs"
 	"varade/internal/tensor"
 )
 
@@ -118,23 +119,48 @@ func (r *Runner) Scored() int { return r.nScore }
 // subscribe. Subscribers receive every sample published after they join;
 // a slow subscriber drops the oldest queued samples rather than blocking
 // the producer, matching real broker behaviour under backpressure.
-type Bus struct {
+//
+// The element type is generic so callers can thread per-sample metadata
+// through the queue without a parallel channel: the fleet server's
+// sessions publish timestamped samples, so admission→enqueue wait is
+// measurable end to end. Plain sample feeds use Bus[[]float64].
+type Bus[T any] struct {
 	mu     sync.Mutex
-	subs   []chan []float64
+	subs   []chan T
 	closed bool
 	// Dropped counts samples discarded because a subscriber queue was full.
 	dropped int
+	// sink, when set, receives every drop as it happens — the live
+	// per-group obs counter the server exposes, next to the session-local
+	// dropped total above.
+	sink *obs.Counter
 }
 
 // NewBus returns an empty bus.
-func NewBus() *Bus { return &Bus{} }
+func NewBus[T any]() *Bus[T] { return &Bus[T]{} }
+
+// SetDropCounter attaches a live drop sink: every shed element also
+// increments c. Call before publishing begins.
+func (b *Bus[T]) SetDropCounter(c *obs.Counter) {
+	b.mu.Lock()
+	b.sink = c
+	b.mu.Unlock()
+}
+
+// drop accounts one shed element. Callers hold b.mu.
+func (b *Bus[T]) drop() {
+	b.dropped++
+	if b.sink != nil {
+		b.sink.Inc()
+	}
+}
 
 // Subscribe registers a new consumer with the given queue depth.
-func (b *Bus) Subscribe(depth int) <-chan []float64 {
+func (b *Bus[T]) Subscribe(depth int) <-chan T {
 	if depth < 1 {
 		depth = 1
 	}
-	ch := make(chan []float64, depth)
+	ch := make(chan T, depth)
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.closed {
@@ -150,7 +176,7 @@ func (b *Bus) Subscribe(depth int) <-chan []float64 {
 // if a racing consumer keeps the queue full after one eviction, the new
 // sample itself is dropped (and counted) instead of spinning under the
 // bus lock.
-func (b *Bus) Publish(sample []float64) {
+func (b *Bus[T]) Publish(sample T) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.closed {
@@ -165,7 +191,7 @@ func (b *Bus) Publish(sample []float64) {
 		// Queue full: evict the oldest queued sample, then retry once.
 		select {
 		case <-ch:
-			b.dropped++
+			b.drop()
 		default:
 			// A consumer drained the queue between the two selects; the
 			// retry below will succeed without evicting anything.
@@ -175,7 +201,7 @@ func (b *Bus) Publish(sample []float64) {
 		default:
 			// Still full — a consumer-side race refilled the queue. Drop
 			// the new sample rather than looping.
-			b.dropped++
+			b.drop()
 		}
 	}
 }
@@ -184,7 +210,7 @@ func (b *Bus) Publish(sample []float64) {
 // room and drops (and counts) the sample itself at any full one — the
 // negotiable drop-newest admission policy: the queued backlog survives
 // and the newest data is shed instead.
-func (b *Bus) PublishDropNewest(sample []float64) {
+func (b *Bus[T]) PublishDropNewest(sample T) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.closed {
@@ -194,20 +220,20 @@ func (b *Bus) PublishDropNewest(sample []float64) {
 		select {
 		case ch <- sample:
 		default:
-			b.dropped++
+			b.drop()
 		}
 	}
 }
 
 // Dropped returns the number of samples discarded under backpressure.
-func (b *Bus) Dropped() int {
+func (b *Bus[T]) Dropped() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.dropped
 }
 
 // Close terminates all subscriber channels.
-func (b *Bus) Close() {
+func (b *Bus[T]) Close() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.closed {

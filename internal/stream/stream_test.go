@@ -101,7 +101,7 @@ func TestRunnerProducesScoresOncePrimed(t *testing.T) {
 }
 
 func TestBusDeliversToAllSubscribers(t *testing.T) {
-	b := NewBus()
+	b := NewBus[[]float64]()
 	s1 := b.Subscribe(10)
 	s2 := b.Subscribe(10)
 	b.Publish([]float64{1, 2})
@@ -120,7 +120,7 @@ func TestBusDeliversToAllSubscribers(t *testing.T) {
 }
 
 func TestBusDropsOldestUnderBackpressure(t *testing.T) {
-	b := NewBus()
+	b := NewBus[[]float64]()
 	s := b.Subscribe(2)
 	for i := 0; i < 5; i++ {
 		b.Publish([]float64{float64(i)})
@@ -143,7 +143,7 @@ func TestBusDropsOldestUnderBackpressure(t *testing.T) {
 }
 
 func TestBusPublishAfterCloseIsNoop(t *testing.T) {
-	b := NewBus()
+	b := NewBus[[]float64]()
 	b.Close()
 	b.Publish([]float64{1}) // must not panic
 	if ch := b.Subscribe(1); ch == nil {
