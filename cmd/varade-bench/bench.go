@@ -43,6 +43,12 @@ type BenchResult struct {
 	// stage timers over one profiled run. Absent in pre-PR-7 baselines
 	// and for benchmarks without a windows metric.
 	StageNsPerWindow map[string]float64 `json:"stage_ns_per_window,omitempty"`
+	// P50/P99CoalesceMs are the server-measured coalesce-latency
+	// percentiles for serving lanes with bursty admission. Informational:
+	// -diff renders them but never gates on them (latency under sleeps is
+	// too host-sensitive for a hard threshold). Absent elsewhere.
+	P50CoalesceMs float64 `json:"p50_coalesce_ms,omitempty"`
+	P99CoalesceMs float64 `json:"p99_coalesce_ms,omitempty"`
 }
 
 const (
@@ -149,9 +155,13 @@ func measureSuite(cases []benchCase) []BenchResult {
 // entry, 64 persistent sessions negotiating float64/float32/int8
 // round-robin (protocol v2), windows coalesced per precision-specific
 // group. Each op replays every device's stream through its live session.
+// With burst > 0 admission turns bursty: every session sends burst rows,
+// idles gap, repeats — the closed-loop scheduler's deadline lane.
 type fleetMixedBench struct {
 	sessions, steps int
 	w               int
+	burst           int
+	gap             time.Duration
 	regDir          string
 	srv             *serve.Server
 	clients         []*serve.Client
@@ -160,6 +170,18 @@ type fleetMixedBench struct {
 }
 
 func newFleetMixedBench(seed uint64) (*fleetMixedBench, error) {
+	return newFleetBench(seed, 0, 0, 0)
+}
+
+// newFleetBurstyBench is the FleetServeBursty64 lane: 12-row admission
+// bursts separated by 1ms idle gaps under a 5ms p99 SLO, with a hopeless
+// 50ms fallback flush interval — every latency bound the fleet sees must
+// come from the SLO deadline scheduler, not the ticker it replaced.
+func newFleetBurstyBench(seed uint64) (*fleetMixedBench, error) {
+	return newFleetBench(seed, 12, time.Millisecond, 5*time.Millisecond)
+}
+
+func newFleetBench(seed uint64, burst int, gap, slo time.Duration) (*fleetMixedBench, error) {
 	const (
 		sessions = 64
 		steps    = 72
@@ -169,7 +191,7 @@ func newFleetMixedBench(seed uint64) (*fleetMixedBench, error) {
 	if err != nil {
 		return nil, err
 	}
-	f := &fleetMixedBench{sessions: sessions, steps: steps, w: model.WindowSize()}
+	f := &fleetMixedBench{sessions: sessions, steps: steps, w: model.WindowSize(), burst: burst, gap: gap}
 	// Any failure below must not strand the temp registry, the server or
 	// already-dialed sessions.
 	ok := false
@@ -189,10 +211,15 @@ func newFleetMixedBench(seed uint64) (*fleetMixedBench, error) {
 	if _, err := reg.Register("varade", model); err != nil {
 		return nil, err
 	}
+	flush := time.Millisecond
+	if slo > 0 {
+		flush = 50 * time.Millisecond // the deadline must carry the latency, not the fallback
+	}
 	f.srv, err = serve.NewServer(serve.Config{
 		Registry:      reg,
 		DefaultModel:  "varade",
-		FlushInterval: time.Millisecond,
+		FlushInterval: flush,
+		SLOP99:        slo,
 		QueueDepth:    steps + 8, // score every window
 	})
 	if err != nil {
@@ -242,8 +269,21 @@ func (f *fleetMixedBench) run(iters int) {
 			go func(id int) {
 				defer wg.Done()
 				cl := f.clients[id]
-				if err := cl.Send(f.rows[id]); err != nil {
-					panic(err)
+				step := f.burst
+				if step <= 0 {
+					step = f.steps
+				}
+				for off := 0; off < f.steps; off += step {
+					end := off + step
+					if end > f.steps {
+						end = f.steps
+					}
+					if err := cl.Send(f.rows[id][off:end]); err != nil {
+						panic(err)
+					}
+					if f.gap > 0 && end < f.steps {
+						time.Sleep(f.gap)
+					}
 				}
 				for got := 0; got < expect; {
 					scores, err := cl.ReadScores()
@@ -379,6 +419,22 @@ func runBenchSuite(jsonPath string, seed uint64) error {
 	fleetResults[0].StageNsPerWindow = stageProfile(fleet.run)
 	results = append(results, fleetResults...)
 	fleet.close()
+
+	// The bursty-admission lane: throughput is informational (the op
+	// includes deliberate idle gaps); the numbers that matter are the
+	// server-measured coalesce-latency percentiles against the 5ms SLO.
+	bursty, err := newFleetBurstyBench(seed)
+	if err != nil {
+		return err
+	}
+	burstyResults := measureSuite([]benchCase{
+		{"FleetServeBursty64", bursty.sessions * bursty.steps, bursty.run},
+	})
+	bm := bursty.srv.Metrics()
+	burstyResults[0].P50CoalesceMs = bm.P50CoalesceMs
+	burstyResults[0].P99CoalesceMs = bm.P99CoalesceMs
+	results = append(results, burstyResults...)
+	bursty.close()
 	// Which micro-kernel family produced these numbers: cross-runner
 	// comparisons are only meaningful on the same dispatch.
 	fmt.Printf("gemm kernel: %s, qgemm kernel: %s\n", tensor.GemmKernelName(), tensor.QGemmKernelName())
@@ -388,6 +444,9 @@ func runBenchSuite(jsonPath string, seed uint64) error {
 				res.Name, res.NsPerOp, res.AllocsPerOp, res.WindowsPerSec)
 		} else {
 			fmt.Printf("%-24s %12.0f ns/op %8d allocs/op\n", res.Name, res.NsPerOp, res.AllocsPerOp)
+		}
+		if res.P99CoalesceMs > 0 {
+			fmt.Printf("  · %-20s %12.3f ms p50 %10.3f ms p99\n", "coalesce latency", res.P50CoalesceMs, res.P99CoalesceMs)
 		}
 		if len(res.StageNsPerWindow) > 0 {
 			stages := make([]string, 0, len(res.StageNsPerWindow))

@@ -113,6 +113,7 @@ func runDiff(oldPath, newPath string, tolerance float64) error {
 					fmt.Sprintf("%s: %.0f → %.0f windows/s (%.1f%%)", name, o.WindowsPerSec, n.WindowsPerSec, delta*100))
 			}
 			printStageDiff(o, n)
+			printLatencyDiff(o, n)
 			continue
 		}
 		// Informational only: ns/op is noisy on shared hosts and does not gate.
@@ -169,6 +170,28 @@ func printStageDiff(o, n BenchResult) {
 			fmt.Printf("  · %-21s %14.0f %14s %9s  stage ns/window (not in new run)\n", s, ov, "-", "-")
 		}
 	}
+}
+
+// printLatencyDiff renders the coalesce-latency percentile movement for
+// bursty serving lanes. Informational, never gated: wall-clock latency
+// under deliberate admission gaps is too host-sensitive for a hard
+// threshold, but the p50/p99 trajectory against the SLO is worth seeing.
+func printLatencyDiff(o, n BenchResult) {
+	if o.P99CoalesceMs <= 0 && n.P99CoalesceMs <= 0 {
+		return
+	}
+	row := func(label string, ov, nv float64) {
+		switch {
+		case ov > 0 && nv > 0:
+			fmt.Printf("  · %-21s %14.3f %14.3f %+8.1f%%  %s coalesce ms (not gated)\n", label, ov, nv, (nv/ov-1)*100, label)
+		case nv > 0:
+			fmt.Printf("  · %-21s %14s %14.3f %9s  %s coalesce ms (no baseline)\n", label, "-", nv, "-", label)
+		default:
+			fmt.Printf("  · %-21s %14.3f %14s %9s  %s coalesce ms (not in new run)\n", label, ov, "-", "-", label)
+		}
+	}
+	row("p50", o.P50CoalesceMs, n.P50CoalesceMs)
+	row("p99", o.P99CoalesceMs, n.P99CoalesceMs)
 }
 
 func fmtMetric(b BenchResult) string {

@@ -17,8 +17,14 @@
 //
 //	varade-sim -addr ... | nc localhost 7777
 //
+// Batching is closed-loop: each serving group learns its fill target
+// from its own measured amortisation curve, and -slo-p99 (negotiable per
+// v2 session via the slo_p99_ms capability) turns the flush into a
+// deadline against the oldest admitted window instead of a fixed ticker.
+//
 // GET /metrics on the metrics address returns Prometheus text exposition
-// (stage timers, coalesce-latency histograms, amortisation counters, all
+// (stage timers, coalesce-latency histograms, amortisation counters,
+// varade_sched_* scheduler series, all
 // labeled by group/precision/stage); GET /metrics.json keeps the JSON
 // snapshot (sessions, scored/s, drops, coalesce-latency percentiles,
 // per-group stage stats and score distributions); GET /sessions lists
@@ -48,7 +54,8 @@ func main() {
 	model := flag.String("model", "", "default model reference (name or name@vN) for connecting sessions")
 	addr := flag.String("addr", ":7777", "device session listen address")
 	metricsAddr := flag.String("metrics", ":7778", "metrics HTTP listen address (empty disables)")
-	flush := flag.Duration("flush", 2*time.Millisecond, "coalescer flush interval (bounds scoring latency)")
+	flush := flag.Duration("flush", 2*time.Millisecond, "coalescer flush interval (deadline fallback when no SLO is set)")
+	sloP99 := flag.Duration("slo-p99", 0, "per-group p99 coalesce-latency SLO; flushes are deadline-scheduled against it (0 disables, v2 sessions may tighten it)")
 	batch := flag.Int("batch", 0, "coalescer max batch (0 = engine default)")
 	queue := flag.Int("queue", 0, "per-session admission queue depth (0 = default)")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof on the metrics address under /debug/pprof/")
@@ -87,6 +94,7 @@ func main() {
 		Registry:      reg,
 		DefaultModel:  *model,
 		FlushInterval: *flush,
+		SLOP99:        *sloP99,
 		MaxBatch:      *batch,
 		QueueDepth:    *queue,
 		EnablePprof:   *pprofOn,
@@ -125,5 +133,16 @@ func main() {
 	fmt.Printf("varade-serve: %d serving groups (%d derived-precision)\n", m.ServingGroups, m.DerivedGroups)
 	for _, g := range m.Models {
 		fmt.Printf("  %-28s %-8s v%-3d %d sessions\n", g.Key, g.Precision, g.Version, g.Sessions)
+		if s := g.Scheduler; s != nil {
+			fmt.Printf("    scheduler: fill target %d (static %d), flushes fill/deadline/drain %d/%d/%d",
+				s.FillTarget, s.StaticTarget, s.FillFlushes, s.DeadlineFlushes, s.DrainFlushes)
+			if s.SLOP99Ms > 0 {
+				fmt.Printf(", slo p99 %.1fms (budget %.2fms)", s.SLOP99Ms, s.DeadlineBudgetMs)
+			}
+			fmt.Println()
+			if s.LastChange != "" {
+				fmt.Printf("    scheduler: last decision: %s\n", s.LastChange)
+			}
+		}
 	}
 }

@@ -90,7 +90,9 @@ func main() {
 	if _, err := reg.Register("varade", model); err != nil {
 		log.Fatal(err)
 	}
-	srv, err := serve.NewServer(serve.Config{Registry: reg, DefaultModel: "varade"})
+	// The 25ms SLO turns the flusher into a deadline scheduler: flushes
+	// fire at min(learned fill target reached, oldest window's deadline).
+	srv, err := serve.NewServer(serve.Config{Registry: reg, DefaultModel: "varade", SLOP99: 25 * time.Millisecond})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -346,6 +348,24 @@ func telemetryPanel(maddr string, live serve.SessionsSnapshot) {
 				line += fmt.Sprintf(" (mean predicted variance %.4g)", *d.MeanPredVariance)
 			}
 			fmt.Println(line)
+		}
+	}
+
+	fmt.Println("\nclosed-loop scheduler (per-group learned fill targets and flush triggers):")
+	fmt.Printf("  %-26s %11s %11s %20s %9s\n", "group", "fill target", "static", "fill/deadline/drain", "slo p99")
+	for _, g := range tm.Models {
+		s := g.Scheduler
+		if s == nil {
+			continue
+		}
+		slo := "-"
+		if s.SLOP99Ms > 0 {
+			slo = fmt.Sprintf("%.0fms", s.SLOP99Ms)
+		}
+		fmt.Printf("  %-26s %11d %11d %20s %9s\n", g.Key, s.FillTarget, s.StaticTarget,
+			fmt.Sprintf("%d/%d/%d", s.FillFlushes, s.DeadlineFlushes, s.DrainFlushes), slo)
+		if s.LastChange != "" {
+			fmt.Printf("  %-26s   last decision: %s\n", "", s.LastChange)
 		}
 	}
 

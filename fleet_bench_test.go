@@ -77,9 +77,18 @@ func BenchmarkFleetServe64Int8(b *testing.B) { benchFleetServe(b, "int8") }
 // derived serving group.
 func BenchmarkFleetServeMixed64(b *testing.B) { benchFleetServe(b, "mixed") }
 
+// BenchmarkFleetServeBursty64 is the closed-loop scheduler's lane: the
+// mixed fleet admits windows in 12-row bursts with idle gaps under a 5ms
+// p99 SLO and a deliberately hopeless 50ms fallback flush interval, so
+// every latency bound comes from the deadline scheduler. Reports the
+// server-measured p50/p99 coalesce latency alongside windows/s (the
+// throughput includes the idle gaps and is informational).
+func BenchmarkFleetServeBursty64(b *testing.B) { benchFleetServe(b, "bursty") }
+
 func benchFleetServe(b *testing.B, precision string) {
 	model := fleetModel(b)
-	mixed := precision == "mixed"
+	mixed := precision == "mixed" || precision == "bursty"
+	bursty := precision == "bursty"
 	if !mixed {
 		if err := model.SetPrecision(precision); err != nil {
 			b.Fatal(err)
@@ -95,10 +104,18 @@ func benchFleetServe(b *testing.B, precision string) {
 	if _, err := reg.Register("varade", model); err != nil {
 		b.Fatal(err)
 	}
+	flush := time.Millisecond
+	var slo time.Duration
+	if bursty {
+		// The fallback interval is hopeless on purpose: the SLO deadline
+		// scheduler must be what bounds the bursts' coalesce latency.
+		flush, slo = 50*time.Millisecond, 5*time.Millisecond
+	}
 	srv, err := serve.NewServer(serve.Config{
 		Registry:      reg,
 		DefaultModel:  "varade",
-		FlushInterval: time.Millisecond,
+		FlushInterval: flush,
+		SLOP99:        slo,
 		QueueDepth:    fleetSteps + 8, // score every window: same work as per-device
 	})
 	if err != nil {
@@ -153,9 +170,22 @@ func benchFleetServe(b *testing.B, precision string) {
 			go func(id int) {
 				defer wg.Done()
 				cl := clients[id]
-				if err := cl.Send(rows[id]); err != nil {
-					b.Error(err)
-					return
+				step := fleetSteps
+				if bursty {
+					step = 12
+				}
+				for off := 0; off < fleetSteps; off += step {
+					end := off + step
+					if end > fleetSteps {
+						end = fleetSteps
+					}
+					if err := cl.Send(rows[id][off:end]); err != nil {
+						b.Error(err)
+						return
+					}
+					if bursty && end < fleetSteps {
+						time.Sleep(time.Millisecond)
+					}
 				}
 				for got := 0; got < expect; {
 					scores, err := cl.ReadScores()
@@ -174,6 +204,10 @@ func benchFleetServe(b *testing.B, precision string) {
 	b.ReportMetric(windowsPerSec, "windows/s")
 	m := srv.Metrics()
 	b.ReportMetric(m.AvgBatchSize, "windows/batch")
+	if bursty {
+		b.ReportMetric(m.P50CoalesceMs, "p50-coalesce-ms")
+		b.ReportMetric(m.P99CoalesceMs, "p99-coalesce-ms")
+	}
 	for _, cl := range clients {
 		cl.Bye()
 	}

@@ -1,0 +1,87 @@
+package obs
+
+// Windowed read-back: cursors that turn the cumulative counters the
+// exposition plane publishes into per-interval deltas a control loop can
+// consume. The closed-loop batch scheduler in internal/serve reads its
+// group's amortisation table and stage timers this way — reacting to
+// what the pipeline did since the last evaluation, not to lifetime
+// averages that stop moving once a server has been up for an hour.
+//
+// Cursors are single-consumer by design: the state is one int64 per
+// counter with no synchronisation of its own, so each control loop owns
+// its cursors and reads them from one goroutine (or under its own lock).
+// The underlying counters stay atomic, so concurrent writers are fine.
+
+// Cursor reads a Counter incrementally: Take returns what accrued since
+// the previous Take (or since the cursor was created) and advances the
+// cursor past it.
+type Cursor struct {
+	c    *Counter
+	last int64
+}
+
+// NewCursor returns a cursor positioned at c's current value, so the
+// first Take reports only movement from now on.
+func NewCursor(c *Counter) Cursor {
+	return Cursor{c: c, last: c.Load()}
+}
+
+// Take returns the counter's movement since the last Take and advances
+// the cursor.
+func (u *Cursor) Take() int64 {
+	cur := u.c.Load()
+	d := cur - u.last
+	u.last = cur
+	return d
+}
+
+// Peek returns the movement since the last Take without advancing.
+func (u *Cursor) Peek() int64 { return u.c.Load() - u.last }
+
+// StageDelta is one windowed reading of a StageTimer: the nanoseconds,
+// batch calls and windows it accumulated over the interval.
+type StageDelta struct {
+	Ns      int64
+	Calls   int64
+	Windows int64
+}
+
+// NsPerCall returns the interval's average nanoseconds per batch call
+// (0 when no calls landed in the interval).
+func (d StageDelta) NsPerCall() int64 {
+	if d.Calls <= 0 {
+		return 0
+	}
+	return d.Ns / d.Calls
+}
+
+// NsPerWindow returns the interval's average nanoseconds per window
+// (0 when no windows landed in the interval).
+func (d StageDelta) NsPerWindow() float64 {
+	if d.Windows <= 0 {
+		return 0
+	}
+	return float64(d.Ns) / float64(d.Windows)
+}
+
+// StageCursor reads a StageTimer's counter triple incrementally.
+type StageCursor struct {
+	ns, calls, windows Cursor
+}
+
+// NewStageCursor returns a cursor positioned at t's current totals.
+func NewStageCursor(t *StageTimer) StageCursor {
+	return StageCursor{
+		ns:      NewCursor(t.Ns),
+		calls:   NewCursor(t.Calls),
+		windows: NewCursor(t.Windows),
+	}
+}
+
+// Take returns the stage's movement since the last Take and advances the
+// cursor. The three deltas are read independently (not as one atomic
+// snapshot); a flush racing the read skews one interval by at most one
+// batch, which the consuming control loops tolerate by construction.
+func (s *StageCursor) Take() StageDelta {
+	return StageDelta{Ns: s.ns.Take(), Calls: s.calls.Take(), Windows: s.windows.Take()}
+}

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCursorTakeAndPeek(t *testing.T) {
+	var c Counter
+	c.Add(10)
+	cur := NewCursor(&c)
+	if got := cur.Take(); got != 0 {
+		t.Fatalf("fresh cursor Take = %d, want 0 (positioned at creation value)", got)
+	}
+	c.Add(7)
+	if got := cur.Peek(); got != 7 {
+		t.Fatalf("Peek = %d, want 7", got)
+	}
+	if got := cur.Peek(); got != 7 {
+		t.Fatalf("second Peek = %d, want 7 (Peek must not advance)", got)
+	}
+	if got := cur.Take(); got != 7 {
+		t.Fatalf("Take = %d, want 7", got)
+	}
+	if got := cur.Take(); got != 0 {
+		t.Fatalf("Take after Take = %d, want 0", got)
+	}
+	c.Add(3)
+	c.Add(4)
+	if got := cur.Take(); got != 7 {
+		t.Fatalf("Take over two adds = %d, want 7", got)
+	}
+}
+
+func TestStageCursorDeltas(t *testing.T) {
+	reg := NewRegistry()
+	st := NewStageTimer(reg, "test_stage", "test stage")
+	st.Observe(100*time.Nanosecond, 2) // pre-cursor history the cursor must skip
+
+	cur := NewStageCursor(st)
+	if d := cur.Take(); d != (StageDelta{}) {
+		t.Fatalf("fresh StageCursor Take = %+v, want zero delta", d)
+	}
+
+	st.Observe(400*time.Nanosecond, 4)
+	st.Observe(200*time.Nanosecond, 2)
+	d := cur.Take()
+	if d.Ns != 600 || d.Calls != 2 || d.Windows != 6 {
+		t.Fatalf("delta = %+v, want {Ns:600 Calls:2 Windows:6}", d)
+	}
+	if got := d.NsPerCall(); got != 300 {
+		t.Fatalf("NsPerCall = %d, want 300", got)
+	}
+	if got := d.NsPerWindow(); got != 100 {
+		t.Fatalf("NsPerWindow = %g, want 100", got)
+	}
+	if d := cur.Take(); d != (StageDelta{}) {
+		t.Fatalf("Take after Take = %+v, want zero delta", d)
+	}
+}
+
+func TestStageDeltaEmptyRates(t *testing.T) {
+	var d StageDelta
+	if d.NsPerCall() != 0 || d.NsPerWindow() != 0 {
+		t.Fatalf("empty delta rates must be 0, got call=%d window=%g", d.NsPerCall(), d.NsPerWindow())
+	}
+}

@@ -74,10 +74,15 @@ type modelGroup struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 	// fillTarget is the batch level that triggers an immediate flush
-	// kick, before the ticker: the server's per-precision table capped
-	// by the smallest SessionCaps.MaxBatch a live session negotiated.
-	// The buffer still accepts up to maxBatch windows between flushes.
+	// kick, before the deadline: the controller's learned target (or the
+	// server's static per-precision table until one is learned) capped by
+	// the smallest SessionCaps.MaxBatch a live session negotiated. The
+	// buffer still accepts up to maxBatch windows between flushes.
 	fillTarget int
+	// sched is the closed-loop controller state: the learned-target
+	// policy, the effective SLO budget, and the windowed read-back
+	// cursors over the group's own telemetry (see controller.go).
+	sched      groupSched
 	reqBatches map[*session]int // live sessions' requested MaxBatch (> 0 only)
 	sc         detect.Scorer
 	caps       detect.Capabilities
@@ -93,7 +98,11 @@ type modelGroup struct {
 	sessions   int
 	closed     bool
 
+	// kick asks the flusher to flush now (fill target reached, tail
+	// drain, backpressure); wake tells a parked flusher the buffer went
+	// empty→non-empty so it can arm the oldest window's deadline.
 	kick chan struct{}
+	wake chan struct{}
 }
 
 func newModelGroup(srv *Server, key, name string, version int, pinned bool, reqPrec string, derived bool, kind string, sc detect.Scorer, channels int) *modelGroup {
@@ -111,12 +120,19 @@ func newModelGroup(srv *Server, key, name string, version int, pinned bool, reqP
 		c:        channels,
 		maxBatch: srv.cfg.MaxBatch,
 		kick:     make(chan struct{}, 1),
+		wake:     make(chan struct{}, 1),
 	}
 	g.obs = newGroupObs(srv.met, key, sc.Capabilities().Precision, g.maxBatch)
 	g.cond = sync.NewCond(&g.mu)
 	g.reqBatches = make(map[*session]int)
+	g.sched.policy.maxBatch = g.maxBatch
+	g.sched.reqSLO = make(map[*session]time.Duration)
+	g.sched.amortCur = newAmortCursors(g.obs.amort)
+	g.sched.scoreCur = obs.NewStageCursor(g.obs.score)
+	g.sched.emitCur = obs.NewStageCursor(g.obs.emit)
 	g.setScorerLocked(sc)
 	g.recomputeFillTargetLocked()
+	g.recomputeSLOLocked()
 	g.fill32 = g.use32
 	g.ensureBuffersLocked()
 	g.meta = make([]windowMeta, g.maxBatch)
@@ -184,38 +200,51 @@ func (g *modelGroup) add(sess *session, index int, buf *stream.WindowBuffer, adm
 	}
 	g.meta[g.n] = windowMeta{sess: sess, index: index, ready: ready, admitNs: admitNs}
 	g.n++
+	wake := g.n == 1
 	kick := g.n >= g.fillTarget
 	g.mu.Unlock()
+	if wake {
+		// Buffer went non-empty: un-park the flusher so it arms this
+		// window's deadline.
+		g.wakeNow()
+	}
 	if kick {
 		g.kickNow()
 	}
 }
 
 // recomputeFillTargetLocked re-derives the group's flush trigger from
-// the server's per-precision table and the live sessions' negotiated
-// frame caps: a session that asked for at most B scores per frame gets
-// batches flushed at B, so its negotiated cap bounds its coalescing
-// latency instead of only splitting outbound frames.
+// the controller's current base target (learned knee or static
+// per-precision default) and the live sessions' negotiated frame caps:
+// a session that asked for at most B scores per frame gets batches
+// flushed at B, so its negotiated cap bounds its coalescing latency
+// instead of only splitting outbound frames.
 func (g *modelGroup) recomputeFillTargetLocked() {
-	t := g.srv.fillTargetFor(g.caps.Precision)
+	t := g.currentTargetLocked()
 	for _, b := range g.reqBatches {
 		if b < t {
 			t = b
 		}
 	}
 	g.fillTarget = max(1, min(t, g.maxBatch))
+	g.obs.fillTargetGauge.Set(float64(g.fillTarget))
 }
 
 // sessionJoined/sessionLeft maintain the negotiated-cap view the fill
-// target derives from. reqBatch ≤ 0 means the session did not request a
-// frame cap.
-func (g *modelGroup) sessionJoined(sess *session, reqBatch int) {
+// target and the latency budget derive from. reqBatch ≤ 0 means the
+// session did not request a frame cap; reqSLO ≤ 0 means it did not
+// request a latency budget.
+func (g *modelGroup) sessionJoined(sess *session, reqBatch int, reqSLO time.Duration) {
 	g.mu.Lock()
 	g.sessions++
 	if reqBatch > 0 {
 		g.reqBatches[sess] = reqBatch
 	}
+	if reqSLO > 0 {
+		g.sched.reqSLO[sess] = reqSLO
+	}
 	g.recomputeFillTargetLocked()
+	g.recomputeSLOLocked()
 	g.mu.Unlock()
 }
 
@@ -223,7 +252,9 @@ func (g *modelGroup) sessionLeft(sess *session) {
 	g.mu.Lock()
 	g.sessions--
 	delete(g.reqBatches, sess)
+	delete(g.sched.reqSLO, sess)
 	g.recomputeFillTargetLocked()
+	g.recomputeSLOLocked()
 	g.mu.Unlock()
 }
 
@@ -235,26 +266,70 @@ func (g *modelGroup) kickNow() {
 	}
 }
 
-// run is the group's flusher loop: it drains the pending buffer whenever
-// it fills (kick) and at every flush-interval tick, bounding the
-// latency any ready window waits before scoring. On context cancellation
-// it performs one final drain so shutdown never strands windows.
+// wakeNow un-parks the flusher without blocking.
+func (g *modelGroup) wakeNow() {
+	select {
+	case g.wake <- struct{}{}:
+	default:
+	}
+}
+
+// run is the group's flusher loop. It fires at min(fill target reached,
+// oldest admitted window's deadline): a kick means the fill target was
+// hit and the batch is worth scoring now; otherwise a one-shot timer is
+// armed to the oldest pending window's latency budget (the negotiated
+// p99 SLO minus the smoothed flush cost, or the flush interval when no
+// SLO is in force), so no ready window ever waits past its deadline.
+// An empty group parks with the timer disarmed — no free-running tick —
+// until an admission's wake re-arms it. On context cancellation it
+// performs one final drain so shutdown never strands windows.
 func (g *modelGroup) run(ctx context.Context) {
-	ticker := time.NewTicker(g.srv.cfg.FlushInterval)
-	defer ticker.Stop()
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	armed := false
+	disarm := func() {
+		if armed && !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		armed = false
+	}
+	defer disarm()
 	for {
+		disarm()
+		var deadline <-chan time.Time
+		g.mu.Lock()
+		if g.n > 0 {
+			d := time.Until(g.meta[0].ready.Add(g.deadlineBudgetLocked()))
+			g.mu.Unlock()
+			if d < 0 {
+				d = 0
+			}
+			timer.Reset(d)
+			armed = true
+			deadline = timer.C
+		} else {
+			g.mu.Unlock()
+		}
 		select {
 		case <-ctx.Done():
-			g.flush()
+			g.flush(trigDrain)
 			g.mu.Lock()
 			g.closed = true
 			g.mu.Unlock()
 			g.cond.Broadcast()
 			return
 		case <-g.kick:
-			g.flush()
-		case <-ticker.C:
-			g.flush()
+			g.flush(trigFill)
+		case <-g.wake:
+			// Buffer went non-empty: loop around and arm the deadline.
+		case <-deadline:
+			armed = false
+			g.flush(trigDeadline)
 		}
 	}
 }
@@ -266,13 +341,20 @@ func (g *modelGroup) run(ctx context.Context) {
 // same ScoreBatch/Score arithmetic, only the execution schedule changes.
 // Reduced-precision groups score through ScoreBatch32 on the float32
 // batch the sessions assembled.
-func (g *modelGroup) flush() {
+func (g *modelGroup) flush(trigger int) {
 	g.mu.Lock()
 	n := g.n
 	if n == 0 {
 		g.mu.Unlock()
+		if trigger != trigDrain {
+			// A kick or deadline raced an earlier flush that already
+			// emptied the buffer. During genuine idle this stays at zero:
+			// the parked flusher never wakes on its own.
+			g.obs.emptyWakeups.Inc()
+		}
 		return
 	}
+	g.obs.flushTrig[trigger].Inc()
 	is32 := g.fill32
 	var batch *tensor.Tensor
 	var batch32 *tensor.Tensor32
@@ -348,6 +430,13 @@ func (g *modelGroup) flush() {
 	g.obs.emit.Observe(time.Since(now), n)
 	g.srv.met.windowsScored.Add(int64(n))
 	g.srv.met.batches.Add(1)
+
+	// Controller tail: account the freshly scored windows and, once a
+	// full evaluation window has accrued, read back the amortisation
+	// curve and let the policy adjust the fill target.
+	g.mu.Lock()
+	g.schedAfterFlushLocked(n)
+	g.mu.Unlock()
 }
 
 // checkGeometry verifies a replacement scorer keeps the group's (W, C) —
@@ -374,6 +463,11 @@ func (g *modelGroup) checkGeometry(sc detect.Scorer, version int) error {
 func (g *modelGroup) swap(sc detect.Scorer, version int, kind string, derived bool) {
 	g.mu.Lock()
 	g.setScorerLocked(sc)
+	// The learned target was fitted to the old engine's amortisation
+	// curve; forget it and fall back to the static default until the new
+	// engine has produced an evaluation window of its own.
+	g.sched.policy.reset()
+	g.sched.sinceEval = 0
 	g.recomputeFillTargetLocked() // the serving precision may have moved
 	g.version = version
 	g.kind = kind
@@ -415,6 +509,7 @@ func (g *modelGroup) status() ModelStatus {
 		Pending:    g.n,
 		FillTarget: g.fillTarget,
 		Sessions:   g.sessions,
+		Scheduler:  g.schedulerStatusLocked(),
 	}
 	g.mu.Unlock()
 	stages := map[string]*obs.StageTimer{

@@ -77,6 +77,16 @@ type groupObs struct {
 	sketch     *obs.Welford // score distribution across the group's sessions
 	busDrops   *obs.Counter // admission drops (bus shedding), live
 	scoreDrops *obs.Counter // outbound-queue drops
+
+	// Scheduler plane (varade_sched_*): the closed-loop controller's
+	// knob position, latency budget, flush-trigger mix, and housekeeping
+	// counters. fillTargetGauge mirrors modelGroup.fillTarget on every
+	// recompute so /metrics shows the knob without taking the group lock.
+	fillTargetGauge *obs.Gauge
+	sloGauge        *obs.Gauge              // effective p99 budget, ns (0 = none)
+	flushTrig       [trigCount]*obs.Counter // flushes by trigger
+	emptyWakeups    *obs.Counter            // flusher woke to an empty buffer
+	targetChanges   *obs.Counter            // learned-target moves applied
 }
 
 func newGroupObs(m *metrics, key, precision string, maxBatch int) *groupObs {
@@ -86,7 +96,7 @@ func newGroupObs(m *metrics, key, precision string, maxBatch int) *groupObs {
 		return obs.NewStageTimer(m.reg, "varade_serve_stage", "Serve pipeline stage timings.",
 			gl, pl, obs.L("stage", name))
 	}
-	return &groupObs{
+	o := &groupObs{
 		coalesce:   m.reg.Histogram("varade_coalesce_latency_ns", "Window-ready to score-emitted latency.", gl, pl),
 		admitWait:  stage("admit_wait"),
 		fillWait:   stage("fill_wait"),
@@ -96,7 +106,17 @@ func newGroupObs(m *metrics, key, precision string, maxBatch int) *groupObs {
 		sketch:     &obs.Welford{},
 		busDrops:   m.reg.Counter("varade_admission_drops_total", "Samples shed by session admission queues.", gl, pl),
 		scoreDrops: m.reg.Counter("varade_score_drops_total", "Scores shed by session outbound queues.", gl, pl),
+
+		fillTargetGauge: m.reg.Gauge("varade_sched_fill_target", "Current coalescer fill target (learned or static).", gl, pl),
+		sloGauge:        m.reg.Gauge("varade_sched_slo_ns", "Effective p99 coalescing-latency budget in nanoseconds (0 = none).", gl, pl),
+		emptyWakeups:    m.reg.Counter("varade_sched_empty_wakeups_total", "Flusher wakeups that found an empty buffer.", gl, pl),
+		targetChanges:   m.reg.Counter("varade_sched_target_changes_total", "Learned fill-target moves applied by the controller.", gl, pl),
 	}
+	for t := range o.flushTrig {
+		o.flushTrig[t] = m.reg.Counter("varade_sched_flushes_total", "Coalesced flushes by trigger.",
+			gl, pl, obs.L("trigger", trigNames[t]))
+	}
+	return o
 }
 
 // amortSet is the per-group 2-D amortisation histogram: per
@@ -258,6 +278,7 @@ type ModelStatus struct {
 	Stages       map[string]StageStats `json:"stages,omitempty"`
 	Amortization []AmortRow            `json:"amortization,omitempty"`
 	ScoreDist    *ScoreDist            `json:"score_dist,omitempty"`
+	Scheduler    *SchedulerStatus      `json:"scheduler,omitempty"`
 }
 
 // Metrics is a point-in-time snapshot of the serving state, the payload

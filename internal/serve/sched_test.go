@@ -1,0 +1,444 @@
+package serve
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"varade/internal/core"
+	"varade/internal/stream"
+)
+
+// End-to-end coverage of the closed-loop scheduler: the SLO deadline
+// bounds tail latency under bursty admission, an idle group's flusher
+// parks instead of ticking, the fill target provably adapts away from
+// its static default on a measured curve, and the controller state stays
+// sane under concurrent join/leave/reload.
+
+// schedulerOf snapshots one group's scheduler block.
+func schedulerOf(t *testing.T, srv *Server, key string) SchedulerStatus {
+	t.Helper()
+	g := groupByKey(t, srv, key)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return *g.schedulerStatusLocked()
+}
+
+// TestSLODeadlineFlushing is the tentpole's latency acceptance test: a
+// server whose FlushInterval is hopeless (500ms) but whose SLO is 40ms
+// serves a bursty session that never reaches the fill target — so every
+// flush must come from the deadline trigger, and the measured p99
+// coalesce latency must respect the SLO budget (generous 3× tolerance
+// for scheduler jitter on loaded CI runners), far below what the old
+// free-running ticker would have delivered.
+func TestSLODeadlineFlushing(t *testing.T) {
+	const (
+		channels = 2
+		slo      = 40 * time.Millisecond
+		bursts   = 6
+		perBurst = 16
+	)
+	srv, addr, model := newFleetServer(t, channels, Config{
+		FlushInterval: 500 * time.Millisecond, // the ticker bound the SLO replaces
+		SLOP99:        slo,
+		QueueDepth:    256,
+	})
+	defer srv.Shutdown(context.Background())
+	w := model.WindowSize()
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	cl, err := DialWith(ctx, addr, "", channels, stream.SessionCaps{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if got := cl.Welcome().SLOP99Ms; got != float64(slo)/float64(time.Millisecond) {
+		t.Fatalf("welcome slo_p99_ms = %g, want %g", got, float64(slo)/float64(time.Millisecond))
+	}
+
+	rng := rand.New(rand.NewSource(8))
+	rows := make([][]float64, perBurst)
+	for i := range rows {
+		rows[i] = make([]float64, channels)
+	}
+	sent := 0
+	for b := 0; b < bursts; b++ {
+		for i := range rows {
+			for j := range rows[i] {
+				rows[i][j] = rng.NormFloat64()
+			}
+		}
+		if err := cl.Send(rows); err != nil {
+			t.Fatal(err)
+		}
+		sent += perBurst
+		time.Sleep(slo + slo/2) // idle gap: the next burst cannot ride this one's flush
+	}
+	if err := cl.Bye(); err != nil {
+		t.Fatal(err)
+	}
+	want := sent - w + 1
+	got := 0
+	for got < want {
+		scores, err := cl.ReadScores()
+		if err != nil {
+			t.Fatalf("after %d/%d scores: %v", got, want, err)
+		}
+		got += len(scores)
+	}
+
+	m := srv.Metrics()
+	if m.P99CoalesceMs <= 0 {
+		t.Fatal("no coalesce latency recorded")
+	}
+	budget := 3 * float64(slo) / float64(time.Millisecond)
+	if m.P99CoalesceMs > budget {
+		t.Fatalf("p99 coalesce latency %.1fms blows the %.0fms SLO (tolerance %.0fms)",
+			m.P99CoalesceMs, float64(slo)/float64(time.Millisecond), budget)
+	}
+	ss := schedulerOf(t, srv, "varade")
+	if ss.DeadlineFlushes == 0 {
+		t.Fatalf("no deadline-triggered flushes under burst traffic: %+v", ss)
+	}
+	if ss.SLOP99Ms != float64(slo)/float64(time.Millisecond) {
+		t.Fatalf("group slo_p99_ms = %g, want %g", ss.SLOP99Ms, float64(slo)/float64(time.Millisecond))
+	}
+	if ss.DeadlineBudgetMs <= 0 || ss.DeadlineBudgetMs > ss.SLOP99Ms {
+		t.Fatalf("deadline budget %.2fms out of (0, slo] range: %+v", ss.DeadlineBudgetMs, ss)
+	}
+}
+
+// TestSessionSLOTightensGroupBudget: a v2 session's slo_p99_ms
+// capability tightens (never loosens) the group budget, and leaves with
+// the session.
+func TestSessionSLOTightensGroupBudget(t *testing.T) {
+	const channels = 2
+	srv, addr, _ := newFleetServer(t, channels, Config{
+		SLOP99:     80 * time.Millisecond,
+		QueueDepth: 64,
+	})
+	defer srv.Shutdown(context.Background())
+	ctx := context.Background()
+
+	sloOf := func() time.Duration {
+		g := groupByKey(t, srv, "varade")
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		return g.sched.slo
+	}
+	waitSLO := func(want time.Duration, what string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for sloOf() != want {
+			if time.Now().After(deadline) {
+				t.Fatalf("group SLO %s = %v, want %v", what, sloOf(), want)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// A session asking for a looser budget than the operator's floor is
+	// granted the floor.
+	loose, err := DialWith(ctx, addr, "", channels, stream.SessionCaps{SLOP99Ms: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := loose.Welcome().SLOP99Ms; got != 80 {
+		t.Fatalf("loose request granted %gms, want the 80ms server floor", got)
+	}
+	waitSLO(80*time.Millisecond, "with a loose session")
+
+	// A tighter request pulls the group budget down while it lives.
+	tight, err := DialWith(ctx, addr, "", channels, stream.SessionCaps{SLOP99Ms: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tight.Welcome().SLOP99Ms; got != 20 {
+		t.Fatalf("tight request granted %gms, want 20", got)
+	}
+	waitSLO(20*time.Millisecond, "with a tight session")
+
+	tight.Bye()
+	tight.Close()
+	waitSLO(80*time.Millisecond, "after the tight session left")
+	loose.Bye()
+	loose.Close()
+}
+
+// TestSLOCapabilityCompat is the new wire-compat case: v2 clients that
+// do not send the SLO capability against a server with no configured SLO
+// see a Welcome without the field (zero value) and the pre-SLO flushing
+// behaviour (budget = FlushInterval), exactly as before this capability
+// existed.
+func TestSLOCapabilityCompat(t *testing.T) {
+	const channels = 2
+	srv, addr, _ := newFleetServer(t, channels, Config{
+		FlushInterval: time.Millisecond,
+		QueueDepth:    64,
+	})
+	defer srv.Shutdown(context.Background())
+	ctx := context.Background()
+
+	cl, err := DialWith(ctx, addr, "", channels, stream.SessionCaps{MaxBatch: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	welcome := cl.Welcome()
+	if welcome.Proto != stream.ProtoV2 || welcome.SLOP99Ms != 0 {
+		t.Fatalf("SLO-free v2 welcome %+v, want proto 2 with slo_p99_ms absent", welcome)
+	}
+	g := groupByKey(t, srv, "varade")
+	g.mu.Lock()
+	slo, budget := g.sched.slo, g.deadlineBudgetLocked()
+	g.mu.Unlock()
+	if slo != 0 {
+		t.Fatalf("group has SLO %v, want none", slo)
+	}
+	if budget != srv.cfg.FlushInterval {
+		t.Fatalf("deadline budget %v, want the FlushInterval %v fallback", budget, srv.cfg.FlushInterval)
+	}
+}
+
+// TestIdleGroupParksFlusher is the idle-wakeup satellite: with no
+// pending windows the flusher must park (no free-running tick), wake on
+// the first admission, score, and park again.
+func TestIdleGroupParksFlusher(t *testing.T) {
+	const channels = 2
+	srv, addr, model := newFleetServer(t, channels, Config{
+		FlushInterval: time.Millisecond, // the old ticker would fire ~100× below
+		QueueDepth:    64,
+	})
+	defer srv.Shutdown(context.Background())
+	ctx := context.Background()
+
+	cl, err := DialWith(ctx, addr, "", channels, stream.SessionCaps{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Pristine idle: a connected session that has sent nothing. The old
+	// ticker design would have woken the flusher ~100 times here.
+	time.Sleep(100 * time.Millisecond)
+	ss := schedulerOf(t, srv, "varade")
+	if ss.EmptyWakeups != 0 {
+		t.Fatalf("idle group saw %d empty wakeups, want 0 (flusher not parked?)", ss.EmptyWakeups)
+	}
+	if srv.Metrics().Batches != 0 {
+		t.Fatal("idle group flushed batches")
+	}
+
+	// The parked flusher must still wake on admission and score.
+	w := model.WindowSize()
+	rows := make([][]float64, w+3)
+	for i := range rows {
+		rows[i] = make([]float64, channels)
+		rows[i][0] = float64(i)
+	}
+	if err := cl.Send(rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Bye(); err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	for got < len(rows)-w+1 {
+		scores, err := cl.ReadScores()
+		if err != nil {
+			t.Fatalf("after %d scores: %v", got, err)
+		}
+		got += len(scores)
+	}
+
+	// Idle again after traffic: at most a bounded handful of stale
+	// kick/deadline races from the burst, and no growth while parked.
+	time.Sleep(50 * time.Millisecond)
+	after := schedulerOf(t, srv, "varade").EmptyWakeups
+	time.Sleep(50 * time.Millisecond)
+	if again := schedulerOf(t, srv, "varade").EmptyWakeups; again != after {
+		t.Fatalf("empty wakeups grew %d → %d while parked", after, again)
+	}
+	if after > 2 {
+		t.Fatalf("%d empty wakeups after one burst, want ≤ 2 (stale kick/deadline at most)", after)
+	}
+}
+
+// TestFillTargetAdaptsToMeasuredCurve is the adaptation acceptance test:
+// a group fed a synthetic knee-at-8 amortisation curve through its own
+// telemetry converges away from the static float64 default (half the
+// buffer) to the measured knee.
+func TestFillTargetAdaptsToMeasuredCurve(t *testing.T) {
+	const channels = 2
+	srv, addr, _ := newFleetServer(t, channels, Config{QueueDepth: 64})
+	defer srv.Shutdown(context.Background())
+	ctx := context.Background()
+
+	cl, err := DialWith(ctx, addr, "", channels, stream.SessionCaps{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	g := groupByKey(t, srv, "varade")
+	static := srv.fillTargetFor(core.PrecisionFloat64)
+	if got := g.currentFillTarget(); got != static {
+		t.Fatalf("pre-adaptation fill target %d, want static default %d", got, static)
+	}
+
+	// Feed the group's own amortisation table a knee-at-8 curve (ns/window
+	// 1000, 500, 250, 105, 100, 98 at batch ≤ 1..32) and force evaluation
+	// windows, exactly as flush tails would.
+	inject := func() {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		for i := 0; i < schedMinBucketWindows; i++ {
+			g.obs.amort.record(1, 1000*time.Nanosecond)
+			g.obs.amort.record(2, 2*500*time.Nanosecond)
+			g.obs.amort.record(4, 4*250*time.Nanosecond)
+			g.obs.amort.record(8, 8*105*time.Nanosecond)
+			g.obs.amort.record(16, 16*100*time.Nanosecond)
+			g.obs.amort.record(32, 32*98*time.Nanosecond)
+		}
+		g.schedEvalLocked()
+	}
+	for i := 0; i < schedConfirm; i++ {
+		inject()
+	}
+
+	if got := g.currentFillTarget(); got != 8 {
+		t.Fatalf("post-adaptation fill target %d, want the measured knee 8 (static default %d)", got, static)
+	}
+	ss := schedulerOf(t, srv, "varade")
+	if ss.LearnedTarget != 8 || ss.TargetChanges == 0 || ss.LastChange == "" {
+		t.Fatalf("scheduler status %+v: want learned_target 8 with a recorded change", ss)
+	}
+
+	// A hot swap forgets the learned target: back to the static default.
+	model2, err := core.New(core.Config{Window: 8, Channels: channels, BaseMaps: 4, KLWeight: 0.1, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.cfg.Registry.Register("varade", model2); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Reload("varade"); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.currentFillTarget(); got != static {
+		t.Fatalf("post-swap fill target %d, want static default %d (learned curve belongs to the old engine)", got, static)
+	}
+}
+
+// TestFillTargetConcurrentJoinLeaveReload is the -race satellite:
+// sessions with random frame caps join and leave while the model is
+// repeatedly hot-reloaded, and the fill target must stay within
+// [1, maxBatch] at every observation.
+func TestFillTargetConcurrentJoinLeaveReload(t *testing.T) {
+	const channels = 2
+	srv, addr, _ := newFleetServer(t, channels, Config{
+		FlushInterval: time.Millisecond,
+		QueueDepth:    64,
+	})
+	defer srv.Shutdown(context.Background())
+	ctx := context.Background()
+
+	// Materialise the group so Reload always has a target.
+	seed, err := DialWith(ctx, addr, "", channels, stream.SessionCaps{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seed.Close()
+	g := groupByKey(t, srv, "varade")
+
+	model2, err := core.New(core.Config{Window: 8, Channels: channels, BaseMaps: 4, KLWeight: 0.1, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.cfg.Registry.Register("varade", model2); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Churn: sessions with assorted caps join, send a little, leave.
+	caps := []int{0, 1, 3, 8, 20, 1 << 19}
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rows := [][]float64{{0.5, -0.5}, {1, 1}, {0, 0.25}}
+			for it := 0; it < 15; it++ {
+				c := stream.SessionCaps{MaxBatch: caps[(id+it)%len(caps)], SLOP99Ms: float64((id + it) % 3 * 30)}
+				cl, err := DialWith(ctx, addr, "", channels, c)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				cl.Send(rows)
+				cl.Bye()
+				cl.Close()
+			}
+		}(i)
+	}
+
+	// Reload churn.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for it := 0; it < 20; it++ {
+			if err := srv.Reload("varade"); err != nil {
+				t.Errorf("reload %d: %v", it, err)
+				return
+			}
+		}
+	}()
+
+	// Invariant watcher: 1 ≤ fillTarget ≤ maxBatch, always. It runs
+	// outside the churn WaitGroup — it loops until the churn finishes.
+	watcherDone := make(chan struct{})
+	go func() {
+		defer close(watcherDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			ft := g.currentFillTarget()
+			if ft < 1 || ft > g.maxBatch {
+				t.Errorf("fill target %d outside [1, %d]", ft, g.maxBatch)
+				return
+			}
+		}
+	}()
+
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Minute):
+		t.Fatal("stress goroutines did not finish")
+	}
+	close(stop)
+	<-watcherDone
+
+	// With only the capless seed session left, the target settles back to
+	// the static default.
+	seed.Bye()
+	deadline := time.Now().Add(5 * time.Second)
+	want := srv.fillTargetFor(core.PrecisionFloat64)
+	for g.currentFillTarget() != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("fill target %d after churn, want static default %d", g.currentFillTarget(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

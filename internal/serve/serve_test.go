@@ -453,7 +453,7 @@ func TestMetricsEndpoint(t *testing.T) {
 
 	// The JSON snapshot moved to /metrics.json, shape preserved.
 	body := httpGet(t, "http://"+maddr+"/metrics.json")
-	for _, needle := range []string{"windows_scored", "p99_coalesce_ms", "active_sessions", `"model": "varade"`, "scored_per_sec_1m"} {
+	for _, needle := range []string{"windows_scored", "p99_coalesce_ms", "active_sessions", `"model": "varade"`, "scored_per_sec_1m", `"scheduler"`, "fill_target"} {
 		if !strings.Contains(body, needle) {
 			t.Fatalf("/metrics.json missing %q in %s", needle, body)
 		}
@@ -473,6 +473,13 @@ func TestMetricsEndpoint(t *testing.T) {
 		`varade_coalesce_latency_ns_bucket{`,
 		`varade_windows_scored_total`,
 		`group="varade"`,
+		`varade_sched_fill_target{`,
+		`varade_sched_flushes_total{`,
+		`trigger="fill"`,
+		`trigger="deadline"`,
+		`varade_sched_slo_ns{`,
+		`varade_sched_empty_wakeups_total{`,
+		`varade_sched_target_changes_total{`,
 	} {
 		if !strings.Contains(prom, needle) {
 			t.Fatalf("/metrics missing %q in %s", needle, prom)

@@ -27,8 +27,18 @@ type Config struct {
 	// binary clients whose Hello names no model.
 	DefaultModel string
 	// FlushInterval bounds how long a ready window waits before its
-	// coalesced batch is scored. Default 2ms.
+	// coalesced batch is scored when no SLO budget is in force. Default
+	// 2ms.
 	FlushInterval time.Duration
+	// SLOP99 is the per-group p99 coalescing-latency budget
+	// (varade-serve -slo-p99). When set, each group's flusher fires at
+	// min(fill target reached, oldest admitted window's deadline), where
+	// the deadline is this budget minus the measured flush cost — so
+	// batch amortisation is traded against an explicit tail-latency
+	// target rather than the fixed FlushInterval. v2 sessions can
+	// tighten (never loosen) their group's budget via the slo_p99_ms
+	// capability. 0 disables the budget.
+	SLOP99 time.Duration
 	// MaxBatch is the coalescer's fill-buffer capacity; a full buffer
 	// flushes immediately. Default detect.BatchChunk.
 	MaxBatch int
@@ -187,6 +197,7 @@ func (s *Server) handleConn(raw net.Conn) {
 	var grp *modelGroup
 	var granted stream.SessionCaps
 	reqBatch := 0
+	var reqSLO time.Duration
 	if binary {
 		br.Discard(len(stream.FrameMagic))
 		t, payload, err := stream.ReadFrame(br)
@@ -222,10 +233,12 @@ func (s *Server) handleConn(raw net.Conn) {
 		if proto >= stream.ProtoV2 {
 			granted = s.grant(grp, req)
 			reqBatch = req.MaxBatch
+			reqSLO = time.Duration(req.SLOP99Ms * float64(time.Millisecond))
 			welcome.Proto = stream.ProtoV2
 			welcome.Precision = granted.Precision
 			welcome.MaxBatch = granted.MaxBatch
 			welcome.DropPolicy = granted.DropPolicy
+			welcome.SLOP99Ms = granted.SLOP99Ms
 		}
 		if err := stream.WriteJSONFrame(conn, stream.FrameWelcome, welcome); err != nil || conn.Flush() != nil {
 			conn.Close()
@@ -242,7 +255,7 @@ func (s *Server) handleConn(raw net.Conn) {
 		}
 	}
 
-	sess := newSession(s, grp, conn, binary, granted, reqBatch)
+	sess := newSession(s, grp, conn, binary, granted, reqBatch, reqSLO)
 	if !s.trackSession(sess, grp) {
 		conn.Close()
 		return
@@ -282,6 +295,17 @@ func (s *Server) grant(grp *modelGroup, req stream.SessionCaps) stream.SessionCa
 	if req.DropPolicy == stream.DropNewest {
 		out.DropPolicy = stream.DropNewest
 	}
+	// The granted latency budget is the tighter of the session's request
+	// and the operator's configured floor; with neither, the field stays
+	// zero and is omitted from the Welcome (pre-SLO byte compatibility).
+	slo := s.cfg.SLOP99
+	if req.SLOP99Ms > 0 {
+		reqSLO := time.Duration(req.SLOP99Ms * float64(time.Millisecond))
+		if slo <= 0 || reqSLO < slo {
+			slo = reqSLO
+		}
+	}
+	out.SLOP99Ms = float64(slo) / float64(time.Millisecond)
 	return out
 }
 
@@ -302,7 +326,7 @@ func (s *Server) trackSession(sess *session, grp *modelGroup) bool {
 		return false
 	}
 	s.sessions[sess] = struct{}{}
-	grp.sessionJoined(sess, sess.reqBatch)
+	grp.sessionJoined(sess, sess.reqBatch, sess.reqSLO)
 	return true
 }
 

@@ -56,6 +56,9 @@ type session struct {
 	maxOut     int
 	reqBatch   int
 	dropNewest bool
+	// reqSLO is the p99 coalescing-latency budget the client negotiated
+	// (0 = none); it feeds the group's effective flush deadline.
+	reqSLO time.Duration
 
 	bus *stream.Bus[admitted] // admission control: bounded, negotiated policy
 	in  <-chan admitted       // the bus subscription the pump drains
@@ -80,7 +83,7 @@ type session struct {
 	readErr string
 }
 
-func newSession(srv *Server, grp *modelGroup, conn *connRW, binary bool, granted stream.SessionCaps, reqBatch int) *session {
+func newSession(srv *Server, grp *modelGroup, conn *connRW, binary bool, granted stream.SessionCaps, reqBatch int, reqSLO time.Duration) *session {
 	bus := stream.NewBus[admitted]()
 	bus.SetDropCounter(grp.obs.busDrops)
 	maxOut := granted.MaxBatch
@@ -100,6 +103,7 @@ func newSession(srv *Server, grp *modelGroup, conn *connRW, binary bool, granted
 		remote:     remote,
 		maxOut:     maxOut,
 		reqBatch:   reqBatch,
+		reqSLO:     reqSLO,
 		dropNewest: granted.DropPolicy == stream.DropNewest,
 		bus:        bus,
 		in:         bus.Subscribe(srv.cfg.QueueDepth),

@@ -115,6 +115,13 @@ type SessionCaps struct {
 	// DropPolicy selects the admission-shedding policy when the session
 	// falls behind: DropOldest (default) or DropNewest.
 	DropPolicy string `json:"drop_policy,omitempty"`
+	// SLOP99Ms asks the server to bound this session's p99 coalescing
+	// latency to the given budget in milliseconds: the serving group's
+	// flusher converts the tightest live request (and the operator's
+	// -slo-p99 floor) into a deadline on the oldest admitted window.
+	// 0 means no request; the grant is min(requested, server configured),
+	// echoed in the Welcome.
+	SLOP99Ms float64 `json:"slo_p99_ms,omitempty"`
 }
 
 // Validate checks the requested capability values.
@@ -129,6 +136,9 @@ func (c SessionCaps) Validate() error {
 	case "", DropOldest, DropNewest:
 	default:
 		return fmt.Errorf("stream: unknown drop policy %q", c.DropPolicy)
+	}
+	if c.SLOP99Ms < 0 || c.SLOP99Ms > maxHelloField {
+		return fmt.Errorf("stream: slo_p99_ms %g out of range", c.SLOP99Ms)
 	}
 	return nil
 }
@@ -197,6 +207,11 @@ type Welcome struct {
 	MaxBatch int `json:"max_batch,omitempty"`
 	// DropPolicy is the granted admission policy (v2 only).
 	DropPolicy string `json:"drop_policy,omitempty"`
+	// SLOP99Ms is the granted p99 coalescing-latency budget in
+	// milliseconds (v2 only; 0 when neither the session nor the server
+	// configured one, in which case the field is omitted and the Welcome
+	// stays byte-identical to pre-SLO servers).
+	SLOP99Ms float64 `json:"slo_p99_ms,omitempty"`
 }
 
 // WriteFrame writes one frame.

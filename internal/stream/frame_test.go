@@ -65,13 +65,13 @@ func TestDecodeHelloVersions(t *testing.T) {
 	}
 
 	// A v2 Hello with capabilities decodes on v2 and is refused on v1.
-	v2 := []byte(`{"model":"varade@latest","channels":3,"caps":{"precision":"int8","max_batch":64,"drop_policy":"newest"}}`)
+	v2 := []byte(`{"model":"varade@latest","channels":3,"caps":{"precision":"int8","max_batch":64,"drop_policy":"newest","slo_p99_ms":12.5}}`)
 	h, err := DecodeHello(ProtoV2, v2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	caps := h.GetCaps()
-	if caps.Precision != "int8" || caps.MaxBatch != 64 || caps.DropPolicy != DropNewest {
+	if caps.Precision != "int8" || caps.MaxBatch != 64 || caps.DropPolicy != DropNewest || caps.SLOP99Ms != 12.5 {
 		t.Fatalf("caps %+v", caps)
 	}
 	if _, err := DecodeHello(ProtoV1, v2); err == nil {
@@ -87,6 +87,8 @@ func TestDecodeHelloVersions(t *testing.T) {
 		[]byte(`{"channels":3,"caps":{"precision":"bf16"}}`),
 		[]byte(`{"channels":3,"caps":{"drop_policy":"sometimes"}}`),
 		[]byte(`{"channels":3,"caps":{"max_batch":-4}}`),
+		[]byte(`{"channels":3,"caps":{"slo_p99_ms":-1}}`),
+		[]byte(`{"channels":3,"caps":{"slo_p99_ms":2097152}}`),
 	}
 	for _, payload := range bad {
 		if _, err := DecodeHello(ProtoV2, payload); err == nil {
@@ -100,6 +102,7 @@ func TestWelcomeCapabilityEcho(t *testing.T) {
 	in := Welcome{
 		Model: "varade", Version: 3, Window: 8, Channels: 17,
 		Proto: ProtoV2, Precision: "float32", MaxBatch: 256, DropPolicy: DropOldest,
+		SLOP99Ms: 25,
 	}
 	if err := WriteJSONFrame(&buf, FrameWelcome, in); err != nil {
 		t.Fatal(err)
