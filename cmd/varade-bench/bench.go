@@ -15,6 +15,7 @@ import (
 	"varade/internal/core"
 	"varade/internal/detect"
 	"varade/internal/obs"
+	"varade/internal/route"
 	"varade/internal/serve"
 	"varade/internal/stream"
 	"varade/internal/tensor"
@@ -163,14 +164,16 @@ type fleetMixedBench struct {
 	burst           int
 	gap             time.Duration
 	regDir          string
-	srv             *serve.Server
+	srvs            []*serve.Server
+	srv             *serve.Server // srvs[0], for Metrics()
+	rt              *route.Router
 	clients         []*serve.Client
 	rows            [][][]float64
 	primed          bool
 }
 
 func newFleetMixedBench(seed uint64) (*fleetMixedBench, error) {
-	return newFleetBench(seed, 0, 0, 0)
+	return newFleetBench(seed, 0, 0, 0, 1)
 }
 
 // newFleetBurstyBench is the FleetServeBursty64 lane: 12-row admission
@@ -178,10 +181,18 @@ func newFleetMixedBench(seed uint64) (*fleetMixedBench, error) {
 // 50ms fallback flush interval — every latency bound the fleet sees must
 // come from the SLO deadline scheduler, not the ticker it replaced.
 func newFleetBurstyBench(seed uint64) (*fleetMixedBench, error) {
-	return newFleetBench(seed, 12, time.Millisecond, 5*time.Millisecond)
+	return newFleetBench(seed, 12, time.Millisecond, 5*time.Millisecond, 1)
 }
 
-func newFleetBench(seed uint64, burst int, gap, slo time.Duration) (*fleetMixedBench, error) {
+// newFleetRoutedBench is the FleetServeRouted64 lane: the same mixed
+// fleet, but through a varade-router fronting two backend servers over
+// one registry — each precision's sessions consistent-hash to one
+// backend, so the lane prices the relay hop plus the two-way split.
+func newFleetRoutedBench(seed uint64) (*fleetMixedBench, error) {
+	return newFleetBench(seed, 0, 0, 0, 2)
+}
+
+func newFleetBench(seed uint64, burst int, gap, slo time.Duration, backends int) (*fleetMixedBench, error) {
 	const (
 		sessions = 64
 		steps    = 72
@@ -215,19 +226,36 @@ func newFleetBench(seed uint64, burst int, gap, slo time.Duration) (*fleetMixedB
 	if slo > 0 {
 		flush = 50 * time.Millisecond // the deadline must carry the latency, not the fallback
 	}
-	f.srv, err = serve.NewServer(serve.Config{
-		Registry:      reg,
-		DefaultModel:  "varade",
-		FlushInterval: flush,
-		SLOP99:        slo,
-		QueueDepth:    steps + 8, // score every window
-	})
-	if err != nil {
-		return nil, err
+	if backends < 1 {
+		backends = 1
 	}
-	addr, err := f.srv.Serve("127.0.0.1:0")
-	if err != nil {
-		return nil, err
+	addrs := make([]string, backends)
+	for i := 0; i < backends; i++ {
+		srv, err := serve.NewServer(serve.Config{
+			Registry:      reg,
+			DefaultModel:  "varade",
+			FlushInterval: flush,
+			SLOP99:        slo,
+			QueueDepth:    steps + 8, // score every window
+		})
+		if err != nil {
+			return nil, err
+		}
+		f.srvs = append(f.srvs, srv)
+		if addrs[i], err = srv.Serve("127.0.0.1:0"); err != nil {
+			return nil, err
+		}
+	}
+	f.srv = f.srvs[0]
+	addr := addrs[0]
+	if backends > 1 {
+		f.rt = route.NewRouter(route.Config{DefaultModel: "varade", TTL: time.Hour})
+		if addr, err = f.rt.Serve("127.0.0.1:0"); err != nil {
+			return nil, err
+		}
+		for i, baddr := range addrs {
+			f.rt.Register(route.Announcement{ID: fmt.Sprintf("b%d", i+1), Addr: baddr})
+		}
 	}
 	precisions := []string{varade.PrecisionFloat64, varade.PrecisionFloat32, varade.PrecisionInt8}
 	f.clients = make([]*serve.Client, sessions)
@@ -305,9 +333,14 @@ func (f *fleetMixedBench) close() {
 			cl.Close()
 		}
 	}
-	if f.srv != nil {
+	if f.rt != nil {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		f.srv.Shutdown(ctx)
+		f.rt.Shutdown(ctx)
+		cancel()
+	}
+	for _, srv := range f.srvs {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		srv.Shutdown(ctx)
 		cancel()
 	}
 	if f.regDir != "" {
@@ -419,6 +452,19 @@ func runBenchSuite(jsonPath string, seed uint64) error {
 	fleetResults[0].StageNsPerWindow = stageProfile(fleet.run)
 	results = append(results, fleetResults...)
 	fleet.close()
+
+	// The routed lane: the identical mixed fleet through a varade-router
+	// over two backends. Rendered by -diff/-trend for the sharding
+	// trajectory; never gated (the relay hop's cost is host-sensitive).
+	routed, err := newFleetRoutedBench(seed)
+	if err != nil {
+		return err
+	}
+	routedResults := measureSuite([]benchCase{
+		{"FleetServeRouted64", routed.sessions * routed.steps, routed.run},
+	})
+	results = append(results, routedResults...)
+	routed.close()
 
 	// The bursty-admission lane: throughput is informational (the op
 	// includes deliberate idle gaps); the numbers that matter are the

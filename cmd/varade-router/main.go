@@ -1,0 +1,85 @@
+// Command varade-router is the routing plane of the sharded serving
+// tier: one listener accepting fleet sessions (binary v1/v2 framing or
+// CSV lines) that it proxies to a fleet of backend varade-serve
+// processes by capability and load.
+//
+// Start a router, then point backends at its control endpoint:
+//
+//	varade-router -addr :7777 -control :7780
+//	varade-serve -registry ./models -model varade -addr :7781 -metrics :7791 \
+//	    -announce http://localhost:7780 -backend-id b1
+//	varade-serve -registry ./models -model varade -addr :7782 -metrics :7792 \
+//	    -announce http://localhost:7780 -backend-id b2
+//
+// Clients dial the router exactly as they would a single varade-serve —
+// both protocol versions work unchanged; a v2 Welcome additionally
+// names the chosen backend. Placement: sessions consistent-hash on
+// model@version:precision over the per-precision backend pool, so one
+// model's sessions co-batch on the same backend; ties between the top
+// ring candidates break toward the least-loaded backend
+// (backend-reported live sessions plus the router's own in-flight
+// placements). Backends that stop announcing (TTL), announce Draining,
+// or refuse a dial are drained from the ring; a reconnecting client
+// lands on a healthy backend.
+//
+// On the control address: POST /register receives announcements,
+// GET /metrics serves the aggregated fleet exposition (the router's own
+// varade_router_* series, every backend's /metrics relabeled with
+// backend="<id>", and fleet-wide merged histograms), GET /models shows
+// backends and ring placements, GET /healthz summarises health.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"varade/internal/route"
+)
+
+func main() {
+	addr := flag.String("addr", ":7777", "fleet session listen address")
+	control := flag.String("control", ":7780", "control/metrics HTTP listen address")
+	defaultModel := flag.String("model", "varade", "placement reference for sessions that name no model (CSV sessions always use it)")
+	ttl := flag.Duration("ttl", 5*time.Second, "backend registration TTL; backends that stop announcing for this long leave the ring")
+	relayDepth := flag.Int("relay-depth", 256, "per-direction frame queue of a proxied session; the oldest queued frames shed past it")
+	dialTimeout := flag.Duration("dial-timeout", 2*time.Second, "one backend connection attempt")
+	flag.Parse()
+
+	rt := route.NewRouter(route.Config{
+		DefaultModel: *defaultModel,
+		TTL:          *ttl,
+		RelayDepth:   *relayDepth,
+		DialTimeout:  *dialTimeout,
+	})
+	bound, err := rt.Serve(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("varade-router: sessions on %s\n", bound)
+	ctl, err := rt.ServeControl(*control)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("varade-router: control on http://%s (register/metrics/models/healthz)\n", ctl)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("varade-router: shutting down…")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := rt.Shutdown(ctx); err != nil {
+		log.Printf("varade-router: shutdown incomplete: %v", err)
+	}
+	snap := rt.Models()
+	for _, b := range snap.Backends {
+		fmt.Printf("  backend %-12s %-21s healthy=%-5v proxied %d sessions\n",
+			b.ID, b.Addr, b.Healthy, b.Proxied)
+	}
+}

@@ -56,9 +56,13 @@ func main() {
 	metricsAddr := flag.String("metrics", ":7778", "metrics HTTP listen address (empty disables)")
 	flush := flag.Duration("flush", 2*time.Millisecond, "coalescer flush interval (deadline fallback when no SLO is set)")
 	sloP99 := flag.Duration("slo-p99", 0, "per-group p99 coalesce-latency SLO; flushes are deadline-scheduled against it (0 disables, v2 sessions may tighten it)")
+	sloShed := flag.Bool("slo-shed", false, "shed windows already past the -slo-p99 budget at admission (varade_sched_shed_total) instead of scoring them late; sessions lose the exact-count score guarantee")
 	batch := flag.Int("batch", 0, "coalescer max batch (0 = engine default)")
 	queue := flag.Int("queue", 0, "per-session admission queue depth (0 = default)")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof on the metrics address under /debug/pprof/")
+	announce := flag.String("announce", "", "varade-router control URL (e.g. http://host:7780) to register this backend with")
+	backendID := flag.String("backend-id", "", "backend name announced to the router (default host:port of the session listener)")
+	announceEvery := flag.Duration("announce-every", time.Second, "router registration heartbeat interval")
 	importPath := flag.String("import", "", "import a saved model file into the registry and exit")
 	importAs := flag.String("as", "", "registry name for -import")
 	list := flag.Bool("list", false, "list registry contents and exit")
@@ -95,6 +99,7 @@ func main() {
 		DefaultModel:  *model,
 		FlushInterval: *flush,
 		SLOP99:        *sloP99,
+		ShedAdmission: *sloShed,
 		MaxBatch:      *batch,
 		QueueDepth:    *queue,
 		EnablePprof:   *pprofOn,
@@ -107,8 +112,9 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("varade-serve: sessions on %s (model %s)\n", bound, *model)
+	maddr := ""
 	if *metricsAddr != "" {
-		maddr, err := srv.ServeMetrics(*metricsAddr)
+		maddr, err = srv.ServeMetrics(*metricsAddr)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -116,6 +122,16 @@ func main() {
 		if *pprofOn {
 			fmt.Printf("varade-serve: pprof on http://%s/debug/pprof/\n", maddr)
 		}
+	}
+	if *announce != "" {
+		id := *backendID
+		if id == "" {
+			id = bound
+		}
+		if err := srv.StartAnnouncer(*announce, id, bound, maddr, *announceEvery); err != nil {
+			log.Fatalf("varade-serve: router registration failed: %v", err)
+		}
+		fmt.Printf("varade-serve: announcing as %q to %s every %s\n", id, *announce, *announceEvery)
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -13,9 +13,18 @@
 // the reduced-precision serving groups from the single float64 registry
 // entry on first demand.
 //
+// With -backends N (N ≥ 2) the example becomes the sharded serving
+// topology: N fleet servers over the same registry entry behind one
+// varade-router, backends registered over the live announcement plane,
+// every robot dialing the router. Placement consistent-hashes on
+// model@version:precision, so each precision's sessions co-batch on one
+// backend, and the router's control endpoint serves the aggregated
+// fleet exposition.
+//
 //	go run ./examples/fleet                        # 8 robots, mixed precisions
 //	go run ./examples/fleet -devices 64            # the acceptance-scale fleet
 //	go run ./examples/fleet -precision float32     # homogeneous fleet
+//	go run ./examples/fleet -backends 2            # sharded: router + 2 servers
 package main
 
 import (
@@ -33,6 +42,7 @@ import (
 	"varade/internal/edge"
 	"varade/internal/eval"
 	"varade/internal/robot"
+	"varade/internal/route"
 	"varade/internal/serve"
 	"varade/internal/stream"
 )
@@ -41,7 +51,11 @@ func main() {
 	devices := flag.Int("devices", 8, "simulated robots to stream concurrently")
 	testSeconds := flag.Float64("seconds", 60, "per-device stream duration (simulated)")
 	precision := flag.String("precision", "mixed", "per-session serving precision: mixed|float64|float32|int8")
+	backends := flag.Int("backends", 1, "fleet servers behind a varade-router (1 = direct, no router)")
 	flag.Parse()
+	if *backends < 1 {
+		*backends = 1
+	}
 	mixed := *precision == "mixed"
 	sessionPrecisions := []string{varade.PrecisionFloat64, varade.PrecisionFloat32, varade.PrecisionInt8}
 	precFor := func(id int) string {
@@ -92,20 +106,56 @@ func main() {
 	}
 	// The 25ms SLO turns the flusher into a deadline scheduler: flushes
 	// fire at min(learned fill target reached, oldest window's deadline).
-	srv, err := serve.NewServer(serve.Config{Registry: reg, DefaultModel: "varade", SLOP99: 25 * time.Millisecond})
-	if err != nil {
-		log.Fatal(err)
+	srvs := make([]*serve.Server, *backends)
+	addrs := make([]string, *backends)
+	maddrs := make([]string, *backends)
+	for i := range srvs {
+		s, err := serve.NewServer(serve.Config{Registry: reg, DefaultModel: "varade", SLOP99: 25 * time.Millisecond})
+		if err != nil {
+			log.Fatal(err)
+		}
+		srvs[i] = s
+		if addrs[i], err = s.Serve("127.0.0.1:0"); err != nil {
+			log.Fatal(err)
+		}
+		if maddrs[i], err = s.ServeMetrics("127.0.0.1:0"); err != nil {
+			log.Fatal(err)
+		}
 	}
-	addr, err := srv.Serve("127.0.0.1:0")
-	if err != nil {
-		log.Fatal(err)
+	srv, addr, maddr := srvs[0], addrs[0], maddrs[0]
+	var rt *route.Router
+	if *backends > 1 {
+		rt = route.NewRouter(route.Config{DefaultModel: "varade", TTL: 5 * time.Second})
+		raddr, err := rt.Serve("127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		ctl, err := rt.ServeControl("127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, s := range srvs {
+			if err := s.StartAnnouncer("http://"+ctl, fmt.Sprintf("b%d", i+1),
+				addrs[i], maddrs[i], 200*time.Millisecond); err != nil {
+				log.Fatal(err)
+			}
+		}
+		for healthy := 0; healthy < *backends; {
+			healthy = 0
+			for _, b := range rt.Models().Backends {
+				if b.Healthy {
+					healthy++
+				}
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		addr = raddr
+		fmt.Printf("varade-router on %s fronting %d backends; aggregated telemetry on http://%s/metrics; launching %d robots…\n\n",
+			raddr, *backends, ctl, *devices)
+	} else {
+		fmt.Printf("fleet server on %s; telemetry on http://%s/metrics; launching %d robots…\n\n",
+			addr, maddr, *devices)
 	}
-	maddr, err := srv.ServeMetrics("127.0.0.1:0")
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("fleet server on %s; telemetry on http://%s/metrics; launching %d robots…\n\n",
-		addr, maddr, *devices)
 
 	// /sessions only reports live sessions, so the drift panel needs a
 	// snapshot taken while the robots still hold their connections: each
@@ -122,7 +172,7 @@ func main() {
 	start := time.Now()
 	var wg sync.WaitGroup
 	type deviceStats struct {
-		precision                  string
+		precision, backend         string
 		scored, alerts, collisions int
 		err                        error
 	}
@@ -155,6 +205,7 @@ func main() {
 				}
 				defer cl.Close()
 				stats[id].precision = cl.Welcome().Precision
+				stats[id].backend = cl.Welcome().Backend
 				rows := make([][]float64, series.Dim(0))
 				for i := range rows {
 					rows[i] = series.Row(i).Data()
@@ -200,8 +251,14 @@ func main() {
 	// live per-session sketches, then release the fleet to disconnect.
 	streamed.Wait()
 	var liveSessions serve.SessionsSnapshot
-	if err := getJSON("http://"+maddr+"/sessions", &liveSessions); err != nil {
-		fmt.Println("sessions snapshot failed:", err)
+	for _, ma := range maddrs {
+		var snap serve.SessionsSnapshot
+		if err := getJSON("http://"+ma+"/sessions", &snap); err != nil {
+			fmt.Println("sessions snapshot failed:", err)
+			continue
+		}
+		liveSessions.Count += snap.Count
+		liveSessions.Sessions = append(liveSessions.Sessions, snap.Sessions...)
 	}
 	close(snapGate)
 	wg.Wait()
@@ -214,11 +271,43 @@ func main() {
 			fmt.Printf("robot %2d: FAILED: %v\n", id, st.err)
 			continue
 		}
-		fmt.Printf("robot %2d: %-7s %5d samples scored, %2d alert bursts, %d true collisions\n",
-			id, st.precision, st.scored, st.alerts, st.collisions)
+		via := ""
+		if st.backend != "" {
+			via = " via " + st.backend
+		}
+		fmt.Printf("robot %2d: %-7s %5d samples scored, %2d alert bursts, %d true collisions%s\n",
+			id, st.precision, st.scored, st.alerts, st.collisions, via)
 	}
 
+	// Headline figures aggregate across every backend; the per-group and
+	// scheduler panels below stay per-backend (backend 1 when sharded).
 	m := srv.Metrics()
+	for _, s := range srvs[1:] {
+		bm := s.Metrics()
+		m.TotalSessions += bm.TotalSessions
+		m.WindowsScored += bm.WindowsScored
+		m.Batches += bm.Batches
+		m.SamplesDropped += bm.SamplesDropped
+		m.ServingGroups += bm.ServingGroups
+		m.DerivedGroups += bm.DerivedGroups
+		m.Models = append(m.Models, bm.Models...)
+		if bm.P50CoalesceMs > m.P50CoalesceMs {
+			m.P50CoalesceMs = bm.P50CoalesceMs
+		}
+		if bm.P99CoalesceMs > m.P99CoalesceMs {
+			m.P99CoalesceMs = bm.P99CoalesceMs
+		}
+	}
+	if m.Batches > 0 {
+		m.AvgBatchSize = float64(m.WindowsScored) / float64(m.Batches)
+	}
+	if rt != nil {
+		snap := rt.Models()
+		fmt.Println("\nring placements (GET /models on the router):")
+		for key, id := range snap.Placements {
+			fmt.Printf("  %-32s -> %s\n", key, id)
+		}
+	}
 	fmt.Printf("\nfleet drained in %.2fs: %d sessions, %d windows in %d batches (avg %.1f windows/batch)\n",
 		elapsed.Seconds(), m.TotalSessions, m.WindowsScored, m.Batches, m.AvgBatchSize)
 	fmt.Printf("throughput %.0f windows/s, %d sample drops, coalesce latency p50 %.2fms p99 %.2fms\n",
@@ -276,10 +365,17 @@ func main() {
 			" -precision float32|int8 to measure them live)\n", served)
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
-	if err := srv.Shutdown(ctx); err != nil {
-		fmt.Println("drain incomplete:", err)
+	for _, s := range srvs {
+		if err := s.Shutdown(ctx); err != nil {
+			fmt.Println("drain incomplete:", err)
+		}
+	}
+	if rt != nil {
+		if err := rt.Shutdown(ctx); err != nil {
+			fmt.Println("router shutdown incomplete:", err)
+		}
 	}
 	if failed {
 		os.RemoveAll(regDir) // os.Exit skips the deferred cleanup

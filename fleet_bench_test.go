@@ -16,11 +16,13 @@ package varade
 //	go test -run='^$' -bench=Fleet -benchtime=1x
 import (
 	"context"
+	"fmt"
 	"sync"
 	"testing"
 	"time"
 
 	"varade/internal/core"
+	"varade/internal/route"
 	"varade/internal/serve"
 	"varade/internal/stream"
 	"varade/internal/tensor"
@@ -85,9 +87,17 @@ func BenchmarkFleetServeMixed64(b *testing.B) { benchFleetServe(b, "mixed") }
 // throughput includes the idle gaps and is informational).
 func BenchmarkFleetServeBursty64(b *testing.B) { benchFleetServe(b, "bursty") }
 
+// BenchmarkFleetServeRouted64 is the sharded-tier lane: the mixed fleet
+// dialed through a varade-router fronting two backend servers over one
+// registry — each precision's sessions consistent-hash to one backend,
+// so the number prices the relay hop plus the two-way split against
+// BenchmarkFleetServeMixed64.
+func BenchmarkFleetServeRouted64(b *testing.B) { benchFleetServe(b, "routed") }
+
 func benchFleetServe(b *testing.B, precision string) {
 	model := fleetModel(b)
-	mixed := precision == "mixed" || precision == "bursty"
+	routed := precision == "routed"
+	mixed := precision == "mixed" || precision == "bursty" || routed
 	bursty := precision == "bursty"
 	if !mixed {
 		if err := model.SetPrecision(precision); err != nil {
@@ -111,21 +121,43 @@ func benchFleetServe(b *testing.B, precision string) {
 		// scheduler must be what bounds the bursts' coalesce latency.
 		flush, slo = 50*time.Millisecond, 5*time.Millisecond
 	}
-	srv, err := serve.NewServer(serve.Config{
-		Registry:      reg,
-		DefaultModel:  "varade",
-		FlushInterval: flush,
-		SLOP99:        slo,
-		QueueDepth:    fleetSteps + 8, // score every window: same work as per-device
-	})
-	if err != nil {
-		b.Fatal(err)
+	backends := 1
+	if routed {
+		backends = 2
 	}
-	addr, err := srv.Serve("127.0.0.1:0")
-	if err != nil {
-		b.Fatal(err)
+	var srv *serve.Server // first backend, for Metrics()
+	addrs := make([]string, backends)
+	for i := 0; i < backends; i++ {
+		s, err := serve.NewServer(serve.Config{
+			Registry:      reg,
+			DefaultModel:  "varade",
+			FlushInterval: flush,
+			SLOP99:        slo,
+			QueueDepth:    fleetSteps + 8, // score every window: same work as per-device
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if addrs[i], err = s.Serve("127.0.0.1:0"); err != nil {
+			b.Fatal(err)
+		}
+		defer s.Shutdown(context.Background())
+		if i == 0 {
+			srv = s
+		}
 	}
-	defer srv.Shutdown(context.Background())
+	addr := addrs[0]
+	if routed {
+		rt := route.NewRouter(route.Config{DefaultModel: "varade", TTL: time.Hour})
+		var err error
+		if addr, err = rt.Serve("127.0.0.1:0"); err != nil {
+			b.Fatal(err)
+		}
+		defer rt.Shutdown(context.Background())
+		for i, baddr := range addrs {
+			rt.Register(route.Announcement{ID: fmt.Sprintf("b%d", i+1), Addr: baddr})
+		}
+	}
 
 	// Steady-state serving: the 64 sessions dial once; each iteration
 	// replays every device's stream through its live session. Windows

@@ -1,0 +1,224 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Cross-process merge: a router (or any aggregator) scrapes the text
+// exposition of several backend processes and rebuilds the series into
+// one registry of its own, typically appending a `backend` label so the
+// origin stays queryable. Because WritePrometheus emits histogram
+// buckets at their exact native upper bounds, a scraped histogram
+// reconstructs bucket-exactly — merging across processes is the same
+// bucket-wise addition Histogram.Merge does in-process.
+
+// MergeSnapshot adds a snapshot's buckets into h — the cross-process
+// form of Merge, for snapshots reconstructed from a scraped exposition.
+// Uppers produced by this package's histograms map back to their exact
+// native bucket; foreign uppers land in the bucket containing them.
+func (h *Histogram) MergeSnapshot(s HistogramSnapshot) {
+	var total uint64
+	for _, b := range s.Buckets {
+		if b.Count == 0 {
+			continue
+		}
+		h.buckets[bucketIndex(b.Upper)].Add(b.Count)
+		total += b.Count
+	}
+	h.count.Add(total)
+	h.sum.Add(s.Sum)
+}
+
+// AbsorbPrometheusText parses a text-format (0.0.4) exposition body — as
+// written by Registry.WritePrometheus — and inserts every counter, gauge,
+// and histogram series into r with the extra labels appended (an extra
+// label replaces a same-named scraped label). Untyped families and
+// summaries are skipped. Counter values accumulate and histogram buckets
+// merge bucket-wise, so absorb the same origin into a fresh registry per
+// scrape: re-absorbing into a long-lived registry double-counts.
+func (r *Registry) AbsorbPrometheusText(body string, extra ...Label) error {
+	if r == nil {
+		return nil
+	}
+	typed := map[string]string{} // family -> TYPE
+	help := map[string]string{}  // family -> unescaped HELP
+
+	// Histogram series accumulate across the whole body (their _sum and
+	// _count lines trail the buckets) and rebuild after the parse.
+	type histState struct {
+		labels   []Label // series labels minus le
+		uppers   []int64
+		cums     []float64
+		infCum   float64
+		hasInf   bool
+		sum      float64
+		count    float64
+		hasCount bool
+	}
+	hists := map[string]*histState{}
+
+	for lineNo, raw := range strings.Split(body, "\n") {
+		line := strings.TrimRight(raw, "\r")
+		if line == "" {
+			continue
+		}
+		where := func(msg string, args ...any) error {
+			return fmt.Errorf("absorb line %d: %s: %q", lineNo+1, fmt.Sprintf(msg, args...), line)
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				continue
+			}
+			name := fields[2]
+			if !validMetricName(name) {
+				return where("invalid metric name in %s", fields[1])
+			}
+			switch fields[1] {
+			case "HELP":
+				if len(fields) == 4 {
+					help[name] = unescapeHelp(fields[3])
+				}
+			case "TYPE":
+				if len(fields) != 4 {
+					return where("TYPE missing kind")
+				}
+				typed[name] = fields[3]
+			}
+			continue
+		}
+
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return where("%v", err)
+		}
+		fam := familyOf(name, typed)
+		switch typed[fam] {
+		case "counter":
+			r.Counter(fam, help[fam], withExtra(labels, extra)...).Add(int64(math.Round(value)))
+		case "gauge":
+			r.Gauge(fam, help[fam], withExtra(labels, extra)...).Set(value)
+		case "histogram":
+			le, rest := labels.split("le")
+			key := fam + "{" + rest.canonical() + "}"
+			h := hists[key]
+			if h == nil {
+				h = &histState{labels: withExtra(rest, extra)}
+				hists[key] = h
+			}
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				if le == "" {
+					return where("histogram bucket without le label")
+				}
+				if le == "+Inf" {
+					h.infCum, h.hasInf = value, true
+					break
+				}
+				upper, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					return where("unparseable le %q", le)
+				}
+				h.uppers = append(h.uppers, int64(math.Ceil(upper)))
+				h.cums = append(h.cums, value)
+			case strings.HasSuffix(name, "_sum"):
+				h.sum = value
+			case strings.HasSuffix(name, "_count"):
+				h.count, h.hasCount = value, true
+			}
+		}
+	}
+
+	// Rebuild each histogram series: cumulative buckets back to deltas,
+	// then one MergeSnapshot into the destination series.
+	keys := make([]string, 0, len(hists))
+	for k := range hists {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		h := hists[key]
+		fam := key[:strings.IndexByte(key, '{')]
+		snap := HistogramSnapshot{Sum: int64(math.Round(h.sum))}
+		order := make([]int, len(h.uppers))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return h.uppers[order[a]] < h.uppers[order[b]] })
+		var prev float64
+		for _, i := range order {
+			cum := h.cums[i]
+			if cum < prev {
+				return fmt.Errorf("absorb histogram %s: buckets not cumulative (%g < %g)", key, cum, prev)
+			}
+			if d := uint64(cum - prev); d > 0 {
+				snap.Buckets = append(snap.Buckets, BucketCount{Upper: h.uppers[i], Count: d})
+				snap.Count += d
+			}
+			prev = cum
+		}
+		// Observations past the last finite bucket (none for this
+		// package's own geometry, which covers all of int64) credit the
+		// largest seen bound so count stays consistent with the buckets.
+		total := h.infCum
+		if h.hasCount {
+			total = h.count
+		} else if !h.hasInf {
+			total = prev
+		}
+		if d := uint64(total - prev); d > 0 && len(snap.Buckets) > 0 {
+			last := &snap.Buckets[len(snap.Buckets)-1]
+			last.Count += d
+			snap.Count += d
+		}
+		r.Histogram(fam, help[fam], h.labels...).MergeSnapshot(snap)
+	}
+	return nil
+}
+
+// withExtra appends extra labels to a scraped label set; an extra label
+// replaces a same-named scraped label rather than duplicating it.
+func withExtra(labels lintLabels, extra []Label) []Label {
+	out := make([]Label, 0, len(labels)+len(extra))
+	for _, l := range labels {
+		replaced := false
+		for _, e := range extra {
+			if e.Name == l.Name {
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			out = append(out, l)
+		}
+	}
+	return append(out, extra...)
+}
+
+// unescapeHelp reverses escapeHelp (backslash and newline escapes).
+func unescapeHelp(s string) string {
+	if !strings.ContainsRune(s, '\\') {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			switch s[i+1] {
+			case '\\':
+				b.WriteByte('\\')
+				i++
+				continue
+			case 'n':
+				b.WriteByte('\n')
+				i++
+				continue
+			}
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAbsorbRoundTrip scrapes a registry's own exposition back into a
+// fresh registry with a backend label appended — the router's
+// aggregation path — and checks every series survives bucket-exactly.
+func TestAbsorbRoundTrip(t *testing.T) {
+	src := NewRegistry()
+	src.Counter("varade_windows_scored_total", "windows scored", L("group", "varade"), L("precision", "int8")).Add(12345)
+	src.Counter("varade_windows_scored_total", "windows scored", L("group", "varade@v2")).Add(7)
+	src.Gauge("varade_sessions_active", "live sessions").Set(3)
+	h := src.Histogram("varade_coalesce_latency_ns", "coalesce latency", L("group", "varade"))
+	for _, v := range []int64{0, 1, 17, 900, 4096, 1 << 20, 1<<40 + 12345} {
+		h.RecordN(v, 3)
+	}
+
+	var buf strings.Builder
+	src.WritePrometheus(&buf)
+
+	dst := NewRegistry()
+	if err := dst.AbsorbPrometheusText(buf.String(), L("backend", "b1")); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := dst.Counter("varade_windows_scored_total", "", L("group", "varade"), L("precision", "int8"), L("backend", "b1")).Load(); got != 12345 {
+		t.Fatalf("absorbed counter = %d, want 12345", got)
+	}
+	if got := dst.Gauge("varade_sessions_active", "", L("backend", "b1")).Load(); got != 3 {
+		t.Fatalf("absorbed gauge = %g, want 3", got)
+	}
+	hd := dst.Histogram("varade_coalesce_latency_ns", "", L("group", "varade"), L("backend", "b1"))
+	ws, wd := h.Snapshot(), hd.Snapshot()
+	if wd.Count != ws.Count || wd.Sum != ws.Sum || len(wd.Buckets) != len(ws.Buckets) {
+		t.Fatalf("absorbed histogram snapshot %+v, want %+v", wd, ws)
+	}
+	for i := range ws.Buckets {
+		if ws.Buckets[i] != wd.Buckets[i] {
+			t.Fatalf("bucket %d: absorbed %+v, want %+v", i, wd.Buckets[i], ws.Buckets[i])
+		}
+	}
+
+	// The rebuilt exposition must lint and carry the backend label on
+	// every series.
+	var out strings.Builder
+	dst.WritePrometheus(&out)
+	if err := LintPrometheusText(out.String()); err != nil {
+		t.Fatalf("absorbed exposition fails lint: %v", err)
+	}
+	for _, line := range strings.Split(out.String(), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.Contains(line, `backend="b1"`) {
+			t.Fatalf("series without backend label: %q", line)
+		}
+	}
+}
+
+// TestAbsorbExtraLabelReplaces checks that an extra label overrides a
+// same-named scraped label instead of duplicating it.
+func TestAbsorbExtraLabelReplaces(t *testing.T) {
+	src := NewRegistry()
+	src.Counter("x_total", "", L("backend", "stale")).Add(5)
+	var buf strings.Builder
+	src.WritePrometheus(&buf)
+	dst := NewRegistry()
+	if err := dst.AbsorbPrometheusText(buf.String(), L("backend", "fresh")); err != nil {
+		t.Fatal(err)
+	}
+	if got := dst.Counter("x_total", "", L("backend", "fresh")).Load(); got != 5 {
+		t.Fatalf("counter under replaced label = %d, want 5", got)
+	}
+}
+
+// TestMergeSnapshotCrossProcess merges two scraped histograms into one
+// aggregate and checks the result equals an in-process Merge of the
+// originals.
+func TestMergeSnapshotCrossProcess(t *testing.T) {
+	a, b := &Histogram{}, &Histogram{}
+	for i := int64(0); i < 500; i++ {
+		a.Record(i * 37)
+		b.Record(i * 91)
+	}
+	var want Histogram
+	want.Merge(a)
+	want.Merge(b)
+
+	var got Histogram
+	got.MergeSnapshot(a.Snapshot())
+	got.MergeSnapshot(b.Snapshot())
+
+	ws, gs := want.Snapshot(), got.Snapshot()
+	if gs.Count != ws.Count || gs.Sum != ws.Sum || len(gs.Buckets) != len(ws.Buckets) {
+		t.Fatalf("merged snapshot %v buckets count=%d sum=%d, want %d/%d",
+			len(gs.Buckets), gs.Count, gs.Sum, ws.Count, ws.Sum)
+	}
+	for q := 0.1; q < 1; q += 0.2 {
+		if got.Quantile(q) != want.Quantile(q) {
+			t.Fatalf("q%.1f: %d != %d", q, got.Quantile(q), want.Quantile(q))
+		}
+	}
+}

@@ -1,0 +1,150 @@
+// Package route is the routing plane of the sharded serving tier: a
+// thin front process (cmd/varade-router) accepts fleet connections on
+// one listener, decodes each session's handshake without terminating
+// it, and proxies the session to a backend varade-serve process chosen
+// by capability and load. Backends announce themselves (models,
+// precisions, live-session count) over the router's control endpoint;
+// the router places sessions with a consistent-hash ring keyed on
+// model@version:precision so a model's sessions co-batch on the same
+// backend, and aggregates the backends' Prometheus planes into one
+// exposition relabeled by backend.
+//
+// The package deliberately does not import internal/serve — the serving
+// plane imports this one (announcer), keeping routing and scoring
+// separable layers.
+package route
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ModelAd advertises one registry entry a backend can serve.
+type ModelAd struct {
+	Name     string `json:"name"`
+	Kind     string `json:"kind,omitempty"`
+	Versions []int  `json:"versions,omitempty"`
+	// Precisions the backend can derive serving groups for on this
+	// model (engine capability, not just the file's own precision).
+	Precisions []string `json:"precisions,omitempty"`
+}
+
+// Announcement is one backend's registration heartbeat: who it is,
+// where sessions and metrics live, what it can serve, and how loaded it
+// is. Backends POST it to the router's /register control endpoint on an
+// interval; a backend whose announcements stop is drained from the
+// ring after the router's TTL.
+type Announcement struct {
+	ID          string `json:"id"`
+	Addr        string `json:"addr"`                   // session listener host:port
+	MetricsAddr string `json:"metrics_addr,omitempty"` // HTTP plane host:port, scraped for /metrics aggregation
+	// Precisions is the union of per-model precisions — the router's
+	// per-precision pool membership.
+	Precisions   []string  `json:"precisions,omitempty"`
+	Models       []ModelAd `json:"models,omitempty"`
+	LiveSessions int       `json:"live_sessions"`
+	// Draining announces graceful de-registration: the router removes
+	// the backend from the ring immediately but lets live proxied
+	// sessions run to completion.
+	Draining bool `json:"draining,omitempty"`
+}
+
+// Register posts one announcement to a router control endpoint
+// (controlURL is the base, e.g. "http://host:port").
+func Register(ctx context.Context, client *http.Client, controlURL string, ann Announcement) error {
+	if ann.ID == "" || (ann.Addr == "" && !ann.Draining) {
+		return fmt.Errorf("route: announcement needs id and addr")
+	}
+	blob, err := json.Marshal(ann)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, controlURL+"/register", bytes.NewReader(blob))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("route: register: %s", resp.Status)
+	}
+	return nil
+}
+
+// Announcer re-posts a backend's announcement on an interval. The snap
+// callback builds a fresh announcement each beat (live-session counts
+// move); Stop posts one final announcement with Draining set so the
+// router drops the backend from the ring without waiting out the TTL.
+type Announcer struct {
+	url      string
+	interval time.Duration
+	snap     func() Announcement
+	client   *http.Client
+
+	cancel context.CancelFunc
+	done   chan struct{}
+	once   sync.Once
+}
+
+// StartAnnouncer begins announcing immediately and then every interval.
+// The first registration failure is returned synchronously so a
+// misconfigured -announce URL surfaces at startup; later failures are
+// retried on the next beat (the router tolerates gaps up to its TTL).
+func StartAnnouncer(controlURL string, interval time.Duration, snap func() Announcement) (*Announcer, error) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	a := &Announcer{
+		url:      controlURL,
+		interval: interval,
+		snap:     snap,
+		client:   &http.Client{Timeout: 2 * time.Second},
+		done:     make(chan struct{}),
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	a.cancel = cancel
+	if err := Register(ctx, a.client, a.url, a.snap()); err != nil {
+		cancel()
+		close(a.done)
+		return nil, err
+	}
+	go a.run(ctx)
+	return a, nil
+}
+
+func (a *Announcer) run(ctx context.Context) {
+	defer close(a.done)
+	tick := time.NewTicker(a.interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			// Best effort: a missed beat only ages the registration.
+			_ = Register(ctx, a.client, a.url, a.snap())
+		}
+	}
+}
+
+// Stop halts the heartbeat and posts a final Draining announcement so
+// the router de-registers the backend immediately. Safe to call more
+// than once.
+func (a *Announcer) Stop(ctx context.Context) {
+	a.once.Do(func() {
+		a.cancel()
+		<-a.done
+		ann := a.snap()
+		ann.Draining = true
+		_ = Register(ctx, a.client, a.url, ann)
+	})
+}

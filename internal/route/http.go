@@ -1,0 +1,189 @@
+package route
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"time"
+
+	"varade/internal/obs"
+)
+
+// BackendStatus is one backend's row in the /models snapshot.
+type BackendStatus struct {
+	ID           string    `json:"id"`
+	Addr         string    `json:"addr"`
+	MetricsAddr  string    `json:"metrics_addr,omitempty"`
+	Healthy      bool      `json:"healthy"`
+	Draining     bool      `json:"draining,omitempty"`
+	Failed       bool      `json:"failed,omitempty"`
+	LiveSessions int64     `json:"live_sessions"`
+	Proxied      int64     `json:"proxied_total"`
+	AgeMs        int64     `json:"announce_age_ms"`
+	Precisions   []string  `json:"precisions,omitempty"`
+	Models       []ModelAd `json:"models,omitempty"`
+}
+
+// Snapshot is the /models payload: the backend set and where each
+// placement key last landed on the ring.
+type Snapshot struct {
+	Backends   []BackendStatus   `json:"backends"`
+	Placements map[string]string `json:"placements"`
+}
+
+// Models returns the current backend table and ring placements.
+func (rt *Router) Models() Snapshot {
+	views := rt.tab.views(false)
+	snap := Snapshot{Placements: make(map[string]string)}
+	now := time.Now()
+	for _, v := range views {
+		snap.Backends = append(snap.Backends, BackendStatus{
+			ID:           v.b.id,
+			Addr:         v.ann.Addr,
+			MetricsAddr:  v.ann.MetricsAddr,
+			Healthy:      v.healthy,
+			Draining:     v.draining,
+			Failed:       v.failed,
+			LiveSessions: v.b.load(),
+			Proxied:      v.b.proxied.Load(),
+			AgeMs:        now.Sub(v.lastSeen).Milliseconds(),
+			Precisions:   v.ann.Precisions,
+			Models:       v.ann.Models,
+		})
+	}
+	rt.placements.Range(func(k, val any) bool {
+		snap.Placements[k.(string)] = val.(string)
+		return true
+	})
+	return snap
+}
+
+// WritePrometheus writes the aggregated observability plane: the
+// router's own varade_router_* families, then every live backend's
+// /metrics scraped and rebuilt with a `backend` label, then fleet-wide
+// aggregate histograms merged across backends. Scrapes happen at call
+// time — the figures are as fresh as the slowest backend fetch.
+func (rt *Router) WritePrometheus(w io.Writer) {
+	rt.healthyGauge.Set(float64(len(rt.tab.views(true))))
+	rt.sessionsActive.Set(float64(rt.active.Load()))
+	rt.reg.WritePrometheus(w)
+
+	// Rebuild every scrape into one fresh registry so the merged
+	// exposition has a single sorted TYPE/HELP block per family no
+	// matter how many backends contributed series.
+	scrape := obs.NewRegistry()
+	client := &http.Client{Timeout: rt.cfg.ScrapeTimeout}
+	for _, v := range rt.tab.views(false) {
+		if v.draining || v.ann.MetricsAddr == "" {
+			continue
+		}
+		body, err := scrapeBackend(client, v.ann.MetricsAddr)
+		if err == nil {
+			err = scrape.AbsorbPrometheusText(body, obs.L("backend", v.b.id))
+		}
+		if err != nil {
+			rt.reg.Counter("varade_router_scrape_errors_total",
+				"backend /metrics scrapes that failed or did not parse",
+				obs.L("backend", v.b.id)).Inc()
+		}
+	}
+	// Fleet-wide latency: the per-backend coalesce histograms merge
+	// bucket-wise into one unlabeled aggregate series.
+	agg := scrape.Histogram("varade_fleet_coalesce_latency_ns",
+		"admission to score-return latency, merged across all backends")
+	scrape.VisitHistograms("varade_coalesce_latency_ns", func(_ []obs.Label, h *obs.Histogram) {
+		agg.Merge(h)
+	})
+	scrape.WritePrometheus(w)
+}
+
+func scrapeBackend(client *http.Client, metricsAddr string) (string, error) {
+	resp, err := client.Get("http://" + metricsAddr + "/metrics")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("route: scrape %s: %s", metricsAddr, resp.Status)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return "", err
+	}
+	return string(body), nil
+}
+
+// Handler returns the control/observability mux: POST /register,
+// GET /metrics (aggregated), GET /models (ring placement), GET /healthz.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/register", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var ann Announcement
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&ann); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := rt.Register(ann); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		rt.WritePrometheus(w)
+	})
+	mux.HandleFunc("/models", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(rt.Models())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		views := rt.tab.views(true)
+		ids := make([]string, len(views))
+		for i, v := range views {
+			ids[i] = v.b.id
+		}
+		sort.Strings(ids)
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"status": "ok", "backends": ids, "sessions": rt.active.Load(),
+		})
+	})
+	return mux
+}
+
+// ServeControl starts the HTTP control plane on addr and returns the
+// bound address. The server stops when ShutdownControl (or Shutdown on
+// the passed context) runs.
+func (rt *Router) ServeControl(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: rt.Handler()}
+	rt.mu.Lock()
+	rt.ctl = srv
+	rt.mu.Unlock()
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// ShutdownControl stops the HTTP control plane, if one was started.
+func (rt *Router) ShutdownControl(ctx context.Context) error {
+	rt.mu.Lock()
+	srv := rt.ctl
+	rt.ctl = nil
+	rt.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Shutdown(ctx)
+}

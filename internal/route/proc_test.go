@@ -1,0 +1,229 @@
+package route_test
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"varade/internal/core"
+	"varade/internal/obs"
+	"varade/internal/serve"
+	"varade/internal/stream"
+)
+
+// TestRouterProcessSmoke is the CI fleet smoke: it builds the real
+// varade-serve and varade-router binaries, runs two backends announcing
+// to one router as separate OS processes, drives a mixed-precision
+// fleet through the router, and lints the aggregated exposition. It is
+// the closest thing to the deployment topology a test can exercise.
+func TestRouterProcessSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process smoke builds binaries; skipped in -short")
+	}
+	bin := t.TempDir()
+	routerBin := filepath.Join(bin, "varade-router")
+	serveBin := filepath.Join(bin, "varade-serve")
+	for target, out := range map[string]string{
+		"varade/cmd/varade-router": routerBin,
+		"varade/cmd/varade-serve":  serveBin,
+	} {
+		cmd := exec.Command("go", "build", "-o", out, target)
+		cmd.Dir = moduleRoot(t)
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("go build %s: %v\n%s", target, err, b)
+		}
+	}
+
+	// Registry on disk, shared by both backend processes.
+	regDir := t.TempDir()
+	reg, err := serve.OpenRegistry(regDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const channels = 2
+	model, err := core.New(core.TinyConfig(channels))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Register("varade", model); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	router := startProc(t, ctx, routerBin, "-addr", "127.0.0.1:0", "-control", "127.0.0.1:0")
+	raddr := router.expect(t, "varade-router: sessions on ")
+	ctl := router.expect(t, "varade-router: control on http://")
+	ctl = strings.Fields(ctl)[0]
+	ctlURL := "http://" + ctl
+
+	for _, id := range []string{"s1", "s2"} {
+		p := startProc(t, ctx, serveBin,
+			"-registry", regDir, "-model", "varade",
+			"-addr", "127.0.0.1:0", "-metrics", "127.0.0.1:0",
+			"-announce", ctlURL, "-backend-id", id, "-announce-every", "100ms")
+		p.expect(t, "varade-serve: announcing as ")
+	}
+
+	// Both backends registered and healthy.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		var hz struct {
+			Backends []string `json:"backends"`
+		}
+		if resp, err := http.Get(ctlURL + "/healthz"); err == nil {
+			json.NewDecoder(resp.Body).Decode(&hz)
+			resp.Body.Close()
+		}
+		if len(hz.Backends) == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("backends never both announced: %v", hz.Backends)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// A mixed-precision fleet through the router: v1 plus one v2 session
+	// per precision, each streaming a short series end to end.
+	w := model.WindowSize()
+	steps := 3 * w
+	run := func(cl *serve.Client, name string) {
+		t.Helper()
+		n := 0
+		if err := cl.Run(ctx, synthRows(steps, channels, 99), 8, func(stream.Score) { n++ }); err != nil {
+			t.Fatalf("%s session: %v", name, err)
+		}
+		cl.Close()
+		if want := steps - w + 1; n != want {
+			t.Fatalf("%s session scored %d windows, want %d", name, n, want)
+		}
+	}
+	cl, err := serve.Dial(ctx, raddr, "varade", channels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(cl, "v1")
+	for _, prec := range []string{"float64", "float32", "int8"} {
+		cl, err := serve.DialWith(ctx, raddr, "varade", channels, stream.SessionCaps{Precision: prec})
+		if err != nil {
+			t.Fatalf("%s dial: %v", prec, err)
+		}
+		if b := cl.Welcome().Backend; b != "s1" && b != "s2" {
+			t.Fatalf("%s welcome backend %q", prec, b)
+		}
+		run(cl, prec)
+	}
+
+	// The aggregated exposition lints and carries both backends.
+	resp, err := http.Get(ctlURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	if err := obs.LintPrometheusText(body); err != nil {
+		t.Fatalf("aggregated /metrics does not lint: %v", err)
+	}
+	for _, needle := range []string{`backend="s1"`, `backend="s2"`, "varade_router_sessions_total{"} {
+		if !strings.Contains(body, needle) {
+			t.Fatalf("aggregated /metrics missing %q", needle)
+		}
+	}
+}
+
+// proc wraps a spawned fleet process whose stdout lines gate test
+// progress.
+type proc struct {
+	cmd   *exec.Cmd
+	lines chan string
+}
+
+func startProc(t *testing.T, ctx context.Context, bin string, args ...string) *proc {
+	t.Helper()
+	cmd := exec.CommandContext(ctx, bin, args...)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &proc{cmd: cmd, lines: make(chan string, 64)}
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			select {
+			case p.lines <- sc.Text():
+			default: // never block the child on a full channel
+			}
+		}
+		close(p.lines)
+	}()
+	t.Cleanup(func() {
+		cmd.Process.Signal(os.Interrupt)
+		done := make(chan struct{})
+		go func() { cmd.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			cmd.Process.Kill()
+			<-done
+		}
+	})
+	return p
+}
+
+// expect waits for a stdout line with the given prefix and returns the
+// remainder of the line.
+func (p *proc) expect(t *testing.T, prefix string) string {
+	t.Helper()
+	timeout := time.After(30 * time.Second)
+	for {
+		select {
+		case line, ok := <-p.lines:
+			if !ok {
+				t.Fatalf("process exited before printing %q", prefix)
+			}
+			if strings.HasPrefix(line, prefix) {
+				return strings.TrimPrefix(line, prefix)
+			}
+		case <-timeout:
+			t.Fatalf("no %q line within 30s", prefix)
+		}
+	}
+}
+
+// moduleRoot walks up from the working directory to the go.mod, so the
+// builds run from the module no matter where `go test` placed us.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test working directory")
+		}
+		dir = parent
+	}
+}

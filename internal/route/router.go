@@ -1,0 +1,517 @@
+package route
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"varade/internal/obs"
+	"varade/internal/stream"
+)
+
+// Config tunes a Router.
+type Config struct {
+	// DefaultModel is the placement reference for sessions whose Hello
+	// names no model (and for CSV sessions, which have no handshake).
+	DefaultModel string
+	// TTL ages backend registrations: a backend that has not announced
+	// within TTL is drained from the ring. Default 5s.
+	TTL time.Duration
+	// RelayDepth bounds the per-direction frame queue of each proxied
+	// session; when the slow side stalls past it, the oldest queued
+	// frames are shed and counted (stream.Bus drop accounting). Default
+	// 256 frames.
+	RelayDepth int
+	// DialTimeout bounds one backend connection attempt. Default 2s.
+	DialTimeout time.Duration
+	// ScrapeTimeout bounds one backend /metrics fetch during
+	// aggregation. Default 2s.
+	ScrapeTimeout time.Duration
+}
+
+// Router is the routing plane: one session listener, a registration
+// table, and an HTTP control/observability plane.
+type Router struct {
+	cfg Config
+	reg *obs.Registry
+	tab *table
+
+	mu     sync.Mutex
+	ln     net.Listener
+	ctl    *http.Server
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	// placements records the backend each placement key last landed
+	// on, for /models.
+	placements sync.Map // string -> string
+
+	active         atomic.Int64 // mirrored to the gauge at exposition
+	sessionsActive *obs.Gauge
+	healthyGauge   *obs.Gauge
+	handshakeErrs  *obs.Counter
+}
+
+// NewRouter returns a router with an empty backend table.
+func NewRouter(cfg Config) *Router {
+	if cfg.RelayDepth <= 0 {
+		cfg.RelayDepth = 256
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 2 * time.Second
+	}
+	if cfg.ScrapeTimeout <= 0 {
+		cfg.ScrapeTimeout = 2 * time.Second
+	}
+	reg := obs.NewRegistry()
+	return &Router{
+		cfg:   cfg,
+		reg:   reg,
+		tab:   newTable(cfg.TTL),
+		conns: make(map[net.Conn]struct{}),
+		sessionsActive: reg.Gauge("varade_router_sessions_active",
+			"sessions currently proxied"),
+		healthyGauge: reg.Gauge("varade_router_backends_healthy",
+			"backends currently in the placement ring"),
+		handshakeErrs: reg.Counter("varade_router_handshake_errors_total",
+			"client handshakes refused before placement"),
+	}
+}
+
+// Register applies one announcement — the programmatic form of the
+// POST /register control endpoint, for in-process fleets.
+func (rt *Router) Register(ann Announcement) error {
+	if ann.ID == "" {
+		return fmt.Errorf("route: announcement without id")
+	}
+	rt.tab.upsert(ann)
+	return nil
+}
+
+// Serve starts accepting fleet sessions on addr and returns the bound
+// address.
+func (rt *Router) Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	rt.mu.Lock()
+	rt.ln = ln
+	rt.mu.Unlock()
+	rt.wg.Add(1)
+	go func() {
+		defer rt.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			rt.mu.Lock()
+			if rt.closed {
+				rt.mu.Unlock()
+				conn.Close()
+				return
+			}
+			rt.conns[conn] = struct{}{}
+			rt.mu.Unlock()
+			rt.wg.Add(1)
+			go rt.handleConn(conn)
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Shutdown stops the control plane and the session listener, severs
+// every proxied session, and waits for the relay goroutines to drain
+// (bounded by ctx).
+func (rt *Router) Shutdown(ctx context.Context) error {
+	rt.ShutdownControl(ctx)
+	rt.mu.Lock()
+	rt.closed = true
+	ln := rt.ln
+	conns := make([]net.Conn, 0, len(rt.conns))
+	for c := range rt.conns {
+		conns = append(conns, c)
+	}
+	rt.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		rt.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (rt *Router) track(c net.Conn) bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.closed {
+		return false
+	}
+	rt.conns[c] = struct{}{}
+	return true
+}
+
+func (rt *Router) untrack(c net.Conn) {
+	rt.mu.Lock()
+	delete(rt.conns, c)
+	rt.mu.Unlock()
+}
+
+// parseRef splits "name", "name@latest", "name@vN" for placement
+// canonicalisation only — the backend revalidates with the full rules,
+// so a malformed ref simply keys on its raw text.
+func parseRef(ref string) (string, int) {
+	if i := strings.LastIndex(ref, "@"); i > 0 {
+		name, suffix := ref[:i], ref[i+1:]
+		if suffix == "latest" {
+			return name, 0
+		}
+		if strings.HasPrefix(suffix, "v") {
+			if v, err := strconv.Atoi(suffix[1:]); err == nil && v > 0 {
+				return name, v
+			}
+		}
+		return ref, 0
+	}
+	return ref, 0
+}
+
+// placementKey canonicalises a handshake into the ring key
+// "name@vN:precision" (floating versions key as @latest so they
+// co-batch wherever the registry head moves).
+func (rt *Router) placementKey(h stream.Hello) (key, model, prec string) {
+	ref := h.Model
+	if ref == "" {
+		ref = rt.cfg.DefaultModel
+	}
+	name, ver := parseRef(ref)
+	if h.Version > 0 {
+		ver = h.Version
+	}
+	prec = h.GetCaps().Precision
+	key = name
+	if ver > 0 {
+		key += "@v" + strconv.Itoa(ver)
+	} else {
+		key += "@latest"
+	}
+	if prec != "" {
+		key += ":" + prec
+	}
+	return key, name, prec
+}
+
+// place returns backends to try for a session, in preference order: the
+// consistent-hash ring over the per-precision pool (narrowed to
+// backends advertising the model when any do), with the top two ring
+// candidates swapped if the second is strictly less loaded, then the
+// rest of the pool in ring order as dial failover.
+func (rt *Router) place(model, prec, key string) []backendView {
+	healthy := rt.tab.views(true)
+	pool := make([]backendView, 0, len(healthy))
+	for _, v := range healthy {
+		if supports(v.ann, prec) {
+			pool = append(pool, v)
+		}
+	}
+	if len(pool) == 0 {
+		// No backend claims the precision: let the most natural backend
+		// refuse over the protocol rather than synthesising our own
+		// error text for every case.
+		pool = healthy
+	}
+	adv := make([]backendView, 0, len(pool))
+	for _, v := range pool {
+		if advertises(v.ann, model) {
+			adv = append(adv, v)
+		}
+	}
+	if len(adv) > 0 {
+		pool = adv
+	}
+	ids := make([]string, len(pool))
+	byID := make(map[string]backendView, len(pool))
+	for i, v := range pool {
+		ids[i] = v.b.id
+		byID[v.b.id] = v
+	}
+	order := ringLookup(buildRing(ids), key, len(pool))
+	out := make([]backendView, 0, len(healthy))
+	for _, id := range order {
+		out = append(out, byID[id])
+	}
+	// Least-loaded tie-break with hysteresis: only overrule the ring
+	// when the favourite is more than one session busier, so same-key
+	// sessions keep co-batching on one backend under balanced load.
+	if len(out) >= 2 && out[1].b.load()+1 < out[0].b.load() {
+		out[0], out[1] = out[1], out[0]
+	}
+	for _, v := range healthy {
+		if _, inPool := byID[v.b.id]; !inPool {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// dialFirst walks the candidate list, returning the first backend that
+// accepts a connection and marking the ones that refuse as failed.
+func (rt *Router) dialFirst(cands []backendView) (*backend, net.Conn) {
+	for _, v := range cands {
+		c, err := net.DialTimeout("tcp", v.ann.Addr, rt.cfg.DialTimeout)
+		if err != nil {
+			rt.tab.fail(v.b.id)
+			rt.reg.Counter("varade_router_dial_failures_total",
+				"backend connection attempts that failed",
+				obs.L("backend", v.b.id)).Inc()
+			continue
+		}
+		return v.b, c
+	}
+	return nil, nil
+}
+
+func (rt *Router) handleConn(conn net.Conn) {
+	defer rt.wg.Done()
+	defer rt.untrack(conn)
+	br := bufio.NewReader(conn)
+	peek, err := br.Peek(len(stream.FrameMagic))
+	if err != nil {
+		conn.Close()
+		return
+	}
+
+	if stream.SniffProto(peek) == 0 {
+		rt.proxyCSV(conn, br)
+		return
+	}
+
+	proto, rawHello, hello, err := stream.ReadHello(br)
+	if err != nil {
+		rt.handshakeErrs.Inc()
+		stream.WriteFrame(conn, stream.FrameError, []byte(err.Error()))
+		conn.Close()
+		return
+	}
+	key, model, prec := rt.placementKey(hello)
+	bk, bconn := rt.dialFirst(rt.place(model, prec, key))
+	if bk == nil {
+		rt.handshakeErrs.Inc()
+		stream.WriteFrame(conn, stream.FrameError, []byte("route: no healthy backend"))
+		conn.Close()
+		return
+	}
+	if !rt.track(bconn) {
+		bconn.Close()
+		conn.Close()
+		return
+	}
+	defer rt.untrack(bconn)
+	rt.placements.Store(key, bk.id)
+
+	// Replay the handshake verbatim, then rewrite the v2 Welcome to
+	// name the chosen backend. v1 Welcomes pass through byte-identical.
+	magic := stream.FrameMagic
+	if proto >= stream.ProtoV2 {
+		magic = stream.FrameMagicV2
+	}
+	bw := bufio.NewWriter(bconn)
+	bbr := bufio.NewReader(bconn)
+	if _, err := bw.WriteString(magic); err == nil {
+		err = stream.WriteFrame(bw, stream.FrameHello, rawHello)
+	}
+	if err == nil {
+		err = bw.Flush()
+	}
+	var replyT stream.FrameType
+	var reply []byte
+	if err == nil {
+		replyT, reply, err = stream.ReadFrame(bbr)
+	}
+	if err != nil {
+		rt.tab.fail(bk.id)
+		rt.handshakeErrs.Inc()
+		stream.WriteFrame(conn, stream.FrameError, []byte("route: backend handshake failed"))
+		conn.Close()
+		bconn.Close()
+		return
+	}
+	if replyT == stream.FrameWelcome && proto >= stream.ProtoV2 {
+		var w stream.Welcome
+		if jerr := json.Unmarshal(reply, &w); jerr == nil {
+			w.Backend = bk.id
+			err = stream.WriteJSONFrame(conn, stream.FrameWelcome, w)
+		} else {
+			err = stream.WriteFrame(conn, replyT, reply)
+		}
+	} else {
+		err = stream.WriteFrame(conn, replyT, reply)
+	}
+	if err != nil || replyT != stream.FrameWelcome {
+		conn.Close()
+		bconn.Close()
+		return
+	}
+
+	protoLabel := "v1"
+	if proto >= stream.ProtoV2 {
+		protoLabel = "v2"
+	}
+	rt.beginSession(bk, protoLabel)
+	rt.relaySession(conn, br, bconn, bbr)
+	rt.endSession(bk)
+}
+
+func (rt *Router) beginSession(bk *backend, protoLabel string) {
+	bk.inflight.Add(1)
+	bk.proxied.Add(1)
+	rt.active.Add(1)
+	rt.reg.Counter("varade_router_sessions_total", "sessions proxied",
+		obs.L("proto", protoLabel)).Inc()
+	rt.reg.Counter("varade_router_backend_sessions_total",
+		"sessions placed per backend", obs.L("backend", bk.id)).Inc()
+}
+
+func (rt *Router) endSession(bk *backend) {
+	bk.inflight.Add(-1)
+	rt.active.Add(-1)
+}
+
+// relayFrame is one buffered frame in a relay direction.
+type relayFrame struct {
+	t       stream.FrameType
+	payload []byte
+}
+
+// relaySession pumps frames both ways until the session tears down,
+// then returns with both connections closed. Each direction is a
+// bounded stream.Bus: when the receiving side stalls past RelayDepth
+// frames, the oldest queued frames are shed and counted — terminal
+// frames (Bye, Error) are always the newest, so teardown survives
+// shedding.
+func (rt *Router) relaySession(client net.Conn, cbr *bufio.Reader, bconn net.Conn, bbr *bufio.Reader) {
+	var wg sync.WaitGroup
+	rt.pump(&wg, cbr, bconn, "client_to_backend", func() {
+		// Half-close toward the backend so it still flushes the tail
+		// scores of a client that sent Bye and closed.
+		closeWrite(bconn)
+	})
+	rt.pump(&wg, bbr, client, "backend_to_client", func() {
+		// The backend closing ends the session outright.
+		client.Close()
+	})
+	wg.Wait()
+	client.Close()
+	bconn.Close()
+}
+
+// pump relays one direction src→dst through a bounded bus. Two
+// goroutines: the reader publishes (dropping oldest under
+// backpressure), the writer drains with batched flushes. onSrcDone runs
+// after the queue has drained following src's EOF or error.
+func (rt *Router) pump(wg *sync.WaitGroup, src *bufio.Reader, dst net.Conn, dir string, onSrcDone func()) {
+	drops := rt.reg.Counter("varade_router_relay_dropped_frames_total",
+		"relayed frames shed because a session side stalled past the bounded queue",
+		obs.L("dir", dir))
+	bus := stream.NewBus[relayFrame]()
+	bus.SetDropCounter(drops)
+	sub := bus.Subscribe(rt.cfg.RelayDepth)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for {
+			t, payload, err := stream.ReadFrame(src)
+			if err != nil {
+				bus.Close()
+				return
+			}
+			bus.Publish(relayFrame{t: t, payload: payload})
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		bw := bufio.NewWriter(dst)
+		for f := range sub {
+			if err := stream.WriteFrame(bw, f.t, f.payload); err != nil {
+				break
+			}
+			if len(sub) == 0 {
+				if err := bw.Flush(); err != nil {
+					break
+				}
+			}
+		}
+		bw.Flush()
+		onSrcDone()
+	}()
+}
+
+// proxyCSV relays a CSV line session (no handshake to decode) to the
+// default placement as a raw byte stream — the line protocol has its
+// own flow control (one line per sample), so plain copies with the
+// kernel's socket backpressure suffice.
+func (rt *Router) proxyCSV(conn net.Conn, br *bufio.Reader) {
+	key, model, prec := rt.placementKey(stream.Hello{})
+	bk, bconn := rt.dialFirst(rt.place(model, prec, key))
+	if bk == nil {
+		conn.Close()
+		return
+	}
+	if !rt.track(bconn) {
+		bconn.Close()
+		conn.Close()
+		return
+	}
+	defer rt.untrack(bconn)
+	rt.placements.Store(key, bk.id)
+	rt.beginSession(bk, "csv")
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		io.Copy(bconn, br)
+		closeWrite(bconn)
+	}()
+	go func() {
+		defer wg.Done()
+		io.Copy(conn, bconn)
+		conn.Close()
+	}()
+	wg.Wait()
+	conn.Close()
+	bconn.Close()
+	rt.endSession(bk)
+}
+
+// closeWrite half-closes the write side when the transport supports it
+// (TCP does), else closes outright.
+func closeWrite(c net.Conn) {
+	type cw interface{ CloseWrite() error }
+	if t, ok := c.(cw); ok {
+		t.CloseWrite()
+		return
+	}
+	c.Close()
+}

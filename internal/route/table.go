@@ -1,0 +1,160 @@
+package route
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// backend is the router's record of one announced serving process.
+// Announced fields are guarded by the owning table's mutex; the session
+// counters are atomics so the proxy path never takes the table lock
+// per frame.
+type backend struct {
+	id string
+
+	// Guarded by table.mu.
+	ann      Announcement
+	lastSeen time.Time
+	failed   bool // a dial failed after the last announcement
+	draining bool
+
+	// inflight is the router's own live proxied-session count; proxied
+	// counts sessions ever placed here. annLive and annInflight snapshot
+	// the backend's self-reported session count and our own inflight at
+	// the last announcement so load() can combine the backend's report
+	// with placements the report hasn't seen yet — atomics, not ann
+	// fields, because load() runs on the placement path without the
+	// table lock.
+	inflight    atomic.Int64
+	proxied     atomic.Int64
+	annLive     atomic.Int64
+	annInflight atomic.Int64
+}
+
+// load estimates the backend's live-session count: the last
+// backend-reported figure plus the sessions this router has placed (or
+// torn down) since that report.
+func (b *backend) load() int64 {
+	l := b.annLive.Load() + b.inflight.Load() - b.annInflight.Load()
+	if l < 0 {
+		l = 0
+	}
+	return l
+}
+
+// table is the registration/health plane: the live backend set, aged by
+// announcement TTL.
+type table struct {
+	mu  sync.Mutex
+	ttl time.Duration
+	now func() time.Time // test hook
+
+	backends map[string]*backend
+}
+
+func newTable(ttl time.Duration) *table {
+	if ttl <= 0 {
+		ttl = 5 * time.Second
+	}
+	return &table{ttl: ttl, now: time.Now, backends: make(map[string]*backend)}
+}
+
+// upsert applies one announcement: registration, heartbeat refresh, or
+// (Draining) graceful de-registration. A fresh announcement clears a
+// dial-failure mark — the backend is telling us it is back.
+func (t *table) upsert(ann Announcement) *backend {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b := t.backends[ann.ID]
+	if b == nil {
+		b = &backend{id: ann.ID}
+		t.backends[ann.ID] = b
+	}
+	b.ann = ann
+	b.lastSeen = t.now()
+	b.failed = false
+	b.draining = ann.Draining
+	b.annLive.Store(int64(ann.LiveSessions))
+	b.annInflight.Store(b.inflight.Load())
+	return b
+}
+
+// fail marks a backend unreachable (a session dial failed). It stays
+// out of the ring until its next announcement proves it back.
+func (t *table) fail(id string) {
+	t.mu.Lock()
+	if b := t.backends[id]; b != nil {
+		b.failed = true
+	}
+	t.mu.Unlock()
+}
+
+// backendView is a consistent read of one backend: the record pointer
+// (for the atomic session counters) plus copies of the mutex-guarded
+// announcement and health flags, valid at snapshot time.
+type backendView struct {
+	b        *backend
+	ann      Announcement
+	healthy  bool
+	draining bool
+	failed   bool
+	lastSeen time.Time
+}
+
+// views snapshots the table, sorted by id for deterministic rings. With
+// onlyHealthy set, it returns just the placeable backends: announced
+// within TTL, not draining, not dial-failed.
+func (t *table) views(onlyHealthy bool) []backendView {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cutoff := t.now().Add(-t.ttl)
+	out := make([]backendView, 0, len(t.backends))
+	for _, b := range t.backends {
+		v := backendView{
+			b:        b,
+			ann:      b.ann,
+			draining: b.draining,
+			failed:   b.failed,
+			lastSeen: b.lastSeen,
+		}
+		v.healthy = !b.failed && !b.draining && b.lastSeen.After(cutoff)
+		if onlyHealthy && !v.healthy {
+			continue
+		}
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].b.id < out[j].b.id })
+	return out
+}
+
+// supports reports whether the backend's announcement covers a serving
+// precision ("" — the model file's own precision — is always
+// serveable).
+func supports(ann Announcement, prec string) bool {
+	if prec == "" || len(ann.Precisions) == 0 {
+		return true
+	}
+	for _, p := range ann.Precisions {
+		if p == prec {
+			return true
+		}
+	}
+	return false
+}
+
+// advertises reports whether the backend announces the named model (an
+// empty model list means "ask me anything": the backend did not
+// enumerate).
+func advertises(ann Announcement, model string) bool {
+	if model == "" || len(ann.Models) == 0 {
+		return true
+	}
+	for _, m := range ann.Models {
+		if m.Name == model {
+			return true
+		}
+	}
+	return false
+}

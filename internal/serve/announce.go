@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"context"
+	"sort"
+	"time"
+
+	"varade/internal/route"
+)
+
+// The announcer is the scoring plane's side of the sharded serving
+// tier: a varade-serve process registers itself with a varade-router
+// control endpoint and keeps the registration fresh, so the router can
+// place sessions by capability and load. Shutdown posts a Draining
+// announcement before the drain starts, pulling the backend out of the
+// router's ring while live sessions finish.
+
+// StartAnnouncer begins announcing this server to a router's control
+// endpoint (e.g. "http://host:port") every interval. id names the
+// backend in the router's ring and in relabeled metrics; sessionAddr
+// and metricsAddr are the addresses Serve and ServeMetrics returned.
+// The first registration failure is returned synchronously.
+func (s *Server) StartAnnouncer(controlURL, id, sessionAddr, metricsAddr string, interval time.Duration) error {
+	a, err := route.StartAnnouncer(controlURL, interval, func() route.Announcement {
+		return s.announcement(id, sessionAddr, metricsAddr)
+	})
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.announcer = a
+	s.mu.Unlock()
+	return nil
+}
+
+// announcement snapshots what this server can serve and how loaded it
+// is.
+func (s *Server) announcement(id, sessionAddr, metricsAddr string) route.Announcement {
+	infos := s.cfg.Registry.List()
+	models := make([]route.ModelAd, 0, len(infos))
+	precSet := map[string]bool{}
+	for _, mi := range infos {
+		precs := precisionsForKind(mi.Kind)
+		for _, p := range precs {
+			precSet[p] = true
+		}
+		models = append(models, route.ModelAd{
+			Name:       mi.Name,
+			Kind:       mi.Kind,
+			Versions:   mi.Versions,
+			Precisions: precs,
+		})
+	}
+	precisions := make([]string, 0, len(precSet))
+	for p := range precSet {
+		precisions = append(precisions, p)
+	}
+	sort.Strings(precisions)
+	return route.Announcement{
+		ID:           id,
+		Addr:         sessionAddr,
+		MetricsAddr:  metricsAddr,
+		Precisions:   precisions,
+		Models:       models,
+		LiveSessions: int(s.met.sessionsActive.Load()),
+	}
+}
+
+// precisionsForKind maps a registry kind to the precisions a serving
+// group can derive from it: the neural engines run the full precision
+// ladder (SetPrecision), the classical baselines score only their own
+// float64 path.
+func precisionsForKind(kind string) []string {
+	switch kind {
+	case "VARADE", "AE", "AR-LSTM":
+		return []string{"float64", "float32", "int8"}
+	}
+	return []string{"float64"}
+}
+
+// stopAnnouncer posts the final Draining announcement, de-registering
+// from the router before the drain begins. No-op when no announcer was
+// started.
+func (s *Server) stopAnnouncer(ctx context.Context) {
+	s.mu.Lock()
+	a := s.announcer
+	s.announcer = nil
+	s.mu.Unlock()
+	if a != nil {
+		a.Stop(ctx)
+	}
+}

@@ -182,6 +182,20 @@ func (g *modelGroup) add(sess *session, index int, buf *stream.WindowBuffer, adm
 		sess.scoreDone()
 		return
 	}
+	// Admission-plane shedding (opt-in): a window whose age already
+	// exceeds the group's SLO budget is doomed — any batch it joins
+	// emits past its deadline — so shed it now rather than queueing
+	// dead work ahead of windows that can still make their deadline.
+	// Gated on Config.ShedAdmission because it breaks the
+	// every-window-is-owed-a-score contract exact-count consumers rely
+	// on; without the gate every window is scored eventually, however
+	// late.
+	if g.srv.cfg.ShedAdmission && g.sched.slo > 0 && !admitAt.IsZero() && time.Since(admitAt) > g.sched.slo {
+		g.obs.shedTotal.Inc()
+		g.mu.Unlock()
+		sess.scoreDone()
+		return
+	}
 	if g.n == 0 {
 		// Empty buffer: latch the current serving precision for this batch.
 		g.fill32 = g.use32

@@ -321,6 +321,7 @@ type SchedulerStatus struct {
 	DrainFlushes     int64   `json:"drain_flushes"`
 	EmptyWakeups     int64   `json:"empty_wakeups"`
 	TargetChanges    int64   `json:"target_changes"`
+	Shed             int64   `json:"shed,omitempty"`
 	LastChange       string  `json:"last_change,omitempty"`
 }
 
@@ -338,6 +339,7 @@ func (g *modelGroup) schedulerStatusLocked() *SchedulerStatus {
 		DrainFlushes:     g.obs.flushTrig[trigDrain].Load(),
 		EmptyWakeups:     g.obs.emptyWakeups.Load(),
 		TargetChanges:    g.obs.targetChanges.Load(),
+		Shed:             g.obs.shedTotal.Load(),
 		LastChange:       g.sched.lastChange,
 	}
 }

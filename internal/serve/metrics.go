@@ -87,6 +87,7 @@ type groupObs struct {
 	flushTrig       [trigCount]*obs.Counter // flushes by trigger
 	emptyWakeups    *obs.Counter            // flusher woke to an empty buffer
 	targetChanges   *obs.Counter            // learned-target moves applied
+	shedTotal       *obs.Counter            // windows shed at admission: age already past the SLO
 }
 
 func newGroupObs(m *metrics, key, precision string, maxBatch int) *groupObs {
@@ -111,6 +112,7 @@ func newGroupObs(m *metrics, key, precision string, maxBatch int) *groupObs {
 		sloGauge:        m.reg.Gauge("varade_sched_slo_ns", "Effective p99 coalescing-latency budget in nanoseconds (0 = none).", gl, pl),
 		emptyWakeups:    m.reg.Counter("varade_sched_empty_wakeups_total", "Flusher wakeups that found an empty buffer.", gl, pl),
 		targetChanges:   m.reg.Counter("varade_sched_target_changes_total", "Learned fill-target moves applied by the controller.", gl, pl),
+		shedTotal:       m.reg.Counter("varade_sched_shed_total", "Windows shed at admission because their age already exceeded the SLO budget.", gl, pl),
 	}
 	for t := range o.flushTrig {
 		o.flushTrig[t] = m.reg.Counter("varade_sched_flushes_total", "Coalesced flushes by trigger.",

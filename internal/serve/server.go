@@ -16,6 +16,7 @@ import (
 
 	"varade/internal/detect"
 	"varade/internal/obs"
+	"varade/internal/route"
 	"varade/internal/stream"
 )
 
@@ -39,6 +40,15 @@ type Config struct {
 	// tighten (never loosen) their group's budget via the slo_p99_ms
 	// capability. 0 disables the budget.
 	SLOP99 time.Duration
+	// ShedAdmission extends the SLO into the admission plane: a window
+	// whose age already exceeds the group's SLO budget when it reaches
+	// the coalescer is shed (counted in varade_sched_shed_total) instead
+	// of queued — any batch it joined would emit past its deadline
+	// anyway. Opt-in (varade-serve -slo-shed) because it trades the
+	// every-window-is-owed-a-score contract for freshness: consumers
+	// that count scores against windows sent must read to Bye/EOF
+	// rather than expecting an exact count. No effect without SLOP99.
+	ShedAdmission bool
 	// MaxBatch is the coalescer's fill-buffer capacity; a full buffer
 	// flushes immediately. Default detect.BatchChunk.
 	MaxBatch int
@@ -98,12 +108,13 @@ type Server struct {
 	gctx    context.Context
 	gcancel context.CancelFunc
 
-	mu       sync.Mutex
-	groups   map[string]*modelGroup
-	sessions map[*session]struct{}
-	conns    map[net.Conn]struct{} // every live connection, incl. mid-handshake
-	draining bool
-	sessID   atomic.Int64
+	mu        sync.Mutex
+	groups    map[string]*modelGroup
+	sessions  map[*session]struct{}
+	conns     map[net.Conn]struct{} // every live connection, incl. mid-handshake
+	draining  bool
+	announcer *route.Announcer // router registration heartbeat, if started
+	sessID    atomic.Int64
 
 	acceptWG sync.WaitGroup
 	sessWG   sync.WaitGroup
@@ -677,6 +688,9 @@ func (s *Server) ServeMetrics(addr string) (string, error) {
 // admitted, then stop the coalescers. If ctx expires first, remaining
 // connections are closed hard (the pipeline still unwinds cleanly).
 func (s *Server) Shutdown(ctx context.Context) error {
+	// De-register from any router first so no new sessions are placed
+	// here while the drain runs.
+	s.stopAnnouncer(ctx)
 	s.mu.Lock()
 	s.draining = true
 	live := make([]net.Conn, 0, len(s.conns))

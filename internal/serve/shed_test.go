@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"varade/internal/stream"
+)
+
+// TestAdmissionSLOShedding covers the admission-plane SLO gate: a
+// window whose age at admission already exceeds the group's SLO budget
+// is shed immediately — counted in varade_sched_shed_total, never
+// queued, and its session's outstanding balance still retires — while a
+// fresh window flows through and gets scored.
+func TestAdmissionSLOShedding(t *testing.T) {
+	const (
+		channels = 2
+		slo      = 50 * time.Millisecond
+	)
+	srv, _, model := newFleetServer(t, channels, Config{SLOP99: slo, ShedAdmission: true})
+	defer srv.Shutdown(context.Background())
+
+	g, err := srv.group("varade", 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := newSession(srv, g, newConnRW(nil), true, stream.SessionCaps{}, 0, 0)
+	buf := stream.NewWindowBuffer(g.w, g.c)
+	for i := 0; i < model.WindowSize(); i++ {
+		buf.Push(make([]float64, channels))
+	}
+
+	// A window admitted 10 SLOs ago is doomed: shed, not queued.
+	sess.outstanding.Add(1)
+	g.add(sess, 0, buf, time.Now().Add(-10*slo))
+	if got := g.obs.shedTotal.Load(); got != 1 {
+		t.Fatalf("shed counter = %d, want 1", got)
+	}
+	g.mu.Lock()
+	queued := g.n
+	g.mu.Unlock()
+	if queued != 0 {
+		t.Fatalf("doomed window was queued (n=%d)", queued)
+	}
+	if got := sess.outstanding.Load(); got != 0 {
+		t.Fatalf("outstanding = %d after shed, want 0", got)
+	}
+
+	// A fresh window queues and gets scored within the SLO machinery.
+	sess.outstanding.Add(1)
+	g.add(sess, 1, buf, time.Now())
+	deadline := time.Now().Add(5 * time.Second)
+	for sess.outstanding.Load() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("fresh window never scored")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := g.obs.shedTotal.Load(); got != 1 {
+		t.Fatalf("fresh window was shed (counter %d)", got)
+	}
+
+	// The counter is exported and the scheduler block reports it.
+	g.mu.Lock()
+	shed := g.schedulerStatusLocked().Shed
+	g.mu.Unlock()
+	if shed != 1 {
+		t.Fatalf("SchedulerStatus.Shed = %d, want 1", shed)
+	}
+	var b strings.Builder
+	srv.WritePrometheus(&b)
+	if !strings.Contains(b.String(), "varade_sched_shed_total{") {
+		t.Fatal("varade_sched_shed_total missing from exposition")
+	}
+}

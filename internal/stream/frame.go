@@ -212,6 +212,11 @@ type Welcome struct {
 	// configured one, in which case the field is omitted and the Welcome
 	// stays byte-identical to pre-SLO servers).
 	SLOP99Ms float64 `json:"slo_p99_ms,omitempty"`
+	// Backend names the backend process actually serving this session
+	// when the connection runs through a varade-router (v2 only; empty
+	// on direct connections, in which case the field is omitted and the
+	// Welcome stays byte-identical to pre-router servers).
+	Backend string `json:"backend,omitempty"`
 }
 
 // WriteFrame writes one frame.
@@ -228,19 +233,61 @@ func WriteFrame(w io.Writer, t FrameType, payload []byte) error {
 
 // ReadFrame reads one frame, rejecting payloads over MaxFramePayload.
 func ReadFrame(r io.Reader) (FrameType, []byte, error) {
+	return readFrameCapped(r, MaxFramePayload)
+}
+
+// readFrameCapped reads one frame, rejecting payloads over max before a
+// single payload byte is read or allocated.
+func readFrameCapped(r io.Reader, max uint32) (FrameType, []byte, error) {
 	var head [5]byte
 	if _, err := io.ReadFull(r, head[:]); err != nil {
 		return 0, nil, err
 	}
 	n := binary.LittleEndian.Uint32(head[:4])
-	if n > MaxFramePayload {
-		return 0, nil, fmt.Errorf("stream: frame payload %d exceeds cap", n)
+	if n > max {
+		return 0, nil, fmt.Errorf("stream: frame payload %d exceeds cap %d", n, max)
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return 0, nil, err
 	}
 	return FrameType(head[4]), payload, nil
+}
+
+// MaxHelloPayload bounds the handshake frames (Hello and Welcome). A
+// legitimate handshake is a few hundred bytes of JSON; a proxy that
+// decodes the Hello before picking a backend must not be made to buffer
+// a MaxFramePayload-sized blob by a hostile length prefix.
+const MaxHelloPayload = 64 << 10
+
+// ReadHello performs the router-side partial decode of a fleet session:
+// it consumes exactly the 4-byte preamble and the Hello frame that
+// follows — nothing further — and returns the protocol version, the raw
+// Hello payload (for verbatim replay to a backend), and the decoded,
+// validated Hello. Oversized Hello frames are rejected by a bounded
+// read (MaxHelloPayload) before any payload byte is buffered, so a
+// hostile handshake cannot make the proxy allocate a frame-sized blob.
+func ReadHello(r io.Reader) (proto int, payload []byte, h Hello, err error) {
+	var preamble [4]byte
+	if _, err = io.ReadFull(r, preamble[:]); err != nil {
+		return 0, nil, Hello{}, err
+	}
+	proto = SniffProto(preamble[:])
+	if proto == 0 {
+		return 0, nil, Hello{}, fmt.Errorf("stream: not a fleet preamble %q", preamble[:])
+	}
+	t, payload, err := readFrameCapped(r, MaxHelloPayload)
+	if err != nil {
+		return 0, nil, Hello{}, err
+	}
+	if t != FrameHello {
+		return 0, nil, Hello{}, fmt.Errorf("stream: handshake frame type %d, want hello", t)
+	}
+	h, err = DecodeHello(proto, payload)
+	if err != nil {
+		return 0, nil, Hello{}, err
+	}
+	return proto, payload, h, nil
 }
 
 // WriteJSONFrame marshals v and writes it as a frame of type t.

@@ -46,8 +46,44 @@ func FuzzDecodeFrame(f *testing.F) {
 	oversized[4] = byte(FrameHello)
 	f.Add(oversized)
 	f.Add([]byte{})
+	// Router handshake seeds: preamble + Hello, wrong preamble, a Hello
+	// frame whose length prefix exceeds the handshake cap, and a
+	// non-Hello first frame.
+	f.Add(append([]byte(FrameMagicV2), frameBytes(FrameHello, helloV2)...))
+	f.Add(append([]byte(FrameMagic), frameBytes(FrameHello, helloV1)...))
+	f.Add(append([]byte("VFS9"), frameBytes(FrameHello, helloV1)...))
+	bigHello := make([]byte, 9)
+	copy(bigHello, FrameMagicV2)
+	binary.LittleEndian.PutUint32(bigHello[4:], MaxHelloPayload+1)
+	bigHello[8] = byte(FrameHello)
+	f.Add(append(bigHello, make([]byte, 128)...))
+	f.Add(append([]byte(FrameMagicV2), frameBytes(FrameSamples, nil)...))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
+		// The router's partial decode: exactly preamble + Hello, with a
+		// bounded read. An accepted handshake must be internally
+		// consistent (validated Hello, replayable raw payload); an
+		// oversized length prefix must be rejected without buffering.
+		proto, raw, hello, herr := ReadHello(bytes.NewReader(data))
+		if herr == nil {
+			if proto != ProtoV1 && proto != ProtoV2 {
+				t.Fatalf("ReadHello accepted protocol %d", proto)
+			}
+			if len(raw) > MaxHelloPayload {
+				t.Fatalf("ReadHello buffered %d-byte hello past the handshake cap", len(raw))
+			}
+			rd, err := DecodeHello(proto, raw)
+			if err != nil {
+				t.Fatalf("ReadHello's raw payload does not re-decode: %v", err)
+			}
+			if rd.Channels != hello.Channels || rd.Model != hello.Model {
+				t.Fatalf("raw payload decodes to %+v, ReadHello returned %+v", rd, hello)
+			}
+			if proto == ProtoV1 && hello.GetCaps() != (SessionCaps{}) {
+				t.Fatalf("ReadHello let a capability set through on v1: %+v", hello.GetCaps())
+			}
+		}
+
 		typ, payload, err := ReadFrame(bytes.NewReader(data))
 		if err != nil {
 			return
