@@ -50,6 +50,14 @@ type BenchResult struct {
 	// too host-sensitive for a hard threshold). Absent elsewhere.
 	P50CoalesceMs float64 `json:"p50_coalesce_ms,omitempty"`
 	P99CoalesceMs float64 `json:"p99_coalesce_ms,omitempty"`
+	// Handoffs/HandoffP99Ms are the failover lane's hand-off plane: how
+	// many sessions the router re-placed after the mid-run backend kill
+	// and the router-measured detection-to-warmed p99. Informational like
+	// the coalesce percentiles: -diff renders them but never gates (dial
+	// and scheduler costs dominate and are host-sensitive). Absent
+	// elsewhere.
+	Handoffs     int64   `json:"handoffs,omitempty"`
+	HandoffP99Ms float64 `json:"handoff_p99_ms,omitempty"`
 }
 
 const (
@@ -192,6 +200,13 @@ func newFleetRoutedBench(seed uint64) (*fleetMixedBench, error) {
 	return newFleetBench(seed, 0, 0, 0, 2)
 }
 
+// newFleetFailoverBench is the FleetServeFailover64 lane's fleet: the
+// routed shape again — the kill and the hand-off happen in runFailover,
+// not here.
+func newFleetFailoverBench(seed uint64) (*fleetMixedBench, error) {
+	return newFleetBench(seed, 0, 0, 0, 2)
+}
+
 func newFleetBench(seed uint64, burst int, gap, slo time.Duration, backends int) (*fleetMixedBench, error) {
 	const (
 		sessions = 64
@@ -324,6 +339,76 @@ func (f *fleetMixedBench) run(iters int) {
 		}
 		wg.Wait()
 	}
+}
+
+// runFailover is the FleetServeFailover64 op: every session streams the
+// first half of its rows in 4-row batches, a barrier force-kills the
+// backend serving session 0 (expired-context Shutdown: no drain, live
+// connections torn), then the fleet finishes, says Bye and reads scores
+// to end-of-stream. The orphaned sessions ride the router's hand-off to
+// the survivor; sessions on the survivor are the control group. Scores
+// are counted as received — windows in flight past the replay ring may
+// legitimately be lost to the crash, so the lane prices survival
+// throughput, not completeness. One-shot: a backend only dies once per
+// fleet.
+func (f *fleetMixedBench) runFailover() (received int64, elapsed time.Duration) {
+	victim := f.srvs[0]
+	if f.clients[0].Welcome().Backend == "b2" {
+		victim = f.srvs[1]
+	}
+	dead, cancel := context.WithCancel(context.Background())
+	cancel() // already expired: Shutdown force-closes instead of draining
+
+	var sent, wg sync.WaitGroup
+	sent.Add(len(f.clients))
+	killed := make(chan struct{})
+	go func() {
+		sent.Wait()
+		victim.Shutdown(dead)
+		close(killed)
+	}()
+
+	got := make([]int64, len(f.clients))
+	start := time.Now()
+	for id := range f.clients {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			cl := f.clients[id]
+			send := func(part [][]float64) {
+				for off := 0; off < len(part); off += 4 {
+					end := off + 4
+					if end > len(part) {
+						end = len(part)
+					}
+					if err := cl.Send(part[off:end]); err != nil {
+						panic(err)
+					}
+				}
+			}
+			mid := f.steps / 2
+			send(f.rows[id][:mid])
+			sent.Done()
+			<-killed
+			send(f.rows[id][mid:])
+			if err := cl.Bye(); err != nil {
+				panic(err)
+			}
+			for {
+				scores, err := cl.ReadScores()
+				got[id] += int64(len(scores))
+				if err != nil {
+					break
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	elapsed = time.Since(start)
+	for _, n := range got {
+		received += n
+	}
+	return received, elapsed
 }
 
 func (f *fleetMixedBench) close() {
@@ -481,6 +566,36 @@ func runBenchSuite(jsonPath string, seed uint64) error {
 	burstyResults[0].P99CoalesceMs = bm.P99CoalesceMs
 	results = append(results, burstyResults...)
 	bursty.close()
+
+	// The failover lane: the routed fleet again, but the backend serving
+	// session 0 is force-killed at the half-way barrier and every
+	// orphaned session rides the router's transparent hand-off to the
+	// survivor. One-shot — a backend only dies once per fleet — so the
+	// figures are a single survival sample rather than a min-of-rounds
+	// estimate: windows/s counts scores actually received across the
+	// kill, and the hand-off columns come from the router's own counters.
+	fo, err := newFleetFailoverBench(seed)
+	if err != nil {
+		return err
+	}
+	foScores, foElapsed := fo.runFailover()
+	foHandoffs, _, foP99 := fo.rt.HandoffStats()
+	foRes := BenchResult{
+		Name:         "FleetServeFailover64",
+		NsPerOp:      float64(foElapsed.Nanoseconds()),
+		Iterations:   1,
+		Rounds:       1,
+		Handoffs:     foHandoffs,
+		HandoffP99Ms: float64(foP99) / 1e6,
+	}
+	if foElapsed > 0 {
+		foRes.WindowsPerSec = float64(foScores) / foElapsed.Seconds()
+	}
+	results = append(results, foRes)
+	fo.close()
+	if foHandoffs < 1 {
+		return fmt.Errorf("failover lane recorded %d hand-offs, want >= 1 — the kill missed every session", foHandoffs)
+	}
 	// Which micro-kernel family produced these numbers: cross-runner
 	// comparisons are only meaningful on the same dispatch.
 	fmt.Printf("gemm kernel: %s, qgemm kernel: %s\n", tensor.GemmKernelName(), tensor.QGemmKernelName())
@@ -493,6 +608,9 @@ func runBenchSuite(jsonPath string, seed uint64) error {
 		}
 		if res.P99CoalesceMs > 0 {
 			fmt.Printf("  · %-20s %12.3f ms p50 %10.3f ms p99\n", "coalesce latency", res.P50CoalesceMs, res.P99CoalesceMs)
+		}
+		if res.Handoffs > 0 {
+			fmt.Printf("  · %-20s %12d sessions %9.3f ms p99\n", "hand-off", res.Handoffs, res.HandoffP99Ms)
 		}
 		if len(res.StageNsPerWindow) > 0 {
 			stages := make([]string, 0, len(res.StageNsPerWindow))

@@ -114,6 +114,7 @@ func runDiff(oldPath, newPath string, tolerance float64) error {
 			}
 			printStageDiff(o, n)
 			printLatencyDiff(o, n)
+			printHandoffDiff(o, n)
 			continue
 		}
 		// Informational only: ns/op is noisy on shared hosts and does not gate.
@@ -192,6 +193,34 @@ func printLatencyDiff(o, n BenchResult) {
 	}
 	row("p50", o.P50CoalesceMs, n.P50CoalesceMs)
 	row("p99", o.P99CoalesceMs, n.P99CoalesceMs)
+}
+
+// printHandoffDiff renders the failover lane's hand-off movement: how
+// many sessions the router re-placed after the mid-run kill and the
+// detection-to-warmed p99. Informational, never gated — hand-off
+// latency is dominated by dial and scheduler costs that vary across
+// hosts — but the trajectory (and that the count stays non-zero, i.e.
+// the lane really killed a loaded backend) is worth seeing.
+func printHandoffDiff(o, n BenchResult) {
+	if o.Handoffs <= 0 && n.Handoffs <= 0 {
+		return
+	}
+	switch {
+	case o.Handoffs > 0 && n.Handoffs > 0:
+		fmt.Printf("  · %-21s %14d %14d %9s  hand-offs (not gated)\n", "hand-offs", o.Handoffs, n.Handoffs, "-")
+	case n.Handoffs > 0:
+		fmt.Printf("  · %-21s %14s %14d %9s  hand-offs (no baseline)\n", "hand-offs", "-", n.Handoffs, "-")
+	default:
+		fmt.Printf("  · %-21s %14d %14s %9s  hand-offs (not in new run)\n", "hand-offs", o.Handoffs, "-", "-")
+	}
+	switch {
+	case o.HandoffP99Ms > 0 && n.HandoffP99Ms > 0:
+		fmt.Printf("  · %-21s %14.3f %14.3f %+8.1f%%  p99 hand-off ms (not gated)\n", "p99 hand-off", o.HandoffP99Ms, n.HandoffP99Ms, (n.HandoffP99Ms/o.HandoffP99Ms-1)*100)
+	case n.HandoffP99Ms > 0:
+		fmt.Printf("  · %-21s %14s %14.3f %9s  p99 hand-off ms (no baseline)\n", "p99 hand-off", "-", n.HandoffP99Ms, "-")
+	case o.HandoffP99Ms > 0:
+		fmt.Printf("  · %-21s %14.3f %14s %9s  p99 hand-off ms (not in new run)\n", "p99 hand-off", o.HandoffP99Ms, "-", "-")
+	}
 }
 
 func fmtMetric(b BenchResult) string {

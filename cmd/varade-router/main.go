@@ -19,14 +19,27 @@
 // ring candidates break toward the least-loaded backend
 // (backend-reported live sessions plus the router's own in-flight
 // placements). Backends that stop announcing (TTL), announce Draining,
-// or refuse a dial are drained from the ring; a reconnecting client
-// lands on a healthy backend.
+// or refuse a dial are drained from the ring.
+//
+// Sessions survive their backend: when a backend dies mid-stream
+// (connection drop, dial failure, or heartbeat TTL expiry) the router
+// re-places the session on the ring-order survivor with capped
+// exponential backoff under -handoff-deadline, replays the handshake,
+// warms the new backend from a bounded replay ring of the session's
+// recent samples (-replay-extra rows past the model window), and
+// suppresses duplicate warmup scores — the client keeps its single
+// connection and a bit-identical score stream. Sessions arriving while
+// the pool is empty wait in a bounded admission queue
+// (-admission-queue, -admission-wait) before being refused with a
+// reasoned v2 Bye.
 //
 // On the control address: POST /register receives announcements,
 // GET /metrics serves the aggregated fleet exposition (the router's own
 // varade_router_* series, every backend's /metrics relabeled with
 // backend="<id>", and fleet-wide merged histograms), GET /models shows
-// backends and ring placements, GET /healthz summarises health.
+// backends and ring placements, POST /reload?model= hot-swaps the
+// model fleet-wide one backend at a time (stopping at the first
+// failure), GET /healthz summarises health.
 package main
 
 import (
@@ -49,13 +62,25 @@ func main() {
 	ttl := flag.Duration("ttl", 5*time.Second, "backend registration TTL; backends that stop announcing for this long leave the ring")
 	relayDepth := flag.Int("relay-depth", 256, "per-direction frame queue of a proxied session; the oldest queued frames shed past it")
 	dialTimeout := flag.Duration("dial-timeout", 2*time.Second, "one backend connection attempt")
+	handoffDeadline := flag.Duration("handoff-deadline", 10*time.Second, "how long a session whose backend died retries re-placement before ending with a reasoned Bye")
+	redialBackoff := flag.Duration("redial-backoff", 25*time.Millisecond, "base delay between re-placement dials, doubling per attempt with jitter")
+	replayExtra := flag.Int("replay-extra", 32, "sample rows kept for hand-off warmup beyond the model window (recovers windows in flight at the kill)")
+	admissionWait := flag.Duration("admission-wait", 5*time.Second, "how long a new session may wait in the admission queue for a healthy backend")
+	admissionQueue := flag.Int("admission-queue", 256, "sessions allowed to wait for a backend at once; past it new sessions are refused immediately")
+	reloadTimeout := flag.Duration("reload-timeout", 10*time.Second, "per-backend timeout of an orchestrated POST /reload fan-out")
 	flag.Parse()
 
 	rt := route.NewRouter(route.Config{
-		DefaultModel: *defaultModel,
-		TTL:          *ttl,
-		RelayDepth:   *relayDepth,
-		DialTimeout:  *dialTimeout,
+		DefaultModel:    *defaultModel,
+		TTL:             *ttl,
+		RelayDepth:      *relayDepth,
+		DialTimeout:     *dialTimeout,
+		HandoffDeadline: *handoffDeadline,
+		RedialBackoff:   *redialBackoff,
+		ReplayExtra:     *replayExtra,
+		AdmissionWait:   *admissionWait,
+		AdmissionQueue:  *admissionQueue,
+		ReloadTimeout:   *reloadTimeout,
 	})
 	bound, err := rt.Serve(*addr)
 	if err != nil {

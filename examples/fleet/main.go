@@ -19,7 +19,11 @@
 // every robot dialing the router. Placement consistent-hashes on
 // model@version:precision, so each precision's sessions co-batch on one
 // backend, and the router's control endpoint serves the aggregated
-// fleet exposition.
+// fleet exposition. Sessions placed this way also survive their
+// backend: if a backend dies or drains mid-stream the router hands the
+// session off to a survivor with replay-ring warmup and the robot never
+// notices (see README "Fault tolerance"; TestRouterHandoffUnderChaos
+// and BenchmarkFleetServeFailover64 exercise the kill live).
 //
 //	go run ./examples/fleet                        # 8 robots, mixed precisions
 //	go run ./examples/fleet -devices 64            # the acceptance-scale fleet

@@ -245,6 +245,156 @@ func benchFleetServe(b *testing.B, precision string) {
 	}
 }
 
+// BenchmarkFleetServeFailover64 is the fault-tolerance lane: the routed
+// mixed fleet over two backends, with the backend serving session 0
+// force-killed once every session has streamed half its rows. The
+// orphaned sessions ride the router's transparent hand-off to the
+// survivor (replay-ring warmup, duplicate suppression) while keeping
+// their single client connection; sessions already on the survivor are
+// the control group. Reports windows/s over scores actually received —
+// windows in flight past the replay ring may be lost to the crash, so
+// the number is survival throughput, not completeness — plus the
+// router-measured hand-off p99. Each iteration builds a fresh fleet: a
+// backend can only die once.
+func BenchmarkFleetServeFailover64(b *testing.B) {
+	model := fleetModel(b)
+	streams := fleetStreams(b)
+	rows := make([][][]float64, fleetSessions)
+	for id := range rows {
+		rows[id] = make([][]float64, fleetSteps)
+		for r := range rows[id] {
+			rows[id][r] = streams[id].Row(r).Data()
+		}
+	}
+	precisions := []string{"float64", "float32", "int8"}
+
+	totalScores := 0
+	var handoffs, p99ns int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		reg, err := serve.OpenRegistry(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := reg.Register("varade", model); err != nil {
+			b.Fatal(err)
+		}
+		srvs := make([]*serve.Server, 2)
+		addrs := make([]string, len(srvs))
+		for j := range srvs {
+			s, err := serve.NewServer(serve.Config{
+				Registry:      reg,
+				DefaultModel:  "varade",
+				FlushInterval: time.Millisecond,
+				QueueDepth:    fleetSteps + 8,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if addrs[j], err = s.Serve("127.0.0.1:0"); err != nil {
+				b.Fatal(err)
+			}
+			srvs[j] = s
+		}
+		rt := route.NewRouter(route.Config{DefaultModel: "varade", TTL: time.Hour})
+		raddr, err := rt.Serve("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j, baddr := range addrs {
+			rt.Register(route.Announcement{ID: fmt.Sprintf("b%d", j+1), Addr: baddr})
+		}
+		clients := make([]*serve.Client, fleetSessions)
+		for id := range clients {
+			cl, err := serve.DialWith(context.Background(), raddr, "", fleetChannels,
+				stream.SessionCaps{Precision: precisions[id%len(precisions)]})
+			if err != nil {
+				b.Fatal(err)
+			}
+			clients[id] = cl
+		}
+		victim := srvs[0]
+		if clients[0].Welcome().Backend == "b2" {
+			victim = srvs[1]
+		}
+		dead, cancel := context.WithCancel(context.Background())
+		cancel() // already expired: Shutdown force-closes instead of draining
+
+		var sent, wg sync.WaitGroup
+		sent.Add(fleetSessions)
+		killed := make(chan struct{})
+		go func() {
+			sent.Wait()
+			victim.Shutdown(dead)
+			close(killed)
+		}()
+		got := make([]int, fleetSessions)
+		b.StartTimer()
+		for id := 0; id < fleetSessions; id++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				cl := clients[id]
+				send := func(part [][]float64) bool {
+					for off := 0; off < len(part); off += 4 {
+						end := off + 4
+						if end > len(part) {
+							end = len(part)
+						}
+						if err := cl.Send(part[off:end]); err != nil {
+							b.Error(err)
+							return false
+						}
+					}
+					return true
+				}
+				mid := fleetSteps / 2
+				ok := send(rows[id][:mid])
+				sent.Done()
+				<-killed
+				if ok {
+					ok = send(rows[id][mid:])
+				}
+				if ok {
+					cl.Bye()
+				}
+				for {
+					scores, err := cl.ReadScores()
+					got[id] += len(scores)
+					if err != nil {
+						return
+					}
+				}
+			}(id)
+		}
+		wg.Wait()
+		b.StopTimer()
+		for _, n := range got {
+			totalScores += n
+		}
+		ht, _, hp99 := rt.HandoffStats()
+		handoffs += ht
+		if hp99 > p99ns {
+			p99ns = hp99
+		}
+		for _, cl := range clients {
+			cl.Close()
+		}
+		rt.Shutdown(context.Background())
+		for _, s := range srvs {
+			s.Shutdown(context.Background())
+		}
+		b.StartTimer()
+	}
+	b.StopTimer()
+	if handoffs < 1 {
+		b.Fatalf("recorded %d hand-offs, want >= 1 — the kill missed every session", handoffs)
+	}
+	b.ReportMetric(float64(totalScores)/b.Elapsed().Seconds(), "windows/s")
+	b.ReportMetric(float64(p99ns)/1e6, "p99-handoff-ms")
+}
+
 func BenchmarkFleetPerDevice64(b *testing.B) {
 	model := fleetModel(b)
 	streams := fleetStreams(b)

@@ -80,6 +80,42 @@ func Register(ctx context.Context, client *http.Client, controlURL string, ann A
 	return nil
 }
 
+// AnnouncerOpts tunes the heartbeat's failure handling. The zero value
+// reproduces the defaults: 2s request timeout, 2 in-beat retries with
+// 100ms doubling backoff, failures dropped silently.
+type AnnouncerOpts struct {
+	// Timeout bounds each registration POST. Default 2s.
+	Timeout time.Duration
+	// Retries is how many times a failed beat is re-posted before the
+	// announcer gives up until the next tick. Default 2; negative
+	// disables in-beat retries.
+	Retries int
+	// RetryBackoff is the delay before the first in-beat retry,
+	// doubling per attempt and capped at the beat interval. Default
+	// 100ms.
+	RetryBackoff time.Duration
+	// OnError observes every failed POST (after which the announcer
+	// retries or waits for the next beat) — the hook a backend uses to
+	// count failures into its metrics plane. May be nil.
+	OnError func(error)
+}
+
+func (o AnnouncerOpts) withDefaults() AnnouncerOpts {
+	if o.Timeout <= 0 {
+		o.Timeout = 2 * time.Second
+	}
+	if o.Retries == 0 {
+		o.Retries = 2
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 100 * time.Millisecond
+	}
+	return o
+}
+
 // Announcer re-posts a backend's announcement on an interval. The snap
 // callback builds a fresh announcement each beat (live-session counts
 // move); Stop posts one final announcement with Draining set so the
@@ -89,25 +125,36 @@ type Announcer struct {
 	interval time.Duration
 	snap     func() Announcement
 	client   *http.Client
+	opts     AnnouncerOpts
 
 	cancel context.CancelFunc
 	done   chan struct{}
 	once   sync.Once
 }
 
-// StartAnnouncer begins announcing immediately and then every interval.
+// StartAnnouncer begins announcing immediately and then every interval,
+// with default failure handling (see AnnouncerOpts).
+func StartAnnouncer(controlURL string, interval time.Duration, snap func() Announcement) (*Announcer, error) {
+	return StartAnnouncerWith(controlURL, interval, AnnouncerOpts{}, snap)
+}
+
+// StartAnnouncerWith is StartAnnouncer with explicit failure handling.
 // The first registration failure is returned synchronously so a
 // misconfigured -announce URL surfaces at startup; later failures are
-// retried on the next beat (the router tolerates gaps up to its TTL).
-func StartAnnouncer(controlURL string, interval time.Duration, snap func() Announcement) (*Announcer, error) {
+// retried with backoff inside the beat (so a single dropped POST does
+// not age the registration a full interval toward the router's TTL)
+// and surfaced to opts.OnError.
+func StartAnnouncerWith(controlURL string, interval time.Duration, opts AnnouncerOpts, snap func() Announcement) (*Announcer, error) {
 	if interval <= 0 {
 		interval = time.Second
 	}
+	opts = opts.withDefaults()
 	a := &Announcer{
 		url:      controlURL,
 		interval: interval,
 		snap:     snap,
-		client:   &http.Client{Timeout: 2 * time.Second},
+		client:   &http.Client{Timeout: opts.Timeout},
+		opts:     opts,
 		done:     make(chan struct{}),
 	}
 	ctx, cancel := context.WithCancel(context.Background())
@@ -130,9 +177,36 @@ func (a *Announcer) run(ctx context.Context) {
 		case <-ctx.Done():
 			return
 		case <-tick.C:
-			// Best effort: a missed beat only ages the registration.
-			_ = Register(ctx, a.client, a.url, a.snap())
+			a.beat(ctx)
 		}
+	}
+}
+
+// beat posts one registration, retrying with doubling backoff on
+// failure. A beat that exhausts its retries only ages the registration;
+// the router tolerates gaps up to its TTL.
+func (a *Announcer) beat(ctx context.Context) {
+	delay := a.opts.RetryBackoff
+	for attempt := 0; ; attempt++ {
+		err := Register(ctx, a.client, a.url, a.snap())
+		if err == nil {
+			return
+		}
+		if ctx.Err() == nil && a.opts.OnError != nil {
+			a.opts.OnError(err)
+		}
+		if attempt >= a.opts.Retries || ctx.Err() != nil {
+			return
+		}
+		if delay > a.interval {
+			delay = a.interval
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(delay):
+		}
+		delay *= 2
 	}
 }
 

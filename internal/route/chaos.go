@@ -1,0 +1,250 @@
+package route
+
+import (
+	"encoding/binary"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Chaos is a deterministic fault-injection proxy for the fleet wire
+// protocol: it sits between the router and one backend, relays the
+// framed stream with full protocol awareness (preamble, then
+// length-prefixed frames), and injects failures on command or on a
+// seeded random schedule. Every random draw comes from one seeded
+// source, so a failing chaos test replays bit-for-bit from its seed.
+//
+// Faults on offer:
+//
+//   - ArmKill(min, max): each new proxied connection draws a budget of
+//     min..max client→backend frames from the seeded source and dies
+//     when the budget is spent — half the time at a frame boundary,
+//     half mid-frame (header forwarded, payload torn), so both the
+//     clean-EOF and short-read failure paths in the router get hit.
+//   - KillAll: reset every live proxied connection now.
+//   - Refuse(on): reject new dials at accept time — the redialing
+//     router sees the connection die during its handshake and fails
+//     the backend out of the ring.
+//   - Blackhole(on): swallow backend→router bytes (scores vanish, the
+//     connection stays up) — exercises the heartbeat/TTL plane.
+//   - Partition(on): swallow both directions.
+//   - SetDelay(d): sleep d before forwarding each client→backend
+//     frame, simulating a slow or congested path.
+type Chaos struct {
+	ln       net.Listener
+	upstream string
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	conns  map[net.Conn]struct{}
+	killLo int
+	killHi int
+	armed  atomic.Bool
+
+	refuse    atomic.Bool
+	blackhole atomic.Bool
+	partition atomic.Bool
+	delayNS   atomic.Int64
+	kills     atomic.Int64
+
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+// NewChaos starts a chaos proxy in front of the backend at upstream,
+// listening on a fresh loopback port. The seed fixes every random
+// decision the proxy will ever make.
+func NewChaos(upstream string, seed int64) (*Chaos, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	c := &Chaos{
+		ln:       ln,
+		upstream: upstream,
+		rng:      rand.New(rand.NewSource(seed)),
+		conns:    make(map[net.Conn]struct{}),
+	}
+	c.wg.Add(1)
+	go c.accept()
+	return c, nil
+}
+
+// Addr returns the proxy's dial address — what a backend announces as
+// its session address to put the proxy in the path.
+func (c *Chaos) Addr() string { return c.ln.Addr().String() }
+
+// Kills reports how many connections the armed schedule has killed.
+func (c *Chaos) Kills() int64 { return c.kills.Load() }
+
+// ArmKill schedules every connection accepted from now on to die after
+// a seeded-random budget of min..max relayed client→backend frames.
+// Budgets on live connections keep counting; Disarm stops them firing.
+func (c *Chaos) ArmKill(min, max int) {
+	c.mu.Lock()
+	c.killLo, c.killHi = min, max
+	c.mu.Unlock()
+	c.armed.Store(true)
+}
+
+// Disarm stops scheduled kills, including budgets already drawn on
+// live connections.
+func (c *Chaos) Disarm() { c.armed.Store(false) }
+
+// Refuse makes the proxy reject new connections while on.
+func (c *Chaos) Refuse(on bool) { c.refuse.Store(on) }
+
+// Blackhole swallows backend→router bytes while on.
+func (c *Chaos) Blackhole(on bool) { c.blackhole.Store(on) }
+
+// Partition swallows both directions while on: the connection stays
+// established but falls silent, as a network partition looks.
+func (c *Chaos) Partition(on bool) { c.partition.Store(on) }
+
+// SetDelay sleeps d before forwarding each client→backend frame.
+func (c *Chaos) SetDelay(d time.Duration) { c.delayNS.Store(int64(d)) }
+
+// KillAll resets every live proxied connection immediately.
+func (c *Chaos) KillAll() {
+	c.mu.Lock()
+	for conn := range c.conns {
+		conn.Close()
+	}
+	c.mu.Unlock()
+}
+
+// Close shuts the proxy down: no new connections, live ones reset.
+func (c *Chaos) Close() error {
+	c.closed.Store(true)
+	err := c.ln.Close()
+	c.KillAll()
+	c.wg.Wait()
+	return err
+}
+
+func (c *Chaos) accept() {
+	defer c.wg.Done()
+	for {
+		client, err := c.ln.Accept()
+		if err != nil {
+			return
+		}
+		if c.refuse.Load() {
+			client.Close()
+			continue
+		}
+		up, err := net.Dial("tcp", c.upstream)
+		if err != nil {
+			client.Close()
+			continue
+		}
+		// Draw this connection's fate while holding the seeded source:
+		// the kill budget and the boundary-vs-mid-frame coin.
+		c.mu.Lock()
+		budget, mid := 0, false
+		if c.killHi >= c.killLo && c.killHi > 0 {
+			budget = c.killLo + c.rng.Intn(c.killHi-c.killLo+1)
+			mid = c.rng.Intn(2) == 0
+		}
+		c.conns[client] = struct{}{}
+		c.conns[up] = struct{}{}
+		c.mu.Unlock()
+
+		c.wg.Add(2)
+		go c.relayFrames(client, up, budget, mid)
+		go c.relayRaw(up, client)
+	}
+}
+
+func (c *Chaos) drop(conns ...net.Conn) {
+	c.mu.Lock()
+	for _, conn := range conns {
+		conn.Close()
+		delete(c.conns, conn)
+	}
+	c.mu.Unlock()
+}
+
+// relayFrames forwards the client→backend direction frame by frame:
+// the 4-byte preamble, then length-prefixed frames, killing the pair
+// when an armed budget is spent.
+func (c *Chaos) relayFrames(client, up net.Conn, budget int, mid bool) {
+	defer c.wg.Done()
+	defer c.drop(client, up)
+
+	var pre [4]byte
+	if _, err := io.ReadFull(client, pre[:]); err != nil {
+		return
+	}
+	if c.swallowed() {
+		c.sink(client)
+		return
+	}
+	if _, err := up.Write(pre[:]); err != nil {
+		return
+	}
+	var hdr [5]byte
+	frames := 0
+	for {
+		if _, err := io.ReadFull(client, hdr[:]); err != nil {
+			return
+		}
+		n := int64(binary.LittleEndian.Uint32(hdr[:4]))
+		if d := c.delayNS.Load(); d > 0 {
+			time.Sleep(time.Duration(d))
+		}
+		if c.swallowed() {
+			c.sink(client)
+			return
+		}
+		frames++
+		if budget > 0 && frames >= budget && c.armed.Load() {
+			c.kills.Add(1)
+			if mid {
+				// Tear mid-frame: the backend gets the header and half
+				// the payload, then a reset — a short read, not EOF.
+				up.Write(hdr[:])
+				io.CopyN(up, client, n/2)
+			}
+			return
+		}
+		if _, err := up.Write(hdr[:]); err != nil {
+			return
+		}
+		if _, err := io.CopyN(up, client, n); err != nil {
+			return
+		}
+	}
+}
+
+// relayRaw forwards the backend→router direction without framing —
+// kill decisions key off client frames, so plain copying suffices.
+func (c *Chaos) relayRaw(from, to net.Conn) {
+	defer c.wg.Done()
+	defer c.drop(from, to)
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := from.Read(buf)
+		if n > 0 && !c.blackhole.Load() && !c.partition.Load() {
+			if _, werr := to.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+func (c *Chaos) swallowed() bool { return c.partition.Load() }
+
+// sink drains a partitioned connection so the far side's writes keep
+// "succeeding" — the authentic shape of a partition with live TCP
+// buffers — until the connection dies or the partition would matter no
+// more (the proxy closing tears everything down anyway).
+func (c *Chaos) sink(conn net.Conn) {
+	io.Copy(io.Discard, conn)
+}

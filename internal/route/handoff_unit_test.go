@@ -1,0 +1,134 @@
+package route
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+	"time"
+
+	"varade/internal/obs"
+	"varade/internal/stream"
+)
+
+func ringRow(vals ...float64) []byte {
+	row := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(row[i*8:], math.Float64bits(v))
+	}
+	return row
+}
+
+// TestReplayRingWraparound pushes past capacity and checks the payload
+// renders exactly the newest capRows rows, oldest first.
+func TestReplayRingWraparound(t *testing.T) {
+	const rowBytes = 16 // 2 channels
+	r := newReplayRing(3, rowBytes)
+	if r.payload() != nil {
+		t.Fatal("empty ring rendered a payload")
+	}
+	for i := 0; i < 5; i++ {
+		r.push(ringRow(float64(i), float64(i)))
+	}
+	if r.len() != 3 {
+		t.Fatalf("ring length %d after wraparound, want 3", r.len())
+	}
+	p := r.payload()
+	samples, err := stream.DecodeSamplesPayload(p, 2)
+	if err != nil {
+		t.Fatalf("ring payload does not decode as Samples: %v", err)
+	}
+	if len(samples) != 3 {
+		t.Fatalf("ring rendered %d rows, want 3", len(samples))
+	}
+	for i, s := range samples {
+		want := float64(i + 2) // rows 2, 3, 4 survive, oldest first
+		for c := range s {
+			if s[c] != want {
+				t.Fatalf("row %d chan %d = %g, want %g", i, c, s[c], want)
+			}
+		}
+	}
+}
+
+// TestBackoffDelayBounds checks the cap at 32× base and the jitter
+// window [d/2, 3d/2).
+func TestBackoffDelayBounds(t *testing.T) {
+	base := 10 * time.Millisecond
+	zero := func(int64) int64 { return 0 }
+	full := func(n int64) int64 { return n - 1 }
+	for attempt, wantD := range map[int]time.Duration{
+		1:  base,
+		2:  2 * base,
+		6:  32 * base,
+		99: 32 * base, // capped
+	} {
+		lo := backoffDelay(base, attempt, zero)
+		if lo != wantD/2 {
+			t.Fatalf("attempt %d min delay %v, want %v", attempt, lo, wantD/2)
+		}
+		hi := backoffDelay(base, attempt, full)
+		if hi != wantD/2+wantD-1 {
+			t.Fatalf("attempt %d max delay %v, want %v", attempt, hi, wantD/2+wantD-1)
+		}
+	}
+	if d := backoffDelay(0, 1, zero); d != 25*time.Millisecond/2 {
+		t.Fatalf("zero base did not default: %v", d)
+	}
+}
+
+func scoresPayload(idx []int, val []float64) []byte {
+	sc := make([]stream.Score, len(idx))
+	for i := range idx {
+		sc[i] = stream.Score{Index: idx[i], Value: val[i]}
+	}
+	return stream.EncodeScoresPayload(sc)
+}
+
+// TestRewriteScoresSuppression drives the index-rewrite and warmup
+// suppression logic through its cases: pass-through before any
+// hand-off, base shifting, prefix suppression, and full suppression.
+func TestRewriteScoresSuppression(t *testing.T) {
+	reg := obs.NewRegistry()
+	rt := &Router{reg: reg}
+	rt.replaySuppressed = reg.Counter("test_suppressed", "suppressed warmup scores")
+	s := &hsession{rt: rt, lastScore: -1}
+
+	// Fast path: no hand-off yet, payload untouched, high-water follows.
+	l := &backendLink{}
+	p := scoresPayload([]int{7, 8}, []float64{1, 2})
+	if got := s.rewriteScores(l, p); &got[0] != &p[0] {
+		t.Fatal("fast path copied the payload")
+	}
+	if s.lastScore != 8 {
+		t.Fatalf("fast-path high-water %d, want 8", s.lastScore)
+	}
+
+	// After a hand-off: indices shift by base and the replayed prefix
+	// at or below the mark is suppressed.
+	s.rewrites = true
+	warm := &backendLink{base: 3}
+	p = scoresPayload([]int{4, 5, 6, 7}, []float64{10, 11, 12, 13}) // client 7, 8, 9, 10
+	out := s.rewriteScores(warm, p)
+	sc, err := stream.DecodeScoresPayload(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc) != 2 || sc[0].Index != 9 || sc[1].Index != 10 {
+		t.Fatalf("suppressed rewrite = %+v, want client indices 9, 10", sc)
+	}
+	if sc[0].Value != 12 || sc[1].Value != 13 {
+		t.Fatalf("rewrite disturbed values: %+v", sc)
+	}
+	if s.lastScore != 10 {
+		t.Fatalf("high-water %d after rewrite, want 10", s.lastScore)
+	}
+
+	// Entirely replayed batch: suppressed to nothing.
+	p = scoresPayload([]int{6, 7}, []float64{12, 13})
+	if out := s.rewriteScores(warm, p); out != nil {
+		t.Fatalf("fully-replayed batch leaked through: %v", out)
+	}
+	if got := rt.replaySuppressed.Load(); got != 4 {
+		t.Fatalf("suppressed counter %d, want 4", got)
+	}
+}

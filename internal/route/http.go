@@ -7,7 +7,9 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/url"
 	"sort"
+	"strings"
 	"time"
 
 	"varade/internal/obs"
@@ -101,6 +103,71 @@ func (rt *Router) WritePrometheus(w io.Writer) {
 	scrape.WritePrometheus(w)
 }
 
+// ReloadResult is one backend's row in the /reload fan-out report.
+type ReloadResult struct {
+	Backend string `json:"backend"`
+	OK      bool   `json:"ok"`
+	Error   string `json:"error,omitempty"`
+	// Skipped marks backends never attempted because an earlier one
+	// failed — the canary contract: a bad model file stops at the first
+	// backend instead of taking down the fleet.
+	Skipped bool `json:"skipped,omitempty"`
+}
+
+// ReloadAll orchestrates a model hot-swap across the fleet: it POSTs
+// /reload?model= to every healthy backend's metrics plane one at a
+// time in ID order, each bounded by Config.ReloadTimeout. The first
+// failure stops the rollout; remaining backends are reported as
+// skipped. Returns the per-backend report and whether every backend
+// reloaded.
+func (rt *Router) ReloadAll(ctx context.Context, model string) ([]ReloadResult, bool) {
+	views := rt.tab.views(true)
+	sort.Slice(views, func(i, j int) bool { return views[i].b.id < views[j].b.id })
+	client := &http.Client{Timeout: rt.cfg.ReloadTimeout}
+	results := make([]ReloadResult, 0, len(views))
+	failed := false
+	for _, v := range views {
+		res := ReloadResult{Backend: v.b.id}
+		switch {
+		case failed:
+			res.Skipped = true
+		case v.ann.MetricsAddr == "":
+			res.Error = "backend announces no metrics address"
+			failed = true
+		default:
+			if err := reloadBackend(ctx, client, v.ann.MetricsAddr, model); err != nil {
+				res.Error = err.Error()
+				failed = true
+			} else {
+				res.OK = true
+			}
+		}
+		results = append(results, res)
+	}
+	return results, !failed
+}
+
+func reloadBackend(ctx context.Context, client *http.Client, metricsAddr, model string) error {
+	u := "http://" + metricsAddr + "/reload"
+	if model != "" {
+		u += "?model=" + url.QueryEscape(model)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("route: reload %s: %s: %s", metricsAddr, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return nil
+}
+
 func scrapeBackend(client *http.Client, metricsAddr string) (string, error) {
 	resp, err := client.Get("http://" + metricsAddr + "/metrics")
 	if err != nil {
@@ -118,7 +185,8 @@ func scrapeBackend(client *http.Client, metricsAddr string) (string, error) {
 }
 
 // Handler returns the control/observability mux: POST /register,
-// GET /metrics (aggregated), GET /models (ring placement), GET /healthz.
+// GET /metrics (aggregated), GET /models (ring placement),
+// POST /reload?model= (orchestrated fleet hot-swap), GET /healthz.
 func (rt *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/register", func(w http.ResponseWriter, r *http.Request) {
@@ -144,6 +212,18 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("/models", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(rt.Models())
+	})
+	mux.HandleFunc("/reload", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		results, ok := rt.ReloadAll(r.Context(), r.URL.Query().Get("model"))
+		w.Header().Set("Content-Type", "application/json")
+		if !ok {
+			w.WriteHeader(http.StatusBadGateway)
+		}
+		json.NewEncoder(w).Encode(map[string]any{"ok": ok, "backends": results})
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		views := rt.tab.views(true)

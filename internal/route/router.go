@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"net/http"
 	"strconv"
@@ -36,6 +37,37 @@ type Config struct {
 	// ScrapeTimeout bounds one backend /metrics fetch during
 	// aggregation. Default 2s.
 	ScrapeTimeout time.Duration
+	// HandoffDeadline bounds one session hand-off: how long a live
+	// session may retry re-placement after its backend dies before the
+	// client gets a reasoned Bye. Default 10s.
+	HandoffDeadline time.Duration
+	// AdmissionWait bounds how long a *new* session may wait in the
+	// admission queue for a healthy backend before being refused
+	// (instead of the pre-handoff instant refusal). Default 5s.
+	AdmissionWait time.Duration
+	// RedialBackoff is the base of the capped exponential backoff
+	// (base<<min(attempt−1,5), ±50% jitter) between re-placement
+	// attempts. Default 25ms.
+	RedialBackoff time.Duration
+	// ReplayExtra sizes the replay ring beyond the w−1 rows a window
+	// boundary needs: the extra rows make a warmed backend re-score the
+	// most recent windows, recovering scores lost in flight at the kill
+	// instant (already-delivered ones are suppressed as duplicates).
+	// Default 32 rows.
+	ReplayExtra int
+	// AdmissionQueue caps how many sessions may wait for a backend at
+	// once (initial placement + hand-offs); past it, sessions are
+	// refused immediately. Default 256.
+	AdmissionQueue int
+	// ReloadTimeout bounds one backend's POST /reload during router-side
+	// reload orchestration. Default 10s.
+	ReloadTimeout time.Duration
+	// MonitorInterval paces the health sweep that nudges sessions off
+	// TTL-expired or draining backends. Default min(TTL/4, 500ms).
+	MonitorInterval time.Duration
+	// JitterSeed seeds the backoff jitter stream; 0 seeds from the
+	// clock. Tests pin it for reproducible hand-off schedules.
+	JitterSeed int64
 }
 
 // Router is the routing plane: one session listener, a registration
@@ -45,21 +77,36 @@ type Router struct {
 	reg *obs.Registry
 	tab *table
 
-	mu     sync.Mutex
-	ln     net.Listener
-	ctl    *http.Server
-	conns  map[net.Conn]struct{}
-	closed bool
-	wg     sync.WaitGroup
+	mu       sync.Mutex
+	ln       net.Listener
+	ctl      *http.Server
+	conns    map[net.Conn]struct{}
+	sessions map[*hsession]struct{} // live framed sessions, for the health sweep
+	closed   bool
+	wg       sync.WaitGroup
+	stopCh   chan struct{}
 
 	// placements records the backend each placement key last landed
 	// on, for /models.
 	placements sync.Map // string -> string
 
-	active         atomic.Int64 // mirrored to the gauge at exposition
-	sessionsActive *obs.Gauge
-	healthyGauge   *obs.Gauge
-	handshakeErrs  *obs.Counter
+	// admitQ is the bounded admission queue: a slot is held while a
+	// session waits for a healthy backend (initial placement or
+	// hand-off re-placement).
+	admitQ chan struct{}
+
+	// rng drives the backoff jitter, seeded for reproducible tests.
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	active           atomic.Int64 // mirrored to the gauge at exposition
+	handoffAll       atomic.Int64 // hand-offs across all reasons, for HandoffStats
+	sessionsActive   *obs.Gauge
+	healthyGauge     *obs.Gauge
+	handshakeErrs    *obs.Counter
+	replaySuppressed *obs.Counter
+	handoffLatency   *obs.Histogram
+	redialBackoff    *obs.Histogram
 }
 
 // NewRouter returns a router with an empty backend table.
@@ -73,18 +120,50 @@ func NewRouter(cfg Config) *Router {
 	if cfg.ScrapeTimeout <= 0 {
 		cfg.ScrapeTimeout = 2 * time.Second
 	}
+	if cfg.HandoffDeadline <= 0 {
+		cfg.HandoffDeadline = 10 * time.Second
+	}
+	if cfg.AdmissionWait <= 0 {
+		cfg.AdmissionWait = 5 * time.Second
+	}
+	if cfg.RedialBackoff <= 0 {
+		cfg.RedialBackoff = 25 * time.Millisecond
+	}
+	if cfg.ReplayExtra <= 0 {
+		cfg.ReplayExtra = 32
+	}
+	if cfg.AdmissionQueue <= 0 {
+		cfg.AdmissionQueue = 256
+	}
+	if cfg.ReloadTimeout <= 0 {
+		cfg.ReloadTimeout = 10 * time.Second
+	}
+	seed := cfg.JitterSeed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
 	reg := obs.NewRegistry()
 	return &Router{
-		cfg:   cfg,
-		reg:   reg,
-		tab:   newTable(cfg.TTL),
-		conns: make(map[net.Conn]struct{}),
+		cfg:      cfg,
+		reg:      reg,
+		tab:      newTable(cfg.TTL),
+		conns:    make(map[net.Conn]struct{}),
+		sessions: make(map[*hsession]struct{}),
+		stopCh:   make(chan struct{}),
+		admitQ:   make(chan struct{}, cfg.AdmissionQueue),
+		rng:      rand.New(rand.NewSource(seed)),
 		sessionsActive: reg.Gauge("varade_router_sessions_active",
 			"sessions currently proxied"),
 		healthyGauge: reg.Gauge("varade_router_backends_healthy",
 			"backends currently in the placement ring"),
 		handshakeErrs: reg.Counter("varade_router_handshake_errors_total",
 			"client handshakes refused before placement"),
+		replaySuppressed: reg.Counter("varade_router_replay_suppressed_scores_total",
+			"duplicate warmup scores suppressed after a hand-off replay"),
+		handoffLatency: reg.Histogram("varade_router_handoff_latency_ns",
+			"backend-death detection to warmed-replacement latency"),
+		redialBackoff: reg.Histogram("varade_router_redial_backoff_ns",
+			"backoff delays slept between re-placement dial attempts"),
 	}
 }
 
@@ -108,6 +187,8 @@ func (rt *Router) Serve(addr string) (string, error) {
 	rt.mu.Lock()
 	rt.ln = ln
 	rt.mu.Unlock()
+	rt.wg.Add(1)
+	go rt.monitor()
 	rt.wg.Add(1)
 	go func() {
 		defer rt.wg.Done()
@@ -137,13 +218,17 @@ func (rt *Router) Serve(addr string) (string, error) {
 func (rt *Router) Shutdown(ctx context.Context) error {
 	rt.ShutdownControl(ctx)
 	rt.mu.Lock()
-	rt.closed = true
+	var alreadyClosed bool
+	alreadyClosed, rt.closed = rt.closed, true
 	ln := rt.ln
 	conns := make([]net.Conn, 0, len(rt.conns))
 	for c := range rt.conns {
 		conns = append(conns, c)
 	}
 	rt.mu.Unlock()
+	if !alreadyClosed {
+		close(rt.stopCh) // aborts hand-off backoff sleeps and the monitor
+	}
 	if ln != nil {
 		ln.Close()
 	}
@@ -316,72 +401,129 @@ func (rt *Router) handleConn(conn net.Conn) {
 		return
 	}
 	key, model, prec := rt.placementKey(hello)
-	bk, bconn := rt.dialFirst(rt.place(model, prec, key))
-	if bk == nil {
-		rt.handshakeErrs.Inc()
-		stream.WriteFrame(conn, stream.FrameError, []byte("route: no healthy backend"))
-		conn.Close()
-		return
-	}
-	if !rt.track(bconn) {
-		bconn.Close()
-		conn.Close()
-		return
-	}
-	defer rt.untrack(bconn)
-	rt.placements.Store(key, bk.id)
+	s := rt.newHSession(conn, br, proto, rawHello, key, model, prec)
 
-	// Replay the handshake verbatim, then rewrite the v2 Welcome to
-	// name the chosen backend. v1 Welcomes pass through byte-identical.
-	magic := stream.FrameMagic
-	if proto >= stream.ProtoV2 {
-		magic = stream.FrameMagicV2
-	}
-	bw := bufio.NewWriter(bconn)
-	bbr := bufio.NewReader(bconn)
-	if _, err := bw.WriteString(magic); err == nil {
-		err = stream.WriteFrame(bw, stream.FrameHello, rawHello)
-	}
-	if err == nil {
-		err = bw.Flush()
-	}
-	var replyT stream.FrameType
-	var reply []byte
-	if err == nil {
-		replyT, reply, err = stream.ReadFrame(bbr)
-	}
-	if err != nil {
-		rt.tab.fail(bk.id)
+	// Initial placement runs through the same dial-retry loop as a
+	// hand-off (bounded admission queue, backoff, deadline), so an
+	// empty pool parks the session instead of refusing instantly.
+	link, replyT, reply, aerr := s.acquireBackend(time.Now().Add(rt.cfg.AdmissionWait), false)
+	if aerr != nil {
 		rt.handshakeErrs.Inc()
-		stream.WriteFrame(conn, stream.FrameError, []byte("route: backend handshake failed"))
+		rt.refuseClient(conn, proto, "route: no healthy backend: "+aerr.Error())
 		conn.Close()
-		bconn.Close()
 		return
 	}
-	if replyT == stream.FrameWelcome && proto >= stream.ProtoV2 {
-		var w stream.Welcome
-		if jerr := json.Unmarshal(reply, &w); jerr == nil {
-			w.Backend = bk.id
-			err = stream.WriteJSONFrame(conn, stream.FrameWelcome, w)
-		} else {
-			err = stream.WriteFrame(conn, replyT, reply)
-		}
+	rt.placements.Store(key, link.bk.id)
+
+	// Forward the backend's reply, rewriting a v2 Welcome to name the
+	// chosen backend. v1 Welcomes pass through byte-identical. The
+	// parsed Welcome also sizes the session's replay ring (window and
+	// channel geometry).
+	var w stream.Welcome
+	parsed := replyT == stream.FrameWelcome && json.Unmarshal(reply, &w) == nil
+	var werr error
+	if parsed && proto >= stream.ProtoV2 {
+		w.Backend = link.bk.id
+		werr = stream.WriteJSONFrame(conn, stream.FrameWelcome, w)
 	} else {
-		err = stream.WriteFrame(conn, replyT, reply)
+		werr = stream.WriteFrame(conn, replyT, reply)
 	}
-	if err != nil || replyT != stream.FrameWelcome {
+	if werr != nil || replyT != stream.FrameWelcome {
 		conn.Close()
-		bconn.Close()
+		link.conn.Close()
+		rt.untrack(link.conn)
 		return
 	}
-
-	protoLabel := "v1"
-	if proto >= stream.ProtoV2 {
-		protoLabel = "v2"
+	if parsed {
+		s.setGeometry(w)
 	}
-	rt.beginSession(bk, protoLabel)
-	rt.relaySession(conn, br, bconn, bbr)
-	rt.endSession(bk)
+
+	rt.beginSession(link.bk, s.protoLabel)
+	rt.addSession(s)
+	s.run(link)
+	rt.removeSession(s)
+}
+
+// refuseClient tells a client why its session cannot start: a reasoned
+// Bye on v2 (machine-readable), a terminal Error on v1.
+func (rt *Router) refuseClient(conn net.Conn, proto int, reason string) {
+	if proto >= stream.ProtoV2 {
+		stream.WriteFrame(conn, stream.FrameBye, stream.EncodeByePayload(stream.Bye{Reason: reason}))
+		return
+	}
+	stream.WriteFrame(conn, stream.FrameError, []byte(reason))
+}
+
+func (rt *Router) addSession(s *hsession) {
+	rt.mu.Lock()
+	rt.sessions[s] = struct{}{}
+	rt.mu.Unlock()
+}
+
+func (rt *Router) removeSession(s *hsession) {
+	rt.mu.Lock()
+	delete(rt.sessions, s)
+	rt.mu.Unlock()
+}
+
+// monitor is the proactive half of failure detection: a periodic sweep
+// that nudges live sessions off backends that have left the health
+// plane (heartbeat TTL expiry, Draining announcement) without waiting
+// for their TCP connections to die — a hung backend can hold a socket
+// open long past its last heartbeat.
+func (rt *Router) monitor() {
+	defer rt.wg.Done()
+	iv := rt.cfg.MonitorInterval
+	if iv <= 0 {
+		iv = rt.tab.ttl / 4
+		if iv > 500*time.Millisecond {
+			iv = 500 * time.Millisecond
+		}
+		if iv < 10*time.Millisecond {
+			iv = 10 * time.Millisecond
+		}
+	}
+	tick := time.NewTicker(iv)
+	defer tick.Stop()
+	for {
+		select {
+		case <-rt.stopCh:
+			return
+		case <-tick.C:
+			rt.sweepSessions()
+		}
+	}
+}
+
+func (rt *Router) sweepSessions() {
+	type health struct {
+		draining bool
+		expired  bool
+	}
+	cutoff := time.Now().Add(-rt.tab.ttl)
+	state := make(map[string]health)
+	for _, v := range rt.tab.views(false) {
+		state[v.b.id] = health{draining: v.draining, expired: !v.lastSeen.After(cutoff)}
+	}
+	rt.mu.Lock()
+	sessions := make([]*hsession, 0, len(rt.sessions))
+	for s := range rt.sessions {
+		sessions = append(sessions, s)
+	}
+	rt.mu.Unlock()
+	for _, s := range sessions {
+		l := s.currentLink()
+		if l == nil {
+			continue
+		}
+		h, known := state[l.bk.id]
+		switch {
+		case known && h.draining:
+			s.nudge(reasonDrain)
+		case known && h.expired:
+			s.nudge(reasonTTLExpired)
+		}
+	}
 }
 
 func (rt *Router) beginSession(bk *backend, protoLabel string) {
@@ -399,73 +541,64 @@ func (rt *Router) endSession(bk *backend) {
 	rt.active.Add(-1)
 }
 
+// moveSession shifts a live session's placement accounting from a dead
+// backend to its hand-off replacement — the session itself (rt.active,
+// sessions_total) is unchanged, it just lives somewhere else now.
+func (rt *Router) moveSession(old, new *backend) {
+	old.inflight.Add(-1)
+	new.inflight.Add(1)
+	new.proxied.Add(1)
+	rt.reg.Counter("varade_router_backend_sessions_total",
+		"sessions placed per backend", obs.L("backend", new.id)).Inc()
+}
+
+// relayDrops is the per-direction shed counter relay queues attach to.
+func (rt *Router) relayDrops(dir string) *obs.Counter {
+	return rt.reg.Counter("varade_router_relay_dropped_frames_total",
+		"relayed frames shed because a session side stalled past the bounded queue",
+		obs.L("dir", dir))
+}
+
+// handoffCounter names one hand-off outcome family by reason.
+func (rt *Router) handoffCounter(name, help, reason string) *obs.Counter {
+	return rt.reg.Counter(name, help, obs.L("reason", reason))
+}
+
+// jitter returns a uniform value in [0, n) from the router's seeded
+// stream — the randomness under backoffDelay.
+func (rt *Router) jitter(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	rt.rngMu.Lock()
+	defer rt.rngMu.Unlock()
+	return rt.rng.Int63n(n)
+}
+
+// admitAcquire claims an admission-queue slot; false means the queue is
+// full and the session should be refused rather than parked.
+func (rt *Router) admitAcquire() bool {
+	select {
+	case rt.admitQ <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (rt *Router) admitRelease() { <-rt.admitQ }
+
+// HandoffStats reports the hand-off plane's aggregates: total hand-offs
+// across all reasons and the detection-to-warmed latency p50/p99 in
+// nanoseconds.
+func (rt *Router) HandoffStats() (total, p50ns, p99ns int64) {
+	return rt.handoffAll.Load(), rt.handoffLatency.Quantile(0.5), rt.handoffLatency.Quantile(0.99)
+}
+
 // relayFrame is one buffered frame in a relay direction.
 type relayFrame struct {
 	t       stream.FrameType
 	payload []byte
-}
-
-// relaySession pumps frames both ways until the session tears down,
-// then returns with both connections closed. Each direction is a
-// bounded stream.Bus: when the receiving side stalls past RelayDepth
-// frames, the oldest queued frames are shed and counted — terminal
-// frames (Bye, Error) are always the newest, so teardown survives
-// shedding.
-func (rt *Router) relaySession(client net.Conn, cbr *bufio.Reader, bconn net.Conn, bbr *bufio.Reader) {
-	var wg sync.WaitGroup
-	rt.pump(&wg, cbr, bconn, "client_to_backend", func() {
-		// Half-close toward the backend so it still flushes the tail
-		// scores of a client that sent Bye and closed.
-		closeWrite(bconn)
-	})
-	rt.pump(&wg, bbr, client, "backend_to_client", func() {
-		// The backend closing ends the session outright.
-		client.Close()
-	})
-	wg.Wait()
-	client.Close()
-	bconn.Close()
-}
-
-// pump relays one direction src→dst through a bounded bus. Two
-// goroutines: the reader publishes (dropping oldest under
-// backpressure), the writer drains with batched flushes. onSrcDone runs
-// after the queue has drained following src's EOF or error.
-func (rt *Router) pump(wg *sync.WaitGroup, src *bufio.Reader, dst net.Conn, dir string, onSrcDone func()) {
-	drops := rt.reg.Counter("varade_router_relay_dropped_frames_total",
-		"relayed frames shed because a session side stalled past the bounded queue",
-		obs.L("dir", dir))
-	bus := stream.NewBus[relayFrame]()
-	bus.SetDropCounter(drops)
-	sub := bus.Subscribe(rt.cfg.RelayDepth)
-	wg.Add(2)
-	go func() {
-		defer wg.Done()
-		for {
-			t, payload, err := stream.ReadFrame(src)
-			if err != nil {
-				bus.Close()
-				return
-			}
-			bus.Publish(relayFrame{t: t, payload: payload})
-		}
-	}()
-	go func() {
-		defer wg.Done()
-		bw := bufio.NewWriter(dst)
-		for f := range sub {
-			if err := stream.WriteFrame(bw, f.t, f.payload); err != nil {
-				break
-			}
-			if len(sub) == 0 {
-				if err := bw.Flush(); err != nil {
-					break
-				}
-			}
-		}
-		bw.Flush()
-		onSrcDone()
-	}()
 }
 
 // proxyCSV relays a CSV line session (no handshake to decode) to the

@@ -7,6 +7,7 @@ package route_test
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"runtime"
@@ -256,9 +257,10 @@ func TestRouterE2E(t *testing.T) {
 }
 
 // TestRouterBackendFailure kills a backend mid-session: the proxied
-// client must observe a clean close, the router must not leak relay
-// goroutines, the dead backend must drop from the ring on the next
-// dial, and a reconnecting client must land on the survivor.
+// client must keep streaming through a transparent hand-off (zero
+// reconnects, scores bit-identical to an unbroken run), the router must
+// not leak relay goroutines, the dead backend must drop from the ring,
+// and a fresh session must land on the survivor.
 func TestRouterBackendFailure(t *testing.T) {
 	const channels = 2
 	reg, model := newSharedRegistry(t, channels)
@@ -293,14 +295,42 @@ func TestRouterBackendFailure(t *testing.T) {
 		t.Fatalf("welcome names unknown backend %q", victim)
 	}
 
-	// Prove the session is live: stream one window, read its score.
+	// Prove the session is live: stream one window, read its score. The
+	// full stream (4w rows) fits inside the replay ring (w−1+32), so the
+	// hand-off below is lossless no matter how many rows race ahead of
+	// the router's failure detection.
 	w := model.WindowSize()
-	rows := synthRows(w, channels, 7)
-	if err := cl.Send(rows); err != nil {
+	steps := 4 * w
+	rows := synthRows(steps, channels, 7)
+	want := detect.ScoreSeries(model, seriesOf(rows))
+	scores := make(chan stream.Score, steps)
+	readDone := make(chan error, 1)
+	go func() {
+		defer close(scores)
+		for {
+			batch, err := cl.ReadScores()
+			if err != nil {
+				if errors.Is(err, io.EOF) {
+					err = nil
+				}
+				readDone <- err
+				return
+			}
+			for _, sc := range batch {
+				scores <- sc
+			}
+		}
+	}()
+	if err := cl.Send(rows[:w]); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cl.ReadScores(); err != nil {
-		t.Fatalf("live session score read: %v", err)
+	select {
+	case sc := <-scores:
+		if sc.Value != want[sc.Index] {
+			t.Fatalf("pre-kill score[%d] = %g, want %g", sc.Index, sc.Value, want[sc.Index])
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("no score from live session")
 	}
 
 	// Crash the victim: expired context forces connections closed.
@@ -308,22 +338,56 @@ func TestRouterBackendFailure(t *testing.T) {
 	cancelDead()
 	servers[victim].Shutdown(dead)
 
-	// The client side must see a clean end-of-stream, not a hang.
-	readDone := make(chan error, 1)
-	go func() {
-		for {
-			if _, err := cl.ReadScores(); err != nil {
-				readDone <- err
-				return
-			}
+	// The SAME client keeps streaming: the router hands the session off
+	// to the survivor (Hello replay + ring warmup) with zero client
+	// reconnects, and every score stays bit-identical to the unbroken
+	// oracle.
+	for start := w; start < steps; start += 4 {
+		end := start + 4
+		if end > steps {
+			end = steps
 		}
-	}()
-	select {
-	case <-readDone:
-	case <-time.After(10 * time.Second):
-		t.Fatal("client read still blocked 10s after backend death")
+		if err := cl.Send(rows[start:end]); err != nil {
+			t.Fatalf("send after backend death: %v", err)
+		}
+	}
+	if err := cl.Bye(); err != nil {
+		t.Fatalf("bye after backend death: %v", err)
+	}
+	got := make(map[int]float64)
+	got[w-1] = want[w-1] // the pre-kill score, already consumed
+	deadlineCh := time.After(20 * time.Second)
+collect:
+	for {
+		select {
+		case sc, ok := <-scores:
+			if !ok {
+				break collect
+			}
+			if prev, dup := got[sc.Index]; dup && prev != sc.Value {
+				t.Fatalf("score[%d] delivered twice with different values", sc.Index)
+			}
+			got[sc.Index] = sc.Value
+		case <-deadlineCh:
+			t.Fatal("score stream did not finish after hand-off")
+		}
+	}
+	if err := <-readDone; err != nil {
+		t.Fatalf("client stream errored across hand-off: %v", err)
 	}
 	cl.Close()
+	for idx := w - 1; idx < steps; idx++ {
+		v, ok := got[idx]
+		if !ok {
+			t.Fatalf("score[%d] missing after hand-off (got %d of %d)", idx, len(got), steps-w+1)
+		}
+		if v != want[idx] {
+			t.Fatalf("score[%d] = %g across hand-off, want %g", idx, v, want[idx])
+		}
+	}
+	if total, _, _ := rt.HandoffStats(); total < 1 {
+		t.Fatalf("router recorded %d hand-offs, want >= 1", total)
+	}
 
 	// Reconnect: the ring still prefers the dead backend for this key,
 	// so the router's dial fails it out and the session lands on the
@@ -339,14 +403,14 @@ func TestRouterBackendFailure(t *testing.T) {
 	if got := cl2.Welcome().Backend; got != survivor {
 		t.Fatalf("reconnect landed on %q, want survivor %q", got, survivor)
 	}
-	steps := 3 * w
-	rows = synthRows(steps, channels, 8)
+	steps2 := 3 * w
+	rows2 := synthRows(steps2, channels, 8)
 	n := 0
-	if err := cl2.Run(ctx, rows, 8, func(stream.Score) { n++ }); err != nil {
+	if err := cl2.Run(ctx, rows2, 8, func(stream.Score) { n++ }); err != nil {
 		t.Fatalf("reconnected stream: %v", err)
 	}
 	cl2.Close()
-	if wantN := steps - w + 1; n != wantN {
+	if wantN := steps2 - w + 1; n != wantN {
 		t.Fatalf("reconnected stream scored %d windows, want %d", n, wantN)
 	}
 

@@ -19,9 +19,15 @@ import (
 // endpoint (e.g. "http://host:port") every interval. id names the
 // backend in the router's ring and in relabeled metrics; sessionAddr
 // and metricsAddr are the addresses Serve and ServeMetrics returned.
-// The first registration failure is returned synchronously.
+// The first registration failure is returned synchronously; later
+// failed beats are retried with backoff inside the interval and counted
+// in varade_announce_failures_total. Config.AnnounceTimeout bounds each
+// POST (default 2s).
 func (s *Server) StartAnnouncer(controlURL, id, sessionAddr, metricsAddr string, interval time.Duration) error {
-	a, err := route.StartAnnouncer(controlURL, interval, func() route.Announcement {
+	a, err := route.StartAnnouncerWith(controlURL, interval, route.AnnouncerOpts{
+		Timeout: s.cfg.AnnounceTimeout,
+		OnError: func(error) { s.met.announceFails.Inc() },
+	}, func() route.Announcement {
 		return s.announcement(id, sessionAddr, metricsAddr)
 	})
 	if err != nil {

@@ -87,6 +87,15 @@ func dial(ctx context.Context, addr, model string, channels, proto int, caps str
 	case stream.FrameError:
 		conn.Close()
 		return nil, fmt.Errorf("serve: server refused session: %s", payload)
+	case stream.FrameBye:
+		// A reasoned Bye during the handshake is a refusal with an
+		// explanation — e.g. a router whose admission deadline lapsed
+		// with no healthy backend in the pool.
+		conn.Close()
+		if bye, derr := stream.DecodeByePayload(payload); derr == nil && bye.Reason != "" {
+			return nil, fmt.Errorf("serve: server refused session: %s", bye.Reason)
+		}
+		return nil, fmt.Errorf("serve: server closed session during handshake")
 	default:
 		conn.Close()
 		return nil, fmt.Errorf("serve: unexpected frame %d during handshake", t)
@@ -135,6 +144,15 @@ func (c *Client) ReadScores() ([]stream.Score, error) {
 			return stream.DecodeScoresPayload(payload)
 		case stream.FrameError:
 			return nil, fmt.Errorf("serve: server error: %s", payload)
+		case stream.FrameBye:
+			// A server-side Bye ends the session from the far side: bare,
+			// it is a clean end; with a reason (e.g. a router whose
+			// hand-off deadline lapsed with no healthy backend), surface
+			// why the stream could not continue.
+			if bye, derr := stream.DecodeByePayload(payload); derr == nil && bye.Reason != "" {
+				return nil, fmt.Errorf("serve: session ended by server: %s", bye.Reason)
+			}
+			return nil, io.EOF
 		default:
 			// Skip unknown frames.
 		}

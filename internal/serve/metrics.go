@@ -26,6 +26,7 @@ type metrics struct {
 	windowsScored  *obs.Counter
 	batches        *obs.Counter
 	scoresDropped  *obs.Counter
+	announceFails  *obs.Counter
 	// samplesDropped holds admission drops folded in from closed
 	// sessions' buses; live buses are summed on top under the server
 	// lock (see Server.Metrics) so each drop is counted exactly once in
@@ -53,6 +54,7 @@ func newMetrics() *metrics {
 		windowsScored: reg.Counter("varade_windows_scored_total", "Windows scored across all groups."),
 		batches:       reg.Counter("varade_batches_total", "Coalesced batches flushed."),
 		scoresDropped: reg.Counter("varade_scores_dropped_total", "Scores dropped because a session's outbound queue was full."),
+		announceFails: reg.Counter("varade_announce_failures_total", "Heartbeat POSTs to the router that failed (before in-beat retries succeeded or gave up)."),
 		uptimeGauge:   reg.Gauge("varade_uptime_seconds", "Seconds since the server started."),
 		rate:          obs.NewRateEWMA(rateTau),
 	}

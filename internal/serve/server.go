@@ -31,6 +31,9 @@ type Config struct {
 	// coalesced batch is scored when no SLO budget is in force. Default
 	// 2ms.
 	FlushInterval time.Duration
+	// AnnounceTimeout bounds each heartbeat POST to the router's
+	// control endpoint (StartAnnouncer). Default 2s.
+	AnnounceTimeout time.Duration
 	// SLOP99 is the per-group p99 coalescing-latency budget
 	// (varade-serve -slo-p99). When set, each group's flusher fires at
 	// min(fill target reached, oldest admitted window's deadline), where

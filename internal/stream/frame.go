@@ -29,7 +29,10 @@ import (
 //	Samples            u32 count | count×channels float64, row-major
 //	Scores             u32 count | count × (i64 index | float64 value)
 //	Error   (UTF-8)    either direction, terminal
-//	Bye                client → server: flush outstanding scores and close
+//	Bye                client → server: flush outstanding scores and close.
+//	                   Server → client it ends the session from the far
+//	                   side; a non-empty payload is JSON naming the reason
+//	                   (e.g. a router whose hand-off deadline lapsed).
 //
 // The two protocol versions differ only in the preamble and the handshake
 // payloads; every post-handshake frame is identical, so a v1 client keeps
@@ -217,6 +220,49 @@ type Welcome struct {
 	// on direct connections, in which case the field is omitted and the
 	// Welcome stays byte-identical to pre-router servers).
 	Backend string `json:"backend,omitempty"`
+}
+
+// MaxByePayload bounds a Bye frame payload: the reason JSON is a short
+// sentence, never a blob.
+const MaxByePayload = 4 << 10
+
+// Bye is the optional terminal metadata of a FrameBye. The classic
+// client→server Bye carries no payload ("stream over, flush and
+// close"); a server→client Bye may carry a Reason naming why the
+// session cannot continue — the router's hand-off plane sends one when
+// a session's re-placement deadline lapses. An empty payload decodes to
+// the zero Bye, so pre-reason peers interoperate unchanged.
+type Bye struct {
+	Reason string `json:"reason,omitempty"`
+}
+
+// EncodeByePayload renders a Bye payload: nil for the zero value (the
+// v1-era bare Bye, byte-identical on the wire), JSON otherwise.
+func EncodeByePayload(b Bye) []byte {
+	if b == (Bye{}) {
+		return nil
+	}
+	blob, err := json.Marshal(b)
+	if err != nil {
+		return nil
+	}
+	return blob
+}
+
+// DecodeByePayload parses a Bye payload. Empty means the bare
+// flush-and-close Bye; anything else must be valid, bounded JSON.
+func DecodeByePayload(payload []byte) (Bye, error) {
+	if len(payload) == 0 {
+		return Bye{}, nil
+	}
+	if len(payload) > MaxByePayload {
+		return Bye{}, fmt.Errorf("stream: bye payload %dB exceeds cap %d", len(payload), MaxByePayload)
+	}
+	var b Bye
+	if err := json.Unmarshal(payload, &b); err != nil {
+		return Bye{}, fmt.Errorf("stream: bad bye: %w", err)
+	}
+	return b, nil
 }
 
 // WriteFrame writes one frame.

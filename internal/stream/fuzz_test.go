@@ -32,6 +32,10 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add(frameBytes(FrameHello, []byte(`{"channels":3,"caps":{"precision":"bf16"}}`)))
 	f.Add(frameBytes(FrameHello, helloV2)[:7]) // truncated mid-payload
 	f.Add(frameBytes(FrameBye, nil))
+	f.Add(frameBytes(FrameBye, EncodeByePayload(Bye{Reason: "route: no healthy backend within deadline"})))
+	f.Add(frameBytes(FrameBye, []byte(`{"reason":`))) // truncated reason JSON
+	bigBye := make([]byte, MaxByePayload+1)
+	f.Add(frameBytes(FrameBye, bigBye))
 	func() {
 		p, err := EncodeSamplesPayload([][]float64{{1, 2}, {3, 4}}, 2)
 		if err != nil {
@@ -126,6 +130,26 @@ func FuzzDecodeFrame(f *testing.F) {
 		case FrameScores:
 			if _, err := DecodeScoresPayload(payload); err != nil {
 				return
+			}
+		case FrameBye:
+			// A Bye payload either rejects or round-trips: empty is the
+			// bare v1-era Bye, and an accepted reason must survive
+			// re-encoding (the router re-emits what it decoded).
+			b, err := DecodeByePayload(payload)
+			if err != nil {
+				return
+			}
+			if len(payload) == 0 && b != (Bye{}) {
+				t.Fatalf("empty bye payload decoded non-zero: %+v", b)
+			}
+			if len(payload) > MaxByePayload {
+				t.Fatalf("accepted %d-byte bye payload past the cap", len(payload))
+			}
+			if b.Reason != "" {
+				rt, err := DecodeByePayload(EncodeByePayload(b))
+				if err != nil || rt != b {
+					t.Fatalf("bye reason did not round-trip: %+v vs %+v (%v)", b, rt, err)
+				}
 			}
 		}
 	})
